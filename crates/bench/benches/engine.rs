@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the relational engine: join/semijoin
+//! throughput and the Yannakakis pipeline vs the greedy baseline on a
+//! downscaled benchmark query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softhw_engine::baseline::run_baseline;
+use softhw_engine::relation::Relation;
+use softhw_query::{atom_relations, bind, build_plan, execute, parse_sql};
+use softhw_workloads::hetionet::{self, HetionetScale};
+use softhw_workloads::queries::Q_HTO3;
+use std::hint::black_box;
+
+fn chain_relation(n: u64, offset: u64) -> Relation {
+    Relation::from_rows(vec![0, 1], (0..n).map(|i| vec![i, (i + offset) % n]))
+}
+
+fn bench_join_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relation_ops");
+    for n in [1_000u64, 10_000] {
+        let r = chain_relation(n, 1);
+        let mut s = chain_relation(n, 2);
+        s = s.project(&[1, 0]).project(&[1, 0]); // force a copy
+        g.bench_function(BenchmarkId::new("natural_join", n), |b| {
+            b.iter(|| black_box(r.natural_join(&s).len()))
+        });
+        g.bench_function(BenchmarkId::new("semijoin", n), |b| {
+            b.iter(|| black_box(r.semijoin(&s).len()))
+        });
+        g.bench_function(BenchmarkId::new("project_distinct", n), |b| {
+            b.iter(|| black_box(r.project(&[0]).distinct().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_yannakakis_vs_baseline(c: &mut Criterion) {
+    let scale = HetionetScale {
+        nodes: 300,
+        edges_per_relation: 1_500,
+    };
+    let db = hetionet::generate(&scale, 42);
+    let cq = bind(&parse_sql(Q_HTO3).expect("fixed"), &db).expect("schema");
+    let h = cq.hypergraph();
+    let atoms = atom_relations(&cq, &db);
+    let (_, td) = softhw_core::shw::shw(&h);
+    let plan = build_plan(&cq, &h, &td).expect("plannable");
+
+    let mut g = c.benchmark_group("q_hto3_small");
+    g.bench_function("yannakakis", |b| {
+        b.iter(|| black_box(execute(&cq, &atoms, &plan).value))
+    });
+    g.bench_function("baseline_greedy", |b| {
+        b.iter(|| {
+            black_box(
+                run_baseline(&atoms, &[cq.agg_var], u64::MAX)
+                    .expect("no cap")
+                    .answer
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_ops, bench_yannakakis_vs_baseline);
+criterion_main!(benches);

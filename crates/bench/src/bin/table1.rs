@@ -1,0 +1,72 @@
+//! Regenerates **Table 1** of the paper: per benchmark query, its
+//! ConCov-shw, hypergraph size, candidate-bag counts, and the time to
+//! produce the top-10 best TDs under the actual-cardinality cost.
+//!
+//! Paper values (for comparison; shapes must match exactly — these are
+//! pure combinatorics):
+//!
+//! ```text
+//! query   ConCov-shw |H| |Soft| ConCov  time
+//! q_ds    2          5   9      8       7.67 ms
+//! q_hto   2          7   25     16      27.87 ms
+//! q_hto2  2          7   25     16      26.58 ms
+//! q_hto3  2          4   9      8       3.26 ms
+//! q_hto4  2          6   17     12      23.26 ms
+//! q_lb    3          6   17     15      26.42 ms
+//! ```
+
+use softhw_bench::prepare;
+use softhw_core::constraints::{concov_exact_filter, Trivial};
+use softhw_core::ctd_opt::{best, top_n};
+use softhw_core::soft::{cover_bags, soft_bags};
+use softhw_query::{CostContext, TrueCardCost};
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:<8} {:>10} {:>4} {:>12} {:>12} {:>16} {:>14}",
+        "query", "ConCov-shw", "|H|", "|Soft_{H,k}|", "ConCov-Soft", "top-10 time", "full Soft (Def3)"
+    );
+    for (name, _, k) in softhw_workloads::queries::all_queries() {
+        let inst = prepare(name, 42);
+        let h = &inst.h;
+        // Candidate bags as the prototype enumerates them (cover unions).
+        let bags = cover_bags(h, k, true);
+        let concov = concov_exact_filter(h, k, &bags);
+        // ConCov-shw: least width admitting a ConCov CTD.
+        let ccshw = (1..=h.num_edges())
+            .find(|&kk| {
+                let b = concov_exact_filter(h, kk, &cover_bags(h, kk, true));
+                best(h, &b, &Trivial).is_some()
+            })
+            .expect("some width always works");
+        // Time to produce the top-10 best TDs by actual-cardinality cost.
+        // Cost acquisition (bag cardinalities; the paper reads them from
+        // the DBMS in a separate step) is pre-warmed and excluded, like
+        // the prototype's "find top k decompositions" phase.
+        let cx = CostContext::new(&inst.cq, h, &inst.atoms, &inst.db);
+        for bag in &concov {
+            let _ = cx.cover(bag);
+            let _ = cx.true_bag_size(bag);
+        }
+        let eval = TrueCardCost { cx: &cx };
+        let start = Instant::now();
+        let top = top_n(h, &concov, &eval, 10);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let def3 = soft_bags(h, k);
+        println!(
+            "{:<8} {:>10} {:>4} {:>12} {:>12} {:>13.2} ms {:>16}",
+            name,
+            ccshw,
+            h.num_edges(),
+            bags.len(),
+            concov.len(),
+            ms,
+            def3.len(),
+        );
+        assert!(!top.is_empty(), "{name} must have ConCov decompositions");
+    }
+    println!();
+    println!("|Soft_{{H,k}}| reproduces the prototype's cover-union counting;");
+    println!("the last column is the full Definition-3 Soft set for reference.");
+}

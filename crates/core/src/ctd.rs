@@ -1,0 +1,348 @@
+//! The `CandidateTD` problem and **Algorithm 1** of the paper
+//! (Section 3): given a hypergraph `H` and a set `S` of candidate bags,
+//! decide whether a CompNF tree decomposition using only bags from `S`
+//! exists — and, going beyond the paper's decision version, extract one.
+//!
+//! Terminology (paper, Section 3):
+//! - a **block** is a pair `(S, C)` with `C` a maximal set of
+//!   `[S]`-connected vertices (or `C = ∅`, which is trivially satisfied and
+//!   never materialised here);
+//! - `(X, Y) ≤ (S, C)` iff `X ∪ Y ⊆ S ∪ C` and `Y ⊆ C`;
+//! - a bag `X ≠ S` is a **basis** of `(S, C)` if, with `(X, Y_1..Y_ℓ)` the
+//!   blocks headed by `X` that are `≤ (S, C)`: (1) `C ⊆ X ∪ ⋃Y_i`,
+//!   (2) every edge intersecting `C` is inside `X ∪ ⋃Y_i`, and (3) every
+//!   `(X, Y_i)` is satisfied. (Condition (1) follows from (2) since the
+//!   hypergraph has no isolated vertices.)
+//!
+//! The dynamic program marks blocks satisfied in rounds until fixpoint and
+//! accepts iff every block headed by `∅` (one per connected component of
+//! `H`) is satisfied. Satisfaction timestamps make the extraction
+//! provably terminating: a block's basis only references blocks satisfied
+//! strictly earlier.
+
+use crate::td::TreeDecomposition;
+use softhw_hypergraph::{BitSet, FxHashMap, Hypergraph};
+
+/// One materialised block `(S, C)` with `C ≠ ∅`.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Index of the head bag, or `None` for the `∅` head.
+    pub head: Option<usize>,
+    /// The component `C` (a vertex set disjoint from the head bag).
+    pub comp: BitSet,
+    /// `S ∪ C`.
+    pub closure: BitSet,
+    /// Edges `e` with `e ∩ C ≠ ∅` (the coverage obligations of the block).
+    pub touching: Vec<usize>,
+}
+
+/// A prepared `CandidateTD` instance: deduplicated bags plus the full
+/// block table. Shared by Algorithm 1 ([`CtdInstance::decide`]) and the
+/// constrained/preference variants in [`crate::ctd_opt`].
+pub struct CtdInstance<'h> {
+    /// The hypergraph.
+    pub h: &'h Hypergraph,
+    /// Deduplicated, non-empty candidate bags.
+    pub bags: Vec<BitSet>,
+    /// All blocks with non-empty component.
+    pub blocks: Vec<Block>,
+    /// For each bag index, the blocks it heads.
+    pub blocks_by_head: Vec<Vec<usize>>,
+    /// Blocks headed by `∅` — one per connected component of `H`.
+    pub root_blocks: Vec<usize>,
+}
+
+/// Result of the satisfaction DP of Algorithm 1.
+pub struct Satisfaction {
+    /// For each block: `Some((basis bag index, timestamp))` if satisfied.
+    pub basis: Vec<Option<(usize, u32)>>,
+    /// Whether all root blocks are satisfied (the "Accept" of Algorithm 1).
+    pub accept: bool,
+}
+
+impl<'h> CtdInstance<'h> {
+    /// Builds the block table for hypergraph `h` and candidate bag set
+    /// `bags` (empty bags are dropped, duplicates merged).
+    pub fn new(h: &'h Hypergraph, bags: &[BitSet]) -> Self {
+        let mut dedup: FxHashMap<BitSet, usize> = FxHashMap::default();
+        let mut unique: Vec<BitSet> = Vec::new();
+        for b in bags {
+            if b.is_empty() {
+                continue;
+            }
+            dedup.entry(b.clone()).or_insert_with(|| {
+                unique.push(b.clone());
+                unique.len() - 1
+            });
+        }
+        let mut blocks = Vec::new();
+        let mut blocks_by_head = vec![Vec::new(); unique.len()];
+        for (sid, s) in unique.iter().enumerate() {
+            for comp in h.vertex_components(s) {
+                let closure = s.union(&comp);
+                let touching = h.edges_touching(&comp).to_vec();
+                blocks_by_head[sid].push(blocks.len());
+                blocks.push(Block {
+                    head: Some(sid),
+                    comp,
+                    closure,
+                    touching,
+                });
+            }
+        }
+        let mut root_blocks = Vec::new();
+        for comp in h.vertex_components(&h.empty_vertex_set()) {
+            let touching = h.edges_touching(&comp).to_vec();
+            root_blocks.push(blocks.len());
+            blocks.push(Block {
+                head: None,
+                comp: comp.clone(),
+                closure: comp,
+                touching,
+            });
+        }
+        CtdInstance {
+            h,
+            bags: unique,
+            blocks,
+            blocks_by_head,
+            root_blocks,
+        }
+    }
+
+    /// Checks the basis conditions of bag `x` for block `b`, given the
+    /// current satisfaction state. Returns `true` iff `x` is a basis.
+    pub fn is_basis(&self, b: usize, x: usize, satisfied: &[bool]) -> bool {
+        let blk = &self.blocks[b];
+        if blk.head == Some(x) {
+            return false; // X ≠ S
+        }
+        if !self.bags[x].is_subset(&blk.closure) {
+            return false;
+        }
+        let mut u = self.bags[x].clone();
+        for &b2 in &self.blocks_by_head[x] {
+            if self.blocks[b2].comp.is_subset(&blk.comp) {
+                if !satisfied[b2] {
+                    return false;
+                }
+                u.union_with(&self.blocks[b2].comp);
+            }
+        }
+        blk.touching.iter().all(|&e| self.h.edge(e).is_subset(&u))
+    }
+
+    /// The child blocks a basis `x` of block `b` delegates to: blocks
+    /// headed by `x` whose component lies inside `b`'s component.
+    pub fn child_blocks(&self, b: usize, x: usize) -> Vec<usize> {
+        self.blocks_by_head[x]
+            .iter()
+            .copied()
+            .filter(|&b2| self.blocks[b2].comp.is_subset(&self.blocks[b].comp))
+            .collect()
+    }
+
+    /// Runs the satisfaction DP of Algorithm 1 to fixpoint.
+    pub fn satisfy(&self) -> Satisfaction {
+        let nb = self.blocks.len();
+        let mut satisfied = vec![false; nb];
+        let mut basis: Vec<Option<(usize, u32)>> = vec![None; nb];
+        let mut clock: u32 = 0;
+        loop {
+            let mut changed = false;
+            for b in 0..nb {
+                if satisfied[b] {
+                    continue;
+                }
+                for x in 0..self.bags.len() {
+                    if self.is_basis(b, x, &satisfied) {
+                        satisfied[b] = true;
+                        basis[b] = Some((x, clock));
+                        clock += 1;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let accept = self.root_blocks.iter().all(|&b| satisfied[b]);
+        Satisfaction { basis, accept }
+    }
+
+    /// Extracts the tree decomposition certified by a satisfaction table.
+    /// Returns `None` if the instance was rejected. For disconnected
+    /// hypergraphs, the per-component subtrees are chained under the first
+    /// component's root (bags of distinct components are vertex-disjoint,
+    /// so validity is preserved).
+    pub fn extract(&self, sat: &Satisfaction) -> Option<TreeDecomposition> {
+        if !sat.accept || self.root_blocks.is_empty() {
+            return None;
+        }
+        let mut td: Option<TreeDecomposition> = None;
+        for &rb in &self.root_blocks {
+            let (x, _) = sat.basis[rb].expect("accepted root block has a basis");
+            match td.as_mut() {
+                None => {
+                    let mut fresh = TreeDecomposition::new(self.bags[x].clone());
+                    let root = fresh.root();
+                    self.extract_children(sat, rb, x, root, &mut fresh);
+                    td = Some(fresh);
+                }
+                Some(t) => {
+                    let at = t.root();
+                    let node = t.add_child(at, self.bags[x].clone());
+                    self.extract_children(sat, rb, x, node, t);
+                }
+            }
+        }
+        td
+    }
+
+    fn extract_children(
+        &self,
+        sat: &Satisfaction,
+        b: usize,
+        x: usize,
+        node: usize,
+        td: &mut TreeDecomposition,
+    ) {
+        for b2 in self.child_blocks(b, x) {
+            let (x2, ts2) = sat.basis[b2].expect("basis condition (3)");
+            debug_assert!(
+                ts2 < sat.basis[b].map(|(_, t)| t).unwrap_or(u32::MAX),
+                "timestamps strictly decrease along extraction"
+            );
+            let child = td.add_child(node, self.bags[x2].clone());
+            self.extract_children(sat, b2, x2, child, td);
+        }
+    }
+
+    /// Algorithm 1 end-to-end: decide and extract.
+    pub fn decide(&self) -> Option<TreeDecomposition> {
+        let sat = self.satisfy();
+        self.extract(&sat)
+    }
+}
+
+/// Convenience wrapper: does a CompNF candidate tree decomposition of `h`
+/// with bags from `bags` exist? Returns the witness decomposition.
+pub fn candidate_td(h: &Hypergraph, bags: &[BitSet]) -> Option<TreeDecomposition> {
+    CtdInstance::new(h, bags).decide()
+}
+
+/// Verifies that `td` is a valid tree decomposition of `h` whose bags all
+/// come from `bags`. Used to machine-check explicit decompositions from
+/// the paper on hypergraphs too large for full search.
+pub fn is_candidate_td(h: &Hypergraph, td: &TreeDecomposition, bags: &[BitSet]) -> bool {
+    if td.validate(h).is_err() {
+        return false;
+    }
+    td.bags().iter().all(|b| bags.contains(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soft::soft_bags;
+    use softhw_hypergraph::named;
+
+    #[test]
+    fn trivial_single_bag() {
+        let h = named::cycle(4);
+        let bags = vec![h.all_vertices()];
+        let td = candidate_td(&h, &bags).expect("the full bag always works");
+        assert_eq!(td.num_nodes(), 1);
+        assert_eq!(td.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn rejects_when_bags_insufficient() {
+        let h = named::cycle(4);
+        // Only tiny bags: no decomposition can cover all edges.
+        let bags = vec![h.vset(&["v0", "v1"]), h.vset(&["v2", "v3"])];
+        assert!(candidate_td(&h, &bags).is_none());
+    }
+
+    #[test]
+    fn path_decomposes_with_edge_bags() {
+        let h = named::cycle(6);
+        // For a cycle, pairs of opposite-ish edges are needed; for the
+        // simple smoke test give it the Soft bags of width 2.
+        let bags = soft_bags(&h, 2);
+        let td = candidate_td(&h, &bags).expect("shw(C6) = 2");
+        assert_eq!(td.validate(&h), Ok(()));
+        assert!(td.is_comp_nf(&h));
+    }
+
+    #[test]
+    fn h2_soft_bags_admit_ctd_at_k2() {
+        // Example 1: shw(H2) = 2.
+        let h = named::h2();
+        let bags = soft_bags(&h, 2);
+        let td = candidate_td(&h, &bags).expect("shw(H2) = 2 per Example 1");
+        assert_eq!(td.validate(&h), Ok(()));
+        assert!(td.is_comp_nf(&h));
+        // every bag must have an edge cover with at most 2 edges
+        for bag in td.bags() {
+            assert!(crate::cover::find_cover(&h, bag, 2).is_some());
+        }
+    }
+
+    #[test]
+    fn h2_soft_bags_reject_at_k1() {
+        let h = named::h2();
+        let bags = soft_bags(&h, 1);
+        assert!(candidate_td(&h, &bags).is_none());
+    }
+
+    #[test]
+    fn extraction_timestamps_guard() {
+        // Exercised implicitly by all successful extractions (debug_assert).
+        let h = named::h2();
+        let inst = CtdInstance::new(&h, &soft_bags(&h, 2));
+        let sat = inst.satisfy();
+        assert!(sat.accept);
+        let td = inst.extract(&sat).unwrap();
+        assert_eq!(td.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn disconnected_hypergraph_handled() {
+        let mut b = softhw_hypergraph::HypergraphBuilder::new();
+        b.edge("e1", &["a", "b"]);
+        b.edge("e2", &["c", "d"]);
+        let h = b.build();
+        let bags = vec![h.vset(&["a", "b"]), h.vset(&["c", "d"])];
+        let td = candidate_td(&h, &bags).expect("two isolated edges");
+        assert_eq!(td.validate(&h), Ok(()));
+        assert_eq!(td.num_nodes(), 2);
+    }
+
+    #[test]
+    fn is_candidate_td_checks_bag_membership() {
+        let h = named::h2();
+        let bags = soft_bags(&h, 2);
+        let (h2, td) = crate::td::tests::h2_soft_td();
+        assert_eq!(h.num_edges(), h2.num_edges());
+        assert!(is_candidate_td(&h2, &td, &bags));
+        // With a restricted bag list the same TD is not a CTD.
+        let few = vec![h.all_vertices()];
+        assert!(!is_candidate_td(&h2, &td, &few));
+    }
+
+    #[test]
+    fn dedup_drops_duplicates_and_empties() {
+        let h = named::cycle(4);
+        let bags = vec![
+            h.empty_vertex_set(),
+            h.all_vertices(),
+            h.all_vertices(),
+            h.vset(&["v0", "v1"]),
+        ];
+        let inst = CtdInstance::new(&h, &bags);
+        assert_eq!(inst.bags.len(), 2);
+    }
+}

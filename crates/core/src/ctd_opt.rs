@@ -1,0 +1,684 @@
+//! **Algorithm 2**: the `{C, ≤}`-CandidateTD problem (Section 6).
+//!
+//! The boolean "satisfied" bit of Algorithm 1 is generalised to a DP value
+//! produced by a [`TdEvaluator`]: `eval(bag, child summaries)` returns
+//! `None` when the subtree constraint `C` is violated and otherwise a
+//! summary of the partial tree decomposition; `better` is the strict part
+//! of the total quasiordering (toptd) `≤`. The contract mirrors the
+//! paper's *preference-complete* and *strongly monotone* assumptions:
+//! improving a child's summary never worsens the parent's.
+//!
+//! Besides the polynomial best-decomposition DP ([`best`]), this module
+//! provides what the paper's experimental prototype uses: exhaustive
+//! enumeration of all constraint-satisfying CTDs ranked by preference
+//! ([`enumerate_all`], with a cap), top-n extraction ([`top_n`]), and
+//! uniform-ish random sampling ([`sample_random`]).
+
+use crate::ctd::CtdInstance;
+use crate::td::TreeDecomposition;
+use rand::Rng;
+use softhw_hypergraph::{BitSet, Hypergraph};
+
+/// Evaluation of partial tree decompositions: subtree constraint plus
+/// total quasiordering, as in Section 6.1 of the paper.
+///
+/// The evaluator is called bottom-up: for a node with bag `bag` whose
+/// children have already been summarised, it either rejects the partial
+/// decomposition (constraint violated → `None`) or summarises it.
+/// `better(a, b)` must implement the *strict* part of a total
+/// quasiordering and be strongly monotone w.r.t. `eval`.
+pub trait TdEvaluator {
+    /// Summary of a partial tree decomposition rooted at some node.
+    type Summary: Clone + std::fmt::Debug;
+
+    /// Evaluates a node given its bag and the summaries of its children.
+    fn eval(
+        &self,
+        h: &Hypergraph,
+        bag: &BitSet,
+        children: &[Self::Summary],
+    ) -> Option<Self::Summary>;
+
+    /// Strict preference: is `a` strictly better than `b`?
+    fn better(&self, a: &Self::Summary, b: &Self::Summary) -> bool;
+}
+
+/// A decomposition together with its evaluator summary.
+pub type Ranked<S> = (TreeDecomposition, S);
+
+/// Runs the `{C, ≤}` dynamic program of Algorithm 2 and returns a globally
+/// minimal constraint-satisfying CTD with its summary, or `None` if no
+/// CTD satisfies the constraint.
+///
+/// Blocks are (re-)assigned bases while a strictly better alternative
+/// exists; the loop reaches a fixpoint because summaries per block strictly
+/// improve in a finite space of basis/children combinations. Extraction
+/// guards against degenerate evaluator cycles (possible only when `eval`
+/// is not strictly increasing, e.g. the trivial evaluator) by falling back
+/// to the timestamp-ordered choice of the boolean DP.
+pub fn best<E: TdEvaluator>(
+    h: &Hypergraph,
+    bags: &[BitSet],
+    eval: &E,
+) -> Option<Ranked<E::Summary>> {
+    let inst = CtdInstance::new(h, bags);
+    best_on(&inst, eval)
+}
+
+/// [`best`] on a prepared instance.
+pub fn best_on<E: TdEvaluator>(inst: &CtdInstance, eval: &E) -> Option<Ranked<E::Summary>> {
+    let nb = inst.blocks.len();
+    let mut value: Vec<Option<(usize, E::Summary)>> = vec![None; nb];
+    // Boolean reference DP for the acyclic fallback.
+    let bool_sat = inst.satisfy();
+    let mut guard = 0usize;
+    loop {
+        let mut changed = false;
+        for b in 0..nb {
+            for x in 0..inst.bags.len() {
+                if inst.blocks[b].head == Some(x) || !inst.bags[x].is_subset(&inst.blocks[b].closure)
+                {
+                    continue;
+                }
+                let Some(summary) = eval_basis(inst, eval, &value, b, x) else {
+                    continue;
+                };
+                let replace = match &value[b] {
+                    None => true,
+                    Some((_, old)) => eval.better(&summary, old),
+                };
+                if replace {
+                    value[b] = Some((x, summary));
+                    changed = true;
+                }
+            }
+        }
+        guard += 1;
+        if !changed {
+            break;
+        }
+        assert!(
+            guard <= 4 * nb * inst.bags.len() + 16,
+            "Algorithm 2 failed to converge; evaluator is not strongly monotone"
+        );
+    }
+    if !inst.root_blocks.iter().all(|&b| value[b].is_some()) {
+        return None;
+    }
+    // Extract (with cycle guard; see module docs).
+    let mut td: Option<TreeDecomposition> = None;
+    let mut summaries: Vec<E::Summary> = Vec::new();
+    for &rb in &inst.root_blocks {
+        let mut visited = vec![false; nb];
+        let (node_summary, built) =
+            extract_best(inst, eval, &value, &bool_sat.basis, rb, &mut visited)?;
+        match td.as_mut() {
+            None => {
+                td = Some(built);
+            }
+            Some(t) => {
+                graft(t, t.root(), &built, built.root());
+            }
+        }
+        summaries.push(node_summary);
+    }
+    let td = td?;
+    // For a connected hypergraph (the common case) return the root summary;
+    // otherwise re-evaluate the stitched tree bottom-up for a consistent
+    // summary.
+    let summary = if summaries.len() == 1 {
+        summaries.pop().expect("one component")
+    } else {
+        evaluate_td(inst.h, &td, eval)?
+    };
+    Some((td, summary))
+}
+
+/// Evaluates basis candidate `x` for block `b` against current values.
+fn eval_basis<E: TdEvaluator>(
+    inst: &CtdInstance,
+    eval: &E,
+    value: &[Option<(usize, E::Summary)>],
+    b: usize,
+    x: usize,
+) -> Option<E::Summary> {
+    let mut u = inst.bags[x].clone();
+    let mut child_summaries: Vec<E::Summary> = Vec::new();
+    for &b2 in &inst.blocks_by_head[x] {
+        if inst.blocks[b2].comp.is_subset(&inst.blocks[b].comp) {
+            let (_, s) = value[b2].as_ref()?;
+            child_summaries.push(s.clone());
+            u.union_with(&inst.blocks[b2].comp);
+        }
+    }
+    for &e in &inst.blocks[b].touching {
+        if !inst.h.edge(e).is_subset(&u) {
+            return None;
+        }
+    }
+    eval.eval(inst.h, &inst.bags[x], &child_summaries)
+}
+
+/// Recursive extraction following the best-value table; on a cycle, falls
+/// back to the boolean DP's timestamp-ordered basis (which is provably
+/// acyclic).
+fn extract_best<E: TdEvaluator>(
+    inst: &CtdInstance,
+    eval: &E,
+    value: &[Option<(usize, E::Summary)>],
+    bool_basis: &[Option<(usize, u32)>],
+    b: usize,
+    visited: &mut [bool],
+) -> Option<(E::Summary, TreeDecomposition)> {
+    #[allow(clippy::too_many_arguments)]
+    fn rec<E: TdEvaluator>(
+        inst: &CtdInstance,
+        eval: &E,
+        value: &[Option<(usize, E::Summary)>],
+        bool_basis: &[Option<(usize, u32)>],
+        b: usize,
+        visited: &mut [bool],
+        td: &mut TreeDecomposition,
+        parent: Option<usize>,
+    ) -> Option<E::Summary> {
+        let x = if visited[b] {
+            bool_basis[b].map(|(x, _)| x)?
+        } else {
+            value[b].as_ref().map(|(x, _)| *x)?
+        };
+        visited[b] = true;
+        let node = match parent {
+            None => td.root(),
+            Some(p) => td.add_child(p, inst.bags[x].clone()),
+        };
+        let mut child_summaries = Vec::new();
+        for b2 in inst.child_blocks(b, x) {
+            let s = rec(inst, eval, value, bool_basis, b2, visited, td, Some(node))?;
+            child_summaries.push(s);
+        }
+        eval.eval(inst.h, &inst.bags[x], &child_summaries)
+    }
+    let x = value[b].as_ref().map(|(x, _)| *x)?;
+    let mut td = TreeDecomposition::new(inst.bags[x].clone());
+    let s = rec(inst, eval, value, bool_basis, b, visited, &mut td, None)?;
+    Some((s, td))
+}
+
+/// Copies the subtree of `src` rooted at `src_node` under `dst_node`.
+fn graft(dst: &mut TreeDecomposition, dst_node: usize, src: &TreeDecomposition, src_node: usize) {
+    let new = dst.add_child(dst_node, src.bag(src_node).clone());
+    for &c in src.children(src_node) {
+        graft(dst, new, src, c);
+    }
+}
+
+/// Evaluates a complete decomposition bottom-up with an evaluator;
+/// `None` if any node violates the constraint.
+pub fn evaluate_td<E: TdEvaluator>(
+    h: &Hypergraph,
+    td: &TreeDecomposition,
+    eval: &E,
+) -> Option<E::Summary> {
+    fn rec<E: TdEvaluator>(
+        h: &Hypergraph,
+        td: &TreeDecomposition,
+        eval: &E,
+        u: usize,
+    ) -> Option<E::Summary> {
+        let mut children = Vec::new();
+        for &c in td.children(u) {
+            children.push(rec(h, td, eval, c)?);
+        }
+        eval.eval(h, td.bag(u), &children)
+    }
+    rec(h, td, eval, td.root())
+}
+
+/// Options for [`enumerate_all`].
+#[derive(Clone, Debug)]
+pub struct EnumerateOptions {
+    /// Hard cap on the number of alternatives kept per block (and on the
+    /// final result list). `usize::MAX` enumerates everything.
+    pub cap_per_block: usize,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions {
+            cap_per_block: 10_000,
+        }
+    }
+}
+
+struct TdNode {
+    bag: usize,
+    children: Vec<TdNode>,
+}
+
+/// Enumerates constraint-satisfying CTDs ranked best-first by the
+/// evaluator. With `cap_per_block >= n` and a strongly monotone evaluator,
+/// the first `n` results are exactly the top-n decompositions (the
+/// paper's Table 1 "top-10 best TDs" workload).
+pub fn enumerate_all<E: TdEvaluator>(
+    h: &Hypergraph,
+    bags: &[BitSet],
+    eval: &E,
+    opts: &EnumerateOptions,
+) -> Vec<Ranked<E::Summary>> {
+    let inst = CtdInstance::new(h, bags);
+    enumerate_on(&inst, eval, opts)
+}
+
+/// [`enumerate_all`] on a prepared instance.
+pub fn enumerate_on<E: TdEvaluator>(
+    inst: &CtdInstance,
+    eval: &E,
+    opts: &EnumerateOptions,
+) -> Vec<Ranked<E::Summary>> {
+    let sat = inst.satisfy();
+    if !sat.accept {
+        return Vec::new();
+    }
+    let satisfied: Vec<bool> = sat.basis.iter().map(Option::is_some).collect();
+    let mut visited = vec![false; inst.blocks.len()];
+    // Enumerate per root block, then combine across connected components.
+    let mut per_root: Vec<Vec<(TdNode, E::Summary)>> = Vec::new();
+    for &rb in &inst.root_blocks {
+        per_root.push(enum_block(inst, eval, &satisfied, rb, &mut visited, opts));
+    }
+    if per_root.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    // Cartesian combination across components (almost always a single one).
+    type Combo<'a, S> = Vec<&'a (TdNode, S)>;
+    let mut combos: Vec<Combo<'_, E::Summary>> = vec![Vec::new()];
+    for options in &per_root {
+        let mut next = Vec::new();
+        for combo in &combos {
+            for opt in options {
+                let mut c = combo.clone();
+                c.push(opt);
+                next.push(c);
+                if next.len() >= opts.cap_per_block {
+                    break;
+                }
+            }
+        }
+        combos = next;
+    }
+    let mut out: Vec<Ranked<E::Summary>> = Vec::new();
+    for combo in combos {
+        let mut td: Option<TreeDecomposition> = None;
+        for (node, _) in &combo {
+            materialise(inst, node, &mut td);
+        }
+        let td = td.expect("non-empty combo");
+        // Summary of the first component's root (single-component case) or
+        // a re-evaluation for stitched trees.
+        let summary = if combo.len() == 1 {
+            combo[0].1.clone()
+        } else {
+            match evaluate_td(inst.h, &td, eval) {
+                Some(s) => s,
+                None => continue,
+            }
+        };
+        out.push((td, summary));
+    }
+    out.sort_by(|a, b| {
+        if eval.better(&a.1, &b.1) {
+            std::cmp::Ordering::Less
+        } else if eval.better(&b.1, &a.1) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    });
+    out.truncate(opts.cap_per_block);
+    out
+}
+
+fn materialise(inst: &CtdInstance, node: &TdNode, td: &mut Option<TreeDecomposition>) {
+    fn rec(inst: &CtdInstance, node: &TdNode, td: &mut TreeDecomposition, parent: usize) {
+        let id = td.add_child(parent, inst.bags[node.bag].clone());
+        for c in &node.children {
+            rec(inst, c, td, id);
+        }
+    }
+    match td.as_mut() {
+        None => {
+            let mut fresh = TreeDecomposition::new(inst.bags[node.bag].clone());
+            let root = fresh.root();
+            for c in &node.children {
+                rec(inst, c, &mut fresh, root);
+            }
+            *td = Some(fresh);
+        }
+        Some(t) => {
+            let at = t.root();
+            rec(inst, node, t, at);
+        }
+    }
+}
+
+fn clone_node(n: &TdNode) -> TdNode {
+    TdNode {
+        bag: n.bag,
+        children: n.children.iter().map(clone_node).collect(),
+    }
+}
+
+fn enum_block<E: TdEvaluator>(
+    inst: &CtdInstance,
+    eval: &E,
+    satisfied: &[bool],
+    b: usize,
+    visited: &mut [bool],
+    opts: &EnumerateOptions,
+) -> Vec<(TdNode, E::Summary)> {
+    let mut results: Vec<(TdNode, E::Summary)> = Vec::new();
+    'bags: for x in 0..inst.bags.len() {
+        if inst.blocks[b].head == Some(x) || !inst.bags[x].is_subset(&inst.blocks[b].closure) {
+            continue;
+        }
+        let child_blocks = inst.child_blocks(b, x);
+        let mut u = inst.bags[x].clone();
+        for &b2 in &child_blocks {
+            if !satisfied[b2] || visited[b2] {
+                continue 'bags; // unsatisfiable child, or cyclic reconstruction
+            }
+            u.union_with(&inst.blocks[b2].comp);
+        }
+        if inst.blocks[b]
+            .touching
+            .iter()
+            .any(|&e| !inst.h.edge(e).is_subset(&u))
+        {
+            continue;
+        }
+        // Recurse into children; each list comes back best-first and
+        // truncated to the cap (sound for top-n under strong monotonicity:
+        // a top-n parent combination only uses top-n child entries).
+        let mut child_options: Vec<Vec<(TdNode, E::Summary)>> = Vec::new();
+        for &b2 in &child_blocks {
+            visited[b2] = true;
+        }
+        let mut ok = true;
+        for &b2 in &child_blocks {
+            let opt = enum_block(inst, eval, satisfied, b2, visited, opts);
+            if opt.is_empty() {
+                ok = false;
+                break;
+            }
+            child_options.push(opt);
+        }
+        for &b2 in &child_blocks {
+            visited[b2] = false;
+        }
+        if !ok {
+            continue;
+        }
+        // Best-first combination of children alternatives: start from the
+        // all-best index vector and expand one coordinate at a time. With
+        // a strongly monotone evaluator, emitted summaries are
+        // nondecreasing, so collecting the first `cap` yields the true
+        // per-basis top list. Constraint-violating combos (eval = None)
+        // are expanded but not emitted.
+        let mut frontier: Vec<(Vec<usize>, Option<E::Summary>)> = Vec::new();
+        let mut seen: softhw_hypergraph::FxHashSet<Vec<usize>> =
+            softhw_hypergraph::FxHashSet::default();
+        let evaluate = |idxs: &[usize]| -> Option<E::Summary> {
+            let sums: Vec<E::Summary> = idxs
+                .iter()
+                .enumerate()
+                .map(|(ci, &j)| child_options[ci][j].1.clone())
+                .collect();
+            eval.eval(inst.h, &inst.bags[x], &sums)
+        };
+        let start = vec![0usize; child_options.len()];
+        frontier.push((start.clone(), evaluate(&start)));
+        seen.insert(start);
+        let mut emitted = 0usize;
+        while !frontier.is_empty() && emitted < opts.cap_per_block {
+            // Pop the best frontier entry: None summaries (violations)
+            // first so their successors get explored, then the summary-
+            // minimal one.
+            let mut best_i = 0usize;
+            for i in 1..frontier.len() {
+                let better = match (&frontier[i].1, &frontier[best_i].1) {
+                    (None, _) => true,
+                    (_, None) => false,
+                    (Some(a), Some(b)) => eval.better(a, b),
+                };
+                if better {
+                    best_i = i;
+                }
+            }
+            let (idxs, summary) = frontier.swap_remove(best_i);
+            if let Some(summary) = summary {
+                let children: Vec<TdNode> = idxs
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, &j)| clone_node(&child_options[ci][j].0))
+                    .collect();
+                results.push((TdNode { bag: x, children }, summary));
+                emitted += 1;
+            }
+            for ci in 0..idxs.len() {
+                if idxs[ci] + 1 < child_options[ci].len() {
+                    let mut nxt = idxs.clone();
+                    nxt[ci] += 1;
+                    if seen.insert(nxt.clone()) {
+                        let s = evaluate(&nxt);
+                        frontier.push((nxt, s));
+                    }
+                }
+            }
+        }
+    }
+    // Keep the block's alternatives ordered best-first and capped.
+    results.sort_by(|a, b| {
+        if eval.better(&a.1, &b.1) {
+            std::cmp::Ordering::Less
+        } else if eval.better(&b.1, &a.1) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    });
+    results.truncate(opts.cap_per_block);
+    results
+}
+
+/// The `n` best constraint-satisfying CTDs under the evaluator's
+/// preference (ties broken arbitrarily).
+pub fn top_n<E: TdEvaluator>(
+    h: &Hypergraph,
+    bags: &[BitSet],
+    eval: &E,
+    n: usize,
+) -> Vec<Ranked<E::Summary>> {
+    let mut out = enumerate_all(
+        h,
+        bags,
+        eval,
+        &EnumerateOptions {
+            cap_per_block: n.max(64),
+        },
+    );
+    out.truncate(n);
+    out
+}
+
+/// Samples a random CTD by walking the satisfaction table with random
+/// basis choices. Returns `None` when no CTD exists (or after repeated
+/// dead ends, which cannot happen on satisfiable instances because every
+/// satisfiable block retains at least its DP basis).
+pub fn sample_random<R: Rng>(
+    h: &Hypergraph,
+    bags: &[BitSet],
+    rng: &mut R,
+) -> Option<TreeDecomposition> {
+    let inst = CtdInstance::new(h, bags);
+    let sat = inst.satisfy();
+    if !sat.accept {
+        return None;
+    }
+    let satisfied: Vec<bool> = sat.basis.iter().map(Option::is_some).collect();
+    'attempt: for _ in 0..64 {
+        let mut td: Option<TreeDecomposition> = None;
+        for &rb in &inst.root_blocks {
+            let mut visited = vec![false; inst.blocks.len()];
+            if !sample_block(&inst, &satisfied, rb, &mut visited, rng, &mut td, None) {
+                continue 'attempt;
+            }
+        }
+        return td;
+    }
+    // Deterministic fallback: the DP extraction always works.
+    inst.extract(&sat)
+}
+
+fn sample_block<R: Rng>(
+    inst: &CtdInstance,
+    satisfied: &[bool],
+    b: usize,
+    visited: &mut [bool],
+    rng: &mut R,
+    td: &mut Option<TreeDecomposition>,
+    parent: Option<usize>,
+) -> bool {
+    visited[b] = true;
+    // Collect valid bases under the satisfaction table.
+    let mut candidates: Vec<usize> = Vec::new();
+    'bags: for x in 0..inst.bags.len() {
+        if inst.blocks[b].head == Some(x) || !inst.bags[x].is_subset(&inst.blocks[b].closure) {
+            continue;
+        }
+        let mut u = inst.bags[x].clone();
+        for &b2 in &inst.blocks_by_head[x] {
+            if inst.blocks[b2].comp.is_subset(&inst.blocks[b].comp) {
+                if !satisfied[b2] || visited[b2] {
+                    continue 'bags;
+                }
+                u.union_with(&inst.blocks[b2].comp);
+            }
+        }
+        if inst
+            .blocks[b]
+            .touching
+            .iter()
+            .all(|&e| inst.h.edge(e).is_subset(&u))
+        {
+            candidates.push(x);
+        }
+    }
+    if candidates.is_empty() {
+        return false;
+    }
+    let x = candidates[rng.gen_range(0..candidates.len())];
+    let node = match (td.as_mut(), parent) {
+        (None, _) => {
+            *td = Some(TreeDecomposition::new(inst.bags[x].clone()));
+            td.as_ref().expect("just set").root()
+        }
+        (Some(t), Some(p)) => t.add_child(p, inst.bags[x].clone()),
+        (Some(t), None) => {
+            let r = t.root();
+            t.add_child(r, inst.bags[x].clone())
+        }
+    };
+    for b2 in inst.child_blocks(b, x) {
+        if !sample_block(inst, satisfied, b2, visited, rng, td, Some(node)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{BagCost, Trivial};
+    use crate::soft::soft_bags;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use softhw_hypergraph::named;
+
+    #[test]
+    fn best_with_trivial_evaluator_matches_algorithm_1() {
+        let h = named::h2();
+        let bags = soft_bags(&h, 2);
+        let (td, _) = best(&h, &bags, &Trivial).expect("shw(H2)=2");
+        assert_eq!(td.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn best_minimises_bag_cost() {
+        // Cost = total bag cardinality; the best decomposition cannot be
+        // beaten by any enumerated one.
+        let h = named::cycle(6);
+        let bags = soft_bags(&h, 2);
+        let cost = BagCost::new(|bag: &BitSet| bag.len() as f64);
+        let (btd, bsum) = best(&h, &bags, &cost).expect("exists");
+        assert_eq!(btd.validate(&h), Ok(()));
+        let all = enumerate_all(&h, &bags, &cost, &EnumerateOptions::default());
+        assert!(!all.is_empty());
+        for (td, s) in &all {
+            assert_eq!(td.validate(&h), Ok(()));
+            assert!(
+                s.cost + 1e-9 >= bsum.cost,
+                "enumeration found cheaper ({} < {})",
+                s.cost,
+                bsum.cost
+            );
+        }
+        // and the cheapest enumerated equals the DP's optimum
+        assert!((all[0].1.cost - bsum.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enumeration_is_ranked() {
+        let h = named::cycle(5);
+        let bags = soft_bags(&h, 2);
+        let cost = BagCost::new(|bag: &BitSet| bag.len() as f64);
+        let all = enumerate_all(&h, &bags, &cost, &EnumerateOptions::default());
+        for w in all.windows(2) {
+            assert!(w[0].1.cost <= w[1].1.cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let h = named::cycle(5);
+        let bags = soft_bags(&h, 2);
+        let cost = BagCost::new(|bag: &BitSet| bag.len() as f64);
+        let t3 = top_n(&h, &bags, &cost, 3);
+        assert!(t3.len() <= 3);
+        assert!(!t3.is_empty());
+    }
+
+    #[test]
+    fn sample_random_produces_valid_ctds() {
+        let h = named::h2();
+        let bags = soft_bags(&h, 2);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let td = sample_random(&h, &bags, &mut rng).expect("satisfiable");
+            assert_eq!(td.validate(&h), Ok(()));
+            for bag in td.bags() {
+                assert!(bags.contains(bag), "sampled bag must be a candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_instances_yield_nothing() {
+        let h = named::cycle(4);
+        let bags = vec![h.vset(&["v0", "v1"])];
+        assert!(best(&h, &bags, &Trivial).is_none());
+        assert!(enumerate_all(&h, &bags, &Trivial, &EnumerateOptions::default()).is_empty());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(sample_random(&h, &bags, &mut rng).is_none());
+    }
+}

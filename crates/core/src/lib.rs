@@ -1,0 +1,45 @@
+//! # softhw-core
+//!
+//! The paper's primary contribution: soft hypertree decompositions and
+//! soft hypertree width, computed through candidate tree decompositions
+//! (CTDs), plus the constrained/preference-guided decomposition framework
+//! and the classical baselines it is compared against.
+//!
+//! Module map (paper section in parentheses):
+//! - [`td`], [`ghd`]: (generalised) hypertree decompositions and checks (§2)
+//! - [`ctd`]: blocks, bases, Algorithm 1 (§3)
+//! - [`soft`]: the candidate bag set `Soft_{H,k}` (§4, Def. 3)
+//! - [`soft_iter`]: the iterated hierarchy `Soft^i`, `shw_i`, ghw as the
+//!   fixpoint (§5)
+//! - [`shw`]: the shw solver (§4, Thm. 1)
+//! - [`hw`]: det-k-decomp-style hypertree width baseline (§2)
+//! - [`cover`]: (connected) edge covers (§6, ConCov)
+//! - [`ctd_opt`]: Algorithm 2 — constraints and preferences over CTDs,
+//!   top-n enumeration, random sampling (§6)
+//! - [`constraints`]: ConCov / ShallowCyc / PartClust / cost evaluators (§6)
+//! - [`games`]: (institutional) robber & marshals games (App. A.1)
+
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod cover;
+pub mod ctd;
+pub mod ctd_opt;
+pub mod games;
+pub mod ghd;
+pub mod hw;
+pub mod shw;
+pub mod soft;
+pub mod soft_iter;
+pub mod td;
+
+pub use ctd::{candidate_td, CtdInstance};
+
+/// Enumerates all subsets of `pool` with size between 1 and `k`.
+/// Re-exported helper shared by the cover searches.
+pub(crate) fn bitset_subsets(pool: &[usize], k: usize, f: impl FnMut(&[usize])) {
+    softhw_hypergraph::bitset::for_each_subset_up_to_k(pool, k, f)
+}
+pub use ghd::Ghd;
+pub use soft::{soft_bags, SoftLimits};
+pub use td::{TdError, TreeDecomposition};

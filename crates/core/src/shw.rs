@@ -1,0 +1,118 @@
+//! Soft hypertree width (Definition 4): `shw(H)` is the least `k` such
+//! that a candidate tree decomposition for `Soft_{H,k}` exists.
+//!
+//! By Theorem 1 deciding `shw(H) ≤ k` for fixed `k` is polynomial (even
+//! LogCFL); this module combines the `Soft_{H,k}` generator with
+//! Algorithm 1. A witness "soft hypertree decomposition" is a CompNF tree
+//! decomposition all of whose bags are `Soft_{H,k}` elements; each bag is
+//! coverable by at most `k` edges (Theorem 2), so the result can always be
+//! upgraded to a GHD of width ≤ k via [`crate::ghd::Ghd::from_td`].
+
+use crate::ctd::candidate_td;
+use crate::soft::{soft_bags_with, LimitExceeded, SoftLimits};
+use crate::td::TreeDecomposition;
+use softhw_hypergraph::Hypergraph;
+
+/// Decides `shw(H) ≤ k`; on success returns a soft hypertree
+/// decomposition of width `k`.
+pub fn shw_leq(h: &Hypergraph, k: usize) -> Option<TreeDecomposition> {
+    shw_leq_with(h, k, &SoftLimits::default()).expect("default limits exceeded")
+}
+
+/// Like [`shw_leq`] but with explicit generation limits.
+pub fn shw_leq_with(
+    h: &Hypergraph,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+    let bags = soft_bags_with(h, k, limits)?;
+    Ok(candidate_td(h, &bags))
+}
+
+/// Computes `shw(H)` exactly: the least `k` admitting a soft HD, together
+/// with a witness decomposition.
+pub fn shw(h: &Hypergraph) -> (usize, TreeDecomposition) {
+    for k in 1..=h.num_edges().max(1) {
+        if let Some(td) = shw_leq(h, k) {
+            return (k, td);
+        }
+    }
+    unreachable!("shw(H) <= hw(H) <= |E(H)|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw;
+    use softhw_hypergraph::named;
+    use softhw_hypergraph::random::{random_hypergraph, RandomConfig};
+
+    #[test]
+    fn acyclic_has_shw_1() {
+        let mut b = softhw_hypergraph::HypergraphBuilder::new();
+        b.edge("e1", &["a", "b", "c"]);
+        b.edge("e2", &["c", "d"]);
+        let h = b.build();
+        let (w, td) = shw(&h);
+        assert_eq!(w, 1);
+        assert_eq!(td.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn h2_has_shw_2() {
+        // Example 1's headline: shw(H2) = 2 < hw(H2) = 3.
+        let h = named::h2();
+        assert!(shw_leq(&h, 1).is_none());
+        let td = shw_leq(&h, 2).expect("shw(H2) = 2");
+        assert_eq!(td.validate(&h), Ok(()));
+        assert!(td.is_comp_nf(&h));
+        // Every bag is coverable by <= 2 edges, yielding a width-2 GHD.
+        let ghd = crate::ghd::Ghd::from_td(&h, td, 2).unwrap();
+        assert!(ghd.validate(&h).is_ok());
+        assert_eq!(ghd.width(), 2);
+    }
+
+    #[test]
+    fn cycles_shw_2() {
+        for n in [4, 5, 6, 8] {
+            let h = named::cycle(n);
+            assert!(shw_leq(&h, 1).is_none(), "C{n}");
+            assert!(shw_leq(&h, 2).is_some(), "C{n}");
+        }
+    }
+
+    #[test]
+    fn shw_never_exceeds_hw_on_random_graphs() {
+        // Theorem 2: ghw <= shw <= hw. Randomised check of the right half.
+        for seed in 0..8 {
+            let h = random_hypergraph(
+                &RandomConfig {
+                    num_vertices: 7,
+                    num_edges: 7,
+                    min_arity: 2,
+                    max_arity: 3,
+                    connect: true,
+                },
+                seed,
+            );
+            let (hw_val, _) = hw::hw(&h);
+            let (shw_val, td) = shw(&h);
+            assert!(
+                shw_val <= hw_val,
+                "seed {seed}: shw {shw_val} > hw {hw_val}"
+            );
+            assert_eq!(td.validate(&h), Ok(()));
+        }
+    }
+
+    #[test]
+    fn soft_td_bags_have_small_covers() {
+        // Every Soft_{H,k} bag is a subset of a union of k edges
+        // (Theorem 2's ghw <= shw argument); check on the witness.
+        let h = named::h2();
+        let td = shw_leq(&h, 2).unwrap();
+        for bag in td.bags() {
+            assert!(crate::cover::find_cover(&h, bag, 2).is_some());
+        }
+    }
+}

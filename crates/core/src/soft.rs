@@ -1,0 +1,382 @@
+//! Generation of the candidate bag set `Soft_{H,k}` (Definition 3):
+//!
+//! ```text
+//! Soft_{H,k} = { (⋃λ1) ∩ (⋃C) | C a [λ2]-component of H,
+//!                               λ1, λ2 ⊆ E(H), |λ1| ≤ k, |λ2| ≤ k }
+//! ```
+//!
+//! The generator factors the definition into its two independent sides:
+//! the `W`-side (`⋃λ1`, all unions of up to `k` edges) and the `U`-side
+//! (`⋃C` over all `[λ2]`-components, λ2 ranging over up to `k` edges
+//! *including the empty set*, which yields `⋃C = V(H)` on connected
+//! hypergraphs). Both sides are deduplicated before taking pairwise
+//! intersections, which is what keeps the generator practical.
+
+use softhw_hypergraph::{BitSet, FxHashSet, Hypergraph};
+
+/// Guards against combinatorial blow-up of candidate-bag generation.
+#[derive(Clone, Debug)]
+pub struct SoftLimits {
+    /// Upper bound on the number of λ-subsets enumerated per side.
+    pub max_lambda_sets: usize,
+    /// Upper bound on the number of distinct candidate bags produced.
+    pub max_bags: usize,
+}
+
+impl Default for SoftLimits {
+    fn default() -> Self {
+        SoftLimits {
+            max_lambda_sets: 2_000_000,
+            max_bags: 1_000_000,
+        }
+    }
+}
+
+/// Error raised when [`SoftLimits`] are exceeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// Which guard tripped.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "soft bag generation limit exceeded: {}", self.what)
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+/// Enumerates all unions of between 1 and `k` sets drawn from `elements`,
+/// deduplicated. This is the `⋃λ1` side of Definition 3 (and, for the
+/// iterated variant of Definition 6, `elements` is `E^(i)`).
+pub fn lambda_unions(
+    universe: usize,
+    elements: &[BitSet],
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BitSet>, LimitExceeded> {
+    let mut seen: FxHashSet<BitSet> = FxHashSet::default();
+    let mut budget = limits.max_lambda_sets;
+    // DFS with a running union; prune branches whose union has already been
+    // produced *at the same remaining depth or deeper* is not sound in
+    // general, so we only dedupe final results.
+    fn rec(
+        elements: &[BitSet],
+        start: usize,
+        depth_left: usize,
+        current: &BitSet,
+        seen: &mut FxHashSet<BitSet>,
+        budget: &mut usize,
+    ) -> Result<(), LimitExceeded> {
+        for i in start..elements.len() {
+            if *budget == 0 {
+                return Err(LimitExceeded {
+                    what: "max_lambda_sets",
+                });
+            }
+            *budget -= 1;
+            let u = current.union(&elements[i]);
+            seen.insert(u.clone());
+            if depth_left > 1 {
+                rec(elements, i + 1, depth_left - 1, &u, seen, budget)?;
+            }
+        }
+        Ok(())
+    }
+    if k > 0 {
+        rec(
+            elements,
+            0,
+            k,
+            &BitSet::empty(universe),
+            &mut seen,
+            &mut budget,
+        )?;
+    }
+    let mut out: Vec<BitSet> = seen.into_iter().collect();
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Enumerates all distinct `⋃C` for `C` a `[λ2]`-component of `h`, with
+/// `λ2` ranging over the subsets of `E(H)` of size 0 to `k`.
+/// This is the `⋃C` side of Definition 3.
+pub fn component_unions(
+    h: &Hypergraph,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BitSet>, LimitExceeded> {
+    let mut seen: FxHashSet<BitSet> = FxHashSet::default();
+    let mut budget = limits.max_lambda_sets;
+    // λ2 = ∅ first.
+    for comp in h.edge_components(&h.empty_vertex_set()) {
+        seen.insert(h.union_of_edge_set(&comp));
+    }
+    fn rec(
+        h: &Hypergraph,
+        start: usize,
+        depth_left: usize,
+        sep: &BitSet,
+        seen: &mut FxHashSet<BitSet>,
+        budget: &mut usize,
+    ) -> Result<(), LimitExceeded> {
+        for e in start..h.num_edges() {
+            if *budget == 0 {
+                return Err(LimitExceeded {
+                    what: "max_lambda_sets",
+                });
+            }
+            *budget -= 1;
+            let s = sep.union(h.edge(e));
+            for comp in h.edge_components(&s) {
+                seen.insert(h.union_of_edge_set(&comp));
+            }
+            if depth_left > 1 {
+                rec(h, e + 1, depth_left - 1, &s, seen, budget)?;
+            }
+        }
+        Ok(())
+    }
+    if k > 0 {
+        rec(h, 0, k, &h.empty_vertex_set(), &mut seen, &mut budget)?;
+    }
+    let mut out: Vec<BitSet> = seen.into_iter().collect();
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Computes `Soft_{H,k}` with explicit guards, given a pre-computed
+/// `λ1`-element pool (for Definition 3 this is `E(H)` itself; the iterated
+/// hierarchy of Definition 6 passes `E^(i)`).
+pub fn soft_bags_from_elements(
+    h: &Hypergraph,
+    elements: &[BitSet],
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BitSet>, LimitExceeded> {
+    let w_side = lambda_unions(h.num_vertices(), elements, k, limits)?;
+    let u_side = component_unions(h, k, limits)?;
+    let mut seen: FxHashSet<BitSet> = FxHashSet::default();
+    for w in &w_side {
+        for u in &u_side {
+            let b = w.intersection(u);
+            if !b.is_empty() {
+                seen.insert(b);
+                if seen.len() > limits.max_bags {
+                    return Err(LimitExceeded { what: "max_bags" });
+                }
+            }
+        }
+    }
+    let mut out: Vec<BitSet> = seen.into_iter().collect();
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// `Soft_{H,k}` per Definition 3, with default limits. Panics if the
+/// default limits are exceeded; use [`soft_bags_with`] for explicit
+/// handling.
+pub fn soft_bags(h: &Hypergraph, k: usize) -> Vec<BitSet> {
+    soft_bags_with(h, k, &SoftLimits::default()).expect("Soft_{H,k} generation exceeded limits")
+}
+
+/// The *cover bags*: the distinct unions `⋃λ` of 1..k edges — the
+/// candidate set the paper's prototype enumerates ("the possible covers,
+/// i.e., hypertree nodes", Appendix C.1), whose sizes are what Table 1
+/// reports as `|Soft_{H,k}|`. This is the subset of `Soft_{H,k}`
+/// obtained with `λ2 = ∅` on connected hypergraphs.
+///
+/// With `drop_edge_subsumed`, bags strictly contained in a single edge of
+/// `H` are removed (the prototype's treatment of subsumed atoms such as
+/// `customer_address` in `q_ds`).
+pub fn cover_bags(h: &Hypergraph, k: usize, drop_edge_subsumed: bool) -> Vec<BitSet> {
+    let mut bags = lambda_unions(h.num_vertices(), h.edges(), k, &SoftLimits::default())
+        .expect("cover bag generation exceeded limits");
+    if drop_edge_subsumed {
+        bags.retain(|b| {
+            !h.edges()
+                .iter()
+                .any(|e| b.is_subset(e) && b != e)
+        });
+    }
+    bags
+}
+
+/// `Soft_{H,k}` per Definition 3 with explicit limits.
+pub fn soft_bags_with(
+    h: &Hypergraph,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BitSet>, LimitExceeded> {
+    soft_bags_from_elements(h, h.edges(), k, limits)
+}
+
+/// Checks whether `bag ∈ Soft_{H,k}` and returns a witness
+/// `(λ1, λ2, component-vertex-union)` when it is. This is a *search over
+/// the same space* as the generator but short-circuits on the target bag,
+/// so it works on hypergraphs where full generation would be too big.
+pub fn soft_witness(
+    h: &Hypergraph,
+    k: usize,
+    bag: &BitSet,
+    limits: &SoftLimits,
+) -> Option<(Vec<usize>, BitSet)> {
+    let u_side = component_unions(h, k, limits).ok()?;
+    // For each ⋃C ⊇ bag, find ≤ k edges whose union intersected with ⋃C is
+    // exactly `bag`: each chosen edge e must have e ∩ ⋃C ⊆ bag, and the
+    // chosen edges must cover `bag`.
+    for u in &u_side {
+        if !bag.is_subset(u) {
+            continue;
+        }
+        let candidates: Vec<usize> = (0..h.num_edges())
+            .filter(|&e| {
+                let inside = h.edge(e).intersection(u);
+                !inside.is_empty() && inside.is_subset(bag) && inside.intersects(bag)
+            })
+            .collect();
+        if let Some(lambda1) = cover_exactly(h, bag, &candidates, k) {
+            return Some((lambda1, u.clone()));
+        }
+    }
+    None
+}
+
+/// Set-cover of `bag` with at most `k` edges drawn from `candidates`
+/// (whose intersections with the relevant region are already known to be
+/// within `bag`).
+fn cover_exactly(
+    h: &Hypergraph,
+    bag: &BitSet,
+    candidates: &[usize],
+    k: usize,
+) -> Option<Vec<usize>> {
+    fn rec(
+        h: &Hypergraph,
+        uncovered: &BitSet,
+        candidates: &[usize],
+        k: usize,
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        let Some(pivot) = uncovered.first() else {
+            return true;
+        };
+        if k == 0 {
+            return false;
+        }
+        for &e in candidates {
+            if h.edge(e).contains(pivot) && !chosen.contains(&e) {
+                let rest = uncovered.difference(h.edge(e));
+                chosen.push(e);
+                if rec(h, &rest, candidates, k - 1, chosen) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+    let mut chosen = Vec::with_capacity(k);
+    if rec(h, bag, candidates, k, &mut chosen) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softhw_hypergraph::named;
+
+    #[test]
+    fn soft_contains_all_small_unions() {
+        // Every union of up to k edges is in Soft_{H,k} (λ2 = ∅ gives
+        // ⋃C = V on connected H).
+        let h = named::cycle(5);
+        let bags = soft_bags(&h, 2);
+        for e1 in 0..h.num_edges() {
+            for e2 in 0..h.num_edges() {
+                let u = h.union_of_edges([e1, e2]);
+                assert!(bags.contains(&u), "missing union of edges {e1},{e2}");
+            }
+        }
+    }
+
+    #[test]
+    fn example1_bags_present() {
+        // The four bags of the Figure 1b soft HD of H2 are in Soft_{H2,2}.
+        let h = named::h2();
+        let bags = soft_bags(&h, 2);
+        for target in [
+            h.vset(&["2", "6", "7", "a", "b"]),
+            h.vset(&["2", "5", "6", "a", "b"]),
+            h.vset(&["2", "3", "4", "5", "a", "b"]),
+            h.vset(&["1", "2", "7", "8", "a", "b"]),
+        ] {
+            assert!(
+                bags.contains(&target),
+                "missing bag {}",
+                h.render_vertex_set(&target)
+            );
+        }
+    }
+
+    #[test]
+    fn example1_witness_found() {
+        // The paper derives {2,6,7,a,b} via λ2 = {{3,4},{2,3,b}} and
+        // λ1 = {{2,3,b},{6,7,a}}; our witness search must find *some*
+        // witness.
+        let h = named::h2();
+        let bag = h.vset(&["2", "6", "7", "a", "b"]);
+        let (lambda1, u) = soft_witness(&h, 2, &bag, &SoftLimits::default()).expect("witness");
+        assert!(lambda1.len() <= 2);
+        // witness reconstructs the bag
+        let mut w = h.union_of_edges(lambda1);
+        w.intersect_with(&u);
+        assert_eq!(w, bag);
+    }
+
+    #[test]
+    fn non_member_rejected() {
+        let h = named::h2();
+        // {1, 5} is not a bag of Soft_{H2,1}: no single edge contains both.
+        let bag = h.vset(&["1", "5"]);
+        assert!(soft_witness(&h, 1, &bag, &SoftLimits::default()).is_none());
+    }
+
+    #[test]
+    fn witness_agrees_with_generator_on_small_graphs() {
+        let h = named::cycle(6);
+        let bags = soft_bags(&h, 2);
+        let limits = SoftLimits::default();
+        for bag in &bags {
+            assert!(
+                soft_witness(&h, 2, bag, &limits).is_some(),
+                "generator produced a bag the witness search rejects: {bag:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let h = named::h2();
+        let limits = SoftLimits {
+            max_lambda_sets: 3,
+            max_bags: 1_000,
+        };
+        assert!(soft_bags_with(&h, 3, &limits).is_err());
+    }
+
+    #[test]
+    fn soft_monotone_in_k() {
+        let h = named::h2();
+        let s1 = soft_bags(&h, 1);
+        let s2 = soft_bags(&h, 2);
+        for b in &s1 {
+            assert!(s2.contains(b));
+        }
+        assert!(s2.len() > s1.len());
+    }
+}

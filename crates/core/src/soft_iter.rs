@@ -1,0 +1,355 @@
+//! The iterated soft hierarchy of Section 5 (Definition 6):
+//!
+//! ```text
+//! E^(0)   = E(H)                Soft^0_{H,k} = Soft_{H,k}
+//! E^(i+1) = E^(i) ⋂× Soft^i     Soft^i_{H,k} = { (⋃λ1) ∩ (⋃C) }
+//! ```
+//!
+//! with `λ1` drawn from `E^(i)` and `λ2` (which induces the component `C`)
+//! still drawn from `E(H)`. The associated width measures `shw_i`
+//! interpolate between `shw = shw_0` and `ghw = shw_∞` (Theorem 7); by
+//! Lemma 6 the hierarchy reaches its fixpoint after at most `3n` steps.
+//!
+//! Materialising `Soft^i` is exponential-ish in practice (the `λ1` side
+//! ranges over subsets of `E^(i)`, which grows by intersections), so all
+//! entry points take [`SoftLimits`]. For hypergraphs too large to
+//! materialise — e.g. `H'3` of Example 2 — [`soft_i_witness`] offers a
+//! *membership check with witness* that only materialises `E^(i)`.
+
+use crate::ctd::candidate_td;
+use crate::soft::{self, LimitExceeded, SoftLimits};
+use crate::td::TreeDecomposition;
+use softhw_hypergraph::{BitSet, FxHashSet, Hypergraph};
+
+/// Lazily computed levels of the `E^(i)` / `Soft^i_{H,k}` hierarchy.
+pub struct SoftHierarchy<'h> {
+    h: &'h Hypergraph,
+    k: usize,
+    limits: SoftLimits,
+    /// `subedges[i]` = `E^(i)` (sorted, deduplicated).
+    subedges: Vec<Vec<BitSet>>,
+    /// `bags[i]` = `Soft^i_{H,k}` (sorted, deduplicated).
+    bags: Vec<Vec<BitSet>>,
+}
+
+impl<'h> SoftHierarchy<'h> {
+    /// Creates an empty hierarchy for `H` and width bound `k`.
+    pub fn new(h: &'h Hypergraph, k: usize, limits: SoftLimits) -> Self {
+        SoftHierarchy {
+            h,
+            k,
+            limits,
+            subedges: Vec::new(),
+            bags: Vec::new(),
+        }
+    }
+
+    /// The width parameter `k` of this hierarchy.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Ensures levels `0..=i` are materialised; returns `Soft^i_{H,k}`.
+    pub fn soft_level(&mut self, i: usize) -> Result<&[BitSet], LimitExceeded> {
+        self.ensure(i)?;
+        Ok(&self.bags[i])
+    }
+
+    /// Ensures `E^(i)` is materialised (this requires `Soft^(i-1)` for
+    /// `i > 0`); returns it.
+    pub fn subedge_level(&mut self, i: usize) -> Result<&[BitSet], LimitExceeded> {
+        if i == 0 {
+            if self.subedges.is_empty() {
+                let mut e0: FxHashSet<BitSet> = FxHashSet::default();
+                e0.extend(self.h.edges().iter().cloned());
+                let mut v: Vec<BitSet> = e0.into_iter().collect();
+                v.sort_unstable();
+                self.subedges.push(v);
+            }
+            return Ok(&self.subedges[0]);
+        }
+        self.ensure(i - 1)?;
+        while self.subedges.len() <= i {
+            let lvl = self.subedges.len();
+            let prev_sub = &self.subedges[lvl - 1];
+            let prev_bags = &self.bags[lvl - 1];
+            let mut next: FxHashSet<BitSet> = FxHashSet::default();
+            for e in prev_sub {
+                for b in prev_bags {
+                    let x = e.intersection(b);
+                    if !x.is_empty() {
+                        next.insert(x);
+                        if next.len() > self.limits.max_bags {
+                            return Err(LimitExceeded {
+                                what: "max_bags (subedge level)",
+                            });
+                        }
+                    }
+                }
+            }
+            let mut v: Vec<BitSet> = next.into_iter().collect();
+            v.sort_unstable();
+            self.subedges.push(v);
+        }
+        Ok(&self.subedges[i])
+    }
+
+    fn ensure(&mut self, i: usize) -> Result<(), LimitExceeded> {
+        while self.bags.len() <= i {
+            let lvl = self.bags.len();
+            self.subedge_level(lvl)?;
+            let bags =
+                soft::soft_bags_from_elements(self.h, &self.subedges[lvl], self.k, &self.limits)?;
+            self.bags.push(bags);
+        }
+        Ok(())
+    }
+
+    /// Iterates until `Soft^{i+1} = Soft^i` (Lemma 6 guarantees
+    /// convergence within `3·max(|V|,|E|)` steps) or `max_iters` levels.
+    /// Returns the fixpoint level.
+    pub fn fixpoint(&mut self, max_iters: usize) -> Result<usize, LimitExceeded> {
+        let bound = max_iters.min(3 * self.h.num_vertices().max(self.h.num_edges()) + 1);
+        let mut i = 0;
+        loop {
+            self.ensure(i + 1)?;
+            if self.bags[i] == self.bags[i + 1] {
+                return Ok(i);
+            }
+            i += 1;
+            if i >= bound {
+                return Ok(i); // conservative: caller sees the last level
+            }
+        }
+    }
+}
+
+/// Decides `shw_i(H) ≤ k` (soft hypertree width of order `i`); returns a
+/// witness CTD over `Soft^i_{H,k}` on success.
+pub fn shw_i_leq(
+    h: &Hypergraph,
+    k: usize,
+    i: usize,
+    limits: &SoftLimits,
+) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+    let mut hier = SoftHierarchy::new(h, k, limits.clone());
+    let bags = hier.soft_level(i)?.to_vec();
+    Ok(candidate_td(h, &bags))
+}
+
+/// Computes `shw_i(H)` exactly (least `k` with `shw_i(H) ≤ k`).
+pub fn shw_i(h: &Hypergraph, i: usize, limits: &SoftLimits) -> Result<usize, LimitExceeded> {
+    for k in 1..=h.num_edges().max(1) {
+        if shw_i_leq(h, k, i, limits)?.is_some() {
+            return Ok(k);
+        }
+    }
+    unreachable!("shw_i(H) <= hw(H) <= |E(H)|")
+}
+
+/// Decides `ghw(H) ≤ k` via the fixpoint of the soft hierarchy
+/// (Theorem 7: `shw_∞ = ghw`). Exponential-ish; intended for small
+/// hypergraphs (tests, the `hierarchy` experiment binary).
+pub fn ghw_leq_via_fixpoint(
+    h: &Hypergraph,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+    let mut hier = SoftHierarchy::new(h, k, limits.clone());
+    let lvl = hier.fixpoint(usize::MAX)?;
+    let bags = hier.soft_level(lvl)?.to_vec();
+    Ok(candidate_td(h, &bags))
+}
+
+/// Computes `ghw(H)` exactly via the fixpoint characterisation.
+pub fn ghw(h: &Hypergraph, limits: &SoftLimits) -> Result<usize, LimitExceeded> {
+    for k in 1..=h.num_edges().max(1) {
+        if ghw_leq_via_fixpoint(h, k, limits)?.is_some() {
+            return Ok(k);
+        }
+    }
+    unreachable!("ghw(H) <= |E(H)|")
+}
+
+/// A witness for `bag ∈ Soft^i_{H,k}`: the chosen `λ1 ⊆ E^(i)` (by value,
+/// since `E^(i)` elements are subedges without stable ids) and the
+/// component union `⋃C` of the `[λ2]`-component side.
+#[derive(Clone, Debug)]
+pub struct SoftIWitness {
+    /// The subedges forming `λ1`.
+    pub lambda1: Vec<BitSet>,
+    /// `⋃C` for the witnessing `[λ2]`-component `C`.
+    pub component_union: BitSet,
+}
+
+/// Membership check `bag ∈ Soft^i_{H,k}` that materialises only `E^(i)`
+/// and the component-union side — usable on hypergraphs where the full
+/// `Soft^i` would be too large (e.g. `H'3` at `i = 1`).
+pub fn soft_i_witness(
+    h: &Hypergraph,
+    k: usize,
+    i: usize,
+    bag: &BitSet,
+    limits: &SoftLimits,
+) -> Result<Option<SoftIWitness>, LimitExceeded> {
+    let mut hier = SoftHierarchy::new(h, k, limits.clone());
+    let subedges = hier.subedge_level(i)?.to_vec();
+    let u_side = soft::component_unions(h, k, limits)?;
+    for u in &u_side {
+        if !bag.is_subset(u) {
+            continue;
+        }
+        // Candidates: subedges whose inside-U part sits within the bag.
+        // Only the inside-U projection matters for the intersection with
+        // ⋃C, so deduplicate by projection and keep maximal ones.
+        let mut projections: Vec<(BitSet, BitSet)> = Vec::new(); // (proj, witness subedge)
+        for e in &subedges {
+            let inside = e.intersection(u);
+            if inside.is_empty() || !inside.is_subset(bag) {
+                continue;
+            }
+            if projections.iter().any(|(p, _)| inside.is_subset(p)) {
+                continue;
+            }
+            projections.retain(|(p, _)| !p.is_subset(&inside));
+            projections.push((inside, e.clone()));
+        }
+        if let Some(choice) = cover_with(bag, &projections, k) {
+            return Ok(Some(SoftIWitness {
+                lambda1: choice,
+                component_union: u.clone(),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Set-cover of `bag` by at most `k` projections; returns the witness
+/// subedges.
+fn cover_with(bag: &BitSet, cands: &[(BitSet, BitSet)], k: usize) -> Option<Vec<BitSet>> {
+    fn rec(
+        uncovered: &BitSet,
+        cands: &[(BitSet, BitSet)],
+        k: usize,
+        chosen: &mut Vec<BitSet>,
+    ) -> bool {
+        let Some(pivot) = uncovered.first() else {
+            return true;
+        };
+        if k == 0 {
+            return false;
+        }
+        for (proj, witness) in cands {
+            if proj.contains(pivot) {
+                let rest = uncovered.difference(proj);
+                chosen.push(witness.clone());
+                if rec(&rest, cands, k - 1, chosen) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+    let mut chosen = Vec::with_capacity(k);
+    if rec(bag, cands, k, &mut chosen) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softhw_hypergraph::named;
+
+    fn limits() -> SoftLimits {
+        SoftLimits::default()
+    }
+
+    #[test]
+    fn lemma3_monotonicity_on_h2() {
+        // E^(i) ⊆ E^(i+1) ⊆ Soft^i and Soft^i ⊆ Soft^{i+1} (Lemma 3).
+        let h = named::h2();
+        let mut hier = SoftHierarchy::new(&h, 2, limits());
+        let e0 = hier.subedge_level(0).unwrap().to_vec();
+        let e1 = hier.subedge_level(1).unwrap().to_vec();
+        let s0 = hier.soft_level(0).unwrap().to_vec();
+        let s1 = hier.soft_level(1).unwrap().to_vec();
+        for e in &e0 {
+            assert!(e1.contains(e), "E0 ⊆ E1");
+        }
+        for e in &e1 {
+            assert!(s1.contains(e), "E1 ⊆ Soft1");
+        }
+        for b in &s0 {
+            assert!(s1.contains(b), "Soft0 ⊆ Soft1");
+        }
+    }
+
+    #[test]
+    fn level_zero_matches_definition_3() {
+        let h = named::h2();
+        let mut hier = SoftHierarchy::new(&h, 2, limits());
+        let s0 = hier.soft_level(0).unwrap().to_vec();
+        let direct = crate::soft::soft_bags(&h, 2);
+        assert_eq!(s0, direct);
+    }
+
+    #[test]
+    fn fixpoint_reaches_ghw_on_h2() {
+        // ghw(H2) = 2 (Example 1); fixpoint of Soft^i at k=2 must accept,
+        // and at k=1 must reject.
+        let h = named::h2();
+        assert!(ghw_leq_via_fixpoint(&h, 2, &limits()).unwrap().is_some());
+        assert!(ghw_leq_via_fixpoint(&h, 1, &limits()).unwrap().is_none());
+        assert_eq!(ghw(&h, &limits()).unwrap(), 2);
+    }
+
+    #[test]
+    fn shw_i_between_ghw_and_shw() {
+        let h = named::h2();
+        let s0 = shw_i(&h, 0, &limits()).unwrap();
+        let s1 = shw_i(&h, 1, &limits()).unwrap();
+        let g = ghw(&h, &limits()).unwrap();
+        assert!(g <= s1 && s1 <= s0, "ghw {g} <= shw1 {s1} <= shw0 {s0}");
+        assert_eq!(s0, 2); // Example 1
+    }
+
+    #[test]
+    fn witness_matches_materialised_membership() {
+        let h = named::cycle(5);
+        let mut hier = SoftHierarchy::new(&h, 2, limits());
+        let s1 = hier.soft_level(1).unwrap().to_vec();
+        for bag in s1.iter().take(40) {
+            let w = soft_i_witness(&h, 2, 1, bag, &limits()).unwrap();
+            assert!(w.is_some(), "bag {bag:?} must have a level-1 witness");
+            let w = w.unwrap();
+            let mut union = h.empty_vertex_set();
+            for e in &w.lambda1 {
+                union.union_with(e);
+            }
+            union.intersect_with(&w.component_union);
+            assert_eq!(&union, bag, "witness must reconstruct the bag");
+            assert!(w.lambda1.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn witness_rejects_non_members() {
+        let h = named::h2();
+        // {1,5} is in no Soft^0 or Soft^1 bag at k=1: 1 and 5 never share
+        // an edge and subedge intersections only shrink edges.
+        let bag = h.vset(&["1", "5"]);
+        assert!(soft_i_witness(&h, 1, 1, &bag, &limits()).unwrap().is_none());
+    }
+
+    #[test]
+    fn fixpoint_terminates_quickly_on_small_graphs() {
+        let h = named::cycle(4);
+        let mut hier = SoftHierarchy::new(&h, 2, limits());
+        let lvl = hier.fixpoint(usize::MAX).unwrap();
+        assert!(lvl <= 3 * 4 + 1);
+    }
+}

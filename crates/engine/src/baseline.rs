@@ -1,0 +1,106 @@
+//! The "standard relational DBMS execution" baseline of Section 7: a
+//! greedy cost-based binary-join planner (System-R-lite: smallest-first,
+//! prefer connected, pick by estimated intermediate size) executed with
+//! materialising hash joins. Estimation errors on cyclic/skewed queries
+//! translate into bad join orders and large intermediates — exactly the
+//! behaviour the paper's PostgreSQL baseline exhibits.
+
+use crate::estimate::greedy_order;
+use crate::relation::{Relation, VarId};
+use crate::yannakakis::EvalStats;
+
+/// Result of a baseline execution.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The final (projected, distinct) answer relation.
+    pub answer: Relation,
+    /// Logical work counters.
+    pub stats: EvalStats,
+    /// Join order chosen by the planner (indices into the input atoms).
+    pub order: Vec<usize>,
+}
+
+/// Plans and executes the join of `atoms` with a greedy left-deep binary
+/// plan, projecting the result to `output`.
+///
+/// `intermediate_cap` aborts runaway executions (returns `None`) — the
+/// analogue of a query timeout in the paper's experiments.
+pub fn run_baseline(
+    atoms: &[Relation],
+    output: &[VarId],
+    intermediate_cap: u64,
+) -> Option<BaselineResult> {
+    assert!(!atoms.is_empty());
+    let refs: Vec<&Relation> = atoms.iter().collect();
+    let order = greedy_order(&refs);
+    let mut stats = EvalStats::default();
+    let mut acc = atoms[order[0]].clone();
+    for &i in &order[1..] {
+        acc = acc.natural_join(&atoms[i]);
+        stats.tuples_materialised += acc.len() as u64;
+        if stats.tuples_materialised > intermediate_cap {
+            return None;
+        }
+    }
+    let answer = acc.project(output).distinct();
+    Some(BaselineResult {
+        answer,
+        stats,
+        order,
+    })
+}
+
+/// MIN aggregate via the baseline plan.
+pub fn baseline_min(
+    atoms: &[Relation],
+    var: VarId,
+    intermediate_cap: u64,
+) -> Option<(Option<u64>, EvalStats)> {
+    let res = run_baseline(atoms, &[var], intermediate_cap)?;
+    Some((res.answer.min_of(var), res.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[VarId], rows: &[&[u64]]) -> Relation {
+        Relation::from_rows(schema.to_vec(), rows.iter().map(|r| r.to_vec()))
+    }
+
+    #[test]
+    fn baseline_computes_correct_join() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let s = rel(&[1, 2], &[&[10, 5], &[20, 6]]);
+        let t = rel(&[2, 3], &[&[5, 100], &[6, 200]]);
+        let res = run_baseline(&[r, s, t], &[0, 3], u64::MAX).expect("fits");
+        let mut rows: Vec<Vec<u64>> = res.answer.rows().map(|r| r.to_vec()).collect();
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 100], vec![2, 200]]);
+    }
+
+    #[test]
+    fn baseline_min_matches() {
+        let r = rel(&[0, 1], &[&[9, 10], &[2, 20]]);
+        let s = rel(&[1], &[&[10], &[20]]);
+        let (m, stats) = baseline_min(&[r, s], 0, u64::MAX).expect("fits");
+        assert_eq!(m, Some(2));
+        assert!(stats.tuples_materialised > 0);
+    }
+
+    #[test]
+    fn cap_aborts_blowups() {
+        // Cartesian-ish blowup: two skewed relations.
+        let r = Relation::from_rows(vec![0, 1], (0..300u64).map(|i| vec![i, 7]));
+        let s = Relation::from_rows(vec![2, 1], (0..300u64).map(|i| vec![i, 7]));
+        assert!(run_baseline(&[r, s], &[0], 1_000).is_none());
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let r = rel(&[0, 1], &[]);
+        let s = rel(&[1, 2], &[&[1, 2]]);
+        let res = run_baseline(&[r, s], &[0], u64::MAX).unwrap();
+        assert!(res.answer.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Named base tables with per-column statistics — the catalog layer the
+//! query frontend binds SQL table/column names against.
+
+use crate::relation::Relation;
+use softhw_hypergraph::{FxHashMap, FxHashSet};
+
+/// A base table: named columns over `u64` rows, plus the statistics a
+/// DBMS keeps per table (cardinality, per-column distinct counts) and
+/// primary-key metadata (used by the actual-cardinality cost function's
+/// `ReduceAttrs`, Appendix C.2.2).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Column names, in storage order.
+    pub columns: Vec<String>,
+    /// Row-major data.
+    rows: Vec<u64>,
+    /// Index of the primary-key column, if any.
+    pub pk: Option<usize>,
+    /// Per-column distinct counts (computed by [`Table::finalize`]).
+    distinct: Vec<u64>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, columns: &[&str], pk: Option<&str>) -> Self {
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        let pk = pk.map(|p| {
+            columns
+                .iter()
+                .position(|c| c == p)
+                .unwrap_or_else(|| panic!("pk column {p} not in table {name}"))
+        });
+        Table {
+            name: name.to_string(),
+            columns,
+            rows: Vec::new(),
+            pk,
+            distinct: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn push_row(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.columns.len());
+        self.rows.extend_from_slice(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.columns.is_empty() {
+            0
+        } else {
+            self.rows.len() / self.columns.len()
+        }
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Computes per-column statistics (the analogue of `ANALYZE`).
+    pub fn finalize(&mut self) {
+        let n = self.columns.len();
+        let mut sets: Vec<FxHashSet<u64>> = vec![FxHashSet::default(); n];
+        for row in self.rows.chunks_exact(n.max(1)) {
+            for (c, set) in sets.iter_mut().enumerate() {
+                set.insert(row[c]);
+            }
+        }
+        self.distinct = sets.iter().map(|s| s.len() as u64).collect();
+    }
+
+    /// Distinct count of a column (requires [`Table::finalize`]).
+    pub fn distinct_count(&self, col: usize) -> u64 {
+        *self.distinct.get(col).unwrap_or(&0)
+    }
+
+    /// Extracts some columns of this table as a [`Relation`] labelled with
+    /// the given variable ids (one per selected column).
+    pub fn as_relation(&self, cols: &[usize], vars: &[crate::relation::VarId]) -> Relation {
+        assert_eq!(cols.len(), vars.len());
+        let n = self.columns.len();
+        let mut out = Relation::new(vars.to_vec());
+        let mut buf = Vec::with_capacity(cols.len());
+        for row in self.rows.chunks_exact(n.max(1)) {
+            buf.clear();
+            buf.extend(cols.iter().map(|&c| row[c]));
+            out.push_row(&buf);
+        }
+        out
+    }
+}
+
+/// A database: named tables.
+#[derive(Default, Clone, Debug)]
+pub struct Database {
+    tables: FxHashMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds (or replaces) a table; finalizes its statistics.
+    pub fn add_table(&mut self, mut t: Table) {
+        t.finalize();
+        self.tables.insert(t.name.clone(), t);
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// All table names (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("r", &["a", "b"], Some("a"));
+        t.push_row(&[1, 10]);
+        t.push_row(&[2, 10]);
+        t.push_row(&[3, 20]);
+        t.finalize();
+        t
+    }
+
+    #[test]
+    fn table_stats() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.distinct_count(0), 3);
+        assert_eq!(t.distinct_count(1), 2);
+        assert_eq!(t.pk, Some(0));
+    }
+
+    #[test]
+    fn as_relation_selects_columns() {
+        let t = sample();
+        let r = t.as_relation(&[1, 0], &[7, 8]);
+        assert_eq!(r.schema(), &[7, 8]);
+        assert_eq!(r.row(0), &[10, 1]);
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let mut db = Database::new();
+        db.add_table(sample());
+        assert!(db.table("r").is_some());
+        assert!(db.table("missing").is_none());
+        assert_eq!(db.table("r").unwrap().distinct_count(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pk column")]
+    fn bad_pk_panics() {
+        Table::new("r", &["a"], Some("zzz"));
+    }
+}

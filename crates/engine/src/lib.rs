@@ -1,0 +1,23 @@
+//! # softhw-engine
+//!
+//! The in-memory relational engine substrate for the paper's experiments
+//! (Section 7, Appendices C–D): relations over `u64` values with hash
+//! join / semijoin / projection / aggregation, a catalog with per-table
+//! statistics, Yannakakis' algorithm over join trees, a System-R style
+//! estimator standing in for PostgreSQL's `EXPLAIN` costs (cost function
+//! C.2.1), the actual-cardinality cost formulas (C.2.2), and the greedy
+//! binary-join baseline executor standing in for "standard execution in a
+//! relational DBMS".
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod database;
+pub mod estimate;
+pub mod relation;
+pub mod truecost;
+pub mod yannakakis;
+
+pub use database::{Database, Table};
+pub use relation::{Relation, VarId};
+pub use yannakakis::{EvalStats, JoinTree};

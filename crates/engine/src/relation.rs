@@ -1,0 +1,366 @@
+//! In-memory relations over `u64` values with variable-labelled schemas.
+//!
+//! A [`Relation`] is a bag of rows; its schema is a list of *variable
+//! ids*. Variables are the equivalence classes of columns under the
+//! query's equality predicates (assigned by the query frontend), so two
+//! relations sharing a variable join naturally on it. All operators are
+//! hash-based and materialising, which is exactly what makes decomposition
+//! quality visible: a Cartesian bag cover or a bad join order materialises
+//! its blow-up.
+
+use softhw_hypergraph::FxHashMap;
+use std::fmt;
+
+/// Variable identifier (column equivalence class within one query).
+pub type VarId = u32;
+
+/// A materialised relation: row-major `u64` tuples under a variable
+/// schema. Schemas list each variable at most once.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Vec<VarId>,
+    tuples: Vec<u64>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Vec<VarId>) -> Self {
+        debug_assert!(
+            {
+                let mut s = schema.clone();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1])
+            },
+            "schema variables must be distinct"
+        );
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from rows (each of schema arity).
+    pub fn from_rows(schema: Vec<VarId>, rows: impl IntoIterator<Item = Vec<u64>>) -> Self {
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.push_row(&row);
+        }
+        r
+    }
+
+    /// The schema (variable per column).
+    #[inline]
+    pub fn schema(&self) -> &[VarId] {
+        &self.schema
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.schema.is_empty() {
+            // 0-ary relation: distinguish the empty relation from the
+            // single empty tuple via the tuples sentinel length.
+            self.tuples.len()
+        } else {
+            self.tuples.len() / self.schema.len()
+        }
+    }
+
+    /// True iff the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: &[u64]) {
+        debug_assert_eq!(row.len(), self.arity());
+        if self.schema.is_empty() {
+            self.tuples.push(1); // sentinel: count of empty tuples
+        } else {
+            self.tuples.extend_from_slice(row);
+        }
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        let a = self.arity();
+        &self.tuples[i * a..(i + 1) * a]
+    }
+
+    /// Iterates rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        let a = self.arity().max(1);
+        self.tuples.chunks_exact(a).take(self.len())
+    }
+
+    /// Position of variable `v` in the schema.
+    #[inline]
+    pub fn position(&self, v: VarId) -> Option<usize> {
+        self.schema.iter().position(|&x| x == v)
+    }
+
+    /// Number of distinct values of variable `v` (exact; used as the
+    /// per-relation statistic the estimator builds on).
+    pub fn distinct_count(&self, v: VarId) -> usize {
+        let Some(pos) = self.position(v) else {
+            return 0;
+        };
+        let mut set: softhw_hypergraph::FxHashSet<u64> = softhw_hypergraph::FxHashSet::default();
+        for r in self.rows() {
+            set.insert(r[pos]);
+        }
+        set.len()
+    }
+
+    /// True iff variable `v` is a key of this relation (all values
+    /// distinct).
+    pub fn is_key(&self, v: VarId) -> bool {
+        self.position(v).is_some() && self.distinct_count(v) == self.len()
+    }
+
+    /// Projection onto `vars` (must be a sub-schema), keeping duplicates.
+    pub fn project(&self, vars: &[VarId]) -> Relation {
+        let idx: Vec<usize> = vars
+            .iter()
+            .map(|&v| self.position(v).expect("projection var in schema"))
+            .collect();
+        let mut out = Relation::new(vars.to_vec());
+        let mut row = Vec::with_capacity(vars.len());
+        for r in self.rows() {
+            row.clear();
+            row.extend(idx.iter().map(|&i| r[i]));
+            out.push_row(&row);
+        }
+        out
+    }
+
+    /// Removes duplicate rows.
+    pub fn distinct(&self) -> Relation {
+        let mut seen: softhw_hypergraph::FxHashSet<Vec<u64>> =
+            softhw_hypergraph::FxHashSet::default();
+        let mut out = Relation::new(self.schema.clone());
+        for r in self.rows() {
+            if seen.insert(r.to_vec()) {
+                out.push_row(r);
+            }
+        }
+        out
+    }
+
+    /// Selection `v = value`.
+    pub fn select_eq(&self, v: VarId, value: u64) -> Relation {
+        let pos = self.position(v).expect("selection var in schema");
+        let mut out = Relation::new(self.schema.clone());
+        for r in self.rows() {
+            if r[pos] == value {
+                out.push_row(r);
+            }
+        }
+        out
+    }
+
+    /// Natural join on shared variables. With no shared variables this is
+    /// the Cartesian product (deliberately: width-k bags without connected
+    /// covers pay exactly this).
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        let shared: Vec<VarId> = self
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| other.position(*v).is_some())
+            .collect();
+        let self_pos: Vec<usize> = shared
+            .iter()
+            .map(|&v| self.position(v).expect("shared"))
+            .collect();
+        let other_pos: Vec<usize> = shared
+            .iter()
+            .map(|&v| other.position(v).expect("shared"))
+            .collect();
+        let extra: Vec<VarId> = other
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| self.position(*v).is_none())
+            .collect();
+        let extra_pos: Vec<usize> = extra
+            .iter()
+            .map(|&v| other.position(v).expect("extra"))
+            .collect();
+        let mut out_schema = self.schema.clone();
+        out_schema.extend_from_slice(&extra);
+        let mut out = Relation::new(out_schema);
+        // Build on the smaller side for cache friendliness; for clarity we
+        // always build on `other`.
+        let mut index: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+        for (i, r) in other.rows().enumerate() {
+            let key: Vec<u64> = other_pos.iter().map(|&p| r[p]).collect();
+            index.entry(key).or_default().push(i);
+        }
+        let mut row: Vec<u64> = Vec::with_capacity(out.arity());
+        let mut key: Vec<u64> = Vec::with_capacity(shared.len());
+        for r in self.rows() {
+            key.clear();
+            key.extend(self_pos.iter().map(|&p| r[p]));
+            if let Some(matches) = index.get(&key) {
+                for &j in matches {
+                    let o = other.row(j);
+                    row.clear();
+                    row.extend_from_slice(r);
+                    row.extend(extra_pos.iter().map(|&p| o[p]));
+                    out.push_row(&row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Semijoin `self ⋉ other`: rows of `self` with a match in `other` on
+    /// shared variables. With no shared variables, returns `self` if
+    /// `other` is non-empty and the empty relation otherwise.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let shared: Vec<VarId> = self
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| other.position(*v).is_some())
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                Relation::new(self.schema.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let self_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
+        let other_pos: Vec<usize> = shared
+            .iter()
+            .map(|&v| other.position(v).unwrap())
+            .collect();
+        let mut keys: softhw_hypergraph::FxHashSet<Vec<u64>> =
+            softhw_hypergraph::FxHashSet::default();
+        for r in other.rows() {
+            keys.insert(other_pos.iter().map(|&p| r[p]).collect());
+        }
+        let mut out = Relation::new(self.schema.clone());
+        let mut key: Vec<u64> = Vec::with_capacity(shared.len());
+        for r in self.rows() {
+            key.clear();
+            key.extend(self_pos.iter().map(|&p| r[p]));
+            if keys.contains(&key) {
+                out.push_row(r);
+            }
+        }
+        out
+    }
+
+    /// Minimum value of variable `v` over all rows.
+    pub fn min_of(&self, v: VarId) -> Option<u64> {
+        let pos = self.position(v)?;
+        self.rows().map(|r| r[pos]).min()
+    }
+
+    /// Maximum value of variable `v` over all rows.
+    pub fn max_of(&self, v: VarId) -> Option<u64> {
+        let pos = self.position(v)?;
+        self.rows().map(|r| r[pos]).max()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(vars {:?}, {} rows)", self.schema, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[VarId], rows: &[&[u64]]) -> Relation {
+        Relation::from_rows(schema.to_vec(), rows.iter().map(|r| r.to_vec()))
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(1), &[3, 4]);
+        assert_eq!(r.rows().count(), 2);
+    }
+
+    #[test]
+    fn join_on_shared_var() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let s = rel(&[1, 2], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.schema(), &[0, 1, 2]);
+        let mut rows: Vec<Vec<u64>> = j.rows().map(|r| r.to_vec()).collect();
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 10, 100], vec![1, 10, 101]]);
+    }
+
+    #[test]
+    fn join_without_shared_is_cartesian() {
+        let r = rel(&[0], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[7], &[8], &[9]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20], &[3, 10]]);
+        let s = rel(&[1], &[&[10]]);
+        let sj = r.semijoin(&s);
+        assert_eq!(sj.len(), 2);
+        // disjoint schemas
+        let t = rel(&[9], &[&[5]]);
+        assert_eq!(r.semijoin(&t).len(), 3);
+        let empty = Relation::new(vec![9]);
+        assert_eq!(r.semijoin(&empty).len(), 0);
+    }
+
+    #[test]
+    fn project_and_distinct() {
+        let r = rel(&[0, 1], &[&[1, 10], &[1, 20], &[2, 10]]);
+        let p = r.project(&[0]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.distinct().len(), 2);
+    }
+
+    #[test]
+    fn select_and_aggregates() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20], &[3, 5]]);
+        assert_eq!(r.select_eq(0, 2).len(), 1);
+        assert_eq!(r.min_of(1), Some(5));
+        assert_eq!(r.max_of(1), Some(20));
+        assert_eq!(r.min_of(9), None);
+    }
+
+    #[test]
+    fn stats() {
+        let r = rel(&[0, 1], &[&[1, 10], &[1, 20], &[2, 10]]);
+        assert_eq!(r.distinct_count(0), 2);
+        assert_eq!(r.distinct_count(1), 2);
+        assert!(!r.is_key(0));
+        let k = rel(&[0], &[&[1], &[2], &[3]]);
+        assert!(k.is_key(0));
+    }
+
+    #[test]
+    fn zero_ary_relations() {
+        let mut t = Relation::new(vec![]);
+        assert!(t.is_empty());
+        t.push_row(&[]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! The actual-cardinality cost function of Appendix C.2.2 — an
+//! "omniscient" cost model that knows the true size `|J_u|` of every bag
+//! join and prices the Yannakakis phases from it:
+//!
+//! - Eq. (7): `cost(u) = |J_u| + Σ_i |R_i|·log|R_i|` for covers with more
+//!   than one relation, `0` for single-relation bags;
+//! - Eq. (8): `ReducedSz(u) = |J_u| / (1 + |ReduceAttrs(u)|)`, `0` as soon
+//!   as any child reduces to `0`;
+//! - `ScanCost(u) = |J_u|·log|J_u|`, `0` when some child is empty after
+//!   reduction (PostgreSQL never scans the left side of a semijoin with an
+//!   empty right side);
+//! - Eq. (9): `cost(T_p) = cost(p) + ScanCost(p)
+//!   + Σ_i (cost(T_{c_i}) + ReducedSz(c_i)·log ReducedSz(c_i))`.
+//!
+//! `ReduceAttrs(p)` — the bag attributes along which the up-phase
+//! semijoins can actually shrink `J_p` — is computed by the query layer
+//! (it needs primary-key metadata) and passed in as a count.
+
+/// `x·log(x)` with the conventional guard `x <= 1 → 0` (sorting/scanning
+/// nothing costs nothing).
+pub fn xlogx(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x * x.ln()
+    }
+}
+
+/// Eq. (7): the cost of materialising bag `u` from its cover relations.
+pub fn node_cost(j_u: f64, cover_sizes: &[f64]) -> f64 {
+    if cover_sizes.len() <= 1 {
+        0.0
+    } else {
+        j_u + cover_sizes.iter().map(|&s| xlogx(s)).sum::<f64>()
+    }
+}
+
+/// Eq. (8): the size of bag `u` after the up-phase semijoins reach it.
+pub fn reduced_size(j_u: f64, reduce_attrs: usize, children_reduced: &[f64]) -> f64 {
+    if children_reduced.contains(&0.0) {
+        0.0
+    } else {
+        j_u / (1.0 + reduce_attrs as f64)
+    }
+}
+
+/// `ScanCost(u)`: scanning/sorting the bag for its semijoins with the
+/// children — skipped when a child is already empty.
+pub fn scan_cost(j_u: f64, children_reduced: &[f64]) -> f64 {
+    if children_reduced.contains(&0.0) {
+        0.0
+    } else {
+        xlogx(j_u)
+    }
+}
+
+/// Eq. (9): total cost of the subtree rooted at `p`.
+///
+/// `children` carries `(cost(T_c), ReducedSz(c))` per child.
+pub fn subtree_cost(node_cost: f64, scan_cost: f64, children: &[(f64, f64)]) -> f64 {
+    node_cost
+        + scan_cost
+        + children
+            .iter()
+            .map(|&(c, r)| c + xlogx(r))
+            .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xlogx_guards_small_inputs() {
+        assert_eq!(xlogx(0.0), 0.0);
+        assert_eq!(xlogx(1.0), 0.0);
+        assert!(xlogx(10.0) > 0.0);
+    }
+
+    #[test]
+    fn single_relation_bags_are_free() {
+        assert_eq!(node_cost(1000.0, &[1000.0]), 0.0);
+        assert!(node_cost(1000.0, &[10.0, 10.0]) >= 1000.0);
+    }
+
+    #[test]
+    fn reduction_divides_by_attr_count() {
+        assert_eq!(reduced_size(100.0, 0, &[5.0]), 100.0);
+        assert_eq!(reduced_size(100.0, 1, &[5.0]), 50.0);
+        assert_eq!(reduced_size(100.0, 3, &[5.0]), 25.0);
+        assert_eq!(reduced_size(100.0, 1, &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_children_suppress_scans() {
+        assert_eq!(scan_cost(100.0, &[0.0, 5.0]), 0.0);
+        assert!(scan_cost(100.0, &[5.0]) > 0.0);
+    }
+
+    #[test]
+    fn subtree_cost_accumulates() {
+        let leaf = subtree_cost(0.0, 0.0, &[]);
+        assert_eq!(leaf, 0.0);
+        let parent = subtree_cost(10.0, 5.0, &[(leaf, 4.0), (3.0, 0.0)]);
+        assert!(parent >= 18.0);
+        // a zero-reduced child contributes no xlogx term
+        assert!((parent - (15.0 + xlogx(4.0) + 3.0)).abs() < 1e-9);
+    }
+}

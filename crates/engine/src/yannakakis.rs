@@ -1,0 +1,261 @@
+//! Yannakakis' algorithm over a join tree.
+//!
+//! A [`JoinTree`] is a rooted tree whose nodes each hold one materialised
+//! relation (in the decomposition pipeline: the join of a bag's cover
+//! relations, projected to the bag variables). Provided the tree comes
+//! from a tree decomposition, the running-intersection property holds and
+//! the classic three phases apply: bottom-up semijoin reduction, top-down
+//! semijoin reduction (together the *full reducer*), and a final bottom-up
+//! join to produce answers — or, for the aggregate queries of the paper's
+//! benchmark, a direct read-off after reduction.
+
+use crate::relation::{Relation, VarId};
+use softhw_hypergraph::FxHashMap;
+
+/// A rooted join tree of materialised relations.
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    /// Node relations.
+    pub relations: Vec<Relation>,
+    /// Children lists, parallel to `relations`.
+    pub children: Vec<Vec<usize>>,
+    /// Root node index.
+    pub root: usize,
+}
+
+/// Logical work counters for one evaluation, used alongside wall-clock
+/// time in the experiment harness (tuples materialised is the
+/// machine-independent cost signal).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total tuples produced by joins (bag materialisation + final join).
+    pub tuples_materialised: u64,
+    /// Number of semijoin operations performed.
+    pub semijoins: u64,
+    /// Total tuples scanned by semijoins.
+    pub semijoin_tuples: u64,
+}
+
+impl JoinTree {
+    /// Creates a single-node tree.
+    pub fn leaf(rel: Relation) -> Self {
+        JoinTree {
+            relations: vec![rel],
+            children: vec![Vec::new()],
+            root: 0,
+        }
+    }
+
+    /// Adds a node under `parent`; returns its index.
+    pub fn add_child(&mut self, parent: usize, rel: Relation) -> usize {
+        let id = self.relations.len();
+        self.relations.push(rel);
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+        id
+    }
+
+    fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.relations.len());
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            stack.extend(self.children[u].iter().copied());
+        }
+        order.reverse();
+        order
+    }
+
+    /// The full reducer: bottom-up then top-down semijoin passes. After
+    /// this, every node relation contains exactly the tuples participating
+    /// in at least one global join result (global consistency).
+    pub fn full_reduce(&mut self, stats: &mut EvalStats) {
+        let post = self.postorder();
+        // bottom-up: parent ⋉ child
+        for &u in &post {
+            for ci in 0..self.children[u].len() {
+                let c = self.children[u][ci];
+                let reduced = self.relations[u].semijoin(&self.relations[c]);
+                stats.semijoins += 1;
+                stats.semijoin_tuples += self.relations[u].len() as u64;
+                self.relations[u] = reduced;
+            }
+        }
+        // top-down: child ⋉ parent
+        for &u in post.iter().rev() {
+            for ci in 0..self.children[u].len() {
+                let c = self.children[u][ci];
+                let reduced = self.relations[c].semijoin(&self.relations[u]);
+                stats.semijoins += 1;
+                stats.semijoin_tuples += self.relations[c].len() as u64;
+                self.relations[c] = reduced;
+            }
+        }
+    }
+
+    /// MIN of a variable over the join result. Requires a prior
+    /// [`JoinTree::full_reduce`]; then any node containing the variable
+    /// holds exactly its participating values.
+    pub fn min_after_reduce(&self, v: VarId) -> Option<u64> {
+        self.relations.iter().filter_map(|r| r.min_of(v)).min()
+    }
+
+    /// MAX analogue of [`JoinTree::min_after_reduce`].
+    pub fn max_after_reduce(&self, v: VarId) -> Option<u64> {
+        self.relations.iter().filter_map(|r| r.max_of(v)).max()
+    }
+
+    /// COUNT(*) of the join of all node relations, via the weighted
+    /// semiring DP (no materialisation of the result).
+    pub fn count_join(&self) -> u128 {
+        // weight per tuple, bottom-up
+        fn weights(tree: &JoinTree, u: usize) -> Vec<u128> {
+            let rel = &tree.relations[u];
+            let mut w = vec![1u128; rel.len()];
+            for &c in &tree.children[u] {
+                let cw = weights(tree, c);
+                let crel = &tree.relations[c];
+                let shared: Vec<VarId> = rel
+                    .schema()
+                    .iter()
+                    .copied()
+                    .filter(|v| crel.position(*v).is_some())
+                    .collect();
+                let cpos: Vec<usize> = shared
+                    .iter()
+                    .map(|&v| crel.position(v).expect("shared"))
+                    .collect();
+                let upos: Vec<usize> = shared
+                    .iter()
+                    .map(|&v| rel.position(v).expect("shared"))
+                    .collect();
+                let mut agg: FxHashMap<Vec<u64>, u128> = FxHashMap::default();
+                for (i, r) in crel.rows().enumerate() {
+                    let key: Vec<u64> = cpos.iter().map(|&p| r[p]).collect();
+                    *agg.entry(key).or_insert(0) += cw[i];
+                }
+                for (i, r) in rel.rows().enumerate() {
+                    let key: Vec<u64> = upos.iter().map(|&p| r[p]).collect();
+                    w[i] = w[i].saturating_mul(*agg.get(&key).unwrap_or(&0));
+                }
+            }
+            w
+        }
+        weights(self, self.root).into_iter().sum()
+    }
+
+    /// Materialises the full join of all node relations (bottom-up,
+    /// projecting each intermediate to the variables still needed above or
+    /// in `output`). For correctness testing and small outputs.
+    pub fn join_all(&self, output: &[VarId], stats: &mut EvalStats) -> Relation {
+        fn needed_above(tree: &JoinTree, u: usize, acc: &mut Vec<VarId>) {
+            for &c in &tree.children[u] {
+                for &v in tree.relations[c].schema() {
+                    if !acc.contains(&v) {
+                        acc.push(v);
+                    }
+                }
+                needed_above(tree, c, acc);
+            }
+        }
+        fn rec(tree: &JoinTree, u: usize, output: &[VarId], stats: &mut EvalStats) -> Relation {
+            let mut acc = tree.relations[u].clone();
+            for &c in &tree.children[u] {
+                let sub = rec(tree, c, output, stats);
+                acc = acc.natural_join(&sub);
+                stats.tuples_materialised += acc.len() as u64;
+            }
+            // Project to output vars plus everything shared with the rest
+            // of the tree (ancestors/siblings): keep vars in output or in
+            // this node's own schema to stay safe and simple.
+            let keep: Vec<VarId> = acc
+                .schema()
+                .iter()
+                .copied()
+                .filter(|v| output.contains(v) || tree.relations[u].position(*v).is_some())
+                .collect();
+            acc.project(&keep).distinct()
+        }
+        let mut all_needed = output.to_vec();
+        needed_above(self, self.root, &mut all_needed);
+        let full = rec(self, self.root, output, stats);
+        full.project(output).distinct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[VarId], rows: &[&[u64]]) -> Relation {
+        Relation::from_rows(schema.to_vec(), rows.iter().map(|r| r.to_vec()))
+    }
+
+    /// Path query R(a,b), S(b,c), T(c,d) as a chain join tree.
+    fn chain() -> JoinTree {
+        let mut t = JoinTree::leaf(rel(&[0, 1], &[&[1, 10], &[2, 20], &[3, 30]]));
+        let s = t.add_child(0, rel(&[1, 2], &[&[10, 100], &[20, 200], &[99, 990]]));
+        t.add_child(s, rel(&[2, 3], &[&[100, 7], &[200, 8], &[200, 9]]));
+        t
+    }
+
+    #[test]
+    fn full_reduce_shrinks_dangling() {
+        let mut t = chain();
+        let mut stats = EvalStats::default();
+        t.full_reduce(&mut stats);
+        assert_eq!(t.relations[0].len(), 2); // (3,30) dangles
+        assert_eq!(t.relations[1].len(), 2); // (99,990) dangles
+        assert!(stats.semijoins >= 4);
+    }
+
+    #[test]
+    fn min_max_after_reduce() {
+        let mut t = chain();
+        t.full_reduce(&mut EvalStats::default());
+        assert_eq!(t.min_after_reduce(0), Some(1));
+        assert_eq!(t.max_after_reduce(3), Some(9));
+        // var 3 values participating: {7, 8, 9}
+        assert_eq!(t.min_after_reduce(3), Some(7));
+    }
+
+    #[test]
+    fn count_matches_materialised_join() {
+        let t = chain();
+        let count = t.count_join();
+        let mut stats = EvalStats::default();
+        let full = t.join_all(&[0, 1, 2, 3], &mut stats);
+        assert_eq!(count, full.len() as u128);
+        assert_eq!(count, 3); // (1,10,100,7), (2,20,200,8), (2,20,200,9)
+    }
+
+    #[test]
+    fn join_all_projects_output() {
+        let t = chain();
+        let mut stats = EvalStats::default();
+        let out = t.join_all(&[0], &mut stats);
+        assert_eq!(out.schema(), &[0]);
+        assert_eq!(out.len(), 2); // a ∈ {1, 2}
+        assert!(stats.tuples_materialised > 0);
+    }
+
+    #[test]
+    fn empty_branch_empties_everything() {
+        let mut t = JoinTree::leaf(rel(&[0, 1], &[&[1, 10]]));
+        t.add_child(0, rel(&[1], &[]));
+        let mut stats = EvalStats::default();
+        t.full_reduce(&mut stats);
+        assert!(t.relations[0].is_empty());
+        assert_eq!(t.count_join(), 0);
+    }
+
+    #[test]
+    fn star_tree_counts() {
+        // R(a,b) with two children S(b), T(b): weights multiply.
+        let mut t = JoinTree::leaf(rel(&[0, 1], &[&[1, 10], &[2, 20]]));
+        t.add_child(0, rel(&[1], &[&[10], &[10]]));
+        t.add_child(0, rel(&[1], &[&[10], &[20]]));
+        // row (1,10): 2 (from S) * 1 (from T) = 2; row (2,20): 0 * 1 = 0
+        assert_eq!(t.count_join(), 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! Dense bitsets over small index universes.
+//!
+//! All hot paths of the decomposition algorithms (component computation,
+//! candidate-bag generation, cover search) operate on sets of vertices or
+//! edges of a single hypergraph, whose universe size is fixed up front.
+//! A dense `u64`-block bitset gives O(n/64) set algebra and cheap hashing,
+//! which is what the candidate-bag deduplication maps key on.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dense bitset over indices `0..universe`.
+///
+/// Two bitsets are only meaningfully comparable when they were created for
+/// the same universe; all operations assume equal block lengths and
+/// `debug_assert` it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Box<[u64]>,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        BitSet {
+            blocks: vec![0u64; universe.div_ceil(64).max(1)].into_boxed_slice(),
+        }
+    }
+
+    /// Creates the full set `{0, .., universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for i in 0..universe {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of indices.
+    pub fn from_iter(universe: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(universe);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Number of `u64` blocks backing this set.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Raw blocks (used by the hasher and by serialisation helpers).
+    #[inline]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Inserts index `i`. Returns whether the set changed.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (b, m) = (i / 64, 1u64 << (i % 64));
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] |= m;
+        !was
+    }
+
+    /// Removes index `i`. Returns whether the set changed.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (b, m) = (i / 64, 1u64 << (i % 64));
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let (b, m) = (i / 64, 1u64 << (i % 64));
+        self.blocks.get(b).is_some_and(|blk| blk & m != 0)
+    }
+
+    /// True iff the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements, keeping the universe size.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        self.blocks
+            .iter()
+            .zip(&*other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ∩ other ≠ ∅`.
+    #[inline]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        self.blocks
+            .iter()
+            .zip(&*other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place union.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&*other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&*other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference `self \ other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&*other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// New set `self ∪ other`.
+    #[inline]
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// New set `self ∩ other`.
+    #[inline]
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// New set `self \ other`.
+    #[inline]
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (bi, &b) in self.blocks.iter().enumerate() {
+            if b != 0 {
+                return Some(bi * 64 + b.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the elements into a `Vec<usize>`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl Hash for BitSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the raw blocks; trailing zero blocks are part of the fixed
+        // universe so equal sets hash equally.
+        for &b in &*self.blocks {
+            state.write_u64(b);
+        }
+    }
+}
+
+impl PartialOrd for BitSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.blocks.cmp(&other.blocks)
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`], ascending.
+pub struct BitIter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * 64 + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = BitIter<'a>;
+    fn into_iter(self) -> BitIter<'a> {
+        self.iter()
+    }
+}
+
+/// Enumerates all subsets of `pool` with size between 1 and `k`,
+/// invoking `f` on each (as a slice of indices into the original universe).
+///
+/// The pool is the list of candidate element indices; subsets are produced
+/// in lexicographic order of their index positions. Used for λ-label
+/// enumeration, where `k` is the width bound.
+pub fn for_each_subset_up_to_k(pool: &[usize], k: usize, mut f: impl FnMut(&[usize])) {
+    let mut stack: Vec<usize> = Vec::with_capacity(k);
+    // Depth-first enumeration: at each level pick the next pool position
+    // strictly greater than the previous one.
+    fn rec(
+        pool: &[usize],
+        k: usize,
+        start: usize,
+        stack: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]),
+    ) {
+        for pos in start..pool.len() {
+            stack.push(pool[pos]);
+            f(stack);
+            if stack.len() < k {
+                rec(pool, k, pos + 1, stack, f);
+            }
+            stack.pop();
+        }
+    }
+    if k == 0 {
+        return;
+    }
+    rec(pool, k, 0, &mut stack, &mut f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::empty(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.to_vec(), vec![0, 129]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter(10, [1, 2, 3, 7]);
+        let b = BitSet::from_iter(10, [2, 3, 5]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 5, 7]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 7]);
+        assert!(a.intersects(&b));
+        assert!(BitSet::from_iter(10, [2, 3]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn full_and_first() {
+        let f = BitSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert_eq!(f.first(), Some(0));
+        assert_eq!(BitSet::empty(70).first(), None);
+    }
+
+    #[test]
+    fn iter_order_ascending() {
+        let s = BitSet::from_iter(200, [199, 0, 63, 64, 65, 128]);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let pool: Vec<usize> = (0..5).collect();
+        let mut n = 0;
+        for_each_subset_up_to_k(&pool, 2, |_| n += 1);
+        // C(5,1) + C(5,2) = 5 + 10
+        assert_eq!(n, 15);
+        let mut n3 = 0;
+        for_each_subset_up_to_k(&pool, 5, |_| n3 += 1);
+        assert_eq!(n3, 31); // 2^5 - 1 nonempty subsets
+    }
+
+    #[test]
+    fn subset_enumeration_contents_sorted() {
+        let pool = vec![3usize, 1, 4];
+        let mut seen = Vec::new();
+        for_each_subset_up_to_k(&pool, 2, |s| seen.push(s.to_vec()));
+        assert!(seen.contains(&vec![3, 1]));
+        assert!(seen.contains(&vec![4]));
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = BitSet::from_iter(10, [1]);
+        let b = BitSet::from_iter(10, [2]);
+        assert_ne!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,24 @@
+//! Hypergraph substrate for the soft hypertree width framework.
+//!
+//! This crate provides the combinatorial ground floor of the repository:
+//! dense bitsets, the [`Hypergraph`] type with the `[S]`-connectivity
+//! machinery of the paper's Section 2, a parser for the HyperBench text
+//! format, the named hypergraphs that appear in the paper (`H2`, `H3`,
+//! `H'3`, cycles, the example queries), and random generators used by the
+//! property tests and benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod fxhash;
+#[allow(clippy::module_inception)]
+pub mod hypergraph;
+pub mod named;
+pub mod parse;
+pub mod random;
+pub mod stats;
+
+pub use bitset::BitSet;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use hypergraph::{Hypergraph, HypergraphBuilder};
+pub use parse::{parse_hypergraph, render_hypergraph, ParseError};

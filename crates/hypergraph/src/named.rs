@@ -1,0 +1,201 @@
+//! The concrete hypergraphs used throughout the paper, plus parametric
+//! families (cycles, grids) used in examples, tests and benchmarks.
+
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+
+/// The hypergraph `H2` of Example 1 / Figure 1a (originally from Adler,
+/// Gottlob & Grohe): the standard witness for `ghw = 2 < hw = 3`.
+/// The paper shows `shw(H2) = 2` as well.
+///
+/// Edges: `{1,8}, {3,4}, {1,2,a}, {4,5,a}, {6,7,a}, {2,3,b}, {5,6,b},
+/// {7,8,b}`.
+pub fn h2() -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    for v in ["1", "2", "3", "4", "5", "6", "7", "8", "a", "b"] {
+        b.vertex(v);
+    }
+    b.edge("e18", &["1", "8"]);
+    b.edge("e34", &["3", "4"]);
+    b.edge("e12a", &["1", "2", "a"]);
+    b.edge("e45a", &["4", "5", "a"]);
+    b.edge("e67a", &["6", "7", "a"]);
+    b.edge("e23b", &["2", "3", "b"]);
+    b.edge("e56b", &["5", "6", "b"]);
+    b.edge("e78b", &["7", "8", "b"]);
+    b.build()
+}
+
+const GRID_G: [&str; 4] = ["g11", "g12", "g21", "g22"];
+const GRID_H: [&str; 4] = ["h11", "h12", "h21", "h22"];
+const RING_V: [&str; 10] = ["0", "1", "2", "3", "4", "0'", "1'", "2'", "3'", "4'"];
+
+fn h3_base(with_3p4p: bool) -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    for v in GRID_G.iter().chain(GRID_H.iter()).chain(RING_V.iter()) {
+        b.vertex(v);
+    }
+    // {w, v} for every w in G ∪ H and v in V
+    for w in GRID_G.iter().chain(GRID_H.iter()) {
+        for v in RING_V.iter() {
+            b.edge(&format!("p_{w}_{v}"), &[w, v]);
+        }
+    }
+    b.edge("e24", &["2", "4"]);
+    b.edge("e2p4p", &["2'", "4'"]);
+    b.edge("e00p", &["0", "0'"]);
+    b.edge("e01", &["0", "1"]);
+    b.edge("e12", &["1", "2"]);
+    b.edge("e03", &["0", "3"]);
+    b.edge("e23", &["2", "3"]);
+    b.edge("e0p1p", &["0'", "1'"]);
+    b.edge("e1p2p", &["1'", "2'"]);
+    b.edge("e0p3p", &["0'", "3'"]);
+    b.edge("e2p3p", &["2'", "3'"]);
+    if with_3p4p {
+        b.edge("e3p4p", &["3'", "4'"]);
+    }
+    b.edge("hor1", &["g11", "g12", "h11", "h12", "4'"]);
+    b.edge("hor2", &["g21", "g22", "h21", "h22", "3"]);
+    b.edge("vert1", &["g11", "g21", "h11", "h21", "4"]);
+    b.edge("vert2", &["g12", "g22", "h12", "h22", "3'"]);
+    b.build()
+}
+
+/// The hypergraph `H3` of Appendix A.2 (Figure 8, adapted from Adler):
+/// `ghw(H3) = shw(H3) = 3` and `hw(H3) = 4`.
+pub fn h3() -> Hypergraph {
+    h3_base(false)
+}
+
+/// The hypergraph `H'3` of Example 2 (Figure 2a): `H3` plus the edge
+/// `{3',4'}`. Satisfies `ghw = shw1 = 3` and `shw = hw = 4`.
+pub fn h3_prime() -> Hypergraph {
+    h3_base(true)
+}
+
+/// The `n`-cycle `C_n` as a hypergraph with edges `{v_i, v_{i+1 mod n}}`.
+/// For `n >= 4`: `hw(C_n) = 2`; for `n = 5` the paper notes
+/// `ConCov-hw(C5) = ConCov-shw(C5) = ConCov-ghw(C5) = 3`.
+pub fn cycle(n: usize) -> Hypergraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = HypergraphBuilder::new();
+    let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    for i in 0..n {
+        b.edge(
+            &format!("e{i}"),
+            &[names[i].as_str(), names[(i + 1) % n].as_str()],
+        );
+    }
+    b.build()
+}
+
+/// The 4-cycle query hypergraph of Example 3:
+/// `q = R(w,x) ∧ S(x,y) ∧ T(y,z) ∧ U(z,w)`.
+pub fn four_cycle_query() -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    b.edge("R", &["w", "x"]);
+    b.edge("S", &["x", "y"]);
+    b.edge("T", &["y", "z"]);
+    b.edge("U", &["z", "w"]);
+    b.build()
+}
+
+/// The 6-variable query hypergraph of Example 4 (distributed setting):
+/// `q = R(v1,v2) ∧ S(v2,v4) ∧ T(v3,v4) ∧ U(v1,v3) ∧ V(v1,v5) ∧ W(v4,v6)`.
+/// Returns the hypergraph together with the partition labelling of
+/// Example 4 (`R,U,V -> 0`; `S,T,W -> 1`).
+pub fn example4_query() -> (Hypergraph, Vec<usize>) {
+    let mut b = HypergraphBuilder::new();
+    b.edge("R", &["v1", "v2"]);
+    b.edge("S", &["v2", "v4"]);
+    b.edge("T", &["v3", "v4"]);
+    b.edge("U", &["v1", "v3"]);
+    b.edge("V", &["v1", "v5"]);
+    b.edge("W", &["v4", "v6"]);
+    (b.build(), vec![0, 1, 1, 0, 0, 1])
+}
+
+/// An `n × m` grid graph (each grid edge a 2-element hyperedge).
+/// Treewidth-style hard instance; `hw = ghw = shw` grows with `min(n,m)`.
+pub fn grid(n: usize, m: usize) -> Hypergraph {
+    assert!(n >= 1 && m >= 1);
+    let mut b = HypergraphBuilder::new();
+    let name = |i: usize, j: usize| format!("x{i}_{j}");
+    for i in 0..n {
+        for j in 0..m {
+            if j + 1 < m {
+                b.edge(&format!("h{i}_{j}"), &[&name(i, j), &name(i, j + 1)]);
+            }
+            if i + 1 < n {
+                b.edge(&format!("v{i}_{j}"), &[&name(i, j), &name(i + 1, j)]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A "k-star-of-triangles": `t` triangles sharing one centre vertex.
+/// Acyclic-ish benchmark instance with hw = 1 only for t = 0; hw = 2 beyond.
+pub fn triangle_star(t: usize) -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    for i in 0..t.max(1) {
+        let u = format!("u{i}");
+        let w = format!("w{i}");
+        b.edge(&format!("c{i}"), &["c", &u]);
+        b.edge(&format!("d{i}"), &["c", &w]);
+        b.edge(&format!("t{i}"), &[&u, &w]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h2_shape() {
+        let h = h2();
+        assert_eq!(h.num_vertices(), 10);
+        assert_eq!(h.num_edges(), 8);
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn h3_and_h3_prime_shape() {
+        let h = h3();
+        // 8*10 pair edges + 2 + 1 + 4 + 4 + 4 big = 95
+        assert_eq!(h.num_vertices(), 18);
+        assert_eq!(h.num_edges(), 95);
+        let hp = h3_prime();
+        assert_eq!(hp.num_edges(), 96);
+        assert!(hp.edge_by_name("e3p4p").is_some());
+        assert!(h.edge_by_name("e3p4p").is_none());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let c5 = cycle(5);
+        assert_eq!(c5.num_vertices(), 5);
+        assert_eq!(c5.num_edges(), 5);
+        assert!(c5.is_connected());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // horizontal 3*3 + vertical 2*4 = 17
+        assert_eq!(g.num_edges(), 17);
+    }
+
+    #[test]
+    fn example4_partitions_align_with_edges() {
+        let (h, parts) = example4_query();
+        assert_eq!(parts.len(), h.num_edges());
+    }
+
+    #[test]
+    fn triangle_star_connected() {
+        assert!(triangle_star(3).is_connected());
+    }
+}

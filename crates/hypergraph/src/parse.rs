@@ -1,0 +1,224 @@
+//! Parser for the HyperBench-style plain-text hypergraph format used by
+//! decomposition tools (det-k-decomp, BalancedGo, log-k-decomp):
+//!
+//! ```text
+//! % comment
+//! edge1(v1, v2, v3),
+//! edge2(v3, v4).
+//! ```
+//!
+//! Edge and vertex names are arbitrary identifiers (alphanumeric plus
+//! `_ ' -`). The trailing period is optional, commas between edges are
+//! optional at line breaks.
+
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use std::fmt;
+
+/// Error with position information raised by [`parse_hypergraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let c = c as char;
+            if c.is_alphanumeric() || c == '_' || c == '\'' || c == '-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(ParseError {
+                offset: start,
+                message: format!(
+                    "expected identifier, found {:?}",
+                    self.peek().map(|c| c as char)
+                ),
+            });
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).expect("ascii idents"))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses the HyperBench text format into a [`Hypergraph`].
+pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
+    let mut cur = Cursor::new(input);
+    let mut b = HypergraphBuilder::new();
+    loop {
+        cur.skip_ws();
+        if cur.peek().is_none() {
+            break;
+        }
+        if cur.eat(b'.') {
+            cur.skip_ws();
+            if cur.peek().is_some() {
+                return Err(cur.err("content after terminating '.'"));
+            }
+            break;
+        }
+        let name = cur.ident()?.to_string();
+        cur.skip_ws();
+        if !cur.eat(b'(') {
+            return Err(cur.err("expected '(' after edge name"));
+        }
+        let mut verts: Vec<String> = Vec::new();
+        loop {
+            cur.skip_ws();
+            verts.push(cur.ident()?.to_string());
+            cur.skip_ws();
+            match cur.bump() {
+                Some(b',') => continue,
+                Some(b')') => break,
+                other => {
+                    return Err(cur.err(format!(
+                        "expected ',' or ')', found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+        let refs: Vec<&str> = verts.iter().map(String::as_str).collect();
+        b.edge(&name, &refs);
+        cur.skip_ws();
+        // optional comma between edges
+        cur.eat(b',');
+    }
+    Ok(b.build_allow_isolated())
+}
+
+/// Renders a hypergraph back into the text format accepted by
+/// [`parse_hypergraph`] (useful for interop with external decomposers).
+pub fn render_hypergraph(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    for e in 0..h.num_edges() {
+        if e > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&h.render_edge(e));
+    }
+    out.push_str(".\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let h = parse_hypergraph("e1(a,b), e2(b,c).").unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.edge_name(1), "e2");
+    }
+
+    #[test]
+    fn parse_multiline_with_comments() {
+        let src = "% a path\n e1(a, b)\n e2(b, c),\n% tail\n e3(c, d).";
+        let h = parse_hypergraph(src).unwrap();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 4);
+    }
+
+    #[test]
+    fn parse_primed_names() {
+        let h = parse_hypergraph("e(x', y_2)").unwrap();
+        assert!(h.vertex_by_name("x'").is_some());
+        assert!(h.vertex_by_name("y_2").is_some());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_hypergraph("e1(a,)").unwrap_err();
+        assert!(err.offset >= 5);
+        assert!(parse_hypergraph("e1 a,b)").is_err());
+        assert!(parse_hypergraph("e1(a,b). junk").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = crate::named::h2();
+        let txt = render_hypergraph(&h);
+        let h2 = parse_hypergraph(&txt).unwrap();
+        assert_eq!(h2.num_edges(), h.num_edges());
+        assert_eq!(h2.num_vertices(), h.num_vertices());
+        for e in 0..h.num_edges() {
+            assert_eq!(h.edge_name(e), h2.edge_name(e));
+            let mut a: Vec<&str> = h.edge(e).iter().map(|v| h.vertex_name(v)).collect();
+            let mut b: Vec<&str> = h2.edge(e).iter().map(|v| h2.vertex_name(v)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

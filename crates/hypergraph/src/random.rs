@@ -1,0 +1,163 @@
+//! Random hypergraph generators for property-based testing and benchmark
+//! workload sweeps.
+
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_hypergraph`].
+#[derive(Clone, Debug)]
+pub struct RandomConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Edge arity is drawn uniformly from `min_arity..=max_arity`.
+    pub min_arity: usize,
+    /// See `min_arity`.
+    pub max_arity: usize,
+    /// If true, extra 2-edges are added until the hypergraph is connected.
+    pub connect: bool,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            num_vertices: 8,
+            num_edges: 8,
+            min_arity: 2,
+            max_arity: 3,
+            connect: true,
+        }
+    }
+}
+
+/// Generates a random hypergraph. Deterministic in `seed`.
+///
+/// Vertices that would end up isolated are re-attached with a 2-edge so the
+/// paper's standing assumption (no isolated vertices) always holds.
+pub fn random_hypergraph(cfg: &RandomConfig, seed: u64) -> Hypergraph {
+    assert!(cfg.num_vertices >= 2 && cfg.min_arity >= 1);
+    assert!(cfg.min_arity <= cfg.max_arity && cfg.max_arity <= cfg.num_vertices);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = HypergraphBuilder::new();
+    let names: Vec<String> = (0..cfg.num_vertices).map(|i| format!("v{i}")).collect();
+    for n in &names {
+        b.vertex(n);
+    }
+    let mut covered = vec![false; cfg.num_vertices];
+    for e in 0..cfg.num_edges {
+        let arity = rng.gen_range(cfg.min_arity..=cfg.max_arity);
+        let mut vs: Vec<usize> = Vec::with_capacity(arity);
+        while vs.len() < arity {
+            let v = rng.gen_range(0..cfg.num_vertices);
+            if !vs.contains(&v) {
+                vs.push(v);
+            }
+        }
+        for &v in &vs {
+            covered[v] = true;
+        }
+        b.edge_ids(&format!("e{e}"), &vs);
+    }
+    // re-attach isolated vertices
+    let mut extra = 0usize;
+    for (v, &cov) in covered.iter().enumerate() {
+        if !cov {
+            let mut w = rng.gen_range(0..cfg.num_vertices);
+            if w == v {
+                w = (w + 1) % cfg.num_vertices;
+            }
+            b.edge_ids(&format!("fix{extra}"), &[v, w]);
+            extra += 1;
+        }
+    }
+    let mut h = b.build();
+    if cfg.connect {
+        // Join components with bridge edges until connected.
+        loop {
+            let comps = h.vertex_components(&h.empty_vertex_set());
+            if comps.len() <= 1 {
+                break;
+            }
+            let mut b = HypergraphBuilder::new();
+            for v in 0..h.num_vertices() {
+                b.vertex(h.vertex_name(v));
+            }
+            for e in 0..h.num_edges() {
+                b.edge_ids(h.edge_name(e), &h.edge(e).to_vec());
+            }
+            let a = comps[0].first().expect("nonempty component");
+            let c = comps[1].first().expect("nonempty component");
+            b.edge_ids(&format!("bridge{}", h.num_edges()), &[a, c]);
+            h = b.build();
+        }
+    }
+    h
+}
+
+/// A random "query-like" hypergraph: mostly binary edges forming a sparse
+/// graph with a few cycles, mimicking the join-graph shape of the paper's
+/// benchmark queries.
+pub fn random_query_graph(num_vars: usize, num_atoms: usize, seed: u64) -> Hypergraph {
+    random_hypergraph(
+        &RandomConfig {
+            num_vertices: num_vars,
+            num_edges: num_atoms,
+            min_arity: 2,
+            max_arity: 2,
+            connect: true,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomConfig::default();
+        let a = random_hypergraph(&cfg, 7);
+        let b = random_hypergraph(&cfg, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in 0..a.num_edges() {
+            assert_eq!(a.edge(e), b.edge(e));
+        }
+    }
+
+    #[test]
+    fn connected_when_requested() {
+        for seed in 0..20 {
+            let h = random_hypergraph(&RandomConfig::default(), seed);
+            assert!(h.is_connected(), "seed {seed} produced disconnected H");
+        }
+    }
+
+    #[test]
+    fn no_isolated_vertices() {
+        for seed in 0..20 {
+            let h = random_hypergraph(
+                &RandomConfig {
+                    num_vertices: 12,
+                    num_edges: 4,
+                    connect: false,
+                    ..RandomConfig::default()
+                },
+                seed,
+            );
+            for v in 0..h.num_vertices() {
+                assert!(!h.incident_edges(v).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn query_graph_is_binary() {
+        let h = random_query_graph(10, 12, 3);
+        for e in 0..h.num_edges() {
+            assert_eq!(h.edge(e).len(), 2);
+        }
+    }
+}

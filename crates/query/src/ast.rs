@@ -1,0 +1,65 @@
+//! AST for the SQL subset covering the paper's six benchmark queries
+//! (Appendix D.2): single-block aggregate selects over comma-separated or
+//! `JOIN ... ON` table lists with conjunctive equality predicates.
+
+/// Aggregate function in the select list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Agg {
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+    /// `COUNT(col)` (distinct participating values after reduction)
+    Count,
+}
+
+/// A possibly-qualified column reference `alias.column` or `column`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QualifiedColumn {
+    /// The alias qualifier, if present.
+    pub qualifier: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+/// One `FROM` item: a base table with an alias (defaults to the table
+/// name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// Base table name.
+    pub table: String,
+    /// Alias used in column references.
+    pub alias: String,
+}
+
+/// Right-hand side of an equality condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CondRhs {
+    /// Another column (an equi-join predicate).
+    Column(QualifiedColumn),
+    /// A constant (a selection predicate).
+    Const(u64),
+}
+
+/// An equality condition `lhs = rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Condition {
+    /// Left-hand column.
+    pub lhs: QualifiedColumn,
+    /// Right-hand column or constant.
+    pub rhs: CondRhs,
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The aggregate.
+    pub agg: Agg,
+    /// The aggregated column.
+    pub agg_column: QualifiedColumn,
+    /// All referenced tables.
+    pub from: Vec<TableRef>,
+    /// The conjunction of equality conditions (`WHERE` and `ON` merged —
+    /// inner joins only).
+    pub conditions: Vec<Condition>,
+}

@@ -1,0 +1,342 @@
+//! Conjunctive queries: binding a parsed SQL query against a catalog,
+//! variable extraction (equivalence classes of columns under the equality
+//! predicates), and query-hypergraph extraction (`H(q)` of Section 2 —
+//! vertices are the variables, every atom's variable set is an edge).
+
+use crate::ast::{Agg, CondRhs, Query};
+use softhw_engine::relation::VarId;
+use softhw_engine::Database;
+use softhw_hypergraph::{FxHashMap, Hypergraph, HypergraphBuilder};
+use std::fmt;
+
+/// Errors raised while binding a query against a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// A `FROM` table does not exist.
+    UnknownTable(String),
+    /// A qualified column's alias does not exist.
+    UnknownAlias(String),
+    /// A column does not exist in the referenced table.
+    UnknownColumn(String),
+    /// An unqualified column matches no table or more than one.
+    AmbiguousColumn(String),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            BindError::UnknownAlias(a) => write!(f, "unknown alias {a}"),
+            BindError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            BindError::AmbiguousColumn(c) => write!(f, "ambiguous unqualified column {c}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// One atom of the CQ: an aliased base table with its referenced columns
+/// bound to variables.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// Base table name.
+    pub table: String,
+    /// Alias.
+    pub alias: String,
+    /// Referenced column indices (into the table's column list).
+    pub cols: Vec<usize>,
+    /// Variable of each referenced column (parallel to `cols`).
+    pub vars: Vec<VarId>,
+}
+
+/// A bound conjunctive query.
+#[derive(Clone, Debug)]
+pub struct ConjunctiveQuery {
+    /// The atoms, in `FROM` order.
+    pub atoms: Vec<Atom>,
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Human-readable variable names (representative `alias.column`).
+    pub var_names: Vec<String>,
+    /// The aggregate.
+    pub agg: Agg,
+    /// The aggregated variable.
+    pub agg_var: VarId,
+    /// Constant selections `var = value`.
+    pub filters: Vec<(VarId, u64)>,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: Vec::new() }
+    }
+
+    fn make(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.parent.len() - 1
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+            r
+        } else {
+            x
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Binds a parsed query against a catalog (only table *schemas* are
+/// needed, so a data-free database works for pure decomposition studies).
+pub fn bind(q: &Query, db: &Database) -> Result<ConjunctiveQuery, BindError> {
+    // alias -> table
+    let mut aliases: FxHashMap<String, String> = FxHashMap::default();
+    for t in &q.from {
+        if db.table(&t.table).is_none() {
+            return Err(BindError::UnknownTable(t.table.clone()));
+        }
+        aliases.insert(t.alias.clone(), t.table.clone());
+    }
+    // Resolve a column reference to (alias, column index).
+    let resolve = |qual: &Option<String>, col: &str| -> Result<(String, usize), BindError> {
+        match qual {
+            Some(a) => {
+                let table = aliases
+                    .get(a)
+                    .ok_or_else(|| BindError::UnknownAlias(a.clone()))?;
+                let t = db.table(table).expect("validated above");
+                let idx = t
+                    .column_index(col)
+                    .ok_or_else(|| BindError::UnknownColumn(format!("{a}.{col}")))?;
+                Ok((a.clone(), idx))
+            }
+            None => {
+                let mut matches: Vec<(String, usize)> = Vec::new();
+                for t in &q.from {
+                    let tab = db.table(&t.table).expect("validated above");
+                    if let Some(idx) = tab.column_index(col) {
+                        matches.push((t.alias.clone(), idx));
+                    }
+                }
+                match matches.len() {
+                    0 => Err(BindError::UnknownColumn(col.to_string())),
+                    1 => Ok(matches.pop().expect("one")),
+                    _ => Err(BindError::AmbiguousColumn(col.to_string())),
+                }
+            }
+        }
+    };
+
+    // Union-find over referenced (alias, column) occurrences.
+    let mut uf = UnionFind::new();
+    let mut occ_ids: FxHashMap<(String, usize), usize> = FxHashMap::default();
+    let mut occ_list: Vec<(String, usize)> = Vec::new();
+    let mut intern = |key: (String, usize), uf: &mut UnionFind| -> usize {
+        if let Some(&id) = occ_ids.get(&key) {
+            return id;
+        }
+        let id = uf.make();
+        occ_ids.insert(key.clone(), id);
+        occ_list.push(key);
+        id
+    };
+    let mut const_filters: Vec<(usize, u64)> = Vec::new();
+    for c in &q.conditions {
+        let l = resolve(&c.lhs.qualifier, &c.lhs.column)?;
+        let lid = intern(l, &mut uf);
+        match &c.rhs {
+            CondRhs::Column(rc) => {
+                let r = resolve(&rc.qualifier, &rc.column)?;
+                let rid = intern(r, &mut uf);
+                uf.union(lid, rid);
+            }
+            CondRhs::Const(v) => const_filters.push((lid, *v)),
+        }
+    }
+    let agg_occ = {
+        let a = resolve(&q.agg_column.qualifier, &q.agg_column.column)?;
+        intern(a, &mut uf)
+    };
+
+    // Assign dense variable ids to equivalence classes.
+    let mut var_of_root: FxHashMap<usize, VarId> = FxHashMap::default();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut var_of = |occ: usize, uf: &mut UnionFind| -> VarId {
+        let root = uf.find(occ);
+        *var_of_root.entry(root).or_insert_with(|| {
+            let (alias, col) = &occ_list[root];
+            let table = &aliases[alias];
+            let colname = &db.table(table).expect("validated").columns[*col];
+            var_names.push(format!("{alias}.{colname}"));
+            (var_names.len() - 1) as VarId
+        })
+    };
+    // Build atoms: each alias contributes its referenced columns.
+    let mut atoms = Vec::with_capacity(q.from.len());
+    for t in &q.from {
+        let mut cols = Vec::new();
+        let mut vars = Vec::new();
+        for (key, &occ) in occ_ids.iter() {
+            if key.0 == t.alias {
+                cols.push(key.1);
+                vars.push(var_of(occ, &mut uf));
+            }
+        }
+        // deterministic order
+        let mut pairs: Vec<(usize, VarId)> = cols.into_iter().zip(vars).collect();
+        pairs.sort_unstable();
+        atoms.push(Atom {
+            table: t.table.clone(),
+            alias: t.alias.clone(),
+            cols: pairs.iter().map(|p| p.0).collect(),
+            vars: pairs.iter().map(|p| p.1).collect(),
+        });
+    }
+    let agg_var = var_of(agg_occ, &mut uf);
+    let filters: Vec<(VarId, u64)> = const_filters
+        .into_iter()
+        .map(|(occ, v)| (var_of(occ, &mut uf), v))
+        .collect();
+    Ok(ConjunctiveQuery {
+        atoms,
+        num_vars: var_names.len(),
+        var_names,
+        agg: q.agg,
+        agg_var,
+        filters,
+    })
+}
+
+impl ConjunctiveQuery {
+    /// The query hypergraph `H(q)`: vertex `i` is variable `i`, and every
+    /// atom's variable set is an edge named after the atom's alias.
+    /// Atoms with no referenced columns (no join/filter/aggregate use)
+    /// would be disconnected Cartesian factors; they do not occur in the
+    /// benchmark queries and are rejected here.
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for name in &self.var_names {
+            b.vertex(name);
+        }
+        for atom in &self.atoms {
+            assert!(
+                !atom.vars.is_empty(),
+                "atom {} references no columns",
+                atom.alias
+            );
+            let ids: Vec<usize> = atom.vars.iter().map(|&v| v as usize).collect();
+            b.edge_ids(&atom.alias, &ids);
+        }
+        b.build()
+    }
+
+    /// Deduplicated distinct variables of atom `i` (an atom may bind the
+    /// same variable through several columns).
+    pub fn atom_vars(&self, i: usize) -> Vec<VarId> {
+        let mut vs = self.atoms[i].vars.clone();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql;
+    use softhw_engine::Table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(Table::new("r", &["a", "b"], Some("a")));
+        db.add_table(Table::new("s", &["b", "c"], None));
+        db.add_table(Table::new("t", &["c", "d"], None));
+        db
+    }
+
+    #[test]
+    fn bind_path_query() {
+        let q = parse_sql("SELECT MIN(r.a) FROM r, s, t WHERE r.b = s.b AND s.c = t.c").unwrap();
+        let cq = bind(&q, &db()).unwrap();
+        assert_eq!(cq.atoms.len(), 3);
+        // vars: r.a (agg), r.b=s.b, s.c=t.c → 3 variables
+        assert_eq!(cq.num_vars, 3);
+        let h = cq.hypergraph();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 3);
+    }
+
+    #[test]
+    fn self_joins_get_distinct_atoms() {
+        let q = parse_sql("SELECT MIN(x.a) FROM r AS x, r AS y WHERE x.b = y.b").unwrap();
+        let cq = bind(&q, &db()).unwrap();
+        assert_eq!(cq.atoms.len(), 2);
+        assert_eq!(cq.num_vars, 2); // x.a, x.b=y.b
+    }
+
+    #[test]
+    fn unqualified_resolution() {
+        let q = parse_sql("SELECT MIN(a) FROM r, t WHERE a = d").unwrap();
+        let cq = bind(&q, &db()).unwrap();
+        assert_eq!(cq.num_vars, 1); // a = d merged into one class
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        // `b` exists in r and s.
+        let q = parse_sql("SELECT MIN(b) FROM r, s").unwrap();
+        assert!(matches!(
+            bind(&q, &db()),
+            Err(BindError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_names_detected() {
+        let q = parse_sql("SELECT MIN(r.a) FROM nope").unwrap();
+        assert!(matches!(bind(&q, &db()), Err(BindError::UnknownTable(_))));
+        let q = parse_sql("SELECT MIN(z.a) FROM r").unwrap();
+        assert!(matches!(bind(&q, &db()), Err(BindError::UnknownAlias(_))));
+        let q = parse_sql("SELECT MIN(r.zzz) FROM r").unwrap();
+        assert!(matches!(bind(&q, &db()), Err(BindError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn filters_bound_to_vars() {
+        let q = parse_sql("SELECT MIN(r.a) FROM r WHERE r.b = 42").unwrap();
+        let cq = bind(&q, &db()).unwrap();
+        assert_eq!(cq.filters.len(), 1);
+        assert_eq!(cq.filters[0].1, 42);
+    }
+
+    #[test]
+    fn four_cycle_hypergraph_shape() {
+        // Example 3's 4-cycle as SQL.
+        let mut db = Database::new();
+        for t in ["rr", "ss", "tt", "uu"] {
+            db.add_table(Table::new(t, &["x", "y"], None));
+        }
+        let q = parse_sql(
+            "SELECT MIN(rr.x) FROM rr, ss, tt, uu \
+             WHERE rr.y = ss.x AND ss.y = tt.x AND tt.y = uu.x AND uu.y = rr.x",
+        )
+        .unwrap();
+        let cq = bind(&q, &db).unwrap();
+        let h = cq.hypergraph();
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(softhw_core::hw::hw(&h).0, 2);
+    }
+}

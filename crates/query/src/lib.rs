@@ -1,0 +1,23 @@
+//! # softhw-query
+//!
+//! The SQL-subset frontend of the experimental pipeline (Appendix C.1):
+//! parse the paper's benchmark queries, bind them against a catalog into
+//! conjunctive queries, extract the query hypergraph, turn candidate tree
+//! decompositions into executable Yannakakis plans, and expose the two
+//! cost functions (DBMS-estimate C.2.1 and actual-cardinality C.2.2) as
+//! `TdEvaluator`s for Algorithm 2.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cost_adapters;
+pub mod cq;
+pub mod parser;
+pub mod plan;
+pub mod rewrite;
+
+pub use ast::{Agg, Query};
+pub use cost_adapters::{CostContext, DbmsEstimateCost, TrueCardCost};
+pub use cq::{bind, BindError, ConjunctiveQuery};
+pub use parser::{parse_sql, SqlError};
+pub use plan::{atom_relations, build_plan, execute, DecompPlan, ExecResult};

@@ -1,0 +1,337 @@
+//! Lexer and recursive-descent parser for the SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT agg '(' qualcol ')' FROM from_list [WHERE conj]
+//! agg       := MIN | MAX | COUNT
+//! from_list := from_item (',' from_item)*
+//! from_item := table [JOIN table ON conj]*
+//! table     := ident [AS ident | ident]
+//! conj      := cond (AND cond)*
+//! cond      := qualcol '=' (qualcol | number)
+//! qualcol   := ident ['.' ident]
+//! ```
+
+use crate::ast::{Agg, CondRhs, Condition, QualifiedColumn, Query, TableRef};
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Sym(char),
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, SqlError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '-' && i + 1 < b.len() && b[i + 1] == b'-' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: u64 = src[start..i].parse().map_err(|_| SqlError {
+                offset: start,
+                message: "number too large".into(),
+            })?;
+            out.push((start, Tok::Number(n)));
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((start, Tok::Ident(src[start..i].to_string())));
+        } else if "(),.=*".contains(c) {
+            out.push((i, Tok::Sym(c)));
+            i += 1;
+        } else {
+            return Err(SqlError {
+                offset: i,
+                message: format!("unexpected character {c:?}"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> SqlError {
+        SqlError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), SqlError> {
+        match self.bump() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(SqlError {
+                offset: self.offset(),
+                message: format!("expected {c:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(SqlError {
+                offset: self.offset(),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+}
+
+const KEYWORDS: [&str; 9] = [
+    "select", "from", "where", "and", "as", "join", "on", "min", "max",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) || s.eq_ignore_ascii_case("count")
+}
+
+/// Parses the SQL subset into a [`Query`].
+pub fn parse_sql(src: &str) -> Result<Query, SqlError> {
+    let mut lx = Lexer {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    lx.expect_keyword("select")?;
+    let agg = if lx.keyword("min") {
+        Agg::Min
+    } else if lx.keyword("max") {
+        Agg::Max
+    } else if lx.keyword("count") {
+        Agg::Count
+    } else {
+        return Err(lx.err("expected MIN, MAX or COUNT"));
+    };
+    lx.expect_sym('(')?;
+    let agg_column = parse_qualcol(&mut lx)?;
+    lx.expect_sym(')')?;
+    lx.expect_keyword("from")?;
+    let mut from = Vec::new();
+    let mut conditions = Vec::new();
+    loop {
+        parse_from_item(&mut lx, &mut from, &mut conditions)?;
+        if let Some(Tok::Sym(',')) = lx.peek() {
+            lx.bump();
+            continue;
+        }
+        break;
+    }
+    if lx.keyword("where") {
+        loop {
+            conditions.push(parse_cond(&mut lx)?);
+            if !lx.keyword("and") {
+                break;
+            }
+        }
+    }
+    if lx.peek().is_some() {
+        return Err(lx.err("trailing tokens after query"));
+    }
+    Ok(Query {
+        agg,
+        agg_column,
+        from,
+        conditions,
+    })
+}
+
+fn parse_table(lx: &mut Lexer) -> Result<TableRef, SqlError> {
+    let table = lx.ident()?;
+    let alias = if lx.keyword("as") {
+        lx.ident()?
+    } else if let Some(Tok::Ident(s)) = lx.peek() {
+        if !is_keyword(s) {
+            lx.ident()?
+        } else {
+            table.clone()
+        }
+    } else {
+        table.clone()
+    };
+    Ok(TableRef { table, alias })
+}
+
+fn parse_from_item(
+    lx: &mut Lexer,
+    from: &mut Vec<TableRef>,
+    conditions: &mut Vec<Condition>,
+) -> Result<(), SqlError> {
+    from.push(parse_table(lx)?);
+    while lx.keyword("join") {
+        from.push(parse_table(lx)?);
+        lx.expect_keyword("on")?;
+        loop {
+            conditions.push(parse_cond(lx)?);
+            // AND continues the ON conjunction only while the next tokens
+            // form another condition; a following JOIN ends it.
+            if lx.keyword("and") {
+                continue;
+            }
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn parse_qualcol(lx: &mut Lexer) -> Result<QualifiedColumn, SqlError> {
+    let first = lx.ident()?;
+    if let Some(Tok::Sym('.')) = lx.peek() {
+        lx.bump();
+        let column = lx.ident()?;
+        Ok(QualifiedColumn {
+            qualifier: Some(first),
+            column,
+        })
+    } else {
+        Ok(QualifiedColumn {
+            qualifier: None,
+            column: first,
+        })
+    }
+}
+
+fn parse_cond(lx: &mut Lexer) -> Result<Condition, SqlError> {
+    let lhs = parse_qualcol(lx)?;
+    lx.expect_sym('=')?;
+    let rhs = match lx.peek() {
+        Some(Tok::Number(_)) => {
+            let Some(Tok::Number(n)) = lx.bump() else {
+                unreachable!()
+            };
+            CondRhs::Const(n)
+        }
+        _ => CondRhs::Column(parse_qualcol(lx)?),
+    };
+    Ok(Condition { lhs, rhs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_select() {
+        let q = parse_sql("SELECT MIN(r.a) FROM r, s WHERE r.a = s.b AND s.c = 5").unwrap();
+        assert_eq!(q.agg, Agg::Min);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.from[0].alias, "r");
+    }
+
+    #[test]
+    fn parse_aliases() {
+        let q = parse_sql("SELECT MAX(x.a) FROM t AS x, t y WHERE x.a = y.a").unwrap();
+        assert_eq!(q.from[0].alias, "x");
+        assert_eq!(q.from[1].alias, "y");
+        assert_eq!(q.from[1].table, "t");
+    }
+
+    #[test]
+    fn parse_join_on_chain() {
+        let q = parse_sql(
+            "SELECT MIN(a.x) FROM t AS a JOIN t AS b ON b.y = a.y JOIN t AS c \
+             ON c.y = a.y AND c.z = b.z",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.conditions.len(), 3);
+    }
+
+    #[test]
+    fn parse_unqualified_columns() {
+        let q = parse_sql("SELECT MIN(ws_sk) FROM web_sales WHERE ws_sk = c_sk").unwrap();
+        assert_eq!(q.agg_column.qualifier, None);
+        assert!(matches!(q.conditions[0].rhs, CondRhs::Column(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_sql("SELECT FROM r").is_err());
+        assert!(parse_sql("SELECT MIN(a) FROM").is_err());
+        assert!(parse_sql("SELECT MIN(a) FROM r WHERE a = ").is_err());
+        assert!(parse_sql("SELECT MIN(a) FROM r extra garbage !").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse_sql("SELECT MIN(r.a) -- agg\nFROM r -- table\nWHERE r.a = 1").unwrap();
+        assert_eq!(q.conditions.len(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse_sql("select min(r.a) from r").is_ok());
+        assert!(parse_sql("SeLeCt MiN(r.a) FrOm r").is_ok());
+    }
+}

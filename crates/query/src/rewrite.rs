@@ -1,0 +1,138 @@
+//! Textual SQL rendering of a decomposition plan — the analogue of the
+//! paper's rewriting pipeline (Appendix C.1), which turns a CTD into a
+//! sequence of view definitions (one per bag) plus the bottom-up /
+//! top-down semijoin statements of Yannakakis' algorithm. The rendering
+//! is for inspection and interop; execution happens through
+//! [`crate::plan::execute`].
+
+use crate::cq::ConjunctiveQuery;
+use crate::plan::DecompPlan;
+
+/// Renders the plan as a readable SQL-ish script: `CREATE VIEW bag_i` for
+/// every node, semijoin `DELETE`-style reductions for both Yannakakis
+/// passes, and the final aggregate.
+pub fn render_sql(cq: &ConjunctiveQuery, plan: &DecompPlan) -> String {
+    let mut out = String::new();
+    for (u, node) in plan.nodes.iter().enumerate() {
+        let cols: Vec<String> = node
+            .bag_vars
+            .iter()
+            .map(|&v| sanitise(&cq.var_names[v as usize]))
+            .collect();
+        let tables: Vec<String> = node
+            .atoms
+            .iter()
+            .map(|&ai| format!("{} AS {}", cq.atoms[ai].table, cq.atoms[ai].alias))
+            .collect();
+        let mut preds: Vec<String> = Vec::new();
+        // Equality predicates: every pair of columns bound to the same
+        // variable within this node's atoms.
+        for (i, &a) in node.atoms.iter().enumerate() {
+            for &b in node.atoms.iter().skip(i + 1) {
+                for (ca, &va) in cq.atoms[a].cols.iter().zip(&cq.atoms[a].vars) {
+                    for (cb, &vb) in cq.atoms[b].cols.iter().zip(&cq.atoms[b].vars) {
+                        if va == vb {
+                            preds.push(format!(
+                                "{}.{} = {}.{}",
+                                cq.atoms[a].alias,
+                                col_name(cq, a, *ca),
+                                cq.atoms[b].alias,
+                                col_name(cq, b, *cb)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out.push_str(&format!(
+            "CREATE VIEW bag_{u} AS SELECT DISTINCT {} FROM {}{};\n",
+            cols.join(", "),
+            tables.join(", "),
+            if preds.is_empty() {
+                String::new()
+            } else {
+                format!(" WHERE {}", preds.join(" AND "))
+            }
+        ));
+    }
+    // Yannakakis passes in comment form with explicit semijoin statements.
+    let mut bottom_up: Vec<(usize, usize)> = Vec::new();
+    let mut stack = vec![plan.root];
+    let mut order = Vec::new();
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        stack.extend(plan.children[u].iter().copied());
+    }
+    for &u in order.iter().rev() {
+        for &c in &plan.children[u] {
+            bottom_up.push((u, c));
+        }
+    }
+    out.push_str("-- bottom-up semijoin pass\n");
+    for (u, c) in &bottom_up {
+        out.push_str(&format!(
+            "DELETE FROM bag_{u} WHERE NOT EXISTS (SELECT 1 FROM bag_{c} WHERE <shared cols match>);\n"
+        ));
+    }
+    out.push_str("-- top-down semijoin pass\n");
+    for (u, c) in bottom_up.iter().rev() {
+        out.push_str(&format!(
+            "DELETE FROM bag_{c} WHERE NOT EXISTS (SELECT 1 FROM bag_{u} WHERE <shared cols match>);\n"
+        ));
+    }
+    let aggname = match cq.agg {
+        crate::ast::Agg::Min => "MIN",
+        crate::ast::Agg::Max => "MAX",
+        crate::ast::Agg::Count => "COUNT",
+    };
+    // The aggregate variable lives in at least one bag after reduction.
+    let host = plan
+        .nodes
+        .iter()
+        .position(|n| n.bag_vars.contains(&cq.agg_var))
+        .unwrap_or(plan.root);
+    out.push_str(&format!(
+        "SELECT {aggname}({}) FROM bag_{host};\n",
+        sanitise(&cq.var_names[cq.agg_var as usize])
+    ));
+    out
+}
+
+/// Column rendering: the frontend keeps column *indices*, not names (the
+/// catalog is not threaded through here), so columns render positionally.
+fn col_name(_cq: &ConjunctiveQuery, _atom: usize, col: usize) -> String {
+    format!("col{col}")
+}
+
+fn sanitise(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::bind;
+    use crate::parser::parse_sql;
+    use crate::plan::build_plan;
+    use softhw_engine::{Database, Table};
+
+    #[test]
+    fn renders_views_and_passes() {
+        let mut db = Database::new();
+        let mut r = Table::new("r", &["a", "b"], None);
+        r.push_row(&[1, 2]);
+        let mut s = Table::new("s", &["b", "c"], None);
+        s.push_row(&[2, 3]);
+        db.add_table(r);
+        db.add_table(s);
+        let q = parse_sql("SELECT MIN(r.a) FROM r, s WHERE r.b = s.b").unwrap();
+        let cq = bind(&q, &db).unwrap();
+        let h = cq.hypergraph();
+        let (_, td) = softhw_core::shw::shw(&h);
+        let plan = build_plan(&cq, &h, &td).unwrap();
+        let sql = render_sql(&cq, &plan);
+        assert!(sql.contains("CREATE VIEW bag_0"));
+        assert!(sql.contains("bottom-up semijoin pass"));
+        assert!(sql.contains("MIN("));
+    }
+}

@@ -1,0 +1,35 @@
+//! # softhw-workloads
+//!
+//! Synthetic stand-ins for the paper's three benchmark datasets
+//! (Section 7, Appendix D) plus the six benchmark queries verbatim. Each
+//! workload module exposes `schema()` (a row-less catalog sufficient for
+//! binding and the combinatorial Table 1 experiments) and
+//! `generate(scale, seed)` (deterministic skewed data sized for
+//! laptop-scale runs). See DESIGN.md for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod hetionet;
+pub mod lsqb;
+pub mod queries;
+pub mod tpcds;
+
+use softhw_engine::Database;
+
+/// Returns the schema catalog a query name binds against.
+pub fn schema_for(query_name: &str) -> Database {
+    match query_name {
+        "q_ds" => tpcds::schema(),
+        "q_lb" => lsqb::schema(),
+        _ => hetionet::schema(),
+    }
+}
+
+/// Returns a populated database for a query name at default scales.
+pub fn database_for(query_name: &str, seed: u64) -> Database {
+    match query_name {
+        "q_ds" => tpcds::generate(&tpcds::TpcdsScale::default(), seed),
+        "q_lb" => lsqb::generate(&lsqb::LsqbScale::default(), seed),
+        _ => hetionet::generate(&hetionet::HetionetScale::default(), seed),
+    }
+}

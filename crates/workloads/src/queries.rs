@@ -1,0 +1,73 @@
+//! The six benchmark queries of Appendix D.2, verbatim (modulo
+//! whitespace): `q_ds` (TPC-DS), `q_hto` … `q_hto4` (Hetionet), and
+//! `q_lb` (LSQB).
+
+/// Query `q_ds` on TPC-DS (Listing 1).
+pub const Q_DS: &str = "SELECT MIN(ws_bill_customer_sk) \
+FROM web_sales, customer, customer_address, catalog_sales, warehouse \
+WHERE ws_bill_customer_sk = c_customer_sk \
+AND ca_address_sk = c_current_addr_sk \
+AND c_current_addr_sk = cs_bill_addr_sk \
+AND cs_warehouse_sk = w_warehouse_sk \
+AND w_warehouse_sq_ft = ws_quantity";
+
+/// Query `q_hto` on Hetionet (Listing 2).
+pub const Q_HTO: &str = "SELECT MIN(hetio45173_0.s) \
+FROM hetio45173 AS hetio45173_0, hetio45173 AS hetio45173_1, \
+hetio45160 AS hetio45160_2, hetio45160 AS hetio45160_3, \
+hetio45160 AS hetio45160_4, hetio45159 AS hetio45159_5, \
+hetio45159 AS hetio45159_6 \
+WHERE hetio45173_0.s = hetio45173_1.s AND hetio45173_0.d = hetio45160_2.s AND \
+hetio45173_1.d = hetio45160_3.s AND hetio45160_2.d = hetio45160_3.d AND \
+hetio45160_3.d = hetio45160_4.s AND hetio45160_4.s = hetio45159_5.s AND \
+hetio45160_4.d = hetio45159_6.s AND hetio45159_5.d = hetio45159_6.d";
+
+/// Query `q_hto2` on Hetionet (Listing 3).
+pub const Q_HTO2: &str = "SELECT MAX(hetio45160.d) \
+FROM hetio45173 AS hetio45173_0, hetio45173 AS hetio45173_1, hetio45173 AS \
+hetio45173_2, hetio45173 AS hetio45173_3, hetio45160, hetio45176 AS \
+hetio45176_5, hetio45176 AS hetio45176_6 \
+WHERE hetio45173_0.s = hetio45173_1.s AND hetio45173_0.d = hetio45173_2.s AND \
+hetio45173_1.d = hetio45173_3.s AND hetio45173_2.d = hetio45173_3.d AND \
+hetio45173_3.d = hetio45160.s AND hetio45160.s = hetio45176_5.s AND \
+hetio45160.d = hetio45176_6.s AND hetio45176_5.d = hetio45176_6.d";
+
+/// Query `q_hto3` on Hetionet (Listing 4).
+pub const Q_HTO3: &str = "SELECT MIN(hetio45173_2.d) \
+FROM hetio45173 AS hetio45173_0, hetio45173 AS hetio45173_1, hetio45173 AS \
+hetio45173_2, hetio45173 AS hetio45173_3 \
+WHERE hetio45173_0.s = hetio45173_1.s AND hetio45173_0.d = hetio45173_2.s \
+AND hetio45173_1.d = hetio45173_3.d AND hetio45173_2.d = hetio45173_3.s";
+
+/// Query `q_hto4` on Hetionet (Listing 5).
+pub const Q_HTO4: &str = "SELECT MIN(hetio45160_0.s) \
+FROM hetio45160 AS hetio45160_0, hetio45160 AS hetio45160_1, \
+hetio45177, hetio45160 AS hetio45160_3, hetio45159 AS \
+hetio45159_4, hetio45159 AS hetio45159_5 \
+WHERE hetio45160_0.s = hetio45160_1.s AND hetio45160_0.d = hetio45177.s \
+AND hetio45160_1.d = hetio45177.d AND hetio45177.d = hetio45160_3.s \
+AND hetio45160_3.s = hetio45159_4.s AND hetio45160_3.d = hetio45159_5.s \
+AND hetio45159_4.d = hetio45159_5.d";
+
+/// Query `q_lb` on LSQB (Listing 6).
+pub const Q_LB: &str = "SELECT MIN(pkp1.Person1Id) \
+FROM City AS CityA \
+JOIN City AS CityB ON CityB.isPartOf_CountryId = CityA.isPartOf_CountryId \
+JOIN City AS CityC ON CityC.isPartOf_CountryId = CityA.isPartOf_CountryId \
+JOIN Person AS PersonA ON PersonA.isLocatedIn_CityId = CityA.CityId \
+JOIN Person AS PersonB ON PersonB.isLocatedIn_CityId = CityB.CityId \
+JOIN Person_knows_Person AS pkp1 ON pkp1.Person1Id = PersonA.PersonId \
+AND pkp1.Person2Id = PersonB.PersonId";
+
+/// All six queries with their paper names and the width parameter `k`
+/// used in Table 1 (the query's ConCov-shw).
+pub fn all_queries() -> Vec<(&'static str, &'static str, usize)> {
+    vec![
+        ("q_ds", Q_DS, 2),
+        ("q_hto", Q_HTO, 2),
+        ("q_hto2", Q_HTO2, 2),
+        ("q_hto3", Q_HTO3, 2),
+        ("q_hto4", Q_HTO4, 2),
+        ("q_lb", Q_LB, 3),
+    ]
+}

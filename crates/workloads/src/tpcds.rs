@@ -1,0 +1,201 @@
+//! A TPC-DS-like workload: the five tables touched by `q_ds`
+//! (`web_sales`, `customer`, `customer_address`, `catalog_sales`,
+//! `warehouse`) with the columns the query references, realistic PK/FK
+//! structure, and a *skewed* non-key attribute pair
+//! (`w_warehouse_sq_ft` = `ws_quantity`) closing the cycle — the part of
+//! the query where independence-assumption estimates break down.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use softhw_engine::{Database, Table};
+
+/// Scale knobs for [`generate`].
+#[derive(Clone, Debug)]
+pub struct TpcdsScale {
+    /// Number of customers (addresses scale with it).
+    pub customers: u64,
+    /// Number of web_sales rows.
+    pub web_sales: u64,
+    /// Number of catalog_sales rows.
+    pub catalog_sales: u64,
+    /// Number of warehouses.
+    pub warehouses: u64,
+}
+
+impl Default for TpcdsScale {
+    fn default() -> Self {
+        TpcdsScale {
+            customers: 4_000,
+            web_sales: 20_000,
+            catalog_sales: 20_000,
+            warehouses: 60,
+        }
+    }
+}
+
+/// A schema-only catalog (no rows) — sufficient for parsing/binding and
+/// the pure-combinatorics experiments (Table 1 counts).
+pub fn schema() -> Database {
+    let mut db = Database::new();
+    db.add_table(Table::new(
+        "web_sales",
+        &["ws_bill_customer_sk", "ws_quantity"],
+        None,
+    ));
+    db.add_table(Table::new(
+        "customer",
+        &["c_customer_sk", "c_current_addr_sk"],
+        Some("c_customer_sk"),
+    ));
+    db.add_table(Table::new(
+        "customer_address",
+        &["ca_address_sk"],
+        Some("ca_address_sk"),
+    ));
+    db.add_table(Table::new(
+        "catalog_sales",
+        &["cs_bill_addr_sk", "cs_warehouse_sk"],
+        None,
+    ));
+    db.add_table(Table::new(
+        "warehouse",
+        &["w_warehouse_sk", "w_warehouse_sq_ft"],
+        Some("w_warehouse_sk"),
+    ));
+    db
+}
+
+/// Zipf-ish skewed draw over `0..n` (heavier on small values).
+fn zipfish<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    // inverse-power transform of a squared uniform draw: a heavy head
+    // (many collisions on small values) with a long tail keeping the
+    // distinct count high — the regime where independence-assumption
+    // estimates underestimate join sizes the most.
+    let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+    let v = (n as f64).powf(u * u) - 1.0;
+    (v as u64).min(n - 1)
+}
+
+/// Generates the populated workload.
+pub fn generate(scale: &TpcdsScale, seed: u64) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+
+    let mut customer = Table::new(
+        "customer",
+        &["c_customer_sk", "c_current_addr_sk"],
+        Some("c_customer_sk"),
+    );
+    let num_addr = (scale.customers / 2).max(1);
+    for c in 0..scale.customers {
+        customer.push_row(&[c, rng.gen_range(0..num_addr)]);
+    }
+    db.add_table(customer);
+
+    let mut address = Table::new("customer_address", &["ca_address_sk"], Some("ca_address_sk"));
+    for a in 0..num_addr {
+        address.push_row(&[a]);
+    }
+    db.add_table(address);
+
+    let mut warehouse = Table::new(
+        "warehouse",
+        &["w_warehouse_sk", "w_warehouse_sq_ft"],
+        Some("w_warehouse_sk"),
+    );
+    // Square footage is skewed and collides with ws_quantity (both small
+    // integers) — the non-key cyclic predicate of q_ds.
+    for w in 0..scale.warehouses {
+        warehouse.push_row(&[w, zipfish(&mut rng, 50)]);
+    }
+    db.add_table(warehouse);
+
+    let mut web_sales = Table::new("web_sales", &["ws_bill_customer_sk", "ws_quantity"], None);
+    for _ in 0..scale.web_sales {
+        web_sales.push_row(&[
+            zipfish(&mut rng, scale.customers),
+            zipfish(&mut rng, 50),
+        ]);
+    }
+    db.add_table(web_sales);
+
+    let mut catalog_sales = Table::new(
+        "catalog_sales",
+        &["cs_bill_addr_sk", "cs_warehouse_sk"],
+        None,
+    );
+    for _ in 0..scale.catalog_sales {
+        catalog_sales.push_row(&[
+            zipfish(&mut rng, num_addr),
+            rng.gen_range(0..scale.warehouses),
+        ]);
+    }
+    db.add_table(catalog_sales);
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::Q_DS;
+    use softhw_query::{bind, parse_sql};
+
+    #[test]
+    fn q_ds_binds_against_schema() {
+        let db = schema();
+        let q = parse_sql(Q_DS).unwrap();
+        let cq = bind(&q, &db).unwrap();
+        assert_eq!(cq.atoms.len(), 5);
+        let h = cq.hypergraph();
+        assert_eq!(h.num_edges(), 5); // Table 1: |H| = 5
+        assert_eq!(h.num_vertices(), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&TpcdsScale::default(), 1);
+        let b = generate(&TpcdsScale::default(), 1);
+        assert_eq!(
+            a.table("web_sales").unwrap().len(),
+            b.table("web_sales").unwrap().len()
+        );
+        assert_eq!(
+            a.table("warehouse").unwrap().distinct_count(1),
+            b.table("warehouse").unwrap().distinct_count(1)
+        );
+    }
+
+    #[test]
+    fn skew_present_on_cycle_attribute() {
+        let db = generate(&TpcdsScale::default(), 7);
+        let ws = db.table("web_sales").unwrap();
+        // quantity has far fewer distinct values than rows
+        assert!(ws.distinct_count(1) < ws.len() as u64 / 10);
+    }
+
+    #[test]
+    fn q_ds_executes_on_generated_data() {
+        let db = generate(
+            &TpcdsScale {
+                customers: 200,
+                web_sales: 500,
+                catalog_sales: 500,
+                warehouses: 10,
+            },
+            3,
+        );
+        let q = parse_sql(Q_DS).unwrap();
+        let cq = bind(&q, &db).unwrap();
+        let h = cq.hypergraph();
+        let (_, td) = softhw_core::shw::shw(&h);
+        let plan = softhw_query::build_plan(&cq, &h, &td).unwrap();
+        let atoms = softhw_query::atom_relations(&cq, &db);
+        let res = softhw_query::execute(&cq, &atoms, &plan);
+        // cross-check against the baseline executor
+        let base = softhw_engine::baseline::run_baseline(&atoms, &[cq.agg_var], u64::MAX)
+            .unwrap()
+            .answer;
+        assert_eq!(res.value, base.min_of(cq.agg_var));
+    }
+}

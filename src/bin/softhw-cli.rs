@@ -1,0 +1,217 @@
+//! `softhw-cli` — command-line decomposer in the style of det-k-decomp /
+//! BalancedGo: read a hypergraph in the HyperBench text format, compute
+//! widths and decompositions.
+//!
+//! ```text
+//! softhw-cli <file.hg> [options]
+//!   --width <k>      decide shw(H) <= k instead of computing shw exactly
+//!   --measure <m>    shw (default) | hw | ghw | shw1 | all
+//!   --concov         restrict to ConCov candidate bags
+//!   --print          print the witness decomposition
+//!   --stats          print structural statistics only
+//! ```
+//!
+//! Exit code 0 when a decomposition at the requested width exists (or the
+//! width was computed), 1 when a `--width` check rejects, 2 on errors.
+
+use softhw::core::constraints::{concov_filter, Trivial};
+use softhw::core::ctd_opt::best;
+use softhw::core::soft::{soft_bags_with, SoftLimits};
+use softhw::core::soft_iter;
+use softhw::core::{hw, shw};
+use softhw::hypergraph::{parse_hypergraph, Hypergraph};
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    width: Option<usize>,
+    measure: String,
+    concov: bool,
+    print: bool,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        width: None,
+        measure: "shw".to_string(),
+        concov: false,
+        print: false,
+        stats: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--width" => {
+                let v = args.next().ok_or("--width needs a value")?;
+                opts.width = Some(v.parse().map_err(|_| format!("bad width {v:?}"))?);
+            }
+            "--measure" => {
+                opts.measure = args.next().ok_or("--measure needs a value")?;
+                if !["shw", "hw", "ghw", "shw1", "all"].contains(&opts.measure.as_str()) {
+                    return Err(format!("unknown measure {:?}", opts.measure));
+                }
+            }
+            "--concov" => opts.concov = true,
+            "--print" => opts.print = true,
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => {
+                return Err("usage: softhw-cli <file.hg> [--width k] \
+                            [--measure shw|hw|ghw|shw1|all] [--concov] [--print] [--stats]"
+                    .to_string())
+            }
+            f if opts.file.is_empty() && !f.starts_with('-') => opts.file = f.to_string(),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file (use --help)".to_string());
+    }
+    Ok(opts)
+}
+
+fn candidate_bags(
+    h: &Hypergraph,
+    k: usize,
+    concov: bool,
+) -> Result<Vec<softhw::hypergraph::BitSet>, String> {
+    let bags = soft_bags_with(h, k, &SoftLimits::default()).map_err(|e| e.to_string())?;
+    Ok(if concov {
+        concov_filter(h, k, &bags)
+    } else {
+        bags
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let text = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
+    let h = parse_hypergraph(&text).map_err(|e| e.to_string())?;
+    eprintln!(
+        "parsed {}: {} vertices, {} edges",
+        opts.file,
+        h.num_vertices(),
+        h.num_edges()
+    );
+    if opts.stats {
+        println!("{:#?}", softhw::hypergraph::stats::stats(&h));
+        return Ok(true);
+    }
+    let constraint_label = if opts.concov { "ConCov-" } else { "" };
+    let decide = |k: usize| -> Result<Option<softhw::core::TreeDecomposition>, String> {
+        let bags = candidate_bags(&h, k, opts.concov)?;
+        Ok(best(&h, &bags, &Trivial).map(|(td, ())| td))
+    };
+    match (opts.measure.as_str(), opts.width) {
+        ("shw", Some(k)) => {
+            let td = decide(k)?;
+            match td {
+                Some(td) => {
+                    println!("{constraint_label}shw <= {k}: yes");
+                    if opts.print {
+                        print!("{}", td.render(&h));
+                    }
+                    Ok(true)
+                }
+                None => {
+                    println!("{constraint_label}shw <= {k}: no");
+                    Ok(false)
+                }
+            }
+        }
+        ("shw", None) => {
+            for k in 1..=h.num_edges().max(1) {
+                if let Some(td) = decide(k)? {
+                    println!("{constraint_label}shw = {k}");
+                    if opts.print {
+                        print!("{}", td.render(&h));
+                    }
+                    return Ok(true);
+                }
+            }
+            Err("no decomposition up to |E| — disconnected input?".to_string())
+        }
+        ("hw", w) => {
+            if opts.concov {
+                return Err("--concov is a CTD constraint; use --measure shw".into());
+            }
+            match w {
+                Some(k) => match hw::hw_leq(&h, k) {
+                    Some(g) => {
+                        println!("hw <= {k}: yes");
+                        if opts.print {
+                            print!("{}", g.render(&h));
+                        }
+                        Ok(true)
+                    }
+                    None => {
+                        println!("hw <= {k}: no");
+                        Ok(false)
+                    }
+                },
+                None => {
+                    let (k, g) = hw::hw(&h);
+                    println!("hw = {k}");
+                    if opts.print {
+                        print!("{}", g.render(&h));
+                    }
+                    Ok(true)
+                }
+            }
+        }
+        ("ghw", w) => {
+            let limits = SoftLimits::default();
+            match w {
+                Some(k) => {
+                    let td = soft_iter::ghw_leq_via_fixpoint(&h, k, &limits)
+                        .map_err(|e| e.to_string())?;
+                    println!("ghw <= {k}: {}", if td.is_some() { "yes" } else { "no" });
+                    Ok(td.is_some())
+                }
+                None => {
+                    let k = soft_iter::ghw(&h, &limits).map_err(|e| e.to_string())?;
+                    println!("ghw = {k}");
+                    Ok(true)
+                }
+            }
+        }
+        ("shw1", w) => {
+            let limits = SoftLimits::default();
+            match w {
+                Some(k) => {
+                    let td = soft_iter::shw_i_leq(&h, k, 1, &limits).map_err(|e| e.to_string())?;
+                    println!("shw1 <= {k}: {}", if td.is_some() { "yes" } else { "no" });
+                    Ok(td.is_some())
+                }
+                None => {
+                    let k = soft_iter::shw_i(&h, 1, &limits).map_err(|e| e.to_string())?;
+                    println!("shw1 = {k}");
+                    Ok(true)
+                }
+            }
+        }
+        ("all", _) => {
+            let (s, _) = shw::shw(&h);
+            let (c, _) = hw::hw(&h);
+            let limits = SoftLimits::default();
+            let s1 = soft_iter::shw_i(&h, 1, &limits).map_err(|e| e.to_string())?;
+            let g = soft_iter::ghw(&h, &limits).map_err(|e| e.to_string())?;
+            println!("ghw = {g}, shw1 = {s1}, shw = {s}, hw = {c}");
+            Ok(true)
+        }
+        _ => unreachable!("measure validated in parse_args"),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("softhw-cli: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the engine and frontend substrates: the
+//! Yannakakis counting DP against materialised joins on random join
+//! trees, full-reducer idempotence, and parser robustness.
+
+use proptest::prelude::*;
+use softhw::engine::relation::{Relation, VarId};
+use softhw::engine::yannakakis::{EvalStats, JoinTree};
+
+/// A random chain join tree R0(v0,v1) - R1(v1,v2) - ... with random
+/// contents over a small domain.
+fn chain_tree(rows: &[Vec<(u64, u64)>]) -> JoinTree {
+    let mk = |i: usize, data: &[(u64, u64)]| {
+        Relation::from_rows(
+            vec![i as VarId, (i + 1) as VarId],
+            data.iter().map(|&(a, b)| vec![a, b]),
+        )
+    };
+    let mut t = JoinTree::leaf(mk(0, &rows[0]));
+    let mut prev = 0;
+    for (i, data) in rows.iter().enumerate().skip(1) {
+        prev = t.add_child(prev, mk(i, data));
+    }
+    t
+}
+
+/// A star join tree: R0(v0,v1) with children R_i(v1, v_{i+1}).
+fn star_tree(rows: &[Vec<(u64, u64)>]) -> JoinTree {
+    let mut t = JoinTree::leaf(Relation::from_rows(
+        vec![0, 1],
+        rows[0].iter().map(|&(a, b)| vec![a, b]),
+    ));
+    for (i, data) in rows.iter().enumerate().skip(1) {
+        t.add_child(
+            0,
+            Relation::from_rows(
+                vec![1, (i + 1) as VarId],
+                data.iter().map(|&(a, b)| vec![a, b]),
+            ),
+        );
+    }
+    t
+}
+
+fn rel_rows() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..5, 0u64..5), 0..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn count_dp_matches_materialised_join_chain(
+        rows in proptest::collection::vec(rel_rows(), 2..5)
+    ) {
+        let t = chain_tree(&rows);
+        let vars: Vec<VarId> = (0..=rows.len() as VarId).collect();
+        let mut stats = EvalStats::default();
+        // join_all deduplicates; compare against the DP on distinct inputs.
+        let mut td = t.clone();
+        for r in td.relations.iter_mut() {
+            *r = r.distinct();
+        }
+        let count = td.count_join();
+        let full = td.join_all(&vars, &mut stats);
+        prop_assert_eq!(count, full.len() as u128);
+    }
+
+    #[test]
+    fn count_dp_matches_materialised_join_star(
+        rows in proptest::collection::vec(rel_rows(), 2..5)
+    ) {
+        let t = star_tree(&rows);
+        let vars: Vec<VarId> = (0..=rows.len() as VarId).collect();
+        let mut stats = EvalStats::default();
+        let mut td = t.clone();
+        for r in td.relations.iter_mut() {
+            *r = r.distinct();
+        }
+        let count = td.count_join();
+        let full = td.join_all(&vars, &mut stats);
+        prop_assert_eq!(count, full.len() as u128);
+    }
+
+    #[test]
+    fn full_reducer_is_idempotent_and_preserves_answers(
+        rows in proptest::collection::vec(rel_rows(), 2..5)
+    ) {
+        let t = chain_tree(&rows);
+        let mut once = t.clone();
+        once.full_reduce(&mut EvalStats::default());
+        let mut twice = once.clone();
+        twice.full_reduce(&mut EvalStats::default());
+        for (a, b) in once.relations.iter().zip(&twice.relations) {
+            prop_assert_eq!(a.len(), b.len(), "second reduction must be a no-op");
+        }
+        // the reduction never changes the count
+        prop_assert_eq!(t.count_join(), once.count_join());
+        // and MIN over any variable agrees with the materialised join
+        let vars: Vec<VarId> = (0..=rows.len() as VarId).collect();
+        let full = t.join_all(&vars, &mut EvalStats::default());
+        for &v in &vars {
+            prop_assert_eq!(once.min_after_reduce(v), full.min_of(v));
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,60}") {
+        // Arbitrary printable ASCII: the SQL and hypergraph parsers must
+        // return errors, not panic.
+        let _ = softhw::query::parse_sql(&input);
+        let _ = softhw::hypergraph::parse_hypergraph(&input);
+    }
+
+    #[test]
+    fn estimator_is_finite_and_nonnegative(
+        rows_a in rel_rows(),
+        rows_b in rel_rows(),
+    ) {
+        use softhw::engine::estimate::{estimated_join_card, estimated_query_cost};
+        let a = Relation::from_rows(vec![0, 1], rows_a.iter().map(|&(x, y)| vec![x, y]));
+        let b = Relation::from_rows(vec![1, 2], rows_b.iter().map(|&(x, y)| vec![x, y]));
+        let card = estimated_join_card(&[&a, &b]);
+        prop_assert!(card.is_finite() && card >= 0.0);
+        let cost = estimated_query_cost(&[&a, &b]);
+        prop_assert!(cost.is_finite() && cost >= 0.0);
+        // single-relation estimates are exact
+        prop_assert_eq!(estimated_join_card(&[&a]), a.len() as f64);
+    }
+}

@@ -1,0 +1,99 @@
+//! Machine-checks Table 1 of the paper: the combinatorial columns
+//! (hypergraph size, candidate-bag counts, ConCov counts, ConCov-shw)
+//! are pure functions of the queries and must match exactly.
+
+use softhw::core::constraints::{concov_exact_filter, Trivial};
+use softhw::core::cover::find_exact_connected_cover;
+use softhw::core::ctd_opt::best;
+use softhw::core::soft::{cover_bags, soft_bags};
+use softhw::query::{bind, parse_sql};
+use softhw::workloads::{queries, schema_for};
+
+/// Paper's Table 1: (query, ConCov-shw, |H|, |Soft_{H,k}|, ConCov-Soft).
+const TABLE1: [(&str, usize, usize, usize, usize); 6] = [
+    ("q_ds", 2, 5, 9, 8),
+    ("q_hto", 2, 7, 25, 16),
+    ("q_hto2", 2, 7, 25, 16),
+    ("q_hto3", 2, 4, 9, 8),
+    ("q_hto4", 2, 6, 17, 12),
+    ("q_lb", 3, 6, 17, 15),
+];
+
+fn hypergraph_of(name: &str) -> softhw::hypergraph::Hypergraph {
+    let (_, sql, _) = queries::all_queries()
+        .into_iter()
+        .find(|(n, _, _)| *n == name)
+        .expect("known query");
+    let db = schema_for(name);
+    bind(&parse_sql(sql).expect("fixed SQL"), &db)
+        .expect("binds")
+        .hypergraph()
+}
+
+#[test]
+fn hypergraph_sizes_match() {
+    for (name, _, edges, _, _) in TABLE1 {
+        let h = hypergraph_of(name);
+        assert_eq!(h.num_edges(), edges, "{name}: |H|");
+        assert!(h.is_connected(), "{name} is connected");
+    }
+}
+
+#[test]
+fn candidate_bag_counts_match() {
+    for (name, _, _, soft_count, _) in TABLE1 {
+        let (_, _, k) = queries::all_queries()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("known");
+        let h = hypergraph_of(name);
+        let bags = cover_bags(&h, k, true);
+        assert_eq!(bags.len(), soft_count, "{name}: |Soft_{{H,{k}}}|");
+        // the prototype's candidate set is a subset of Definition 3's
+        let full = soft_bags(&h, k);
+        for b in &bags {
+            assert!(full.contains(b), "{name}: cover bag must be in Soft");
+        }
+    }
+}
+
+#[test]
+fn concov_counts_match() {
+    for (name, _, _, _, concov_count) in TABLE1 {
+        let (_, _, k) = queries::all_queries()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("known");
+        let h = hypergraph_of(name);
+        let bags = cover_bags(&h, k, true);
+        let cc = concov_exact_filter(&h, k, &bags);
+        assert_eq!(cc.len(), concov_count, "{name}: ConCov-Soft");
+        for b in &cc {
+            assert!(find_exact_connected_cover(&h, b, k).is_some());
+        }
+    }
+}
+
+#[test]
+fn concov_shw_matches() {
+    for (name, ccshw, _, _, _) in TABLE1 {
+        let h = hypergraph_of(name);
+        let found = (1..=h.num_edges())
+            .find(|&kk| {
+                let b = concov_exact_filter(&h, kk, &cover_bags(&h, kk, true));
+                best(&h, &b, &Trivial).is_some()
+            })
+            .expect("some width works");
+        assert_eq!(found, ccshw, "{name}: ConCov-shw");
+    }
+}
+
+#[test]
+fn shw_of_all_benchmark_queries_is_at_most_concov_shw() {
+    // Constraints can only increase width (Section 6).
+    for (name, ccshw, _, _, _) in TABLE1 {
+        let h = hypergraph_of(name);
+        let (s, _) = softhw::core::shw::shw(&h);
+        assert!(s <= ccshw, "{name}: shw {s} <= ConCov-shw {ccshw}");
+    }
+}
