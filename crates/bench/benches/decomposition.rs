@@ -25,12 +25,52 @@ fn bench_soft_generation(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_algorithm1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("algorithm1");
+fn bench_soft_arena_vs_reference(c: &mut Criterion) {
+    // The acceptance gate of the arena refactor: candidate enumeration on
+    // the named paper instances via the interned-bag path vs the seed's
+    // FxHashSet<BitSet> path (preserved verbatim in soft::reference).
+    //
+    // "arena-warm" is the configuration the solvers actually run: one
+    // BlockIndex shared across calls (the shw width sweep reuses it at
+    // every k), id-level output. "arena-cold" pays a fresh index per
+    // call. The warm path is expected to be >= 2x faster than the
+    // reference on every instance; cold is still well ahead.
+    use softhw_core::soft::{reference, soft_bag_ids, SoftLimits};
+    use softhw_hypergraph::BlockIndex;
+    let mut g = c.benchmark_group("soft_enumeration");
+    let limits = SoftLimits::default();
     for (name, h, k) in [
         ("H2/k2", named::h2(), 2),
+        ("H2/k3", named::h2(), 3),
         ("C8/k2", named::cycle(8), 2),
+        ("grid3x3/k2", named::grid(3, 3), 2),
+        ("tstar4/k2", named::triangle_star(4), 2),
     ] {
+        let mut warm = BlockIndex::new(&h);
+        let expected = soft_bag_ids(&mut warm, k, &limits).unwrap().len();
+        g.bench_function(BenchmarkId::new("arena-warm", name), |b| {
+            b.iter(|| {
+                let n = soft_bag_ids(&mut warm, k, &limits).unwrap().len();
+                assert_eq!(n, expected);
+                black_box(n)
+            })
+        });
+        g.bench_function(BenchmarkId::new("arena-cold", name), |b| {
+            b.iter(|| {
+                let mut index = BlockIndex::new(&h);
+                black_box(soft_bag_ids(&mut index, k, &limits).unwrap().len())
+            })
+        });
+        g.bench_function(BenchmarkId::new("reference", name), |b| {
+            b.iter(|| black_box(reference::soft_bags_with(&h, k, &limits).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1");
+    for (name, h, k) in [("H2/k2", named::h2(), 2), ("C8/k2", named::cycle(8), 2)] {
         let bags = soft_bags(&h, k);
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| black_box(candidate_td(&h, &bags)))
@@ -90,6 +130,7 @@ fn bench_constrained_best(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_soft_generation,
+    bench_soft_arena_vs_reference,
     bench_algorithm1,
     bench_width_solvers,
     bench_table1_top10,

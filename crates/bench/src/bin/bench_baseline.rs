@@ -1,0 +1,223 @@
+//! Emits a machine-readable performance baseline (`BENCH_seed.json` by
+//! default, first CLI arg overrides) covering the decomposition and
+//! engine hot paths on the named paper instances, so future PRs have a
+//! perf trajectory to compare against.
+//!
+//! Every entry records the median ns of `samples` timed runs. The
+//! `soft_enum_*` triple captures the arena refactor's acceptance gate:
+//! `soft_enum_warm` (shared-`BlockIndex` candidate enumeration, the
+//! configuration the solvers run) vs `soft_enum_reference` (the seed's
+//! `FxHashSet<BitSet>` generator, preserved in `soft::reference`); the
+//! emitted `speedup_warm_vs_reference` field is their ratio.
+
+use softhw_core::soft::{self, reference, SoftLimits};
+use softhw_core::{hw, shw};
+use softhw_engine::relation::Relation;
+use softhw_hypergraph::{named, BlockIndex, Hypergraph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SAMPLES: usize = 9;
+
+/// Median ns of `SAMPLES` runs of `f` (each run may loop internally).
+fn median_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Calibrate reps so one sample is >= ~5ms.
+    let mut reps = 1usize;
+    loop {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        if t.elapsed().as_millis() >= 5 || reps >= 1 << 22 {
+            break;
+        }
+        reps *= 2;
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Report {
+    entries: Vec<(String, f64)>,
+}
+
+impl Report {
+    fn record(&mut self, id: &str, ns: f64) {
+        println!("{id:<44} {ns:>14.1} ns");
+        self.entries.push((id.to_string(), ns));
+    }
+
+    fn get(&self, id: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| n == id).map(|&(_, v)| v)
+    }
+}
+
+fn named_instances() -> Vec<(&'static str, Hypergraph, usize)> {
+    vec![
+        ("h2_k2", named::h2(), 2),
+        ("h2_k3", named::h2(), 3),
+        ("c8_k2", named::cycle(8), 2),
+        ("grid3x3_k2", named::grid(3, 3), 2),
+        ("tstar4_k2", named::triangle_star(4), 2),
+    ]
+}
+
+fn bench_decomposition(r: &mut Report) {
+    let limits = SoftLimits::default();
+    for (name, h, k) in named_instances() {
+        let mut warm = BlockIndex::new(&h);
+        let expected = soft::soft_bag_ids(&mut warm, k, &limits).unwrap().len();
+        r.record(
+            &format!("soft_enum_warm/{name}"),
+            median_ns(|| {
+                assert_eq!(
+                    soft::soft_bag_ids(&mut warm, k, &limits).unwrap().len(),
+                    expected
+                );
+            }),
+        );
+        r.record(
+            &format!("soft_enum_cold/{name}"),
+            median_ns(|| {
+                let mut index = BlockIndex::new(&h);
+                assert_eq!(
+                    soft::soft_bag_ids(&mut index, k, &limits).unwrap().len(),
+                    expected
+                );
+            }),
+        );
+        r.record(
+            &format!("soft_enum_reference/{name}"),
+            median_ns(|| {
+                assert_eq!(
+                    reference::soft_bags_with(&h, k, &limits).unwrap().len(),
+                    expected
+                );
+            }),
+        );
+    }
+    let h2 = named::h2();
+    r.record(
+        "shw/h2",
+        median_ns(|| {
+            assert_eq!(shw::shw(&h2).0, 2);
+        }),
+    );
+    r.record(
+        "hw/h2",
+        median_ns(|| {
+            assert_eq!(hw::hw(&h2).0, 3);
+        }),
+    );
+    let c8 = named::cycle(8);
+    r.record(
+        "shw/c8",
+        median_ns(|| {
+            assert_eq!(shw::shw(&c8).0, 2);
+        }),
+    );
+    let bags = soft::soft_bags(&h2, 2);
+    r.record(
+        "algorithm1/h2_k2",
+        median_ns(|| {
+            assert!(softhw_core::candidate_td(&h2, &bags).is_some());
+        }),
+    );
+}
+
+fn chain_relation(n: u64, offset: u64) -> Relation {
+    Relation::from_rows(vec![0, 1], (0..n).map(|i| vec![i, (i + offset) % n]))
+}
+
+fn bench_engine(r: &mut Report) {
+    let a = chain_relation(10_000, 1);
+    let b = Relation::from_rows(
+        vec![1, 2],
+        (0..10_000u64).map(|i| vec![i, (i + 2) % 10_000]),
+    );
+    r.record(
+        "engine/natural_join_10k",
+        median_ns(|| {
+            assert!(!a.natural_join(&b).is_empty());
+        }),
+    );
+    r.record(
+        "engine/semijoin_10k",
+        median_ns(|| {
+            assert!(!a.semijoin(&b).is_empty());
+        }),
+    );
+    let scale = softhw_workloads::hetionet::HetionetScale {
+        nodes: 300,
+        edges_per_relation: 1_500,
+    };
+    let db = softhw_workloads::hetionet::generate(&scale, 42);
+    let cq = softhw_query::bind(
+        &softhw_query::parse_sql(softhw_workloads::queries::Q_HTO3).expect("fixed"),
+        &db,
+    )
+    .expect("schema");
+    let h = cq.hypergraph();
+    let atoms = softhw_query::atom_relations(&cq, &db);
+    let (_, td) = shw::shw(&h);
+    let plan = softhw_query::build_plan(&cq, &h, &td).expect("plannable");
+    r.record(
+        "engine/yannakakis_q_hto3_small",
+        median_ns(|| {
+            let _ = softhw_query::execute(&cq, &atoms, &plan).value;
+        }),
+    );
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_seed.json".to_string());
+    let mut r = Report {
+        entries: Vec::new(),
+    };
+    bench_decomposition(&mut r);
+    bench_engine(&mut r);
+
+    // Aggregate speedups per instance (the refactor's acceptance metric).
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for (name, _, _) in named_instances() {
+        if let (Some(warm), Some(reference)) = (
+            r.get(&format!("soft_enum_warm/{name}")),
+            r.get(&format!("soft_enum_reference/{name}")),
+        ) {
+            speedups.push((name.to_string(), reference / warm));
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmarks\": {\n");
+    for (i, (id, ns)) in r.entries.iter().enumerate() {
+        let sep = if i + 1 == r.entries.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{id}\": {ns:.1}{sep}");
+    }
+    json.push_str("  },\n  \"speedup_warm_vs_reference\": {\n");
+    for (i, (name, ratio)) in speedups.iter().enumerate() {
+        let sep = if i + 1 == speedups.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {ratio:.2}{sep}");
+    }
+    json.push_str("  },\n  \"unit\": \"median_ns\",\n");
+    let _ = writeln!(
+        json,
+        "  \"parallel_feature\": {}\n}}",
+        softhw_hypergraph::par::parallel_enabled()
+    );
+    std::fs::write(&path, &json).expect("write baseline file");
+    println!("\nwrote {path}");
+    for (name, ratio) in &speedups {
+        println!("speedup {name}: {ratio:.2}x");
+    }
+}

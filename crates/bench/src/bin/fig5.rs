@@ -62,7 +62,10 @@ fn main() {
     );
     match run_baseline(&inst, 200_000_000) {
         Some(b) => {
-            println!("baseline: {:.6} s ({} tuples materialised)", b.seconds, b.stats.tuples_materialised);
+            println!(
+                "baseline: {:.6} s ({} tuples materialised)",
+                b.seconds, b.stats.tuples_materialised
+            );
             assert_eq!(Some(b.value), value_check, "baseline agrees on the answer");
         }
         None => println!("baseline: exceeded intermediate cap (timeout)"),

@@ -10,7 +10,9 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use softhw_bench::{prepare, print_series, run_baseline, run_decomposition, run_decomposition_capped, Instance};
+use softhw_bench::{
+    prepare, print_series, run_baseline, run_decomposition, run_decomposition_capped, Instance,
+};
 use softhw_core::constraints::concov_exact_filter;
 use softhw_core::ctd_opt::{sample_random, top_n};
 use softhw_core::soft::{cover_bags, soft_bags};
@@ -27,7 +29,10 @@ fn ten_cheapest(inst: &Instance) {
         rows.push(format!("{:.1},{:.6}", s.cost, run.seconds));
     }
     print_series(
-        &format!("Figure 6: {} 10 cheapest ConCov-shw-2 TDs (DBMS-estimate cost)", inst.name),
+        &format!(
+            "Figure 6: {} 10 cheapest ConCov-shw-2 TDs (DBMS-estimate cost)",
+            inst.name
+        ),
         "cost,seconds",
         &rows,
     );
@@ -80,13 +85,20 @@ fn main() {
         let without = random_avg(&inst, false, 10);
         let fmt = |r: &Option<(f64, usize)>, idx: usize| match r {
             Some((s, t)) => {
-                if idx == 0 { format!("{s:.6}") } else { format!("{t}") }
+                if idx == 0 {
+                    format!("{s:.6}")
+                } else {
+                    format!("{t}")
+                }
             }
             None => "n/a".into(),
         };
         println!(
             "{name},{},{},{},{}",
-            fmt(&with, 0), fmt(&without, 0), fmt(&with, 1), fmt(&without, 1)
+            fmt(&with, 0),
+            fmt(&without, 0),
+            fmt(&with, 1),
+            fmt(&without, 1)
         );
     }
 }

@@ -51,7 +51,9 @@ fn run_query(name: &'static str, fig: usize) {
     // summarising the paper's correlation claims numerically.
     let rho_a = spearman(&rows_actual);
     let rho_e = spearman(&rows_estimate);
-    println!("spearman({name}): actual-cost vs time = {rho_a:.3}, estimate-cost vs time = {rho_e:.3}");
+    println!(
+        "spearman({name}): actual-cost vs time = {rho_a:.3}, estimate-cost vs time = {rho_e:.3}"
+    );
     println!();
 }
 

@@ -62,7 +62,10 @@ fn main() {
     let t = Instant::now();
     let (hw2, _) = hw::hw(&h2);
     let (shw2, td2) = shw::shw(&h2);
-    println!("H2: hw = {hw2} (expect 3), shw = {shw2} (expect 2)  [{:?}]", t.elapsed());
+    println!(
+        "H2: hw = {hw2} (expect 3), shw = {shw2} (expect 2)  [{:?}]",
+        t.elapsed()
+    );
     assert_eq!((hw2, shw2), (3, 2));
     assert_eq!(td2.validate(&h2), Ok(()));
     let t = Instant::now();

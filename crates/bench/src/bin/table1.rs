@@ -25,7 +25,13 @@ use std::time::Instant;
 fn main() {
     println!(
         "{:<8} {:>10} {:>4} {:>12} {:>12} {:>16} {:>14}",
-        "query", "ConCov-shw", "|H|", "|Soft_{H,k}|", "ConCov-Soft", "top-10 time", "full Soft (Def3)"
+        "query",
+        "ConCov-shw",
+        "|H|",
+        "|Soft_{H,k}|",
+        "ConCov-Soft",
+        "top-10 time",
+        "full Soft (Def3)"
     );
     for (name, _, k) in softhw_workloads::queries::all_queries() {
         let inst = prepare(name, 42);

@@ -1,0 +1,212 @@
+//! Offline shim for the subset of the `criterion` benchmarking API used
+//! by this workspace: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::bench_function/finish`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short calibration run sizes the
+//! iteration count so one sample takes roughly `CRITERION_SAMPLE_MS`
+//! (default 40 ms, env-overridable), then `CRITERION_SAMPLES` samples
+//! (default 12) are taken and the median ns/iter is reported on stdout as
+//! `bench: <id> ... <median> ns/iter (±<spread>)`. Set
+//! `CRITERION_JSON=<path>` to also append one JSON line per benchmark.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call
+/// [`Bencher::iter`] with the code under test.
+pub struct Bencher {
+    /// Measured median ns/iter, filled in by `iter`.
+    result_ns: f64,
+    /// Spread (max-min over samples) in ns/iter.
+    spread_ns: f64,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs the closure repeatedly and records the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let sample_target = Duration::from_millis(
+            std::env::var("CRITERION_SAMPLE_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(40),
+        );
+        let samples: usize = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(12);
+        // Calibrate: double iteration count until one sample is long enough.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= sample_target || iters >= 1 << 30 {
+                if elapsed < sample_target && elapsed < Duration::from_micros(10) {
+                    break; // immeasurably fast; keep the huge count
+                }
+                if elapsed >= sample_target {
+                    break;
+                }
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            times.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = times[times.len() / 2];
+        self.spread_ns = times[times.len() - 1] - times[0];
+        self.iters_per_sample = iters;
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    println!(
+        "bench: {id:<40} {:>14.1} ns/iter (±{:.1}, {} iters/sample)",
+        b.result_ns, b.spread_ns, b.iters_per_sample
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"spread_ns\":{:.1}}}",
+                id.replace('"', "'"),
+                b.result_ns,
+                b.spread_ns
+            );
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            result_ns: 0.0,
+            spread_ns: 0.0,
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        report(&id.to_string(), &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            result_ns: 0.0,
+            spread_ns: 0.0,
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

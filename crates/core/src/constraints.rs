@@ -49,12 +49,7 @@ impl<F: Fn(&BitSet) -> f64> BagCost<F> {
 impl<F: Fn(&BitSet) -> f64> TdEvaluator for BagCost<F> {
     type Summary = CostSummary;
 
-    fn eval(
-        &self,
-        _h: &Hypergraph,
-        bag: &BitSet,
-        children: &[CostSummary],
-    ) -> Option<CostSummary> {
+    fn eval(&self, _h: &Hypergraph, bag: &BitSet, children: &[CostSummary]) -> Option<CostSummary> {
         let cost = (self.f)(bag) + children.iter().map(|c| c.cost).sum::<f64>();
         Some(CostSummary { cost })
     }
@@ -155,7 +150,7 @@ impl TdEvaluator for ConCov {
         cover::find_connected_cover(h, bag, self.k).map(|_| ())
     }
 
-    fn better(&self, _a: &(), _b: &(), ) -> bool {
+    fn better(&self, _a: &(), _b: &()) -> bool {
         false
     }
 }
@@ -398,7 +393,12 @@ mod tests {
         // nodes are single-edge.
         let h = named::four_cycle_query();
         let bags = soft_bags(&h, 2);
-        let deep = enumerate_all(&h, &bags, &ShallowCyc { d: 1 }, &EnumerateOptions::default());
+        let deep = enumerate_all(
+            &h,
+            &bags,
+            &ShallowCyc { d: 1 },
+            &EnumerateOptions::default(),
+        );
         assert!(!deep.is_empty(), "the 4-cycle has cyclicity depth <= 1");
         for (_, depth) in &deep {
             assert!(*depth <= 1);
@@ -459,7 +459,10 @@ mod tests {
         for w in all.windows(2) {
             let (d0, c0) = (&w[0].1 .0, w[0].1 .1.cost);
             let (d1, c1) = (&w[1].1 .0, w[1].1 .1.cost);
-            assert!(d0 < d1 || (d0 == d1 && c0 <= c1 + 1e-9), "lexicographic order violated");
+            assert!(
+                d0 < d1 || (d0 == d1 && c0 <= c1 + 1e-9),
+                "lexicographic order violated"
+            );
         }
     }
 

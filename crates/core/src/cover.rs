@@ -11,34 +11,13 @@ use softhw_hypergraph::{BitSet, Hypergraph};
 /// Finds some edge cover of `bag` using at most `k` edges, if one exists.
 ///
 /// Branch-and-bound: repeatedly branch on the uncovered vertex with the
-/// fewest incident edges. Returns edge ids in ascending order of selection.
+/// fewest incident edges. Returns edge ids in ascending order of
+/// selection. Delegates to [`Hypergraph::find_edge_cover`], so there is
+/// exactly one plain cover search in the workspace (the per-bag cover
+/// *cache* with production consumers lives in
+/// `softhw_query::CostContext`, keyed by interned bag id).
 pub fn find_cover(h: &Hypergraph, bag: &BitSet, k: usize) -> Option<Vec<usize>> {
-    fn rec(h: &Hypergraph, uncovered: &BitSet, k: usize, chosen: &mut Vec<usize>) -> bool {
-        let Some(pivot) = pick_pivot(h, uncovered) else {
-            return true; // nothing uncovered
-        };
-        if k == 0 {
-            return false;
-        }
-        for &e in h.incident_edges(pivot) {
-            if chosen.contains(&e) {
-                continue;
-            }
-            let rest = uncovered.difference(h.edge(e));
-            chosen.push(e);
-            if rec(h, &rest, k - 1, chosen) {
-                return true;
-            }
-            chosen.pop();
-        }
-        false
-    }
-    let mut chosen = Vec::with_capacity(k);
-    if rec(h, bag, k, &mut chosen) {
-        Some(chosen)
-    } else {
-        None
-    }
+    h.find_edge_cover(bag, k)
 }
 
 /// The minimum number of edges needed to cover `bag` (the integral edge
@@ -59,19 +38,6 @@ pub fn min_cover_size(h: &Hypergraph, bag: &BitSet) -> Option<usize> {
             return None; // unreachable with the check above; defensive
         }
     }
-}
-
-/// Picks the uncovered vertex with the fewest incident edges (strongest
-/// branching factor reduction), or `None` if `uncovered` is empty.
-fn pick_pivot(h: &Hypergraph, uncovered: &BitSet) -> Option<usize> {
-    let mut best: Option<(usize, usize)> = None;
-    for v in uncovered.iter() {
-        let deg = h.incident_edges(v).len();
-        if best.is_none_or(|(_, d)| deg < d) {
-            best = Some((v, deg));
-        }
-    }
-    best.map(|(v, _)| v)
 }
 
 /// True iff the given edges form a connected subhypergraph: the

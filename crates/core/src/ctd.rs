@@ -14,36 +14,55 @@
 //!   `(X, Y_i)` is satisfied. (Condition (1) follows from (2) since the
 //!   hypergraph has no isolated vertices.)
 //!
-//! The dynamic program marks blocks satisfied in rounds until fixpoint and
-//! accepts iff every block headed by `∅` (one per connected component of
-//! `H`) is satisfied. Satisfaction timestamps make the extraction
-//! provably terminating: a block's basis only references blocks satisfied
-//! strictly earlier.
+//! Storage routes through the bag arena: candidate bags, components, and
+//! closures are interned [`BagId`]s in an instance-owned [`BagArena`];
+//! dedup is interning, the satisfaction DP is a flat `Vec` over block
+//! ids, and the hot subset/union checks run word-level on the packed
+//! storage. Instances are built from a shared [`BlockIndex`] so the
+//! `[S]`-components of every candidate bag are computed once per
+//! hypergraph — not once per solver call (see [`CtdInstance::build`]).
+//!
+//! The satisfaction DP runs in Jacobi rounds (each round scans all
+//! unsatisfied blocks against the previous round's state), which makes
+//! the per-block base checks embarrassingly parallel — they fan out via
+//! [`softhw_hypergraph::par::par_map`] under the `parallel` feature with
+//! an index-ordered merge, so accept/reject and timestamps are identical
+//! in serial and parallel builds. Satisfaction timestamps make the
+//! extraction provably terminating: a block's basis only references
+//! blocks satisfied strictly earlier.
 
 use crate::td::TreeDecomposition;
-use softhw_hypergraph::{BitSet, FxHashMap, Hypergraph};
+use softhw_hypergraph::arena::words_subset;
+use softhw_hypergraph::par::par_map;
+use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Hypergraph};
 
 /// One materialised block `(S, C)` with `C ≠ ∅`.
 #[derive(Clone, Debug)]
 pub struct Block {
     /// Index of the head bag, or `None` for the `∅` head.
     pub head: Option<usize>,
-    /// The component `C` (a vertex set disjoint from the head bag).
-    pub comp: BitSet,
-    /// `S ∪ C`.
-    pub closure: BitSet,
+    /// The component `C` (a vertex set disjoint from the head bag),
+    /// interned in the instance arena.
+    pub comp: BagId,
+    /// `S ∪ C`, interned in the instance arena.
+    pub closure: BagId,
     /// Edges `e` with `e ∩ C ≠ ∅` (the coverage obligations of the block).
     pub touching: Vec<usize>,
 }
 
-/// A prepared `CandidateTD` instance: deduplicated bags plus the full
-/// block table. Shared by Algorithm 1 ([`CtdInstance::decide`]) and the
-/// constrained/preference variants in [`crate::ctd_opt`].
+/// A prepared `CandidateTD` instance: interned, deduplicated bags plus
+/// the full block table. Shared by Algorithm 1 ([`CtdInstance::decide`])
+/// and the constrained/preference variants in [`crate::ctd_opt`].
 pub struct CtdInstance<'h> {
     /// The hypergraph.
     pub h: &'h Hypergraph,
-    /// Deduplicated, non-empty candidate bags.
-    pub bags: Vec<BitSet>,
+    /// Instance-owned arena holding bags, components, and closures.
+    arena: BagArena,
+    /// Deduplicated, non-empty candidate bags (ids into the arena).
+    pub bag_ids: Vec<BagId>,
+    /// Materialised views of the bags, index-aligned with `bag_ids`
+    /// (for evaluator callbacks and decomposition output).
+    bag_sets: Vec<BitSet>,
     /// All blocks with non-empty component.
     pub blocks: Vec<Block>,
     /// For each bag index, the blocks it heads.
@@ -62,74 +81,150 @@ pub struct Satisfaction {
 
 impl<'h> CtdInstance<'h> {
     /// Builds the block table for hypergraph `h` and candidate bag set
-    /// `bags` (empty bags are dropped, duplicates merged).
+    /// `bags` (empty bags are dropped, duplicates merged) using a private
+    /// [`BlockIndex`]. Prefer [`CtdInstance::build`] with a shared index
+    /// when decomposing the same hypergraph repeatedly.
     pub fn new(h: &'h Hypergraph, bags: &[BitSet]) -> Self {
-        let mut dedup: FxHashMap<BitSet, usize> = FxHashMap::default();
-        let mut unique: Vec<BitSet> = Vec::new();
-        for b in bags {
-            if b.is_empty() {
+        let mut index = BlockIndex::new(h);
+        let ids: Vec<BagId> = bags.iter().map(|b| index.arena.intern(b)).collect();
+        Self::build(&mut index, &ids)
+    }
+
+    /// Builds an instance from bags interned in a shared [`BlockIndex`].
+    /// Component and touching-edge computation hits the index cache, so
+    /// consecutive instances over the same hypergraph (e.g. the `shw`
+    /// width sweep, or repeated constrained queries) only pay for bags
+    /// never seen before.
+    pub fn build(index: &mut BlockIndex<'h>, bags: &[BagId]) -> Self {
+        let h = index.hypergraph();
+        let mut arena = BagArena::new(h.num_vertices());
+        // Dedup and drop empties, preserving first-occurrence order (the
+        // arena assigns dense ids in insertion order).
+        let mut bag_ids: Vec<BagId> = Vec::new();
+        let mut index_ids: Vec<BagId> = Vec::new();
+        for &b in bags {
+            if index.arena.bag_is_empty(b) {
                 continue;
             }
-            dedup.entry(b.clone()).or_insert_with(|| {
-                unique.push(b.clone());
-                unique.len() - 1
-            });
+            let before = arena.len();
+            let local = arena.copy_from(&index.arena, b);
+            if arena.len() > before {
+                bag_ids.push(local);
+                index_ids.push(b);
+            }
         }
         let mut blocks = Vec::new();
-        let mut blocks_by_head = vec![Vec::new(); unique.len()];
-        for (sid, s) in unique.iter().enumerate() {
-            for comp in h.vertex_components(s) {
-                let closure = s.union(&comp);
-                let touching = h.edges_touching(&comp).to_vec();
+        let mut blocks_by_head = vec![Vec::new(); bag_ids.len()];
+        let mut comp_scratch: Vec<BagId> = Vec::new();
+        for (sid, (&local_bag, &index_bag)) in bag_ids.iter().zip(&index_ids).enumerate() {
+            let r = index.components(index_bag);
+            comp_scratch.clear();
+            comp_scratch.extend_from_slice(index.comps(r));
+            for &comp in comp_scratch.iter() {
+                let touching_range = index.edges_touching(comp);
+                let touching: Vec<usize> = index
+                    .touching(touching_range)
+                    .iter()
+                    .map(|&e| e as usize)
+                    .collect();
+                let local_comp = arena.copy_from(&index.arena, comp);
+                let closure = arena.union(local_bag, local_comp);
                 blocks_by_head[sid].push(blocks.len());
                 blocks.push(Block {
                     head: Some(sid),
-                    comp,
+                    comp: local_comp,
                     closure,
                     touching,
                 });
             }
         }
         let mut root_blocks = Vec::new();
-        for comp in h.vertex_components(&h.empty_vertex_set()) {
-            let touching = h.edges_touching(&comp).to_vec();
+        let empty = index.empty();
+        let r = index.components(empty);
+        comp_scratch.clear();
+        comp_scratch.extend_from_slice(index.comps(r));
+        for &comp in comp_scratch.iter() {
+            let touching_range = index.edges_touching(comp);
+            let touching: Vec<usize> = index
+                .touching(touching_range)
+                .iter()
+                .map(|&e| e as usize)
+                .collect();
+            let local_comp = arena.copy_from(&index.arena, comp);
             root_blocks.push(blocks.len());
             blocks.push(Block {
                 head: None,
-                comp: comp.clone(),
-                closure: comp,
+                comp: local_comp,
+                closure: local_comp,
                 touching,
             });
         }
+        let bag_sets: Vec<BitSet> = bag_ids.iter().map(|&id| arena.to_bitset(id)).collect();
         CtdInstance {
             h,
-            bags: unique,
+            arena,
+            bag_ids,
+            bag_sets,
             blocks,
             blocks_by_head,
             root_blocks,
         }
     }
 
+    /// Number of (deduplicated, non-empty) candidate bags.
+    #[inline]
+    pub fn num_bags(&self) -> usize {
+        self.bag_ids.len()
+    }
+
+    /// Materialised view of bag `x`.
+    #[inline]
+    pub fn bag(&self, x: usize) -> &BitSet {
+        &self.bag_sets[x]
+    }
+
+    /// The instance's arena (for word-level algebra over blocks/bags).
+    #[inline]
+    pub fn arena(&self) -> &BagArena {
+        &self.arena
+    }
+
+    /// Loads bag `x` into a scratch buffer for incremental union building.
+    #[inline]
+    pub fn load_bag(&self, x: usize, buf: &mut Vec<u64>) {
+        self.arena.read_into(self.bag_ids[x], buf);
+    }
+
     /// Checks the basis conditions of bag `x` for block `b`, given the
     /// current satisfaction state. Returns `true` iff `x` is a basis.
-    pub fn is_basis(&self, b: usize, x: usize, satisfied: &[bool]) -> bool {
+    /// `buf` is caller-provided scratch (cleared here) so round-scans
+    /// don't allocate per check.
+    pub fn is_basis_with(
+        &self,
+        b: usize,
+        x: usize,
+        satisfied: &[bool],
+        buf: &mut Vec<u64>,
+    ) -> bool {
         let blk = &self.blocks[b];
         if blk.head == Some(x) {
             return false; // X ≠ S
         }
-        if !self.bags[x].is_subset(&blk.closure) {
+        if !self.arena.is_subset(self.bag_ids[x], blk.closure) {
             return false;
         }
-        let mut u = self.bags[x].clone();
+        self.load_bag(x, buf);
         for &b2 in &self.blocks_by_head[x] {
-            if self.blocks[b2].comp.is_subset(&blk.comp) {
+            if self.arena.is_subset(self.blocks[b2].comp, blk.comp) {
                 if !satisfied[b2] {
                     return false;
                 }
-                u.union_with(&self.blocks[b2].comp);
+                self.arena.union_into(self.blocks[b2].comp, buf);
             }
         }
-        blk.touching.iter().all(|&e| self.h.edge(e).is_subset(&u))
+        blk.touching
+            .iter()
+            .all(|&e| words_subset(self.h.edge(e).blocks(), buf))
     }
 
     /// The child blocks a basis `x` of block `b` delegates to: blocks
@@ -138,30 +233,43 @@ impl<'h> CtdInstance<'h> {
         self.blocks_by_head[x]
             .iter()
             .copied()
-            .filter(|&b2| self.blocks[b2].comp.is_subset(&self.blocks[b].comp))
+            .filter(|&b2| {
+                self.arena
+                    .is_subset(self.blocks[b2].comp, self.blocks[b].comp)
+            })
             .collect()
     }
 
-    /// Runs the satisfaction DP of Algorithm 1 to fixpoint.
+    /// Runs the satisfaction DP of Algorithm 1 to fixpoint, in Jacobi
+    /// rounds: each round checks every unsatisfied block against the
+    /// previous round's state, fanning the per-block base checks out via
+    /// [`par_map`]. The round results are merged in block order, so the
+    /// outcome is deterministic and identical across serial/parallel
+    /// builds.
     pub fn satisfy(&self) -> Satisfaction {
         let nb = self.blocks.len();
         let mut satisfied = vec![false; nb];
         let mut basis: Vec<Option<(usize, u32)>> = vec![None; nb];
         let mut clock: u32 = 0;
         loop {
+            let snapshot = &satisfied;
+            let round: Vec<Option<usize>> = par_map(nb, |b| {
+                if snapshot[b] {
+                    return None;
+                }
+                let mut buf: Vec<u64> = Vec::new();
+                (0..self.num_bags()).find(|&x| self.is_basis_with(b, x, snapshot, &mut buf))
+            });
             let mut changed = false;
-            for b in 0..nb {
+            for (b, found) in round.into_iter().enumerate() {
                 if satisfied[b] {
                     continue;
                 }
-                for x in 0..self.bags.len() {
-                    if self.is_basis(b, x, &satisfied) {
-                        satisfied[b] = true;
-                        basis[b] = Some((x, clock));
-                        clock += 1;
-                        changed = true;
-                        break;
-                    }
+                if let Some(x) = found {
+                    satisfied[b] = true;
+                    basis[b] = Some((x, clock));
+                    clock += 1;
+                    changed = true;
                 }
             }
             if !changed {
@@ -186,14 +294,14 @@ impl<'h> CtdInstance<'h> {
             let (x, _) = sat.basis[rb].expect("accepted root block has a basis");
             match td.as_mut() {
                 None => {
-                    let mut fresh = TreeDecomposition::new(self.bags[x].clone());
+                    let mut fresh = TreeDecomposition::new(self.bag(x).clone());
                     let root = fresh.root();
                     self.extract_children(sat, rb, x, root, &mut fresh);
                     td = Some(fresh);
                 }
                 Some(t) => {
                     let at = t.root();
-                    let node = t.add_child(at, self.bags[x].clone());
+                    let node = t.add_child(at, self.bag(x).clone());
                     self.extract_children(sat, rb, x, node, t);
                 }
             }
@@ -215,7 +323,7 @@ impl<'h> CtdInstance<'h> {
                 ts2 < sat.basis[b].map(|(_, t)| t).unwrap_or(u32::MAX),
                 "timestamps strictly decrease along extraction"
             );
-            let child = td.add_child(node, self.bags[x2].clone());
+            let child = td.add_child(node, self.bag(x2).clone());
             self.extract_children(sat, b2, x2, child, td);
         }
     }
@@ -231,6 +339,11 @@ impl<'h> CtdInstance<'h> {
 /// with bags from `bags` exist? Returns the witness decomposition.
 pub fn candidate_td(h: &Hypergraph, bags: &[BitSet]) -> Option<TreeDecomposition> {
     CtdInstance::new(h, bags).decide()
+}
+
+/// [`candidate_td`] over bags already interned in a shared index.
+pub fn candidate_td_ids(index: &mut BlockIndex, bags: &[BagId]) -> Option<TreeDecomposition> {
+    CtdInstance::build(index, bags).decide()
 }
 
 /// Verifies that `td` is a valid tree decomposition of `h` whose bags all
@@ -343,6 +456,25 @@ mod tests {
             h.vset(&["v0", "v1"]),
         ];
         let inst = CtdInstance::new(&h, &bags);
-        assert_eq!(inst.bags.len(), 2);
+        assert_eq!(inst.num_bags(), 2);
+    }
+
+    #[test]
+    fn shared_index_instances_agree_with_fresh_ones() {
+        // Building many instances off one index must give the same
+        // accept/reject and valid decompositions as isolated builds.
+        let h = named::h2();
+        let mut index = BlockIndex::new(&h);
+        for k in 1..=3 {
+            let ids = crate::soft::soft_bag_ids(&mut index, k, &crate::soft::SoftLimits::default())
+                .unwrap();
+            let via_index = candidate_td_ids(&mut index, &ids);
+            let via_fresh = candidate_td(&h, &soft_bags(&h, k));
+            assert_eq!(via_index.is_some(), via_fresh.is_some(), "k = {k}");
+            if let Some(td) = via_index {
+                assert_eq!(td.validate(&h), Ok(()));
+                assert!(td.is_comp_nf(&h));
+            }
+        }
     }
 }

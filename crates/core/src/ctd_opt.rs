@@ -17,6 +17,7 @@
 use crate::ctd::CtdInstance;
 use crate::td::TreeDecomposition;
 use rand::Rng;
+use softhw_hypergraph::arena::words_subset;
 use softhw_hypergraph::{BitSet, Hypergraph};
 
 /// Evaluation of partial tree decompositions: subtree constraint plus
@@ -75,8 +76,11 @@ pub fn best_on<E: TdEvaluator>(inst: &CtdInstance, eval: &E) -> Option<Ranked<E:
     loop {
         let mut changed = false;
         for b in 0..nb {
-            for x in 0..inst.bags.len() {
-                if inst.blocks[b].head == Some(x) || !inst.bags[x].is_subset(&inst.blocks[b].closure)
+            for x in 0..inst.num_bags() {
+                if inst.blocks[b].head == Some(x)
+                    || !inst
+                        .arena()
+                        .is_subset(inst.bag_ids[x], inst.blocks[b].closure)
                 {
                     continue;
                 }
@@ -98,7 +102,7 @@ pub fn best_on<E: TdEvaluator>(inst: &CtdInstance, eval: &E) -> Option<Ranked<E:
             break;
         }
         assert!(
-            guard <= 4 * nb * inst.bags.len() + 16,
+            guard <= 4 * nb * inst.num_bags() + 16,
             "Algorithm 2 failed to converge; evaluator is not strongly monotone"
         );
     }
@@ -142,21 +146,25 @@ fn eval_basis<E: TdEvaluator>(
     b: usize,
     x: usize,
 ) -> Option<E::Summary> {
-    let mut u = inst.bags[x].clone();
+    let mut u = Vec::new();
+    inst.load_bag(x, &mut u);
     let mut child_summaries: Vec<E::Summary> = Vec::new();
     for &b2 in &inst.blocks_by_head[x] {
-        if inst.blocks[b2].comp.is_subset(&inst.blocks[b].comp) {
+        if inst
+            .arena()
+            .is_subset(inst.blocks[b2].comp, inst.blocks[b].comp)
+        {
             let (_, s) = value[b2].as_ref()?;
             child_summaries.push(s.clone());
-            u.union_with(&inst.blocks[b2].comp);
+            inst.arena().union_into(inst.blocks[b2].comp, &mut u);
         }
     }
     for &e in &inst.blocks[b].touching {
-        if !inst.h.edge(e).is_subset(&u) {
+        if !words_subset(inst.h.edge(e).blocks(), &u) {
             return None;
         }
     }
-    eval.eval(inst.h, &inst.bags[x], &child_summaries)
+    eval.eval(inst.h, inst.bag(x), &child_summaries)
 }
 
 /// Recursive extraction following the best-value table; on a cycle, falls
@@ -189,17 +197,17 @@ fn extract_best<E: TdEvaluator>(
         visited[b] = true;
         let node = match parent {
             None => td.root(),
-            Some(p) => td.add_child(p, inst.bags[x].clone()),
+            Some(p) => td.add_child(p, inst.bag(x).clone()),
         };
         let mut child_summaries = Vec::new();
         for b2 in inst.child_blocks(b, x) {
             let s = rec(inst, eval, value, bool_basis, b2, visited, td, Some(node))?;
             child_summaries.push(s);
         }
-        eval.eval(inst.h, &inst.bags[x], &child_summaries)
+        eval.eval(inst.h, inst.bag(x), &child_summaries)
     }
     let x = value[b].as_ref().map(|(x, _)| *x)?;
-    let mut td = TreeDecomposition::new(inst.bags[x].clone());
+    let mut td = TreeDecomposition::new(inst.bag(x).clone());
     let s = rec(inst, eval, value, bool_basis, b, visited, &mut td, None)?;
     Some((s, td))
 }
@@ -340,14 +348,14 @@ pub fn enumerate_on<E: TdEvaluator>(
 
 fn materialise(inst: &CtdInstance, node: &TdNode, td: &mut Option<TreeDecomposition>) {
     fn rec(inst: &CtdInstance, node: &TdNode, td: &mut TreeDecomposition, parent: usize) {
-        let id = td.add_child(parent, inst.bags[node.bag].clone());
+        let id = td.add_child(parent, inst.bag(node.bag).clone());
         for c in &node.children {
             rec(inst, c, td, id);
         }
     }
     match td.as_mut() {
         None => {
-            let mut fresh = TreeDecomposition::new(inst.bags[node.bag].clone());
+            let mut fresh = TreeDecomposition::new(inst.bag(node.bag).clone());
             let root = fresh.root();
             for c in &node.children {
                 rec(inst, c, &mut fresh, root);
@@ -377,22 +385,27 @@ fn enum_block<E: TdEvaluator>(
     opts: &EnumerateOptions,
 ) -> Vec<(TdNode, E::Summary)> {
     let mut results: Vec<(TdNode, E::Summary)> = Vec::new();
-    'bags: for x in 0..inst.bags.len() {
-        if inst.blocks[b].head == Some(x) || !inst.bags[x].is_subset(&inst.blocks[b].closure) {
+    'bags: for x in 0..inst.num_bags() {
+        if inst.blocks[b].head == Some(x)
+            || !inst
+                .arena()
+                .is_subset(inst.bag_ids[x], inst.blocks[b].closure)
+        {
             continue;
         }
         let child_blocks = inst.child_blocks(b, x);
-        let mut u = inst.bags[x].clone();
+        let mut u = Vec::new();
+        inst.load_bag(x, &mut u);
         for &b2 in &child_blocks {
             if !satisfied[b2] || visited[b2] {
                 continue 'bags; // unsatisfiable child, or cyclic reconstruction
             }
-            u.union_with(&inst.blocks[b2].comp);
+            inst.arena().union_into(inst.blocks[b2].comp, &mut u);
         }
         if inst.blocks[b]
             .touching
             .iter()
-            .any(|&e| !inst.h.edge(e).is_subset(&u))
+            .any(|&e| !words_subset(inst.h.edge(e).blocks(), &u))
         {
             continue;
         }
@@ -433,7 +446,7 @@ fn enum_block<E: TdEvaluator>(
                 .enumerate()
                 .map(|(ci, &j)| child_options[ci][j].1.clone())
                 .collect();
-            eval.eval(inst.h, &inst.bags[x], &sums)
+            eval.eval(inst.h, inst.bag(x), &sums)
         };
         let start = vec![0usize; child_options.len()];
         frontier.push((start.clone(), evaluate(&start)));
@@ -551,24 +564,31 @@ fn sample_block<R: Rng>(
     visited[b] = true;
     // Collect valid bases under the satisfaction table.
     let mut candidates: Vec<usize> = Vec::new();
-    'bags: for x in 0..inst.bags.len() {
-        if inst.blocks[b].head == Some(x) || !inst.bags[x].is_subset(&inst.blocks[b].closure) {
+    'bags: for x in 0..inst.num_bags() {
+        if inst.blocks[b].head == Some(x)
+            || !inst
+                .arena()
+                .is_subset(inst.bag_ids[x], inst.blocks[b].closure)
+        {
             continue;
         }
-        let mut u = inst.bags[x].clone();
+        let mut u = Vec::new();
+        inst.load_bag(x, &mut u);
         for &b2 in &inst.blocks_by_head[x] {
-            if inst.blocks[b2].comp.is_subset(&inst.blocks[b].comp) {
+            if inst
+                .arena()
+                .is_subset(inst.blocks[b2].comp, inst.blocks[b].comp)
+            {
                 if !satisfied[b2] || visited[b2] {
                     continue 'bags;
                 }
-                u.union_with(&inst.blocks[b2].comp);
+                inst.arena().union_into(inst.blocks[b2].comp, &mut u);
             }
         }
-        if inst
-            .blocks[b]
+        if inst.blocks[b]
             .touching
             .iter()
-            .all(|&e| inst.h.edge(e).is_subset(&u))
+            .all(|&e| words_subset(inst.h.edge(e).blocks(), &u))
         {
             candidates.push(x);
         }
@@ -579,13 +599,13 @@ fn sample_block<R: Rng>(
     let x = candidates[rng.gen_range(0..candidates.len())];
     let node = match (td.as_mut(), parent) {
         (None, _) => {
-            *td = Some(TreeDecomposition::new(inst.bags[x].clone()));
+            *td = Some(TreeDecomposition::new(inst.bag(x).clone()));
             td.as_ref().expect("just set").root()
         }
-        (Some(t), Some(p)) => t.add_child(p, inst.bags[x].clone()),
+        (Some(t), Some(p)) => t.add_child(p, inst.bag(x).clone()),
         (Some(t), None) => {
             let r = t.root();
-            t.add_child(r, inst.bags[x].clone())
+            t.add_child(r, inst.bag(x).clone())
         }
     };
     for b2 in inst.child_blocks(b, x) {

@@ -122,9 +122,10 @@ pub fn has_winning_strategy(
     // initial state (η = ∅, ε = V). States with equal (η, ε) are merged.
     let mut state_ids: FxHashMap<(BitSet, BitSet), usize> = FxHashMap::default();
     let mut states: Vec<(BitSet, BitSet)> = Vec::new();
-    let intern = |eta: &BitSet, eps: &BitSet,
-                      states: &mut Vec<(BitSet, BitSet)>,
-                      ids: &mut FxHashMap<(BitSet, BitSet), usize>| {
+    let intern = |eta: &BitSet,
+                  eps: &BitSet,
+                  states: &mut Vec<(BitSet, BitSet)>,
+                  ids: &mut FxHashMap<(BitSet, BitSet), usize>| {
         *ids.entry((eta.clone(), eps.clone())).or_insert_with(|| {
             states.push((eta.clone(), eps.clone()));
             states.len() - 1
@@ -319,11 +320,7 @@ mod tests {
                 seed,
             );
             let (hw_val, _) = crate::hw::hw(&h);
-            assert_eq!(
-                mon_marshal_width(&h),
-                hw_val,
-                "seed {seed}: mon-rmw != hw"
-            );
+            assert_eq!(mon_marshal_width(&h), hw_val, "seed {seed}: mon-rmw != hw");
         }
     }
 

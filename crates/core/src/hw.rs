@@ -19,13 +19,19 @@
 
 use crate::ghd::Ghd;
 use crate::td::TreeDecomposition;
-use softhw_hypergraph::{BitSet, FxHashMap, Hypergraph};
+use softhw_hypergraph::{BagArena, BagId, BitSet, FxHashMap, Hypergraph};
 
 struct Solver<'h> {
     h: &'h Hypergraph,
     k: usize,
-    /// `(component edge set, connector vertex set)` → witness separator.
-    memo: FxHashMap<(BitSet, BitSet), Option<Vec<usize>>>,
+    /// Interner for component edge sets (edge universe).
+    comp_arena: BagArena,
+    /// Interner for connector vertex sets (vertex universe).
+    conn_arena: BagArena,
+    /// `(component id, connector id)` → witness separator. Keying the
+    /// memo on interned ids makes probes a u64 hash + two u32 compares
+    /// instead of re-hashing and re-comparing two boxed bitsets.
+    memo: FxHashMap<(BagId, BagId), Option<Vec<usize>>>,
 }
 
 impl<'h> Solver<'h> {
@@ -33,8 +39,14 @@ impl<'h> Solver<'h> {
         Solver {
             h,
             k,
+            comp_arena: BagArena::new(h.num_edges()),
+            conn_arena: BagArena::new(h.num_vertices()),
             memo: FxHashMap::default(),
         }
+    }
+
+    fn key(&mut self, comp: &BitSet, conn: &BitSet) -> (BagId, BagId) {
+        (self.comp_arena.intern(comp), self.conn_arena.intern(conn))
     }
 
     /// Does the sub-problem `(comp, conn)` admit an HD subtree of width ≤ k?
@@ -42,7 +54,7 @@ impl<'h> Solver<'h> {
         if comp.is_empty() && conn.is_empty() {
             return true;
         }
-        let key = (comp.clone(), conn.clone());
+        let key = self.key(comp, conn);
         if let Some(r) = self.memo.get(&key) {
             return r.is_some();
         }
@@ -153,9 +165,19 @@ impl<'h> Solver<'h> {
 
     /// Rebuilds the HD from the memo table after a successful run.
     fn build(&self, comp: &BitSet, conn: &BitSet, td: &mut Option<Ghd>, parent: Option<usize>) {
+        // Every sub-problem reached here was decomposed, so both keys are
+        // already interned; lookup needs no `&mut self`.
+        let key = (
+            self.comp_arena
+                .lookup_words(comp.blocks())
+                .expect("memoised component"),
+            self.conn_arena
+                .lookup_words(conn.blocks())
+                .expect("memoised connector"),
+        );
         let lambda = self
             .memo
-            .get(&(comp.clone(), conn.clone()))
+            .get(&key)
             .expect("memoised")
             .clone()
             .expect("successful sub-problem");

@@ -8,10 +8,10 @@
 //! coverable by at most `k` edges (Theorem 2), so the result can always be
 //! upgraded to a GHD of width ≤ k via [`crate::ghd::Ghd::from_td`].
 
-use crate::ctd::candidate_td;
-use crate::soft::{soft_bags_with, LimitExceeded, SoftLimits};
+use crate::ctd::CtdInstance;
+use crate::soft::{soft_bag_ids, LimitExceeded, SoftLimits};
 use crate::td::TreeDecomposition;
-use softhw_hypergraph::Hypergraph;
+use softhw_hypergraph::{BlockIndex, Hypergraph};
 
 /// Decides `shw(H) ≤ k`; on success returns a soft hypertree
 /// decomposition of width `k`.
@@ -25,15 +25,33 @@ pub fn shw_leq_with(
     k: usize,
     limits: &SoftLimits,
 ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
-    let bags = soft_bags_with(h, k, limits)?;
-    Ok(candidate_td(h, &bags))
+    let mut index = BlockIndex::new(h);
+    shw_leq_indexed(&mut index, k, limits)
+}
+
+/// Decides `shw(H) ≤ k` against a shared [`BlockIndex`]: candidate
+/// generation and block construction reuse every component, block, and
+/// component union the index has already cached — from smaller widths or
+/// other solvers on the same hypergraph.
+pub fn shw_leq_indexed(
+    index: &mut BlockIndex,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+    let bags = soft_bag_ids(index, k, limits)?;
+    Ok(CtdInstance::build(index, &bags).decide())
 }
 
 /// Computes `shw(H)` exactly: the least `k` admitting a soft HD, together
-/// with a witness decomposition.
+/// with a witness decomposition. The width sweep shares one block index,
+/// so the `[λ2]`-components enumerated at width `k` are cache hits at
+/// every width above it.
 pub fn shw(h: &Hypergraph) -> (usize, TreeDecomposition) {
+    let mut index = BlockIndex::new(h);
     for k in 1..=h.num_edges().max(1) {
-        if let Some(td) = shw_leq(h, k) {
+        let found = shw_leq_indexed(&mut index, k, &SoftLimits::default())
+            .expect("default limits exceeded");
+        if let Some(td) = found {
             return (k, td);
         }
     }

@@ -11,13 +11,30 @@
 //! *including the empty set*, which yields `⋃C = V(H)` on connected
 //! hypergraphs). Both sides are deduplicated before taking pairwise
 //! intersections, which is what keeps the generator practical.
+//!
+//! Deduplication and storage route through the
+//! [`BagArena`]/[`BlockIndex`] of `softhw-hypergraph`: candidate bags are
+//! emitted as dense [`BagId`]s, dedup is arena interning (word-level, no
+//! per-candidate boxed allocation), and the `U`-side's components and
+//! component unions are answered from the index's cache — shared across
+//! widths `k` and across solver calls on the same hypergraph. The
+//! `W`-side enumeration fans out over first-λ1-element chunks via
+//! [`softhw_hypergraph::par::par_chunks`] (threaded under the `parallel`
+//! feature), with an index-ordered merge keeping results deterministic.
+//!
+//! The seed's direct `FxHashSet<BitSet>` generator is preserved verbatim
+//! in [`reference`] as the cross-check and benchmark baseline.
 
-use softhw_hypergraph::{BitSet, FxHashSet, Hypergraph};
+use softhw_hypergraph::arena::{words_empty, words_intersect_into, IdSet};
+use softhw_hypergraph::par::par_chunks;
+use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Hypergraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Guards against combinatorial blow-up of candidate-bag generation.
 #[derive(Clone, Debug)]
 pub struct SoftLimits {
-    /// Upper bound on the number of λ-subsets enumerated per side.
+    /// Upper bound on the number of λ-subsets enumerated per side (one
+    /// global counter per side, shared across parallel workers).
     pub max_lambda_sets: usize,
     /// Upper bound on the number of distinct candidate bags produced.
     pub max_bags: usize,
@@ -47,26 +64,80 @@ impl std::fmt::Display for LimitExceeded {
 
 impl std::error::Error for LimitExceeded {}
 
-/// Enumerates all unions of between 1 and `k` sets drawn from `elements`,
-/// deduplicated. This is the `⋃λ1` side of Definition 3 (and, for the
-/// iterated variant of Definition 6, `elements` is `E^(i)`).
-pub fn lambda_unions(
-    universe: usize,
-    elements: &[BitSet],
+/// Depth-first λ-union enumeration below one fixed first element,
+/// deduplicating into a worker-local arena. `pool[d]` holds the running
+/// union at depth `d`; the recursion writes depth `d+1` in place, so the
+/// whole subtree enumeration allocates nothing after the pool. The
+/// budget counter is shared across all workers (a relaxed atomic), so
+/// the `max_lambda_sets` bound is global exactly as in the serial path —
+/// and deterministic, because the total node count of the enumeration
+/// does not depend on scheduling.
+#[allow(clippy::too_many_arguments)]
+fn lambda_rec(
+    arena: &BagArena,
+    elements: &[BagId],
+    start: usize,
+    depth: usize,
+    max_depth: usize,
+    pool: &mut [Vec<u64>],
+    local: &mut BagArena,
+    budget: &AtomicUsize,
+    max_budget: usize,
+) -> Result<(), LimitExceeded> {
+    for i in start..elements.len() {
+        if budget.fetch_add(1, Ordering::Relaxed) >= max_budget {
+            return Err(LimitExceeded {
+                what: "max_lambda_sets",
+            });
+        }
+        let (prev, next) = pool.split_at_mut(depth);
+        let buf = &mut next[0];
+        buf.clear();
+        buf.extend_from_slice(&prev[depth - 1]);
+        arena.union_into(elements[i], buf);
+        local.intern_words(buf);
+        if depth < max_depth {
+            lambda_rec(
+                arena,
+                elements,
+                i + 1,
+                depth + 1,
+                max_depth,
+                pool,
+                local,
+                budget,
+                max_budget,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Serial λ-union enumeration directly into the shared arena: no local
+/// arenas, no re-interning, the per-node cost is one pooled word-union
+/// plus one intern probe. The `max_lambda_sets` budget is one global
+/// counter over all enumeration nodes, matching the seed's semantics
+/// and the shared atomic counter of the parallel path.
+fn lambda_unions_direct(
+    arena: &mut BagArena,
+    elements: &[BagId],
     k: usize,
     limits: &SoftLimits,
-) -> Result<Vec<BitSet>, LimitExceeded> {
-    let mut seen: FxHashSet<BitSet> = FxHashSet::default();
-    let mut budget = limits.max_lambda_sets;
-    // DFS with a running union; prune branches whose union has already been
-    // produced *at the same remaining depth or deeper* is not sound in
-    // general, so we only dedupe final results.
+) -> Result<Vec<BagId>, LimitExceeded> {
+    let words = arena.words_per_bag();
+    let mut out: Vec<BagId> = Vec::new();
+    let mut seen = IdSet::new();
+    let mut pool: Vec<Vec<u64>> = (0..=k).map(|_| vec![0u64; words]).collect();
+    #[allow(clippy::too_many_arguments)]
     fn rec(
-        elements: &[BitSet],
+        arena: &mut BagArena,
+        elements: &[BagId],
         start: usize,
-        depth_left: usize,
-        current: &BitSet,
-        seen: &mut FxHashSet<BitSet>,
+        depth: usize,
+        max_depth: usize,
+        pool: &mut [Vec<u64>],
+        seen: &mut IdSet,
+        out: &mut Vec<BagId>,
         budget: &mut usize,
     ) -> Result<(), LimitExceeded> {
         for i in start..elements.len() {
@@ -76,102 +147,377 @@ pub fn lambda_unions(
                 });
             }
             *budget -= 1;
-            let u = current.union(&elements[i]);
-            seen.insert(u.clone());
-            if depth_left > 1 {
-                rec(elements, i + 1, depth_left - 1, &u, seen, budget)?;
+            let (prev, next) = pool.split_at_mut(depth);
+            let buf = &mut next[0];
+            buf.clear();
+            buf.extend_from_slice(&prev[depth - 1]);
+            arena.union_into(elements[i], buf);
+            let id = arena.intern_words(buf);
+            if seen.insert(id) {
+                out.push(id);
+            }
+            if depth < max_depth {
+                rec(
+                    arena,
+                    elements,
+                    i + 1,
+                    depth + 1,
+                    max_depth,
+                    pool,
+                    seen,
+                    out,
+                    budget,
+                )?;
             }
         }
         Ok(())
     }
-    if k > 0 {
-        rec(
-            elements,
-            0,
-            k,
-            &BitSet::empty(universe),
-            &mut seen,
-            &mut budget,
-        )?;
-    }
-    let mut out: Vec<BitSet> = seen.into_iter().collect();
-    out.sort_unstable();
+    let mut budget = limits.max_lambda_sets;
+    rec(
+        arena,
+        elements,
+        0,
+        1,
+        k,
+        &mut pool,
+        &mut seen,
+        &mut out,
+        &mut budget,
+    )?;
     Ok(out)
 }
 
-/// Enumerates all distinct `⋃C` for `C` a `[λ2]`-component of `h`, with
-/// `λ2` ranging over the subsets of `E(H)` of size 0 to `k`.
-/// This is the `⋃C` side of Definition 3.
-pub fn component_unions(
-    h: &Hypergraph,
+/// Enumerates all distinct unions of 1..=`k` bags drawn from `elements`
+/// (the `⋃λ1` side of Definition 3), interned into `arena` and returned
+/// in content order. Serial builds enumerate directly into the shared
+/// arena; under the `parallel` feature the first-element range is split
+/// into one chunk per core, each worker dedups into a local arena, and
+/// the chunk-ordered merge re-interns into the shared one. Both paths
+/// charge one global `max_lambda_sets` budget (the parallel workers
+/// share a relaxed atomic counter), so the sorted result — and the
+/// accept/`LimitExceeded` outcome — is identical either way.
+pub fn lambda_union_ids(
+    arena: &mut BagArena,
+    elements: &[BagId],
     k: usize,
     limits: &SoftLimits,
-) -> Result<Vec<BitSet>, LimitExceeded> {
-    let mut seen: FxHashSet<BitSet> = FxHashSet::default();
-    let mut budget = limits.max_lambda_sets;
-    // λ2 = ∅ first.
-    for comp in h.edge_components(&h.empty_vertex_set()) {
-        seen.insert(h.union_of_edge_set(&comp));
+) -> Result<Vec<BagId>, LimitExceeded> {
+    if k == 0 || elements.is_empty() {
+        return Ok(Vec::new());
     }
+    let workers = softhw_hypergraph::par::num_workers().min(elements.len());
+    let mut out: Vec<BagId> = if workers <= 1 {
+        lambda_unions_direct(arena, elements, k, limits)?
+    } else {
+        let universe = arena.universe();
+        let words = arena.words_per_bag();
+        let shared: &BagArena = arena;
+        let budget = AtomicUsize::new(0);
+        let max_budget = limits.max_lambda_sets;
+        let per_chunk: Vec<Result<BagArena, LimitExceeded>> =
+            par_chunks(elements.len(), workers, |range| {
+                let mut local = BagArena::new(universe);
+                let mut pool: Vec<Vec<u64>> = (0..=k).map(|_| vec![0u64; words]).collect();
+                for first in range {
+                    if budget.fetch_add(1, Ordering::Relaxed) >= max_budget {
+                        return Err(LimitExceeded {
+                            what: "max_lambda_sets",
+                        });
+                    }
+                    let first_words = shared.words(elements[first]);
+                    pool[1].copy_from_slice(first_words);
+                    local.intern_words(first_words);
+                    if k > 1 {
+                        lambda_rec(
+                            shared,
+                            elements,
+                            first + 1,
+                            2,
+                            k,
+                            &mut pool,
+                            &mut local,
+                            &budget,
+                            max_budget,
+                        )?;
+                    }
+                }
+                Ok(local)
+            });
+        let mut out: Vec<BagId> = Vec::new();
+        let mut seen = IdSet::new();
+        for r in per_chunk {
+            let local = r?;
+            for i in 0..local.len() {
+                let id = arena.intern_words(local.words(BagId(i as u32)));
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    };
+    out.sort_unstable_by(|&a, &b| arena.cmp_bags(a, b));
+    Ok(out)
+}
+
+/// Enumerates all distinct `⋃C` for `C` a `[λ2]`-component of the
+/// hypergraph, with `λ2` ranging over edge subsets of size 0..=`k` (the
+/// `⋃C` side of Definition 3). Every separator's components and unions
+/// come from — and stay in — the index's cache, so repeated calls across
+/// widths and solvers only pay for separators never seen before.
+pub fn component_union_ids(
+    index: &mut BlockIndex,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BagId>, LimitExceeded> {
+    let h = index.hypergraph();
+    let num_edges = h.num_edges();
+    let words = index.arena.words_per_bag();
+    let mut out: Vec<BagId> = Vec::new();
+    let mut seen = IdSet::new();
+    let mut comp_scratch: Vec<BagId> = Vec::new();
+
+    let mut collect = |index: &mut BlockIndex,
+                       sep: BagId,
+                       out: &mut Vec<BagId>,
+                       seen: &mut IdSet,
+                       comp_scratch: &mut Vec<BagId>| {
+        let r = index.components(sep);
+        comp_scratch.clear();
+        comp_scratch.extend_from_slice(index.comps(r));
+        for &c in comp_scratch.iter() {
+            let u = index.component_union(c);
+            if seen.insert(u) {
+                out.push(u);
+            }
+        }
+    };
+
+    // λ2 = ∅ first.
+    let empty = index.empty();
+    collect(index, empty, &mut out, &mut seen, &mut comp_scratch);
+
+    // DFS over non-empty λ2, maintaining the separator union per depth.
+    let mut pool: Vec<Vec<u64>> = (0..=k).map(|_| vec![0u64; words]).collect();
+    let mut budget = limits.max_lambda_sets;
+    #[allow(clippy::too_many_arguments)]
     fn rec(
-        h: &Hypergraph,
+        index: &mut BlockIndex,
+        num_edges: usize,
         start: usize,
-        depth_left: usize,
-        sep: &BitSet,
-        seen: &mut FxHashSet<BitSet>,
+        depth: usize,
+        max_depth: usize,
+        pool: &mut [Vec<u64>],
         budget: &mut usize,
+        out: &mut Vec<BagId>,
+        seen: &mut IdSet,
+        comp_scratch: &mut Vec<BagId>,
+        collect: &mut impl FnMut(&mut BlockIndex, BagId, &mut Vec<BagId>, &mut IdSet, &mut Vec<BagId>),
     ) -> Result<(), LimitExceeded> {
-        for e in start..h.num_edges() {
+        for e in start..num_edges {
             if *budget == 0 {
                 return Err(LimitExceeded {
                     what: "max_lambda_sets",
                 });
             }
             *budget -= 1;
-            let s = sep.union(h.edge(e));
-            for comp in h.edge_components(&s) {
-                seen.insert(h.union_of_edge_set(&comp));
-            }
-            if depth_left > 1 {
-                rec(h, e + 1, depth_left - 1, &s, seen, budget)?;
+            let h = index.hypergraph();
+            let edge_words = h.edge(e).blocks();
+            let (prev, next) = pool.split_at_mut(depth);
+            let buf = &mut next[0];
+            buf.clear();
+            buf.extend_from_slice(&prev[depth - 1]);
+            softhw_hypergraph::arena::words_union_into(edge_words, buf);
+            let sep = index.arena.intern_words(buf);
+            collect(index, sep, out, seen, comp_scratch);
+            if depth < max_depth {
+                rec(
+                    index,
+                    num_edges,
+                    e + 1,
+                    depth + 1,
+                    max_depth,
+                    pool,
+                    budget,
+                    out,
+                    seen,
+                    comp_scratch,
+                    collect,
+                )?;
             }
         }
         Ok(())
     }
     if k > 0 {
-        rec(h, 0, k, &h.empty_vertex_set(), &mut seen, &mut budget)?;
+        rec(
+            index,
+            num_edges,
+            0,
+            1,
+            k,
+            &mut pool,
+            &mut budget,
+            &mut out,
+            &mut seen,
+            &mut comp_scratch,
+            &mut collect,
+        )?;
     }
-    let mut out: Vec<BitSet> = seen.into_iter().collect();
-    out.sort_unstable();
+    out.sort_unstable_by(|&a, &b| index.arena.cmp_bags(a, b));
     Ok(out)
 }
 
+/// Computes `Soft_{H,k}` as interned [`BagId`]s, given a pre-computed
+/// `λ1`-element pool (for Definition 3 this is `E(H)`; the iterated
+/// hierarchy of Definition 6 passes `E^(i)`). The pairwise
+/// `W`-side × `U`-side intersection fans out over the `W`-side.
+pub fn soft_bag_ids_from_elements(
+    index: &mut BlockIndex,
+    elements: &[BagId],
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BagId>, LimitExceeded> {
+    let u_side = component_union_ids(index, k, limits)?;
+    let w_side = lambda_union_ids(&mut index.arena, elements, k, limits)?;
+    let words = index.arena.words_per_bag();
+    let workers = softhw_hypergraph::par::num_workers().min(w_side.len().max(1));
+    let mut out: Vec<BagId> = Vec::new();
+    let mut seen = IdSet::new();
+    if workers <= 1 {
+        // Serial: intersect straight into the shared arena.
+        let arena = &mut index.arena;
+        let mut w_buf = vec![0u64; words];
+        let mut buf = vec![0u64; words];
+        for &w in &w_side {
+            w_buf.copy_from_slice(arena.words(w));
+            if words_empty(&w_buf) {
+                continue; // an empty element yields only empty intersections
+            }
+            for &u in &u_side {
+                // w ⊆ u ⇒ w ∩ u = w, already interned: skip the probe.
+                let id = if softhw_hypergraph::arena::words_subset(&w_buf, arena.words(u)) {
+                    w
+                } else {
+                    buf.copy_from_slice(&w_buf);
+                    words_intersect_into(arena.words(u), &mut buf);
+                    if words_empty(&buf) {
+                        continue;
+                    }
+                    arena.intern_words(&buf)
+                };
+                if seen.insert(id) {
+                    out.push(id);
+                    if out.len() > limits.max_bags {
+                        return Err(LimitExceeded { what: "max_bags" });
+                    }
+                }
+            }
+        }
+    } else {
+        let universe = index.arena.universe();
+        let shared: &BagArena = &index.arena;
+        let per_chunk: Vec<Result<BagArena, LimitExceeded>> =
+            par_chunks(w_side.len(), workers, |range| {
+                let mut local = BagArena::new(universe);
+                let mut buf = vec![0u64; words];
+                for wi in range {
+                    let w_words = shared.words(w_side[wi]);
+                    if words_empty(w_words) {
+                        continue; // an empty element yields only empty intersections
+                    }
+                    for &u in &u_side {
+                        buf.copy_from_slice(w_words);
+                        words_intersect_into(shared.words(u), &mut buf);
+                        if !words_empty(&buf) {
+                            local.intern_words(&buf);
+                            // Per-worker guard so a blow-up aborts during the
+                            // fan-out, not only at the merge: worker memory
+                            // stays bounded by max_bags.
+                            if local.len() > limits.max_bags {
+                                return Err(LimitExceeded { what: "max_bags" });
+                            }
+                        }
+                    }
+                }
+                Ok(local)
+            });
+        for r in per_chunk {
+            let local = r?;
+            for i in 0..local.len() {
+                let id = index.arena.intern_words(local.words(BagId(i as u32)));
+                if seen.insert(id) {
+                    out.push(id);
+                    if out.len() > limits.max_bags {
+                        return Err(LimitExceeded { what: "max_bags" });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable_by(|&a, &b| index.arena.cmp_bags(a, b));
+    Ok(out)
+}
+
+/// `Soft_{H,k}` as interned ids, with the `λ1` pool being `E(H)` itself.
+pub fn soft_bag_ids(
+    index: &mut BlockIndex,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BagId>, LimitExceeded> {
+    let elements: Vec<BagId> = {
+        let h = index.hypergraph();
+        (0..h.num_edges())
+            .map(|e| index.arena.intern_words(h.edge(e).blocks()))
+            .collect()
+    };
+    soft_bag_ids_from_elements(index, &elements, k, limits)
+}
+
+/// Enumerates all unions of between 1 and `k` sets drawn from `elements`,
+/// deduplicated ([`BitSet`] convenience wrapper over
+/// [`lambda_union_ids`]).
+pub fn lambda_unions(
+    universe: usize,
+    elements: &[BitSet],
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BitSet>, LimitExceeded> {
+    let mut arena = BagArena::new(universe);
+    let ids: Vec<BagId> = elements.iter().map(|e| arena.intern(e)).collect();
+    let out = lambda_union_ids(&mut arena, &ids, k, limits)?;
+    Ok(out.into_iter().map(|id| arena.to_bitset(id)).collect())
+}
+
+/// Enumerates all distinct `⋃C` for `C` a `[λ2]`-component of `h`
+/// ([`BitSet`] convenience wrapper over [`component_union_ids`]).
+pub fn component_unions(
+    h: &Hypergraph,
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<Vec<BitSet>, LimitExceeded> {
+    let mut index = BlockIndex::new(h);
+    let out = component_union_ids(&mut index, k, limits)?;
+    Ok(out
+        .into_iter()
+        .map(|id| index.arena.to_bitset(id))
+        .collect())
+}
+
 /// Computes `Soft_{H,k}` with explicit guards, given a pre-computed
-/// `λ1`-element pool (for Definition 3 this is `E(H)` itself; the iterated
-/// hierarchy of Definition 6 passes `E^(i)`).
+/// `λ1`-element pool ([`BitSet`] convenience wrapper).
 pub fn soft_bags_from_elements(
     h: &Hypergraph,
     elements: &[BitSet],
     k: usize,
     limits: &SoftLimits,
 ) -> Result<Vec<BitSet>, LimitExceeded> {
-    let w_side = lambda_unions(h.num_vertices(), elements, k, limits)?;
-    let u_side = component_unions(h, k, limits)?;
-    let mut seen: FxHashSet<BitSet> = FxHashSet::default();
-    for w in &w_side {
-        for u in &u_side {
-            let b = w.intersection(u);
-            if !b.is_empty() {
-                seen.insert(b);
-                if seen.len() > limits.max_bags {
-                    return Err(LimitExceeded { what: "max_bags" });
-                }
-            }
-        }
-    }
-    let mut out: Vec<BitSet> = seen.into_iter().collect();
-    out.sort_unstable();
-    Ok(out)
+    let mut index = BlockIndex::new(h);
+    let ids: Vec<BagId> = elements.iter().map(|e| index.arena.intern(e)).collect();
+    let out = soft_bag_ids_from_elements(&mut index, &ids, k, limits)?;
+    Ok(out
+        .into_iter()
+        .map(|id| index.arena.to_bitset(id))
+        .collect())
 }
 
 /// `Soft_{H,k}` per Definition 3, with default limits. Panics if the
@@ -194,11 +540,7 @@ pub fn cover_bags(h: &Hypergraph, k: usize, drop_edge_subsumed: bool) -> Vec<Bit
     let mut bags = lambda_unions(h.num_vertices(), h.edges(), k, &SoftLimits::default())
         .expect("cover bag generation exceeded limits");
     if drop_edge_subsumed {
-        bags.retain(|b| {
-            !h.edges()
-                .iter()
-                .any(|e| b.is_subset(e) && b != e)
-        });
+        bags.retain(|b| !h.edges().iter().any(|e| b.is_subset(e) && b != e));
     }
     bags
 }
@@ -282,6 +624,132 @@ fn cover_exactly(
         Some(chosen)
     } else {
         None
+    }
+}
+
+/// The seed's direct `FxHashSet<BitSet>`-based generator, kept as the
+/// cross-validation oracle for the arena path (property tests assert the
+/// two agree) and as the benchmark baseline the arena speedup is measured
+/// against. Not used by any solver.
+pub mod reference {
+    use super::{LimitExceeded, SoftLimits};
+    use softhw_hypergraph::{BitSet, FxHashSet, Hypergraph};
+
+    /// Pre-arena λ-union enumeration (fresh `BitSet` per node, hash-set
+    /// dedup).
+    pub fn lambda_unions(
+        universe: usize,
+        elements: &[BitSet],
+        k: usize,
+        limits: &SoftLimits,
+    ) -> Result<Vec<BitSet>, LimitExceeded> {
+        let mut seen: FxHashSet<BitSet> = FxHashSet::default();
+        let mut budget = limits.max_lambda_sets;
+        fn rec(
+            elements: &[BitSet],
+            start: usize,
+            depth_left: usize,
+            current: &BitSet,
+            seen: &mut FxHashSet<BitSet>,
+            budget: &mut usize,
+        ) -> Result<(), LimitExceeded> {
+            for i in start..elements.len() {
+                if *budget == 0 {
+                    return Err(LimitExceeded {
+                        what: "max_lambda_sets",
+                    });
+                }
+                *budget -= 1;
+                let u = current.union(&elements[i]);
+                seen.insert(u.clone());
+                if depth_left > 1 {
+                    rec(elements, i + 1, depth_left - 1, &u, seen, budget)?;
+                }
+            }
+            Ok(())
+        }
+        if k > 0 {
+            rec(
+                elements,
+                0,
+                k,
+                &BitSet::empty(universe),
+                &mut seen,
+                &mut budget,
+            )?;
+        }
+        let mut out: Vec<BitSet> = seen.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Pre-arena `⋃C` enumeration (components recomputed per separator).
+    pub fn component_unions(
+        h: &Hypergraph,
+        k: usize,
+        limits: &SoftLimits,
+    ) -> Result<Vec<BitSet>, LimitExceeded> {
+        let mut seen: FxHashSet<BitSet> = FxHashSet::default();
+        let mut budget = limits.max_lambda_sets;
+        for comp in h.edge_components(&h.empty_vertex_set()) {
+            seen.insert(h.union_of_edge_set(&comp));
+        }
+        fn rec(
+            h: &Hypergraph,
+            start: usize,
+            depth_left: usize,
+            sep: &BitSet,
+            seen: &mut FxHashSet<BitSet>,
+            budget: &mut usize,
+        ) -> Result<(), LimitExceeded> {
+            for e in start..h.num_edges() {
+                if *budget == 0 {
+                    return Err(LimitExceeded {
+                        what: "max_lambda_sets",
+                    });
+                }
+                *budget -= 1;
+                let s = sep.union(h.edge(e));
+                for comp in h.edge_components(&s) {
+                    seen.insert(h.union_of_edge_set(&comp));
+                }
+                if depth_left > 1 {
+                    rec(h, e + 1, depth_left - 1, &s, seen, budget)?;
+                }
+            }
+            Ok(())
+        }
+        if k > 0 {
+            rec(h, 0, k, &h.empty_vertex_set(), &mut seen, &mut budget)?;
+        }
+        let mut out: Vec<BitSet> = seen.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Pre-arena `Soft_{H,k}` generation.
+    pub fn soft_bags_with(
+        h: &Hypergraph,
+        k: usize,
+        limits: &SoftLimits,
+    ) -> Result<Vec<BitSet>, LimitExceeded> {
+        let w_side = lambda_unions(h.num_vertices(), h.edges(), k, limits)?;
+        let u_side = component_unions(h, k, limits)?;
+        let mut seen: FxHashSet<BitSet> = FxHashSet::default();
+        for w in &w_side {
+            for u in &u_side {
+                let b = w.intersection(u);
+                if !b.is_empty() {
+                    seen.insert(b);
+                    if seen.len() > limits.max_bags {
+                        return Err(LimitExceeded { what: "max_bags" });
+                    }
+                }
+            }
+        }
+        let mut out: Vec<BitSet> = seen.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
     }
 }
 
@@ -378,5 +846,46 @@ mod tests {
             assert!(s2.contains(b));
         }
         assert!(s2.len() > s1.len());
+    }
+
+    #[test]
+    fn arena_generator_agrees_with_reference() {
+        // The arena path and the seed's hash-set path must produce the
+        // same sorted candidate sets on the paper's named instances.
+        for (h, k) in [
+            (named::h2(), 1),
+            (named::h2(), 2),
+            (named::cycle(6), 2),
+            (named::grid(3, 3), 2),
+            (named::triangle_star(3), 2),
+        ] {
+            let limits = SoftLimits::default();
+            let fast = soft_bags_with(&h, k, &limits).unwrap();
+            let slow = reference::soft_bags_with(&h, k, &limits).unwrap();
+            assert_eq!(fast, slow, "k = {k}");
+            let fast_u = component_unions(&h, k, &limits).unwrap();
+            let slow_u = reference::component_unions(&h, k, &limits).unwrap();
+            assert_eq!(fast_u, slow_u, "component unions, k = {k}");
+            let fast_w = lambda_unions(h.num_vertices(), h.edges(), k, &limits).unwrap();
+            let slow_w = reference::lambda_unions(h.num_vertices(), h.edges(), k, &limits).unwrap();
+            assert_eq!(fast_w, slow_w, "lambda unions, k = {k}");
+        }
+    }
+
+    #[test]
+    fn shared_index_reuses_component_cache_across_k() {
+        let h = named::h2();
+        let mut index = BlockIndex::new(&h);
+        let limits = SoftLimits::default();
+        let _ = soft_bag_ids(&mut index, 1, &limits).unwrap();
+        let misses_after_k1 = index.stats().comp_misses;
+        let _ = soft_bag_ids(&mut index, 2, &limits).unwrap();
+        let stats = index.stats();
+        // k = 2 re-enumerates every k = 1 separator; those must all hit.
+        assert!(stats.comp_hits > 0, "expected cache hits at k = 2");
+        assert!(
+            stats.comp_misses > misses_after_k1,
+            "k = 2 also explores new separators"
+        );
     }
 }

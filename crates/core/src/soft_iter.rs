@@ -16,19 +16,32 @@
 //! materialise — e.g. `H'3` of Example 2 — [`soft_i_witness`] offers a
 //! *membership check with witness* that only materialises `E^(i)`.
 
-use crate::ctd::candidate_td;
+use crate::ctd::candidate_td_ids;
 use crate::soft::{self, LimitExceeded, SoftLimits};
 use crate::td::TreeDecomposition;
-use softhw_hypergraph::{BitSet, FxHashSet, Hypergraph};
+use softhw_hypergraph::arena::{words_empty, words_intersect_into, IdSet};
+use softhw_hypergraph::{BagId, BitSet, BlockIndex, Hypergraph};
 
 /// Lazily computed levels of the `E^(i)` / `Soft^i_{H,k}` hierarchy.
+///
+/// All levels live as interned [`BagId`]s in one shared [`BlockIndex`]:
+/// the subedge products `E^(i+1) = E^(i) ⋂× Soft^i` dedup by arena
+/// interning, and the per-level `Soft^i` generation reuses the index's
+/// component/union caches — the `λ2` side of Definition 3 does not
+/// depend on the level, so every level past the first enumerates it for
+/// free. Materialised [`BitSet`] views are kept per level for the
+/// public slice API.
 pub struct SoftHierarchy<'h> {
     h: &'h Hypergraph,
     k: usize,
     limits: SoftLimits,
-    /// `subedges[i]` = `E^(i)` (sorted, deduplicated).
+    index: BlockIndex<'h>,
+    /// `subedges[i]` = `E^(i)` (ids, sorted by content).
+    subedge_ids: Vec<Vec<BagId>>,
+    /// `bags[i]` = `Soft^i_{H,k}` (ids, sorted by content).
+    bag_ids: Vec<Vec<BagId>>,
+    /// Materialised views, index-aligned with the id levels.
     subedges: Vec<Vec<BitSet>>,
-    /// `bags[i]` = `Soft^i_{H,k}` (sorted, deduplicated).
     bags: Vec<Vec<BitSet>>,
 }
 
@@ -39,6 +52,9 @@ impl<'h> SoftHierarchy<'h> {
             h,
             k,
             limits,
+            index: BlockIndex::new(h),
+            subedge_ids: Vec::new(),
+            bag_ids: Vec::new(),
             subedges: Vec::new(),
             bags: Vec::new(),
         }
@@ -55,52 +71,87 @@ impl<'h> SoftHierarchy<'h> {
         Ok(&self.bags[i])
     }
 
+    /// [`SoftHierarchy::soft_level`] as interned ids into
+    /// [`SoftHierarchy::index`].
+    pub fn soft_level_ids(&mut self, i: usize) -> Result<&[BagId], LimitExceeded> {
+        self.ensure(i)?;
+        Ok(&self.bag_ids[i])
+    }
+
+    /// The shared block index holding every level's bags.
+    pub fn index_mut(&mut self) -> &mut BlockIndex<'h> {
+        &mut self.index
+    }
+
+    fn materialise(index: &BlockIndex, ids: &[BagId]) -> Vec<BitSet> {
+        ids.iter().map(|&id| index.arena.to_bitset(id)).collect()
+    }
+
     /// Ensures `E^(i)` is materialised (this requires `Soft^(i-1)` for
     /// `i > 0`); returns it.
     pub fn subedge_level(&mut self, i: usize) -> Result<&[BitSet], LimitExceeded> {
+        self.ensure_subedges(i)?;
+        Ok(&self.subedges[i])
+    }
+
+    fn ensure_subedges(&mut self, i: usize) -> Result<(), LimitExceeded> {
         if i == 0 {
-            if self.subedges.is_empty() {
-                let mut e0: FxHashSet<BitSet> = FxHashSet::default();
-                e0.extend(self.h.edges().iter().cloned());
-                let mut v: Vec<BitSet> = e0.into_iter().collect();
-                v.sort_unstable();
-                self.subedges.push(v);
+            if self.subedge_ids.is_empty() {
+                let mut seen = IdSet::new();
+                let mut v: Vec<BagId> = Vec::new();
+                for e in 0..self.h.num_edges() {
+                    let id = self.index.arena.intern_words(self.h.edge(e).blocks());
+                    if seen.insert(id) {
+                        v.push(id);
+                    }
+                }
+                v.sort_unstable_by(|&a, &b| self.index.arena.cmp_bags(a, b));
+                self.subedges.push(Self::materialise(&self.index, &v));
+                self.subedge_ids.push(v);
             }
-            return Ok(&self.subedges[0]);
+            return Ok(());
         }
         self.ensure(i - 1)?;
-        while self.subedges.len() <= i {
-            let lvl = self.subedges.len();
-            let prev_sub = &self.subedges[lvl - 1];
-            let prev_bags = &self.bags[lvl - 1];
-            let mut next: FxHashSet<BitSet> = FxHashSet::default();
-            for e in prev_sub {
-                for b in prev_bags {
-                    let x = e.intersection(b);
-                    if !x.is_empty() {
-                        next.insert(x);
-                        if next.len() > self.limits.max_bags {
-                            return Err(LimitExceeded {
-                                what: "max_bags (subedge level)",
-                            });
+        while self.subedge_ids.len() <= i {
+            let lvl = self.subedge_ids.len();
+            let words = self.index.arena.words_per_bag();
+            let mut seen = IdSet::new();
+            let mut v: Vec<BagId> = Vec::new();
+            let mut buf = vec![0u64; words];
+            for ei in 0..self.subedge_ids[lvl - 1].len() {
+                for bi in 0..self.bag_ids[lvl - 1].len() {
+                    let (e, b) = (self.subedge_ids[lvl - 1][ei], self.bag_ids[lvl - 1][bi]);
+                    buf.copy_from_slice(self.index.arena.words(e));
+                    words_intersect_into(self.index.arena.words(b), &mut buf);
+                    if !words_empty(&buf) {
+                        let id = self.index.arena.intern_words(&buf);
+                        if seen.insert(id) {
+                            v.push(id);
+                            if v.len() > self.limits.max_bags {
+                                return Err(LimitExceeded {
+                                    what: "max_bags (subedge level)",
+                                });
+                            }
                         }
                     }
                 }
             }
-            let mut v: Vec<BitSet> = next.into_iter().collect();
-            v.sort_unstable();
-            self.subedges.push(v);
+            v.sort_unstable_by(|&a, &b| self.index.arena.cmp_bags(a, b));
+            self.subedges.push(Self::materialise(&self.index, &v));
+            self.subedge_ids.push(v);
         }
-        Ok(&self.subedges[i])
+        Ok(())
     }
 
     fn ensure(&mut self, i: usize) -> Result<(), LimitExceeded> {
-        while self.bags.len() <= i {
-            let lvl = self.bags.len();
-            self.subedge_level(lvl)?;
-            let bags =
-                soft::soft_bags_from_elements(self.h, &self.subedges[lvl], self.k, &self.limits)?;
-            self.bags.push(bags);
+        while self.bag_ids.len() <= i {
+            let lvl = self.bag_ids.len();
+            self.ensure_subedges(lvl)?;
+            let elements = self.subedge_ids[lvl].clone();
+            let ids =
+                soft::soft_bag_ids_from_elements(&mut self.index, &elements, self.k, &self.limits)?;
+            self.bags.push(Self::materialise(&self.index, &ids));
+            self.bag_ids.push(ids);
         }
         Ok(())
     }
@@ -125,7 +176,9 @@ impl<'h> SoftHierarchy<'h> {
 }
 
 /// Decides `shw_i(H) ≤ k` (soft hypertree width of order `i`); returns a
-/// witness CTD over `Soft^i_{H,k}` on success.
+/// witness CTD over `Soft^i_{H,k}` on success. The CTD instance is built
+/// on the hierarchy's own block index, so the components cached while
+/// generating the levels are reused for the block table.
 pub fn shw_i_leq(
     h: &Hypergraph,
     k: usize,
@@ -133,8 +186,8 @@ pub fn shw_i_leq(
     limits: &SoftLimits,
 ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
     let mut hier = SoftHierarchy::new(h, k, limits.clone());
-    let bags = hier.soft_level(i)?.to_vec();
-    Ok(candidate_td(h, &bags))
+    let bags = hier.soft_level_ids(i)?.to_vec();
+    Ok(candidate_td_ids(hier.index_mut(), &bags))
 }
 
 /// Computes `shw_i(H)` exactly (least `k` with `shw_i(H) ≤ k`).
@@ -157,8 +210,8 @@ pub fn ghw_leq_via_fixpoint(
 ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
     let mut hier = SoftHierarchy::new(h, k, limits.clone());
     let lvl = hier.fixpoint(usize::MAX)?;
-    let bags = hier.soft_level(lvl)?.to_vec();
-    Ok(candidate_td(h, &bags))
+    let bags = hier.soft_level_ids(lvl)?.to_vec();
+    Ok(candidate_td_ids(hier.index_mut(), &bags))
 }
 
 /// Computes `ghw(H)` exactly via the fixpoint characterisation.

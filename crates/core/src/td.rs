@@ -247,13 +247,7 @@ impl TreeDecomposition {
     /// Pretty-prints the decomposition with vertex names from `h`.
     pub fn render(&self, h: &Hypergraph) -> String {
         let mut out = String::new();
-        fn rec(
-            td: &TreeDecomposition,
-            h: &Hypergraph,
-            u: usize,
-            depth: usize,
-            out: &mut String,
-        ) {
+        fn rec(td: &TreeDecomposition, h: &Hypergraph, u: usize, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth));
             out.push_str(&h.render_vertex_set(td.bag(u)));
             out.push('\n');

@@ -241,10 +241,7 @@ impl Relation {
             };
         }
         let self_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
-        let other_pos: Vec<usize> = shared
-            .iter()
-            .map(|&v| other.position(v).unwrap())
-            .collect();
+        let other_pos: Vec<usize> = shared.iter().map(|&v| other.position(v).unwrap()).collect();
         let mut keys: softhw_hypergraph::FxHashSet<Vec<u64>> =
             softhw_hypergraph::FxHashSet::default();
         for r in other.rows() {

@@ -58,12 +58,7 @@ pub fn scan_cost(j_u: f64, children_reduced: &[f64]) -> f64 {
 ///
 /// `children` carries `(cost(T_c), ReducedSz(c))` per child.
 pub fn subtree_cost(node_cost: f64, scan_cost: f64, children: &[(f64, f64)]) -> f64 {
-    node_cost
-        + scan_cost
-        + children
-            .iter()
-            .map(|&(c, r)| c + xlogx(r))
-            .sum::<f64>()
+    node_cost + scan_cost + children.iter().map(|&(c, r)| c + xlogx(r)).sum::<f64>()
 }
 
 #[cfg(test)]

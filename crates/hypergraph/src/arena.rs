@@ -1,0 +1,394 @@
+//! The bag arena: an interner mapping every distinct vertex/edge set to a
+//! dense [`BagId`], with word-level set algebra on the interned storage.
+//!
+//! All decomposition solvers in this workspace operate on *sets over one
+//! fixed universe* (the vertices or edges of a single hypergraph). The
+//! seed implementation deduplicated candidate bags with
+//! `FxHashSet<BitSet>`, allocating and hashing a fresh boxed bitset per
+//! candidate. The arena replaces that with:
+//!
+//! - one flat `Vec<u64>` holding every distinct bag back to back
+//!   (`words` blocks per bag), so interning never allocates per bag and
+//!   equal bags share one id;
+//! - an open-addressing id table (no key duplication — probes compare
+//!   against the flat storage directly);
+//! - subset / intersection / cardinality tests directly on the packed
+//!   words, so the solver hot loops never materialise a [`BitSet`].
+//!
+//! Ids are dense `u32`s in insertion order, which makes per-bag side
+//! tables plain `Vec`s instead of hash maps (see `softhw_core::ctd`).
+
+use crate::bitset::{BitIter, BitSet};
+
+/// Dense identifier of an interned bag within one [`BagArena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BagId(pub u32);
+
+impl BagId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// An interner for sets over a fixed universe, with word-level algebra.
+#[derive(Clone)]
+pub struct BagArena {
+    universe: usize,
+    words: usize,
+    storage: Vec<u64>,
+    /// Open-addressing table of ids; `EMPTY_SLOT` marks a free slot.
+    table: Vec<u32>,
+    mask: usize,
+}
+
+impl BagArena {
+    /// Creates an arena for sets over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        let cap = 64;
+        BagArena {
+            universe,
+            words: universe.div_ceil(64).max(1),
+            storage: Vec::new(),
+            table: vec![EMPTY_SLOT; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// The universe size this arena was created for.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of `u64` words per bag.
+    #[inline]
+    pub fn words_per_bag(&self) -> usize {
+        self.words
+    }
+
+    /// Number of distinct bags interned so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.storage.len() / self.words
+    }
+
+    /// True iff no bag has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// The packed words of bag `id`.
+    #[inline]
+    pub fn words(&self, id: BagId) -> &[u64] {
+        let start = id.idx() * self.words;
+        &self.storage[start..start + self.words]
+    }
+
+    #[inline]
+    fn hash_words(words: &[u64]) -> u64 {
+        // Fx-style multiply-rotate over the words.
+        let mut h: u64 = 0;
+        for &w in words {
+            h = (h.rotate_left(5) ^ w).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+        h
+    }
+
+    /// Interns raw words (must be `words_per_bag` long); returns the id,
+    /// allocating a new one only for unseen content.
+    pub fn intern_words(&mut self, words: &[u64]) -> BagId {
+        debug_assert_eq!(words.len(), self.words);
+        if self.len() * 2 >= self.table.len() {
+            self.grow();
+        }
+        let mut slot = (Self::hash_words(words) as usize) & self.mask;
+        loop {
+            let id = self.table[slot];
+            if id == EMPTY_SLOT {
+                let new_id = self.len() as u32;
+                self.storage.extend_from_slice(words);
+                self.table[slot] = new_id;
+                return BagId(new_id);
+            }
+            if self.words(BagId(id)) == words {
+                return BagId(id);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Interns a [`BitSet`] (must be over this arena's universe).
+    pub fn intern(&mut self, set: &BitSet) -> BagId {
+        self.intern_words(set.blocks())
+    }
+
+    /// Looks a set up without interning it.
+    pub fn lookup_words(&self, words: &[u64]) -> Option<BagId> {
+        debug_assert_eq!(words.len(), self.words);
+        let mut slot = (Self::hash_words(words) as usize) & self.mask;
+        loop {
+            let id = self.table[slot];
+            if id == EMPTY_SLOT {
+                return None;
+            }
+            if self.words(BagId(id)) == words {
+                return Some(BagId(id));
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.table.len() * 2;
+        self.mask = cap - 1;
+        let mut table = vec![EMPTY_SLOT; cap];
+        for id in 0..self.len() as u32 {
+            let mut slot = (Self::hash_words(self.words(BagId(id))) as usize) & self.mask;
+            while table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & self.mask;
+            }
+            table[slot] = id;
+        }
+        self.table = table;
+    }
+
+    /// Materialises bag `id` as a [`BitSet`] view.
+    pub fn to_bitset(&self, id: BagId) -> BitSet {
+        BitSet::from_blocks(self.words(id))
+    }
+
+    /// `a ⊆ b`, word-level.
+    #[inline]
+    pub fn is_subset(&self, a: BagId, b: BagId) -> bool {
+        words_subset(self.words(a), self.words(b))
+    }
+
+    /// `a ∩ b ≠ ∅`, word-level.
+    #[inline]
+    pub fn intersects(&self, a: BagId, b: BagId) -> bool {
+        words_intersect(self.words(a), self.words(b))
+    }
+
+    /// Cardinality of bag `id`.
+    #[inline]
+    pub fn card(&self, id: BagId) -> usize {
+        self.words(id).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff bag `id` is the empty set.
+    #[inline]
+    pub fn bag_is_empty(&self, id: BagId) -> bool {
+        self.words(id).iter().all(|&w| w == 0)
+    }
+
+    /// Interns `a ∪ b`.
+    pub fn union(&mut self, a: BagId, b: BagId) -> BagId {
+        let mut buf = self.words(a).to_vec();
+        words_union_into(self.words(b), &mut buf);
+        self.intern_words(&buf)
+    }
+
+    /// Interns `a ∩ b`.
+    pub fn intersection(&mut self, a: BagId, b: BagId) -> BagId {
+        let mut buf = self.words(a).to_vec();
+        words_intersect_into(self.words(b), &mut buf);
+        self.intern_words(&buf)
+    }
+
+    /// Copies bag `id` into `buf` (resizing it to `words_per_bag`).
+    pub fn read_into(&self, id: BagId, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend_from_slice(self.words(id));
+    }
+
+    /// Unions bag `id` into `buf` (which must be `words_per_bag` long).
+    #[inline]
+    pub fn union_into(&self, id: BagId, buf: &mut [u64]) {
+        words_union_into(self.words(id), buf);
+    }
+
+    /// Interns the empty set.
+    pub fn empty_bag(&mut self) -> BagId {
+        let buf = vec![0u64; self.words];
+        self.intern_words(&buf)
+    }
+
+    /// Iterates the elements of bag `id` in ascending order.
+    pub fn iter(&self, id: BagId) -> BitIter<'_> {
+        words_iter(self.words(id))
+    }
+
+    /// Compares two bags by content (same order as [`BitSet`]'s `Ord`).
+    #[inline]
+    pub fn cmp_bags(&self, a: BagId, b: BagId) -> std::cmp::Ordering {
+        self.words(a).cmp(self.words(b))
+    }
+
+    /// Copies a bag from another arena over the same universe.
+    pub fn copy_from(&mut self, other: &BagArena, id: BagId) -> BagId {
+        debug_assert_eq!(self.words, other.words);
+        self.intern_words(other.words(id))
+    }
+}
+
+/// A dense membership set over [`BagId`]s of one arena — the "have I
+/// already emitted this bag" structure of the enumeration loops. Ids are
+/// dense and monotonically assigned, so a growable bool vector beats a
+/// hash set: the common case (a bag new to the arena) is a push past the
+/// end, no hashing at all.
+#[derive(Default)]
+pub struct IdSet {
+    flags: Vec<bool>,
+}
+
+impl IdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        IdSet::default()
+    }
+
+    /// Inserts `id`; returns `true` iff it was not present.
+    #[inline]
+    pub fn insert(&mut self, id: BagId) -> bool {
+        let i = id.idx();
+        if i >= self.flags.len() {
+            self.flags.resize(i + 1, false);
+        }
+        if self.flags[i] {
+            false
+        } else {
+            self.flags[i] = true;
+            true
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: BagId) -> bool {
+        self.flags.get(id.idx()).copied().unwrap_or(false)
+    }
+}
+
+/// `a ⊆ b` on raw word slices.
+#[inline]
+pub fn words_subset(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+}
+
+/// `a ∩ b ≠ ∅` on raw word slices.
+#[inline]
+pub fn words_intersect(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+/// `dst |= src` on raw word slices.
+#[inline]
+pub fn words_union_into(src: &[u64], dst: &mut [u64]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// `dst &= src` on raw word slices.
+#[inline]
+pub fn words_intersect_into(src: &[u64], dst: &mut [u64]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+/// True iff all words are zero.
+#[inline]
+pub fn words_empty(words: &[u64]) -> bool {
+    words.iter().all(|&w| w == 0)
+}
+
+/// Population count over raw words.
+#[inline]
+pub fn words_card(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Iterates set bits of raw words in ascending order.
+pub fn words_iter(words: &[u64]) -> BitIter<'_> {
+    BitIter::over(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut a = BagArena::new(100);
+        let s1 = BitSet::from_iter(100, [1, 64, 99]);
+        let s2 = BitSet::from_iter(100, [1, 64, 99]);
+        let s3 = BitSet::from_iter(100, [2]);
+        let i1 = a.intern(&s1);
+        let i2 = a.intern(&s2);
+        let i3 = a.intern(&s3);
+        assert_eq!(i1, i2);
+        assert_ne!(i1, i3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.to_bitset(i1), s1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable_across_growth() {
+        let mut a = BagArena::new(256);
+        let mut ids = Vec::new();
+        for i in 0..500 {
+            let s = BitSet::from_iter(256, [i % 256, (i * 7) % 256]);
+            ids.push((a.intern(&s), s));
+        }
+        for (id, s) in &ids {
+            assert_eq!(&a.to_bitset(*id), s);
+            assert_eq!(a.lookup_words(s.blocks()), Some(*id));
+        }
+    }
+
+    #[test]
+    fn word_ops_match_bitset_ops() {
+        let mut a = BagArena::new(70);
+        let x = BitSet::from_iter(70, [0, 3, 65]);
+        let y = BitSet::from_iter(70, [3, 65, 69]);
+        let (ix, iy) = (a.intern(&x), a.intern(&y));
+        assert!(!a.is_subset(ix, iy));
+        assert!(a.intersects(ix, iy));
+        assert_eq!(a.card(ix), 3);
+        let u = a.union(ix, iy);
+        assert_eq!(a.to_bitset(u), x.union(&y));
+        let i = a.intersection(ix, iy);
+        assert_eq!(a.to_bitset(i), x.intersection(&y));
+        let sub = a.intern(&BitSet::from_iter(70, [3]));
+        assert!(a.is_subset(sub, ix));
+    }
+
+    #[test]
+    fn empty_bag_and_iter() {
+        let mut a = BagArena::new(10);
+        let e = a.empty_bag();
+        assert!(a.bag_is_empty(e));
+        let s = a.intern(&BitSet::from_iter(10, [2, 5, 9]));
+        assert_eq!(a.iter(s).collect::<Vec<_>>(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn copy_between_arenas() {
+        let mut a = BagArena::new(40);
+        let mut b = BagArena::new(40);
+        let s = BitSet::from_iter(40, [7, 39]);
+        let ia = a.intern(&s);
+        let ib = b.copy_from(&a, ia);
+        assert_eq!(b.to_bitset(ib), s);
+    }
+}

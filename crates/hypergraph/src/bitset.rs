@@ -45,6 +45,14 @@ impl BitSet {
         s
     }
 
+    /// Reconstructs a set from raw blocks (the inverse of
+    /// [`BitSet::blocks`]); used by the bag arena to materialise views.
+    pub fn from_blocks(blocks: &[u64]) -> Self {
+        BitSet {
+            blocks: blocks.to_vec().into_boxed_slice(),
+        }
+    }
+
     /// Number of `u64` blocks backing this set.
     #[inline]
     pub fn num_blocks(&self) -> usize {
@@ -228,6 +236,17 @@ pub struct BitIter<'a> {
     blocks: &'a [u64],
     block_idx: usize,
     current: u64,
+}
+
+impl<'a> BitIter<'a> {
+    /// Iterates the set bits of a raw word slice (used by the bag arena).
+    pub(crate) fn over(blocks: &'a [u64]) -> Self {
+        BitIter {
+            blocks,
+            block_idx: 0,
+            current: blocks.first().copied().unwrap_or(0),
+        }
+    }
 }
 
 impl Iterator for BitIter<'_> {

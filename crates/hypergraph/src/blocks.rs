@@ -1,0 +1,321 @@
+//! The shared block index: per-hypergraph memoisation of the
+//! `[S]`-connectivity quantities every solver recomputes.
+//!
+//! All of the paper's algorithms repeatedly ask the same three questions
+//! about separators `S ⊆ V(H)`:
+//!
+//! 1. what are the `[S]`-components (as vertex sets)?
+//! 2. which edges touch a given component (the block's coverage
+//!    obligations in Algorithm 1)?
+//! 3. what is `⋃C`, the union of the vertices of the edges touching a
+//!    component (the `U`-side of Definition 3)?
+//!
+//! The seed recomputed these per solver call — `shw` at width `k+1`
+//! re-derived every component it already knew at width `k`, and
+//! `component_unions` re-ran a BFS per λ2 subset even across solvers. The
+//! [`BlockIndex`] interns every separator and component into a
+//! [`BagArena`] and caches the answers keyed by [`BagId`], so a
+//! (hypergraph, k)-sweep — or a whole `shw` search across all `k` —
+//! computes each of them exactly once.
+//!
+//! Side tables are append-only, so cached ranges stay valid as the index
+//! grows.
+
+use crate::arena::{BagArena, BagId};
+use crate::bitset::BitSet;
+use crate::fxhash::FxHashMap;
+use crate::hypergraph::Hypergraph;
+
+/// A `(start, len)` range into one of the index's append-only side tables.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceRange {
+    start: u32,
+    len: u32,
+}
+
+impl SliceRange {
+    #[inline]
+    fn of(start: usize, len: usize) -> Self {
+        SliceRange {
+            start: start as u32,
+            len: len as u32,
+        }
+    }
+
+    /// Number of entries in the range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Cache statistics (exposed for tests and the bench harness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockIndexStats {
+    /// Component-list cache hits.
+    pub comp_hits: u64,
+    /// Component-list cache misses (fresh BFS runs).
+    pub comp_misses: u64,
+    /// Component-union cache hits.
+    pub union_hits: u64,
+    /// Component-union cache misses.
+    pub union_misses: u64,
+}
+
+/// Per-hypergraph cache of components, blocks, and component unions, all
+/// keyed on interned [`BagId`]s.
+pub struct BlockIndex<'h> {
+    h: &'h Hypergraph,
+    /// Arena over the vertex universe; owns every separator, component,
+    /// closure, and candidate bag this index has seen.
+    pub arena: BagArena,
+    /// Flat storage of cached component lists.
+    comp_data: Vec<BagId>,
+    /// separator id → its `[S]`-components (vertex sets, interned).
+    comp_cache: FxHashMap<BagId, SliceRange>,
+    /// Flat storage of cached touching-edge lists.
+    touch_data: Vec<u32>,
+    /// component id → ids of edges intersecting it.
+    touch_cache: FxHashMap<BagId, SliceRange>,
+    /// component id → interned `⋃C` (union of vertices of touching edges).
+    union_cache: FxHashMap<BagId, BagId>,
+    /// Reusable per-edge mark buffer for `edges_touching`.
+    edge_seen_scratch: Vec<bool>,
+    stats: BlockIndexStats,
+}
+
+impl<'h> BlockIndex<'h> {
+    /// Creates an empty index for `h`.
+    pub fn new(h: &'h Hypergraph) -> Self {
+        BlockIndex {
+            h,
+            arena: BagArena::new(h.num_vertices()),
+            comp_data: Vec::new(),
+            comp_cache: FxHashMap::default(),
+            touch_data: Vec::new(),
+            touch_cache: FxHashMap::default(),
+            union_cache: FxHashMap::default(),
+            edge_seen_scratch: Vec::new(),
+            stats: BlockIndexStats::default(),
+        }
+    }
+
+    /// The hypergraph this index serves.
+    #[inline]
+    pub fn hypergraph(&self) -> &'h Hypergraph {
+        self.h
+    }
+
+    /// Cache statistics so far.
+    #[inline]
+    pub fn stats(&self) -> BlockIndexStats {
+        self.stats
+    }
+
+    /// The `[S]`-components of separator `sep` as interned vertex sets.
+    /// Computed once per distinct separator; returns a range to resolve
+    /// with [`BlockIndex::comps`].
+    ///
+    /// The BFS runs word-level on scratch buffers (no per-vertex bitset
+    /// clones, unlike [`Hypergraph::vertex_components`]), and each
+    /// component is interned straight from its scratch words. Components
+    /// are emitted in ascending order of their smallest vertex — the
+    /// same order the bitset BFS produces.
+    pub fn components(&mut self, sep: BagId) -> SliceRange {
+        if let Some(&r) = self.comp_cache.get(&sep) {
+            self.stats.comp_hits += 1;
+            return r;
+        }
+        self.stats.comp_misses += 1;
+        let n = self.h.num_vertices();
+        let words = self.arena.words_per_bag();
+        // `seen` starts as the separator: separator vertices are never
+        // explored, and every explored vertex is marked here.
+        let mut seen: Vec<u64> = self.arena.words(sep).to_vec();
+        let mut comp = vec![0u64; words];
+        let mut stack: Vec<usize> = Vec::new();
+        let start = self.comp_data.len();
+        let mut count = 0usize;
+        for v0 in 0..n {
+            if seen[v0 / 64] >> (v0 % 64) & 1 != 0 {
+                continue;
+            }
+            comp.iter_mut().for_each(|w| *w = 0);
+            seen[v0 / 64] |= 1u64 << (v0 % 64);
+            comp[v0 / 64] |= 1u64 << (v0 % 64);
+            stack.push(v0);
+            while let Some(v) = stack.pop() {
+                for (i, &aw) in self.h.closed_neighbourhood(v).blocks().iter().enumerate() {
+                    let mut new = aw & !seen[i];
+                    if new != 0 {
+                        seen[i] |= new;
+                        comp[i] |= new;
+                        while new != 0 {
+                            stack.push(i * 64 + new.trailing_zeros() as usize);
+                            new &= new - 1;
+                        }
+                    }
+                }
+            }
+            let id = self.arena.intern_words(&comp);
+            self.comp_data.push(id);
+            count += 1;
+        }
+        let r = SliceRange::of(start, count);
+        self.comp_cache.insert(sep, r);
+        r
+    }
+
+    /// Resolves a component range returned by [`BlockIndex::components`].
+    #[inline]
+    pub fn comps(&self, r: SliceRange) -> &[BagId] {
+        &self.comp_data[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// The ids of the edges intersecting component `comp` (the coverage
+    /// obligations of the block headed by the component's separator),
+    /// ascending. Walks the component's incidence lists rather than
+    /// scanning all edges.
+    pub fn edges_touching(&mut self, comp: BagId) -> SliceRange {
+        if let Some(&r) = self.touch_cache.get(&comp) {
+            return r;
+        }
+        let start = self.touch_data.len();
+        self.edge_seen_scratch.clear();
+        self.edge_seen_scratch.resize(self.h.num_edges(), false);
+        let mut word_iter = self.arena.words(comp).to_vec();
+        for (i, w) in word_iter.iter_mut().enumerate() {
+            while *w != 0 {
+                let v = i * 64 + w.trailing_zeros() as usize;
+                *w &= *w - 1;
+                for &e in self.h.incident_edges(v) {
+                    if !self.edge_seen_scratch[e] {
+                        self.edge_seen_scratch[e] = true;
+                        self.touch_data.push(e as u32);
+                    }
+                }
+            }
+        }
+        self.touch_data[start..].sort_unstable();
+        let r = SliceRange::of(start, self.touch_data.len() - start);
+        self.touch_cache.insert(comp, r);
+        r
+    }
+
+    /// Resolves a touching-edge range.
+    #[inline]
+    pub fn touching(&self, r: SliceRange) -> &[u32] {
+        &self.touch_data[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// `⋃C` for component `comp`: the union of the vertex sets of all
+    /// edges intersecting it, interned. This is the `U`-side quantity of
+    /// Definition 3 and is shared across every `k` and every solver.
+    pub fn component_union(&mut self, comp: BagId) -> BagId {
+        if let Some(&u) = self.union_cache.get(&comp) {
+            self.stats.union_hits += 1;
+            return u;
+        }
+        self.stats.union_misses += 1;
+        let touch = self.edges_touching(comp);
+        let mut buf = vec![0u64; self.arena.words_per_bag()];
+        for i in 0..touch.len() {
+            let e = self.touching(touch)[i] as usize;
+            crate::arena::words_union_into(self.h.edge(e).blocks(), &mut buf);
+        }
+        let u = self.arena.intern_words(&buf);
+        self.union_cache.insert(comp, u);
+        u
+    }
+
+    /// Interns a [`BitSet`] into the index's arena.
+    #[inline]
+    pub fn intern(&mut self, set: &BitSet) -> BagId {
+        self.arena.intern(set)
+    }
+
+    /// Interns the empty separator.
+    #[inline]
+    pub fn empty(&mut self) -> BagId {
+        self.arena.empty_bag()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::named;
+
+    #[test]
+    fn cached_components_equal_fresh_ones() {
+        let h = named::h2();
+        let mut idx = BlockIndex::new(&h);
+        for e in 0..h.num_edges() {
+            let sep = h.edge(e).clone();
+            let sid = idx.intern(&sep);
+            let r = idx.components(sid);
+            let cached: Vec<BitSet> = idx
+                .comps(r)
+                .iter()
+                .map(|&c| idx.arena.to_bitset(c))
+                .collect();
+            let fresh = h.vertex_components(&sep);
+            assert_eq!(cached, fresh, "separator {}", h.render_vertex_set(&sep));
+        }
+    }
+
+    #[test]
+    fn second_query_hits_cache() {
+        let h = named::cycle(6);
+        let mut idx = BlockIndex::new(&h);
+        let sep = idx.intern(&h.vset(&["v0", "v3"]));
+        let r1 = idx.components(sep);
+        let before = idx.stats();
+        let r2 = idx.components(sep);
+        let after = idx.stats();
+        assert_eq!(idx.comps(r1), idx.comps(r2));
+        assert_eq!(after.comp_hits, before.comp_hits + 1);
+        assert_eq!(after.comp_misses, before.comp_misses);
+    }
+
+    #[test]
+    fn component_union_matches_hypergraph_bfs() {
+        let h = named::h2();
+        let mut idx = BlockIndex::new(&h);
+        let sep_set = h.union_of_edges([0, 1]);
+        let sep = idx.intern(&sep_set);
+        let r = idx.components(sep);
+        let mut unions: Vec<BitSet> = Vec::new();
+        for i in 0..r.len() {
+            let c = idx.comps(r)[i];
+            let u = idx.component_union(c);
+            unions.push(idx.arena.to_bitset(u));
+        }
+        unions.sort_unstable();
+        let mut fresh: Vec<BitSet> = h
+            .edge_components(&sep_set)
+            .iter()
+            .map(|c| h.union_of_edge_set(c))
+            .collect();
+        fresh.sort_unstable();
+        assert_eq!(unions, fresh);
+    }
+
+    #[test]
+    fn touching_edges_match() {
+        let h = named::cycle(5);
+        let mut idx = BlockIndex::new(&h);
+        let empty = idx.empty();
+        let r = idx.components(empty);
+        assert_eq!(r.len(), 1);
+        let comp = idx.comps(r)[0];
+        let t = idx.edges_touching(comp);
+        assert_eq!(idx.touching(t).len(), h.num_edges());
+    }
+}

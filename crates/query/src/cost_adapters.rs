@@ -1,17 +1,24 @@
 //! The paper's two cost functions as [`TdEvaluator`]s over candidate tree
 //! decompositions, so Algorithm 2 and the enumeration machinery can rank
 //! decompositions by estimated (C.2.1) or actual-cardinality (C.2.2)
-//! cost. Both cache per-bag quantities keyed on the bag bitset.
+//! cost. Both cache per-bag quantities keyed on interned [`BagId`]s.
 
 use crate::cq::ConjunctiveQuery;
 use softhw_core::ctd_opt::TdEvaluator;
 use softhw_engine::relation::Relation;
 use softhw_engine::{estimate, truecost};
-use softhw_hypergraph::{BitSet, FxHashMap, Hypergraph};
+use softhw_hypergraph::{BagArena, BagId, BitSet, FxHashMap, Hypergraph};
 use std::cell::RefCell;
 
 /// Shared context for the cost adapters: the bound query, its atom
 /// relations, the query hypergraph, and per-bag caches.
+///
+/// Evaluator summaries are keyed by [`BagId`]: every bag an evaluator
+/// sees is interned once into the context's arena, and the cover/size
+/// caches map dense u32 ids instead of cloning boxed bitsets as hash
+/// keys. The same bag arriving from different decompositions (the
+/// enumeration machinery revisits bags constantly) is a word-level
+/// arena probe followed by two `Vec`-indexed u32 map hits.
 pub struct CostContext<'q> {
     cq: &'q ConjunctiveQuery,
     h: &'q Hypergraph,
@@ -19,8 +26,9 @@ pub struct CostContext<'q> {
     /// Per-atom: variables bound at a non-primary-key column (drives
     /// `ReduceAttrs`).
     nonkey_vars_per_atom: Vec<BitSet>,
-    cover_cache: RefCell<FxHashMap<BitSet, Vec<usize>>>,
-    size_cache: RefCell<FxHashMap<BitSet, f64>>,
+    arena: RefCell<BagArena>,
+    cover_cache: RefCell<FxHashMap<BagId, Vec<usize>>>,
+    size_cache: RefCell<FxHashMap<BagId, f64>>,
 }
 
 impl<'q> CostContext<'q> {
@@ -52,33 +60,42 @@ impl<'q> CostContext<'q> {
             h,
             atoms,
             nonkey_vars_per_atom,
+            arena: RefCell::new(BagArena::new(h.num_vertices())),
             cover_cache: RefCell::new(FxHashMap::default()),
             size_cache: RefCell::new(FxHashMap::default()),
         }
     }
 
+    /// Interns `bag` into the context's arena, returning its dense id —
+    /// the key every per-bag cache uses.
+    pub fn bag_id(&self, bag: &BitSet) -> BagId {
+        self.arena.borrow_mut().intern(bag)
+    }
+
     /// The cover (atom indices) used to materialise `bag` — connected when
     /// possible, mirroring the execution plan.
     pub fn cover(&self, bag: &BitSet) -> Vec<usize> {
-        if let Some(c) = self.cover_cache.borrow().get(bag) {
+        let id = self.bag_id(bag);
+        if let Some(c) = self.cover_cache.borrow().get(&id) {
             return c.clone();
         }
         let cover = (1..=self.h.num_edges())
             .find_map(|k| softhw_core::cover::find_connected_cover(self.h, bag, k))
             .or_else(|| softhw_core::cover::find_cover(self.h, bag, self.h.num_edges()))
             .unwrap_or_default();
-        self.cover_cache.borrow_mut().insert(bag.clone(), cover.clone());
+        self.cover_cache.borrow_mut().insert(id, cover.clone());
         cover
     }
 
     /// The true bag size `|J_u| = |π_bag(⋈ cover)|`, computed once per
     /// distinct bag (the "omniscient" input of C.2.2).
     pub fn true_bag_size(&self, bag: &BitSet) -> f64 {
-        if let Some(&s) = self.size_cache.borrow().get(bag) {
+        let id = self.bag_id(bag);
+        if let Some(&s) = self.size_cache.borrow().get(&id) {
             return s;
         }
         let s = crate::plan::bag_size(self.cq, self.atoms, self.h, bag).unwrap_or(0) as f64;
-        self.size_cache.borrow_mut().insert(bag.clone(), s);
+        self.size_cache.borrow_mut().insert(id, s);
         s
     }
 
@@ -115,7 +132,10 @@ impl TdEvaluator for TrueCardCost<'_, '_> {
         children: &[TrueCostSummary],
     ) -> Option<TrueCostSummary> {
         let cover = self.cx.cover(bag);
-        let sizes: Vec<f64> = cover.iter().map(|&i| self.cx.atoms[i].len() as f64).collect();
+        let sizes: Vec<f64> = cover
+            .iter()
+            .map(|&i| self.cx.atoms[i].len() as f64)
+            .collect();
         let j_u = self.cx.true_bag_size(bag);
         let node = truecost::node_cost(j_u, &sizes);
         let child_reduced: Vec<f64> = children.iter().map(|c| c.reduced_sz).collect();

@@ -27,7 +27,11 @@ pub struct SqlError {
 
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -92,7 +96,10 @@ impl Lexer {
     }
 
     fn offset(&self) -> usize {
-        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(usize::MAX)
+        self.toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(usize::MAX)
     }
 
     fn bump(&mut self) -> Option<Tok> {

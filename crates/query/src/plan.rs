@@ -256,9 +256,7 @@ pub fn bag_size(
         .or_else(|| softhw_core::cover::find_cover(h, bag, h.num_edges()))?;
     let mut assigned = cover.clone();
     for (ai, _) in cq.atoms.iter().enumerate() {
-        if !assigned.contains(&ai)
-            && cq.atom_vars(ai).iter().all(|&v| bag.contains(v as usize))
-        {
+        if !assigned.contains(&ai) && cq.atom_vars(ai).iter().all(|&v| bag.contains(v as usize)) {
             assigned.push(ai);
         }
     }
@@ -331,8 +329,7 @@ mod tests {
         let plan = build_plan(&cq, &h, &td).unwrap();
         let res = execute(&cq, &atoms, &plan);
         // baseline path
-        let (bm, _) =
-            softhw_engine::baseline::baseline_min(&atoms, cq.agg_var, u64::MAX).unwrap();
+        let (bm, _) = softhw_engine::baseline::baseline_min(&atoms, cq.agg_var, u64::MAX).unwrap();
         // MAX via baseline: reuse run_baseline
         let base = softhw_engine::baseline::run_baseline(&atoms, &[cq.agg_var], u64::MAX)
             .unwrap()
@@ -344,10 +341,8 @@ mod tests {
     #[test]
     fn filters_applied() {
         let db = path_db();
-        let q = parse_sql(
-            "SELECT MIN(r.a) FROM r, s, t WHERE r.b = s.b AND s.c = t.c AND t.d = 8",
-        )
-        .unwrap();
+        let q = parse_sql("SELECT MIN(r.a) FROM r, s, t WHERE r.b = s.b AND s.c = t.c AND t.d = 8")
+            .unwrap();
         let cq = bind(&q, &db).unwrap();
         let h = cq.hypergraph();
         let (_, td) = softhw_core::shw::shw(&h);

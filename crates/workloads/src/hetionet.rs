@@ -65,9 +65,15 @@ pub fn generate(scale: &HetionetScale, seed: u64) -> Database {
             // alternate skew: sources heavy for even relations, targets
             // heavy for odd ones
             let (s, d) = if i % 2 == 0 {
-                (powerlaw(&mut rng, scale.nodes), rng.gen_range(0..scale.nodes))
+                (
+                    powerlaw(&mut rng, scale.nodes),
+                    rng.gen_range(0..scale.nodes),
+                )
             } else {
-                (rng.gen_range(0..scale.nodes), powerlaw(&mut rng, scale.nodes))
+                (
+                    rng.gen_range(0..scale.nodes),
+                    powerlaw(&mut rng, scale.nodes),
+                )
             };
             if s != d && seen.insert((s, d)) {
                 t.push_row(&[s, d]);
@@ -88,10 +94,10 @@ mod tests {
     fn queries_bind_and_match_table1_shapes() {
         let db = schema();
         for (sql, edges, vars) in [
-            (Q_HTO, 7, 7),   // |H| = 7 per Table 1
-            (Q_HTO2, 7, 7),  // |H| = 7
-            (Q_HTO3, 4, 4),  // |H| = 4
-            (Q_HTO4, 6, 6),  // |H| = 6
+            (Q_HTO, 7, 7),  // |H| = 7 per Table 1
+            (Q_HTO2, 7, 7), // |H| = 7
+            (Q_HTO3, 4, 4), // |H| = 4
+            (Q_HTO4, 6, 6), // |H| = 6
         ] {
             let q = parse_sql(sql).unwrap();
             let cq = bind(&q, &db).unwrap();

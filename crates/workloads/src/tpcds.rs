@@ -92,7 +92,11 @@ pub fn generate(scale: &TpcdsScale, seed: u64) -> Database {
     }
     db.add_table(customer);
 
-    let mut address = Table::new("customer_address", &["ca_address_sk"], Some("ca_address_sk"));
+    let mut address = Table::new(
+        "customer_address",
+        &["ca_address_sk"],
+        Some("ca_address_sk"),
+    );
     for a in 0..num_addr {
         address.push_row(&[a]);
     }
@@ -112,10 +116,7 @@ pub fn generate(scale: &TpcdsScale, seed: u64) -> Database {
 
     let mut web_sales = Table::new("web_sales", &["ws_bill_customer_sk", "ws_quantity"], None);
     for _ in 0..scale.web_sales {
-        web_sales.push_row(&[
-            zipfish(&mut rng, scale.customers),
-            zipfish(&mut rng, 50),
-        ]);
+        web_sales.push_row(&[zipfish(&mut rng, scale.customers), zipfish(&mut rng, 50)]);
     }
     db.add_table(web_sales);
 

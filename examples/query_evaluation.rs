@@ -29,7 +29,11 @@ fn main() {
     println!("query:\n{Q_HTO3}\n");
     let cq = bind(&parse_sql(Q_HTO3).expect("fixed SQL"), &db).expect("schema matches");
     let h = cq.hypergraph();
-    println!("query hypergraph ({} atoms, {} variables):", h.num_edges(), h.num_vertices());
+    println!(
+        "query hypergraph ({} atoms, {} variables):",
+        h.num_edges(),
+        h.num_vertices()
+    );
     println!("{h:?}");
 
     // Candidate bags + ConCov constraint, ranked by true-cardinality cost.
@@ -46,7 +50,10 @@ fn main() {
     // Execute the best decomposition.
     let (best_td, _) = &ranked[0];
     let plan = build_plan(&cq, &h, best_td).expect("plannable");
-    println!("SQL rewriting of the best decomposition:\n{}", softhw::query::rewrite::render_sql(&cq, &plan));
+    println!(
+        "SQL rewriting of the best decomposition:\n{}",
+        softhw::query::rewrite::render_sql(&cq, &plan)
+    );
     let start = Instant::now();
     let res = execute(&cq, &atoms, &plan);
     let decomp_time = start.elapsed();
@@ -57,8 +64,8 @@ fn main() {
 
     // Baseline: greedy binary-join execution.
     let start = Instant::now();
-    let base = softhw::engine::baseline::run_baseline(&atoms, &[cq.agg_var], u64::MAX)
-        .expect("no cap");
+    let base =
+        softhw::engine::baseline::run_baseline(&atoms, &[cq.agg_var], u64::MAX).expect("no cap");
     let base_time = start.elapsed();
     println!(
         "baseline greedy joins:  MIN = {:?} in {:?} ({} tuples materialised)",

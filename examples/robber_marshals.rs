@@ -18,10 +18,22 @@ use softhw::hypergraph::named;
 fn main() {
     let h2 = named::h2();
     println!("H2 (Figure 1a / Figure 7a):");
-    println!("  marshal width            mw(H2)      = {}", marshal_width(&h2));
-    println!("  monotone marshal width   mon-mw(H2)  = {}", mon_marshal_width(&h2));
-    println!("  institutional width      irmw(H2)    = {}", irm_width(&h2));
-    println!("  monotone institutional   mon-irmw(H2)= {}", mon_irm_width(&h2));
+    println!(
+        "  marshal width            mw(H2)      = {}",
+        marshal_width(&h2)
+    );
+    println!(
+        "  monotone marshal width   mon-mw(H2)  = {}",
+        mon_marshal_width(&h2)
+    );
+    println!(
+        "  institutional width      irmw(H2)    = {}",
+        irm_width(&h2)
+    );
+    println!(
+        "  monotone institutional   mon-irmw(H2)= {}",
+        mon_irm_width(&h2)
+    );
     let (hw_v, _) = hw::hw(&h2);
     let (shw_v, _) = shw::shw(&h2);
     println!("  vs. hw(H2) = {hw_v}, shw(H2) = {shw_v}");
@@ -32,9 +44,24 @@ fn main() {
 
     // The non-monotonicity phenomenon of Figure 7: with 2 plain marshals
     // a winning strategy exists, but no *monotone* one.
-    assert!(has_winning_strategy(&h2, 2, GameVariant::RobberMarshals, false));
-    assert!(!has_winning_strategy(&h2, 2, GameVariant::RobberMarshals, true));
-    assert!(has_winning_strategy(&h2, 2, GameVariant::Institutional, true));
+    assert!(has_winning_strategy(
+        &h2,
+        2,
+        GameVariant::RobberMarshals,
+        false
+    ));
+    assert!(!has_winning_strategy(
+        &h2,
+        2,
+        GameVariant::RobberMarshals,
+        true
+    ));
+    assert!(has_winning_strategy(
+        &h2,
+        2,
+        GameVariant::Institutional,
+        true
+    ));
     println!("2 plain marshals win H2 only non-monotonically;");
     println!("2 institutional marshals win monotonically (Figure 7b's game tree).");
 

@@ -23,9 +23,7 @@ fn report(name: &str, h: &Hypergraph) {
     let (shw_v, _) = shw::shw(h);
     let shw1 = shw_i(h, 1, &limits).expect("within limits");
     let ghw_v = ghw(h, &limits).expect("within limits");
-    println!(
-        "{name:<18} ghw = {ghw_v}  shw1 = {shw1}  shw = {shw_v}  hw = {hw_v}"
-    );
+    println!("{name:<18} ghw = {ghw_v}  shw1 = {shw1}  shw = {shw_v}  hw = {hw_v}");
     assert!(ghw_v <= shw1 && shw1 <= shw_v && shw_v <= hw_v);
     assert!(hw_v <= 3 * ghw_v + 1, "hw <= 3·ghw + 1 (paper, Section 8)");
 }

@@ -1,0 +1,141 @@
+//! Property-based tests for the bag arena and block index: interned-id
+//! set algebra must agree with direct `BitSet` algebra, cached
+//! blocks/components must equal freshly computed ones, and the arena
+//! candidate generator must agree with the seed's reference generator on
+//! random hypergraphs.
+
+use proptest::prelude::*;
+use softhw::core::soft::{self, reference, SoftLimits};
+use softhw::hypergraph::arena::BagArena;
+use softhw::hypergraph::random::{random_hypergraph, RandomConfig};
+use softhw::hypergraph::{BitSet, BlockIndex, Hypergraph};
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..9, 3usize..9, 0u64..5000).prop_map(|(nv, ne, seed)| {
+        random_hypergraph(
+            &RandomConfig {
+                num_vertices: nv,
+                num_edges: ne,
+                min_arity: 2,
+                max_arity: 3,
+                connect: true,
+            },
+            seed,
+        )
+    })
+}
+
+/// A pseudo-random vertex set over `universe`, derived from `seed`.
+fn derive_set(universe: usize, seed: u64) -> BitSet {
+    let mut s = BitSet::empty(universe);
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for v in 0..universe {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if x >> 33 & 1 == 1 {
+            s.insert(v);
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interned_algebra_matches_bitset_algebra(universe in 1usize..200, seed in 0u64..10_000) {
+        let a = derive_set(universe, seed);
+        let b = derive_set(universe, seed.wrapping_add(77));
+        let mut arena = BagArena::new(universe);
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        prop_assert_eq!(arena.is_subset(ia, ib), a.is_subset(&b));
+        prop_assert_eq!(arena.intersects(ia, ib), a.intersects(&b));
+        prop_assert_eq!(arena.card(ia), a.len());
+        prop_assert_eq!(arena.bag_is_empty(ia), a.is_empty());
+        let iu = arena.union(ia, ib);
+        prop_assert_eq!(arena.to_bitset(iu), a.union(&b));
+        let ii = arena.intersection(ia, ib);
+        prop_assert_eq!(arena.to_bitset(ii), a.intersection(&b));
+        // Interning is idempotent and round-trips.
+        prop_assert_eq!(arena.intern(&a), ia);
+        prop_assert_eq!(arena.to_bitset(ia), a);
+        // Id ordering follows content ordering.
+        prop_assert_eq!(
+            arena.cmp_bags(ia, ib),
+            a.cmp(&b)
+        );
+    }
+
+    #[test]
+    fn cached_blocks_equal_fresh_ones(h in small_hypergraph(), seed in 0u64..1000) {
+        let mut index = BlockIndex::new(&h);
+        // Query separators twice (second pass must hit the cache) and
+        // compare against the direct Hypergraph machinery.
+        let seps: Vec<BitSet> = (0..4)
+            .map(|i| derive_set(h.num_vertices(), seed.wrapping_add(i * 131)))
+            .collect();
+        for _round in 0..2 {
+            for sep in &seps {
+                let sid = index.intern(sep);
+                let r = index.components(sid);
+                let cached: Vec<BitSet> = index
+                    .comps(r)
+                    .iter()
+                    .map(|&c| index.arena.to_bitset(c))
+                    .collect();
+                let fresh = h.vertex_components(sep);
+                prop_assert_eq!(&cached, &fresh, "components of {}", h.render_vertex_set(sep));
+                for (&cid, comp) in index.comps(r).to_vec().iter().zip(&fresh) {
+                    let t = index.edges_touching(cid);
+                    let cached_touch: Vec<usize> =
+                        index.touching(t).iter().map(|&e| e as usize).collect();
+                    let fresh_touch: Vec<usize> = h.edges_touching(comp).to_vec();
+                    prop_assert_eq!(&cached_touch, &fresh_touch);
+                    let u = index.component_union(cid);
+                    let fresh_union = h.union_of_edges(fresh_touch.iter().copied());
+                    prop_assert_eq!(index.arena.to_bitset(u), fresh_union);
+                }
+            }
+        }
+        // Second pass was all hits: misses counted each distinct separator once.
+        let stats = index.stats();
+        prop_assert!(stats.comp_hits >= stats.comp_misses);
+    }
+
+    #[test]
+    fn arena_soft_generation_agrees_with_reference(h in small_hypergraph(), k in 1usize..3) {
+        let limits = SoftLimits::default();
+        let fast = soft::soft_bags_with(&h, k, &limits).unwrap();
+        let slow = reference::soft_bags_with(&h, k, &limits).unwrap();
+        prop_assert_eq!(fast, slow);
+        let fast_u = soft::component_unions(&h, k, &limits).unwrap();
+        let slow_u = reference::component_unions(&h, k, &limits).unwrap();
+        prop_assert_eq!(fast_u, slow_u);
+        let fast_w = soft::lambda_unions(h.num_vertices(), h.edges(), k, &limits).unwrap();
+        let slow_w = reference::lambda_unions(h.num_vertices(), h.edges(), k, &limits).unwrap();
+        prop_assert_eq!(fast_w, slow_w);
+    }
+
+    #[test]
+    fn shared_index_solves_like_fresh_instances(h in small_hypergraph()) {
+        // The shw sweep over a shared index must agree with per-k fresh
+        // solves, and the hierarchy solver (which builds its CTD instance
+        // on the hierarchy's own index) must agree with shw at level 0.
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        for k in 1..=2 {
+            let shared = softhw::core::shw::shw_leq_indexed(&mut index, k, &limits).unwrap();
+            let fresh = softhw::core::shw::shw_leq_with(&h, k, &limits).unwrap();
+            let level0 = softhw::core::soft_iter::shw_i_leq(&h, k, 0, &limits).unwrap();
+            prop_assert_eq!(shared.is_some(), fresh.is_some(), "k = {}", k);
+            prop_assert_eq!(level0.is_some(), fresh.is_some(), "shw_0 vs shw at k = {}", k);
+            if let Some(td) = shared {
+                prop_assert_eq!(td.validate(&h), Ok(()));
+            }
+            if let Some(td) = level0 {
+                prop_assert_eq!(td.validate(&h), Ok(()));
+            }
+        }
+    }
+}

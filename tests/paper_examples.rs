@@ -132,8 +132,7 @@ fn example2_h3_prime_upper_bounds() {
     // the machine-checked finding: the root bag already has a Soft^0
     // witness (hand-verified; documents the Example 2 discrepancy)
     let root_bag = td.bag(td.root());
-    let (lambda1, u) =
-        soft_witness(&h, 3, root_bag, &limits).expect("the level-0 witness exists");
+    let (lambda1, u) = soft_witness(&h, 3, root_bag, &limits).expect("the level-0 witness exists");
     let mut reconstructed = h.union_of_edges(lambda1);
     reconstructed.intersect_with(&u);
     assert_eq!(&reconstructed, root_bag);

@@ -63,13 +63,15 @@ fn all_decompositions_agree_with_baseline() {
             );
             tried += 1;
         }
-        assert!(tried > 0 || bags.is_empty() || baseline.is_none() || {
-            // width-2 may genuinely not suffice for dense random cycles;
-            // fall back to the exact solver for at least one data point
-            let (_, td) = softhw::core::shw::shw(&h);
-            let plan = build_plan(&cq, &h, &td).expect("plannable");
-            execute(&cq, &atoms, &plan).value == baseline
-        });
+        assert!(
+            tried > 0 || bags.is_empty() || baseline.is_none() || {
+                // width-2 may genuinely not suffice for dense random cycles;
+                // fall back to the exact solver for at least one data point
+                let (_, td) = softhw::core::shw::shw(&h);
+                let plan = build_plan(&cq, &h, &td).expect("plannable");
+                execute(&cq, &atoms, &plan).value == baseline
+            }
+        );
     }
 }
 
