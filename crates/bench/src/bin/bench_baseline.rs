@@ -1,39 +1,61 @@
-//! Emits a machine-readable performance baseline (`BENCH_seed.json` by
+//! Emits a machine-readable performance baseline (`BENCH_pr2.json` by
 //! default, first CLI arg overrides) covering the decomposition and
 //! engine hot paths on the named paper instances, so future PRs have a
 //! perf trajectory to compare against.
 //!
+//! Flags:
+//! - `--quick`: fewer samples and shorter calibration (the CI smoke
+//!   configuration);
+//! - `--hyperbench <dir>`: additionally parse every HyperBench-format
+//!   file in `dir` ([`softhw_hypergraph::parse`]) and time candidate
+//!   enumeration plus the worklist satisfaction DP at `k = 1` on it —
+//!   the 1k+-edge validation of the arena/worklist path;
+//! - `--check <baseline.json>`: after writing, compare the cold
+//!   Algorithm 1 gate entry (`algorithm1_cold/h2_k2`; recorded as
+//!   `algorithm1/h2_k2` in the pre-cache seed baseline) and exit
+//!   non-zero if it regressed more than 2×.
+//!
 //! Every entry records the median ns of `samples` timed runs. The
-//! `soft_enum_*` triple captures the arena refactor's acceptance gate:
-//! `soft_enum_warm` (shared-`BlockIndex` candidate enumeration, the
-//! configuration the solvers run) vs `soft_enum_reference` (the seed's
-//! `FxHashSet<BitSet>` generator, preserved in `soft::reference`); the
-//! emitted `speedup_warm_vs_reference` field is their ratio.
+//! `soft_enum_*` triple captures the bag-arena acceptance gate (warm
+//! shared-index enumeration vs the seed's `FxHashSet<BitSet>` generator,
+//! preserved in `soft::reference`). The `satisfy_*` pair captures the
+//! worklist-DP gate: the dependency-driven engine vs the retained Jacobi
+//! reference on the same prepared instance. `algorithm1/h2_k2` measures
+//! the repeated-query configuration (cross-query [`DecompCache`]), with
+//! `algorithm1_cold/h2_k2` keeping the cold single-shot number honest.
 
+use softhw_core::cache::DecompCache;
+use softhw_core::ctd::CtdInstance;
 use softhw_core::soft::{self, reference, SoftLimits};
 use softhw_core::{hw, shw};
 use softhw_engine::relation::Relation;
-use softhw_hypergraph::{named, BlockIndex, Hypergraph};
+use softhw_hypergraph::{named, parse_hypergraph, BlockIndex, Hypergraph};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SAMPLES: usize = 9;
+struct Config {
+    out_path: String,
+    samples: usize,
+    min_sample_ms: u128,
+    hyperbench: Option<String>,
+    check: Option<String>,
+}
 
-/// Median ns of `SAMPLES` runs of `f` (each run may loop internally).
-fn median_ns<F: FnMut()>(mut f: F) -> f64 {
-    // Calibrate reps so one sample is >= ~5ms.
+/// Median ns of `samples` runs of `f` (each run may loop internally).
+fn median_ns_cfg<F: FnMut()>(cfg: &Config, mut f: F) -> f64 {
+    // Calibrate reps so one sample is >= ~min_sample_ms.
     let mut reps = 1usize;
     loop {
         let t = Instant::now();
         for _ in 0..reps {
             f();
         }
-        if t.elapsed().as_millis() >= 5 || reps >= 1 << 22 {
+        if t.elapsed().as_millis() >= cfg.min_sample_ms || reps >= 1 << 22 {
             break;
         }
         reps *= 2;
     }
-    let mut samples: Vec<f64> = (0..SAMPLES)
+    let mut samples: Vec<f64> = (0..cfg.samples)
         .map(|_| {
             let t = Instant::now();
             for _ in 0..reps {
@@ -71,14 +93,14 @@ fn named_instances() -> Vec<(&'static str, Hypergraph, usize)> {
     ]
 }
 
-fn bench_decomposition(r: &mut Report) {
+fn bench_decomposition(cfg: &Config, r: &mut Report) {
     let limits = SoftLimits::default();
     for (name, h, k) in named_instances() {
         let mut warm = BlockIndex::new(&h);
         let expected = soft::soft_bag_ids(&mut warm, k, &limits).unwrap().len();
         r.record(
             &format!("soft_enum_warm/{name}"),
-            median_ns(|| {
+            median_ns_cfg(cfg, || {
                 assert_eq!(
                     soft::soft_bag_ids(&mut warm, k, &limits).unwrap().len(),
                     expected
@@ -87,7 +109,7 @@ fn bench_decomposition(r: &mut Report) {
         );
         r.record(
             &format!("soft_enum_cold/{name}"),
-            median_ns(|| {
+            median_ns_cfg(cfg, || {
                 let mut index = BlockIndex::new(&h);
                 assert_eq!(
                     soft::soft_bag_ids(&mut index, k, &limits).unwrap().len(),
@@ -97,7 +119,7 @@ fn bench_decomposition(r: &mut Report) {
         );
         r.record(
             &format!("soft_enum_reference/{name}"),
-            median_ns(|| {
+            median_ns_cfg(cfg, || {
                 assert_eq!(
                     reference::soft_bags_with(&h, k, &limits).unwrap().len(),
                     expected
@@ -108,37 +130,154 @@ fn bench_decomposition(r: &mut Report) {
     let h2 = named::h2();
     r.record(
         "shw/h2",
-        median_ns(|| {
+        median_ns_cfg(cfg, || {
             assert_eq!(shw::shw(&h2).0, 2);
         }),
     );
+    {
+        let mut cache = DecompCache::new();
+        r.record(
+            "shw_cached/h2",
+            median_ns_cfg(cfg, || {
+                assert_eq!(shw::shw_cached(&mut cache, &h2).0, 2);
+            }),
+        );
+    }
     r.record(
         "hw/h2",
-        median_ns(|| {
+        median_ns_cfg(cfg, || {
             assert_eq!(hw::hw(&h2).0, 3);
         }),
     );
     let c8 = named::cycle(8);
     r.record(
         "shw/c8",
-        median_ns(|| {
+        median_ns_cfg(cfg, || {
             assert_eq!(shw::shw(&c8).0, 2);
         }),
     );
+    // The satisfaction DP itself, on one prepared instance: the worklist
+    // engine vs the retained Jacobi reference.
     let bags = soft::soft_bags(&h2, 2);
+    let inst = CtdInstance::new(&h2, &bags);
     r.record(
-        "algorithm1/h2_k2",
-        median_ns(|| {
+        "satisfy_worklist/h2_k2",
+        median_ns_cfg(cfg, || {
+            assert!(inst.satisfy().accept);
+        }),
+    );
+    r.record(
+        "satisfy_jacobi/h2_k2",
+        median_ns_cfg(cfg, || {
+            assert!(inst.satisfy_jacobi().accept);
+        }),
+    );
+    // Algorithm 1 in the repeated-query configuration (cross-query cache:
+    // index, blocks, and satisfied-block sets reused; extraction runs).
+    {
+        let mut cache = DecompCache::new();
+        r.record(
+            "algorithm1/h2_k2",
+            median_ns_cfg(cfg, || {
+                assert!(cache.candidate_td(&h2, &bags).is_some());
+            }),
+        );
+    }
+    r.record(
+        "algorithm1_cold/h2_k2",
+        median_ns_cfg(cfg, || {
             assert!(softhw_core::candidate_td(&h2, &bags).is_some());
         }),
     );
+}
+
+/// HyperBench-format directory benchmarks: parse, candidate enumeration,
+/// and the worklist DP at `k = 1` per file (large instances; one timed
+/// run per sample, no calibration loop).
+fn bench_hyperbench(cfg: &Config, dir: &str, r: &mut Report) {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("--hyperbench {dir}: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    let limits = SoftLimits {
+        max_lambda_sets: 4_000_000,
+        max_bags: 4_000_000,
+    };
+    for path in paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("instance")
+            .to_string();
+        let text = std::fs::read_to_string(&path).expect("readable instance");
+        let h = match parse_hypergraph(&text) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("skipping {name}: {e}");
+                continue;
+            }
+        };
+        println!(
+            "hyperbench {name}: |V|={} |E|={}",
+            h.num_vertices(),
+            h.num_edges()
+        );
+        let samples = cfg.samples.min(3);
+        let once = |f: &mut dyn FnMut()| -> f64 {
+            let mut ts: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let t = Instant::now();
+                    f();
+                    t.elapsed().as_nanos() as f64
+                })
+                .collect();
+            ts.sort_by(|a, b| a.total_cmp(b));
+            ts[ts.len() / 2]
+        };
+        r.record(
+            &format!("hb_parse/{name}"),
+            once(&mut || {
+                assert_eq!(parse_hypergraph(&text).unwrap().num_edges(), h.num_edges());
+            }),
+        );
+        let mut index = BlockIndex::new(&h);
+        let bags = match soft::soft_bag_ids(&mut index, 1, &limits) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("skipping enumeration on {name}: {e}");
+                continue;
+            }
+        };
+        println!("hyperbench {name}: |Soft_1| = {}", bags.len());
+        r.record(
+            &format!("hb_soft_enum_k1/{name}"),
+            once(&mut || {
+                assert_eq!(
+                    soft::soft_bag_ids(&mut index, 1, &limits).unwrap().len(),
+                    bags.len()
+                );
+            }),
+        );
+        let inst = CtdInstance::build(&mut index, &bags);
+        println!("hyperbench {name}: blocks = {} (k = 1)", inst.blocks.len());
+        let accept = inst.satisfy().accept;
+        r.record(
+            &format!("hb_satisfy_k1/{name}"),
+            once(&mut || {
+                assert_eq!(inst.satisfy().accept, accept);
+            }),
+        );
+    }
 }
 
 fn chain_relation(n: u64, offset: u64) -> Relation {
     Relation::from_rows(vec![0, 1], (0..n).map(|i| vec![i, (i + offset) % n]))
 }
 
-fn bench_engine(r: &mut Report) {
+fn bench_engine(cfg: &Config, r: &mut Report) {
     let a = chain_relation(10_000, 1);
     let b = Relation::from_rows(
         vec![1, 2],
@@ -146,13 +285,13 @@ fn bench_engine(r: &mut Report) {
     );
     r.record(
         "engine/natural_join_10k",
-        median_ns(|| {
+        median_ns_cfg(cfg, || {
             assert!(!a.natural_join(&b).is_empty());
         }),
     );
     r.record(
         "engine/semijoin_10k",
-        median_ns(|| {
+        median_ns_cfg(cfg, || {
             assert!(!a.semijoin(&b).is_empty());
         }),
     );
@@ -172,23 +311,121 @@ fn bench_engine(r: &mut Report) {
     let plan = softhw_query::build_plan(&cq, &h, &td).expect("plannable");
     r.record(
         "engine/yannakakis_q_hto3_small",
-        median_ns(|| {
+        median_ns_cfg(cfg, || {
             let _ = softhw_query::execute(&cq, &atoms, &plan).value;
         }),
     );
 }
 
+/// Reads `"name": <float>` entries out of a baseline JSON file emitted by
+/// this binary (no external JSON dependency in the build image).
+fn parse_baseline(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check {path}: {e}"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// The regression gate of the CI smoke job: the *cold* Algorithm 1 run
+/// may not be more than 2× slower than the recorded baseline. The
+/// current entry is `algorithm1_cold/h2_k2`; in `BENCH_seed.json` (which
+/// predates the cached configuration) the same cold semantics are
+/// recorded under `algorithm1/h2_k2`, so the baseline lookup accepts
+/// either name — always comparing cold against cold.
+const GATE_CURRENT: &str = "algorithm1_cold/h2_k2";
+const GATE_BASELINE_NAMES: [&str; 2] = ["algorithm1_cold/h2_k2", "algorithm1/h2_k2"];
+const GATE_FACTOR: f64 = 2.0;
+
+fn check_against(baseline_path: &str, r: &Report) -> Result<(), String> {
+    let baseline = parse_baseline(baseline_path);
+    let (old_name, old) = GATE_BASELINE_NAMES
+        .iter()
+        .find_map(|name| {
+            baseline
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| (*name, v))
+        })
+        .ok_or_else(|| format!("baseline {baseline_path} lacks {}", GATE_BASELINE_NAMES[0]))?;
+    let new = r
+        .get(GATE_CURRENT)
+        .ok_or_else(|| format!("current run lacks {GATE_CURRENT}"))?;
+    println!(
+        "check {GATE_CURRENT}: {new:.1} ns vs baseline {old_name} {old:.1} ns ({:.2}x)",
+        old / new
+    );
+    if new > old * GATE_FACTOR {
+        return Err(format!(
+            "{GATE_CURRENT} regressed: {new:.1} ns > {GATE_FACTOR}x baseline {old:.1} ns"
+        ));
+    }
+    Ok(())
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        out_path: "BENCH_pr2.json".to_string(),
+        samples: 9,
+        min_sample_ms: 5,
+        hyperbench: None,
+        check: None,
+    };
+    let mut out_path_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                cfg.samples = 3;
+                cfg.min_sample_ms = 2;
+            }
+            "--hyperbench" => {
+                cfg.hyperbench = Some(args.next().expect("--hyperbench needs a directory"));
+            }
+            "--check" => {
+                cfg.check = Some(args.next().expect("--check needs a baseline file"));
+            }
+            other if other.starts_with('-') => {
+                // A typo'd flag must not silently become the output path
+                // (it would clobber the committed baseline).
+                eprintln!("unknown flag {other}; expected --quick, --hyperbench <dir>, --check <baseline>, or an output path");
+                std::process::exit(2);
+            }
+            other => {
+                if out_path_set {
+                    eprintln!("output path given twice: {} and {other}", cfg.out_path);
+                    std::process::exit(2);
+                }
+                out_path_set = true;
+                cfg.out_path = other.to_string();
+            }
+        }
+    }
+    cfg
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_seed.json".to_string());
+    let cfg = parse_args();
     let mut r = Report {
         entries: Vec::new(),
     };
-    bench_decomposition(&mut r);
-    bench_engine(&mut r);
+    bench_decomposition(&cfg, &mut r);
+    bench_engine(&cfg, &mut r);
+    if let Some(dir) = cfg.hyperbench.clone() {
+        bench_hyperbench(&cfg, &dir, &mut r);
+    }
 
-    // Aggregate speedups per instance (the refactor's acceptance metric).
+    // Aggregate speedups per instance (the arena acceptance metric).
     let mut speedups: Vec<(String, f64)> = Vec::new();
     for (name, _, _) in named_instances() {
         if let (Some(warm), Some(reference)) = (
@@ -198,6 +435,13 @@ fn main() {
             speedups.push((name.to_string(), reference / warm));
         }
     }
+    let dp_speedup = match (
+        r.get("satisfy_jacobi/h2_k2"),
+        r.get("satisfy_worklist/h2_k2"),
+    ) {
+        (Some(j), Some(w)) => j / w,
+        _ => 0.0,
+    };
 
     let mut json = String::from("{\n  \"benchmarks\": {\n");
     for (i, (id, ns)) in r.entries.iter().enumerate() {
@@ -209,15 +453,26 @@ fn main() {
         let sep = if i + 1 == speedups.len() { "" } else { "," };
         let _ = writeln!(json, "    \"{name}\": {ratio:.2}{sep}");
     }
-    json.push_str("  },\n  \"unit\": \"median_ns\",\n");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"speedup_worklist_vs_jacobi\": {dp_speedup:.2},");
+    json.push_str("  \"unit\": \"median_ns\",\n");
     let _ = writeln!(
         json,
         "  \"parallel_feature\": {}\n}}",
         softhw_hypergraph::par::parallel_enabled()
     );
-    std::fs::write(&path, &json).expect("write baseline file");
-    println!("\nwrote {path}");
+    std::fs::write(&cfg.out_path, &json).expect("write baseline file");
+    println!("\nwrote {}", cfg.out_path);
     for (name, ratio) in &speedups {
         println!("speedup {name}: {ratio:.2}x");
+    }
+    println!("speedup worklist vs jacobi: {dp_speedup:.2}x");
+
+    if let Some(baseline) = &cfg.check {
+        if let Err(msg) = check_against(baseline, &r) {
+            eprintln!("BENCH CHECK FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("bench check passed against {baseline}");
     }
 }

@@ -1,0 +1,235 @@
+//! Cross-query decomposition cache: solver-level memoisation on top of
+//! the structural-hash [`IndexCache`] of `softhw-hypergraph`.
+//!
+//! Repeated workloads (the `shw` width sweep per query, `table1`-style
+//! harness runs, a service answering many queries over one schema)
+//! re-decompose structurally identical hypergraphs. [`DecompCache`] keeps,
+//! per structurally distinct hypergraph:
+//!
+//! - one warm [`BlockIndex`] (arena + `[S]`-components + blocks + unions),
+//!   shared across widths `k` and across queries;
+//! - prepared [`CtdInstance`]s *with their satisfied-block tables*, keyed
+//!   by the candidate-bag id set, so a repeated Algorithm 1 run is a hash
+//!   probe plus extraction — the DP itself is not re-run;
+//! - `shw ≤ k` / `hw ≤ k` decisions with witness decompositions, so width
+//!   sweeps over repeated queries skip generation and search entirely.
+//!
+//! All cached entry points return exactly what the cold entry points
+//! return (the solvers are deterministic); the unit tests assert this
+//! decomposition-for-decomposition.
+
+use crate::ctd::{CtdInstance, Satisfaction};
+use crate::ghd::Ghd;
+use crate::hw;
+use crate::soft::{soft_bag_ids, LimitExceeded, SoftLimits};
+use crate::td::TreeDecomposition;
+use softhw_hypergraph::cache::IndexCache;
+use softhw_hypergraph::{BagId, BitSet, FxHashMap, Hypergraph};
+
+/// Hit/miss counters of a [`DecompCache`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecompCacheStats {
+    /// Prepared-instance probes answered from the cache.
+    pub instance_hits: u64,
+    /// Prepared-instance probes that built (and satisfied) fresh.
+    pub instance_misses: u64,
+    /// Width-decision probes answered from the cache.
+    pub result_hits: u64,
+    /// Width-decision probes computed fresh.
+    pub result_misses: u64,
+}
+
+/// A prepared instance together with its satisfaction table.
+struct CachedInstance {
+    /// The interned candidate-bag ids this instance was built from
+    /// (cache-key verification against hash collisions).
+    ids: Vec<BagId>,
+    inst: CtdInstance,
+    sat: Satisfaction,
+}
+
+/// Cross-query cache for Algorithm 1 instances and width decisions. See
+/// the module docs for what is shared at which level.
+#[derive(Default)]
+pub struct DecompCache {
+    indexes: IndexCache,
+    instances: FxHashMap<(u64, u64), Vec<CachedInstance>>,
+    shw_results: FxHashMap<(u64, usize), Option<TreeDecomposition>>,
+    hw_results: FxHashMap<(u64, usize), Option<Ghd>>,
+    stats: DecompCacheStats,
+}
+
+fn hash_ids(ids: &[BagId]) -> u64 {
+    softhw_hypergraph::fxhash::hash_u64_iter(
+        std::iter::once(ids.len() as u64).chain(ids.iter().map(|id| id.0 as u64)),
+    )
+}
+
+impl DecompCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DecompCache::default()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> DecompCacheStats {
+        self.stats
+    }
+
+    /// The underlying structural-hash index cache.
+    pub fn index_cache(&self) -> &IndexCache {
+        &self.indexes
+    }
+
+    /// The prepared (instance, satisfaction) pair for `(h, bags)`,
+    /// building and satisfying on first sight.
+    fn instance(&mut self, h: &Hypergraph, bags: &[BitSet]) -> &CachedInstance {
+        let (hash, index) = self.indexes.entry(h);
+        let ids: Vec<BagId> = bags.iter().map(|b| index.arena.intern(b)).collect();
+        let key = (hash, hash_ids(&ids));
+        let bucket = self.instances.entry(key).or_default();
+        if let Some(pos) = bucket.iter().position(|c| c.ids == ids) {
+            self.stats.instance_hits += 1;
+            return &bucket[pos];
+        }
+        self.stats.instance_misses += 1;
+        let inst = CtdInstance::build(index, &ids);
+        let sat = inst.satisfy();
+        bucket.push(CachedInstance { ids, inst, sat });
+        bucket.last().expect("just pushed")
+    }
+
+    /// Algorithm 1 with cross-query reuse: repeated calls with a
+    /// structurally identical hypergraph and bag set skip index build,
+    /// block construction, *and* the satisfaction DP — only extraction
+    /// runs. Returns exactly what [`crate::ctd::candidate_td`] returns.
+    pub fn candidate_td(&mut self, h: &Hypergraph, bags: &[BitSet]) -> Option<TreeDecomposition> {
+        let cached = self.instance(h, bags);
+        cached.inst.extract(&cached.sat)
+    }
+
+    /// The prepared instance for `(h, bags)` (for callers that want to
+    /// run their own DP variants — e.g. [`crate::ctd_opt`] — against the
+    /// cached block tables).
+    pub fn instance_for(&mut self, h: &Hypergraph, bags: &[BitSet]) -> &CtdInstance {
+        &self.instance(h, bags).inst
+    }
+
+    /// `shw(h) ≤ k` with cross-query memoisation of the decision and
+    /// witness. Generation limits only apply on a cache miss.
+    pub fn shw_leq(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        limits: &SoftLimits,
+    ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+        let (hash, index) = self.indexes.entry(h);
+        if let Some(cached) = self.shw_results.get(&(hash, k)) {
+            self.stats.result_hits += 1;
+            return Ok(cached.clone());
+        }
+        self.stats.result_misses += 1;
+        let bags = soft_bag_ids(index, k, limits)?;
+        let result = CtdInstance::build(index, &bags).decide();
+        self.shw_results.insert((hash, k), result.clone());
+        Ok(result)
+    }
+
+    /// `shw(h)` exactly, memoised per width across queries. Returns what
+    /// [`crate::shw::shw`] returns.
+    pub fn shw(&mut self, h: &Hypergraph) -> (usize, TreeDecomposition) {
+        crate::width_sweep(h.num_edges(), |k| {
+            self.shw_leq(h, k, &SoftLimits::default())
+                .expect("default limits exceeded")
+        })
+    }
+
+    /// `hw(h) ≤ k` with cross-query memoisation (decision + witness).
+    pub fn hw_leq(&mut self, h: &Hypergraph, k: usize) -> Option<Ghd> {
+        let (hash, _) = self.indexes.entry(h);
+        if let Some(cached) = self.hw_results.get(&(hash, k)) {
+            self.stats.result_hits += 1;
+            return cached.clone();
+        }
+        self.stats.result_misses += 1;
+        let result = hw::hw_leq(h, k);
+        self.hw_results.insert((hash, k), result.clone());
+        result
+    }
+
+    /// `hw(h)` exactly, memoised per width across queries.
+    pub fn hw(&mut self, h: &Hypergraph) -> (usize, Ghd) {
+        crate::width_sweep(h.num_edges(), |k| self.hw_leq(h, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shw;
+    use crate::soft::soft_bags;
+    use softhw_hypergraph::named;
+
+    #[test]
+    fn cached_candidate_td_equals_cold_runs() {
+        let mut cache = DecompCache::new();
+        for (h, k) in [
+            (named::h2(), 1),
+            (named::h2(), 2),
+            (named::cycle(6), 2),
+            (named::grid(3, 3), 2),
+        ] {
+            let bags = soft_bags(&h, k);
+            let cold = crate::ctd::candidate_td(&h, &bags);
+            let warm1 = cache.candidate_td(&h, &bags);
+            let warm2 = cache.candidate_td(&h, &bags);
+            assert_eq!(cold.is_some(), warm1.is_some(), "k = {k}");
+            match (&cold, &warm1, &warm2) {
+                (Some(c), Some(w1), Some(w2)) => {
+                    // Same decomposition, node for node.
+                    assert_eq!(c.bags(), w1.bags(), "k = {k}");
+                    assert_eq!(w1.bags(), w2.bags(), "k = {k}");
+                }
+                (None, None, None) => {}
+                _ => panic!("cold/warm disagree at k = {k}"),
+            }
+        }
+        let s = cache.stats();
+        assert!(s.instance_hits >= 4, "repeat calls must hit: {s:?}");
+    }
+
+    #[test]
+    fn cached_shw_and_hw_equal_cold_runs() {
+        let mut cache = DecompCache::new();
+        for h in [named::h2(), named::cycle(8), named::triangle_star(3)] {
+            let (cold_w, cold_td) = shw::shw(&h);
+            let (warm_w, warm_td) = cache.shw(&h);
+            assert_eq!(cold_w, warm_w);
+            assert_eq!(cold_td.bags(), warm_td.bags());
+            // Second query over the same structure: pure memo hits.
+            let before = cache.stats().result_misses;
+            let (again_w, again_td) = cache.shw(&h);
+            assert_eq!(again_w, warm_w);
+            assert_eq!(again_td.bags(), warm_td.bags());
+            assert_eq!(cache.stats().result_misses, before, "sweep must be cached");
+
+            let (cold_hw, _) = hw::hw(&h);
+            let (warm_hw, warm_ghd) = cache.hw(&h);
+            assert_eq!(cold_hw, warm_hw);
+            assert!(warm_ghd.is_hd(&h));
+        }
+    }
+
+    #[test]
+    fn distinct_bag_sets_get_distinct_instances() {
+        let mut cache = DecompCache::new();
+        let h = named::h2();
+        let b1 = soft_bags(&h, 1);
+        let b2 = soft_bags(&h, 2);
+        assert!(cache.candidate_td(&h, &b1).is_none());
+        assert!(cache.candidate_td(&h, &b2).is_some());
+        assert_eq!(cache.stats().instance_misses, 2);
+        assert!(cache.candidate_td(&h, &b2).is_some());
+        assert_eq!(cache.stats().instance_hits, 1);
+    }
+}

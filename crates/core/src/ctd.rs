@@ -22,19 +22,35 @@
 //! `[S]`-components of every candidate bag are computed once per
 //! hypergraph — not once per solver call (see [`CtdInstance::build`]).
 //!
-//! The satisfaction DP runs in Jacobi rounds (each round scans all
-//! unsatisfied blocks against the previous round's state), which makes
-//! the per-block base checks embarrassingly parallel — they fan out via
-//! [`softhw_hypergraph::par::par_map`] under the `parallel` feature with
-//! an index-ordered merge, so accept/reject and timestamps are identical
-//! in serial and parallel builds. Satisfaction timestamps make the
-//! extraction provably terminating: a block's basis only references
-//! blocks satisfied strictly earlier.
+//! ## The worklist satisfaction engine
+//!
+//! The basis conditions split into a *state-independent* part — `X ≠ S`,
+//! `X ⊆ S ∪ C`, and the edge-coverage condition (2), whose witness union
+//! `X ∪ ⋃Y_i` always includes **all** child blocks — and a *state-
+//! dependent* part, condition (3): every child block satisfied. The
+//! instance therefore precomputes, per block, its **viable candidates**
+//! (bags passing the state-independent conditions) with their child-block
+//! lists in CSR form, plus the child→parents **reverse index**
+//! ([`softhw_hypergraph::Csr`]). The DP then runs as a worklist in
+//! frontier waves: wave 0 checks every block, and a block re-enters the
+//! frontier only when one of its children newly became satisfied — each
+//! recheck is a pure scan of precomputed child lists, with zero word-level
+//! set algebra. Under the `parallel` feature each wave fans out via
+//! [`par_map`] and merges in ascending block order, so accept/reject,
+//! bases, and timestamps are identical across serial and parallel builds
+//! — and identical to the retained Jacobi reference
+//! ([`CtdInstance::satisfy_jacobi`]), because a frontier wave satisfies
+//! exactly the blocks a full Jacobi round would (a block's satisfiability
+//! only changes when a child's bit flips).
+//!
+//! Satisfaction timestamps make the extraction provably terminating: a
+//! block's basis only references blocks satisfied strictly earlier.
 
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::arena::words_subset;
 use softhw_hypergraph::par::par_map;
-use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Hypergraph};
+use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Csr, Hypergraph};
+use std::sync::Arc;
 
 /// One materialised block `(S, C)` with `C ≠ ∅`.
 #[derive(Clone, Debug)]
@@ -50,12 +66,83 @@ pub struct Block {
     pub touching: Vec<usize>,
 }
 
+/// The precomputed dependency structure of the satisfaction DP.
+///
+/// The basis conditions factor through two equivalence classes, which is
+/// what keeps the precompute near-linear instead of a full
+/// `blocks × bags` scan:
+///
+/// - the child-block list of a candidate `x` for block `b` — and with it
+///   the edge-coverage condition (2) — depends only on `b`'s *component*
+///   (`children = blocks headed by x with comp ⊆ C`, and the witness
+///   union is `x ∪ ⋃children`), so both are computed once per distinct
+///   component ("comp group") and shared by every block with that
+///   component;
+/// - the `X ⊆ S ∪ C` condition depends only on `b`'s *closure set*, so
+///   it is computed once per distinct closure as a bag bitmask.
+///
+/// A block's viable candidates are then its comp group's coverage-viable
+/// candidates filtered by its closure mask and the `X ≠ S` check — pure
+/// bit tests at DP time. The reverse index is two-level: child block →
+/// comp groups listing it → blocks of those groups (a superset of the
+/// exact parent set, which is sound: a spurious recheck is a no-op).
+struct Deps {
+    /// Block → comp-group index.
+    group_of: Vec<u32>,
+    /// Block → closure-group index.
+    closure_of: Vec<u32>,
+    /// Per comp group `g`, the range `g_cand_start[g]..g_cand_start[g+1]`
+    /// of coverage-viable candidate entries in `g_cand_x`/`g_child_start`.
+    g_cand_start: Vec<u32>,
+    /// Candidate bag index per coverage-viable `(group, bag)` pair,
+    /// ascending within each group.
+    g_cand_x: Vec<u32>,
+    /// Per entry `ci`, the range `g_child_start[ci]..g_child_start[ci+1]`
+    /// of its child blocks in `g_child_data`.
+    g_child_start: Vec<u32>,
+    /// Child block ids of all coverage-viable pairs, concatenated.
+    g_child_data: Vec<u32>,
+    /// Closure-group × bag bitmask (`xwords` words per row): bit `x` of
+    /// row `cl` is set iff bag `x` ⊆ closure.
+    closure_ok: Vec<u64>,
+    /// Words per `closure_ok` row.
+    xwords: usize,
+    /// Child block → comp groups with a coverage-viable candidate
+    /// delegating to it.
+    child_groups: Csr,
+    /// Comp group → its blocks.
+    group_blocks: Csr,
+}
+
+impl Deps {
+    /// Is bag `x` inside the closure of closure-group `cl`?
+    #[inline]
+    fn closure_allows(&self, cl: u32, x: u32) -> bool {
+        let w = self.closure_ok[cl as usize * self.xwords + (x / 64) as usize];
+        w >> (x % 64) & 1 != 0
+    }
+
+    /// Range of coverage-viable candidate entries of comp group `g`.
+    #[inline]
+    fn group_range(&self, g: u32) -> std::ops::Range<usize> {
+        self.g_cand_start[g as usize] as usize..self.g_cand_start[g as usize + 1] as usize
+    }
+
+    /// Child blocks of candidate entry `ci`.
+    #[inline]
+    fn children_of_entry(&self, ci: usize) -> &[u32] {
+        &self.g_child_data[self.g_child_start[ci] as usize..self.g_child_start[ci + 1] as usize]
+    }
+}
+
 /// A prepared `CandidateTD` instance: interned, deduplicated bags plus
-/// the full block table. Shared by Algorithm 1 ([`CtdInstance::decide`])
-/// and the constrained/preference variants in [`crate::ctd_opt`].
-pub struct CtdInstance<'h> {
+/// the full block table and the DP dependency structure. Shared by
+/// Algorithm 1 ([`CtdInstance::decide`]) and the constrained/preference
+/// variants in [`crate::ctd_opt`]. Owns its hypergraph (shared [`Arc`]),
+/// so instances can be kept in cross-query caches.
+pub struct CtdInstance {
     /// The hypergraph.
-    pub h: &'h Hypergraph,
+    pub h: Arc<Hypergraph>,
     /// Instance-owned arena holding bags, components, and closures.
     arena: BagArena,
     /// Deduplicated, non-empty candidate bags (ids into the arena).
@@ -69,6 +156,8 @@ pub struct CtdInstance<'h> {
     pub blocks_by_head: Vec<Vec<usize>>,
     /// Blocks headed by `∅` — one per connected component of `H`.
     pub root_blocks: Vec<usize>,
+    /// Worklist dependency structure (viable candidates + reverse index).
+    deps: Deps,
 }
 
 /// Result of the satisfaction DP of Algorithm 1.
@@ -79,12 +168,13 @@ pub struct Satisfaction {
     pub accept: bool,
 }
 
-impl<'h> CtdInstance<'h> {
+impl CtdInstance {
     /// Builds the block table for hypergraph `h` and candidate bag set
     /// `bags` (empty bags are dropped, duplicates merged) using a private
     /// [`BlockIndex`]. Prefer [`CtdInstance::build`] with a shared index
-    /// when decomposing the same hypergraph repeatedly.
-    pub fn new(h: &'h Hypergraph, bags: &[BitSet]) -> Self {
+    /// (or [`crate::cache::DecompCache`]) when decomposing the same
+    /// hypergraph repeatedly.
+    pub fn new(h: &Hypergraph, bags: &[BitSet]) -> Self {
         let mut index = BlockIndex::new(h);
         let ids: Vec<BagId> = bags.iter().map(|b| index.arena.intern(b)).collect();
         Self::build(&mut index, &ids)
@@ -95,8 +185,8 @@ impl<'h> CtdInstance<'h> {
     /// consecutive instances over the same hypergraph (e.g. the `shw`
     /// width sweep, or repeated constrained queries) only pay for bags
     /// never seen before.
-    pub fn build(index: &mut BlockIndex<'h>, bags: &[BagId]) -> Self {
-        let h = index.hypergraph();
+    pub fn build(index: &mut BlockIndex, bags: &[BagId]) -> Self {
+        let h = index.hypergraph_arc().clone();
         let mut arena = BagArena::new(h.num_vertices());
         // Dedup and drop empties, preserving first-occurrence order (the
         // arena assigns dense ids in insertion order).
@@ -160,6 +250,7 @@ impl<'h> CtdInstance<'h> {
             });
         }
         let bag_sets: Vec<BitSet> = bag_ids.iter().map(|&id| arena.to_bitset(id)).collect();
+        let deps = Self::build_deps(&h, &arena, &bag_ids, &blocks, &blocks_by_head);
         CtdInstance {
             h,
             arena,
@@ -168,6 +259,182 @@ impl<'h> CtdInstance<'h> {
             blocks,
             blocks_by_head,
             root_blocks,
+            deps,
+        }
+    }
+
+    /// Precomputes the dependency tables (see [`Deps`]): group blocks by
+    /// component and by closure, compute children + coverage once per
+    /// `(comp group, bag)` pair and the closure masks once per
+    /// `(closure group, bag)` pair, then wire the two-level reverse
+    /// index. The per-group scans are independent, so they fan out via
+    /// [`par_map`] with a deterministic group-ordered stitch.
+    fn build_deps(
+        h: &Hypergraph,
+        arena: &BagArena,
+        bag_ids: &[BagId],
+        blocks: &[Block],
+        blocks_by_head: &[Vec<usize>],
+    ) -> Deps {
+        let nb = blocks.len();
+        let nx = bag_ids.len();
+        let words = arena.words_per_bag();
+        // Group blocks by component and by closure (ids are interned, so
+        // equality is id equality). Groups are numbered in first-block
+        // order; group_comps holds one representative block per group.
+        let mut comp_group: softhw_hypergraph::FxHashMap<BagId, u32> =
+            softhw_hypergraph::FxHashMap::default();
+        let mut closure_group: softhw_hypergraph::FxHashMap<BagId, u32> =
+            softhw_hypergraph::FxHashMap::default();
+        let mut group_of: Vec<u32> = Vec::with_capacity(nb);
+        let mut closure_of: Vec<u32> = Vec::with_capacity(nb);
+        let mut group_rep: Vec<u32> = Vec::new(); // representative block per comp group
+        let mut closure_rep: Vec<BagId> = Vec::new();
+        for (b, blk) in blocks.iter().enumerate() {
+            let g = *comp_group.entry(blk.comp).or_insert_with(|| {
+                group_rep.push(b as u32);
+                (group_rep.len() - 1) as u32
+            });
+            group_of.push(g);
+            let cl = *closure_group.entry(blk.closure).or_insert_with(|| {
+                closure_rep.push(blk.closure);
+                (closure_rep.len() - 1) as u32
+            });
+            closure_of.push(cl);
+        }
+        let ng = group_rep.len();
+        let ncl = closure_rep.len();
+        // Per closure group: the bag mask `x ⊆ closure`. Computed first
+        // so the (much larger) comp-group scan can restrict itself to
+        // bags inside *some* closure of the group's blocks.
+        let xwords = nx.div_ceil(64).max(1);
+        let mask_rows: Vec<Vec<u64>> = par_map(ncl, |cl| {
+            let closure = closure_rep[cl];
+            let mut row = vec![0u64; xwords];
+            for (x, &bag) in bag_ids.iter().enumerate() {
+                if arena.is_subset(bag, closure) {
+                    row[x / 64] |= 1u64 << (x % 64);
+                }
+            }
+            row
+        });
+        let mut closure_ok = Vec::with_capacity(ncl * xwords);
+        for row in mask_rows {
+            closure_ok.extend_from_slice(&row);
+        }
+        // Per comp group, the union of its blocks' closure masks: a bag
+        // outside every closure can never be a basis for any block of the
+        // group, so the candidate scan skips it entirely. This prunes the
+        // `groups × bags` precompute to nearly the viable-pair count.
+        let mut allowed = vec![0u64; ng * xwords];
+        for (b, &g) in group_of.iter().enumerate() {
+            let cl = closure_of[b] as usize;
+            for w in 0..xwords {
+                allowed[g as usize * xwords + w] |= closure_ok[cl * xwords + w];
+            }
+        }
+        // Per comp group: coverage-viable candidates with child lists.
+        // Coverage (condition (2)) is state-independent — the witness
+        // union of a successful basis always contains all child
+        // components — and `e ⊆ u` for every touching edge is equivalent
+        // to `⋃touching ⊆ u`, so it is one subset test per candidate.
+        let per_group: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = par_map(ng, |g| {
+            let blk = &blocks[group_rep[g] as usize];
+            let mut cover = vec![0u64; words];
+            for &e in &blk.touching {
+                softhw_hypergraph::arena::words_union_into(h.edge(e).blocks(), &mut cover);
+            }
+            // Necessary condition on any basis: the witness union is
+            // `X ∪ ⋃Y_i` with every `Y_i ⊆ C`, so coverage vertices
+            // outside `C` can only come from the bag — `cover ∖ C ⊆ X`.
+            // One subset test that eliminates most bags before the child
+            // scan.
+            let comp_words = arena.words(blk.comp);
+            let req: Vec<u64> = cover
+                .iter()
+                .zip(comp_words)
+                .map(|(&c, &m)| c & !m)
+                .collect();
+            let mut cand_x: Vec<u32> = Vec::new();
+            let mut counts: Vec<u32> = Vec::new();
+            let mut children: Vec<u32> = Vec::new();
+            let mut buf: Vec<u64> = vec![0u64; words];
+            for (w, &aw) in allowed[g * xwords..(g + 1) * xwords].iter().enumerate() {
+                let mut bits = aw;
+                while bits != 0 {
+                    let x = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let bag = bag_ids[x];
+                    if !words_subset(&req, arena.words(bag)) {
+                        continue;
+                    }
+                    let begin = children.len();
+                    // Fast path: the bag alone covers the obligations.
+                    if words_subset(&cover, arena.words(bag)) {
+                        for &b2 in &blocks_by_head[x] {
+                            if arena.is_subset(blocks[b2].comp, blk.comp) {
+                                children.push(b2 as u32);
+                            }
+                        }
+                    } else {
+                        buf.copy_from_slice(arena.words(bag));
+                        for &b2 in &blocks_by_head[x] {
+                            if arena.is_subset(blocks[b2].comp, blk.comp) {
+                                children.push(b2 as u32);
+                                arena.union_into(blocks[b2].comp, &mut buf);
+                            }
+                        }
+                        if !words_subset(&cover, &buf) {
+                            children.truncate(begin);
+                            continue;
+                        }
+                    }
+                    cand_x.push(x as u32);
+                    counts.push((children.len() - begin) as u32);
+                }
+            }
+            (cand_x, counts, children)
+        });
+        // Stitch the group tables and wire the reverse index.
+        let mut g_cand_start: Vec<u32> = Vec::with_capacity(ng + 1);
+        let mut g_cand_x: Vec<u32> = Vec::new();
+        let mut g_child_start: Vec<u32> = vec![0];
+        let mut g_child_data: Vec<u32> = Vec::new();
+        let mut child_group_pairs: Vec<(u32, u32)> = Vec::new();
+        g_cand_start.push(0);
+        for (g, (xs, counts, children)) in per_group.into_iter().enumerate() {
+            g_cand_x.extend_from_slice(&xs);
+            g_cand_start.push(g_cand_x.len() as u32);
+            let mut off = 0usize;
+            for &n in &counts {
+                g_child_start.push((g_child_data.len() + off + n as usize) as u32);
+                off += n as usize;
+            }
+            for &c in &children {
+                child_group_pairs.push((c, g as u32));
+            }
+            g_child_data.extend_from_slice(&children);
+        }
+        let child_groups = Csr::from_pairs(nb, child_group_pairs);
+        let group_blocks = Csr::from_pairs(
+            ng,
+            group_of
+                .iter()
+                .enumerate()
+                .map(|(b, &g)| (g, b as u32))
+                .collect(),
+        );
+        Deps {
+            group_of,
+            closure_of,
+            g_cand_start,
+            g_cand_x,
+            g_child_start,
+            g_child_data,
+            closure_ok,
+            xwords,
+            child_groups,
+            group_blocks,
         }
     }
 
@@ -195,8 +462,10 @@ impl<'h> CtdInstance<'h> {
         self.arena.read_into(self.bag_ids[x], buf);
     }
 
-    /// Checks the basis conditions of bag `x` for block `b`, given the
-    /// current satisfaction state. Returns `true` iff `x` is a basis.
+    /// Checks the basis conditions of bag `x` for block `b` from first
+    /// principles, given the current satisfaction state. This is the
+    /// reference predicate of the Jacobi engine; the worklist engine
+    /// answers the same question from the precomputed tables.
     /// `buf` is caller-provided scratch (cleared here) so round-scans
     /// don't allocate per check.
     pub fn is_basis_with(
@@ -227,26 +496,134 @@ impl<'h> CtdInstance<'h> {
             .all(|&e| words_subset(self.h.edge(e).blocks(), buf))
     }
 
-    /// The child blocks a basis `x` of block `b` delegates to: blocks
-    /// headed by `x` whose component lies inside `b`'s component.
-    pub fn child_blocks(&self, b: usize, x: usize) -> Vec<usize> {
-        self.blocks_by_head[x]
-            .iter()
-            .copied()
-            .filter(|&b2| {
-                self.arena
-                    .is_subset(self.blocks[b2].comp, self.blocks[b].comp)
+    /// The viable candidates of block `b` — bags passing the
+    /// state-independent basis conditions — with their precomputed child
+    /// blocks, ascending in bag index. A viable `x` is a basis iff all
+    /// its children are satisfied.
+    pub fn viable_candidates(&self, b: usize) -> impl Iterator<Item = (usize, &[u32])> + '_ {
+        let head = self.blocks[b].head.map(|x| x as u32);
+        let cl = self.deps.closure_of[b];
+        self.deps
+            .group_range(self.deps.group_of[b])
+            .filter_map(move |ci| {
+                let x = self.deps.g_cand_x[ci];
+                if Some(x) == head || !self.deps.closure_allows(cl, x) {
+                    return None;
+                }
+                Some((x as usize, self.deps.children_of_entry(ci)))
             })
-            .collect()
     }
 
-    /// Runs the satisfaction DP of Algorithm 1 to fixpoint, in Jacobi
-    /// rounds: each round checks every unsatisfied block against the
-    /// previous round's state, fanning the per-block base checks out via
-    /// [`par_map`]. The round results are merged in block order, so the
-    /// outcome is deterministic and identical across serial/parallel
-    /// builds.
+    /// The child blocks a basis `x` of block `b` delegates to: blocks
+    /// headed by `x` whose component lies inside `b`'s component.
+    /// Returns the precomputed slice — no per-call allocation (this sits
+    /// inside the DP and extraction hot loops). Empty when `x` has no
+    /// coverage-viable entry for `b`'s component.
+    pub fn child_blocks(&self, b: usize, x: usize) -> &[u32] {
+        let r = self.deps.group_range(self.deps.group_of[b]);
+        let (lo, hi) = (r.start, r.end);
+        match self.deps.g_cand_x[lo..hi].binary_search(&(x as u32)) {
+            Ok(pos) => self.deps.children_of_entry(lo + pos),
+            Err(_) => &[],
+        }
+    }
+
+    /// Invokes `f` for every block that may need rechecking when block
+    /// `b` newly becomes satisfied (or improves): the blocks of every
+    /// comp group with a coverage-viable candidate delegating to `b`.
+    /// This is the (slightly conservative) reverse index driving the
+    /// worklist rechecks of both DPs; a spurious recheck is a no-op.
+    #[inline]
+    pub fn for_each_parent(&self, b: usize, mut f: impl FnMut(u32)) {
+        for &g in self.deps.child_groups.row(b) {
+            for &p in self.deps.group_blocks.row(g as usize) {
+                f(p);
+            }
+        }
+    }
+
+    /// First viable candidate of `b` whose children are all satisfied.
+    #[inline]
+    fn first_ready_candidate(&self, b: usize, satisfied: &[bool]) -> Option<u32> {
+        let head = self.blocks[b].head.map(|x| x as u32);
+        let cl = self.deps.closure_of[b];
+        for ci in self.deps.group_range(self.deps.group_of[b]) {
+            let x = self.deps.g_cand_x[ci];
+            if Some(x) == head || !self.deps.closure_allows(cl, x) {
+                continue;
+            }
+            if self
+                .deps
+                .children_of_entry(ci)
+                .iter()
+                .all(|&c| satisfied[c as usize])
+            {
+                return Some(x);
+            }
+        }
+        None
+    }
+
+    /// Runs the satisfaction DP of Algorithm 1 to fixpoint with the
+    /// dependency-driven worklist engine: wave 0 checks every block
+    /// against the precomputed viable-candidate tables; afterwards a
+    /// block is rechecked only when one of its children newly became
+    /// satisfied (via the reverse index). Waves snapshot the previous
+    /// wave's state and merge in ascending block order — fanned out via
+    /// [`par_map`] under the `parallel` feature — so bases and timestamps
+    /// are identical to the serial run and to the Jacobi reference
+    /// ([`CtdInstance::satisfy_jacobi`]).
     pub fn satisfy(&self) -> Satisfaction {
+        let nb = self.blocks.len();
+        let mut satisfied = vec![false; nb];
+        let mut basis: Vec<Option<(usize, u32)>> = vec![None; nb];
+        let mut clock: u32 = 0;
+        let mut frontier: Vec<u32> = (0..nb as u32).collect();
+        let mut next: Vec<u32> = Vec::new();
+        let mut queued = vec![false; nb];
+        while !frontier.is_empty() {
+            let snapshot = &satisfied;
+            let found: Vec<Option<u32>> = par_map(frontier.len(), |i| {
+                let b = frontier[i] as usize;
+                if snapshot[b] {
+                    return None;
+                }
+                self.first_ready_candidate(b, snapshot)
+            });
+            next.clear();
+            for (i, f) in found.into_iter().enumerate() {
+                let b = frontier[i] as usize;
+                if let Some(x) = f {
+                    satisfied[b] = true;
+                    basis[b] = Some((x as usize, clock));
+                    clock += 1;
+                    self.for_each_parent(b, |p| {
+                        if !satisfied[p as usize] && !queued[p as usize] {
+                            queued[p as usize] = true;
+                            next.push(p);
+                        }
+                    });
+                }
+            }
+            // Ascending block order keeps wave-internal processing — and
+            // thus timestamps — identical to a Jacobi round.
+            next.sort_unstable();
+            for &p in &next {
+                queued[p as usize] = false;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        let accept = self.root_blocks.iter().all(|&b| satisfied[b]);
+        Satisfaction { basis, accept }
+    }
+
+    /// The seed's Jacobi-round satisfaction DP, retained as the reference
+    /// the worklist engine is property-tested against: each round rescans
+    /// every unsatisfied block against every bag with
+    /// [`CtdInstance::is_basis_with`]. Produces bit-identical
+    /// [`Satisfaction`] tables to [`CtdInstance::satisfy`] — a frontier
+    /// wave satisfies exactly the blocks a Jacobi round would.
+    pub fn satisfy_jacobi(&self) -> Satisfaction {
         let nb = self.blocks.len();
         let mut satisfied = vec![false; nb];
         let mut basis: Vec<Option<(usize, u32)>> = vec![None; nb];
@@ -317,7 +694,8 @@ impl<'h> CtdInstance<'h> {
         node: usize,
         td: &mut TreeDecomposition,
     ) {
-        for b2 in self.child_blocks(b, x) {
+        for &b2 in self.child_blocks(b, x) {
+            let b2 = b2 as usize;
             let (x2, ts2) = sat.basis[b2].expect("basis condition (3)");
             debug_assert!(
                 ts2 < sat.basis[b].map(|(_, t)| t).unwrap_or(u32::MAX),
@@ -420,6 +798,42 @@ mod tests {
         assert!(sat.accept);
         let td = inst.extract(&sat).unwrap();
         assert_eq!(td.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn worklist_agrees_with_jacobi_reference() {
+        // Full table equality — bases and timestamps, not just accept.
+        for (h, k) in [
+            (named::h2(), 1),
+            (named::h2(), 2),
+            (named::cycle(6), 2),
+            (named::grid(3, 3), 2),
+            (named::triangle_star(3), 2),
+        ] {
+            let inst = CtdInstance::new(&h, &soft_bags(&h, k));
+            let fast = inst.satisfy();
+            let slow = inst.satisfy_jacobi();
+            assert_eq!(fast.accept, slow.accept, "k = {k}");
+            assert_eq!(fast.basis, slow.basis, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn viable_candidates_match_first_principles() {
+        let h = named::h2();
+        let inst = CtdInstance::new(&h, &soft_bags(&h, 2));
+        let all_true = vec![true; inst.blocks.len()];
+        let mut buf = Vec::new();
+        for b in 0..inst.blocks.len() {
+            let viable: Vec<usize> = inst.viable_candidates(b).map(|(x, _)| x).collect();
+            let direct: Vec<usize> = (0..inst.num_bags())
+                .filter(|&x| inst.is_basis_with(b, x, &all_true, &mut buf))
+                .collect();
+            assert_eq!(viable, direct, "block {b}");
+            for (x, kids) in inst.viable_candidates(b) {
+                assert_eq!(inst.child_blocks(b, x), kids);
+            }
+        }
     }
 
     #[test]

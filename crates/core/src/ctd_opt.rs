@@ -13,11 +13,18 @@
 //! enumeration of all constraint-satisfying CTDs ranked by preference
 //! ([`enumerate_all`], with a cap), top-n extraction ([`top_n`]), and
 //! uniform-ish random sampling ([`sample_random`]).
+//!
+//! All of them run against the instance's precomputed viable-candidate
+//! tables (see [`crate::ctd`]): the preference DP is a dependency-driven
+//! worklist like Algorithm 1's satisfaction engine — a block is
+//! re-evaluated only when a child block's value changes — and
+//! [`best_par`]/[`best_on_par`] fan each wave's block evaluations out
+//! via [`par_map`] for evaluators whose summaries are `Send + Sync`.
 
 use crate::ctd::CtdInstance;
 use crate::td::TreeDecomposition;
 use rand::Rng;
-use softhw_hypergraph::arena::words_subset;
+use softhw_hypergraph::par::par_map;
 use softhw_hypergraph::{BitSet, Hypergraph};
 
 /// Evaluation of partial tree decompositions: subtree constraint plus
@@ -51,12 +58,15 @@ pub type Ranked<S> = (TreeDecomposition, S);
 /// minimal constraint-satisfying CTD with its summary, or `None` if no
 /// CTD satisfies the constraint.
 ///
-/// Blocks are (re-)assigned bases while a strictly better alternative
-/// exists; the loop reaches a fixpoint because summaries per block strictly
-/// improve in a finite space of basis/children combinations. Extraction
-/// guards against degenerate evaluator cycles (possible only when `eval`
-/// is not strictly increasing, e.g. the trivial evaluator) by falling back
-/// to the timestamp-ordered choice of the boolean DP.
+/// The DP runs on the same dependency-driven worklist as Algorithm 1's
+/// satisfaction engine: per-block candidate scans use the instance's
+/// precomputed viable-candidate tables (coverage never re-checked), and a
+/// block is re-evaluated only when a child block's value changed (via the
+/// reverse index). The fixpoint is reached because summaries per block
+/// strictly improve in a finite space of basis/children combinations.
+/// Extraction guards against degenerate evaluator cycles (possible only
+/// when `eval` is not strictly increasing, e.g. the trivial evaluator) by
+/// falling back to the timestamp-ordered choice of the boolean DP.
 pub fn best<E: TdEvaluator>(
     h: &Hypergraph,
     bags: &[BitSet],
@@ -66,41 +76,109 @@ pub fn best<E: TdEvaluator>(
     best_on(&inst, eval)
 }
 
+/// [`best`] with the per-wave block evaluations fanned out via
+/// [`par_map`] (threaded under the `parallel` feature). Requires a
+/// shareable evaluator; results are identical to [`best_on`] because
+/// waves snapshot the value table and merge in block order either way.
+pub fn best_par<E>(h: &Hypergraph, bags: &[BitSet], eval: &E) -> Option<Ranked<E::Summary>>
+where
+    E: TdEvaluator + Sync,
+    E::Summary: Send + Sync,
+{
+    let inst = CtdInstance::new(h, bags);
+    best_on_par(&inst, eval)
+}
+
+/// Evaluates every frontier block against the snapshot, serially.
+fn wave_serial<E: TdEvaluator>(
+    inst: &CtdInstance,
+    eval: &E,
+    value: &[Option<(usize, E::Summary)>],
+    frontier: &[u32],
+) -> Vec<Option<(usize, E::Summary)>> {
+    frontier
+        .iter()
+        .map(|&b| best_candidate(inst, eval, value, b as usize))
+        .collect()
+}
+
+/// [`wave_serial`] via [`par_map`] (requires shareable summaries).
+fn wave_parallel<E>(
+    inst: &CtdInstance,
+    eval: &E,
+    value: &[Option<(usize, E::Summary)>],
+    frontier: &[u32],
+) -> Vec<Option<(usize, E::Summary)>>
+where
+    E: TdEvaluator + Sync,
+    E::Summary: Send + Sync,
+{
+    par_map(frontier.len(), |i| {
+        best_candidate(inst, eval, value, frontier[i] as usize)
+    })
+}
+
 /// [`best`] on a prepared instance.
 pub fn best_on<E: TdEvaluator>(inst: &CtdInstance, eval: &E) -> Option<Ranked<E::Summary>> {
+    best_worklist(inst, eval, wave_serial)
+}
+
+/// [`best_on`] with parallel wave fan-out; see [`best_par`].
+pub fn best_on_par<E>(inst: &CtdInstance, eval: &E) -> Option<Ranked<E::Summary>>
+where
+    E: TdEvaluator + Sync,
+    E::Summary: Send + Sync,
+{
+    best_worklist(inst, eval, wave_parallel)
+}
+
+/// The worklist driver shared by the serial and parallel variants: waves
+/// of Jacobi-style re-evaluations over a frontier, seeded with all blocks;
+/// after a wave, exactly the parents of changed blocks re-enter.
+fn best_worklist<E: TdEvaluator>(
+    inst: &CtdInstance,
+    eval: &E,
+    wave: impl Fn(
+        &CtdInstance,
+        &E,
+        &[Option<(usize, E::Summary)>],
+        &[u32],
+    ) -> Vec<Option<(usize, E::Summary)>>,
+) -> Option<Ranked<E::Summary>> {
     let nb = inst.blocks.len();
     let mut value: Vec<Option<(usize, E::Summary)>> = vec![None; nb];
     // Boolean reference DP for the acyclic fallback.
     let bool_sat = inst.satisfy();
+    let mut frontier: Vec<u32> = (0..nb as u32).collect();
+    let mut next: Vec<u32> = Vec::new();
+    let mut queued = vec![false; nb];
     let mut guard = 0usize;
-    loop {
-        let mut changed = false;
-        for b in 0..nb {
-            for x in 0..inst.num_bags() {
-                if inst.blocks[b].head == Some(x)
-                    || !inst
-                        .arena()
-                        .is_subset(inst.bag_ids[x], inst.blocks[b].closure)
-                {
-                    continue;
-                }
-                let Some(summary) = eval_basis(inst, eval, &value, b, x) else {
-                    continue;
-                };
-                let replace = match &value[b] {
-                    None => true,
-                    Some((_, old)) => eval.better(&summary, old),
-                };
-                if replace {
-                    value[b] = Some((x, summary));
-                    changed = true;
-                }
+    while !frontier.is_empty() {
+        let updates = wave(inst, eval, &value, &frontier);
+        next.clear();
+        for (i, upd) in updates.into_iter().enumerate() {
+            let b = frontier[i] as usize;
+            let Some((x, summary)) = upd else { continue };
+            let replace = match &value[b] {
+                None => true,
+                Some((_, old)) => eval.better(&summary, old),
+            };
+            if replace {
+                value[b] = Some((x, summary));
+                inst.for_each_parent(b, |p| {
+                    if !queued[p as usize] {
+                        queued[p as usize] = true;
+                        next.push(p);
+                    }
+                });
             }
         }
-        guard += 1;
-        if !changed {
-            break;
+        next.sort_unstable();
+        for &p in &next {
+            queued[p as usize] = false;
         }
+        std::mem::swap(&mut frontier, &mut next);
+        guard += 1;
         assert!(
             guard <= 4 * nb * inst.num_bags() + 16,
             "Algorithm 2 failed to converge; evaluator is not strongly monotone"
@@ -133,38 +211,44 @@ pub fn best_on<E: TdEvaluator>(inst: &CtdInstance, eval: &E) -> Option<Ranked<E:
     let summary = if summaries.len() == 1 {
         summaries.pop().expect("one component")
     } else {
-        evaluate_td(inst.h, &td, eval)?
+        evaluate_td(&inst.h, &td, eval)?
     };
     Some((td, summary))
 }
 
-/// Evaluates basis candidate `x` for block `b` against current values.
-fn eval_basis<E: TdEvaluator>(
+/// The preference-minimal viable candidate of block `b` under the current
+/// value table: scans the precomputed viable candidates in bag order
+/// (coverage already verified at instance build), evaluates those whose
+/// children all have values, and keeps the strictly best summary (first
+/// wins ties, so the choice is deterministic).
+fn best_candidate<E: TdEvaluator>(
     inst: &CtdInstance,
     eval: &E,
     value: &[Option<(usize, E::Summary)>],
     b: usize,
-    x: usize,
-) -> Option<E::Summary> {
-    let mut u = Vec::new();
-    inst.load_bag(x, &mut u);
+) -> Option<(usize, E::Summary)> {
+    let mut best: Option<(usize, E::Summary)> = None;
     let mut child_summaries: Vec<E::Summary> = Vec::new();
-    for &b2 in &inst.blocks_by_head[x] {
-        if inst
-            .arena()
-            .is_subset(inst.blocks[b2].comp, inst.blocks[b].comp)
-        {
-            let (_, s) = value[b2].as_ref()?;
-            child_summaries.push(s.clone());
-            inst.arena().union_into(inst.blocks[b2].comp, &mut u);
+    'cands: for (x, children) in inst.viable_candidates(b) {
+        child_summaries.clear();
+        for &b2 in children {
+            match value[b2 as usize].as_ref() {
+                Some((_, s)) => child_summaries.push(s.clone()),
+                None => continue 'cands,
+            }
+        }
+        let Some(summary) = eval.eval(&inst.h, inst.bag(x), &child_summaries) else {
+            continue;
+        };
+        let replace = match &best {
+            None => true,
+            Some((_, old)) => eval.better(&summary, old),
+        };
+        if replace {
+            best = Some((x, summary));
         }
     }
-    for &e in &inst.blocks[b].touching {
-        if !words_subset(inst.h.edge(e).blocks(), &u) {
-            return None;
-        }
-    }
-    eval.eval(inst.h, inst.bag(x), &child_summaries)
+    best
 }
 
 /// Recursive extraction following the best-value table; on a cycle, falls
@@ -200,11 +284,20 @@ fn extract_best<E: TdEvaluator>(
             Some(p) => td.add_child(p, inst.bag(x).clone()),
         };
         let mut child_summaries = Vec::new();
-        for b2 in inst.child_blocks(b, x) {
-            let s = rec(inst, eval, value, bool_basis, b2, visited, td, Some(node))?;
+        for &b2 in inst.child_blocks(b, x) {
+            let s = rec(
+                inst,
+                eval,
+                value,
+                bool_basis,
+                b2 as usize,
+                visited,
+                td,
+                Some(node),
+            )?;
             child_summaries.push(s);
         }
-        eval.eval(inst.h, inst.bag(x), &child_summaries)
+        eval.eval(&inst.h, inst.bag(x), &child_summaries)
     }
     let x = value[b].as_ref().map(|(x, _)| *x)?;
     let mut td = TreeDecomposition::new(inst.bag(x).clone());
@@ -326,7 +419,7 @@ pub fn enumerate_on<E: TdEvaluator>(
         let summary = if combo.len() == 1 {
             combo[0].1.clone()
         } else {
-            match evaluate_td(inst.h, &td, eval) {
+            match evaluate_td(&inst.h, &td, eval) {
                 Some(s) => s,
                 None => continue,
             }
@@ -385,48 +478,33 @@ fn enum_block<E: TdEvaluator>(
     opts: &EnumerateOptions,
 ) -> Vec<(TdNode, E::Summary)> {
     let mut results: Vec<(TdNode, E::Summary)> = Vec::new();
-    'bags: for x in 0..inst.num_bags() {
-        if inst.blocks[b].head == Some(x)
-            || !inst
-                .arena()
-                .is_subset(inst.bag_ids[x], inst.blocks[b].closure)
-        {
-            continue;
-        }
-        let child_blocks = inst.child_blocks(b, x);
-        let mut u = Vec::new();
-        inst.load_bag(x, &mut u);
-        for &b2 in &child_blocks {
-            if !satisfied[b2] || visited[b2] {
+    // Viable candidates carry their precomputed child lists; coverage was
+    // verified at instance build, so only the satisfaction/cycle state is
+    // checked here.
+    'bags: for (x, child_blocks) in inst.viable_candidates(b) {
+        for &b2 in child_blocks {
+            if !satisfied[b2 as usize] || visited[b2 as usize] {
                 continue 'bags; // unsatisfiable child, or cyclic reconstruction
             }
-            inst.arena().union_into(inst.blocks[b2].comp, &mut u);
-        }
-        if inst.blocks[b]
-            .touching
-            .iter()
-            .any(|&e| !words_subset(inst.h.edge(e).blocks(), &u))
-        {
-            continue;
         }
         // Recurse into children; each list comes back best-first and
         // truncated to the cap (sound for top-n under strong monotonicity:
         // a top-n parent combination only uses top-n child entries).
         let mut child_options: Vec<Vec<(TdNode, E::Summary)>> = Vec::new();
-        for &b2 in &child_blocks {
-            visited[b2] = true;
+        for &b2 in child_blocks {
+            visited[b2 as usize] = true;
         }
         let mut ok = true;
-        for &b2 in &child_blocks {
-            let opt = enum_block(inst, eval, satisfied, b2, visited, opts);
+        for &b2 in child_blocks {
+            let opt = enum_block(inst, eval, satisfied, b2 as usize, visited, opts);
             if opt.is_empty() {
                 ok = false;
                 break;
             }
             child_options.push(opt);
         }
-        for &b2 in &child_blocks {
-            visited[b2] = false;
+        for &b2 in child_blocks {
+            visited[b2 as usize] = false;
         }
         if !ok {
             continue;
@@ -446,7 +524,7 @@ fn enum_block<E: TdEvaluator>(
                 .enumerate()
                 .map(|(ci, &j)| child_options[ci][j].1.clone())
                 .collect();
-            eval.eval(inst.h, inst.bag(x), &sums)
+            eval.eval(&inst.h, inst.bag(x), &sums)
         };
         let start = vec![0usize; child_options.len()];
         frontier.push((start.clone(), evaluate(&start)));
@@ -562,37 +640,17 @@ fn sample_block<R: Rng>(
     parent: Option<usize>,
 ) -> bool {
     visited[b] = true;
-    // Collect valid bases under the satisfaction table.
-    let mut candidates: Vec<usize> = Vec::new();
-    'bags: for x in 0..inst.num_bags() {
-        if inst.blocks[b].head == Some(x)
-            || !inst
-                .arena()
-                .is_subset(inst.bag_ids[x], inst.blocks[b].closure)
-        {
-            continue;
-        }
-        let mut u = Vec::new();
-        inst.load_bag(x, &mut u);
-        for &b2 in &inst.blocks_by_head[x] {
-            if inst
-                .arena()
-                .is_subset(inst.blocks[b2].comp, inst.blocks[b].comp)
-            {
-                if !satisfied[b2] || visited[b2] {
-                    continue 'bags;
-                }
-                inst.arena().union_into(inst.blocks[b2].comp, &mut u);
-            }
-        }
-        if inst.blocks[b]
-            .touching
-            .iter()
-            .all(|&e| words_subset(inst.h.edge(e).blocks(), &u))
-        {
-            candidates.push(x);
-        }
-    }
+    // Collect valid bases under the satisfaction table: viable candidates
+    // (coverage precomputed) whose children are satisfied and acyclic.
+    let candidates: Vec<usize> = inst
+        .viable_candidates(b)
+        .filter(|(_, children)| {
+            children
+                .iter()
+                .all(|&b2| satisfied[b2 as usize] && !visited[b2 as usize])
+        })
+        .map(|(x, _)| x)
+        .collect();
     if candidates.is_empty() {
         return false;
     }
@@ -608,8 +666,8 @@ fn sample_block<R: Rng>(
             t.add_child(r, inst.bag(x).clone())
         }
     };
-    for b2 in inst.child_blocks(b, x) {
-        if !sample_block(inst, satisfied, b2, visited, rng, td, Some(node)) {
+    for &b2 in inst.child_blocks(b, x) {
+        if !sample_block(inst, satisfied, b2 as usize, visited, rng, td, Some(node)) {
             return false;
         }
     }

@@ -237,12 +237,14 @@ pub fn hw_leq(h: &Hypergraph, k: usize) -> Option<Ghd> {
 
 /// Computes `hw(H)` exactly, returning the width and a witness HD.
 pub fn hw(h: &Hypergraph) -> (usize, Ghd) {
-    for k in 1..=h.num_edges().max(1) {
-        if let Some(g) = hw_leq(h, k) {
-            return (k, g);
-        }
-    }
-    unreachable!("hw(H) <= |E(H)| always holds")
+    crate::width_sweep(h.num_edges(), |k| hw_leq(h, k))
+}
+
+/// [`hw`] against a cross-query [`crate::cache::DecompCache`]: per-width
+/// decisions and witnesses are memoised by structural hash, so repeated
+/// baseline sweeps over the same schema skip the search entirely.
+pub fn hw_cached(cache: &mut crate::cache::DecompCache, h: &Hypergraph) -> (usize, Ghd) {
+    cache.hw(h)
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //!
 //! Module map (paper section in parentheses):
 //! - [`td`], [`ghd`]: (generalised) hypertree decompositions and checks (§2)
-//! - [`ctd`]: blocks, bases, Algorithm 1 (§3)
+//! - [`ctd`]: blocks, bases, Algorithm 1 on the worklist DP engine (§3)
+//! - [`cache`]: cross-query decomposition cache (structural-hash keyed
+//!   instance + width-decision memoisation)
 //! - [`soft`]: the candidate bag set `Soft_{H,k}` (§4, Def. 3)
 //! - [`soft_iter`]: the iterated hierarchy `Soft^i`, `shw_i`, ghw as the
 //!   fixpoint (§5)
@@ -21,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod constraints;
 pub mod cover;
 pub mod ctd;
@@ -33,12 +36,28 @@ pub mod soft;
 pub mod soft_iter;
 pub mod td;
 
+pub use cache::DecompCache;
 pub use ctd::{candidate_td, CtdInstance};
 
 /// Enumerates all subsets of `pool` with size between 1 and `k`.
 /// Re-exported helper shared by the cover searches.
 pub(crate) fn bitset_subsets(pool: &[usize], k: usize, f: impl FnMut(&[usize])) {
     softhw_hypergraph::bitset::for_each_subset_up_to_k(pool, k, f)
+}
+
+/// Shared exact-width sweep: the least `k ≤ max_width` accepted by `leq`,
+/// with its witness. Used by the cold and cached `shw`/`hw` entry
+/// points, which all rely on `width ≤ |E(H)|` for totality.
+pub(crate) fn width_sweep<T>(
+    max_width: usize,
+    mut leq: impl FnMut(usize) -> Option<T>,
+) -> (usize, T) {
+    for k in 1..=max_width.max(1) {
+        if let Some(t) = leq(k) {
+            return (k, t);
+        }
+    }
+    unreachable!("every width measure here is at most |E(H)|")
 }
 pub use ghd::Ghd;
 pub use soft::{soft_bags, SoftLimits};

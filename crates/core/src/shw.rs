@@ -48,14 +48,21 @@ pub fn shw_leq_indexed(
 /// every width above it.
 pub fn shw(h: &Hypergraph) -> (usize, TreeDecomposition) {
     let mut index = BlockIndex::new(h);
-    for k in 1..=h.num_edges().max(1) {
-        let found = shw_leq_indexed(&mut index, k, &SoftLimits::default())
-            .expect("default limits exceeded");
-        if let Some(td) = found {
-            return (k, td);
-        }
-    }
-    unreachable!("shw(H) <= hw(H) <= |E(H)|")
+    crate::width_sweep(h.num_edges(), |k| {
+        shw_leq_indexed(&mut index, k, &SoftLimits::default()).expect("default limits exceeded")
+    })
+}
+
+/// [`shw`] against a cross-query [`crate::cache::DecompCache`]: repeated
+/// sweeps over structurally identical hypergraphs (a service answering
+/// many queries over one schema, `table1`-style harness runs) reuse the
+/// cached index, per-width decisions, and witnesses instead of
+/// regenerating them per call.
+pub fn shw_cached(
+    cache: &mut crate::cache::DecompCache,
+    h: &Hypergraph,
+) -> (usize, TreeDecomposition) {
+    cache.shw(h)
 }
 
 #[cfg(test)]

@@ -20,14 +20,18 @@
 //! widths `k` and across solver calls on the same hypergraph. The
 //! `W`-side enumeration fans out over first-λ1-element chunks via
 //! [`softhw_hypergraph::par::par_chunks`] (threaded under the `parallel`
-//! feature), with an index-ordered merge keeping results deterministic.
+//! feature) into per-worker shards of a [`ShardedArena`] — each worker
+//! owns its slice of the id space (high bits = shard id), so the merge is
+//! lock-free concatenation plus one content sort, with no re-interning of
+//! worker results into the shared arena. Only the final deduplicated
+//! candidate set is interned into the [`BlockIndex`] arena, once.
 //!
 //! The seed's direct `FxHashSet<BitSet>` generator is preserved verbatim
 //! in [`reference`] as the cross-check and benchmark baseline.
 
 use softhw_hypergraph::arena::{words_empty, words_intersect_into, IdSet};
 use softhw_hypergraph::par::par_chunks;
-use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Hypergraph};
+use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Hypergraph, ShardedArena};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Guards against combinatorial blow-up of candidate-bag generation.
@@ -187,15 +191,74 @@ fn lambda_unions_direct(
     Ok(out)
 }
 
+/// The parallel `W`-side enumeration: one shard of a [`ShardedArena`] per
+/// worker (ids partitioned by high bits), merged by concatenation and
+/// deduplicated across shards during the content sort. Returns the
+/// sharded storage plus the content-sorted unique ids into it — no bag is
+/// interned into any shared arena, so downstream stages can stream the
+/// words straight out of the worker shards.
+fn lambda_unions_sharded(
+    arena: &BagArena,
+    elements: &[BagId],
+    k: usize,
+    limits: &SoftLimits,
+) -> Result<(ShardedArena, Vec<BagId>), LimitExceeded> {
+    let shard_cap = elements
+        .len()
+        .clamp(1, softhw_hypergraph::arena::MAX_SHARDS);
+    let workers = softhw_hypergraph::par::num_workers().clamp(1, shard_cap);
+    let universe = arena.universe();
+    let words = arena.words_per_bag();
+    let budget = AtomicUsize::new(0);
+    let max_budget = limits.max_lambda_sets;
+    let per_chunk: Vec<Result<BagArena, LimitExceeded>> =
+        par_chunks(elements.len(), workers, |range| {
+            let mut local = BagArena::new(universe);
+            let mut pool: Vec<Vec<u64>> = (0..=k).map(|_| vec![0u64; words]).collect();
+            for first in range {
+                if budget.fetch_add(1, Ordering::Relaxed) >= max_budget {
+                    return Err(LimitExceeded {
+                        what: "max_lambda_sets",
+                    });
+                }
+                let first_words = arena.words(elements[first]);
+                pool[1].copy_from_slice(first_words);
+                local.intern_words(first_words);
+                if k > 1 {
+                    lambda_rec(
+                        arena,
+                        elements,
+                        first + 1,
+                        2,
+                        k,
+                        &mut pool,
+                        &mut local,
+                        &budget,
+                        max_budget,
+                    )?;
+                }
+            }
+            Ok(local)
+        });
+    let mut shards = Vec::with_capacity(per_chunk.len());
+    for r in per_chunk {
+        shards.push(r?);
+    }
+    let sharded = ShardedArena::from_shards(shards);
+    let ids = sharded.sorted_unique_ids();
+    Ok((sharded, ids))
+}
+
 /// Enumerates all distinct unions of 1..=`k` bags drawn from `elements`
 /// (the `⋃λ1` side of Definition 3), interned into `arena` and returned
 /// in content order. Serial builds enumerate directly into the shared
 /// arena; under the `parallel` feature the first-element range is split
-/// into one chunk per core, each worker dedups into a local arena, and
-/// the chunk-ordered merge re-interns into the shared one. Both paths
-/// charge one global `max_lambda_sets` budget (the parallel workers
-/// share a relaxed atomic counter), so the sorted result — and the
-/// accept/`LimitExceeded` outcome — is identical either way.
+/// into one chunk per core, each worker filling its own shard of the id
+/// space ([`lambda_unions_sharded`]), and only the deduplicated result is
+/// interned into the shared arena. Both paths charge one global
+/// `max_lambda_sets` budget (the parallel workers share a relaxed atomic
+/// counter), so the sorted result — and the accept/`LimitExceeded`
+/// outcome — is identical either way.
 pub fn lambda_union_ids(
     arena: &mut BagArena,
     elements: &[BagId],
@@ -206,58 +269,19 @@ pub fn lambda_union_ids(
         return Ok(Vec::new());
     }
     let workers = softhw_hypergraph::par::num_workers().min(elements.len());
-    let mut out: Vec<BagId> = if workers <= 1 {
-        lambda_unions_direct(arena, elements, k, limits)?
+    if workers <= 1 {
+        let mut out = lambda_unions_direct(arena, elements, k, limits)?;
+        out.sort_unstable_by(|&a, &b| arena.cmp_bags(a, b));
+        Ok(out)
     } else {
-        let universe = arena.universe();
-        let words = arena.words_per_bag();
-        let shared: &BagArena = arena;
-        let budget = AtomicUsize::new(0);
-        let max_budget = limits.max_lambda_sets;
-        let per_chunk: Vec<Result<BagArena, LimitExceeded>> =
-            par_chunks(elements.len(), workers, |range| {
-                let mut local = BagArena::new(universe);
-                let mut pool: Vec<Vec<u64>> = (0..=k).map(|_| vec![0u64; words]).collect();
-                for first in range {
-                    if budget.fetch_add(1, Ordering::Relaxed) >= max_budget {
-                        return Err(LimitExceeded {
-                            what: "max_lambda_sets",
-                        });
-                    }
-                    let first_words = shared.words(elements[first]);
-                    pool[1].copy_from_slice(first_words);
-                    local.intern_words(first_words);
-                    if k > 1 {
-                        lambda_rec(
-                            shared,
-                            elements,
-                            first + 1,
-                            2,
-                            k,
-                            &mut pool,
-                            &mut local,
-                            &budget,
-                            max_budget,
-                        )?;
-                    }
-                }
-                Ok(local)
-            });
-        let mut out: Vec<BagId> = Vec::new();
-        let mut seen = IdSet::new();
-        for r in per_chunk {
-            let local = r?;
-            for i in 0..local.len() {
-                let id = arena.intern_words(local.words(BagId(i as u32)));
-                if seen.insert(id) {
-                    out.push(id);
-                }
-            }
-        }
-        out
-    };
-    out.sort_unstable_by(|&a, &b| arena.cmp_bags(a, b));
-    Ok(out)
+        let (sharded, ids) = lambda_unions_sharded(arena, elements, k, limits)?;
+        // Already content-sorted and unique: a single interning pass maps
+        // the sharded ids into the shared arena's id space.
+        Ok(ids
+            .into_iter()
+            .map(|id| arena.intern_words(sharded.words(id)))
+            .collect())
+    }
 }
 
 /// Enumerates all distinct `⋃C` for `C` a `[λ2]`-component of the
@@ -378,14 +402,14 @@ pub fn soft_bag_ids_from_elements(
     limits: &SoftLimits,
 ) -> Result<Vec<BagId>, LimitExceeded> {
     let u_side = component_union_ids(index, k, limits)?;
-    let w_side = lambda_union_ids(&mut index.arena, elements, k, limits)?;
     let words = index.arena.words_per_bag();
-    let workers = softhw_hypergraph::par::num_workers().min(w_side.len().max(1));
-    let mut out: Vec<BagId> = Vec::new();
-    let mut seen = IdSet::new();
+    let workers = softhw_hypergraph::par::num_workers();
     if workers <= 1 {
-        // Serial: intersect straight into the shared arena.
+        // Serial: enumerate and intersect straight into the shared arena.
+        let w_side = lambda_union_ids(&mut index.arena, elements, k, limits)?;
         let arena = &mut index.arena;
+        let mut out: Vec<BagId> = Vec::new();
+        let mut seen = IdSet::new();
         let mut w_buf = vec![0u64; words];
         let mut buf = vec![0u64; words];
         for &w in &w_side {
@@ -413,15 +437,25 @@ pub fn soft_bag_ids_from_elements(
                 }
             }
         }
+        out.sort_unstable_by(|&a, &b| index.arena.cmp_bags(a, b));
+        Ok(out)
     } else {
+        // Parallel: the W-side stays in its worker shards (never touches
+        // the shared arena), the W×U intersections land in a second set
+        // of shards, and only the final deduplicated candidate set is
+        // interned — in content order, so ids are deterministic.
+        let (w_sharded, w_ids) = lambda_unions_sharded(&index.arena, elements, k, limits)?;
         let universe = index.arena.universe();
         let shared: &BagArena = &index.arena;
+        let inter_workers = workers
+            .min(w_ids.len().max(1))
+            .min(softhw_hypergraph::arena::MAX_SHARDS);
         let per_chunk: Vec<Result<BagArena, LimitExceeded>> =
-            par_chunks(w_side.len(), workers, |range| {
+            par_chunks(w_ids.len(), inter_workers, |range| {
                 let mut local = BagArena::new(universe);
                 let mut buf = vec![0u64; words];
                 for wi in range {
-                    let w_words = shared.words(w_side[wi]);
+                    let w_words = w_sharded.words(w_ids[wi]);
                     if words_empty(w_words) {
                         continue; // an empty element yields only empty intersections
                     }
@@ -441,21 +475,20 @@ pub fn soft_bag_ids_from_elements(
                 }
                 Ok(local)
             });
+        let mut shards = Vec::with_capacity(per_chunk.len());
         for r in per_chunk {
-            let local = r?;
-            for i in 0..local.len() {
-                let id = index.arena.intern_words(local.words(BagId(i as u32)));
-                if seen.insert(id) {
-                    out.push(id);
-                    if out.len() > limits.max_bags {
-                        return Err(LimitExceeded { what: "max_bags" });
-                    }
-                }
-            }
+            shards.push(r?);
         }
+        let inter = ShardedArena::from_shards(shards);
+        let final_ids = inter.sorted_unique_ids();
+        if final_ids.len() > limits.max_bags {
+            return Err(LimitExceeded { what: "max_bags" });
+        }
+        Ok(final_ids
+            .into_iter()
+            .map(|id| index.arena.intern_words(inter.words(id)))
+            .collect())
     }
-    out.sort_unstable_by(|&a, &b| index.arena.cmp_bags(a, b));
-    Ok(out)
 }
 
 /// `Soft_{H,k}` as interned ids, with the `λ1` pool being `E(H)` itself.
@@ -464,12 +497,10 @@ pub fn soft_bag_ids(
     k: usize,
     limits: &SoftLimits,
 ) -> Result<Vec<BagId>, LimitExceeded> {
-    let elements: Vec<BagId> = {
-        let h = index.hypergraph();
-        (0..h.num_edges())
-            .map(|e| index.arena.intern_words(h.edge(e).blocks()))
-            .collect()
-    };
+    let h = index.hypergraph_arc().clone();
+    let elements: Vec<BagId> = (0..h.num_edges())
+        .map(|e| index.arena.intern_words(h.edge(e).blocks()))
+        .collect();
     soft_bag_ids_from_elements(index, &elements, k, limits)
 }
 

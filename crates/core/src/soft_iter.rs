@@ -35,7 +35,7 @@ pub struct SoftHierarchy<'h> {
     h: &'h Hypergraph,
     k: usize,
     limits: SoftLimits,
-    index: BlockIndex<'h>,
+    index: BlockIndex,
     /// `subedges[i]` = `E^(i)` (ids, sorted by content).
     subedge_ids: Vec<Vec<BagId>>,
     /// `bags[i]` = `Soft^i_{H,k}` (ids, sorted by content).
@@ -79,7 +79,7 @@ impl<'h> SoftHierarchy<'h> {
     }
 
     /// The shared block index holding every level's bags.
-    pub fn index_mut(&mut self) -> &mut BlockIndex<'h> {
+    pub fn index_mut(&mut self) -> &mut BlockIndex {
         &mut self.index
     }
 

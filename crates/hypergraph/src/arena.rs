@@ -91,12 +91,7 @@ impl BagArena {
 
     #[inline]
     fn hash_words(words: &[u64]) -> u64 {
-        // Fx-style multiply-rotate over the words.
-        let mut h: u64 = 0;
-        for &w in words {
-            h = (h.rotate_left(5) ^ w).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-        }
-        h
+        crate::fxhash::hash_u64s(words)
     }
 
     /// Interns raw words (must be `words_per_bag` long); returns the id,
@@ -233,6 +228,113 @@ impl BagArena {
     pub fn copy_from(&mut self, other: &BagArena, id: BagId) -> BagId {
         debug_assert_eq!(self.words, other.words);
         self.intern_words(other.words(id))
+    }
+}
+
+/// Number of high bits of a [`BagId`] reserved for the shard index in a
+/// [`ShardedArena`]'s id space.
+pub const SHARD_BITS: u32 = 8;
+const SHARD_SHIFT: u32 = 32 - SHARD_BITS;
+const LOCAL_MASK: u32 = (1 << SHARD_SHIFT) - 1;
+/// Maximum number of bags a single shard may hold.
+pub const MAX_BAGS_PER_SHARD: usize = LOCAL_MASK as usize + 1;
+/// Maximum number of shards a [`ShardedArena`] may combine.
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+/// A read-only view over per-worker [`BagArena`]s with a partitioned id
+/// space: the top [`SHARD_BITS`] bits of a [`BagId`] select the shard,
+/// the low bits the bag within it.
+///
+/// Parallel enumeration workers each own one shard exclusively, so id
+/// assignment needs no synchronisation, and the merge is plain
+/// concatenation — [`ShardedArena::from_shards`] moves the worker arenas
+/// in without touching their storage, unlike the previous merge that
+/// re-interned every worker-local bag into the shared arena. Content
+/// duplicates *across* shards are removed afterwards by
+/// [`ShardedArena::sorted_unique_ids`], during the content sort the
+/// enumeration output needs anyway.
+pub struct ShardedArena {
+    universe: usize,
+    shards: Vec<BagArena>,
+}
+
+impl ShardedArena {
+    /// Wraps worker-local arenas as the shards of one id space. All
+    /// shards must share a universe; shard and per-shard bag counts must
+    /// fit the id encoding (enumeration limits sit far below both).
+    pub fn from_shards(shards: Vec<BagArena>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard");
+        assert!(shards.len() <= MAX_SHARDS, "too many shards");
+        let universe = shards[0].universe();
+        for s in &shards {
+            assert_eq!(s.universe(), universe, "shards over one universe");
+            assert!(s.len() <= MAX_BAGS_PER_SHARD, "shard id space overflow");
+        }
+        ShardedArena { universe, shards }
+    }
+
+    /// The universe size the shards were created for.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Total number of bags across all shards (duplicates across shards
+    /// counted separately).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BagArena::len).sum()
+    }
+
+    /// True iff no shard holds a bag.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encodes `(shard, local)` as a sharded [`BagId`].
+    #[inline]
+    pub fn encode(shard: usize, local: usize) -> BagId {
+        debug_assert!(shard < MAX_SHARDS && local < MAX_BAGS_PER_SHARD);
+        BagId(((shard as u32) << SHARD_SHIFT) | local as u32)
+    }
+
+    /// The shard index of a sharded id.
+    #[inline]
+    pub fn shard_of(id: BagId) -> usize {
+        (id.0 >> SHARD_SHIFT) as usize
+    }
+
+    /// The packed words of sharded bag `id`.
+    #[inline]
+    pub fn words(&self, id: BagId) -> &[u64] {
+        self.shards[(id.0 >> SHARD_SHIFT) as usize].words(BagId(id.0 & LOCAL_MASK))
+    }
+
+    /// All ids, shard-major in per-shard insertion order.
+    pub fn all_ids(&self) -> Vec<BagId> {
+        let mut out = Vec::with_capacity(self.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            for i in 0..shard.len() {
+                out.push(Self::encode(s, i));
+            }
+        }
+        out
+    }
+
+    /// Compares two sharded bags by content.
+    #[inline]
+    pub fn cmp_bags(&self, a: BagId, b: BagId) -> std::cmp::Ordering {
+        self.words(a).cmp(self.words(b))
+    }
+
+    /// Ids of all distinct bag contents, sorted by content; cross-shard
+    /// duplicates keep the representative from the lowest shard. This is
+    /// the whole merge step of the sharded enumeration: no interning, one
+    /// sort plus an adjacent dedup.
+    pub fn sorted_unique_ids(&self) -> Vec<BagId> {
+        let mut ids = self.all_ids();
+        ids.sort_unstable_by(|&a, &b| self.words(a).cmp(self.words(b)).then(a.0.cmp(&b.0)));
+        ids.dedup_by(|a, b| self.words(*a) == self.words(*b));
+        ids
     }
 }
 
@@ -390,5 +492,49 @@ mod tests {
         let ia = a.intern(&s);
         let ib = b.copy_from(&a, ia);
         assert_eq!(b.to_bitset(ib), s);
+    }
+
+    #[test]
+    fn sharded_merge_dedups_across_shards() {
+        // Three worker shards with overlapping content: the merged sorted
+        // id list must equal the sorted distinct contents, and every id
+        // must resolve into its shard's storage.
+        let universe = 130;
+        let mut shards: Vec<BagArena> = (0..3).map(|_| BagArena::new(universe)).collect();
+        let mut reference: Vec<BitSet> = Vec::new();
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for i in 0..40 {
+                let set =
+                    BitSet::from_iter(universe, [(i * 7 + s) % universe, (i + 64) % universe]);
+                shard.intern(&set);
+                reference.push(set);
+            }
+        }
+        reference.sort_unstable();
+        reference.dedup();
+        let sharded = ShardedArena::from_shards(shards);
+        assert_eq!(sharded.len(), 3 * 40 - duplicates_within(&sharded));
+        let ids = sharded.sorted_unique_ids();
+        let merged: Vec<BitSet> = ids
+            .iter()
+            .map(|&id| BitSet::from_blocks(sharded.words(id)))
+            .collect();
+        assert_eq!(merged, reference);
+        // Encoding round-trips.
+        for &id in &ids {
+            let shard = ShardedArena::shard_of(id);
+            assert!(shard < 3);
+        }
+    }
+
+    fn duplicates_within(sharded: &ShardedArena) -> usize {
+        // Count content duplicates across shards (within-shard dedup is
+        // the BagArena's own job).
+        let all = sharded.all_ids();
+        let mut contents: Vec<&[u64]> = all.iter().map(|&id| sharded.words(id)).collect();
+        contents.sort_unstable();
+        let before = contents.len();
+        contents.dedup();
+        before - contents.len()
     }
 }

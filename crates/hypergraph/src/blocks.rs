@@ -25,6 +25,7 @@ use crate::arena::{BagArena, BagId};
 use crate::bitset::BitSet;
 use crate::fxhash::FxHashMap;
 use crate::hypergraph::Hypergraph;
+use std::sync::Arc;
 
 /// A `(start, len)` range into one of the index's append-only side tables.
 #[derive(Clone, Copy, Debug)]
@@ -70,8 +71,14 @@ pub struct BlockIndexStats {
 
 /// Per-hypergraph cache of components, blocks, and component unions, all
 /// keyed on interned [`BagId`]s.
-pub struct BlockIndex<'h> {
-    h: &'h Hypergraph,
+///
+/// The index *owns* its hypergraph (as an [`Arc`], shared with every
+/// solver instance built from it), so it has no borrow lifetime and can
+/// outlive the call that created it — which is what lets the cross-query
+/// [`crate::cache::IndexCache`] keep one warm index per structurally
+/// distinct hypergraph across solver calls.
+pub struct BlockIndex {
+    h: Arc<Hypergraph>,
     /// Arena over the vertex universe; owns every separator, component,
     /// closure, and candidate bag this index has seen.
     pub arena: BagArena,
@@ -90,12 +97,18 @@ pub struct BlockIndex<'h> {
     stats: BlockIndexStats,
 }
 
-impl<'h> BlockIndex<'h> {
-    /// Creates an empty index for `h`.
-    pub fn new(h: &'h Hypergraph) -> Self {
+impl BlockIndex {
+    /// Creates an empty index for a clone of `h`.
+    pub fn new(h: &Hypergraph) -> Self {
+        Self::from_arc(Arc::new(h.clone()))
+    }
+
+    /// Creates an empty index sharing ownership of `h` (no clone).
+    pub fn from_arc(h: Arc<Hypergraph>) -> Self {
+        let nv = h.num_vertices();
         BlockIndex {
             h,
-            arena: BagArena::new(h.num_vertices()),
+            arena: BagArena::new(nv),
             comp_data: Vec::new(),
             comp_cache: FxHashMap::default(),
             touch_data: Vec::new(),
@@ -108,8 +121,15 @@ impl<'h> BlockIndex<'h> {
 
     /// The hypergraph this index serves.
     #[inline]
-    pub fn hypergraph(&self) -> &'h Hypergraph {
-        self.h
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.h
+    }
+
+    /// Shared ownership of the hypergraph, for solver instances that must
+    /// outlive a `&mut` borrow of the index.
+    #[inline]
+    pub fn hypergraph_arc(&self) -> &Arc<Hypergraph> {
+        &self.h
     }
 
     /// Cache statistics so far.

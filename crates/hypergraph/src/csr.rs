@@ -1,0 +1,93 @@
+//! Compressed sparse adjacency over dense `u32` ids.
+//!
+//! The worklist satisfaction DP of Algorithm 1 (and the preference DP of
+//! Algorithm 2) is dependency-driven: a block only needs rechecking when
+//! one of its child blocks newly becomes satisfied. The child→parents
+//! reverse index that drives those rechecks — and the per-block viable
+//! candidate tables next to it — are plain CSR structures: one flat data
+//! vector plus an offsets vector, built once per instance and probed with
+//! two loads per row. [`Csr`] is that substrate, shared by the solver
+//! crate so every DP wires its dependencies the same way.
+
+/// An immutable adjacency from `0..n` to lists of `u32` targets.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the adjacency from `(source, target)` pairs. Pairs are
+    /// sorted and deduplicated, so rows come out ascending and
+    /// duplicate-free regardless of insertion order.
+    pub fn from_pairs(n: usize, mut pairs: Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::with_capacity(pairs.len());
+        offsets.push(0);
+        let mut row = 0u32;
+        for (s, t) in pairs {
+            debug_assert!((s as usize) < n, "source out of range");
+            while row < s {
+                offsets.push(data.len() as u32);
+                row += 1;
+            }
+            data.push(t);
+        }
+        while offsets.len() <= n {
+            offsets.push(data.len() as u32);
+        }
+        Csr { offsets, data }
+    }
+
+    /// Number of source rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the adjacency has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The targets of row `i`, ascending and duplicate-free.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_sorted_and_deduped() {
+        let csr = Csr::from_pairs(4, vec![(2, 7), (0, 3), (2, 1), (2, 7), (0, 3)]);
+        assert_eq!(csr.num_rows(), 4);
+        assert_eq!(csr.row(0), &[3]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[1, 7]);
+        assert_eq!(csr.row(3), &[] as &[u32]);
+        assert_eq!(csr.num_edges(), 3);
+    }
+
+    #[test]
+    fn empty_and_trailing_rows() {
+        let csr = Csr::from_pairs(3, Vec::new());
+        assert_eq!(csr.num_rows(), 3);
+        assert!(csr.is_empty());
+        for i in 0..3 {
+            assert!(csr.row(i).is_empty());
+        }
+    }
+}

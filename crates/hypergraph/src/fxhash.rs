@@ -65,6 +65,24 @@ pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// `HashSet` with the Fx hasher.
 pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
+/// Fx-hashes a stream of `u64`s — the shared mixing behind the arena's
+/// bag interner and the structural/bag-set cache keys. One definition so
+/// the mixing can only change in one place.
+#[inline]
+pub fn hash_u64_iter(items: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FxHasher::default();
+    for i in items {
+        h.add_to_hash(i);
+    }
+    h.finish()
+}
+
+/// [`hash_u64_iter`] over a word slice.
+#[inline]
+pub fn hash_u64s(words: &[u64]) -> u64 {
+    hash_u64_iter(words.iter().copied())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,8 @@
 pub mod arena;
 pub mod bitset;
 pub mod blocks;
+pub mod cache;
+pub mod csr;
 pub mod fxhash;
 #[allow(clippy::module_inception)]
 pub mod hypergraph;
@@ -24,9 +26,11 @@ pub mod parse;
 pub mod random;
 pub mod stats;
 
-pub use arena::{BagArena, BagId};
+pub use arena::{BagArena, BagId, ShardedArena};
 pub use bitset::BitSet;
 pub use blocks::{BlockIndex, BlockIndexStats};
+pub use cache::{structural_hash, IndexCache, IndexCacheStats};
+pub use csr::Csr;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
 pub use parse::{parse_hypergraph, render_hypergraph, ParseError};

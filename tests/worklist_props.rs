@@ -1,0 +1,98 @@
+//! Property tests for the dependency-driven worklist satisfaction DP:
+//! on random hypergraphs, the worklist engine must agree **block for
+//! block** — bases and timestamps, not just accept/reject — with the
+//! retained Jacobi reference, and the cross-query decomposition cache
+//! must return exactly what cold runs return. The same file runs under
+//! the `parallel` feature in CI, so serial/parallel bit-identity is
+//! covered by the same assertions.
+
+use proptest::prelude::*;
+use softhw::core::cache::DecompCache;
+use softhw::core::ctd::CtdInstance;
+use softhw::core::soft::{soft_bags_with, SoftLimits};
+use softhw::hypergraph::random::{random_hypergraph, RandomConfig};
+use softhw::hypergraph::Hypergraph;
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..9, 3usize..9, 0u64..5000).prop_map(|(nv, ne, seed)| {
+        random_hypergraph(
+            &RandomConfig {
+                num_vertices: nv,
+                num_edges: ne,
+                min_arity: 2,
+                max_arity: 3,
+                connect: true,
+            },
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn worklist_satisfaction_equals_jacobi(h in small_hypergraph(), k in 1usize..3) {
+        let limits = SoftLimits::default();
+        let bags = soft_bags_with(&h, k, &limits).unwrap();
+        let inst = CtdInstance::new(&h, &bags);
+        let fast = inst.satisfy();
+        let slow = inst.satisfy_jacobi();
+        prop_assert_eq!(fast.accept, slow.accept);
+        // Full table equality: same satisfied set, same bases, same
+        // timestamps — the worklist's frontier waves must replay the
+        // Jacobi rounds exactly.
+        prop_assert_eq!(&fast.basis, &slow.basis);
+        // And the certified decompositions validate.
+        if let Some(td) = inst.extract(&fast) {
+            prop_assert_eq!(td.validate(&h), Ok(()));
+            prop_assert!(td.is_comp_nf(&h));
+        }
+    }
+
+    #[test]
+    fn viable_candidate_tables_match_reference_predicate(
+        h in small_hypergraph(),
+        k in 1usize..3,
+    ) {
+        // The precomputed (comp-group, closure-group) tables must induce
+        // exactly the candidates the from-first-principles predicate
+        // accepts under an all-satisfied state.
+        let limits = SoftLimits::default();
+        let bags = soft_bags_with(&h, k, &limits).unwrap();
+        let inst = CtdInstance::new(&h, &bags);
+        let all_true = vec![true; inst.blocks.len()];
+        let mut buf = Vec::new();
+        for b in 0..inst.blocks.len() {
+            let viable: Vec<usize> = inst.viable_candidates(b).map(|(x, _)| x).collect();
+            let direct: Vec<usize> = (0..inst.num_bags())
+                .filter(|&x| inst.is_basis_with(b, x, &all_true, &mut buf))
+                .collect();
+            prop_assert_eq!(viable, direct, "block {}", b);
+        }
+    }
+
+    #[test]
+    fn cross_query_cache_equals_cold_runs(h in small_hypergraph(), k in 1usize..3) {
+        let limits = SoftLimits::default();
+        let bags = soft_bags_with(&h, k, &limits).unwrap();
+        let cold = softhw::core::candidate_td(&h, &bags);
+        let mut cache = DecompCache::new();
+        let warm1 = cache.candidate_td(&h, &bags);
+        let warm2 = cache.candidate_td(&h, &bags);
+        match (&cold, &warm1, &warm2) {
+            (Some(c), Some(w1), Some(w2)) => {
+                prop_assert_eq!(c.bags(), w1.bags());
+                prop_assert_eq!(w1.bags(), w2.bags());
+            }
+            (None, None, None) => {}
+            _ => prop_assert!(false, "cold and cached runs disagree"),
+        }
+        prop_assert_eq!(cache.stats().instance_hits, 1);
+        // Width sweeps through the cache agree with the cold solver.
+        let (cold_w, _) = softhw::core::shw::shw(&h);
+        let (warm_w, warm_td) = cache.shw(&h);
+        prop_assert_eq!(cold_w, warm_w);
+        prop_assert_eq!(warm_td.validate(&h), Ok(()));
+    }
+}
