@@ -1,0 +1,96 @@
+//! Bench-trend report: compares every `BENCH_*.json` baseline in
+//! chronological (argument) order and emits a markdown table per
+//! benchmark entry, with the speedup of the newest baseline over the
+//! oldest one that records the entry. CI runs this over all committed
+//! baselines plus the fresh smoke run and uploads the result as an
+//! artifact, so a PR's perf trajectory is one click away.
+//!
+//! Usage: `bench_trend <out.md> <baseline.json>...`
+
+use std::fmt::Write as _;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(out_path) = args.next() else {
+        eprintln!("usage: bench_trend <out.md> <baseline.json>...");
+        std::process::exit(2);
+    };
+    let paths: Vec<String> = args.collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_trend <out.md> <baseline.json>...");
+        std::process::exit(2);
+    }
+    let mut columns: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let label = path
+                    .trim_end_matches(".json")
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(path)
+                    .to_string();
+                columns.push((label, softhw_bench::parse_baseline_json(&text)));
+            }
+            Err(e) => eprintln!("skipping {path}: {e}"),
+        }
+    }
+    if columns.is_empty() {
+        eprintln!("no readable baselines");
+        std::process::exit(1);
+    }
+    // Row order: first appearance across the baselines, oldest first.
+    let mut rows: Vec<String> = Vec::new();
+    for (_, entries) in &columns {
+        for (name, _) in entries {
+            if !rows.iter().any(|r| r == name) {
+                rows.push(name.clone());
+            }
+        }
+    }
+    let get = |col: &[(String, f64)], name: &str| -> Option<f64> {
+        col.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    };
+    let mut md = String::from("# Bench trend (median ns; speedup = oldest recorded / newest)\n\n");
+    let _ = write!(md, "| entry |");
+    for (label, _) in &columns {
+        let _ = write!(md, " {label} |");
+    }
+    let _ = writeln!(md, " speedup |");
+    let _ = write!(md, "|---|");
+    for _ in &columns {
+        let _ = write!(md, "---:|");
+    }
+    let _ = writeln!(md, "---:|");
+    for name in &rows {
+        let _ = write!(md, "| {name} |");
+        let mut first: Option<f64> = None;
+        let mut last: Option<f64> = None;
+        for (_, entries) in &columns {
+            match get(entries, name) {
+                Some(v) => {
+                    first = first.or(Some(v));
+                    last = Some(v);
+                    let _ = write!(md, " {v:.0} |");
+                }
+                None => {
+                    let _ = write!(md, " – |");
+                }
+            }
+        }
+        match (first, last) {
+            (Some(f), Some(l)) if l > 0.0 => {
+                let _ = writeln!(md, " {:.2}x |", f / l);
+            }
+            _ => {
+                let _ = writeln!(md, " – |");
+            }
+        }
+    }
+    std::fs::write(&out_path, &md).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!(
+        "wrote {out_path} ({} entries, {} baselines)",
+        rows.len(),
+        columns.len()
+    );
+}

@@ -17,11 +17,19 @@
 //! All cached entry points return exactly what the cold entry points
 //! return (the solvers are deterministic); the unit tests assert this
 //! decomposition-for-decomposition.
+//!
+//! The cache is **bounded**: it tracks at most
+//! [`DecompCache::max_graphs`] structurally distinct hypergraphs and
+//! evicts the least-recently-used one (warm index, prepared instances,
+//! sweep state, and width decisions together) when a new structure would
+//! exceed the bound. Eviction only costs recomputation — an evicted
+//! structure rebuilds cold on its next query, with identical results.
 
 use crate::ctd::{CtdInstance, Satisfaction};
 use crate::ghd::Ghd;
 use crate::hw;
 use crate::soft::{soft_bag_ids, LimitExceeded, SoftLimits};
+use crate::sweep::IncrementalSweep;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::cache::IndexCache;
 use softhw_hypergraph::{BagId, BitSet, FxHashMap, Hypergraph};
@@ -37,6 +45,8 @@ pub struct DecompCacheStats {
     pub result_hits: u64,
     /// Width-decision probes computed fresh.
     pub result_misses: u64,
+    /// Hypergraphs evicted to keep the cache within its bound.
+    pub evictions: u64,
 }
 
 /// A prepared instance together with its satisfaction table.
@@ -48,15 +58,32 @@ struct CachedInstance {
     sat: Satisfaction,
 }
 
+/// Default bound on the number of structurally distinct hypergraphs a
+/// [`DecompCache`] tracks before evicting the least-recently-used one.
+pub const DEFAULT_MAX_GRAPHS: usize = 128;
+
 /// Cross-query cache for Algorithm 1 instances and width decisions. See
-/// the module docs for what is shared at which level.
-#[derive(Default)]
+/// the module docs for what is shared at which level and how the
+/// capacity bound evicts.
 pub struct DecompCache {
     indexes: IndexCache,
     instances: FxHashMap<(u64, u64), Vec<CachedInstance>>,
     shw_results: FxHashMap<(u64, usize), Option<TreeDecomposition>>,
     hw_results: FxHashMap<(u64, usize), Option<Ghd>>,
+    /// Incremental sweep state per hypergraph, so repeated `shw` sweeps
+    /// (and first-time sweeps over many widths) ride the grown instance.
+    sweeps: FxHashMap<u64, IncrementalSweep>,
+    /// hash → last-use tick, the LRU clock.
+    last_used: FxHashMap<u64, u64>,
+    tick: u64,
+    max_graphs: usize,
     stats: DecompCacheStats,
+}
+
+impl Default for DecompCache {
+    fn default() -> Self {
+        DecompCache::with_capacity(DEFAULT_MAX_GRAPHS)
+    }
 }
 
 fn hash_ids(ids: &[BagId]) -> u64 {
@@ -66,9 +93,25 @@ fn hash_ids(ids: &[BagId]) -> u64 {
 }
 
 impl DecompCache {
-    /// An empty cache.
+    /// An empty cache bounded to [`DEFAULT_MAX_GRAPHS`] hypergraphs.
     pub fn new() -> Self {
         DecompCache::default()
+    }
+
+    /// An empty cache tracking at most `max_graphs` structurally
+    /// distinct hypergraphs (minimum 1).
+    pub fn with_capacity(max_graphs: usize) -> Self {
+        DecompCache {
+            indexes: IndexCache::new(),
+            instances: FxHashMap::default(),
+            shw_results: FxHashMap::default(),
+            hw_results: FxHashMap::default(),
+            sweeps: FxHashMap::default(),
+            last_used: FxHashMap::default(),
+            tick: 0,
+            max_graphs: max_graphs.max(1),
+            stats: DecompCacheStats::default(),
+        }
     }
 
     /// Cache statistics so far.
@@ -81,6 +124,46 @@ impl DecompCache {
         &self.indexes
     }
 
+    /// The capacity bound (structurally distinct hypergraphs).
+    pub fn max_graphs(&self) -> usize {
+        self.max_graphs
+    }
+
+    /// Number of structurally distinct hypergraphs currently tracked.
+    pub fn tracked_graphs(&self) -> usize {
+        self.last_used.len()
+    }
+
+    /// Marks `hash` as just used and evicts the least-recently-used
+    /// *other* hypergraph if the bound is now exceeded. Called on every
+    /// entry point, right after the index probe.
+    fn touch(&mut self, hash: u64) {
+        self.tick += 1;
+        self.last_used.insert(hash, self.tick);
+        while self.last_used.len() > self.max_graphs {
+            let victim = self
+                .last_used
+                .iter()
+                .filter(|&(&h2, _)| h2 != hash)
+                .min_by_key(|&(_, &t)| t)
+                .map(|(&h2, _)| h2)
+                .expect("over-capacity cache has another entry");
+            self.evict(victim);
+        }
+    }
+
+    /// Drops every cached artefact of hypergraph `victim`: warm index,
+    /// prepared instances, sweep state, and width decisions.
+    fn evict(&mut self, victim: u64) {
+        self.indexes.remove(victim);
+        self.instances.retain(|&(h2, _), _| h2 != victim);
+        self.shw_results.retain(|&(h2, _), _| h2 != victim);
+        self.hw_results.retain(|&(h2, _), _| h2 != victim);
+        self.sweeps.remove(&victim);
+        self.last_used.remove(&victim);
+        self.stats.evictions += 1;
+    }
+
     /// The prepared (instance, satisfaction) pair for `(h, bags)`,
     /// building and satisfying on first sight.
     fn instance(&mut self, h: &Hypergraph, bags: &[BitSet]) -> &CachedInstance {
@@ -88,15 +171,26 @@ impl DecompCache {
         let ids: Vec<BagId> = bags.iter().map(|b| index.arena.intern(b)).collect();
         let key = (hash, hash_ids(&ids));
         let bucket = self.instances.entry(key).or_default();
-        if let Some(pos) = bucket.iter().position(|c| c.ids == ids) {
-            self.stats.instance_hits += 1;
-            return &bucket[pos];
+        let pos = bucket.iter().position(|c| c.ids == ids);
+        match pos {
+            Some(_) => self.stats.instance_hits += 1,
+            None => self.stats.instance_misses += 1,
         }
-        self.stats.instance_misses += 1;
-        let inst = CtdInstance::build(index, &ids);
-        let sat = inst.satisfy();
-        bucket.push(CachedInstance { ids, inst, sat });
-        bucket.last().expect("just pushed")
+        if pos.is_none() {
+            let (_, index) = self.indexes.entry(h);
+            let inst = CtdInstance::build(index, &ids);
+            let sat = inst.satisfy();
+            self.instances
+                .get_mut(&key)
+                .expect("bucket just created")
+                .push(CachedInstance { ids, inst, sat });
+        }
+        self.touch(hash);
+        let bucket = self.instances.get(&key).expect("bucket exists");
+        match pos {
+            Some(p) => &bucket[p],
+            None => bucket.last().expect("just pushed"),
+        }
     }
 
     /// Algorithm 1 with cross-query reuse: repeated calls with a
@@ -124,36 +218,62 @@ impl DecompCache {
         limits: &SoftLimits,
     ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
         let (hash, index) = self.indexes.entry(h);
-        if let Some(cached) = self.shw_results.get(&(hash, k)) {
+        if let Some(cached) = self.shw_results.get(&(hash, k)).cloned() {
             self.stats.result_hits += 1;
-            return Ok(cached.clone());
+            self.touch(hash);
+            return Ok(cached);
         }
         self.stats.result_misses += 1;
         let bags = soft_bag_ids(index, k, limits)?;
         let result = CtdInstance::build(index, &bags).decide();
         self.shw_results.insert((hash, k), result.clone());
+        self.touch(hash);
         Ok(result)
     }
 
-    /// `shw(h)` exactly, memoised per width across queries. Returns what
-    /// [`crate::shw::shw`] returns.
+    /// `shw(h)` exactly, memoised per width across queries and computed
+    /// through the incremental sweep engine on a miss: the per-graph
+    /// [`IncrementalSweep`] grows one instance across the widths (and
+    /// across *calls* — a repeated sweep over the same structure is pure
+    /// memo hits, and a sweep interrupted by eviction simply restarts
+    /// cold). Returns what [`crate::shw::shw`] returns.
     pub fn shw(&mut self, h: &Hypergraph) -> (usize, TreeDecomposition) {
-        crate::width_sweep(h.num_edges(), |k| {
-            self.shw_leq(h, k, &SoftLimits::default())
-                .expect("default limits exceeded")
-        })
+        let (hash, _) = self.indexes.entry(h);
+        self.touch(hash);
+        for k in 1..=h.num_edges().max(1) {
+            if let Some(cached) = self.shw_results.get(&(hash, k)) {
+                self.stats.result_hits += 1;
+                match cached {
+                    Some(td) => return (k, td.clone()),
+                    None => continue,
+                }
+            }
+            self.stats.result_misses += 1;
+            let (_, index) = self.indexes.entry(h);
+            let sweep = self.sweeps.entry(hash).or_default();
+            let result = sweep
+                .decide_leq(index, k, &SoftLimits::default())
+                .expect("default limits exceeded");
+            self.shw_results.insert((hash, k), result.clone());
+            if let Some(td) = result {
+                return (k, td);
+            }
+        }
+        unreachable!("shw is at most |E(H)|")
     }
 
     /// `hw(h) ≤ k` with cross-query memoisation (decision + witness).
     pub fn hw_leq(&mut self, h: &Hypergraph, k: usize) -> Option<Ghd> {
         let (hash, _) = self.indexes.entry(h);
-        if let Some(cached) = self.hw_results.get(&(hash, k)) {
+        if let Some(cached) = self.hw_results.get(&(hash, k)).cloned() {
             self.stats.result_hits += 1;
-            return cached.clone();
+            self.touch(hash);
+            return cached;
         }
         self.stats.result_misses += 1;
         let result = hw::hw_leq(h, k);
         self.hw_results.insert((hash, k), result.clone());
+        self.touch(hash);
         result
     }
 
@@ -218,6 +338,48 @@ mod tests {
             assert_eq!(cold_hw, warm_hw);
             assert!(warm_ghd.is_hd(&h));
         }
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_and_stays_correct() {
+        let mut cache = DecompCache::with_capacity(2);
+        let graphs = [
+            named::h2(),
+            named::cycle(5),
+            named::cycle(6),
+            named::grid(3, 3),
+        ];
+        let mut widths = Vec::new();
+        for h in &graphs {
+            widths.push(cache.shw(h).0);
+        }
+        // Four distinct structures through a bound of two: the cache must
+        // stay within bound and must have evicted.
+        assert!(cache.tracked_graphs() <= 2, "{}", cache.tracked_graphs());
+        assert!(cache.stats().evictions >= 2, "{:?}", cache.stats());
+        // Evicted structures recompute cold with identical results.
+        for (h, w) in graphs.iter().zip(&widths) {
+            let (again, td) = cache.shw(h);
+            assert_eq!(again, *w);
+            assert_eq!(td.validate(h), Ok(()));
+            assert_eq!((again, td.bags().to_vec()), {
+                let (cw, ctd) = crate::shw::shw(h);
+                (cw, ctd.bags().to_vec())
+            });
+        }
+        assert!(cache.tracked_graphs() <= 2);
+    }
+
+    #[test]
+    fn repeated_queries_never_evict_below_bound() {
+        let mut cache = DecompCache::with_capacity(4);
+        for _ in 0..10 {
+            cache.shw(&named::h2());
+            cache.candidate_td(&named::h2(), &soft_bags(&named::h2(), 2));
+            cache.hw(&named::cycle(5));
+        }
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.tracked_graphs(), 2);
     }
 
     #[test]

@@ -47,13 +47,13 @@
 //! block's basis only references blocks satisfied strictly earlier.
 
 use crate::td::TreeDecomposition;
-use softhw_hypergraph::arena::words_subset;
-use softhw_hypergraph::par::par_map;
-use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Csr, Hypergraph};
+use softhw_hypergraph::arena::{words_subset, words_union_into, IdSet};
+use softhw_hypergraph::par::{par_join, par_map};
+use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Csr, FxHashMap, Hypergraph};
 use std::sync::Arc;
 
 /// One materialised block `(S, C)` with `C ≠ ∅`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct Block {
     /// Index of the head bag, or `None` for the `∅` head.
     pub head: Option<usize>,
@@ -62,8 +62,11 @@ pub struct Block {
     pub comp: BagId,
     /// `S ∪ C`, interned in the instance arena.
     pub closure: BagId,
-    /// Edges `e` with `e ∩ C ≠ ∅` (the coverage obligations of the block).
-    pub touching: Vec<usize>,
+    /// `(start, len)` into the instance's flat touching-edge table — the
+    /// edges `e` with `e ∩ C ≠ ∅` (the coverage obligations of the
+    /// block). Resolve with [`CtdInstance::touching`]; flat storage keeps
+    /// block construction allocation-free per block.
+    touch: (u32, u32),
 }
 
 /// The precomputed dependency structure of the satisfaction DP.
@@ -91,6 +94,16 @@ struct Deps {
     group_of: Vec<u32>,
     /// Block → closure-group index.
     closure_of: Vec<u32>,
+    /// Representative block per comp group (its first block; supplies the
+    /// component and coverage obligations shared by the whole group).
+    group_rep: Vec<u32>,
+    /// Representative closure per closure group.
+    closure_rep: Vec<BagId>,
+    /// Component id → comp group (persistent so incremental extensions
+    /// keep group numbering identical to a cold build).
+    comp_group: FxHashMap<BagId, u32>,
+    /// Closure id → closure group.
+    closure_group: FxHashMap<BagId, u32>,
     /// Per comp group `g`, the range `g_cand_start[g]..g_cand_start[g+1]`
     /// of coverage-viable candidate entries in `g_cand_x`/`g_child_start`.
     g_cand_start: Vec<u32>,
@@ -105,7 +118,12 @@ struct Deps {
     /// Closure-group × bag bitmask (`xwords` words per row): bit `x` of
     /// row `cl` is set iff bag `x` ⊆ closure.
     closure_ok: Vec<u64>,
-    /// Words per `closure_ok` row.
+    /// Vertex × bag bitmask (`xwords` words per row): bit `x` of row `v`
+    /// is set iff vertex `v` ∈ bag `x`. This is the inverted index the
+    /// incremental extension scans candidates through: "bags ⊇ req" is an
+    /// AND over `req`'s rows instead of a subset test per bag.
+    vertex_bags: Vec<u64>,
+    /// Words per `closure_ok`/`vertex_bags` row.
     xwords: usize,
     /// Child block → comp groups with a coverage-viable candidate
     /// delegating to it.
@@ -147,15 +165,33 @@ pub struct CtdInstance {
     arena: BagArena,
     /// Deduplicated, non-empty candidate bags (ids into the arena).
     pub bag_ids: Vec<BagId>,
-    /// Materialised views of the bags, index-aligned with `bag_ids`
-    /// (for evaluator callbacks and decomposition output).
-    bag_sets: Vec<BitSet>,
-    /// All blocks with non-empty component.
+    /// Lazily materialised views of the bags, index-aligned with
+    /// `bag_ids` (for evaluator callbacks and decomposition output).
+    /// A bag is materialised on first [`CtdInstance::bag`] access — a
+    /// width sweep only ever touches the handful of bags its final
+    /// witness uses, so eager materialisation was pure overhead.
+    bag_sets: Vec<std::sync::OnceLock<BitSet>>,
+    /// The shared-index ids the bags were built from, index-aligned with
+    /// `bag_ids` (the incremental extension resolves new bags' blocks
+    /// against the index).
+    index_ids: Vec<BagId>,
+    /// Index ids already part of the instance (extension dedup).
+    seen_index: IdSet,
+    /// All blocks with non-empty component. Root blocks come first, then
+    /// each bag's blocks in bag order; [`CtdInstance::extend`] appends
+    /// new bags' blocks at the end, so block ids are stable across
+    /// extensions and match a cold build over the same bag sequence.
     pub blocks: Vec<Block>,
-    /// For each bag index, the blocks it heads.
-    pub blocks_by_head: Vec<Vec<usize>>,
+    /// For each bag index, the `(first block, count)` range of the
+    /// blocks it heads — a bag's blocks are always appended
+    /// consecutively, in both cold builds and extensions, so the
+    /// adjacency is two `u32`s per bag instead of a heap list.
+    pub blocks_by_head: Vec<(u32, u32)>,
     /// Blocks headed by `∅` — one per connected component of `H`.
     pub root_blocks: Vec<usize>,
+    /// Flat storage of every block's touching-edge list (see
+    /// [`Block::touch`]).
+    touch_data: Vec<u32>,
     /// Worklist dependency structure (viable candidates + reverse index).
     deps: Deps,
 }
@@ -166,6 +202,167 @@ pub struct Satisfaction {
     pub basis: Vec<Option<(usize, u32)>>,
     /// Whether all root blocks are satisfied (the "Accept" of Algorithm 1).
     pub accept: bool,
+}
+
+/// What one [`CtdInstance::extend`] call changed: the instance sizes
+/// before the extension plus the blocks whose candidate sets changed.
+/// Feed it (with the pre-extension [`Satisfaction`]) to
+/// [`CtdInstance::satisfy_extend`] to bring the DP state up to date
+/// without rechecking blocks the extension could not have affected.
+pub struct ExtendDelta {
+    /// Number of candidate bags before the extension.
+    pub prev_bags: usize,
+    /// Number of blocks before the extension.
+    pub prev_blocks: usize,
+    /// Blocks whose viable-candidate set changed (every new block, plus
+    /// the blocks of pre-existing comp groups that gained candidate
+    /// entries), ascending. These seed the incremental worklist; all
+    /// other rechecks flow through the child→parents reverse index.
+    pub dirty: Vec<u32>,
+}
+
+/// Bits `wi*64..` of a word that index elements below `universe`.
+#[inline]
+fn word_tail_mask(universe: usize, wi: usize) -> u64 {
+    let bits = universe.saturating_sub(wi * 64).min(64);
+    if bits == 64 {
+        !0
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Widens a row-major `rows × old_w` word matrix to `rows × new_w`,
+/// zero-filling the new high words of every row.
+fn restride_rows(data: &mut Vec<u64>, rows: usize, old_w: usize, new_w: usize) {
+    debug_assert_eq!(data.len(), rows * old_w);
+    if old_w == new_w {
+        return;
+    }
+    let mut wide = vec![0u64; rows * new_w];
+    for r in 0..rows {
+        wide[r * new_w..r * new_w + old_w].copy_from_slice(&data[r * old_w..(r + 1) * old_w]);
+    }
+    *data = wide;
+}
+
+/// Reusable word buffers for [`scan_masked_group`], one set per scan
+/// worker, so the per-group scans of an extension allocate nothing at
+/// all — results append into per-chunk flat vectors.
+struct ScanScratch {
+    cover: Vec<u64>,
+    cand: Vec<u64>,
+    buf: Vec<u64>,
+}
+
+impl ScanScratch {
+    fn new(words: usize, xwords: usize) -> Self {
+        ScanScratch {
+            cover: vec![0u64; words],
+            cand: vec![0u64; xwords],
+            buf: vec![0u64; words],
+        }
+    }
+}
+
+/// One scan worker's flat output: candidate entries of its group range,
+/// concatenated, with per-group entry counts for the stitch.
+#[derive(Default)]
+struct ScanChunk {
+    /// Entries per scanned group, in group order.
+    entries: Vec<u32>,
+    /// Candidate bag indices, concatenated across groups.
+    xs: Vec<u32>,
+    /// Child count per candidate entry.
+    counts: Vec<u32>,
+    /// Child block ids, concatenated.
+    children: Vec<u32>,
+}
+
+/// Scans one comp group for coverage-viable candidate entries among the
+/// bags of `mask`, with exactly the acceptance predicate, ascending bag
+/// order, and child lists of the dense per-group scan in
+/// `CtdInstance::build_deps` — but with the `cover ∖ C ⊆ X` condition
+/// evaluated through the inverted vertex→bags index (one AND per `req`
+/// vertex over the whole mask) instead of a subset test per bag. This is
+/// the incremental extension's scan; the dense scan is retained as the
+/// oracle it is property-tested against.
+#[allow(clippy::too_many_arguments)]
+fn scan_masked_group(
+    h: &Hypergraph,
+    arena: &BagArena,
+    bag_ids: &[BagId],
+    blocks: &[Block],
+    blocks_by_head: &[(u32, u32)],
+    touch_data: &[u32],
+    vertex_bags: &[u64],
+    xwords: usize,
+    rep: usize,
+    mask: &[u64],
+    s: &mut ScanScratch,
+    out: &mut ScanChunk,
+) {
+    let blk = &blocks[rep];
+    s.cover.iter_mut().for_each(|w| *w = 0);
+    let (tstart, tlen) = blk.touch;
+    for &e in &touch_data[tstart as usize..(tstart + tlen) as usize] {
+        words_union_into(h.edge(e as usize).blocks(), &mut s.cover);
+    }
+    let comp_words = arena.words(blk.comp);
+    // Candidate mask: bags of `mask` that contain every coverage vertex
+    // outside the component (`req`); a bag missing one can never witness
+    // condition (2), because child components only contribute vertices
+    // of `C`.
+    s.cand.copy_from_slice(mask);
+    'req: for (wi, (&c, &m)) in s.cover.iter().zip(comp_words).enumerate() {
+        let mut req = c & !m;
+        while req != 0 {
+            let v = wi * 64 + req.trailing_zeros() as usize;
+            req &= req - 1;
+            let row = &vertex_bags[v * xwords..(v + 1) * xwords];
+            let mut any = 0u64;
+            for (cw, &rw) in s.cand.iter_mut().zip(row) {
+                *cw &= rw;
+                any |= *cw;
+            }
+            if any == 0 {
+                break 'req;
+            }
+        }
+    }
+    for w in 0..xwords {
+        let mut bits = s.cand[w];
+        while bits != 0 {
+            let x = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let bag = bag_ids[x];
+            let begin = out.children.len();
+            let (hb_start, hb_len) = blocks_by_head[x];
+            let head_range = hb_start as usize..(hb_start + hb_len) as usize;
+            // Fast path: the bag alone covers the obligations.
+            if words_subset(&s.cover, arena.words(bag)) {
+                for b2 in head_range {
+                    if arena.is_subset(blocks[b2].comp, blk.comp) {
+                        out.children.push(b2 as u32);
+                    }
+                }
+            } else {
+                s.buf.copy_from_slice(arena.words(bag));
+                for b2 in head_range {
+                    if arena.is_subset(blocks[b2].comp, blk.comp) {
+                        out.children.push(b2 as u32);
+                        arena.union_into(blocks[b2].comp, &mut s.buf);
+                    }
+                }
+                if !words_subset(&s.cover, &s.buf) {
+                    out.children.truncate(begin);
+                    continue;
+                }
+            }
+            out.xs.push(x as u32);
+            out.counts.push((out.children.len() - begin) as u32);
+        }
+    }
 }
 
 impl CtdInstance {
@@ -192,6 +389,7 @@ impl CtdInstance {
         // arena assigns dense ids in insertion order).
         let mut bag_ids: Vec<BagId> = Vec::new();
         let mut index_ids: Vec<BagId> = Vec::new();
+        let mut seen_index = IdSet::new();
         for &b in bags {
             if index.arena.bag_is_empty(b) {
                 continue;
@@ -201,66 +399,85 @@ impl CtdInstance {
             if arena.len() > before {
                 bag_ids.push(local);
                 index_ids.push(b);
+                seen_index.insert(b);
             }
         }
+        // Root blocks first: extensions append new bags' blocks at the
+        // end, so the root ids must not shift as the bag list grows.
         let mut blocks = Vec::new();
-        let mut blocks_by_head = vec![Vec::new(); bag_ids.len()];
-        let mut comp_scratch: Vec<BagId> = Vec::new();
-        for (sid, (&local_bag, &index_bag)) in bag_ids.iter().zip(&index_ids).enumerate() {
-            let r = index.components(index_bag);
-            comp_scratch.clear();
-            comp_scratch.extend_from_slice(index.comps(r));
-            for &comp in comp_scratch.iter() {
-                let touching_range = index.edges_touching(comp);
-                let touching: Vec<usize> = index
-                    .touching(touching_range)
-                    .iter()
-                    .map(|&e| e as usize)
-                    .collect();
-                let local_comp = arena.copy_from(&index.arena, comp);
-                let closure = arena.union(local_bag, local_comp);
-                blocks_by_head[sid].push(blocks.len());
-                blocks.push(Block {
-                    head: Some(sid),
-                    comp: local_comp,
-                    closure,
-                    touching,
-                });
-            }
-        }
+        let mut touch_data: Vec<u32> = Vec::new();
         let mut root_blocks = Vec::new();
         let empty = index.empty();
+        let mut comp_scratch: Vec<BagId> = Vec::new();
         let r = index.components(empty);
-        comp_scratch.clear();
         comp_scratch.extend_from_slice(index.comps(r));
         for &comp in comp_scratch.iter() {
             let touching_range = index.edges_touching(comp);
-            let touching: Vec<usize> = index
-                .touching(touching_range)
-                .iter()
-                .map(|&e| e as usize)
-                .collect();
+            let start = touch_data.len() as u32;
+            touch_data.extend_from_slice(index.touching(touching_range));
             let local_comp = arena.copy_from(&index.arena, comp);
             root_blocks.push(blocks.len());
             blocks.push(Block {
                 head: None,
                 comp: local_comp,
                 closure: local_comp,
-                touching,
+                touch: (start, touch_data.len() as u32 - start),
             });
         }
-        let bag_sets: Vec<BitSet> = bag_ids.iter().map(|&id| arena.to_bitset(id)).collect();
-        let deps = Self::build_deps(&h, &arena, &bag_ids, &blocks, &blocks_by_head);
+        let mut blocks_by_head: Vec<(u32, u32)> = Vec::with_capacity(bag_ids.len());
+        for (sid, (&local_bag, &index_bag)) in bag_ids.iter().zip(&index_ids).enumerate() {
+            let r = index.components(index_bag);
+            comp_scratch.clear();
+            comp_scratch.extend_from_slice(index.comps(r));
+            blocks_by_head.push((blocks.len() as u32, comp_scratch.len() as u32));
+            for &comp in comp_scratch.iter() {
+                let touching_range = index.edges_touching(comp);
+                let start = touch_data.len() as u32;
+                touch_data.extend_from_slice(index.touching(touching_range));
+                let local_comp = arena.copy_from(&index.arena, comp);
+                let closure = arena.union(local_bag, local_comp);
+                blocks.push(Block {
+                    head: Some(sid),
+                    comp: local_comp,
+                    closure,
+                    touch: (start, touch_data.len() as u32 - start),
+                });
+            }
+        }
+        let bag_sets = (0..bag_ids.len())
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
+        let deps = Self::build_deps(&h, &arena, &bag_ids, &blocks, &blocks_by_head, &touch_data);
         CtdInstance {
             h,
             arena,
             bag_ids,
             bag_sets,
+            index_ids,
+            seen_index,
             blocks,
             blocks_by_head,
             root_blocks,
+            touch_data,
             deps,
         }
+    }
+
+    /// The touching-edge list (coverage obligations) of block `b`.
+    #[inline]
+    pub fn touching(&self, b: usize) -> &[u32] {
+        let (start, len) = self.blocks[b].touch;
+        &self.touch_data[start as usize..(start + len) as usize]
+    }
+
+    /// An instance with no candidate bags: only the root blocks exist,
+    /// nothing is satisfiable. This is the seed of the incremental sweep
+    /// engine — every width is then reached through
+    /// [`CtdInstance::extend`], so the first width pays exactly what any
+    /// later extension pays and the bit-identity contract with
+    /// [`CtdInstance::build`] is exercised from the start.
+    pub fn empty(index: &mut BlockIndex) -> Self {
+        Self::build(index, &[])
     }
 
     /// Precomputes the dependency tables (see [`Deps`]): group blocks by
@@ -274,7 +491,8 @@ impl CtdInstance {
         arena: &BagArena,
         bag_ids: &[BagId],
         blocks: &[Block],
-        blocks_by_head: &[Vec<usize>],
+        blocks_by_head: &[(u32, u32)],
+        touch_data: &[u32],
     ) -> Deps {
         let nb = blocks.len();
         let nx = bag_ids.len();
@@ -282,10 +500,8 @@ impl CtdInstance {
         // Group blocks by component and by closure (ids are interned, so
         // equality is id equality). Groups are numbered in first-block
         // order; group_comps holds one representative block per group.
-        let mut comp_group: softhw_hypergraph::FxHashMap<BagId, u32> =
-            softhw_hypergraph::FxHashMap::default();
-        let mut closure_group: softhw_hypergraph::FxHashMap<BagId, u32> =
-            softhw_hypergraph::FxHashMap::default();
+        let mut comp_group: FxHashMap<BagId, u32> = FxHashMap::default();
+        let mut closure_group: FxHashMap<BagId, u32> = FxHashMap::default();
         let mut group_of: Vec<u32> = Vec::with_capacity(nb);
         let mut closure_of: Vec<u32> = Vec::with_capacity(nb);
         let mut group_rep: Vec<u32> = Vec::new(); // representative block per comp group
@@ -308,6 +524,13 @@ impl CtdInstance {
         // so the (much larger) comp-group scan can restrict itself to
         // bags inside *some* closure of the group's blocks.
         let xwords = nx.div_ceil(64).max(1);
+        // The inverted vertex → bags index (kept for extensions).
+        let mut vertex_bags = vec![0u64; h.num_vertices() * xwords];
+        for (x, &bag) in bag_ids.iter().enumerate() {
+            for v in arena.iter(bag) {
+                vertex_bags[v * xwords + x / 64] |= 1u64 << (x % 64);
+            }
+        }
         let mask_rows: Vec<Vec<u64>> = par_map(ncl, |cl| {
             let closure = closure_rep[cl];
             let mut row = vec![0u64; xwords];
@@ -341,8 +564,9 @@ impl CtdInstance {
         let per_group: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = par_map(ng, |g| {
             let blk = &blocks[group_rep[g] as usize];
             let mut cover = vec![0u64; words];
-            for &e in &blk.touching {
-                softhw_hypergraph::arena::words_union_into(h.edge(e).blocks(), &mut cover);
+            let (tstart, tlen) = blk.touch;
+            for &e in &touch_data[tstart as usize..(tstart + tlen) as usize] {
+                softhw_hypergraph::arena::words_union_into(h.edge(e as usize).blocks(), &mut cover);
             }
             // Necessary condition on any basis: the witness union is
             // `X ∪ ⋃Y_i` with every `Y_i ⊆ C`, so coverage vertices
@@ -369,16 +593,18 @@ impl CtdInstance {
                         continue;
                     }
                     let begin = children.len();
+                    let (hb_start, hb_len) = blocks_by_head[x];
+                    let head_range = hb_start as usize..(hb_start + hb_len) as usize;
                     // Fast path: the bag alone covers the obligations.
                     if words_subset(&cover, arena.words(bag)) {
-                        for &b2 in &blocks_by_head[x] {
+                        for b2 in head_range {
                             if arena.is_subset(blocks[b2].comp, blk.comp) {
                                 children.push(b2 as u32);
                             }
                         }
                     } else {
                         buf.copy_from_slice(arena.words(bag));
-                        for &b2 in &blocks_by_head[x] {
+                        for b2 in head_range {
                             if arena.is_subset(blocks[b2].comp, blk.comp) {
                                 children.push(b2 as u32);
                                 arena.union_into(blocks[b2].comp, &mut buf);
@@ -427,15 +653,452 @@ impl CtdInstance {
         Deps {
             group_of,
             closure_of,
+            group_rep,
+            closure_rep,
+            comp_group,
+            closure_group,
             g_cand_start,
             g_cand_x,
             g_child_start,
             g_child_data,
             closure_ok,
+            vertex_bags,
             xwords,
             child_groups,
             group_blocks,
         }
+    }
+
+    /// Extends the instance in place with additional candidate bags (ids
+    /// of the **same** [`BlockIndex`] the instance was built from):
+    /// already-known and empty bags are skipped, new bags and their
+    /// blocks are appended — existing bag and block ids never move — and
+    /// the dependency tables are updated incrementally: only comp groups
+    /// that gained candidates are rescanned, and pre-existing groups are
+    /// rescanned only over the bags that newly entered their allowed
+    /// masks. The result is observably identical to a cold
+    /// [`CtdInstance::build`] over the concatenated bag sequence (the
+    /// property tests in `tests/worklist_props.rs` assert bit-identical
+    /// satisfaction tables, bases and timestamps included).
+    ///
+    /// Returns the [`ExtendDelta`] describing what changed, for
+    /// [`CtdInstance::satisfy_extend`].
+    pub fn extend(&mut self, index: &mut BlockIndex, bags: &[BagId]) -> ExtendDelta {
+        assert!(
+            Arc::ptr_eq(&self.h, index.hypergraph_arc()),
+            "extend must be given the BlockIndex the instance was built from"
+        );
+        let prev_bags = self.bag_ids.len();
+        let prev_blocks = self.blocks.len();
+        for &b in bags {
+            if index.arena.bag_is_empty(b) || self.seen_index.contains(b) {
+                continue;
+            }
+            self.seen_index.insert(b);
+            let local = self.arena.copy_from(&index.arena, b);
+            self.bag_ids.push(local);
+            self.index_ids.push(b);
+            self.blocks_by_head.push((0, 0));
+            self.bag_sets.push(std::sync::OnceLock::new());
+        }
+        if softhw_hypergraph::par::num_workers() > 1 && self.bag_ids.len() > prev_bags {
+            // Parallel intern pass: resolve every new bag's block rows
+            // first (serial — the row cache needs `&mut`), then fan the
+            // per-block closure words and intern hashes out via
+            // `par_map` (pure reads); the serial remainder is one hashed
+            // table probe per comp/closure plus a memcpy of the
+            // touching list.
+            let mut descs: Vec<(usize, BagId, softhw_hypergraph::blocks::SliceRange)> = Vec::new();
+            for x in prev_bags..self.bag_ids.len() {
+                let rows_r = index.block_rows(self.index_ids[x]);
+                for &(comp, touch) in index.rows(rows_r) {
+                    descs.push((x, comp, touch));
+                }
+            }
+            type Prepared = (u64, Vec<u64>, u64);
+            let arena = &self.arena;
+            let bag_ids = &self.bag_ids;
+            let prepared: Vec<Prepared> = par_map(descs.len(), |i| {
+                let (head, comp, _) = descs[i];
+                let comp_words = index.arena.words(comp);
+                let mut closure_words = arena.words(bag_ids[head]).to_vec();
+                words_union_into(comp_words, &mut closure_words);
+                let closure_hash = BagArena::words_hash(&closure_words);
+                (
+                    BagArena::words_hash(comp_words),
+                    closure_words,
+                    closure_hash,
+                )
+            });
+            for (&(head, comp, touch), (comp_hash, closure_words, closure_hash)) in
+                descs.iter().zip(prepared)
+            {
+                let local_comp = self
+                    .arena
+                    .intern_words_hashed(index.arena.words(comp), comp_hash);
+                let closure = self.arena.intern_words_hashed(&closure_words, closure_hash);
+                let start = self.touch_data.len() as u32;
+                self.touch_data.extend_from_slice(index.touching(touch));
+                let hb = &mut self.blocks_by_head[head];
+                if hb.1 == 0 {
+                    hb.0 = self.blocks.len() as u32;
+                }
+                hb.1 += 1;
+                self.blocks.push(Block {
+                    head: Some(head),
+                    comp: local_comp,
+                    closure,
+                    touch: (start, self.touch_data.len() as u32 - start),
+                });
+            }
+        } else {
+            // Serial: single pass over the new bags, creating each block
+            // straight from the index's row table.
+            let mut closure_buf: Vec<u64> = vec![0u64; self.arena.words_per_bag()];
+            for head in prev_bags..self.bag_ids.len() {
+                let rows_r = index.block_rows(self.index_ids[head]);
+                let n_rows = rows_r.len();
+                if n_rows > 0 {
+                    self.blocks_by_head[head] = (self.blocks.len() as u32, n_rows as u32);
+                }
+                for i in 0..n_rows {
+                    let (comp, touch) = index.rows(rows_r)[i];
+                    let local_comp = self.arena.copy_from(&index.arena, comp);
+                    closure_buf.copy_from_slice(self.arena.words(self.bag_ids[head]));
+                    self.arena.union_into(local_comp, &mut closure_buf);
+                    let closure = self.arena.intern_words(&closure_buf);
+                    let start = self.touch_data.len() as u32;
+                    self.touch_data.extend_from_slice(index.touching(touch));
+                    self.blocks.push(Block {
+                        head: Some(head),
+                        comp: local_comp,
+                        closure,
+                        touch: (start, self.touch_data.len() as u32 - start),
+                    });
+                }
+            }
+        }
+        if self.bag_ids.len() == prev_bags {
+            // Nothing new (repeat width, or a stratum entirely contained
+            // in the instance): the tables are already exact — skip the
+            // dependency rebuild and dirty no blocks.
+            return ExtendDelta {
+                prev_bags,
+                prev_blocks,
+                dirty: Vec::new(),
+            };
+        }
+        let dirty = self.extend_deps(prev_bags, prev_blocks);
+        ExtendDelta {
+            prev_bags,
+            prev_blocks,
+            dirty,
+        }
+    }
+
+    /// Brings the dependency tables up to date after an extension; see
+    /// [`CtdInstance::extend`]. Returns the dirty-block seed list.
+    fn extend_deps(&mut self, prev_nx: usize, prev_nb: usize) -> Vec<u32> {
+        let nx = self.bag_ids.len();
+        let nb = self.blocks.len();
+        let nv = self.h.num_vertices();
+        let old_xwords = self.deps.xwords;
+        let xwords = nx.div_ceil(64).max(1);
+        // Group assignment for the new blocks (persistent maps keep the
+        // numbering identical to a cold build over the same sequence).
+        let ng_old;
+        {
+            let Deps {
+                group_of,
+                closure_of,
+                group_rep,
+                closure_rep,
+                comp_group,
+                closure_group,
+                ..
+            } = &mut self.deps;
+            ng_old = group_rep.len();
+            for (b, blk) in self.blocks.iter().enumerate().skip(prev_nb) {
+                let g = *comp_group.entry(blk.comp).or_insert_with(|| {
+                    group_rep.push(b as u32);
+                    (group_rep.len() - 1) as u32
+                });
+                group_of.push(g);
+                let cl = *closure_group.entry(blk.closure).or_insert_with(|| {
+                    closure_rep.push(blk.closure);
+                    (closure_rep.len() - 1) as u32
+                });
+                closure_of.push(cl);
+            }
+        }
+        let ng = self.deps.group_rep.len();
+        let ncl = self.deps.closure_rep.len();
+        // Inverted index: widen to the new stride, set the new bags' bits.
+        restride_rows(&mut self.deps.vertex_bags, nv, old_xwords, xwords);
+        for x in prev_nx..nx {
+            for v in self.arena.iter(self.bag_ids[x]) {
+                self.deps.vertex_bags[v * xwords + x / 64] |= 1u64 << (x % 64);
+            }
+        }
+        // Closure-group bag masks, recomputed through the inverted index:
+        // `x ⊆ closure` iff no vertex outside the closure lies in `x`, so
+        // a row is the live mask minus the union of the complement
+        // vertices' bag rows. Old rows only gain new-bag bits (the
+        // subset relation between existing bags and closures is static),
+        // so the uniform recompute reproduces them exactly.
+        let arena = &self.arena;
+        let vertex_bags = &self.deps.vertex_bags;
+        let closure_rep = &self.deps.closure_rep;
+        let mut live = vec![0u64; xwords];
+        for (w, lw) in live.iter_mut().enumerate() {
+            *lw = word_tail_mask(nx, w);
+        }
+        let mask_rows: Vec<Vec<u64>> = par_map(ncl, |cl| {
+            let closure_words = arena.words(closure_rep[cl]);
+            let mut row = live.clone();
+            let mut any = 1u64;
+            for (wi, &cw) in closure_words.iter().enumerate() {
+                let mut missing = !cw & word_tail_mask(nv, wi);
+                while missing != 0 && any != 0 {
+                    let v = wi * 64 + missing.trailing_zeros() as usize;
+                    missing &= missing - 1;
+                    any = 0;
+                    for (rw, &vb) in row.iter_mut().zip(&vertex_bags[v * xwords..]) {
+                        *rw &= !vb;
+                        any |= *rw;
+                    }
+                }
+            }
+            row
+        });
+        let mut closure_ok = Vec::with_capacity(ncl * xwords);
+        for row in mask_rows {
+            closure_ok.extend_from_slice(&row);
+        }
+        // Allowed masks now vs. before: a pre-existing group only needs
+        // rescanning over bags that newly entered its allowed mask —
+        // bags appended by this extension, plus old bags admitted by a
+        // new closure that a new block brought into the group.
+        let group_of = &self.deps.group_of;
+        let closure_of = &self.deps.closure_of;
+        let mut allowed = vec![0u64; ng * xwords];
+        let mut allowed_before = vec![0u64; ng_old * xwords];
+        let old_region: Vec<u64> = (0..xwords).map(|w| word_tail_mask(prev_nx, w)).collect();
+        for b in 0..nb {
+            let g = group_of[b] as usize;
+            let cl = closure_of[b] as usize;
+            for w in 0..xwords {
+                allowed[g * xwords + w] |= closure_ok[cl * xwords + w];
+            }
+            if b < prev_nb {
+                for w in 0..xwords {
+                    allowed_before[g * xwords + w] |= closure_ok[cl * xwords + w] & old_region[w];
+                }
+            }
+        }
+        let h = &self.h;
+        let bag_ids = &self.bag_ids;
+        let blocks = &self.blocks;
+        let blocks_by_head = &self.blocks_by_head;
+        let group_rep = &self.deps.group_rep;
+        let words = arena.words_per_bag();
+        let workers = softhw_hypergraph::par::num_workers().min(ng.max(1));
+        // Scan the changed groups (one scratch buffer set and one flat
+        // output block per worker chunk), overlapped with the
+        // group→blocks reverse-index rebuild, which is independent of
+        // the scan results.
+        let touch_data = &self.touch_data;
+        let (chunks, group_blocks) = par_join(
+            || {
+                softhw_hypergraph::par::par_chunks(ng, workers, |range| {
+                    let mut s = ScanScratch::new(words, xwords);
+                    let mut mask = vec![0u64; xwords];
+                    let mut out = ScanChunk::default();
+                    for g in range {
+                        let mut any = 0u64;
+                        for (w, mw) in mask.iter_mut().enumerate() {
+                            let m = if g < ng_old {
+                                allowed[g * xwords + w] & !allowed_before[g * xwords + w]
+                            } else {
+                                allowed[g * xwords + w]
+                            };
+                            *mw = m;
+                            any |= m;
+                        }
+                        let before = out.xs.len();
+                        if any != 0 {
+                            scan_masked_group(
+                                h,
+                                arena,
+                                bag_ids,
+                                blocks,
+                                blocks_by_head,
+                                touch_data,
+                                vertex_bags,
+                                xwords,
+                                group_rep[g] as usize,
+                                &mask,
+                                &mut s,
+                                &mut out,
+                            );
+                        }
+                        out.entries.push((out.xs.len() - before) as u32);
+                    }
+                    out
+                })
+            },
+            || {
+                // Counting build: `b` ascends, so rows come out ascending
+                // and duplicate-free exactly as `Csr::from_pairs` would
+                // produce them.
+                Csr::from_counts(ng, group_of.iter().enumerate().map(|(b, &g)| (g, b as u32)))
+            },
+        );
+        // Restitch the candidate tables: per group, merge the existing
+        // entries with the newly found ones by ascending bag index (the
+        // two sets are disjoint — an existing entry's bag was already in
+        // the allowed mask). Child lists of existing entries are
+        // unchanged: old bags head no new blocks.
+        let old_cand_start = std::mem::take(&mut self.deps.g_cand_start);
+        let old_cand_x = std::mem::take(&mut self.deps.g_cand_x);
+        let old_child_start = std::mem::take(&mut self.deps.g_child_start);
+        let old_child_data = std::mem::take(&mut self.deps.g_child_data);
+        let grown = old_cand_x.len() + chunks.iter().map(|c| c.xs.len()).sum::<usize>();
+        let grown_children =
+            old_child_data.len() + chunks.iter().map(|c| c.children.len()).sum::<usize>();
+        let mut g_cand_start: Vec<u32> = Vec::with_capacity(ng + 1);
+        let mut g_cand_x: Vec<u32> = Vec::with_capacity(grown);
+        let mut g_child_start: Vec<u32> = Vec::with_capacity(grown + 1);
+        let mut g_child_data: Vec<u32> = Vec::with_capacity(grown_children);
+        g_cand_start.push(0);
+        g_child_start.push(0);
+        // Group per child datum, parallel to `g_child_data`: lets the
+        // reverse-index build below scatter in two flat passes instead
+        // of re-walking the nested group→entry→child structure.
+        let mut datum_group: Vec<u32> = Vec::with_capacity(grown_children);
+        let mut gained = vec![false; ng_old];
+        #[allow(clippy::too_many_arguments)]
+        fn push_entry(
+            g: usize,
+            x: u32,
+            kids: &[u32],
+            g_cand_x: &mut Vec<u32>,
+            g_child_start: &mut Vec<u32>,
+            g_child_data: &mut Vec<u32>,
+            datum_group: &mut Vec<u32>,
+        ) {
+            g_cand_x.push(x);
+            g_child_data.extend_from_slice(kids);
+            datum_group.resize(g_child_data.len(), g as u32);
+            g_child_start.push(g_child_data.len() as u32);
+        }
+        let mut g = 0usize;
+        for chunk in &chunks {
+            // Cursors into this chunk's flat entry/child arrays.
+            let mut ni = 0usize;
+            let mut nchild_pos = 0usize;
+            for &n_entries in &chunk.entries {
+                let ni_end = ni + n_entries as usize;
+                if g < ng_old {
+                    // Merge path: interleave existing entries with the
+                    // newly found ones by ascending bag index.
+                    if n_entries > 0 {
+                        gained[g] = true;
+                    }
+                    for ci in old_cand_start[g] as usize..old_cand_start[g + 1] as usize {
+                        let ox = old_cand_x[ci];
+                        while ni < ni_end && chunk.xs[ni] < ox {
+                            let cnt = chunk.counts[ni] as usize;
+                            push_entry(
+                                g,
+                                chunk.xs[ni],
+                                &chunk.children[nchild_pos..nchild_pos + cnt],
+                                &mut g_cand_x,
+                                &mut g_child_start,
+                                &mut g_child_data,
+                                &mut datum_group,
+                            );
+                            nchild_pos += cnt;
+                            ni += 1;
+                        }
+                        let (lo, hi) = (
+                            old_child_start[ci] as usize,
+                            old_child_start[ci + 1] as usize,
+                        );
+                        push_entry(
+                            g,
+                            ox,
+                            &old_child_data[lo..hi],
+                            &mut g_cand_x,
+                            &mut g_child_start,
+                            &mut g_child_data,
+                            &mut datum_group,
+                        );
+                    }
+                    while ni < ni_end {
+                        let cnt = chunk.counts[ni] as usize;
+                        push_entry(
+                            g,
+                            chunk.xs[ni],
+                            &chunk.children[nchild_pos..nchild_pos + cnt],
+                            &mut g_cand_x,
+                            &mut g_child_start,
+                            &mut g_child_data,
+                            &mut datum_group,
+                        );
+                        nchild_pos += cnt;
+                        ni += 1;
+                    }
+                } else {
+                    // Bulk path (the common case — a brand-new group has
+                    // no existing entries): the group's entries and
+                    // children are contiguous in the chunk arrays, so
+                    // copy them wholesale and cumsum the child offsets.
+                    g_cand_x.extend_from_slice(&chunk.xs[ni..ni_end]);
+                    let kids_lo = nchild_pos;
+                    let mut acc = g_child_data.len() as u32;
+                    for &cnt in &chunk.counts[ni..ni_end] {
+                        acc += cnt;
+                        g_child_start.push(acc);
+                        nchild_pos += cnt as usize;
+                    }
+                    g_child_data.extend_from_slice(&chunk.children[kids_lo..nchild_pos]);
+                    datum_group.resize(g_child_data.len(), g as u32);
+                    ni = ni_end;
+                }
+                g_cand_start.push(g_cand_x.len() as u32);
+                g += 1;
+            }
+        }
+        debug_assert_eq!(g, ng);
+        // Child → comp-groups reverse index by counting scatter over the
+        // stitched tables (no pair materialisation, no sort). Rows list
+        // groups in ascending order, possibly with repeats when several
+        // entries of one group share a child; the worklist consumers
+        // dedup through their `queued` guards.
+        let child_groups = Csr::from_counts(
+            nb,
+            g_child_data
+                .iter()
+                .zip(&datum_group)
+                .map(|(&c, &dg)| (c, dg)),
+        );
+        // Dirty seed: old blocks of groups that gained entries, then all
+        // new blocks — ascending and duplicate-free by construction.
+        let mut dirty: Vec<u32> = (0..prev_nb as u32)
+            .filter(|&b| gained[group_of[b as usize] as usize])
+            .collect();
+        dirty.extend(prev_nb as u32..nb as u32);
+        let d = &mut self.deps;
+        d.g_cand_start = g_cand_start;
+        d.g_cand_x = g_cand_x;
+        d.g_child_start = g_child_start;
+        d.g_child_data = g_child_data;
+        d.closure_ok = closure_ok;
+        d.xwords = xwords;
+        d.child_groups = child_groups;
+        d.group_blocks = group_blocks;
+        dirty
     }
 
     /// Number of (deduplicated, non-empty) candidate bags.
@@ -444,10 +1107,12 @@ impl CtdInstance {
         self.bag_ids.len()
     }
 
-    /// Materialised view of bag `x`.
+    /// Materialised view of bag `x` (built on first access, then
+    /// cached; the accessor stays `&self`, so evaluator callbacks and
+    /// parallel waves are unaffected).
     #[inline]
     pub fn bag(&self, x: usize) -> &BitSet {
-        &self.bag_sets[x]
+        self.bag_sets[x].get_or_init(|| self.arena.to_bitset(self.bag_ids[x]))
     }
 
     /// The instance's arena (for word-level algebra over blocks/bags).
@@ -483,7 +1148,11 @@ impl CtdInstance {
             return false;
         }
         self.load_bag(x, buf);
-        for &b2 in &self.blocks_by_head[x] {
+        let (hb_start, hb_len) = self.blocks_by_head[x];
+        // The range is over block *ids* (a bag's blocks are contiguous),
+        // not positions in one slice.
+        #[allow(clippy::needless_range_loop)]
+        for b2 in hb_start as usize..(hb_start + hb_len) as usize {
             if self.arena.is_subset(self.blocks[b2].comp, blk.comp) {
                 if !satisfied[b2] {
                     return false;
@@ -491,9 +1160,9 @@ impl CtdInstance {
                 self.arena.union_into(self.blocks[b2].comp, buf);
             }
         }
-        blk.touching
+        self.touching(b)
             .iter()
-            .all(|&e| words_subset(self.h.edge(e).blocks(), buf))
+            .all(|&e| words_subset(self.h.edge(e as usize).blocks(), buf))
     }
 
     /// The viable candidates of block `b` — bags passing the
@@ -578,11 +1247,71 @@ impl CtdInstance {
         let mut satisfied = vec![false; nb];
         let mut basis: Vec<Option<(usize, u32)>> = vec![None; nb];
         let mut clock: u32 = 0;
-        let mut frontier: Vec<u32> = (0..nb as u32).collect();
+        self.satisfy_run(
+            &mut satisfied,
+            &mut basis,
+            &mut clock,
+            (0..nb as u32).collect(),
+        );
+        let accept = self.root_blocks.iter().all(|&b| satisfied[b]);
+        Satisfaction { basis, accept }
+    }
+
+    /// Brings a pre-extension [`Satisfaction`] up to date after
+    /// [`CtdInstance::extend`], reusing the DP state instead of running
+    /// from scratch: previously satisfied blocks keep their bases and
+    /// timestamps verbatim (satisfaction is monotone in the candidate
+    /// set, so they remain valid — an old basis delegates only to old,
+    /// still-satisfied blocks), and the worklist is seeded with just the
+    /// delta's dirty blocks; everything else re-enters through the
+    /// child→parents reverse index exactly as in [`CtdInstance::satisfy`].
+    /// New satisfactions get timestamps above every previous one, so the
+    /// strictly-decreasing-along-extraction invariant holds.
+    ///
+    /// The satisfied block set — and therefore `accept` and the
+    /// extractability of every block — is identical to a fresh
+    /// [`CtdInstance::satisfy`] run on the extended instance
+    /// (property-tested); the basis *choices* of blocks satisfied at an
+    /// earlier width may differ, since a fresh run would also consider
+    /// the bags added later.
+    pub fn satisfy_extend(&self, prev: &Satisfaction, delta: &ExtendDelta) -> Satisfaction {
+        assert_eq!(
+            prev.basis.len(),
+            delta.prev_blocks,
+            "satisfaction state does not match the extension's base instance"
+        );
+        let nb = self.blocks.len();
+        let mut basis = prev.basis.clone();
+        basis.resize(nb, None);
+        let mut satisfied: Vec<bool> = basis.iter().map(Option::is_some).collect();
+        let mut clock = basis
+            .iter()
+            .filter_map(|e| e.map(|(_, t)| t + 1))
+            .max()
+            .unwrap_or(0);
+        self.satisfy_run(&mut satisfied, &mut basis, &mut clock, delta.dirty.clone());
+        let accept = self.root_blocks.iter().all(|&b| satisfied[b]);
+        Satisfaction { basis, accept }
+    }
+
+    /// The worklist engine shared by [`CtdInstance::satisfy`] (seeded
+    /// with every block) and [`CtdInstance::satisfy_extend`] (seeded with
+    /// an extension's dirty blocks): frontier waves snapshot the previous
+    /// state, fan out via [`par_map`], and merge in ascending block
+    /// order, so bases and timestamps are deterministic across serial and
+    /// parallel builds.
+    fn satisfy_run(
+        &self,
+        satisfied: &mut [bool],
+        basis: &mut [Option<(usize, u32)>],
+        clock: &mut u32,
+        mut frontier: Vec<u32>,
+    ) {
+        let nb = self.blocks.len();
         let mut next: Vec<u32> = Vec::new();
         let mut queued = vec![false; nb];
         while !frontier.is_empty() {
-            let snapshot = &satisfied;
+            let snapshot = &*satisfied;
             let found: Vec<Option<u32>> = par_map(frontier.len(), |i| {
                 let b = frontier[i] as usize;
                 if snapshot[b] {
@@ -595,8 +1324,8 @@ impl CtdInstance {
                 let b = frontier[i] as usize;
                 if let Some(x) = f {
                     satisfied[b] = true;
-                    basis[b] = Some((x as usize, clock));
-                    clock += 1;
+                    basis[b] = Some((x as usize, *clock));
+                    *clock += 1;
                     self.for_each_parent(b, |p| {
                         if !satisfied[p as usize] && !queued[p as usize] {
                             queued[p as usize] = true;
@@ -613,8 +1342,6 @@ impl CtdInstance {
             }
             std::mem::swap(&mut frontier, &mut next);
         }
-        let accept = self.root_blocks.iter().all(|&b| satisfied[b]);
-        Satisfaction { basis, accept }
     }
 
     /// The seed's Jacobi-round satisfaction DP, retained as the reference

@@ -14,6 +14,8 @@
 //! - [`soft_iter`]: the iterated hierarchy `Soft^i`, `shw_i`, ghw as the
 //!   fixpoint (§5)
 //! - [`shw`]: the shw solver (§4, Thm. 1)
+//! - [`sweep`]: the incremental width-sweep engine (one instance grown
+//!   across `k` instead of a cold build per width)
 //! - [`hw`]: det-k-decomp-style hypertree width baseline (§2)
 //! - [`cover`]: (connected) edge covers (§6, ConCov)
 //! - [`ctd_opt`]: Algorithm 2 — constraints and preferences over CTDs,
@@ -34,10 +36,12 @@ pub mod hw;
 pub mod shw;
 pub mod soft;
 pub mod soft_iter;
+pub mod sweep;
 pub mod td;
 
 pub use cache::DecompCache;
 pub use ctd::{candidate_td, CtdInstance};
+pub use sweep::IncrementalSweep;
 
 /// Enumerates all subsets of `pool` with size between 1 and `k`.
 /// Re-exported helper shared by the cover searches.

@@ -43,10 +43,32 @@ pub fn shw_leq_indexed(
 }
 
 /// Computes `shw(H)` exactly: the least `k` admitting a soft HD, together
-/// with a witness decomposition. The width sweep shares one block index,
-/// so the `[λ2]`-components enumerated at width `k` are cache hits at
-/// every width above it.
+/// with a witness decomposition. The sweep runs on the incremental
+/// engine ([`crate::sweep::IncrementalSweep`]): one [`crate::CtdInstance`]
+/// is grown across the widths — `Soft_{H,k}` is monotone in `k`, so each
+/// width appends its new candidate bags and re-enqueues only the blocks
+/// whose candidate sets changed, instead of rebuilding the instance and
+/// re-running the satisfaction DP from scratch. Decisions per width are
+/// identical to cold runs; see [`shw_rebuild`] for the retained
+/// rebuild-per-width reference the engine is benchmarked against.
 pub fn shw(h: &Hypergraph) -> (usize, TreeDecomposition) {
+    let mut index = BlockIndex::new(h);
+    let mut sweep = crate::sweep::IncrementalSweep::new();
+    crate::width_sweep(h.num_edges(), |k| {
+        sweep
+            .decide_leq(&mut index, k, &SoftLimits::default())
+            .expect("default limits exceeded")
+    })
+}
+
+/// The pre-incremental sweep, retained as the reference and benchmark
+/// baseline (`sweep_cold` in `bench_baseline`): one shared [`BlockIndex`]
+/// across widths — candidate generation hits its caches — but the
+/// [`crate::CtdInstance`] is rebuilt and the satisfaction DP re-run from
+/// scratch at every width. Same width and a valid witness, like
+/// [`shw`]; the two may pick different (equally valid) witness
+/// decompositions.
+pub fn shw_rebuild(h: &Hypergraph) -> (usize, TreeDecomposition) {
     let mut index = BlockIndex::new(h);
     crate::width_sweep(h.num_edges(), |k| {
         shw_leq_indexed(&mut index, k, &SoftLimits::default()).expect("default limits exceeded")
@@ -103,6 +125,18 @@ mod tests {
             let h = named::cycle(n);
             assert!(shw_leq(&h, 1).is_none(), "C{n}");
             assert!(shw_leq(&h, 2).is_some(), "C{n}");
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_agrees_with_rebuild_sweep() {
+        for h in [named::h2(), named::cycle(8), named::triangle_star(3)] {
+            let (w_inc, td_inc) = shw(&h);
+            let (w_reb, td_reb) = shw_rebuild(&h);
+            assert_eq!(w_inc, w_reb);
+            assert_eq!(td_inc.validate(&h), Ok(()));
+            assert_eq!(td_reb.validate(&h), Ok(()));
+            assert!(td_inc.is_comp_nf(&h));
         }
     }
 

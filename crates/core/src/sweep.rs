@@ -1,0 +1,143 @@
+//! The incremental width-sweep engine.
+//!
+//! Algorithm 1 decides `shw(H) ≤ k` per width; an exact-`shw` sweep asks
+//! that question for `k = 1, 2, …` until the first accept. The candidate
+//! set `Soft_{H,k}` grows monotonically in `k` (every `λ` bounded by `k`
+//! is bounded by `k+1`), so consecutive widths share almost all of their
+//! instance: before this engine the sweep rebuilt the [`CtdInstance`]
+//! and re-ran the satisfaction DP from scratch at every width.
+//!
+//! [`IncrementalSweep`] keeps one instance across the sweep and brings
+//! it from width `k` to `k+1` with [`CtdInstance::extend`] — new bags
+//! and blocks are appended, only comp groups whose candidate sets
+//! changed are rescanned — and with [`CtdInstance::satisfy_extend`],
+//! which keeps every previously satisfied block's basis and timestamp
+//! and re-enqueues only the extension's dirty blocks. The per-width
+//! accept/reject decisions are identical to cold runs (the DP's
+//! satisfied set is the least fixpoint of a monotone operator, reached
+//! from any sound starting state); `tests/worklist_props.rs` asserts
+//! both the decision equality and the bit-identity of the extended
+//! instance against a cold build.
+
+use crate::ctd::{CtdInstance, Satisfaction};
+use crate::soft::{soft_bag_ids, LimitExceeded, SoftLimits};
+use crate::td::TreeDecomposition;
+use softhw_hypergraph::BlockIndex;
+
+/// Reusable sweep state: the growing instance plus its satisfaction
+/// table. Create once per hypergraph, then ask widths in ascending
+/// order; each width pays one candidate-set delta instead of a cold
+/// build. Asking a width below one already asked falls back to a cold
+/// decision (the grown instance cannot shrink), so the engine is safe to
+/// hold in caches that serve arbitrary queries.
+#[derive(Default)]
+pub struct IncrementalSweep {
+    inst: Option<CtdInstance>,
+    sat: Option<Satisfaction>,
+    max_k: usize,
+}
+
+impl IncrementalSweep {
+    /// A sweep with no state yet.
+    pub fn new() -> Self {
+        IncrementalSweep::default()
+    }
+
+    /// The largest width decided through the incremental path so far.
+    pub fn max_width(&self) -> usize {
+        self.max_k
+    }
+
+    /// The grown instance, once any width has been decided.
+    pub fn instance(&self) -> Option<&CtdInstance> {
+        self.inst.as_ref()
+    }
+
+    /// Decides `shw(H) ≤ k` for the index's hypergraph, reusing the
+    /// instance and satisfaction state of every smaller width already
+    /// decided through this sweep. Returns exactly the accept/reject
+    /// outcome of a cold [`crate::shw::shw_leq_indexed`] call; on accept
+    /// the witness is extracted from the incrementally maintained
+    /// satisfaction table (a valid CompNF decomposition over
+    /// `Soft_{H,k}` bags — basis choices may differ from a cold run's,
+    /// which is the documented latitude of
+    /// [`CtdInstance::satisfy_extend`]).
+    pub fn decide_leq(
+        &mut self,
+        index: &mut BlockIndex,
+        k: usize,
+        limits: &SoftLimits,
+    ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+        if k < self.max_k {
+            // The grown instance already contains wider-width bags; a
+            // smaller width must be decided against its own candidate
+            // set, so run it cold.
+            let ids = soft_bag_ids(index, k, limits)?;
+            return Ok(CtdInstance::build(index, &ids).decide());
+        }
+        let ids = soft_bag_ids(index, k, limits)?;
+        if self.inst.is_none() {
+            let inst = CtdInstance::empty(index);
+            self.sat = Some(inst.satisfy());
+            self.inst = Some(inst);
+        }
+        let inst = self.inst.as_mut().expect("just seeded");
+        let prev = self.sat.as_ref().expect("seeded with the instance");
+        let delta = inst.extend(index, &ids);
+        let sat = inst.satisfy_extend(prev, &delta);
+        self.max_k = k;
+        let out = inst.extract(&sat);
+        self.sat = Some(sat);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shw;
+    use softhw_hypergraph::named;
+
+    #[test]
+    fn sweep_decisions_match_cold_per_width_runs() {
+        for h in [named::h2(), named::cycle(6), named::grid(3, 3)] {
+            let mut index = BlockIndex::new(&h);
+            let mut sweep = IncrementalSweep::new();
+            let limits = SoftLimits::default();
+            for k in 1..=3 {
+                let inc = sweep.decide_leq(&mut index, k, &limits).unwrap();
+                let cold = shw::shw_leq_with(&h, k, &limits).unwrap();
+                assert_eq!(inc.is_some(), cold.is_some(), "k = {k}");
+                if let Some(td) = inc {
+                    assert_eq!(td.validate(&h), Ok(()));
+                    assert!(td.is_comp_nf(&h));
+                }
+            }
+            assert_eq!(sweep.max_width(), 3);
+        }
+    }
+
+    #[test]
+    fn asking_a_smaller_width_falls_back_to_cold() {
+        let h = named::h2();
+        let mut index = BlockIndex::new(&h);
+        let mut sweep = IncrementalSweep::new();
+        let limits = SoftLimits::default();
+        assert!(sweep.decide_leq(&mut index, 2, &limits).unwrap().is_some());
+        // k = 1 after k = 2: must still reject (cold fallback), and must
+        // not corrupt the grown state.
+        assert!(sweep.decide_leq(&mut index, 1, &limits).unwrap().is_none());
+        assert!(sweep.decide_leq(&mut index, 2, &limits).unwrap().is_some());
+    }
+
+    #[test]
+    fn repeated_width_is_idempotent() {
+        let h = named::cycle(5);
+        let mut index = BlockIndex::new(&h);
+        let mut sweep = IncrementalSweep::new();
+        let limits = SoftLimits::default();
+        let first = sweep.decide_leq(&mut index, 2, &limits).unwrap().unwrap();
+        let again = sweep.decide_leq(&mut index, 2, &limits).unwrap().unwrap();
+        assert_eq!(first.bags(), again.bags());
+    }
+}

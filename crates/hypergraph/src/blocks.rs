@@ -28,7 +28,7 @@ use crate::hypergraph::Hypergraph;
 use std::sync::Arc;
 
 /// A `(start, len)` range into one of the index's append-only side tables.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SliceRange {
     start: u32,
     len: u32,
@@ -92,8 +92,21 @@ pub struct BlockIndex {
     touch_cache: FxHashMap<BagId, SliceRange>,
     /// component id → interned `⋃C` (union of vertices of touching edges).
     union_cache: FxHashMap<BagId, BagId>,
+    /// Flat storage of cached block rows: `(component, touching range)`
+    /// per component of a separator, in component order.
+    row_data: Vec<(BagId, SliceRange)>,
+    /// separator id → its block rows.
+    row_cache: FxHashMap<BagId, SliceRange>,
     /// Reusable per-edge mark buffer for `edges_touching`.
     edge_seen_scratch: Vec<bool>,
+    /// Reusable BFS buffers for `components` (seen words, component
+    /// words, vertex stack) — the per-bag component queries of instance
+    /// build are hot enough that per-call allocation shows up.
+    bfs_seen_scratch: Vec<u64>,
+    bfs_comp_scratch: Vec<u64>,
+    bfs_stack_scratch: Vec<usize>,
+    /// Reusable word buffer for `edges_touching`'s component iteration.
+    touch_words_scratch: Vec<u64>,
     stats: BlockIndexStats,
 }
 
@@ -114,7 +127,13 @@ impl BlockIndex {
             touch_data: Vec::new(),
             touch_cache: FxHashMap::default(),
             union_cache: FxHashMap::default(),
+            row_data: Vec::new(),
+            row_cache: FxHashMap::default(),
             edge_seen_scratch: Vec::new(),
+            bfs_seen_scratch: Vec::new(),
+            bfs_comp_scratch: Vec::new(),
+            bfs_stack_scratch: Vec::new(),
+            touch_words_scratch: Vec::new(),
             stats: BlockIndexStats::default(),
         }
     }
@@ -156,10 +175,16 @@ impl BlockIndex {
         let n = self.h.num_vertices();
         let words = self.arena.words_per_bag();
         // `seen` starts as the separator: separator vertices are never
-        // explored, and every explored vertex is marked here.
-        let mut seen: Vec<u64> = self.arena.words(sep).to_vec();
-        let mut comp = vec![0u64; words];
-        let mut stack: Vec<usize> = Vec::new();
+        // explored, and every explored vertex is marked here. The three
+        // BFS buffers are instance-owned scratch (no per-call allocation).
+        let mut seen = std::mem::take(&mut self.bfs_seen_scratch);
+        seen.clear();
+        seen.extend_from_slice(self.arena.words(sep));
+        let mut comp = std::mem::take(&mut self.bfs_comp_scratch);
+        comp.clear();
+        comp.resize(words, 0);
+        let mut stack = std::mem::take(&mut self.bfs_stack_scratch);
+        stack.clear();
         let start = self.comp_data.len();
         let mut count = 0usize;
         for v0 in 0..n {
@@ -187,6 +212,9 @@ impl BlockIndex {
             self.comp_data.push(id);
             count += 1;
         }
+        self.bfs_seen_scratch = seen;
+        self.bfs_comp_scratch = comp;
+        self.bfs_stack_scratch = stack;
         let r = SliceRange::of(start, count);
         self.comp_cache.insert(sep, r);
         r
@@ -209,7 +237,9 @@ impl BlockIndex {
         let start = self.touch_data.len();
         self.edge_seen_scratch.clear();
         self.edge_seen_scratch.resize(self.h.num_edges(), false);
-        let mut word_iter = self.arena.words(comp).to_vec();
+        let mut word_iter = std::mem::take(&mut self.touch_words_scratch);
+        word_iter.clear();
+        word_iter.extend_from_slice(self.arena.words(comp));
         for (i, w) in word_iter.iter_mut().enumerate() {
             while *w != 0 {
                 let v = i * 64 + w.trailing_zeros() as usize;
@@ -222,6 +252,7 @@ impl BlockIndex {
                 }
             }
         }
+        self.touch_words_scratch = word_iter;
         self.touch_data[start..].sort_unstable();
         let r = SliceRange::of(start, self.touch_data.len() - start);
         self.touch_cache.insert(comp, r);
@@ -252,6 +283,38 @@ impl BlockIndex {
         let u = self.arena.intern_words(&buf);
         self.union_cache.insert(comp, u);
         u
+    }
+
+    /// The block rows of separator `sep`: one `(component, touching-edge
+    /// range)` pair per `[sep]`-component, in component order — exactly
+    /// the data a solver needs to materialise the blocks headed by `sep`.
+    /// Cached per separator, so the instance-build loops (cold build and
+    /// incremental extension alike) resolve a bag's blocks with one map
+    /// probe instead of a components query plus a per-component
+    /// touching-edge query with scratch copies in between.
+    pub fn block_rows(&mut self, sep: BagId) -> SliceRange {
+        if let Some(&r) = self.row_cache.get(&sep) {
+            return r;
+        }
+        let comps_r = self.components(sep);
+        // The component list is append-only, so re-resolve by offset
+        // rather than cloning it while `edges_touching` mutates `self`.
+        let (lo, n) = (comps_r.start as usize, comps_r.len());
+        let start = self.row_data.len();
+        for i in 0..n {
+            let comp = self.comp_data[lo + i];
+            let touch = self.edges_touching(comp);
+            self.row_data.push((comp, touch));
+        }
+        let r = SliceRange::of(start, n);
+        self.row_cache.insert(sep, r);
+        r
+    }
+
+    /// Resolves a block-row range returned by [`BlockIndex::block_rows`].
+    #[inline]
+    pub fn rows(&self, r: SliceRange) -> &[(BagId, SliceRange)] {
+        &self.row_data[r.start as usize..(r.start + r.len) as usize]
     }
 
     /// Interns a [`BitSet`] into the index's arena.
@@ -325,6 +388,36 @@ mod tests {
             .collect();
         fresh.sort_unstable();
         assert_eq!(unions, fresh);
+    }
+
+    #[test]
+    fn block_rows_match_componentwise_queries() {
+        let h = named::h2();
+        let mut idx = BlockIndex::new(&h);
+        for e in 0..h.num_edges() {
+            let sep = idx.intern(&h.edge(e).clone());
+            let direct: Vec<(BagId, Vec<u32>)> = {
+                let r = idx.components(sep);
+                let comps: Vec<BagId> = idx.comps(r).to_vec();
+                comps
+                    .into_iter()
+                    .map(|c| {
+                        let t = idx.edges_touching(c);
+                        (c, idx.touching(t).to_vec())
+                    })
+                    .collect()
+            };
+            let rows_r = idx.block_rows(sep);
+            let rows: Vec<(BagId, Vec<u32>)> = idx
+                .rows(rows_r)
+                .iter()
+                .map(|&(c, t)| (c, idx.touching(t).to_vec()))
+                .collect();
+            assert_eq!(rows, direct);
+            // Second probe hits the row cache and returns the same range.
+            let again = idx.block_rows(sep);
+            assert_eq!(idx.rows(again), idx.rows(rows_r));
+        }
     }
 
     #[test]

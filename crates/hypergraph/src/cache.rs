@@ -114,6 +114,15 @@ impl IndexCache {
         let last = bucket.len() - 1;
         (key, &mut bucket[last].index)
     }
+
+    /// Drops every index stored under structural hash `hash`, returning
+    /// whether anything was removed. This is the eviction hook of
+    /// bounded caches layered on top (e.g. `softhw_core`'s
+    /// `DecompCache`); hash-colliding entries share a bucket and are
+    /// evicted together, which is sound — a future probe simply rebuilds.
+    pub fn remove(&mut self, hash: u64) -> bool {
+        self.entries.remove(&hash).is_some()
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +169,20 @@ mod tests {
         let sid = idx.intern(&sep);
         idx.components(sid);
         assert_eq!(idx.stats().comp_hits, before.comp_hits + 1);
+    }
+
+    #[test]
+    fn removed_entries_rebuild_on_next_probe() {
+        let mut cache = IndexCache::new();
+        let h = named::h2();
+        let (hash, _) = cache.entry(&h);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.remove(hash));
+        assert!(!cache.remove(hash));
+        assert_eq!(cache.len(), 0);
+        let (hash2, _) = cache.entry(&h);
+        assert_eq!(hash, hash2);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -41,6 +41,44 @@ impl Csr {
         Csr { offsets, data }
     }
 
+    /// Assembles the adjacency directly from its offsets and data
+    /// vectors. This is the counting-sort construction path: call sites
+    /// that already know every row's size (two passes over their source
+    /// structure) build `offsets` by prefix sum and scatter into `data`,
+    /// skipping `from_pairs`' materialise-sort-dedup entirely. Rows keep
+    /// the caller's scatter order and may contain duplicates; the
+    /// worklist consumers tolerate both (a duplicate recheck is a no-op).
+    pub fn from_parts(offsets: Vec<u32>, data: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.first().expect("non-empty") as usize, 0);
+        debug_assert_eq!(*offsets.last().expect("non-empty") as usize, data.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, data }
+    }
+
+    /// Counting-scatter construction from a re-iterable `(source, target)`
+    /// pair stream: one pass counts row sizes, a prefix sum builds the
+    /// offsets, a second pass scatters the targets. Rows keep the
+    /// stream's order (sources emitted in ascending order give ascending
+    /// rows) and are *not* deduplicated — see [`Csr::from_parts`] for the
+    /// duplicate-tolerance contract.
+    pub fn from_counts(n: usize, pairs: impl Iterator<Item = (u32, u32)> + Clone) -> Self {
+        let mut offsets = vec![0u32; n + 1];
+        for (s, _) in pairs.clone() {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut data = vec![0u32; *offsets.last().expect("n + 1 offsets") as usize];
+        for (s, t) in pairs {
+            data[cursor[s as usize] as usize] = t;
+            cursor[s as usize] += 1;
+        }
+        Self::from_parts(offsets, data)
+    }
+
     /// Number of source rows.
     #[inline]
     pub fn num_rows(&self) -> usize {
@@ -79,6 +117,27 @@ mod tests {
         assert_eq!(csr.row(2), &[1, 7]);
         assert_eq!(csr.row(3), &[] as &[u32]);
         assert_eq!(csr.num_edges(), 3);
+    }
+
+    #[test]
+    fn from_counts_matches_from_pairs_up_to_order() {
+        let pairs = [(2u32, 7u32), (0, 3), (2, 1), (1, 9)];
+        let counted = Csr::from_counts(4, pairs.iter().copied());
+        let sorted = Csr::from_pairs(4, pairs.to_vec());
+        for i in 0..4 {
+            let mut row = counted.row(i).to_vec();
+            row.sort_unstable();
+            assert_eq!(row, sorted.row(i));
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let csr = Csr::from_parts(vec![0, 2, 2, 3], vec![5, 1, 9]);
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.row(0), &[5, 1]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[9]);
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! Property tests for the dependency-driven worklist satisfaction DP:
-//! on random hypergraphs, the worklist engine must agree **block for
-//! block** — bases and timestamps, not just accept/reject — with the
-//! retained Jacobi reference, and the cross-query decomposition cache
-//! must return exactly what cold runs return. The same file runs under
-//! the `parallel` feature in CI, so serial/parallel bit-identity is
-//! covered by the same assertions.
+//! Property tests for the dependency-driven worklist satisfaction DP
+//! and the incremental sweep engine: on random hypergraphs, the worklist
+//! engine must agree **block for block** — bases and timestamps, not
+//! just accept/reject — with the retained Jacobi reference; the
+//! incremental `k → k+1` instance extension must be bit-identical to a
+//! cold build over the same bag sequence; the state-reusing incremental
+//! satisfaction must reproduce the cold satisfied set while keeping
+//! previously satisfied blocks' bases and timestamps verbatim; and the
+//! cross-query decomposition cache must return exactly what cold runs
+//! return. The same file runs under the `parallel` feature in CI (the
+//! feature-matrix job), so serial/parallel bit-identity is covered by
+//! the same assertions.
 
 use proptest::prelude::*;
 use softhw::core::cache::DecompCache;
 use softhw::core::ctd::CtdInstance;
-use softhw::core::soft::{soft_bags_with, SoftLimits};
+use softhw::core::soft::{soft_bag_ids, soft_bags_with, SoftLimits};
+use softhw::core::sweep::IncrementalSweep;
 use softhw::hypergraph::random::{random_hypergraph, RandomConfig};
-use softhw::hypergraph::Hypergraph;
+use softhw::hypergraph::{BagId, BlockIndex, Hypergraph};
 
 fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (4usize..9, 3usize..9, 0u64..5000).prop_map(|(nv, ne, seed)| {
@@ -70,6 +76,89 @@ proptest! {
                 .collect();
             prop_assert_eq!(viable, direct, "block {}", b);
         }
+    }
+
+    #[test]
+    fn incremental_extension_bit_identical_to_cold_build(h in small_hypergraph()) {
+        // Grow one instance through the width strata k = 1, 2, 3 and, at
+        // every step, compare against a cold build over the same bag
+        // sequence: the satisfaction tables — bases AND timestamps —
+        // must be bit-identical, and the viable-candidate tables must
+        // match entry for entry. Under `--features parallel` the same
+        // assertions certify serial/parallel identity of the extension
+        // path.
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        let mut inst = CtdInstance::empty(&mut index);
+        let mut sat = inst.satisfy();
+        let mut stratified: Vec<BagId> = Vec::new();
+        let mut seen = softhw::hypergraph::FxHashSet::default();
+        for k in 1..=3usize {
+            let ids = soft_bag_ids(&mut index, k, &limits).unwrap();
+            let delta = inst.extend(&mut index, &ids);
+            for &id in &ids {
+                if seen.insert(id) {
+                    stratified.push(id);
+                }
+            }
+            let cold = CtdInstance::build(&mut index, &stratified);
+            let cold_sat = cold.satisfy();
+            let fresh_sat = inst.satisfy();
+            prop_assert_eq!(fresh_sat.accept, cold_sat.accept, "k = {}", k);
+            prop_assert_eq!(&fresh_sat.basis, &cold_sat.basis, "k = {}", k);
+            prop_assert_eq!(inst.num_bags(), cold.num_bags());
+            prop_assert_eq!(inst.blocks.len(), cold.blocks.len());
+            for b in 0..cold.blocks.len() {
+                let ext: Vec<(usize, Vec<u32>)> = inst
+                    .viable_candidates(b)
+                    .map(|(x, kids)| (x, kids.to_vec()))
+                    .collect();
+                let cld: Vec<(usize, Vec<u32>)> = cold
+                    .viable_candidates(b)
+                    .map(|(x, kids)| (x, kids.to_vec()))
+                    .collect();
+                prop_assert_eq!(&ext, &cld, "viable candidates of block {} at k = {}", b, k);
+            }
+            // The state-reusing DP: same satisfied set and accept as a
+            // fresh run on the extended instance; previously satisfied
+            // blocks keep bases and timestamps verbatim.
+            let inc_sat = inst.satisfy_extend(&sat, &delta);
+            prop_assert_eq!(inc_sat.accept, fresh_sat.accept);
+            let inc_set: Vec<bool> = inc_sat.basis.iter().map(Option::is_some).collect();
+            let fresh_set: Vec<bool> = fresh_sat.basis.iter().map(Option::is_some).collect();
+            prop_assert_eq!(inc_set, fresh_set, "satisfied set at k = {}", k);
+            for b in 0..delta.prev_blocks {
+                if sat.basis[b].is_some() {
+                    prop_assert_eq!(inc_sat.basis[b], sat.basis[b], "kept state of block {}", b);
+                }
+            }
+            if let Some(td) = inst.extract(&inc_sat) {
+                prop_assert_eq!(td.validate(&h), Ok(()));
+                prop_assert!(td.is_comp_nf(&h));
+            }
+            sat = inc_sat;
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_decisions_equal_cold_decisions(h in small_hypergraph()) {
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        let mut sweep = IncrementalSweep::new();
+        for k in 1..=3usize {
+            let inc = sweep.decide_leq(&mut index, k, &limits).unwrap();
+            let cold = softhw::core::shw::shw_leq_with(&h, k, &limits).unwrap();
+            prop_assert_eq!(inc.is_some(), cold.is_some(), "k = {}", k);
+            if let Some(td) = inc {
+                prop_assert_eq!(td.validate(&h), Ok(()));
+                prop_assert!(td.is_comp_nf(&h));
+            }
+        }
+        // The public sweep entry points agree on the width.
+        let (w_inc, td_inc) = softhw::core::shw::shw(&h);
+        let (w_reb, _) = softhw::core::shw::shw_rebuild(&h);
+        prop_assert_eq!(w_inc, w_reb);
+        prop_assert_eq!(td_inc.validate(&h), Ok(()));
     }
 
     #[test]
