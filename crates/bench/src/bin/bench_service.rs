@@ -1,0 +1,299 @@
+//! End-to-end latency/throughput benchmark of the decomposition
+//! service: an in-process `softhw-service` server on a loopback socket,
+//! hammered by concurrent client connections with per-request-class
+//! traffic. Reports p50/p99 wall-clock latency per class (measured at
+//! the client, so parse + route + solve + frame + TCP are all in the
+//! number) and aggregate throughput.
+//!
+//! ```text
+//! bench_service [out.json] [--clients n] [--requests n]
+//! ```
+//!
+//! Request classes:
+//! - `shw_warm`: exact `shw` over schemas the striped cache has already
+//!   served (the headline repeated-query path — index, instances, sweep
+//!   state, and width decisions are all warm);
+//! - `shw_leq_warm`, `hw_warm`, `best_warm`, `stats`: the other classes
+//!   over the same warm schemas;
+//! - `shw_cold`: exact `shw` over schemas never seen before (every
+//!   request pays generation + instance build + DP).
+
+use softhw_hypergraph::random::{random_hypergraph, RandomConfig};
+use softhw_hypergraph::{named, render_hypergraph};
+use softhw_service::{
+    roundtrip, EvalKind, Request, RequestClass, Response, ServeOptions, Server, ServiceConfig,
+    ServiceState,
+};
+use std::fmt::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Args {
+    out: Option<String>,
+    clients: usize,
+    requests: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = None;
+    let mut clients = 8;
+    let mut requests = 200;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients n");
+            }
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests n");
+            }
+            other => out = Some(other.to_string()),
+        }
+    }
+    Args {
+        out,
+        clients,
+        requests,
+    }
+}
+
+/// (class label, request) pairs the clients rotate through.
+fn traffic() -> Vec<(&'static str, Request)> {
+    let warm: Vec<String> = [
+        named::h2(),
+        named::cycle(6),
+        named::cycle(8),
+        named::grid(3, 3),
+        named::triangle_star(3),
+    ]
+    .iter()
+    .map(render_hypergraph)
+    .collect();
+    let mut out = Vec::new();
+    for schema in &warm {
+        out.push(("shw_warm", Request::new(RequestClass::Shw, schema.clone())));
+        out.push((
+            "shw_leq_warm",
+            Request::new(RequestClass::ShwLeq(2), schema.clone()),
+        ));
+        out.push(("hw_warm", Request::new(RequestClass::Hw, schema.clone())));
+        out.push((
+            "best_warm",
+            Request::new(RequestClass::Best(EvalKind::Trivial, 2), schema.clone()),
+        ));
+        out.push(("stats", Request::new(RequestClass::Stats, schema.clone())));
+    }
+    out
+}
+
+/// A cold-schema request: a random hypergraph no other request shares.
+fn cold_request(seed: u64) -> Request {
+    let h = random_hypergraph(
+        &RandomConfig {
+            num_vertices: 8,
+            num_edges: 8,
+            min_arity: 2,
+            max_arity: 3,
+            connect: true,
+        },
+        seed,
+    );
+    Request::new(RequestClass::Shw, render_hypergraph(&h))
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let state = ServiceState::new(ServiceConfig::default());
+    let server = Server::bind(
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.clients,
+            max_conns: Some(args.clients as u64 + 1),
+        },
+        state,
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let traffic = traffic();
+    // Warm the caches once so the *_warm classes measure the warm path
+    // (the first client request would otherwise fold a cold build into
+    // one sample).
+    {
+        let mut stream = TcpStream::connect(addr).expect("warmup connect");
+        for (_, req) in &traffic {
+            let resp = roundtrip(&mut stream, req).expect("warmup roundtrip");
+            assert!(
+                !matches!(resp, Response::Error { .. }),
+                "warmup failed: {resp:?}"
+            );
+        }
+    }
+
+    // Fire: each client thread owns one connection and pulls request
+    // indices off a shared counter. Cold requests are interleaved 1:10
+    // with unique seeds.
+    let total = args.requests.max(args.clients);
+    let next = AtomicUsize::new(0);
+    let samples: Mutex<Vec<(&'static str, f64)>> = Mutex::new(Vec::with_capacity(total));
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients {
+            scope.spawn(|| {
+                let mut stream = TcpStream::connect(addr).expect("client connect");
+                let mut local: Vec<(&'static str, f64)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let cold;
+                    let (label, req) = if i % 10 == 9 {
+                        cold = cold_request(1_000 + i as u64);
+                        ("shw_cold", &cold)
+                    } else {
+                        let (label, req) = &traffic[i % traffic.len()];
+                        (*label, req)
+                    };
+                    let start = Instant::now();
+                    let resp = roundtrip(&mut stream, req).expect("bench roundtrip");
+                    let us = start.elapsed().as_secs_f64() * 1e6;
+                    assert!(
+                        !matches!(resp, Response::Error { .. }),
+                        "request failed: {resp:?}"
+                    );
+                    local.push((label, us));
+                }
+                samples
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local);
+            });
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    // All client connections are closed; the server has accepted its
+    // max_conns (warmup + clients) and drains cleanly.
+    let served = server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    assert_eq!(served, args.clients as u64 + 1);
+
+    let samples = samples
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let mut by_class: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for (label, us) in &samples {
+        match by_class.iter_mut().find(|(l2, _)| l2 == label) {
+            Some((_, v)) => v.push(*us),
+            None => by_class.push((label, vec![*us])),
+        }
+    }
+    by_class.sort_by_key(|(l2, _)| *l2);
+
+    let mut rows = Vec::new();
+    for (label, mut v) in by_class {
+        v.sort_by(|a, b| a.total_cmp(b));
+        let p50 = percentile(&v, 0.50);
+        let p99 = percentile(&v, 0.99);
+        println!(
+            "service/{label:<14} n={:<5} p50={p50:>10.1}us p99={p99:>10.1}us",
+            v.len()
+        );
+        rows.push((format!("service/{label}_p50_us"), p50));
+        rows.push((format!("service/{label}_p99_us"), p99));
+    }
+    let throughput = samples.len() as f64 / wall_s;
+    println!(
+        "service/throughput    {throughput:.0} req/s over {} requests, {} clients",
+        samples.len(),
+        args.clients
+    );
+    rows.push(("service/throughput_rps".to_string(), throughput));
+    if let Some(out) = args.out {
+        let json = match std::fs::read_to_string(&out) {
+            // An existing bench_baseline emission: merge the service
+            // rows into its "benchmarks" object, so one BENCH_pr*.json
+            // carries solver gates and service latencies together.
+            Ok(existing) => merge_rows(&existing, &rows)
+                .unwrap_or_else(|| panic!("{out} exists but has no benchmarks object")),
+            Err(_) => standalone_json(&rows),
+        };
+        std::fs::write(&out, &json).expect("write json");
+        println!("wrote {out}");
+    }
+}
+
+/// A self-contained `{"benchmarks": {...}}` document from the rows.
+fn standalone_json(rows: &[(String, f64)]) -> String {
+    let mut json = String::from("{\n  \"benchmarks\": {\n");
+    for (i, (name, value)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {value:.1}{sep}");
+    }
+    json.push_str("  }\n}\n");
+    json
+}
+
+/// Splices the rows into an existing emission's `"benchmarks"` object
+/// (dropping any previous `service/` rows so reruns stay idempotent).
+/// Returns `None` if the document has no benchmarks object.
+fn merge_rows(existing: &str, rows: &[(String, f64)]) -> Option<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut lines = existing.lines().peekable();
+    // Copy up to and including the benchmarks opener.
+    loop {
+        let line = lines.next()?;
+        let opened = line.trim_start().starts_with("\"benchmarks\"");
+        out.push(line.to_string());
+        if opened {
+            break;
+        }
+    }
+    // Copy the object's entries (minus stale service rows) until its
+    // closing brace.
+    let mut entries: Vec<String> = Vec::new();
+    let closer = loop {
+        let line = lines.next()?;
+        if line.trim_start().starts_with('}') {
+            break line;
+        }
+        if !line.trim_start().starts_with("\"service/") {
+            entries.push(line.trim_end().trim_end_matches(',').to_string());
+        }
+    };
+    for (name, value) in rows {
+        entries.push(format!("    \"{name}\": {value:.1}"));
+    }
+    let n = entries.len();
+    for (i, e) in entries.into_iter().enumerate() {
+        let sep = if i + 1 == n { "" } else { "," };
+        out.push(format!("{e}{sep}"));
+    }
+    out.push(closer.to_string());
+    for line in lines {
+        out.push(line.to_string());
+    }
+    let mut joined = out.join("\n");
+    joined.push('\n');
+    Some(joined)
+}

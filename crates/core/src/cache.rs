@@ -26,9 +26,10 @@
 //! structure rebuilds cold on its next query, with identical results.
 
 use crate::ctd::{CtdInstance, Satisfaction};
+use crate::error::DecompError;
 use crate::ghd::Ghd;
 use crate::hw;
-use crate::soft::{soft_bag_ids, LimitExceeded, SoftLimits};
+use crate::soft::{soft_bag_ids, SoftLimits};
 use crate::sweep::IncrementalSweep;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::cache::IndexCache;
@@ -136,7 +137,11 @@ impl DecompCache {
 
     /// Marks `hash` as just used and evicts the least-recently-used
     /// *other* hypergraph if the bound is now exceeded. Called on every
-    /// entry point, right after the index probe.
+    /// entry point, right after the index probe. Never evicts `hash`
+    /// itself, and never panics: if no other entry exists to evict (only
+    /// possible if the LRU clock is inconsistent), it stops evicting —
+    /// an over-full cache is a bounded memory overshoot, not a reason to
+    /// kill the process.
     fn touch(&mut self, hash: u64) {
         self.tick += 1;
         self.last_used.insert(hash, self.tick);
@@ -146,9 +151,14 @@ impl DecompCache {
                 .iter()
                 .filter(|&(&h2, _)| h2 != hash)
                 .min_by_key(|&(_, &t)| t)
-                .map(|(&h2, _)| h2)
-                .expect("over-capacity cache has another entry");
-            self.evict(victim);
+                .map(|(&h2, _)| h2);
+            match victim {
+                Some(v) => self.evict(v),
+                None => {
+                    debug_assert!(false, "over-capacity cache has no other entry");
+                    break;
+                }
+            }
         }
     }
 
@@ -166,31 +176,60 @@ impl DecompCache {
 
     /// The prepared (instance, satisfaction) pair for `(h, bags)`,
     /// building and satisfying on first sight.
+    ///
+    /// The lookup is written defensively: after the probe (and the LRU
+    /// `touch`, which by construction never evicts the hash just used)
+    /// the entry's presence is *re-verified*, and a missing entry —
+    /// a cache inconsistency that previously took the process down via
+    /// an `.expect(...)` chain — is repaired by one cold rebuild of
+    /// exactly this entry.
     fn instance(&mut self, h: &Hypergraph, bags: &[BitSet]) -> &CachedInstance {
         let (hash, index) = self.indexes.entry(h);
         let ids: Vec<BagId> = bags.iter().map(|b| index.arena.intern(b)).collect();
         let key = (hash, hash_ids(&ids));
-        let bucket = self.instances.entry(key).or_default();
-        let pos = bucket.iter().position(|c| c.ids == ids);
-        match pos {
-            Some(_) => self.stats.instance_hits += 1,
-            None => self.stats.instance_misses += 1,
-        }
-        if pos.is_none() {
+        let probed = self
+            .instances
+            .get(&key)
+            .and_then(|bucket| bucket.iter().position(|c| c.ids == ids));
+        let mut pos = match probed {
+            Some(p) => {
+                self.stats.instance_hits += 1;
+                p
+            }
+            None => {
+                self.stats.instance_misses += 1;
+                let (_, index) = self.indexes.entry(h);
+                let inst = CtdInstance::build(index, &ids);
+                let sat = inst.satisfy();
+                let bucket = self.instances.entry(key).or_default();
+                bucket.push(CachedInstance {
+                    ids: ids.clone(),
+                    inst,
+                    sat,
+                });
+                bucket.len() - 1
+            }
+        };
+        self.touch(hash);
+        let present = self
+            .instances
+            .get(&key)
+            .is_some_and(|bucket| bucket.get(pos).is_some());
+        if !present {
+            // Degrade to a cold recompute of this entry instead of
+            // panicking on the inconsistency.
+            debug_assert!(false, "cache entry vanished between probe and return");
+            self.stats.instance_misses += 1;
             let (_, index) = self.indexes.entry(h);
             let inst = CtdInstance::build(index, &ids);
             let sat = inst.satisfy();
-            self.instances
-                .get_mut(&key)
-                .expect("bucket just created")
-                .push(CachedInstance { ids, inst, sat });
+            let bucket = self.instances.entry(key).or_default();
+            bucket.push(CachedInstance { ids, inst, sat });
+            pos = bucket.len() - 1;
         }
-        self.touch(hash);
-        let bucket = self.instances.get(&key).expect("bucket exists");
-        match pos {
-            Some(p) => &bucket[p],
-            None => bucket.last().expect("just pushed"),
-        }
+        // Structurally guaranteed: either re-verified present above, or
+        // just pushed at `pos`.
+        &self.instances[&key][pos]
     }
 
     /// Algorithm 1 with cross-query reuse: repeated calls with a
@@ -216,7 +255,7 @@ impl DecompCache {
         h: &Hypergraph,
         k: usize,
         limits: &SoftLimits,
-    ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
         let (hash, index) = self.indexes.entry(h);
         if let Some(cached) = self.shw_results.get(&(hash, k)).cloned() {
             self.stats.result_hits += 1;
@@ -225,7 +264,7 @@ impl DecompCache {
         }
         self.stats.result_misses += 1;
         let bags = soft_bag_ids(index, k, limits)?;
-        let result = CtdInstance::build(index, &bags).decide();
+        let result = CtdInstance::build(index, &bags).try_decide()?;
         self.shw_results.insert((hash, k), result.clone());
         self.touch(hash);
         Ok(result)
@@ -237,29 +276,70 @@ impl DecompCache {
     /// across *calls* — a repeated sweep over the same structure is pure
     /// memo hits, and a sweep interrupted by eviction simply restarts
     /// cold). Returns what [`crate::shw::shw`] returns.
+    ///
+    /// Panics if `limits`-style default generation guards are exceeded;
+    /// long-lived callers (the decomposition service) use
+    /// [`DecompCache::try_shw`], where every failure mode is an `Err`.
     pub fn shw(&mut self, h: &Hypergraph) -> (usize, TreeDecomposition) {
+        match self.try_shw_with(h, &SoftLimits::default()) {
+            Ok(out) => out,
+            Err(e) => panic!("shw under default limits: {e}"),
+        }
+    }
+
+    /// [`DecompCache::shw`] with the default generation limits and no
+    /// panicking path.
+    pub fn try_shw(&mut self, h: &Hypergraph) -> Result<(usize, TreeDecomposition), DecompError> {
+        self.try_shw_with(h, &SoftLimits::default())
+    }
+
+    /// `shw(h)` exactly through the cache, non-panicking: generation
+    /// blow-ups surface as [`DecompError::Limit`]/[`DecompError::Shards`]
+    /// and an internal inconsistency in the cached sweep state degrades
+    /// to a cold recompute after evicting the inconsistent entry —
+    /// matching the cold result exactly — instead of killing the caller.
+    pub fn try_shw_with(
+        &mut self,
+        h: &Hypergraph,
+        limits: &SoftLimits,
+    ) -> Result<(usize, TreeDecomposition), DecompError> {
         let (hash, _) = self.indexes.entry(h);
         self.touch(hash);
         for k in 1..=h.num_edges().max(1) {
             if let Some(cached) = self.shw_results.get(&(hash, k)) {
                 self.stats.result_hits += 1;
                 match cached {
-                    Some(td) => return (k, td.clone()),
+                    Some(td) => return Ok((k, td.clone())),
                     None => continue,
                 }
             }
             self.stats.result_misses += 1;
             let (_, index) = self.indexes.entry(h);
             let sweep = self.sweeps.entry(hash).or_default();
-            let result = sweep
-                .decide_leq(index, k, &SoftLimits::default())
-                .expect("default limits exceeded");
+            let result = match sweep.decide_leq(index, k, limits) {
+                Ok(r) => r,
+                Err(e) if e.is_internal() => {
+                    // Cached state is inconsistent: drop every artefact
+                    // of this hypergraph and decide this width cold. (A
+                    // second internal error on a cold build is a real
+                    // bug, not cache corruption — surface it.)
+                    self.evict(hash);
+                    let (_, index) = self.indexes.entry(h);
+                    let ids = soft_bag_ids(index, k, limits)?;
+                    let cold = CtdInstance::build(index, &ids).try_decide()?;
+                    self.touch(hash);
+                    cold
+                }
+                Err(e) => return Err(e),
+            };
             self.shw_results.insert((hash, k), result.clone());
             if let Some(td) = result {
-                return (k, td);
+                return Ok((k, td));
             }
         }
-        unreachable!("shw is at most |E(H)|")
+        // Unreachable for well-formed hypergraphs (shw ≤ |E(H)|): the
+        // full vertex set is always a candidate at k = |E|.
+        Err(DecompError::internal("no width up to |E(H)| accepted"))
     }
 
     /// `hw(h) ≤ k` with cross-query memoisation (decision + witness).
@@ -368,6 +448,70 @@ mod tests {
             });
         }
         assert!(cache.tracked_graphs() <= 2);
+    }
+
+    #[test]
+    fn edge_capacities_survive_eviction_storms_cold_identical() {
+        // with_capacity(0) clamps to 1; both degenerate bounds force an
+        // eviction on every schema change. Interleaving four schemas
+        // over several rounds is a worst-case eviction storm: every
+        // probe except repeats within a round is a cold rebuild. The
+        // cache must never panic and must answer exactly like the cold
+        // entry points throughout.
+        for cap in [0, 1] {
+            let mut cache = DecompCache::with_capacity(cap);
+            assert_eq!(cache.max_graphs(), 1);
+            let graphs = [
+                named::h2(),
+                named::cycle(5),
+                named::cycle(6),
+                named::grid(3, 3),
+            ];
+            for round in 0..3 {
+                for h in &graphs {
+                    let (w, td) = cache.shw(h);
+                    let (cold_w, cold_td) = shw::shw(h);
+                    assert_eq!(w, cold_w, "cap {cap} round {round}");
+                    assert_eq!(td.bags(), cold_td.bags(), "cap {cap} round {round}");
+                    // Mix in instance-level and hw traffic on the same
+                    // storm so all three artefact kinds churn together.
+                    let bags = soft_bags(h, w);
+                    assert_eq!(
+                        cache.candidate_td(h, &bags).map(|t| t.bags().to_vec()),
+                        crate::ctd::candidate_td(h, &bags).map(|t| t.bags().to_vec()),
+                        "cap {cap} round {round}"
+                    );
+                    let (hw_w, ghd) = cache.hw(h);
+                    assert_eq!(hw_w, hw::hw(h).0);
+                    assert!(ghd.is_hd(h));
+                    assert!(cache.tracked_graphs() <= 1, "bound violated");
+                }
+            }
+            let s = cache.stats();
+            // Four interleaved schemas through a bound of one: every
+            // schema switch evicts.
+            assert!(s.evictions >= 11, "expected an eviction storm: {s:?}");
+        }
+    }
+
+    #[test]
+    fn try_shw_reports_limits_as_errors() {
+        let mut cache = DecompCache::with_capacity(2);
+        let h = named::grid(3, 3);
+        let tight = SoftLimits {
+            max_lambda_sets: 4,
+            max_bags: 4,
+        };
+        match cache.try_shw_with(&h, &tight) {
+            Err(DecompError::Limit(_)) | Err(DecompError::Shards(_)) => {}
+            other => panic!("expected a limit error, got {other:?}"),
+        }
+        // The same cache still answers correctly under sane limits.
+        let (w, td) = cache.try_shw(&h).expect("default limits suffice");
+        assert_eq!((w, td.bags().to_vec()), {
+            let (cw, ctd) = shw::shw(&h);
+            (cw, ctd.bags().to_vec())
+        });
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! Satisfaction timestamps make the extraction provably terminating: a
 //! block's basis only references blocks satisfied strictly earlier.
 
+use crate::error::DecompError;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::arena::{words_subset, words_union_into, IdSet};
 use softhw_hypergraph::par::{par_join, par_map};
@@ -1385,58 +1386,93 @@ impl CtdInstance {
     }
 
     /// Extracts the tree decomposition certified by a satisfaction table.
-    /// Returns `None` if the instance was rejected. For disconnected
-    /// hypergraphs, the per-component subtrees are chained under the first
-    /// component's root (bags of distinct components are vertex-disjoint,
-    /// so validity is preserved).
-    pub fn extract(&self, sat: &Satisfaction) -> Option<TreeDecomposition> {
+    /// Returns `Ok(None)` if the instance was rejected, and
+    /// [`DecompError::Internal`] if the table is inconsistent with this
+    /// instance (an accepted or referenced block without a basis, or a
+    /// table of the wrong size — e.g. a satisfaction from a different
+    /// instance) instead of panicking. For disconnected hypergraphs, the
+    /// per-component subtrees are chained under the first component's
+    /// root (bags of distinct components are vertex-disjoint, so validity
+    /// is preserved).
+    pub fn try_extract(
+        &self,
+        sat: &Satisfaction,
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
         if !sat.accept || self.root_blocks.is_empty() {
-            return None;
+            return Ok(None);
         }
         let mut td: Option<TreeDecomposition> = None;
         for &rb in &self.root_blocks {
-            let (x, _) = sat.basis[rb].expect("accepted root block has a basis");
+            let Some(Some((x, _))) = sat.basis.get(rb).copied() else {
+                debug_assert!(false, "accepted root block {rb} has no basis");
+                return Err(DecompError::internal("accepted root block without basis"));
+            };
             match td.as_mut() {
                 None => {
                     let mut fresh = TreeDecomposition::new(self.bag(x).clone());
                     let root = fresh.root();
-                    self.extract_children(sat, rb, x, root, &mut fresh);
+                    self.try_extract_children(sat, rb, x, root, &mut fresh)?;
                     td = Some(fresh);
                 }
                 Some(t) => {
                     let at = t.root();
                     let node = t.add_child(at, self.bag(x).clone());
-                    self.extract_children(sat, rb, x, node, t);
+                    self.try_extract_children(sat, rb, x, node, t)?;
                 }
             }
         }
-        td
+        Ok(td)
     }
 
-    fn extract_children(
+    /// [`CtdInstance::try_extract`], panicking on an inconsistent
+    /// satisfaction table. Kept for callers that just computed `sat` via
+    /// [`CtdInstance::satisfy`] on the same instance, for which the
+    /// consistency invariants hold by construction; service and cache
+    /// paths use the fallible form and degrade instead.
+    pub fn extract(&self, sat: &Satisfaction) -> Option<TreeDecomposition> {
+        self.try_extract(sat)
+            .expect("satisfaction table consistent with this instance")
+    }
+
+    fn try_extract_children(
         &self,
         sat: &Satisfaction,
         b: usize,
         x: usize,
         node: usize,
         td: &mut TreeDecomposition,
-    ) {
+    ) -> Result<(), DecompError> {
         for &b2 in self.child_blocks(b, x) {
             let b2 = b2 as usize;
-            let (x2, ts2) = sat.basis[b2].expect("basis condition (3)");
+            let Some(Some((x2, ts2))) = sat.basis.get(b2).copied() else {
+                debug_assert!(false, "basis condition (3) violated at block {b2}");
+                return Err(DecompError::internal("child block without basis"));
+            };
             debug_assert!(
                 ts2 < sat.basis[b].map(|(_, t)| t).unwrap_or(u32::MAX),
                 "timestamps strictly decrease along extraction"
             );
+            let _ = ts2;
             let child = td.add_child(node, self.bag(x2).clone());
-            self.extract_children(sat, b2, x2, child, td);
+            self.try_extract_children(sat, b2, x2, child, td)?;
         }
+        Ok(())
     }
 
     /// Algorithm 1 end-to-end: decide and extract.
     pub fn decide(&self) -> Option<TreeDecomposition> {
         let sat = self.satisfy();
         self.extract(&sat)
+    }
+
+    /// [`CtdInstance::decide`] through the fallible extraction path: an
+    /// inconsistent DP result surfaces as [`DecompError::Internal`]
+    /// rather than a panic. (With a freshly computed table the invariants
+    /// hold by construction, so this only errs on memory corruption or a
+    /// bug — but a service must not die on either.)
+    pub fn try_decide(&self) -> Result<Option<TreeDecomposition>, DecompError> {
+        let sat = self.satisfy();
+        self.try_extract(&sat)
     }
 }
 

@@ -1,0 +1,107 @@
+//! The non-panicking error type of the decomposition entry points.
+//!
+//! A long-lived decomposition service cannot tolerate the library
+//! `panic!`ing on internal disagreement: one malformed or adversarial
+//! request must degrade to an error response (or a cold recompute), not
+//! kill the process and every in-flight request with it. [`DecompError`]
+//! is the single `Result` error threaded through the `cache`, `sweep`,
+//! and `ctd` entry points:
+//!
+//! - [`DecompError::Limit`] — candidate-bag generation tripped a
+//!   [`SoftLimits`](crate::soft::SoftLimits) guard (combinatorial
+//!   blow-up; the request is too wide for the configured budget);
+//! - [`DecompError::Shards`] — parallel enumeration outgrew the sharded
+//!   id space (`MAX_BAGS_PER_SHARD` / `MAX_SHARDS`); before this variant
+//!   the high bits of a [`BagId`](softhw_hypergraph::BagId) silently
+//!   wrapped into another shard's range;
+//! - [`DecompError::Internal`] — an internal invariant (a satisfied
+//!   block without a basis, a cache bucket that vanished) failed to
+//!   hold. In debug builds these still `debug_assert!`; in release the
+//!   caller degrades — [`DecompCache`](crate::cache::DecompCache) evicts
+//!   the inconsistent entry and recomputes cold.
+
+use crate::soft::LimitExceeded;
+use softhw_hypergraph::ShardError;
+use std::fmt;
+
+/// Why a decomposition entry point could not produce an answer. See the
+/// module docs for the recovery contract per variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// Candidate-bag generation exceeded its [`crate::soft::SoftLimits`].
+    Limit(LimitExceeded),
+    /// Parallel enumeration outgrew the sharded [`BagId`] space.
+    ///
+    /// [`BagId`]: softhw_hypergraph::BagId
+    Shards(ShardError),
+    /// An internal invariant did not hold; the computation was abandoned
+    /// rather than continued on inconsistent state.
+    Internal {
+        /// Which invariant failed.
+        what: &'static str,
+    },
+}
+
+impl DecompError {
+    /// Shorthand constructor for invariant failures.
+    pub fn internal(what: &'static str) -> Self {
+        DecompError::Internal { what }
+    }
+
+    /// True iff this error reports an internal inconsistency (the
+    /// variant caches recover from by evicting and recomputing cold).
+    pub fn is_internal(&self) -> bool {
+        matches!(self, DecompError::Internal { .. })
+    }
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::Limit(e) => write!(f, "{e}"),
+            DecompError::Shards(e) => write!(f, "{e}"),
+            DecompError::Internal { what } => {
+                write!(f, "internal decomposition invariant failed: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecompError::Limit(e) => Some(e),
+            DecompError::Shards(e) => Some(e),
+            DecompError::Internal { .. } => None,
+        }
+    }
+}
+
+impl From<LimitExceeded> for DecompError {
+    fn from(e: LimitExceeded) -> Self {
+        DecompError::Limit(e)
+    }
+}
+
+impl From<ShardError> for DecompError {
+    fn from(e: ShardError) -> Self {
+        DecompError::Shards(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let l: DecompError = LimitExceeded { what: "max_bags" }.into();
+        assert!(l.to_string().contains("max_bags"));
+        assert!(!l.is_internal());
+        let s: DecompError = ShardError::NoShards.into();
+        assert!(matches!(s, DecompError::Shards(_)));
+        let i = DecompError::internal("basis missing");
+        assert!(i.is_internal());
+        assert!(i.to_string().contains("basis missing"));
+    }
+}

@@ -30,6 +30,7 @@ pub mod constraints;
 pub mod cover;
 pub mod ctd;
 pub mod ctd_opt;
+pub mod error;
 pub mod games;
 pub mod ghd;
 pub mod hw;
@@ -41,6 +42,7 @@ pub mod td;
 
 pub use cache::DecompCache;
 pub use ctd::{candidate_td, CtdInstance};
+pub use error::DecompError;
 pub use sweep::IncrementalSweep;
 
 /// Enumerates all subsets of `pool` with size between 1 and `k`.

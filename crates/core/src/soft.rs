@@ -68,6 +68,22 @@ impl std::fmt::Display for LimitExceeded {
 
 impl std::error::Error for LimitExceeded {}
 
+/// Interns into a worker-local shard, erroring out *before* the shard
+/// outgrows its slice of the sharded id space. An over-full shard would
+/// wrap local ids into the next shard's range ([`ShardedArena`] high-bit
+/// encoding) and silently alias unrelated bags; with this guard the
+/// enumeration instead degrades to the same graceful failure as any
+/// other blown limit.
+#[inline]
+fn shard_checked_intern(local: &mut BagArena, words: &[u64]) -> Result<BagId, LimitExceeded> {
+    if local.len() >= softhw_hypergraph::arena::MAX_BAGS_PER_SHARD {
+        return Err(LimitExceeded {
+            what: "shard capacity (MAX_BAGS_PER_SHARD)",
+        });
+    }
+    Ok(local.intern_words(words))
+}
+
 /// Depth-first λ-union enumeration below one fixed first element,
 /// deduplicating into a worker-local arena. `pool[d]` holds the running
 /// union at depth `d`; the recursion writes depth `d+1` in place, so the
@@ -99,7 +115,7 @@ fn lambda_rec(
         buf.clear();
         buf.extend_from_slice(&prev[depth - 1]);
         arena.union_into(elements[i], buf);
-        local.intern_words(buf);
+        shard_checked_intern(local, buf)?;
         if depth < max_depth {
             lambda_rec(
                 arena,
@@ -223,7 +239,7 @@ fn lambda_unions_sharded(
                 }
                 let first_words = arena.words(elements[first]);
                 pool[1].copy_from_slice(first_words);
-                local.intern_words(first_words);
+                shard_checked_intern(&mut local, first_words)?;
                 if k > 1 {
                     lambda_rec(
                         arena,
@@ -244,7 +260,8 @@ fn lambda_unions_sharded(
     for r in per_chunk {
         shards.push(r?);
     }
-    let sharded = ShardedArena::from_shards(shards);
+    let sharded =
+        ShardedArena::try_from_shards(shards).map_err(|e| LimitExceeded { what: e.what() })?;
     let ids = sharded.sorted_unique_ids();
     Ok((sharded, ids))
 }
@@ -463,7 +480,7 @@ pub fn soft_bag_ids_from_elements(
                         buf.copy_from_slice(w_words);
                         words_intersect_into(shared.words(u), &mut buf);
                         if !words_empty(&buf) {
-                            local.intern_words(&buf);
+                            shard_checked_intern(&mut local, &buf)?;
                             // Per-worker guard so a blow-up aborts during the
                             // fan-out, not only at the merge: worker memory
                             // stays bounded by max_bags.
@@ -479,7 +496,8 @@ pub fn soft_bag_ids_from_elements(
         for r in per_chunk {
             shards.push(r?);
         }
-        let inter = ShardedArena::from_shards(shards);
+        let inter =
+            ShardedArena::try_from_shards(shards).map_err(|e| LimitExceeded { what: e.what() })?;
         let final_ids = inter.sorted_unique_ids();
         if final_ids.len() > limits.max_bags {
             return Err(LimitExceeded { what: "max_bags" });

@@ -20,7 +20,8 @@
 //! instance against a cold build.
 
 use crate::ctd::{CtdInstance, Satisfaction};
-use crate::soft::{soft_bag_ids, LimitExceeded, SoftLimits};
+use crate::error::DecompError;
+use crate::soft::{soft_bag_ids, SoftLimits};
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::BlockIndex;
 
@@ -53,6 +54,15 @@ impl IncrementalSweep {
         self.inst.as_ref()
     }
 
+    /// Drops all grown state; the next width decided re-seeds from an
+    /// empty instance. Used by caches when an entry must be rebuilt, and
+    /// internally to degrade from an inconsistent extension.
+    pub fn reset(&mut self) {
+        self.inst = None;
+        self.sat = None;
+        self.max_k = 0;
+    }
+
     /// Decides `shw(H) ≤ k` for the index's hypergraph, reusing the
     /// instance and satisfaction state of every smaller width already
     /// decided through this sweep. Returns exactly the accept/reject
@@ -62,18 +72,24 @@ impl IncrementalSweep {
     /// `Soft_{H,k}` bags — basis choices may differ from a cold run's,
     /// which is the documented latitude of
     /// [`CtdInstance::satisfy_extend`]).
+    ///
+    /// This entry point does not panic: generation blow-ups surface as
+    /// [`DecompError::Limit`]/[`DecompError::Shards`], and if the grown
+    /// state is ever found inconsistent the sweep drops it and decides
+    /// the width cold ([`DecompError::Internal`] escapes only if the
+    /// cold run is inconsistent too).
     pub fn decide_leq(
         &mut self,
         index: &mut BlockIndex,
         k: usize,
         limits: &SoftLimits,
-    ) -> Result<Option<TreeDecomposition>, LimitExceeded> {
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
         if k < self.max_k {
             // The grown instance already contains wider-width bags; a
             // smaller width must be decided against its own candidate
             // set, so run it cold.
             let ids = soft_bag_ids(index, k, limits)?;
-            return Ok(CtdInstance::build(index, &ids).decide());
+            return CtdInstance::build(index, &ids).try_decide();
         }
         let ids = soft_bag_ids(index, k, limits)?;
         if self.inst.is_none() {
@@ -81,14 +97,29 @@ impl IncrementalSweep {
             self.sat = Some(inst.satisfy());
             self.inst = Some(inst);
         }
-        let inst = self.inst.as_mut().expect("just seeded");
-        let prev = self.sat.as_ref().expect("seeded with the instance");
+        let (Some(inst), Some(prev)) = (self.inst.as_mut(), self.sat.as_ref()) else {
+            // Unreachable by construction (just seeded); degrade to a
+            // cold decision rather than unwrap.
+            self.reset();
+            return CtdInstance::build(index, &ids).try_decide();
+        };
         let delta = inst.extend(index, &ids);
         let sat = inst.satisfy_extend(prev, &delta);
         self.max_k = k;
-        let out = inst.extract(&sat);
-        self.sat = Some(sat);
-        Ok(out)
+        match inst.try_extract(&sat) {
+            Ok(out) => {
+                self.sat = Some(sat);
+                Ok(out)
+            }
+            Err(e) if e.is_internal() => {
+                // The grown state disagrees with its own satisfaction
+                // table: drop it and decide this width cold. The next
+                // call re-seeds the sweep from scratch.
+                self.reset();
+                CtdInstance::build(index, &ids).try_decide()
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 

@@ -245,6 +245,74 @@ impl BagArena {
         debug_assert_eq!(self.words, other.words);
         self.intern_words(other.words(id))
     }
+
+    /// A serialisable snapshot of this arena: universe size plus the flat
+    /// word storage (bags back to back in id order). Ids are dense and
+    /// assigned in insertion order, so the snapshot *is* the id table —
+    /// bag `i` lives at words `[i·wpb, (i+1)·wpb)`. This is what makes
+    /// decomposition state cheap to frame onto a wire: no pointer
+    /// chasing, no per-bag headers.
+    pub fn snapshot(&self) -> ArenaSnapshot {
+        ArenaSnapshot {
+            universe: self.universe,
+            storage: self.storage.clone(),
+        }
+    }
+
+    /// Rebuilds an arena from a snapshot, re-deriving the probe table.
+    /// Ids are preserved exactly: bag `i` of the snapshot is bag `i` of
+    /// the rebuilt arena. Returns `None` if the storage length is not a
+    /// multiple of the word width (a corrupt frame).
+    pub fn from_snapshot(snap: &ArenaSnapshot) -> Option<BagArena> {
+        let mut arena = BagArena::new(snap.universe);
+        if !snap.storage.len().is_multiple_of(arena.words) {
+            return None;
+        }
+        for chunk in snap.storage.chunks_exact(arena.words) {
+            arena.intern_words(chunk);
+        }
+        // Duplicate chunks would have collapsed to one id, breaking the
+        // id-preservation contract — a snapshot of a real arena never
+        // contains duplicates, so treat that as corruption too.
+        if arena.storage.len() != snap.storage.len() {
+            return None;
+        }
+        Some(arena)
+    }
+}
+
+/// A flat, serialisable image of a [`BagArena`]: the universe size plus
+/// every interned bag's words back to back in id order. See
+/// [`BagArena::snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArenaSnapshot {
+    /// The universe size the arena was created for.
+    pub universe: usize,
+    /// Flat bag storage, `words_per_bag` words per bag, id order.
+    pub storage: Vec<u64>,
+}
+
+impl ArenaSnapshot {
+    /// Words per bag for this snapshot's universe.
+    pub fn words_per_bag(&self) -> usize {
+        self.universe.div_ceil(64).max(1)
+    }
+
+    /// Number of bags in the snapshot.
+    pub fn len(&self) -> usize {
+        self.storage.len() / self.words_per_bag()
+    }
+
+    /// True iff the snapshot holds no bags.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// The words of bag `i`.
+    pub fn words(&self, i: usize) -> &[u64] {
+        let wpb = self.words_per_bag();
+        &self.storage[i * wpb..(i + 1) * wpb]
+    }
 }
 
 /// Number of high bits of a [`BagId`] reserved for the shard index in a
@@ -274,19 +342,106 @@ pub struct ShardedArena {
     shards: Vec<BagArena>,
 }
 
-impl ShardedArena {
-    /// Wraps worker-local arenas as the shards of one id space. All
-    /// shards must share a universe; shard and per-shard bag counts must
-    /// fit the id encoding (enumeration limits sit far below both).
-    pub fn from_shards(shards: Vec<BagArena>) -> Self {
-        assert!(!shards.is_empty(), "at least one shard");
-        assert!(shards.len() <= MAX_SHARDS, "too many shards");
-        let universe = shards[0].universe();
-        for s in &shards {
-            assert_eq!(s.universe(), universe, "shards over one universe");
-            assert!(s.len() <= MAX_BAGS_PER_SHARD, "shard id space overflow");
+/// Why worker arenas could not be combined into one sharded id space.
+/// Encoding a shard index or local id that does not fit its bit field
+/// would silently alias another bag's [`BagId`] (high-bit wraparound), so
+/// [`ShardedArena::try_from_shards`] rejects the inputs instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// No worker arenas were supplied.
+    NoShards,
+    /// More worker arenas than [`MAX_SHARDS`] shard ids.
+    TooManyShards {
+        /// Number of shards supplied.
+        got: usize,
+    },
+    /// A worker arena holds more bags than [`MAX_BAGS_PER_SHARD`] local
+    /// ids.
+    ShardOverflow {
+        /// Index of the overflowing shard.
+        shard: usize,
+        /// Number of bags it holds.
+        len: usize,
+    },
+    /// Worker arenas disagree on the universe size.
+    UniverseMismatch {
+        /// Index of the first disagreeing shard.
+        shard: usize,
+    },
+}
+
+impl ShardError {
+    /// A short static description (the `what` of enumeration-limit
+    /// errors layered on top).
+    pub fn what(&self) -> &'static str {
+        match self {
+            ShardError::NoShards => "no enumeration shards",
+            ShardError::TooManyShards { .. } => "shard count exceeds MAX_SHARDS",
+            ShardError::ShardOverflow { .. } => "shard exceeds MAX_BAGS_PER_SHARD",
+            ShardError::UniverseMismatch { .. } => "shards disagree on universe",
         }
-        ShardedArena { universe, shards }
+    }
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "sharded arena needs at least one shard"),
+            ShardError::TooManyShards { got } => {
+                write!(f, "{got} shards exceed the {MAX_SHARDS}-shard id space")
+            }
+            ShardError::ShardOverflow { shard, len } => write!(
+                f,
+                "shard {shard} holds {len} bags, exceeding the \
+                 {MAX_BAGS_PER_SHARD}-bag local id space"
+            ),
+            ShardError::UniverseMismatch { shard } => {
+                write!(f, "shard {shard} was built over a different universe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl ShardedArena {
+    /// Wraps worker-local arenas as the shards of one id space,
+    /// validating that every shard and per-shard bag count fits the id
+    /// encoding. A shard that outgrew [`MAX_BAGS_PER_SHARD`] (or more
+    /// than [`MAX_SHARDS`] workers) would wrap into another shard's id
+    /// range and silently corrupt [`BagId`]s, so it is rejected here —
+    /// enumeration callers surface this as a limit error and the caller
+    /// retries serially or with tighter limits.
+    pub fn try_from_shards(shards: Vec<BagArena>) -> Result<Self, ShardError> {
+        if shards.is_empty() {
+            return Err(ShardError::NoShards);
+        }
+        if shards.len() > MAX_SHARDS {
+            return Err(ShardError::TooManyShards { got: shards.len() });
+        }
+        let universe = shards[0].universe();
+        for (i, s) in shards.iter().enumerate() {
+            if s.universe() != universe {
+                return Err(ShardError::UniverseMismatch { shard: i });
+            }
+            if s.len() > MAX_BAGS_PER_SHARD {
+                return Err(ShardError::ShardOverflow {
+                    shard: i,
+                    len: s.len(),
+                });
+            }
+        }
+        Ok(ShardedArena { universe, shards })
+    }
+
+    /// [`ShardedArena::try_from_shards`], panicking on invalid shards.
+    /// Kept for call sites whose shard counts are statically bounded
+    /// (tests, fixed fan-outs); enumeration paths use the fallible form.
+    pub fn from_shards(shards: Vec<BagArena>) -> Self {
+        match Self::try_from_shards(shards) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The universe size the shards were created for.
@@ -554,6 +709,57 @@ mod tests {
             let shard = ShardedArena::shard_of(id);
             assert!(shard < 3);
         }
+    }
+
+    #[test]
+    fn try_from_shards_rejects_overflow() {
+        // Shard-count overflow.
+        let many: Vec<BagArena> = (0..MAX_SHARDS + 1).map(|_| BagArena::new(8)).collect();
+        assert_eq!(
+            ShardedArena::try_from_shards(many).err(),
+            Some(ShardError::TooManyShards {
+                got: MAX_SHARDS + 1
+            })
+        );
+        // Universe mismatch.
+        let mixed = vec![BagArena::new(8), BagArena::new(9)];
+        assert_eq!(
+            ShardedArena::try_from_shards(mixed).err(),
+            Some(ShardError::UniverseMismatch { shard: 1 })
+        );
+        // Empty input.
+        assert_eq!(
+            ShardedArena::try_from_shards(Vec::new()).err(),
+            Some(ShardError::NoShards)
+        );
+        // Valid shards still combine.
+        assert!(ShardedArena::try_from_shards(vec![BagArena::new(8)]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_preserving_ids() {
+        let mut a = BagArena::new(130);
+        let mut ids = Vec::new();
+        for i in 0..60 {
+            let s = BitSet::from_iter(130, [i, (i * 11) % 130]);
+            ids.push((a.intern(&s), s));
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.len(), a.len());
+        let b = BagArena::from_snapshot(&snap).expect("valid snapshot");
+        assert_eq!(b.len(), a.len());
+        for (id, s) in &ids {
+            assert_eq!(&b.to_bitset(*id), s, "ids must be preserved");
+            assert_eq!(b.lookup_words(s.blocks()), Some(*id));
+        }
+        // Corrupt frames are rejected, not mis-decoded.
+        let mut bad = snap.clone();
+        bad.storage.pop();
+        assert!(BagArena::from_snapshot(&bad).is_none());
+        let mut dup = snap.clone();
+        let first: Vec<u64> = dup.words(0).to_vec();
+        dup.storage.extend_from_slice(&first);
+        assert!(BagArena::from_snapshot(&dup).is_none());
     }
 
     fn duplicates_within(sharded: &ShardedArena) -> usize {

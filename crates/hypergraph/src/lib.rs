@@ -26,7 +26,7 @@ pub mod parse;
 pub mod random;
 pub mod stats;
 
-pub use arena::{BagArena, BagId, ShardedArena};
+pub use arena::{ArenaSnapshot, BagArena, BagId, ShardError, ShardedArena};
 pub use bitset::BitSet;
 pub use blocks::{BlockIndex, BlockIndexStats};
 pub use cache::{structural_hash, IndexCache, IndexCacheStats};

@@ -11,6 +11,7 @@
 //! `_ ' -`). The trailing period is optional, commas between edges are
 //! optional at line breaks.
 
+use crate::fxhash::FxHashSet;
 use crate::hypergraph::{Hypergraph, HypergraphBuilder};
 use std::fmt;
 
@@ -111,9 +112,16 @@ impl<'a> Cursor<'a> {
 }
 
 /// Parses the HyperBench text format into a [`Hypergraph`].
+///
+/// Malformed schemas are rejected with a positioned [`ParseError`] rather
+/// than silently normalised: a duplicate edge name would alias two
+/// distinct atoms under one name (and break name-based lookups
+/// downstream), and a vertex repeated within one edge is almost always a
+/// typo for a different vertex — both previously merged silently.
 pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
     let mut cur = Cursor::new(input);
     let mut b = HypergraphBuilder::new();
+    let mut edge_names: FxHashSet<String> = FxHashSet::default();
     loop {
         cur.skip_ws();
         if cur.peek().is_none() {
@@ -126,7 +134,14 @@ pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
             }
             break;
         }
+        let name_offset = cur.pos;
         let name = cur.ident()?.to_string();
+        if !edge_names.insert(name.clone()) {
+            return Err(ParseError {
+                offset: name_offset,
+                message: format!("duplicate edge name {name:?}"),
+            });
+        }
         cur.skip_ws();
         if !cur.eat(b'(') {
             return Err(cur.err("expected '(' after edge name"));
@@ -134,7 +149,15 @@ pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
         let mut verts: Vec<String> = Vec::new();
         loop {
             cur.skip_ws();
-            verts.push(cur.ident()?.to_string());
+            let vert_offset = cur.pos;
+            let vert = cur.ident()?.to_string();
+            if verts.contains(&vert) {
+                return Err(ParseError {
+                    offset: vert_offset,
+                    message: format!("vertex {vert:?} repeated within edge {name:?}"),
+                });
+            }
+            verts.push(vert);
             cur.skip_ws();
             match cur.bump() {
                 Some(b',') => continue,
@@ -203,6 +226,25 @@ mod tests {
         assert!(err.offset >= 5);
         assert!(parse_hypergraph("e1 a,b)").is_err());
         assert!(parse_hypergraph("e1(a,b). junk").is_err());
+    }
+
+    #[test]
+    fn duplicate_edge_names_are_rejected_with_position() {
+        let src = "e1(a,b),\ne1(b,c).";
+        let err = parse_hypergraph(src).unwrap_err();
+        assert_eq!(err.offset, src.find("\ne1").unwrap() + 1);
+        assert!(err.message.contains("duplicate edge name"), "{err}");
+        assert!(err.message.contains("e1"), "{err}");
+    }
+
+    #[test]
+    fn repeated_vertex_within_edge_is_rejected_with_position() {
+        let src = "e1(a,b,a)";
+        let err = parse_hypergraph(src).unwrap_err();
+        assert_eq!(err.offset, src.rfind('a').unwrap());
+        assert!(err.message.contains("repeated within edge"), "{err}");
+        // The same vertex across *different* edges stays legal.
+        assert!(parse_hypergraph("e1(a,b), e2(a,c).").is_ok());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum BindError {
     UnknownColumn(String),
     /// An unqualified column matches no table or more than one.
     AmbiguousColumn(String),
+    /// A `FROM` item references no columns at all (its atom would be a
+    /// disconnected Cartesian factor of the query hypergraph).
+    EmptyAtom(String),
 }
 
 impl fmt::Display for BindError {
@@ -29,6 +32,7 @@ impl fmt::Display for BindError {
             BindError::UnknownAlias(a) => write!(f, "unknown alias {a}"),
             BindError::UnknownColumn(c) => write!(f, "unknown column {c}"),
             BindError::AmbiguousColumn(c) => write!(f, "ambiguous unqualified column {c}"),
+            BindError::EmptyAtom(a) => write!(f, "atom {a} references no columns"),
         }
     }
 }
@@ -219,6 +223,90 @@ pub fn bind(q: &Query, db: &Database) -> Result<ConjunctiveQuery, BindError> {
     })
 }
 
+/// The query hypergraph of a parsed SQL query *without* a catalog:
+/// variables are the equivalence classes of referenced `alias.column`
+/// occurrences under the query's equality conditions, and every `FROM`
+/// item contributes its referenced columns' classes as one edge named by
+/// its alias. This is the ast-format entry point a decomposition service
+/// needs — a request carries only the query text, no database exists to
+/// [`bind`] against, and for decomposition purposes the columns a query
+/// never references are irrelevant anyway (they appear in no join).
+///
+/// Without a catalog an unqualified column can only be attributed when
+/// the query has a single `FROM` item ([`BindError::AmbiguousColumn`]
+/// otherwise), and a `FROM` item referencing no columns is rejected as
+/// [`BindError::EmptyAtom`] (it would be a disconnected Cartesian
+/// factor, which [`ConjunctiveQuery::hypergraph`] rejects too).
+pub fn ast_hypergraph(q: &Query) -> Result<Hypergraph, BindError> {
+    let mut aliases: FxHashMap<String, ()> = FxHashMap::default();
+    for t in &q.from {
+        aliases.insert(t.alias.clone(), ());
+    }
+    // Resolve a reference to its (alias, column-name) occurrence key.
+    let resolve = |qual: &Option<String>, col: &str| -> Result<(String, String), BindError> {
+        match qual {
+            Some(a) if aliases.contains_key(a) => Ok((a.clone(), col.to_string())),
+            Some(a) => Err(BindError::UnknownAlias(a.clone())),
+            None if q.from.len() == 1 => Ok((q.from[0].alias.clone(), col.to_string())),
+            None => Err(BindError::AmbiguousColumn(col.to_string())),
+        }
+    };
+    let mut uf = UnionFind::new();
+    let mut occ_ids: FxHashMap<(String, String), usize> = FxHashMap::default();
+    let mut occ_list: Vec<(String, String)> = Vec::new();
+    let mut intern = |key: (String, String), uf: &mut UnionFind| -> usize {
+        if let Some(&id) = occ_ids.get(&key) {
+            return id;
+        }
+        let id = uf.make();
+        occ_ids.insert(key.clone(), id);
+        occ_list.push(key);
+        id
+    };
+    for c in &q.conditions {
+        let l = resolve(&c.lhs.qualifier, &c.lhs.column)?;
+        let lid = intern(l, &mut uf);
+        if let CondRhs::Column(rc) = &c.rhs {
+            let r = resolve(&rc.qualifier, &rc.column)?;
+            let rid = intern(r, &mut uf);
+            uf.union(lid, rid);
+        }
+    }
+    let a = resolve(&q.agg_column.qualifier, &q.agg_column.column)?;
+    intern(a, &mut uf);
+
+    // One vertex per occurrence class, named after its root occurrence;
+    // one edge per FROM item over its referenced classes.
+    let mut b = HypergraphBuilder::new();
+    let mut vertex_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut edges: Vec<(String, Vec<usize>)> = q
+        .from
+        .iter()
+        .map(|t| (t.alias.clone(), Vec::new()))
+        .collect();
+    // Deterministic vertex numbering: walk occurrences in intern order.
+    for occ in 0..occ_list.len() {
+        let root = uf.find(occ);
+        let v = *vertex_of_root.entry(root).or_insert_with(|| {
+            let (alias, col) = &occ_list[root];
+            b.vertex(&format!("{alias}.{col}"))
+        });
+        let (alias, _) = &occ_list[occ];
+        if let Some((_, verts)) = edges.iter_mut().find(|(a2, _)| a2 == alias) {
+            if !verts.contains(&v) {
+                verts.push(v);
+            }
+        }
+    }
+    for (alias, verts) in edges {
+        if verts.is_empty() {
+            return Err(BindError::EmptyAtom(alias));
+        }
+        b.edge_ids(&alias, &verts);
+    }
+    Ok(b.build())
+}
+
 impl ConjunctiveQuery {
     /// The query hypergraph `H(q)`: vertex `i` is variable `i`, and every
     /// atom's variable set is an edge named after the atom's alias.
@@ -264,6 +352,42 @@ mod tests {
         db.add_table(Table::new("s", &["b", "c"], None));
         db.add_table(Table::new("t", &["c", "d"], None));
         db
+    }
+
+    #[test]
+    fn ast_hypergraph_matches_bound_hypergraph_shape() {
+        // Catalog-free binding sees exactly the referenced columns, which
+        // is also all `bind` puts into atoms — the hypergraphs agree up
+        // to vertex naming.
+        let q = parse_sql("SELECT MIN(r.a) FROM r, s, t WHERE r.b = s.b AND s.c = t.c").unwrap();
+        let ast_h = ast_hypergraph(&q).unwrap();
+        let bound_h = bind(&q, &db()).unwrap().hypergraph();
+        assert_eq!(ast_h.num_edges(), bound_h.num_edges());
+        assert_eq!(ast_h.num_vertices(), bound_h.num_vertices());
+        // A cyclic triangle query decomposes identically either way.
+        let tri =
+            parse_sql("SELECT MIN(x.a) FROM r AS x, s AS y, t AS z WHERE x.a = y.b AND y.c = z.c AND z.d = x.b")
+                .unwrap();
+        let h = ast_hypergraph(&tri).unwrap();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 3);
+    }
+
+    #[test]
+    fn ast_hypergraph_rejects_what_it_cannot_attribute() {
+        // Unqualified column over two tables: no catalog to disambiguate.
+        let q = parse_sql("SELECT MIN(b) FROM r, s WHERE r.a = s.c").unwrap();
+        assert!(matches!(
+            ast_hypergraph(&q),
+            Err(BindError::AmbiguousColumn(_))
+        ));
+        // Single table: unqualified columns attribute to it.
+        let q = parse_sql("SELECT MIN(a) FROM r WHERE a = b").unwrap();
+        let h = ast_hypergraph(&q).unwrap();
+        assert_eq!((h.num_edges(), h.num_vertices()), (1, 1));
+        // An atom referencing no columns is a Cartesian factor.
+        let q = parse_sql("SELECT MIN(r.a) FROM r, s WHERE r.a = r.b").unwrap();
+        assert!(matches!(ast_hypergraph(&q), Err(BindError::EmptyAtom(_))));
     }
 
     #[test]

@@ -18,6 +18,6 @@ pub mod rewrite;
 
 pub use ast::{Agg, Query};
 pub use cost_adapters::{CostContext, DbmsEstimateCost, TrueCardCost};
-pub use cq::{bind, BindError, ConjunctiveQuery};
+pub use cq::{ast_hypergraph, bind, BindError, ConjunctiveQuery};
 pub use parser::{parse_sql, SqlError};
 pub use plan::{atom_relations, build_plan, execute, DecompPlan, ExecResult};

@@ -1,0 +1,40 @@
+//! # softhw-service
+//!
+//! The decomposition service front-end: the paper's repeated-query
+//! setting (Algorithms 1–2 evaluated per schema, the Section 7 engine
+//! experiments) is a request/response workload, and this crate turns
+//! the workspace's cross-query machinery into a long-lived server for
+//! it.
+//!
+//! - [`wire`]: the newline-framed request/response format. Requests
+//!   carry a schema (HyperBench text or a SQL query routed through the
+//!   query AST) plus a request class (`SHW`, `SHW_LEQ k`, `HW`,
+//!   `HW_LEQ k`, `BEST eval k`, `STATS`); responses frame witness
+//!   decompositions as flat bag words + a dense node table
+//!   ([`wire::TdFrame`], built on
+//!   [`ArenaSnapshot`](softhw_hypergraph::ArenaSnapshot)).
+//! - [`state`]: the shared handler state — a bank of
+//!   [`DecompCache`](softhw_core::DecompCache) stripes routed by
+//!   [`structural_hash`](softhw_hypergraph::structural_hash), so
+//!   repeated schemas hit warm indexes, prepared instances, and
+//!   incremental sweep state, while distinct schemas proceed
+//!   concurrently.
+//! - [`server`]: the TCP listener and worker pool (std threads only,
+//!   like the rest of the workspace).
+//!
+//! Handlers are hardened end to end: malformed schemas, blown
+//! generation limits, and internal inconsistencies all produce `ERR`
+//! responses — the process never dies on request content. Concurrency
+//! correctness is property-tested: under simultaneous mixed-schema
+//! traffic the responses are bit-identical to a single-threaded replay
+//! of each stripe's processing order (`tests/service_props.rs`).
+
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod state;
+pub mod wire;
+
+pub use server::{handle_connection, roundtrip, ServeOptions, Server};
+pub use state::{ServiceConfig, ServiceState};
+pub use wire::{BodyFormat, EvalKind, Request, RequestClass, Response, TdFrame, WireError};

@@ -1,0 +1,202 @@
+//! The TCP front-end: a listener, a bounded worker pool, persistent
+//! connections.
+//!
+//! Connections are fanned out to a fixed pool of `std::thread::scope`
+//! workers through an mpsc channel (the same no-external-deps threading
+//! the `parallel` feature uses for solver fan-outs). Each connection
+//! carries any number of request frames; a worker reads a frame,
+//! dispatches it against the shared [`ServiceState`] (whose stripe locks
+//! provide all cross-connection synchronisation), writes the response
+//! frame, and loops until the client closes. A malformed frame gets an
+//! `ERR` response on the same connection; only transport errors drop it.
+
+use crate::state::ServiceState;
+use crate::wire::{read_frame, write_frame, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Server options; see field docs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:7401` (`:0` for an OS-picked port).
+    pub addr: String,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Stop after accepting this many connections (`None` = run
+    /// forever). Used by smoke tests and benchmarks for clean shutdown.
+    pub max_conns: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7401".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            max_conns: None,
+        }
+    }
+}
+
+/// A bound listener plus the shared state, ready to run.
+pub struct Server {
+    listener: TcpListener,
+    state: ServiceState,
+    opts: ServeOptions,
+}
+
+impl Server {
+    /// Binds the listener. The state is owned by the server and shared
+    /// by reference with the scoped workers — no leak, no `Arc`.
+    pub fn bind(opts: ServeOptions, state: ServiceState) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        Ok(Server {
+            listener,
+            state,
+            opts,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: runs until `max_conns` connections were accepted (or
+    /// forever), returning the number of connections served. Worker
+    /// panics are *contained*: `handle_connection` runs under
+    /// `catch_unwind`, so a panicking handler (a solver invariant the
+    /// hardened paths did not cover) kills only its own connection —
+    /// the worker keeps pulling from the queue, the pool never shrinks,
+    /// and the scope join at shutdown does not re-raise. State locks
+    /// recover from poisoning (and a cache poisoned mid-mutation at
+    /// worst degrades to the cold recompute paths).
+    pub fn run(self) -> io::Result<u64> {
+        let workers = self.opts.workers.max(1);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        let state = &self.state;
+        let mut accepted: u64 = 0;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Holding the lock only for the recv keeps the pool
+                    // work-stealing: whichever worker is free next takes
+                    // the next connection.
+                    let next = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(poisoned) => poisoned.into_inner().recv(),
+                    };
+                    match next {
+                        Ok(stream) => {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                handle_connection(stream, state)
+                            }));
+                        }
+                        Err(_) => break, // channel closed: shutting down
+                    }
+                });
+            }
+            for conn in self.listener.incoming() {
+                let stream = match conn {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                accepted += 1;
+                if tx.send(stream).is_err() {
+                    break;
+                }
+                if self.opts.max_conns.is_some_and(|m| accepted >= m) {
+                    break;
+                }
+            }
+            drop(tx); // unblock workers
+        });
+        Ok(accepted)
+    }
+}
+
+/// Serves one connection: frames in, frames out, until EOF or a
+/// transport error.
+pub fn handle_connection(stream: TcpStream, state: &ServiceState) {
+    // Nagle hurts small request/response frames.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let lines = match read_frame(&mut reader) {
+            Ok(Some(lines)) => lines,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,   // transport error / oversized frame
+        };
+        let response = match Request::decode(&lines) {
+            Ok(req) => state.handle(&req),
+            Err(e) => Response::error("parse", e),
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Client-side convenience: sends one request over an existing stream
+/// and reads the response frame.
+pub fn roundtrip(stream: &mut TcpStream, req: &Request) -> io::Result<Response> {
+    use std::io::Write as _;
+    stream.write_all(req.encode().as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let lines = read_frame(&mut reader)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-reply")
+    })?;
+    Response::decode(&lines).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServiceConfig;
+    use crate::wire::RequestClass;
+    use softhw_hypergraph::{named, render_hypergraph};
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let state = ServiceState::new(ServiceConfig::default());
+        let server = Server::bind(
+            ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                max_conns: Some(1),
+            },
+            state,
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let body = render_hypergraph(&named::h2());
+            // Several requests on one connection, mixed classes.
+            let r1 = roundtrip(&mut stream, &Request::new(RequestClass::Shw, body.clone()))
+                .expect("shw roundtrip");
+            assert!(matches!(r1, Response::Width { width: 2, .. }), "{r1:?}");
+            let r2 = roundtrip(
+                &mut stream,
+                &Request::new(RequestClass::ShwLeq(1), body.clone()),
+            )
+            .expect("leq roundtrip");
+            assert!(matches!(r2, Response::Decision { td: None, .. }), "{r2:?}");
+            let r3 = roundtrip(&mut stream, &Request::new(RequestClass::Shw, "e1(a,"))
+                .expect("error roundtrip");
+            assert!(matches!(r3, Response::Error { .. }), "{r3:?}");
+        });
+        let served = server.run().expect("serve");
+        assert_eq!(served, 1);
+        client.join().expect("client thread");
+    }
+}

@@ -1,0 +1,443 @@
+//! Request handling against a striped cross-query cache.
+//!
+//! The state the service shares across connections is a bank of
+//! [`DecompCache`]s ("stripes"), each behind its own mutex. A request's
+//! schema is parsed, hashed with [`structural_hash`], and routed to
+//! stripe `hash mod stripes`: requests over the *same* schema always
+//! meet the same warm cache (index, prepared instances,
+//! [`IncrementalSweep`](softhw_core::IncrementalSweep) state, width
+//! decisions), while requests over different schemas almost always run
+//! concurrently on different stripes. Within one stripe the mutex
+//! serialises handlers, and every cached entry point is deterministic,
+//! so the response to a request depends only on the sequence of
+//! requests its stripe processed before it — which is what the
+//! concurrency property test replays and checks, response for response.
+//!
+//! Handlers never panic on request content: schema errors, blown
+//! generation limits, and internal inconsistencies (degraded to cold
+//! recomputes inside [`DecompCache`]) all map to `ERR` responses.
+
+use crate::wire::{BodyFormat, EvalKind, Request, RequestClass, Response, TdFrame};
+use softhw_core::constraints::{ConCov, ShallowCyc, Trivial};
+use softhw_core::ctd_opt::best_on;
+use softhw_core::error::DecompError;
+use softhw_core::soft::{soft_bags_with, SoftLimits};
+use softhw_core::DecompCache;
+use softhw_hypergraph::cache::structural_hash;
+use softhw_hypergraph::{parse_hypergraph, stats, Hypergraph};
+use std::sync::{Mutex, PoisonError};
+
+/// Tuning knobs of a [`ServiceState`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of cache stripes (concurrently lockable cache shards).
+    pub stripes: usize,
+    /// Per-stripe [`DecompCache`] capacity (structurally distinct
+    /// schemas before LRU eviction).
+    pub cache_capacity: usize,
+    /// Candidate-generation guards applied to every request.
+    pub limits: SoftLimits,
+    /// Largest schema (edge count) a request may carry.
+    pub max_edges: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            stripes: 8,
+            cache_capacity: softhw_core::cache::DEFAULT_MAX_GRAPHS,
+            limits: SoftLimits::default(),
+            max_edges: 100_000,
+        }
+    }
+}
+
+struct Stripe {
+    cache: DecompCache,
+    /// Tags of the requests this stripe processed, in lock order — the
+    /// linearisation record the concurrency property test replays.
+    log: Vec<u64>,
+}
+
+/// Shared, thread-safe service state: the striped cache bank.
+pub struct ServiceState {
+    config: ServiceConfig,
+    stripes: Vec<Mutex<Stripe>>,
+}
+
+impl ServiceState {
+    /// Fresh state under `config` (stripe count clamped to ≥ 1).
+    pub fn new(config: ServiceConfig) -> ServiceState {
+        let stripes = (0..config.stripes.max(1))
+            .map(|_| {
+                Mutex::new(Stripe {
+                    cache: DecompCache::with_capacity(config.cache_capacity),
+                    log: Vec::new(),
+                })
+            })
+            .collect();
+        ServiceState { config, stripes }
+    }
+
+    /// The configuration this state was created with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Per-stripe request-tag logs in processing (lock) order, for
+    /// replay verification.
+    pub fn stripe_logs(&self) -> Vec<Vec<u64>> {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).log.clone())
+            .collect()
+    }
+
+    /// Handles one request end to end.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.handle_tagged(req, None)
+    }
+
+    /// [`ServiceState::handle`], additionally recording `tag` in the
+    /// routed stripe's processing log (under the same lock acquisition
+    /// that serves the request).
+    pub fn handle_tagged(&self, req: &Request, tag: Option<u64>) -> Response {
+        let h = match self.schema(req) {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
+        let hash = structural_hash(&h);
+        let stripe = &self.stripes[(hash % self.stripes.len() as u64) as usize];
+        let mut stripe = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(tag) = tag {
+            stripe.log.push(tag);
+        }
+        self.dispatch(req, &h, &mut stripe.cache)
+    }
+
+    /// Parses and validates the request's schema.
+    fn schema(&self, req: &Request) -> Result<Hypergraph, Response> {
+        let h = match req.format {
+            BodyFormat::HyperBench => {
+                parse_hypergraph(&req.body).map_err(|e| Response::error("parse", e))?
+            }
+            BodyFormat::Sql => {
+                let q =
+                    softhw_query::parse_sql(&req.body).map_err(|e| Response::error("parse", e))?;
+                softhw_query::ast_hypergraph(&q).map_err(|e| Response::error("parse", e))?
+            }
+        };
+        if h.num_edges() == 0 {
+            return Err(Response::error("request", "empty schema"));
+        }
+        if h.num_edges() > self.config.max_edges {
+            return Err(Response::error(
+                "request",
+                format!(
+                    "schema has {} edges, limit is {}",
+                    h.num_edges(),
+                    self.config.max_edges
+                ),
+            ));
+        }
+        Ok(h)
+    }
+
+    fn dispatch(&self, req: &Request, h: &Hypergraph, cache: &mut DecompCache) -> Response {
+        // Soft_{H,k} is invariant in k beyond |E(H)| (λ-subsets never
+        // repeat edges), so clamp the *computation* width — an absurd
+        // requested k must not size scratch pools.
+        let clamp = |k: usize| k.min(h.num_edges());
+        match req.class {
+            RequestClass::Shw => match cache.try_shw_with(h, &self.config.limits) {
+                Ok((width, td)) => Response::Width {
+                    class: "SHW".into(),
+                    width,
+                    td: TdFrame::from_td(&td, h.num_vertices()),
+                },
+                Err(e) => decomp_error(e),
+            },
+            RequestClass::ShwLeq(k) => {
+                if k == 0 {
+                    return Response::error("request", "width must be >= 1");
+                }
+                match cache.shw_leq(h, clamp(k), &self.config.limits) {
+                    Ok(td) => Response::Decision {
+                        class: "SHW_LEQ".into(),
+                        fields: Vec::new(),
+                        k,
+                        td: td.map(|td| TdFrame::from_td(&td, h.num_vertices())),
+                    },
+                    Err(e) => decomp_error(e),
+                }
+            }
+            RequestClass::Hw => {
+                // Manual sweep over the memoised decision so an input no
+                // width accepts degrades to an error, not a panic.
+                let mut found = None;
+                for k in 1..=h.num_edges().max(1) {
+                    if let Some(ghd) = cache.hw_leq(h, k) {
+                        found = Some((k, ghd));
+                        break;
+                    }
+                }
+                match found {
+                    Some((width, ghd)) => Response::Width {
+                        class: "HW".into(),
+                        width,
+                        td: TdFrame::from_td(&ghd.td, h.num_vertices()),
+                    },
+                    None => Response::error("internal", "no width up to |E(H)| admits an HD"),
+                }
+            }
+            RequestClass::HwLeq(k) => {
+                if k == 0 {
+                    return Response::error("request", "width must be >= 1");
+                }
+                let ghd = cache.hw_leq(h, clamp(k));
+                Response::Decision {
+                    class: "HW_LEQ".into(),
+                    fields: Vec::new(),
+                    k,
+                    td: ghd.map(|g| TdFrame::from_td(&g.td, h.num_vertices())),
+                }
+            }
+            RequestClass::Best(eval, k) => {
+                if k == 0 {
+                    return Response::error("request", "width must be >= 1");
+                }
+                let bags = match soft_bags_with(h, clamp(k), &self.config.limits) {
+                    Ok(bags) => bags,
+                    Err(e) => return decomp_error(e.into()),
+                };
+                let inst = cache.instance_for(h, &bags);
+                let mut fields = vec![("eval".to_string(), eval.token())];
+                let best = match eval {
+                    EvalKind::Trivial => best_on(inst, &Trivial).map(|(td, ())| (td, None)),
+                    EvalKind::ConCov => {
+                        best_on(inst, &ConCov { k: clamp(k) }).map(|(td, ())| (td, None))
+                    }
+                    EvalKind::Shallow(d) => {
+                        best_on(inst, &ShallowCyc { d }).map(|(td, cost)| (td, Some(cost)))
+                    }
+                };
+                if let Some((_, Some(cost))) = &best {
+                    fields.push(("cost".to_string(), cost.to_string()));
+                }
+                Response::Decision {
+                    class: "BEST".into(),
+                    fields,
+                    k,
+                    td: best.map(|(td, _)| TdFrame::from_td(&td, h.num_vertices())),
+                }
+            }
+            RequestClass::Stats => {
+                let s = stats::stats(h);
+                let c = cache.stats();
+                let fields = vec![
+                    ("vertices".to_string(), s.num_vertices.to_string()),
+                    ("edges".to_string(), s.num_edges.to_string()),
+                    ("max_arity".to_string(), s.max_arity.to_string()),
+                    ("components".to_string(), s.components.to_string()),
+                    ("tracked".to_string(), cache.tracked_graphs().to_string()),
+                    ("instance_hits".to_string(), c.instance_hits.to_string()),
+                    ("result_hits".to_string(), c.result_hits.to_string()),
+                    ("evictions".to_string(), c.evictions.to_string()),
+                ];
+                Response::Stats { fields }
+            }
+        }
+    }
+}
+
+/// Maps a [`DecompError`] onto the wire's error categories.
+fn decomp_error(e: DecompError) -> Response {
+    match &e {
+        DecompError::Limit(_) | DecompError::Shards(_) => Response::error("limit", e),
+        DecompError::Internal { .. } => Response::error("internal", e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softhw_core::{hw, shw};
+    use softhw_hypergraph::{named, render_hypergraph};
+
+    fn state() -> ServiceState {
+        ServiceState::new(ServiceConfig::default())
+    }
+
+    #[test]
+    fn shw_responses_match_library() {
+        let st = state();
+        for h in [named::h2(), named::cycle(6), named::grid(3, 3)] {
+            let body = render_hypergraph(&h);
+            // The schema as both server and client see it: the text form
+            // (rendering renumbers vertices relative to the builder).
+            let h = softhw_hypergraph::parse_hypergraph(&body).unwrap();
+            let req = Request::new(RequestClass::Shw, body);
+            // Twice: the warm path must answer identically.
+            let first = st.handle(&req);
+            let again = st.handle(&req);
+            assert_eq!(first, again);
+            let (cold_w, _) = shw::shw(&h);
+            match first {
+                Response::Width { class, width, td } => {
+                    assert_eq!(class, "SHW");
+                    assert_eq!(width, cold_w);
+                    let td = td.to_td().unwrap();
+                    assert_eq!(td.validate(&h), Ok(()));
+                    assert!(td.is_comp_nf(&h));
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_and_hw_match_library() {
+        let st = state();
+        let body = render_hypergraph(&named::h2());
+        // Validate against the text form's numbering (what the wire
+        // carries), not the builder's.
+        let h = softhw_hypergraph::parse_hypergraph(&body).unwrap();
+        // shw(H2) = 2: k = 1 rejects, k = 2 accepts with valid witness.
+        match st.handle(&Request::new(RequestClass::ShwLeq(1), body.clone())) {
+            Response::Decision { td, .. } => assert!(td.is_none()),
+            other => panic!("{other:?}"),
+        }
+        match st.handle(&Request::new(RequestClass::ShwLeq(2), body.clone())) {
+            Response::Decision { td, .. } => {
+                let td = td.expect("shw(H2) <= 2").to_td().unwrap();
+                assert_eq!(td.validate(&h), Ok(()));
+            }
+            other => panic!("{other:?}"),
+        }
+        let (hw_w, _) = hw::hw(&h);
+        match st.handle(&Request::new(RequestClass::Hw, body.clone())) {
+            Response::Width { class, width, td } => {
+                assert_eq!(class, "HW");
+                assert_eq!(width, hw_w);
+                // The framed tree is the GHD's underlying TD; covers can
+                // be rebuilt client-side at the reported width.
+                let td = td.to_td().unwrap();
+                let ghd = softhw_core::ghd::Ghd::from_td(&h, td, width).unwrap();
+                assert!(ghd.validate(&h).is_ok());
+            }
+            other => panic!("{other:?}"),
+        }
+        // BEST with ConCov: width 2 suffices on C4 (Example 3's D2) but
+        // not on C5 (Section 6's width jump to 3).
+        let c4 = render_hypergraph(&named::cycle(4));
+        match st.handle(&Request::new(RequestClass::Best(EvalKind::ConCov, 2), c4)) {
+            Response::Decision { class, td, .. } => {
+                assert_eq!(class, "BEST");
+                assert!(td.is_some(), "ConCov-shw(C4) = 2");
+                let c4h = softhw_hypergraph::parse_hypergraph(&render_hypergraph(&named::cycle(4)))
+                    .unwrap();
+                assert_eq!(td.unwrap().to_td().unwrap().validate(&c4h), Ok(()));
+            }
+            other => panic!("{other:?}"),
+        }
+        let c5 = render_hypergraph(&named::cycle(5));
+        match st.handle(&Request::new(RequestClass::Best(EvalKind::ConCov, 2), c5)) {
+            Response::Decision { td, .. } => assert!(td.is_none(), "ConCov-shw(C5) = 3"),
+            other => panic!("{other:?}"),
+        }
+        match st.handle(&Request::new(RequestClass::Stats, body)) {
+            Response::Stats { fields } => {
+                let get = |k: &str| {
+                    fields
+                        .iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.clone())
+                };
+                assert_eq!(get("vertices").as_deref(), Some("10"));
+                assert_eq!(get("edges").as_deref(), Some("8"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_bodies_route_through_the_query_ast() {
+        let st = state();
+        let mut req = Request::new(
+            RequestClass::Shw,
+            "SELECT MIN(r.a) FROM r, s, t WHERE r.b = s.b AND s.c = t.c",
+        );
+        req.format = BodyFormat::Sql;
+        match st.handle(&req) {
+            Response::Width { width, .. } => assert_eq!(width, 1, "path query is acyclic"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_become_error_responses() {
+        let st = state();
+        // Unparsable schema.
+        let r = st.handle(&Request::new(RequestClass::Shw, "e1(a,"));
+        assert!(
+            matches!(r, Response::Error { ref kind, .. } if kind == "parse"),
+            "{r:?}"
+        );
+        // The duplicate-name rejection reaches the wire.
+        let r = st.handle(&Request::new(RequestClass::Shw, "e1(a,b), e1(b,c)."));
+        assert!(
+            matches!(r, Response::Error { ref kind, .. } if kind == "parse"),
+            "{r:?}"
+        );
+        // Empty schema.
+        let r = st.handle(&Request::new(RequestClass::Shw, "% nothing"));
+        assert!(
+            matches!(r, Response::Error { ref kind, .. } if kind == "request"),
+            "{r:?}"
+        );
+        // Zero width.
+        let r = st.handle(&Request::new(RequestClass::ShwLeq(0), "e1(a,b)."));
+        assert!(
+            matches!(r, Response::Error { ref kind, .. } if kind == "request"),
+            "{r:?}"
+        );
+        // Blown limits surface as limit errors, and the stripe still
+        // serves later requests.
+        let tight = ServiceState::new(ServiceConfig {
+            limits: SoftLimits {
+                max_lambda_sets: 2,
+                max_bags: 2,
+            },
+            ..ServiceConfig::default()
+        });
+        let grid = render_hypergraph(&named::grid(3, 3));
+        let r = tight.handle(&Request::new(RequestClass::Shw, grid));
+        assert!(
+            matches!(r, Response::Error { ref kind, .. } if kind == "limit"),
+            "{r:?}"
+        );
+        let ok = tight.handle(&Request::new(RequestClass::Shw, "e1(a,b)."));
+        assert!(matches!(ok, Response::Width { width: 1, .. }), "{ok:?}");
+    }
+
+    #[test]
+    fn absurd_widths_are_clamped_not_allocated() {
+        let st = state();
+        let r = st.handle(&Request::new(
+            RequestClass::ShwLeq(usize::MAX),
+            render_hypergraph(&named::h2()),
+        ));
+        match r {
+            Response::Decision { k, td, .. } => {
+                assert_eq!(k, usize::MAX);
+                assert!(td.is_some(), "shw(H2) = 2 <= clamp(|E|)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,773 @@
+//! The service wire format: newline-framed requests and responses.
+//!
+//! Every frame is a header line, zero or more body lines, and a `%%`
+//! terminator line. Body lines beginning with `%` (HyperBench comments)
+//! are *stuffed* on the wire — the encoder prefixes them with `% ` and
+//! the reader strips it — so no schema content, not even a comment line
+//! that is literally `%%`, can collide with the terminator. The format
+//! is human-typable (`nc` is a usable client; just don't start typed
+//! body lines with a bare `%`) but the decomposition payload is
+//! machine-dense: a
+//! [`TdFrame`] is a flat framing of deduplicated **bag words** (an
+//! [`ArenaSnapshot`] — every distinct bag once, `words_per_bag` `u64`s
+//! back to back in id order, hex on the wire) plus a **node table** of
+//! `(parent, bag-id)` pairs in preorder. The arena's dense `u32` ids do
+//! all the work: nodes reference bags by index, equal bags are framed
+//! once, and decoding is two linear passes with no name resolution.
+//!
+//! ```text
+//! request  := header-line body-line* "%%"
+//! header   := "SHW" ["sql"]
+//!           | "SHW_LEQ" k ["sql"]
+//!           | "HW" ["sql"] | "HW_LEQ" k ["sql"]
+//!           | "BEST" eval k ["sql"]          eval ∈ trivial|concov|shallow:<d>
+//!           | "STATS" ["sql"]
+//! body     := HyperBench schema text, or (with "sql") a SQL query
+//!
+//! response := ("OK" class key=value* | "ERR" kind message) td-frame? "%%"
+//! td-frame := "TD" nodes=<n> bags=<b> universe=<u> words=<w>
+//!             ("A" hex-word{w})*b        — bag words, id = line order
+//!             ("N" (parent|"-") bag-id)*n — preorder node table
+//! ```
+
+use softhw_core::td::TreeDecomposition;
+use softhw_hypergraph::arena::words_iter;
+use softhw_hypergraph::{ArenaSnapshot, BagArena, BitSet};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Hard ceiling on body lines per frame (a malformed or hostile client
+/// must not make the server buffer unboundedly).
+pub const MAX_FRAME_LINES: usize = 100_000;
+/// Hard ceiling on a single frame line's byte length.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A malformed frame (decode-side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Preference evaluator selector of a `BEST` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalKind {
+    /// Any CTD (Algorithm 1 through the Algorithm 2 engine).
+    Trivial,
+    /// `ConCov`: every bag has a connected edge cover of size ≤ k.
+    ConCov,
+    /// `ShallowCyc_d`: cyclic bags only within depth `d`; prefers
+    /// shallower cyclicity.
+    Shallow(i64),
+}
+
+impl EvalKind {
+    /// The wire token of the evaluator (`trivial`, `concov`,
+    /// `shallow:<d>`).
+    pub fn token(&self) -> String {
+        match self {
+            EvalKind::Trivial => "trivial".into(),
+            EvalKind::ConCov => "concov".into(),
+            EvalKind::Shallow(d) => format!("shallow:{d}"),
+        }
+    }
+
+    fn parse(tok: &str) -> Result<EvalKind, WireError> {
+        if tok == "trivial" {
+            return Ok(EvalKind::Trivial);
+        }
+        if tok == "concov" {
+            return Ok(EvalKind::ConCov);
+        }
+        if let Some(d) = tok.strip_prefix("shallow:") {
+            let d: i64 = d
+                .parse()
+                .map_err(|_| WireError::new(format!("bad shallow depth {d:?}")))?;
+            return Ok(EvalKind::Shallow(d));
+        }
+        Err(WireError::new(format!("unknown evaluator {tok:?}")))
+    }
+}
+
+/// What a request asks of the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Exact `shw` with witness.
+    Shw,
+    /// Decide `shw ≤ k`, witness on accept.
+    ShwLeq(usize),
+    /// Exact `hw` with witness.
+    Hw,
+    /// Decide `hw ≤ k`, witness on accept.
+    HwLeq(usize),
+    /// Algorithm 2: best CTD over `Soft_{H,k}` under an evaluator.
+    Best(EvalKind, usize),
+    /// Structural + cache statistics, no decomposition.
+    Stats,
+}
+
+impl RequestClass {
+    /// The wire name of the class (also used in `OK` response headers).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestClass::Shw => "SHW",
+            RequestClass::ShwLeq(_) => "SHW_LEQ",
+            RequestClass::Hw => "HW",
+            RequestClass::HwLeq(_) => "HW_LEQ",
+            RequestClass::Best(..) => "BEST",
+            RequestClass::Stats => "STATS",
+        }
+    }
+}
+
+/// How the request body encodes the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BodyFormat {
+    /// HyperBench plain-text hypergraph (the default).
+    #[default]
+    HyperBench,
+    /// A SQL query; the schema is its query hypergraph (ast-format).
+    Sql,
+}
+
+/// One service request: a class plus the schema body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// What to compute.
+    pub class: RequestClass,
+    /// How to read the body.
+    pub format: BodyFormat,
+    /// The schema text (HyperBench or SQL).
+    pub body: String,
+}
+
+impl Request {
+    /// A HyperBench-format request.
+    pub fn new(class: RequestClass, body: impl Into<String>) -> Request {
+        Request {
+            class,
+            format: BodyFormat::HyperBench,
+            body: body.into(),
+        }
+    }
+
+    /// Serialises the request frame (including the terminator).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self.class {
+            RequestClass::Shw => out.push_str("SHW"),
+            RequestClass::ShwLeq(k) => {
+                let _ = write!(out, "SHW_LEQ {k}");
+            }
+            RequestClass::Hw => out.push_str("HW"),
+            RequestClass::HwLeq(k) => {
+                let _ = write!(out, "HW_LEQ {k}");
+            }
+            RequestClass::Best(eval, k) => {
+                let _ = write!(out, "BEST {} {k}", eval.token());
+            }
+            RequestClass::Stats => out.push_str("STATS"),
+        }
+        if self.format == BodyFormat::Sql {
+            out.push_str(" sql");
+        }
+        out.push('\n');
+        for line in self.body.lines() {
+            // Stuff body lines starting with '%' (HyperBench comments —
+            // including a comment line that is literally "%%") so they
+            // can never collide with the bare "%%" frame terminator:
+            // on the wire every content line beginning with '%' starts
+            // "% ", and `read_frame` strips the prefix back off.
+            if line.starts_with('%') {
+                out.push_str("% ");
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("%%\n");
+        out
+    }
+
+    /// Decodes a request from frame lines (header first, no terminator).
+    pub fn decode(lines: &[String]) -> Result<Request, WireError> {
+        let header = lines.first().ok_or_else(|| WireError::new("empty frame"))?;
+        let mut toks: Vec<&str> = header.split_whitespace().collect();
+        let format = if toks.last() == Some(&"sql") {
+            toks.pop();
+            BodyFormat::Sql
+        } else {
+            BodyFormat::HyperBench
+        };
+        let parse_k = |tok: Option<&&str>| -> Result<usize, WireError> {
+            let tok = tok.ok_or_else(|| WireError::new("missing width argument"))?;
+            tok.parse()
+                .map_err(|_| WireError::new(format!("bad width {tok:?}")))
+        };
+        let class = match toks.first().copied() {
+            Some("SHW") => RequestClass::Shw,
+            Some("SHW_LEQ") => RequestClass::ShwLeq(parse_k(toks.get(1))?),
+            Some("HW") => RequestClass::Hw,
+            Some("HW_LEQ") => RequestClass::HwLeq(parse_k(toks.get(1))?),
+            Some("BEST") => {
+                let eval = EvalKind::parse(
+                    toks.get(1)
+                        .ok_or_else(|| WireError::new("missing evaluator"))?,
+                )?;
+                RequestClass::Best(eval, parse_k(toks.get(2))?)
+            }
+            Some("STATS") => RequestClass::Stats,
+            other => return Err(WireError::new(format!("unknown request class {other:?}"))),
+        };
+        Ok(Request {
+            class,
+            format,
+            body: lines[1..].join("\n"),
+        })
+    }
+}
+
+/// A serialised tree decomposition: deduplicated bag words (an arena
+/// snapshot) plus a `(parent, bag-id)` node table in preorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TdFrame {
+    /// The vertex universe the bags are over.
+    pub universe: usize,
+    /// Every distinct bag's words, back to back in id order.
+    pub snapshot: ArenaSnapshot,
+    /// `(parent index, bag id)` per node, preorder; the root is node 0
+    /// with no parent.
+    pub nodes: Vec<(Option<u32>, u32)>,
+}
+
+impl TdFrame {
+    /// Frames a decomposition over a `universe`-vertex hypergraph.
+    pub fn from_td(td: &TreeDecomposition, universe: usize) -> TdFrame {
+        let order = td.preorder();
+        let mut new_id = vec![u32::MAX; td.num_nodes()];
+        for (i, &u) in order.iter().enumerate() {
+            new_id[u] = i as u32;
+        }
+        let mut arena = BagArena::new(universe);
+        let nodes = order
+            .iter()
+            .map(|&u| {
+                let bag = arena.intern(td.bag(u));
+                (td.parent(u).map(|p| new_id[p]), bag.0)
+            })
+            .collect();
+        TdFrame {
+            universe,
+            snapshot: arena.snapshot(),
+            nodes,
+        }
+    }
+
+    /// Reconstructs the decomposition. Fails on a corrupt frame (bag or
+    /// parent references out of range, wrong preorder) instead of
+    /// panicking.
+    pub fn to_td(&self) -> Result<TreeDecomposition, WireError> {
+        let num_bags = self.snapshot.len();
+        if self.snapshot.universe != self.universe
+            || self.snapshot.words_per_bag() != self.universe.div_ceil(64).max(1)
+        {
+            return Err(WireError::new("snapshot width disagrees with universe"));
+        }
+        // Bits in the last word's slack (universe..words*64) would decode
+        // into nonexistent vertices; reject them explicitly.
+        let tail_bits = self.universe % 64;
+        let last_word_mask = if self.universe == 0 {
+            0
+        } else if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        let bag = |id: u32| -> Result<BitSet, WireError> {
+            if (id as usize) >= num_bags {
+                return Err(WireError::new(format!("bag id {id} out of range")));
+            }
+            let words = self.snapshot.words(id as usize);
+            let Some((last, _)) = words.split_last() else {
+                return Err(WireError::new("empty bag words"));
+            };
+            if last & !last_word_mask != 0 {
+                return Err(WireError::new("bag words exceed the universe"));
+            }
+            Ok(BitSet::from_iter(self.universe, words_iter(words)))
+        };
+        let (first, rest) = self
+            .nodes
+            .split_first()
+            .ok_or_else(|| WireError::new("decomposition frame with no nodes"))?;
+        if first.0.is_some() {
+            return Err(WireError::new("root node has a parent"));
+        }
+        let mut td = TreeDecomposition::new(bag(first.1)?);
+        for (i, &(parent, b)) in rest.iter().enumerate() {
+            let node = i + 1;
+            let Some(p) = parent else {
+                return Err(WireError::new("non-root node without parent"));
+            };
+            if (p as usize) >= node {
+                return Err(WireError::new("node table is not in preorder"));
+            }
+            td.add_child(p as usize, bag(b)?);
+        }
+        Ok(td)
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "TD nodes={} bags={} universe={} words={}",
+            self.nodes.len(),
+            self.snapshot.len(),
+            self.universe,
+            self.snapshot.words_per_bag()
+        );
+        for i in 0..self.snapshot.len() {
+            out.push('A');
+            for w in self.snapshot.words(i) {
+                let _ = write!(out, " {w:016x}");
+            }
+            out.push('\n');
+        }
+        for &(parent, bag) in &self.nodes {
+            match parent {
+                Some(p) => {
+                    let _ = writeln!(out, "N {p} {bag}");
+                }
+                None => {
+                    let _ = writeln!(out, "N - {bag}");
+                }
+            }
+        }
+    }
+
+    /// Decodes the frame from its lines (the `TD` header plus `A`/`N`
+    /// lines).
+    fn decode(lines: &[String]) -> Result<TdFrame, WireError> {
+        let header = lines
+            .first()
+            .ok_or_else(|| WireError::new("missing TD header"))?;
+        let mut nodes_n = None;
+        let mut bags_n = None;
+        let mut universe = None;
+        let mut words = None;
+        for tok in header.split_whitespace().skip(1) {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| WireError::new(format!("bad TD field {tok:?}")))?;
+            let value: usize = value
+                .parse()
+                .map_err(|_| WireError::new(format!("bad TD value {tok:?}")))?;
+            match key {
+                "nodes" => nodes_n = Some(value),
+                "bags" => bags_n = Some(value),
+                "universe" => universe = Some(value),
+                "words" => words = Some(value),
+                _ => return Err(WireError::new(format!("unknown TD field {key:?}"))),
+            }
+        }
+        let (Some(nodes_n), Some(bags_n), Some(universe), Some(words)) =
+            (nodes_n, bags_n, universe, words)
+        else {
+            return Err(WireError::new("incomplete TD header"));
+        };
+        if words != universe.div_ceil(64).max(1) {
+            return Err(WireError::new("TD word width disagrees with universe"));
+        }
+        if lines.len() != 1 + bags_n + nodes_n {
+            return Err(WireError::new("TD frame line count mismatch"));
+        }
+        let mut storage = Vec::with_capacity(bags_n * words);
+        for line in &lines[1..1 + bags_n] {
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("A") {
+                return Err(WireError::new("expected bag line"));
+            }
+            let mut count = 0;
+            for t in toks {
+                let w = u64::from_str_radix(t, 16)
+                    .map_err(|_| WireError::new(format!("bad bag word {t:?}")))?;
+                storage.push(w);
+                count += 1;
+            }
+            if count != words {
+                return Err(WireError::new("bag line with wrong word count"));
+            }
+        }
+        let mut nodes = Vec::with_capacity(nodes_n);
+        for line in &lines[1 + bags_n..] {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 3 || toks[0] != "N" {
+                return Err(WireError::new("expected node line"));
+            }
+            let parent = if toks[1] == "-" {
+                None
+            } else {
+                Some(
+                    toks[1]
+                        .parse()
+                        .map_err(|_| WireError::new(format!("bad parent {:?}", toks[1])))?,
+                )
+            };
+            let bag: u32 = toks[2]
+                .parse()
+                .map_err(|_| WireError::new(format!("bad bag id {:?}", toks[2])))?;
+            nodes.push((parent, bag));
+        }
+        Ok(TdFrame {
+            universe,
+            snapshot: ArenaSnapshot { universe, storage },
+            nodes,
+        })
+    }
+}
+
+/// One service response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Exact width (SHW / HW) with witness.
+    Width {
+        /// The request class name (`SHW` or `HW`).
+        class: String,
+        /// The computed width.
+        width: usize,
+        /// The witness decomposition.
+        td: TdFrame,
+    },
+    /// A `≤ k` decision (SHW_LEQ / HW_LEQ / BEST), witness on accept.
+    Decision {
+        /// The request class name.
+        class: String,
+        /// Extra `key=value` fields (e.g. `eval`, `cost`).
+        fields: Vec<(String, String)>,
+        /// The width asked about.
+        k: usize,
+        /// The witness, present iff the answer is yes.
+        td: Option<TdFrame>,
+    },
+    /// Statistics (`STATS`), flat `key=value` fields.
+    Stats {
+        /// The fields, in emission order.
+        fields: Vec<(String, String)>,
+    },
+    /// The request failed; `kind` is one of `parse`, `request`, `limit`,
+    /// `internal`.
+    Error {
+        /// Failure category.
+        kind: String,
+        /// Human-readable detail (single line).
+        message: String,
+    },
+}
+
+impl Response {
+    /// An error response with a sanitised single-line message.
+    pub fn error(kind: &str, message: impl std::fmt::Display) -> Response {
+        Response::Error {
+            kind: kind.to_string(),
+            message: message.to_string().replace('\n', " "),
+        }
+    }
+
+    /// Serialises the response frame (including the terminator).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Response::Width { class, width, td } => {
+                let _ = writeln!(out, "OK {class} width={width}");
+                td.encode_into(&mut out);
+            }
+            Response::Decision {
+                class,
+                fields,
+                k,
+                td,
+            } => {
+                let _ = write!(out, "OK {class} k={k}");
+                for (key, value) in fields {
+                    let _ = write!(out, " {key}={value}");
+                }
+                let _ = writeln!(out, " answer={}", if td.is_some() { "yes" } else { "no" });
+                if let Some(td) = td {
+                    td.encode_into(&mut out);
+                }
+            }
+            Response::Stats { fields } => {
+                out.push_str("OK STATS");
+                for (key, value) in fields {
+                    let _ = write!(out, " {key}={value}");
+                }
+                out.push('\n');
+            }
+            Response::Error { kind, message } => {
+                let _ = writeln!(out, "ERR {kind} {message}");
+            }
+        }
+        out.push_str("%%\n");
+        out
+    }
+
+    /// Decodes a response from frame lines (no terminator).
+    pub fn decode(lines: &[String]) -> Result<Response, WireError> {
+        let header = lines.first().ok_or_else(|| WireError::new("empty frame"))?;
+        if let Some(rest) = header.strip_prefix("ERR ") {
+            let (kind, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            return Ok(Response::Error {
+                kind: kind.to_string(),
+                message: message.to_string(),
+            });
+        }
+        let rest = header
+            .strip_prefix("OK ")
+            .ok_or_else(|| WireError::new(format!("bad response header {header:?}")))?;
+        let mut toks = rest.split_whitespace();
+        let class = toks
+            .next()
+            .ok_or_else(|| WireError::new("missing response class"))?
+            .to_string();
+        let mut fields: Vec<(String, String)> = Vec::new();
+        for tok in toks {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| WireError::new(format!("bad response field {tok:?}")))?;
+            fields.push((key.to_string(), value.to_string()));
+        }
+        let take = |fields: &mut Vec<(String, String)>, key: &str| -> Option<String> {
+            let pos = fields.iter().position(|(k2, _)| k2 == key)?;
+            Some(fields.remove(pos).1)
+        };
+        if class == "STATS" {
+            return Ok(Response::Stats { fields });
+        }
+        if class == "SHW" || class == "HW" {
+            let width: usize = take(&mut fields, "width")
+                .ok_or_else(|| WireError::new("missing width"))?
+                .parse()
+                .map_err(|_| WireError::new("bad width"))?;
+            let td = TdFrame::decode(&lines[1..])?;
+            return Ok(Response::Width { class, width, td });
+        }
+        let k: usize = take(&mut fields, "k")
+            .ok_or_else(|| WireError::new("missing k"))?
+            .parse()
+            .map_err(|_| WireError::new("bad k"))?;
+        let answer = take(&mut fields, "answer").ok_or_else(|| WireError::new("missing answer"))?;
+        let td = match answer.as_str() {
+            "yes" => Some(TdFrame::decode(&lines[1..])?),
+            "no" => None,
+            other => return Err(WireError::new(format!("bad answer {other:?}"))),
+        };
+        Ok(Response::Decision {
+            class,
+            fields,
+            k,
+            td,
+        })
+    }
+}
+
+/// Reads one frame's lines (header through the line before `%%`),
+/// un-stuffing body lines (see [`Request::encode`]). Returns `Ok(None)`
+/// on clean EOF before any line, an error mid-frame. Buffering is
+/// byte-capped *during* the read — a line is never accumulated past
+/// [`MAX_LINE_BYTES`], so a client streaming newline-free garbage
+/// cannot grow server memory beyond the cap.
+pub fn read_frame(reader: &mut impl BufRead) -> io::Result<Option<Vec<String>>> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        // `take` bounds how much read_line can buffer before we see it
+        // (UFCS so the adaptor wraps the reference, not the reader).
+        let mut limited = io::Read::take(&mut *reader, MAX_LINE_BYTES as u64 + 1);
+        let n = limited.read_line(&mut line)?;
+        if n == 0 {
+            if lines.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF mid-frame",
+            ));
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame line too long",
+            ));
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed == "%%" {
+            return Ok(Some(lines));
+        }
+        // Un-stuff: encoders prefix "% " to any line starting with '%',
+        // which is what makes the bare "%%" terminator unambiguous.
+        let unstuffed = trimmed.strip_prefix("% ").unwrap_or(trimmed);
+        lines.push(unstuffed.to_string());
+        if lines.len() > MAX_FRAME_LINES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame has too many lines",
+            ));
+        }
+    }
+}
+
+/// Writes a pre-encoded frame and flushes it.
+pub fn write_frame(writer: &mut impl Write, frame: &str) -> io::Result<()> {
+    writer.write_all(frame.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softhw_core::shw;
+    use softhw_hypergraph::named;
+
+    #[test]
+    fn request_roundtrip() {
+        for class in [
+            RequestClass::Shw,
+            RequestClass::ShwLeq(2),
+            RequestClass::Hw,
+            RequestClass::HwLeq(3),
+            RequestClass::Best(EvalKind::Trivial, 2),
+            RequestClass::Best(EvalKind::ConCov, 2),
+            RequestClass::Best(EvalKind::Shallow(1), 2),
+            RequestClass::Stats,
+        ] {
+            let req = Request::new(class, "e1(a,b),\ne2(b,c).");
+            let encoded = req.encode();
+            let lines: Vec<String> = encoded
+                .lines()
+                .take_while(|l| *l != "%%")
+                .map(String::from)
+                .collect();
+            assert_eq!(Request::decode(&lines).unwrap(), req, "{class:?}");
+        }
+        let mut sql = Request::new(RequestClass::Shw, "SELECT MIN(r.a) FROM r");
+        sql.format = BodyFormat::Sql;
+        let lines: Vec<String> = sql
+            .encode()
+            .lines()
+            .take_while(|l| *l != "%%")
+            .map(String::from)
+            .collect();
+        assert_eq!(Request::decode(&lines).unwrap(), sql);
+    }
+
+    #[test]
+    fn td_frame_roundtrips_real_decompositions() {
+        for h in [named::h2(), named::cycle(6), named::grid(3, 3)] {
+            let (w, td) = shw::shw(&h);
+            let frame = TdFrame::from_td(&td, h.num_vertices());
+            let back = frame.to_td().unwrap();
+            assert_eq!(back.validate(&h), Ok(()));
+            assert_eq!(back.num_nodes(), td.num_nodes());
+            // Bags survive node for node: reconstructed node `i` is the
+            // i-th node of the frame, i.e. the i-th preorder node of the
+            // original.
+            let order = td.preorder();
+            for (i, &u) in order.iter().enumerate() {
+                assert_eq!(back.bag(i), td.bag(u));
+            }
+            // And through the full response encoding.
+            let resp = Response::Width {
+                class: "SHW".into(),
+                width: w,
+                td: frame.clone(),
+            };
+            let lines: Vec<String> = resp
+                .encode()
+                .lines()
+                .take_while(|l| *l != "%%")
+                .map(String::from)
+                .collect();
+            assert_eq!(Response::decode(&lines).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupt_td_frames_are_rejected() {
+        let h = named::h2();
+        let (_, td) = shw::shw(&h);
+        let good = TdFrame::from_td(&td, h.num_vertices());
+        let mut bad = good.clone();
+        bad.nodes[0].0 = Some(0);
+        assert!(bad.to_td().is_err(), "root with parent");
+        let mut bad = good.clone();
+        if bad.nodes.len() > 1 {
+            bad.nodes[1].0 = Some(99);
+            assert!(bad.to_td().is_err(), "parent out of preorder range");
+        }
+        let mut bad = good.clone();
+        bad.nodes[0].1 = u32::MAX;
+        assert!(bad.to_td().is_err(), "bag id out of range");
+        let mut bad = good.clone();
+        bad.universe = 3;
+        assert!(bad.to_td().is_err(), "universe mismatch");
+    }
+
+    #[test]
+    fn comment_bodies_roundtrip_through_stuffing() {
+        // A body carrying '%'-comment lines — including one that is
+        // literally "%%" — must survive encode → read_frame → decode
+        // intact, not truncate the frame at the fake terminator.
+        let body = "% header comment\n%%\ne1(a,b),\n% mid\ne2(b,c).";
+        let req = Request::new(RequestClass::Shw, body);
+        let mut cursor = io::Cursor::new(req.encode().into_bytes());
+        let lines = read_frame(&mut cursor).unwrap().unwrap();
+        let back = Request::decode(&lines).unwrap();
+        assert_eq!(back, req);
+        // And nothing is left dangling on the stream.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_lines_are_capped_during_the_read() {
+        // A newline-free flood larger than the cap errors out instead of
+        // buffering unboundedly (the take() bound keeps memory at the
+        // cap even while consuming).
+        let flood = vec![b'a'; MAX_LINE_BYTES + 10];
+        let mut cursor = io::Cursor::new(flood);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn slack_bits_beyond_the_universe_are_rejected() {
+        let h = named::h2(); // 10 vertices: bits 10..64 of word 0 are slack
+        let (_, td) = shw::shw(&h);
+        let mut bad = TdFrame::from_td(&td, h.num_vertices());
+        bad.snapshot.storage[0] |= 1 << 63;
+        assert!(bad.to_td().is_err(), "slack bit must be rejected");
+    }
+
+    #[test]
+    fn frame_reader_handles_eof_and_terminators() {
+        let mut input = io::Cursor::new(b"SHW\ne(a,b)\n%%\n".to_vec());
+        let lines = read_frame(&mut input).unwrap().unwrap();
+        assert_eq!(lines, vec!["SHW".to_string(), "e(a,b)".to_string()]);
+        assert!(read_frame(&mut input).unwrap().is_none(), "clean EOF");
+        let mut cut = io::Cursor::new(b"SHW\ne(a,b)\n".to_vec());
+        assert!(read_frame(&mut cut).is_err(), "EOF mid-frame");
+    }
+}

@@ -1,0 +1,137 @@
+//! Concurrency correctness of the shared decomposition cache: responses
+//! produced under simultaneous mixed-schema traffic must be identical,
+//! byte for byte, to a single-threaded replay of the requests in the
+//! order each stripe actually processed them.
+//!
+//! The service serialises handlers per stripe (one mutex per
+//! [`softhw_core::DecompCache`]), and every cached entry point is
+//! deterministic, so a response may depend on its stripe's processing
+//! history (warm vs cold paths, LRU evictions, stats counters) but on
+//! nothing else — not on thread scheduling, not on traffic to other
+//! stripes. The test records each stripe's linearisation under real
+//! contention, then replays it on a fresh single-threaded state and
+//! compares every response.
+
+use softhw_hypergraph::{named, render_hypergraph};
+use softhw_service::{EvalKind, Request, RequestClass, ServiceConfig, ServiceState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn workload() -> Vec<Request> {
+    let schemas: Vec<String> = [
+        named::h2(),
+        named::cycle(4),
+        named::cycle(5),
+        named::cycle(6),
+        named::grid(3, 3),
+        named::triangle_star(3),
+    ]
+    .iter()
+    .map(render_hypergraph)
+    .collect();
+    let classes = [
+        RequestClass::Shw,
+        RequestClass::ShwLeq(1),
+        RequestClass::ShwLeq(2),
+        RequestClass::Hw,
+        RequestClass::HwLeq(2),
+        RequestClass::Best(EvalKind::Trivial, 2),
+        RequestClass::Best(EvalKind::ConCov, 2),
+        RequestClass::Stats,
+    ];
+    let mut reqs = Vec::new();
+    // Two rounds so warm-path responses (memo hits, prepared instances)
+    // are part of what concurrency must preserve.
+    for _ in 0..2 {
+        for schema in &schemas {
+            for class in classes {
+                reqs.push(Request::new(class, schema.clone()));
+            }
+        }
+    }
+    reqs
+}
+
+/// Fires `reqs` from `threads` workers against `state` (work-stealing
+/// over a shared counter, so interleavings vary run to run), tagging
+/// each request with its index; returns the responses by request index.
+fn run_concurrent(state: &ServiceState, reqs: &[Request], threads: usize) -> Vec<String> {
+    let next = AtomicUsize::new(0);
+    let mut responses: Vec<String> = vec![String::new(); reqs.len()];
+    let slots: Vec<std::sync::Mutex<&mut String>> =
+        responses.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= reqs.len() {
+                    break;
+                }
+                let resp = state.handle_tagged(&reqs[i], Some(i as u64)).encode();
+                **slots[i].lock().unwrap() = resp;
+            });
+        }
+    });
+    responses
+}
+
+fn check_concurrent_matches_replay(config: ServiceConfig, threads: usize) {
+    let reqs = workload();
+    let state = ServiceState::new(config.clone());
+    let concurrent = run_concurrent(&state, &reqs, threads);
+    let logs = state.stripe_logs();
+    assert_eq!(
+        logs.iter().map(Vec::len).sum::<usize>(),
+        reqs.len(),
+        "every request must be logged exactly once"
+    );
+
+    // Replay: a fresh state processes each stripe's requests in the
+    // exact order the concurrent run linearised them. Stripes share no
+    // state, so replaying stripe by stripe is a faithful serialisation.
+    let replay_state = ServiceState::new(config);
+    for log in &logs {
+        for &tag in log {
+            let i = tag as usize;
+            let replayed = replay_state.handle(&reqs[i]).encode();
+            assert_eq!(
+                replayed, concurrent[i],
+                "request {i} ({:?}) diverged from its replay",
+                reqs[i].class
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_responses_equal_single_threaded_replay() {
+    check_concurrent_matches_replay(ServiceConfig::default(), 8);
+}
+
+#[test]
+fn single_stripe_full_contention_still_replays_exactly() {
+    // One stripe = one DecompCache shared by every schema and thread:
+    // the strongest same-cache contention case.
+    check_concurrent_matches_replay(
+        ServiceConfig {
+            stripes: 1,
+            ..ServiceConfig::default()
+        },
+        8,
+    );
+}
+
+#[test]
+fn eviction_churn_under_concurrency_replays_exactly() {
+    // Capacity 2 with six schemas per stripe bank: concurrent requests
+    // continuously evict each other's warm state. Responses must still
+    // be exactly the replay's (evicted entries recompute cold with
+    // identical answers).
+    check_concurrent_matches_replay(
+        ServiceConfig {
+            stripes: 2,
+            cache_capacity: 2,
+            ..ServiceConfig::default()
+        },
+        8,
+    );
+}

@@ -9,6 +9,12 @@
 //!   --concov         restrict to ConCov candidate bags
 //!   --print          print the witness decomposition
 //!   --stats          print structural statistics only
+//!   --connect <addr> client mode: send the request to a softhw-serve
+//!                    instance instead of solving locally (same output
+//!                    and exit codes except --stats, which shows the
+//!                    server's fields incl. cache counters; returned
+//!                    decompositions are validated locally before
+//!                    printing)
 //! ```
 //!
 //! Exit code 0 when a decomposition at the requested width exists (or the
@@ -20,6 +26,8 @@ use softhw::core::soft::{soft_bags_with, SoftLimits};
 use softhw::core::soft_iter;
 use softhw::core::{hw, shw};
 use softhw::hypergraph::{parse_hypergraph, Hypergraph};
+use softhw_service::{roundtrip, EvalKind, Request, RequestClass, Response};
+use std::net::TcpStream;
 use std::process::ExitCode;
 
 struct Options {
@@ -29,6 +37,7 @@ struct Options {
     concov: bool,
     print: bool,
     stats: bool,
+    connect: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         concov: false,
         print: false,
         stats: false,
+        connect: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -56,9 +66,11 @@ fn parse_args() -> Result<Options, String> {
             "--concov" => opts.concov = true,
             "--print" => opts.print = true,
             "--stats" => opts.stats = true,
+            "--connect" => opts.connect = Some(args.next().ok_or("--connect needs an address")?),
             "--help" | "-h" => {
                 return Err("usage: softhw-cli <file.hg> [--width k] \
-                            [--measure shw|hw|ghw|shw1|all] [--concov] [--print] [--stats]"
+                            [--measure shw|hw|ghw|shw1|all] [--concov] [--print] [--stats] \
+                            [--connect host:port]"
                     .to_string())
             }
             f if opts.file.is_empty() && !f.starts_with('-') => opts.file = f.to_string(),
@@ -84,6 +96,141 @@ fn candidate_bags(
     })
 }
 
+/// Client mode: the same questions, answered by a `softhw-serve`
+/// instance. Width/decision output lines and exit codes match local
+/// mode exactly; witness decompositions are decoded from the wire frame
+/// and validated against the locally parsed hypergraph before anything
+/// is printed. The one deliberate divergence is `--stats`: remote stats
+/// are the server's `key = value` fields (structural stats *plus* its
+/// cache counters, which local mode cannot know), not the local Debug
+/// render.
+fn run_remote(opts: &Options, text: &str, h: &Hypergraph) -> Result<bool, String> {
+    let addr = opts.connect.as_deref().unwrap_or_default();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut ask = |class: RequestClass| -> Result<Response, String> {
+        match roundtrip(&mut stream, &Request::new(class, text)) {
+            Ok(Response::Error { kind, message }) => {
+                Err(format!("server error [{kind}] {message}"))
+            }
+            Ok(resp) => Ok(resp),
+            Err(e) => Err(format!("{addr}: {e}")),
+        }
+    };
+    let decode =
+        |frame: softhw_service::TdFrame| -> Result<softhw::core::TreeDecomposition, String> {
+            let td = frame.to_td().map_err(|e| e.to_string())?;
+            td.validate(h)
+                .map_err(|e| format!("server returned an invalid decomposition: {e:?}"))?;
+            Ok(td)
+        };
+    let constraint_label = if opts.concov { "ConCov-" } else { "" };
+    let leq_class = |k: usize| {
+        if opts.concov {
+            RequestClass::Best(EvalKind::ConCov, k)
+        } else {
+            RequestClass::ShwLeq(k)
+        }
+    };
+    if opts.stats {
+        match ask(RequestClass::Stats)? {
+            Response::Stats { fields } => {
+                for (key, value) in fields {
+                    println!("{key} = {value}");
+                }
+                return Ok(true);
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        }
+    }
+    match (opts.measure.as_str(), opts.width) {
+        ("shw", Some(k)) => match ask(leq_class(k))? {
+            Response::Decision { td, .. } => match td {
+                Some(frame) => {
+                    let td = decode(frame)?;
+                    println!("{constraint_label}shw <= {k}: yes");
+                    if opts.print {
+                        print!("{}", td.render(h));
+                    }
+                    Ok(true)
+                }
+                None => {
+                    println!("{constraint_label}shw <= {k}: no");
+                    Ok(false)
+                }
+            },
+            other => Err(format!("unexpected response {other:?}")),
+        },
+        ("shw", None) if opts.concov => {
+            // No exact ConCov class on the wire: sweep the decision.
+            for k in 1..=h.num_edges().max(1) {
+                if let Response::Decision {
+                    td: Some(frame), ..
+                } = ask(leq_class(k))?
+                {
+                    let td = decode(frame)?;
+                    println!("ConCov-shw = {k}");
+                    if opts.print {
+                        print!("{}", td.render(h));
+                    }
+                    return Ok(true);
+                }
+            }
+            Err("no decomposition up to |E| — disconnected input?".to_string())
+        }
+        ("shw", None) => match ask(RequestClass::Shw)? {
+            Response::Width { width, td, .. } => {
+                let td = decode(td)?;
+                println!("shw = {width}");
+                if opts.print {
+                    print!("{}", td.render(h));
+                }
+                Ok(true)
+            }
+            other => Err(format!("unexpected response {other:?}")),
+        },
+        ("hw", w) => {
+            if opts.concov {
+                return Err("--concov is a CTD constraint; use --measure shw".into());
+            }
+            match w {
+                Some(k) => match ask(RequestClass::HwLeq(k))? {
+                    Response::Decision { td, .. } => match td {
+                        Some(frame) => {
+                            let td = decode(frame)?;
+                            println!("hw <= {k}: yes");
+                            if opts.print {
+                                let g = softhw::core::ghd::Ghd::from_td(h, td, k)
+                                    .ok_or("server witness has no width-k covers")?;
+                                print!("{}", g.render(h));
+                            }
+                            Ok(true)
+                        }
+                        None => {
+                            println!("hw <= {k}: no");
+                            Ok(false)
+                        }
+                    },
+                    other => Err(format!("unexpected response {other:?}")),
+                },
+                None => match ask(RequestClass::Hw)? {
+                    Response::Width { width, td, .. } => {
+                        let td = decode(td)?;
+                        println!("hw = {width}");
+                        if opts.print {
+                            let g = softhw::core::ghd::Ghd::from_td(h, td, width)
+                                .ok_or("server witness has no width-k covers")?;
+                            print!("{}", g.render(h));
+                        }
+                        Ok(true)
+                    }
+                    other => Err(format!("unexpected response {other:?}")),
+                },
+            }
+        }
+        (m, _) => Err(format!("--measure {m} is not supported over --connect")),
+    }
+}
+
 fn run() -> Result<bool, String> {
     let opts = parse_args()?;
     let text = std::fs::read_to_string(&opts.file)
@@ -95,6 +242,9 @@ fn run() -> Result<bool, String> {
         h.num_vertices(),
         h.num_edges()
     );
+    if opts.connect.is_some() {
+        return run_remote(&opts, &text, &h);
+    }
     if opts.stats {
         println!("{:#?}", softhw::hypergraph::stats::stats(&h));
         return Ok(true);

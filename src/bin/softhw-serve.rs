@@ -1,0 +1,91 @@
+//! `softhw-serve` — the decomposition service: a multi-threaded TCP
+//! front-end over the workspace's cross-query caches.
+//!
+//! ```text
+//! softhw-serve [options]
+//!   --addr <host:port>   bind address (default 127.0.0.1:7401, :0 = any port)
+//!   --workers <n>        connection worker threads (default: cores)
+//!   --stripes <n>        cache stripes (default 8)
+//!   --cache <n>          per-stripe schema capacity before LRU eviction (default 128)
+//!   --max-edges <n>      largest schema accepted (default 100000)
+//!   --max-conns <n>      exit after serving n connections (for smoke tests)
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound. See the README
+//! for the wire format and an example session; `softhw-cli --connect`
+//! speaks the protocol.
+
+use softhw_service::{ServeOptions, Server, ServiceConfig, ServiceState};
+use std::process::ExitCode;
+
+struct Args {
+    serve: ServeOptions,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut serve = ServeOptions::default();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<usize, String> {
+        let v = args.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value {v:?}"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => serve.addr = args.next().ok_or("--addr needs a value")?,
+            "--workers" => serve.workers = num(&mut args, "--workers")?.max(1),
+            "--stripes" => config.stripes = num(&mut args, "--stripes")?.max(1),
+            "--cache" => config.cache_capacity = num(&mut args, "--cache")?,
+            "--max-edges" => config.max_edges = num(&mut args, "--max-edges")?,
+            "--max-conns" => serve.max_conns = Some(num(&mut args, "--max-conns")? as u64),
+            "--help" | "-h" => {
+                return Err("usage: softhw-serve [--addr host:port] [--workers n] \
+                            [--stripes n] [--cache n] [--max-edges n] [--max-conns n]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args { serve, config })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("softhw-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let state = ServiceState::new(args.config);
+    let server = match Server::bind(args.serve, state) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("softhw-serve: bind failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Announce readiness on stdout so scripts can wait for it.
+            println!("listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("softhw-serve: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match server.run() {
+        Ok(served) => {
+            eprintln!("softhw-serve: served {served} connections, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("softhw-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
