@@ -6,7 +6,7 @@
 //! number) and aggregate throughput.
 //!
 //! ```text
-//! bench_service [out.json] [--clients n] [--requests n]
+//! bench_service [out.json] [--clients n] [--requests n] [--store path]
 //! ```
 //!
 //! Request classes:
@@ -17,6 +17,13 @@
 //!   over the same warm schemas;
 //! - `shw_cold`: exact `shw` over schemas never seen before (every
 //!   request pays generation + instance build + DP).
+//!
+//! With `--store <path>` the server persists through the decomposition
+//! store, and a second phase **restarts** it — a fresh `ServiceState`
+//! over the same store file, in-memory caches cold — and measures
+//! `shw_store_warm`: the repeated-query path served from warm-started
+//! persisted results instead of anything computed this process
+//! lifetime. That is the number a `softhw-serve` restart ships with.
 
 use softhw_hypergraph::random::{random_hypergraph, RandomConfig};
 use softhw_hypergraph::{named, render_hypergraph};
@@ -34,12 +41,14 @@ struct Args {
     out: Option<String>,
     clients: usize,
     requests: usize,
+    store: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut out = None;
     let mut clients = 8;
     let mut requests = 200;
+    let mut store = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -55,6 +64,9 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--requests n");
             }
+            "--store" => {
+                store = Some(args.next().expect("--store path"));
+            }
             other => out = Some(other.to_string()),
         }
     }
@@ -62,6 +74,7 @@ fn parse_args() -> Args {
         out,
         clients,
         requests,
+        store,
     }
 }
 
@@ -119,7 +132,10 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
 
 fn main() {
     let args = parse_args();
-    let state = ServiceState::new(ServiceConfig::default());
+    let state = match &args.store {
+        Some(path) => ServiceState::open_store(ServiceConfig::default(), path).expect("open store"),
+        None => ServiceState::new(ServiceConfig::default()),
+    };
     let server = Server::bind(
         ServeOptions {
             addr: "127.0.0.1:0".to_string(),
@@ -197,10 +213,79 @@ fn main() {
         .expect("server run");
     assert_eq!(served, args.clients as u64 + 1);
 
-    let samples = samples
+    let mut samples = samples
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clone();
+    // Throughput describes phase 1 only (the restart-warm phase below
+    // extends `samples` but was measured on its own wall clock).
+    let phase1_requests = samples.len();
+    let throughput = phase1_requests as f64 / wall_s;
+
+    // Restart-warm phase: a fresh state over the same store file — the
+    // in-memory caches are cold, everything served comes from persisted
+    // results (warm-started at boot). This is the latency a
+    // `softhw-serve` restart offers on its hot schemas.
+    if let Some(path) = &args.store {
+        let state = ServiceState::open_store(ServiceConfig::default(), path)
+            .expect("reopen store for restart-warm phase");
+        let server = Server::bind(
+            ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers: args.clients,
+                max_conns: Some(args.clients as u64),
+            },
+            state,
+        )
+        .expect("bind restart server");
+        let addr = server.local_addr().expect("local addr");
+        let server_thread = std::thread::spawn(move || server.run());
+        let shw_reqs: Vec<Request> = traffic
+            .iter()
+            .filter(|(label, _)| *label == "shw_warm")
+            .map(|(_, req)| req.clone())
+            .collect();
+        let next = AtomicUsize::new(0);
+        let store_samples: Mutex<Vec<(&'static str, f64)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..args.clients {
+                scope.spawn(|| {
+                    let mut stream = TcpStream::connect(addr).expect("client connect");
+                    let mut local: Vec<(&'static str, f64)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let req = &shw_reqs[i % shw_reqs.len()];
+                        let start = Instant::now();
+                        let resp = roundtrip(&mut stream, req).expect("store-warm roundtrip");
+                        let us = start.elapsed().as_secs_f64() * 1e6;
+                        assert!(
+                            !matches!(resp, Response::Error { .. }),
+                            "request failed: {resp:?}"
+                        );
+                        local.push(("shw_store_warm", us));
+                    }
+                    store_samples
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
+                });
+            }
+        });
+        server_thread
+            .join()
+            .expect("restart server thread")
+            .expect("restart server run");
+        samples.extend(
+            store_samples
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+                .copied(),
+        );
+    }
     let mut by_class: Vec<(&'static str, Vec<f64>)> = Vec::new();
     for (label, us) in &samples {
         match by_class.iter_mut().find(|(l2, _)| l2 == label) {
@@ -222,11 +307,9 @@ fn main() {
         rows.push((format!("service/{label}_p50_us"), p50));
         rows.push((format!("service/{label}_p99_us"), p99));
     }
-    let throughput = samples.len() as f64 / wall_s;
     println!(
         "service/throughput    {throughput:.0} req/s over {} requests, {} clients",
-        samples.len(),
-        args.clients
+        phase1_requests, args.clients
     );
     rows.push(("service/throughput_rps".to_string(), throughput));
     if let Some(out) = args.out {

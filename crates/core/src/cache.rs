@@ -33,7 +33,7 @@ use crate::soft::{soft_bag_ids, SoftLimits};
 use crate::sweep::IncrementalSweep;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::cache::IndexCache;
-use softhw_hypergraph::{BagId, BitSet, FxHashMap, Hypergraph};
+use softhw_hypergraph::{BagId, BitSet, FxHashMap, FxHashSet, Hypergraph};
 
 /// Hit/miss counters of a [`DecompCache`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -76,6 +76,9 @@ pub struct DecompCache {
     sweeps: FxHashMap<u64, IncrementalSweep>,
     /// hash → last-use tick, the LRU clock.
     last_used: FxHashMap<u64, u64>,
+    /// Hashes exempt from LRU eviction (hot-schema pinning): a pinned
+    /// hypergraph's warm state survives any eviction storm.
+    pinned: FxHashSet<u64>,
     tick: u64,
     max_graphs: usize,
     stats: DecompCacheStats,
@@ -109,6 +112,7 @@ impl DecompCache {
             hw_results: FxHashMap::default(),
             sweeps: FxHashMap::default(),
             last_used: FxHashMap::default(),
+            pinned: FxHashSet::default(),
             tick: 0,
             max_graphs: max_graphs.max(1),
             stats: DecompCacheStats::default(),
@@ -135,13 +139,44 @@ impl DecompCache {
         self.last_used.len()
     }
 
+    /// Pins hypergraph `hash` (the [`structural_hash`] the entry points
+    /// key on): as long as it stays pinned it is exempt from LRU
+    /// eviction, so an eviction storm of one-off schemas cannot thrash
+    /// the head of the traffic distribution. Pinning is a policy bit,
+    /// not a reservation — it does not populate the cache, and pinned
+    /// entries still count against the capacity bound, so pinning more
+    /// hashes than `max_graphs` lets the cache overshoot its bound by
+    /// the pinned excess (never panic, never evict a pin).
+    ///
+    /// [`structural_hash`]: softhw_hypergraph::cache::structural_hash
+    pub fn pin(&mut self, hash: u64) {
+        self.pinned.insert(hash);
+    }
+
+    /// Removes the pin on `hash`, making it evictable again; returns
+    /// whether it was pinned. The entry is not dropped eagerly — it
+    /// simply rejoins the LRU order at its last-use tick.
+    pub fn unpin(&mut self, hash: u64) -> bool {
+        self.pinned.remove(&hash)
+    }
+
+    /// True iff `hash` is currently pinned.
+    pub fn is_pinned(&self, hash: u64) -> bool {
+        self.pinned.contains(&hash)
+    }
+
+    /// Number of pinned hashes.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+
     /// Marks `hash` as just used and evicts the least-recently-used
     /// *other* hypergraph if the bound is now exceeded. Called on every
     /// entry point, right after the index probe. Never evicts `hash`
-    /// itself, and never panics: if no other entry exists to evict (only
-    /// possible if the LRU clock is inconsistent), it stops evicting —
-    /// an over-full cache is a bounded memory overshoot, not a reason to
-    /// kill the process.
+    /// itself or a pinned hash, and never panics: if no evictable entry
+    /// exists (every other entry is pinned, or the LRU clock is
+    /// inconsistent), it stops evicting — an over-full cache is a
+    /// bounded memory overshoot, not a reason to kill the process.
     fn touch(&mut self, hash: u64) {
         self.tick += 1;
         self.last_used.insert(hash, self.tick);
@@ -149,15 +184,12 @@ impl DecompCache {
             let victim = self
                 .last_used
                 .iter()
-                .filter(|&(&h2, _)| h2 != hash)
+                .filter(|&(&h2, _)| h2 != hash && !self.pinned.contains(&h2))
                 .min_by_key(|&(_, &t)| t)
                 .map(|(&h2, _)| h2);
             match victim {
                 Some(v) => self.evict(v),
-                None => {
-                    debug_assert!(false, "over-capacity cache has no other entry");
-                    break;
-                }
+                None => break, // everything else is pinned: overshoot
             }
         }
     }
@@ -361,6 +393,145 @@ impl DecompCache {
     pub fn hw(&mut self, h: &Hypergraph) -> (usize, Ghd) {
         crate::width_sweep(h.num_edges(), |k| self.hw_leq(h, k))
     }
+
+    /// Imports a persisted `shw(h) ≤ k` decision (the warm-start path of
+    /// the disk-backed decomposition store). A witness is **re-validated
+    /// before it is trusted**: it must be a valid tree decomposition of
+    /// `h` in component normal form, exactly what the solver's own
+    /// witnesses satisfy. Returns `false` — importing nothing — on a
+    /// witness that fails validation or when a decision for `(h, k)` is
+    /// already cached (imports never clobber live state). Negative
+    /// decisions carry no witness to check and are accepted as-is; the
+    /// store's record checksums are their integrity guard.
+    pub fn import_shw_leq(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        witness: Option<TreeDecomposition>,
+    ) -> bool {
+        if let Some(td) = &witness {
+            if td.validate(h).is_err() || !td.is_comp_nf(h) {
+                return false;
+            }
+        }
+        let (hash, _) = self.indexes.entry(h);
+        if self.shw_results.contains_key(&(hash, k)) {
+            return false;
+        }
+        self.shw_results.insert((hash, k), witness);
+        self.touch(hash);
+        true
+    }
+
+    /// Imports a persisted `hw(h) ≤ k` decision. A witness tree is
+    /// re-validated and completed into a GHD by searching width-`k`
+    /// covers ([`Ghd::from_td`]); a tree admitting no such covers is
+    /// rejected. Same no-clobber rule as
+    /// [`DecompCache::import_shw_leq`].
+    pub fn import_hw_leq(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        witness: Option<TreeDecomposition>,
+    ) -> bool {
+        let ghd = match witness {
+            Some(td) => {
+                if td.validate(h).is_err() {
+                    return false;
+                }
+                match Ghd::from_td(h, td, k) {
+                    Some(g) => Some(g),
+                    None => return false,
+                }
+            }
+            None => None,
+        };
+        let (hash, _) = self.indexes.entry(h);
+        if self.hw_results.contains_key(&(hash, k)) {
+            return false;
+        }
+        self.hw_results.insert((hash, k), ghd);
+        self.touch(hash);
+        true
+    }
+
+    /// Imports a persisted *exact* `shw(h) = width` answer in one shot:
+    /// the witness at `width` plus the negative decisions the solver's
+    /// sweep implies for every smaller width — computing the structural
+    /// hash once instead of once per width. Same validation and
+    /// no-clobber rules as [`DecompCache::import_shw_leq`].
+    pub fn import_shw_exact(
+        &mut self,
+        h: &Hypergraph,
+        width: usize,
+        td: TreeDecomposition,
+    ) -> bool {
+        if td.validate(h).is_err() || !td.is_comp_nf(h) {
+            return false;
+        }
+        let (hash, _) = self.indexes.entry(h);
+        for k in 1..width {
+            self.shw_results.entry((hash, k)).or_insert(None);
+        }
+        self.shw_results.entry((hash, width)).or_insert(Some(td));
+        self.touch(hash);
+        true
+    }
+
+    /// Imports a persisted exact `hw(h) = width` answer (witness plus
+    /// implied negatives below it), one hash computation total. Same
+    /// validation as [`DecompCache::import_hw_leq`].
+    pub fn import_hw_exact(&mut self, h: &Hypergraph, width: usize, td: TreeDecomposition) -> bool {
+        if td.validate(h).is_err() {
+            return false;
+        }
+        let Some(ghd) = Ghd::from_td(h, td, width) else {
+            return false;
+        };
+        let (hash, _) = self.indexes.entry(h);
+        for k in 1..width {
+            self.hw_results.entry((hash, k)).or_insert(None);
+        }
+        self.hw_results.entry((hash, width)).or_insert(Some(ghd));
+        self.touch(hash);
+        true
+    }
+
+    /// Exports every cached `shw ≤ k` decision for `h` (width-sorted),
+    /// witnesses cloned — the persistence snapshot of this hypergraph's
+    /// decision state, mirrored by [`DecompCache::import_shw_leq`].
+    pub fn export_shw_decisions(
+        &mut self,
+        h: &Hypergraph,
+    ) -> Vec<(usize, Option<TreeDecomposition>)> {
+        let (hash, _) = self.indexes.entry(h);
+        let mut out: Vec<(usize, Option<TreeDecomposition>)> = self
+            .shw_results
+            .iter()
+            .filter(|((h2, _), _)| *h2 == hash)
+            .map(|((_, k), v)| (*k, v.clone()))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Exports every cached `hw ≤ k` decision for `h` (width-sorted),
+    /// the underlying trees cloned — importable via
+    /// [`DecompCache::import_hw_leq`], which rebuilds the covers.
+    pub fn export_hw_decisions(
+        &mut self,
+        h: &Hypergraph,
+    ) -> Vec<(usize, Option<TreeDecomposition>)> {
+        let (hash, _) = self.indexes.entry(h);
+        let mut out: Vec<(usize, Option<TreeDecomposition>)> = self
+            .hw_results
+            .iter()
+            .filter(|((h2, _), _)| *h2 == hash)
+            .map(|((_, k), v)| (*k, v.as_ref().map(|g| g.td.clone())))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -492,6 +663,116 @@ mod tests {
             // schema switch evicts.
             assert!(s.evictions >= 11, "expected an eviction storm: {s:?}");
         }
+    }
+
+    #[test]
+    fn pinned_schemas_survive_eviction_storms_warm() {
+        // Capacity 2, one pinned hot schema, three cold schemas cycling
+        // through the remaining slot: a worst-case eviction storm. The
+        // pinned schema's decisions must stay warm throughout — every
+        // repeat query over it is a pure memo hit — while the cold
+        // schemas evict each other freely.
+        let mut cache = DecompCache::with_capacity(2);
+        let hot = named::h2();
+        let (hot_w, hot_td) = cache.shw(&hot);
+        let hot_hash = softhw_hypergraph::cache::structural_hash(&hot);
+        cache.pin(hot_hash);
+        assert!(cache.is_pinned(hot_hash));
+        let cold = [named::cycle(5), named::cycle(6), named::grid(3, 3)];
+        for round in 0..3 {
+            for h in &cold {
+                let (w, td) = cache.shw(h);
+                let (cw, ctd) = shw::shw(h);
+                assert_eq!((w, td.bags()), (cw, ctd.bags()), "round {round}");
+                // The hot schema answers from memo despite the churn.
+                let misses_before = cache.stats().result_misses;
+                let (w2, td2) = cache.shw(&hot);
+                assert_eq!((w2, td2.bags()), (hot_w, hot_td.bags()));
+                assert_eq!(
+                    cache.stats().result_misses,
+                    misses_before,
+                    "pinned schema fell cold in round {round}"
+                );
+            }
+        }
+        assert!(cache.stats().evictions >= 6, "{:?}", cache.stats());
+        assert!(cache.tracked_graphs() <= 2);
+        // Unpinning makes it evictable again: two fresh schemas push it
+        // out, and the next query over it is a (correct) cold rebuild.
+        assert!(cache.unpin(hot_hash));
+        cache.shw(&cold[0]);
+        cache.shw(&cold[1]);
+        let misses_before = cache.stats().result_misses;
+        let (w3, td3) = cache.shw(&hot);
+        assert_eq!((w3, td3.bags()), (hot_w, hot_td.bags()));
+        assert!(cache.stats().result_misses > misses_before);
+    }
+
+    #[test]
+    fn pinning_more_than_capacity_overshoots_without_evicting_pins() {
+        let mut cache = DecompCache::with_capacity(1);
+        let graphs = [named::h2(), named::cycle(5), named::cycle(6)];
+        for h in &graphs {
+            cache.shw(h);
+            cache.pin(softhw_hypergraph::cache::structural_hash(h));
+        }
+        // All three pinned through a bound of one: nothing evicts.
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.tracked_graphs(), 3);
+        assert_eq!(cache.pinned_count(), 3);
+    }
+
+    #[test]
+    fn imported_decisions_serve_and_validate() {
+        let h = named::h2();
+        let (w, td) = shw::shw(&h);
+        let (hw_w, ghd) = hw::hw(&h);
+
+        let mut cache = DecompCache::new();
+        assert!(cache.import_shw_leq(&h, w, Some(td.clone())));
+        for k in 1..w {
+            assert!(cache.import_shw_leq(&h, k, None));
+        }
+        assert!(cache.import_hw_leq(&h, hw_w, Some(ghd.td.clone())));
+        // Imports are visible through the ordinary entry points without
+        // any solver work (pure result hits).
+        let (warm_w, warm_td) = cache.try_shw(&h).unwrap();
+        assert_eq!((warm_w, warm_td.bags()), (w, td.bags()));
+        assert_eq!(cache.stats().result_misses, 0, "{:?}", cache.stats());
+        assert!(cache.hw_leq(&h, hw_w).is_some());
+        // Export mirrors what was imported.
+        let exported = cache.export_shw_decisions(&h);
+        assert_eq!(exported.len(), w);
+        assert_eq!(exported[w - 1].0, w);
+        assert!(exported[w - 1].1.is_some());
+        assert_eq!(cache.export_hw_decisions(&h).len(), 1);
+
+        // Invalid witnesses are rejected, not trusted: a bag set from a
+        // different hypergraph fails validation.
+        let mut cache = DecompCache::new();
+        let other = shw::shw(&named::cycle(4)).1;
+        assert!(!cache.import_shw_leq(&h, w, Some(other.clone())));
+        assert!(!cache.import_hw_leq(&h, hw_w, Some(other)));
+        assert!(cache.export_shw_decisions(&h).is_empty());
+        // And imports never clobber live state.
+        let (w1, _) = cache.try_shw(&h).unwrap();
+        assert_eq!(w1, w);
+        assert!(!cache.import_shw_leq(&h, w, Some(td.clone())));
+
+        // The one-shot exact imports (witness + implied negatives in a
+        // single hash pass) fill the same state the per-width imports
+        // do, and reject invalid witnesses the same way.
+        let mut exact = DecompCache::new();
+        assert!(exact.import_shw_exact(&h, w, td.clone()));
+        assert!(exact.import_hw_exact(&h, hw_w, ghd.td.clone()));
+        let (we, tde) = exact.try_shw(&h).unwrap();
+        assert_eq!((we, tde.bags()), (w, td.bags()));
+        assert_eq!(exact.stats().result_misses, 0, "{:?}", exact.stats());
+        assert!(exact.hw_leq(&h, hw_w).is_some());
+        if hw_w > 1 {
+            assert!(exact.hw_leq(&h, hw_w - 1).is_none(), "implied negative");
+        }
+        assert!(!exact.import_shw_exact(&h, w, shw::shw(&named::cycle(4)).1));
     }
 
     #[test]

@@ -67,4 +67,4 @@ pub(crate) fn width_sweep<T>(
 }
 pub use ghd::Ghd;
 pub use soft::{soft_bags, SoftLimits};
-pub use td::{TdError, TreeDecomposition};
+pub use td::{FrameError, TdError, TreeDecomposition};

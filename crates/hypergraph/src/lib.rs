@@ -21,6 +21,7 @@ pub mod fxhash;
 #[allow(clippy::module_inception)]
 pub mod hypergraph;
 pub mod named;
+pub mod pack;
 pub mod par;
 pub mod parse;
 pub mod random;

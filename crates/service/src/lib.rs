@@ -18,7 +18,11 @@
 //!   [`structural_hash`](softhw_hypergraph::structural_hash), so
 //!   repeated schemas hit warm indexes, prepared instances, and
 //!   incremental sweep state, while distinct schemas proceed
-//!   concurrently.
+//!   concurrently. Fronted by a per-stripe result cache and, with
+//!   `--store`, by the disk-backed [`softhw_store::Store`]: persisted
+//!   witnesses are re-validated before they are served, fresh results
+//!   are persisted write-behind, and boot warm-starts (and pins) the
+//!   hottest stored schemas.
 //! - [`server`]: the TCP listener and worker pool (std threads only,
 //!   like the rest of the workspace).
 //!

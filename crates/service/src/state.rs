@@ -1,4 +1,6 @@
-//! Request handling against a striped cross-query cache.
+//! Request handling against a striped cross-query cache, fronted by an
+//! exact result cache and (optionally) the persistent decomposition
+//! store.
 //!
 //! The state the service shares across connections is a bank of
 //! [`DecompCache`]s ("stripes"), each behind its own mutex. A request's
@@ -13,6 +15,25 @@
 //! requests its stripe processed before it — which is what the
 //! concurrency property test replays and checks, response for response.
 //!
+//! Layered in front of the solver caches (all consulted under the same
+//! stripe lock, so the determinism argument is unchanged):
+//!
+//! 1. a per-stripe **result cache** keyed by `(structural hash,
+//!    canonical digest, request class)`, holding fully-formed
+//!    [`Response`]s — a repeated request is a hash probe, no solver
+//!    work at all;
+//! 2. with `--store`, the **persistent store**
+//!    ([`softhw_store::Store`]): misses probe the disk-backed index,
+//!    and every persisted witness is **re-validated against the
+//!    schema** before it is served — a stale or corrupt store entry is
+//!    treated as a miss and recomputed cold, byte-identical. Fresh
+//!    results are persisted through a **write-behind channel** to a
+//!    dedicated thread that batches fsyncs off the request path.
+//!    At boot, [`ServiceState::with_store`] **warm-starts** the stripe
+//!    caches from the hottest stored schemas and *pins* them
+//!    ([`DecompCache::pin`]) so eviction storms cannot thrash the head
+//!    of the traffic distribution.
+//!
 //! Handlers never panic on request content: schema errors, blown
 //! generation limits, and internal inconsistencies (degraded to cold
 //! recomputes inside [`DecompCache`]) all map to `ERR` responses.
@@ -21,11 +42,20 @@ use crate::wire::{BodyFormat, EvalKind, Request, RequestClass, Response, TdFrame
 use softhw_core::constraints::{ConCov, ShallowCyc, Trivial};
 use softhw_core::ctd_opt::best_on;
 use softhw_core::error::DecompError;
+use softhw_core::ghd::Ghd;
 use softhw_core::soft::{soft_bags_with, SoftLimits};
 use softhw_core::DecompCache;
-use softhw_hypergraph::cache::structural_hash;
-use softhw_hypergraph::{parse_hypergraph, stats, Hypergraph};
-use std::sync::{Mutex, PoisonError};
+use softhw_hypergraph::cache::canonical_form;
+use softhw_hypergraph::fxhash::hash_u64s;
+use softhw_hypergraph::{parse_hypergraph, stats, FxHashMap, Hypergraph};
+use softhw_store::{
+    schema_digest, ClassKey, FrameOwned, FrameRef, HitAnswer, PutAnswer, Store, StoreHit,
+};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
 
 /// Tuning knobs of a [`ServiceState`].
 #[derive(Clone, Debug)]
@@ -35,10 +65,19 @@ pub struct ServiceConfig {
     /// Per-stripe [`DecompCache`] capacity (structurally distinct
     /// schemas before LRU eviction).
     pub cache_capacity: usize,
+    /// Per-stripe result-cache capacity (cached whole responses; `0`
+    /// disables the layer).
+    pub result_cache_capacity: usize,
     /// Candidate-generation guards applied to every request.
     pub limits: SoftLimits,
     /// Largest schema (edge count) a request may carry.
     pub max_edges: usize,
+    /// How many of the store's hottest schemas to preload at boot
+    /// (ignored without a store).
+    pub warm_start: usize,
+    /// Pin warm-started schemas in their stripe caches so LRU eviction
+    /// cannot push them out.
+    pub pin_warm: bool,
 }
 
 impl Default for ServiceConfig {
@@ -46,37 +85,354 @@ impl Default for ServiceConfig {
         ServiceConfig {
             stripes: 8,
             cache_capacity: softhw_core::cache::DEFAULT_MAX_GRAPHS,
+            result_cache_capacity: 1024,
             limits: SoftLimits::default(),
             max_edges: 100_000,
+            warm_start: 64,
+            pin_warm: true,
+        }
+    }
+}
+
+/// A bounded LRU of fully-formed responses, keyed by
+/// `(structural hash, canonical digest, request class)`. Lives inside a
+/// stripe, so its hit/miss history is as deterministic as the stripe's
+/// request order.
+struct ResultCache {
+    capacity: usize,
+    map: FxHashMap<(u64, u64, ClassKey), (u64, Response)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: FxHashMap::default(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: &(u64, u64, ClassKey)) -> Option<Response> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((tick, resp)) => {
+                *tick = self.tick;
+                self.hits += 1;
+                Some(resp.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: (u64, u64, ClassKey), resp: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, resp));
+        if self.map.len() > self.capacity {
+            // Amortised batch eviction: drop down to capacity minus an
+            // eighth in one pass, so the O(n) sweep runs once per
+            // capacity/8 inserts instead of per insert.
+            let keep = self.capacity - self.capacity / 8;
+            let mut ticks: Vec<u64> = self.map.values().map(|(t, _)| *t).collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[ticks.len() - keep];
+            self.map.retain(|_, (t, _)| *t >= cutoff);
         }
     }
 }
 
 struct Stripe {
     cache: DecompCache,
+    results: ResultCache,
     /// Tags of the requests this stripe processed, in lock order — the
     /// linearisation record the concurrency property test replays.
     log: Vec<u64>,
 }
 
-/// Shared, thread-safe service state: the striped cache bank.
+/// Whether a fresh response is a cacheable answer (vs. an error or
+/// stats, which are never cached or persisted).
+enum Persist {
+    No,
+    Yes,
+}
+
+/// A persistence message on the write-behind channel (the put payload
+/// is boxed: it carries a whole schema + witness frame, and the
+/// channel also ferries tiny flush requests).
+enum PersistMsg {
+    Put(Box<PutPayload>),
+    Flush(mpsc::Sender<()>),
+}
+
+struct PutPayload {
+    schema: Hypergraph,
+    key: ClassKey,
+    fields: Vec<(String, String)>,
+    answer: OwnedAnswer,
+}
+
+enum OwnedAnswer {
+    No,
+    Yes(TdFrame),
+    Width { width: usize, frame: TdFrame },
+}
+
+/// The store attachment: the shared store, its service-side counters,
+/// and the write-behind persister thread. Dropping the handle closes
+/// the channel, joins the persister (which drains and fsyncs first),
+/// so a clean shutdown loses nothing that was handed to the channel.
+struct StoreHandle {
+    store: Arc<Mutex<Store>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Store entries that failed witness re-validation (served cold
+    /// instead — never trusted).
+    invalid: AtomicU64,
+    /// Results preloaded into the caches at boot.
+    warmed: AtomicU64,
+    /// Write-behind puts that failed at the disk layer.
+    put_errors: Arc<AtomicU64>,
+    tx: Option<mpsc::Sender<PersistMsg>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Drop for StoreHandle {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel: persister drains + syncs
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// How many puts the persister applies between fsyncs when the channel
+/// stays busy (it always syncs once its queue momentarily drains).
+const FSYNC_BATCH: usize = 64;
+
+fn lock_store(s: &Mutex<Store>) -> std::sync::MutexGuard<'_, Store> {
+    s.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn frame_ref(f: &TdFrame) -> FrameRef<'_> {
+    FrameRef {
+        universe: f.universe,
+        snapshot: &f.snapshot,
+        nodes: &f.nodes,
+    }
+}
+
+fn persister(store: Arc<Mutex<Store>>, rx: mpsc::Receiver<PersistMsg>, errors: Arc<AtomicU64>) {
+    let mut dirty = 0usize;
+    let apply = |msg: PersistMsg, dirty: &mut usize| match msg {
+        PersistMsg::Put(put) => {
+            let PutPayload {
+                schema,
+                key,
+                fields,
+                answer,
+            } = *put;
+            let result = match &answer {
+                OwnedAnswer::No => lock_store(&store).put(&schema, key, &fields, PutAnswer::No),
+                OwnedAnswer::Yes(frame) => {
+                    lock_store(&store).put(&schema, key, &fields, PutAnswer::Yes(frame_ref(frame)))
+                }
+                OwnedAnswer::Width { width, frame } => lock_store(&store).put(
+                    &schema,
+                    key,
+                    &fields,
+                    PutAnswer::Width {
+                        width: *width,
+                        frame: frame_ref(frame),
+                    },
+                ),
+            };
+            match result {
+                Ok(()) => *dirty += 1,
+                Err(_) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        PersistMsg::Flush(ack) => {
+            if sync_unlocked(&store).is_err() {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+            *dirty = 0;
+            let _ = ack.send(());
+        }
+    };
+    loop {
+        // Block for the next message, then drain whatever else is
+        // already queued: one fsync covers the whole batch.
+        let Ok(first) = rx.recv() else { break };
+        apply(first, &mut dirty);
+        while dirty < FSYNC_BATCH {
+            match rx.try_recv() {
+                Ok(msg) => apply(msg, &mut dirty),
+                Err(_) => break,
+            }
+        }
+        if dirty > 0 {
+            if sync_unlocked(&store).is_err() {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+            dirty = 0;
+        }
+    }
+    // Channel closed (state dropped): final sync for durability.
+    let _ = sync_unlocked(&store);
+}
+
+/// Fsyncs the store log *without* holding its lock: the handle clone is
+/// taken under the lock (cheap), the disk flush happens outside it, so
+/// request handlers probing the store index never queue behind an
+/// in-progress fsync batch.
+fn sync_unlocked(store: &Arc<Mutex<Store>>) -> io::Result<()> {
+    let handle = lock_store(store).sync_handle()?;
+    handle.sync_data()
+}
+
+/// Shared, thread-safe service state: the striped cache bank plus the
+/// optional persistent store.
 pub struct ServiceState {
     config: ServiceConfig,
     stripes: Vec<Mutex<Stripe>>,
+    /// Requests routed per stripe (monotonic, updated outside the
+    /// stripe locks — a cross-stripe *observability* counter, not part
+    /// of any response determinism contract).
+    stripe_load: Vec<AtomicU64>,
+    /// Mirror of each stripe's `DecompCache` eviction counter, updated
+    /// after every request so `STATS` can report all stripes without
+    /// taking their locks.
+    stripe_evictions: Vec<AtomicU64>,
+    /// Mirrors of each stripe's result-cache hit/miss counters.
+    stripe_result_hits: Vec<AtomicU64>,
+    stripe_result_misses: Vec<AtomicU64>,
+    store: Option<StoreHandle>,
 }
 
 impl ServiceState {
-    /// Fresh state under `config` (stripe count clamped to ≥ 1).
+    /// Fresh state under `config` (stripe count clamped to ≥ 1), no
+    /// persistence.
     pub fn new(config: ServiceConfig) -> ServiceState {
-        let stripes = (0..config.stripes.max(1))
+        let n = config.stripes.max(1);
+        let stripes = (0..n)
             .map(|_| {
                 Mutex::new(Stripe {
                     cache: DecompCache::with_capacity(config.cache_capacity),
+                    results: ResultCache::new(config.result_cache_capacity),
                     log: Vec::new(),
                 })
             })
             .collect();
-        ServiceState { config, stripes }
+        ServiceState {
+            config,
+            stripes,
+            stripe_load: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            stripe_evictions: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            stripe_result_hits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            stripe_result_misses: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            store: None,
+        }
+    }
+
+    /// State backed by an open [`Store`]: warm-starts the stripe caches
+    /// from the hottest `config.warm_start` schemas (pinning them if
+    /// `config.pin_warm`), then spawns the write-behind persister.
+    pub fn with_store(config: ServiceConfig, mut store: Store) -> ServiceState {
+        let mut state = ServiceState::new(config);
+        let warmed = state.warm_start(&mut store);
+        let put_errors = Arc::new(AtomicU64::new(0));
+        let store = Arc::new(Mutex::new(store));
+        let (tx, rx) = mpsc::channel();
+        let join = {
+            let store = Arc::clone(&store);
+            let errors = Arc::clone(&put_errors);
+            std::thread::spawn(move || persister(store, rx, errors))
+        };
+        state.store = Some(StoreHandle {
+            store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            warmed: AtomicU64::new(warmed),
+            put_errors,
+            tx: Some(tx),
+            join: Some(join),
+        });
+        state
+    }
+
+    /// Opens (or creates) the store at `path` — with torn-tail
+    /// recovery — and builds a store-backed state over it.
+    pub fn open_store(config: ServiceConfig, path: impl AsRef<Path>) -> io::Result<ServiceState> {
+        Ok(ServiceState::with_store(config, Store::open(path)?))
+    }
+
+    /// True iff a persistent store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Blocks until every persistence message sent so far is applied
+    /// and fsynced. Returns `false` without a store (or if the
+    /// persister died). Tests and benchmarks use this to make "restart"
+    /// points explicit; a dropping state flushes implicitly.
+    pub fn sync_store(&self) -> bool {
+        let Some(handle) = &self.store else {
+            return false;
+        };
+        let Some(tx) = &handle.tx else { return false };
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if tx.send(PersistMsg::Flush(ack_tx)).is_err() {
+            return false;
+        }
+        ack_rx.recv().is_ok()
+    }
+
+    /// Preloads the hottest stored schemas: for each, the persisted
+    /// responses (witnesses re-validated first) go into the routed
+    /// stripe's result cache, width decisions are imported into its
+    /// [`DecompCache`], and the schema is pinned. Returns how many
+    /// results were preloaded.
+    fn warm_start(&mut self, store: &mut Store) -> u64 {
+        let mut warmed = 0u64;
+        for (hash, digest) in store.hottest(self.config.warm_start) {
+            let Some(h) = store.schema_hypergraph(hash, digest) else {
+                continue;
+            };
+            if softhw_store::schema_key(&h) != (hash, digest) {
+                continue; // stored structure does not hash back: distrust it
+            }
+            let idx = (hash % self.stripes.len() as u64) as usize;
+            let mut stripe = self.stripes[idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut any = false;
+            for (key, hit) in store.results_for(hash, digest) {
+                let Some(resp) = response_from_hit(&key, &hit, &h) else {
+                    continue;
+                };
+                import_decisions(&mut stripe.cache, &h, &key, &resp);
+                stripe.results.insert((hash, digest, key), resp);
+                warmed += 1;
+                any = true;
+            }
+            if any && self.config.pin_warm {
+                stripe.cache.pin(hash);
+            }
+        }
+        warmed
     }
 
     /// The configuration this state was created with.
@@ -111,13 +467,81 @@ impl ServiceState {
             Ok(h) => h,
             Err(resp) => return resp,
         };
-        let hash = structural_hash(&h);
-        let stripe = &self.stripes[(hash % self.stripes.len() as u64) as usize];
-        let mut stripe = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+        let canon = canonical_form(&h);
+        let hash = hash_u64s(&canon);
+        let digest = schema_digest(&canon);
+        let idx = (hash % self.stripes.len() as u64) as usize;
+        self.stripe_load[idx].fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.stripes[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(tag) = tag {
             stripe.log.push(tag);
         }
-        self.dispatch(req, &h, &mut stripe.cache)
+        let resp = self.serve(req, &h, hash, digest, idx, &mut stripe);
+        // Mirror the stripe's counters into atomics so STATS handlers on
+        // other stripes can report them without taking this lock.
+        self.stripe_evictions[idx].store(stripe.cache.stats().evictions, Ordering::Relaxed);
+        self.stripe_result_hits[idx].store(stripe.results.hits, Ordering::Relaxed);
+        self.stripe_result_misses[idx].store(stripe.results.misses, Ordering::Relaxed);
+        resp
+    }
+
+    /// Serves a request under its stripe lock: result cache, then
+    /// store, then the solvers (persisting what they produce).
+    fn serve(
+        &self,
+        req: &Request,
+        h: &Hypergraph,
+        hash: u64,
+        digest: u64,
+        idx: usize,
+        stripe: &mut Stripe,
+    ) -> Response {
+        let key = class_key(req.class);
+        if let Some(key) = key {
+            if let Some(resp) = stripe.results.get(&(hash, digest, key)) {
+                return resp;
+            }
+            if let Some(handle) = &self.store {
+                let hit = handle
+                    .store
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(hash, digest, &key);
+                match hit {
+                    Some(hit) => match response_from_hit(&key, &hit, h) {
+                        Some(resp) => {
+                            handle.hits.fetch_add(1, Ordering::Relaxed);
+                            import_decisions(&mut stripe.cache, h, &key, &resp);
+                            stripe.results.insert((hash, digest, key), resp.clone());
+                            return resp;
+                        }
+                        None => {
+                            // Stale/corrupt entry: never trusted. Fall
+                            // through to a cold compute (whose fresh
+                            // result supersedes the bad record).
+                            handle.invalid.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    None => {
+                        handle.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        let (resp, persist) = self.dispatch(req, h, idx, stripe);
+        if let (Some(key), Persist::Yes) = (key, &persist) {
+            if matches!(resp, Response::Width { .. } | Response::Decision { .. }) {
+                stripe.results.insert((hash, digest, key), resp.clone());
+                if let Some(handle) = &self.store {
+                    if let (Some(tx), Some(msg)) = (&handle.tx, persist_msg(h, key, &resp)) {
+                        let _ = tx.send(msg);
+                    }
+                }
+            }
+        }
+        resp
     }
 
     /// Parses and validates the request's schema.
@@ -148,12 +572,23 @@ impl ServiceState {
         Ok(h)
     }
 
-    fn dispatch(&self, req: &Request, h: &Hypergraph, cache: &mut DecompCache) -> Response {
+    fn dispatch(
+        &self,
+        req: &Request,
+        h: &Hypergraph,
+        idx: usize,
+        stripe: &mut Stripe,
+    ) -> (Response, Persist) {
+        let cache = &mut stripe.cache;
         // Soft_{H,k} is invariant in k beyond |E(H)| (λ-subsets never
         // repeat edges), so clamp the *computation* width — an absurd
         // requested k must not size scratch pools.
         let clamp = |k: usize| k.min(h.num_edges());
-        match req.class {
+        let persist = match class_key(req.class) {
+            Some(_) => Persist::Yes,
+            None => Persist::No,
+        };
+        let resp = match req.class {
             RequestClass::Shw => match cache.try_shw_with(h, &self.config.limits) {
                 Ok((width, td)) => Response::Width {
                     class: "SHW".into(),
@@ -164,7 +599,10 @@ impl ServiceState {
             },
             RequestClass::ShwLeq(k) => {
                 if k == 0 {
-                    return Response::error("request", "width must be >= 1");
+                    return (
+                        Response::error("request", "width must be >= 1"),
+                        Persist::No,
+                    );
                 }
                 match cache.shw_leq(h, clamp(k), &self.config.limits) {
                     Ok(td) => Response::Decision {
@@ -197,7 +635,10 @@ impl ServiceState {
             }
             RequestClass::HwLeq(k) => {
                 if k == 0 {
-                    return Response::error("request", "width must be >= 1");
+                    return (
+                        Response::error("request", "width must be >= 1"),
+                        Persist::No,
+                    );
                 }
                 let ghd = cache.hw_leq(h, clamp(k));
                 Response::Decision {
@@ -209,11 +650,14 @@ impl ServiceState {
             }
             RequestClass::Best(eval, k) => {
                 if k == 0 {
-                    return Response::error("request", "width must be >= 1");
+                    return (
+                        Response::error("request", "width must be >= 1"),
+                        Persist::No,
+                    );
                 }
                 let bags = match soft_bags_with(h, clamp(k), &self.config.limits) {
                     Ok(bags) => bags,
-                    Err(e) => return decomp_error(e.into()),
+                    Err(e) => return (decomp_error(e.into()), Persist::No),
                 };
                 let inst = cache.instance_for(h, &bags);
                 let mut fields = vec![("eval".to_string(), eval.token())];
@@ -236,23 +680,240 @@ impl ServiceState {
                     td: best.map(|(td, _)| TdFrame::from_td(&td, h.num_vertices())),
                 }
             }
-            RequestClass::Stats => {
-                let s = stats::stats(h);
-                let c = cache.stats();
-                let fields = vec![
-                    ("vertices".to_string(), s.num_vertices.to_string()),
-                    ("edges".to_string(), s.num_edges.to_string()),
-                    ("max_arity".to_string(), s.max_arity.to_string()),
-                    ("components".to_string(), s.components.to_string()),
-                    ("tracked".to_string(), cache.tracked_graphs().to_string()),
-                    ("instance_hits".to_string(), c.instance_hits.to_string()),
-                    ("result_hits".to_string(), c.result_hits.to_string()),
-                    ("evictions".to_string(), c.evictions.to_string()),
-                ];
-                Response::Stats { fields }
+            RequestClass::Stats => self.stats_response(h, idx, stripe),
+        };
+        (resp, persist)
+    }
+
+    /// Assembles the `STATS` response: structural stats and the routed
+    /// stripe's solver-cache counters (deterministic per stripe
+    /// history), then the cross-stripe observability rows — per-stripe
+    /// load, eviction counts, result-cache hit/miss — and, when a store
+    /// is attached, the store hit/size rows. The frame stays
+    /// backward-parseable: old clients read `key=value` fields
+    /// generically and simply see more of them.
+    fn stats_response(&self, h: &Hypergraph, idx: usize, stripe: &mut Stripe) -> Response {
+        let s = stats::stats(h);
+        let c = stripe.cache.stats();
+        let list = |counters: &[AtomicU64]| {
+            counters
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut fields = vec![
+            ("vertices".to_string(), s.num_vertices.to_string()),
+            ("edges".to_string(), s.num_edges.to_string()),
+            ("max_arity".to_string(), s.max_arity.to_string()),
+            ("components".to_string(), s.components.to_string()),
+            (
+                "tracked".to_string(),
+                stripe.cache.tracked_graphs().to_string(),
+            ),
+            ("instance_hits".to_string(), c.instance_hits.to_string()),
+            ("result_hits".to_string(), c.result_hits.to_string()),
+            ("evictions".to_string(), c.evictions.to_string()),
+            ("stripe".to_string(), idx.to_string()),
+            (
+                "pinned".to_string(),
+                stripe.cache.pinned_count().to_string(),
+            ),
+            ("stripe_load".to_string(), list(&self.stripe_load)),
+            ("stripe_evictions".to_string(), list(&self.stripe_evictions)),
+            (
+                "result_cache_hits".to_string(),
+                list(&self.stripe_result_hits),
+            ),
+            (
+                "result_cache_misses".to_string(),
+                list(&self.stripe_result_misses),
+            ),
+        ];
+        if let Some(handle) = &self.store {
+            let st = handle
+                .store
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .stats();
+            let rows = [
+                ("store_hits", handle.hits.load(Ordering::Relaxed)),
+                ("store_misses", handle.misses.load(Ordering::Relaxed)),
+                ("store_invalid", handle.invalid.load(Ordering::Relaxed)),
+                ("store_warmed", handle.warmed.load(Ordering::Relaxed)),
+                (
+                    "store_put_errors",
+                    handle.put_errors.load(Ordering::Relaxed),
+                ),
+                ("store_schemas", st.schemas as u64),
+                ("store_results", st.results as u64),
+                ("store_dict_bags", st.dict_bags as u64),
+                ("store_bytes", st.bytes),
+                ("store_recovered_bytes", st.recovered_bytes),
+            ];
+            for (k, v) in rows {
+                fields.push((k.to_string(), v.to_string()));
             }
         }
+        Response::Stats { fields }
     }
+}
+
+/// The store/result-cache key of a request class (`None` = not
+/// cacheable: `STATS` is volatile by design).
+fn class_key(class: RequestClass) -> Option<ClassKey> {
+    Some(match class {
+        RequestClass::Shw => ClassKey::Shw,
+        RequestClass::ShwLeq(k) => ClassKey::ShwLeq(k as u64),
+        RequestClass::Hw => ClassKey::Hw,
+        RequestClass::HwLeq(k) => ClassKey::HwLeq(k as u64),
+        RequestClass::Best(EvalKind::Trivial, k) => ClassKey::BestTrivial(k as u64),
+        RequestClass::Best(EvalKind::ConCov, k) => ClassKey::BestConCov(k as u64),
+        RequestClass::Best(EvalKind::Shallow(d), k) => ClassKey::BestShallow { d, k: k as u64 },
+        RequestClass::Stats => return None,
+    })
+}
+
+/// Mirrors a store-served response into the stripe's [`DecompCache`],
+/// so later *related* requests see exactly the decision state the
+/// solver path would have left behind — this is what keeps replayed
+/// request sets byte-identical when some requests hit the store and
+/// others (say, after a corrupted record) recompute. An exact-width
+/// answer implies the solver's sweep also rejected every smaller
+/// width, so those negative decisions are imported too. Imports
+/// re-validate witnesses themselves and never clobber live state.
+fn import_decisions(cache: &mut DecompCache, h: &Hypergraph, key: &ClassKey, resp: &Response) {
+    let clamp = |k: u64| (k as usize).min(h.num_edges());
+    match (key, resp) {
+        (ClassKey::Shw, Response::Width { width, td, .. }) => {
+            if let Ok(td) = td.to_td() {
+                cache.import_shw_exact(h, *width, td);
+            }
+        }
+        (ClassKey::ShwLeq(k), Response::Decision { td, .. }) => match td {
+            Some(frame) => {
+                if let Ok(td) = frame.to_td() {
+                    cache.import_shw_leq(h, clamp(*k), Some(td));
+                }
+            }
+            None => {
+                cache.import_shw_leq(h, clamp(*k), None);
+            }
+        },
+        (ClassKey::Hw, Response::Width { width, td, .. }) => {
+            if let Ok(td) = td.to_td() {
+                cache.import_hw_exact(h, *width, td);
+            }
+        }
+        (ClassKey::HwLeq(k), Response::Decision { td, .. }) => match td {
+            Some(frame) => {
+                if let Ok(td) = frame.to_td() {
+                    cache.import_hw_leq(h, clamp(*k), Some(td));
+                }
+            }
+            None => {
+                cache.import_hw_leq(h, clamp(*k), None);
+            }
+        },
+        _ => {} // BEST answers live in the result cache only
+    }
+}
+
+fn frame_of(owned: FrameOwned) -> TdFrame {
+    TdFrame {
+        universe: owned.universe,
+        snapshot: owned.snapshot,
+        nodes: owned.nodes,
+    }
+}
+
+/// Rebuilds the exact [`Response`] a stored hit represents —
+/// **re-validating every witness against the schema first**. A hit
+/// whose shape does not match its key, whose frame does not decode,
+/// or whose witness fails validation yields `None`: the store entry is
+/// rejected and the request recomputes cold (identical answer, fresh
+/// record).
+fn response_from_hit(key: &ClassKey, hit: &StoreHit, h: &Hypergraph) -> Option<Response> {
+    let validated = |owned: &FrameOwned| -> Option<TdFrame> {
+        let frame = frame_of(owned.clone());
+        let td = frame.to_td().ok()?;
+        td.validate(h).ok()?;
+        Some(frame)
+    };
+    // hw witnesses additionally need width-k edge covers to exist
+    // (one decode + validation total).
+    let validated_hw = |owned: &FrameOwned, k: usize| -> Option<TdFrame> {
+        let frame = frame_of(owned.clone());
+        let td = frame.to_td().ok()?;
+        td.validate(h).ok()?;
+        Ghd::from_td(h, td, k)?;
+        Some(frame)
+    };
+    let decision = |class: &str, k: usize, td: Option<TdFrame>| Response::Decision {
+        class: class.into(),
+        fields: hit.fields.clone(),
+        k,
+        td,
+    };
+    Some(match (key, &hit.answer) {
+        (ClassKey::Shw, HitAnswer::Width { width, frame }) => Response::Width {
+            class: "SHW".into(),
+            width: *width,
+            td: validated(frame)?,
+        },
+        (ClassKey::Hw, HitAnswer::Width { width, frame }) => Response::Width {
+            class: "HW".into(),
+            width: *width,
+            td: validated_hw(frame, *width)?,
+        },
+        (ClassKey::ShwLeq(k), HitAnswer::Yes(frame)) => {
+            decision("SHW_LEQ", *k as usize, Some(validated(frame)?))
+        }
+        (ClassKey::ShwLeq(k), HitAnswer::No) => decision("SHW_LEQ", *k as usize, None),
+        (ClassKey::HwLeq(k), HitAnswer::Yes(frame)) => decision(
+            "HW_LEQ",
+            *k as usize,
+            Some(validated_hw(frame, (*k as usize).min(h.num_edges()))?),
+        ),
+        (ClassKey::HwLeq(k), HitAnswer::No) => decision("HW_LEQ", *k as usize, None),
+        (
+            ClassKey::BestTrivial(k) | ClassKey::BestConCov(k) | ClassKey::BestShallow { k, .. },
+            HitAnswer::Yes(frame),
+        ) => decision("BEST", *k as usize, Some(validated(frame)?)),
+        (
+            ClassKey::BestTrivial(k) | ClassKey::BestConCov(k) | ClassKey::BestShallow { k, .. },
+            HitAnswer::No,
+        ) => decision("BEST", *k as usize, None),
+        _ => return None, // shape does not match the key: reject
+    })
+}
+
+/// The write-behind message for a fresh cacheable response (`None` for
+/// responses that are not persisted: errors, stats).
+fn persist_msg(h: &Hypergraph, key: ClassKey, resp: &Response) -> Option<PersistMsg> {
+    let (fields, answer) = match resp {
+        Response::Width { width, td, .. } => (
+            Vec::new(),
+            OwnedAnswer::Width {
+                width: *width,
+                frame: td.clone(),
+            },
+        ),
+        Response::Decision { fields, td, .. } => (
+            fields.clone(),
+            match td {
+                Some(td) => OwnedAnswer::Yes(td.clone()),
+                None => OwnedAnswer::No,
+            },
+        ),
+        _ => return None,
+    };
+    Some(PersistMsg::Put(Box::new(PutPayload {
+        schema: h.clone(),
+        key,
+        fields,
+        answer,
+    })))
 }
 
 /// Maps a [`DecompError`] onto the wire's error categories.
@@ -360,6 +1021,13 @@ mod tests {
                 };
                 assert_eq!(get("vertices").as_deref(), Some("10"));
                 assert_eq!(get("edges").as_deref(), Some("8"));
+                // The extended rows are present (store rows only with a
+                // store attached).
+                let loads = get("stripe_load").expect("per-stripe load row");
+                assert_eq!(loads.split(',').count(), st.num_stripes());
+                assert!(get("result_cache_hits").is_some());
+                assert!(get("stripe_evictions").is_some());
+                assert!(get("store_hits").is_none(), "no store attached");
             }
             other => panic!("{other:?}"),
         }
@@ -439,5 +1107,37 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn result_cache_serves_repeats_without_solver_work() {
+        let st = state();
+        let body = render_hypergraph(&named::h2());
+        let req = Request::new(RequestClass::Shw, body.clone());
+        let first = st.handle(&req);
+        let again = st.handle(&req);
+        assert_eq!(first, again);
+        // The repeat came out of the result cache: the stripe's
+        // decomp-cache counters did not move between the calls.
+        let hits: u64 = st
+            .stripe_result_hits
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(hits, 1, "second request must hit the result cache");
+        // A zero-capacity result cache degrades to the solver caches
+        // with identical responses.
+        let no_cache = ServiceState::new(ServiceConfig {
+            result_cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(no_cache.handle(&req), first);
+        assert_eq!(no_cache.handle(&req), first);
+        let hits: u64 = no_cache
+            .stripe_result_hits
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(hits, 0);
     }
 }

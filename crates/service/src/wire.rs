@@ -29,10 +29,15 @@
 //!             ("A" hex-word{w})*b        — bag words, id = line order
 //!             ("N" (parent|"-") bag-id)*n — preorder node table
 //! ```
+//!
+//! `STATS` responses are an open `key=value` set: servers may add rows
+//! (per-stripe load/evictions, result-cache and store counters — see
+//! `state.rs`) and clients must parse fields they do not recognise
+//! generically. The decoder here does exactly that, which is what keeps
+//! the frame backward-parseable as the set grows.
 
 use softhw_core::td::TreeDecomposition;
-use softhw_hypergraph::arena::words_iter;
-use softhw_hypergraph::{ArenaSnapshot, BagArena, BitSet};
+use softhw_hypergraph::{ArenaSnapshot, BagArena};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 
@@ -280,56 +285,12 @@ impl TdFrame {
 
     /// Reconstructs the decomposition. Fails on a corrupt frame (bag or
     /// parent references out of range, wrong preorder) instead of
-    /// panicking.
+    /// panicking. Decoding is the shared
+    /// [`TreeDecomposition::from_bag_frame`] path, which the persistent
+    /// store's witness records also go through.
     pub fn to_td(&self) -> Result<TreeDecomposition, WireError> {
-        let num_bags = self.snapshot.len();
-        if self.snapshot.universe != self.universe
-            || self.snapshot.words_per_bag() != self.universe.div_ceil(64).max(1)
-        {
-            return Err(WireError::new("snapshot width disagrees with universe"));
-        }
-        // Bits in the last word's slack (universe..words*64) would decode
-        // into nonexistent vertices; reject them explicitly.
-        let tail_bits = self.universe % 64;
-        let last_word_mask = if self.universe == 0 {
-            0
-        } else if tail_bits == 0 {
-            u64::MAX
-        } else {
-            (1u64 << tail_bits) - 1
-        };
-        let bag = |id: u32| -> Result<BitSet, WireError> {
-            if (id as usize) >= num_bags {
-                return Err(WireError::new(format!("bag id {id} out of range")));
-            }
-            let words = self.snapshot.words(id as usize);
-            let Some((last, _)) = words.split_last() else {
-                return Err(WireError::new("empty bag words"));
-            };
-            if last & !last_word_mask != 0 {
-                return Err(WireError::new("bag words exceed the universe"));
-            }
-            Ok(BitSet::from_iter(self.universe, words_iter(words)))
-        };
-        let (first, rest) = self
-            .nodes
-            .split_first()
-            .ok_or_else(|| WireError::new("decomposition frame with no nodes"))?;
-        if first.0.is_some() {
-            return Err(WireError::new("root node has a parent"));
-        }
-        let mut td = TreeDecomposition::new(bag(first.1)?);
-        for (i, &(parent, b)) in rest.iter().enumerate() {
-            let node = i + 1;
-            let Some(p) = parent else {
-                return Err(WireError::new("non-root node without parent"));
-            };
-            if (p as usize) >= node {
-                return Err(WireError::new("node table is not in preorder"));
-            }
-            td.add_child(p as usize, bag(b)?);
-        }
-        Ok(td)
+        TreeDecomposition::from_bag_frame(self.universe, &self.snapshot, &self.nodes)
+            .map_err(|e| WireError::new(e.message))
     }
 
     fn encode_into(&self, out: &mut String) {
@@ -725,6 +686,41 @@ mod tests {
         let mut bad = good.clone();
         bad.universe = 3;
         assert!(bad.to_td().is_err(), "universe mismatch");
+    }
+
+    #[test]
+    fn stats_frames_with_unknown_fields_stay_parseable() {
+        // The STATS field set grows over time (per-stripe load,
+        // result-cache and store rows). A client built against an older
+        // field set — this decoder — must parse newer frames
+        // generically rather than reject them.
+        let lines = vec![
+            "OK STATS vertices=10 edges=8 stripe_load=1,0,2 store_hits=7 \
+             some_future_row=anything result_cache_misses=0,0,0"
+                .to_string(),
+        ];
+        match Response::decode(&lines).expect("extended STATS parses") {
+            Response::Stats { fields } => {
+                assert_eq!(fields.len(), 6);
+                assert!(fields
+                    .iter()
+                    .any(|(k, v)| k == "stripe_load" && v == "1,0,2"));
+                assert!(fields
+                    .iter()
+                    .any(|(k, v)| k == "some_future_row" && v == "anything"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Decision frames tolerate extra fields the same way (they ride
+        // in `fields`, ordered).
+        let lines = vec!["OK BEST k=2 eval=concov new_field=1 answer=no".to_string()];
+        match Response::decode(&lines).expect("extended decision parses") {
+            Response::Decision { class, fields, .. } => {
+                assert_eq!(class, "BEST");
+                assert_eq!(fields.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

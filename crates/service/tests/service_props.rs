@@ -11,6 +11,14 @@
 //! stripes. The test records each stripe's linearisation under real
 //! contention, then replays it on a fresh single-threaded state and
 //! compares every response.
+//!
+//! One carve-out: `STATS` responses carry **cross-stripe observability
+//! rows** (`stripe_load=…`, `stripe_evictions=…`, `result_cache_*=…`,
+//! `store_*=…`) that by definition reflect global concurrent progress,
+//! not the routed stripe's own history — they are sampled from atomics
+//! without other stripes' locks. Those rows (and only those) are
+//! masked before comparison; every answer-bearing byte, including all
+//! deterministic STATS fields, is still compared exactly.
 
 use softhw_hypergraph::{named, render_hypergraph};
 use softhw_service::{EvalKind, Request, RequestClass, ServiceConfig, ServiceState};
@@ -49,6 +57,35 @@ fn workload() -> Vec<Request> {
         }
     }
     reqs
+}
+
+/// Masks the volatile cross-stripe observability fields of a `STATS`
+/// frame (see the module docs); all other frames pass through
+/// untouched.
+fn mask_volatile(encoded: &str) -> String {
+    let Some(rest) = encoded.strip_prefix("OK STATS") else {
+        return encoded.to_string();
+    };
+    let volatile = |key: &str| {
+        key == "stripe_load"
+            || key == "stripe_evictions"
+            || key.starts_with("result_cache_")
+            || key.starts_with("store_")
+    };
+    let mut out = String::from("OK STATS");
+    for tok in rest.split_whitespace() {
+        if tok == "%%" {
+            continue;
+        }
+        let masked = match tok.split_once('=') {
+            Some((key, _)) if volatile(key) => format!("{key}=<volatile>"),
+            _ => tok.to_string(),
+        };
+        out.push(' ');
+        out.push_str(&masked);
+    }
+    out.push_str("\n%%\n");
+    out
 }
 
 /// Fires `reqs` from `threads` workers against `state` (work-stealing
@@ -94,7 +131,8 @@ fn check_concurrent_matches_replay(config: ServiceConfig, threads: usize) {
             let i = tag as usize;
             let replayed = replay_state.handle(&reqs[i]).encode();
             assert_eq!(
-                replayed, concurrent[i],
+                mask_volatile(&replayed),
+                mask_volatile(&concurrent[i]),
                 "request {i} ({:?}) diverged from its replay",
                 reqs[i].class
             );

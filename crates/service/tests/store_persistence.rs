@@ -1,0 +1,273 @@
+//! The acceptance properties of the persistent decomposition store at
+//! the service level:
+//!
+//! 1. restarting a store-backed service answers a replayed request set
+//!    **byte-identically** to the pre-restart run, with store /
+//!    result-cache hits reported in `STATS`;
+//! 2. a corrupted store — random bit flips anywhere in the file —
+//!    degrades to a cold recompute with **identical answers**, never a
+//!    panic and never a trusted-but-wrong response;
+//! 3. a semantically stale record (valid checksum, witness that does
+//!    not decompose the schema) is rejected by re-validation and
+//!    recomputed.
+
+use softhw_core::td::TreeDecomposition;
+use softhw_hypergraph::{named, render_hypergraph, BitSet};
+use softhw_service::{
+    EvalKind, Request, RequestClass, Response, ServiceConfig, ServiceState, TdFrame,
+};
+use softhw_store::{ClassKey, FrameRef, PutAnswer, Store};
+use std::path::PathBuf;
+
+struct TempStore {
+    path: PathBuf,
+}
+
+impl TempStore {
+    fn new(name: &str) -> TempStore {
+        let path = std::env::temp_dir().join(format!(
+            "softhw-service-{}-{name}-{:?}.store",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        TempStore { path }
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The replayed request set: several schemas, all cacheable classes.
+fn workload() -> Vec<Request> {
+    let schemas: Vec<String> = [
+        named::h2(),
+        named::cycle(5),
+        named::cycle(6),
+        named::grid(3, 3),
+    ]
+    .iter()
+    .map(render_hypergraph)
+    .collect();
+    let classes = [
+        RequestClass::Shw,
+        RequestClass::ShwLeq(1),
+        RequestClass::ShwLeq(2),
+        RequestClass::Hw,
+        RequestClass::HwLeq(2),
+        RequestClass::Best(EvalKind::Trivial, 2),
+        RequestClass::Best(EvalKind::ConCov, 2),
+        RequestClass::Best(EvalKind::Shallow(1), 2),
+    ];
+    let mut reqs = Vec::new();
+    for schema in &schemas {
+        for class in classes {
+            reqs.push(Request::new(class, schema.clone()));
+        }
+    }
+    reqs
+}
+
+fn run_all(state: &ServiceState, reqs: &[Request]) -> Vec<String> {
+    reqs.iter().map(|r| state.handle(r).encode()).collect()
+}
+
+fn stats_field(state: &ServiceState, field: &str) -> Option<String> {
+    let resp = state.handle(&Request::new(
+        RequestClass::Stats,
+        render_hypergraph(&named::h2()),
+    ));
+    match resp {
+        Response::Stats { fields } => fields
+            .iter()
+            .find(|(k, _)| k == field)
+            .map(|(_, v)| v.clone()),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn restart_replays_byte_identically_with_store_hits() {
+    let tmp = TempStore::new("restart");
+    let reqs = workload();
+    let reference = {
+        let state =
+            ServiceState::open_store(ServiceConfig::default(), &tmp.path).expect("open store");
+        let out = run_all(&state, &reqs);
+        assert!(state.sync_store());
+        out
+    }; // state dropped: persister joined, log durable
+       // Restart 1: default warm start. Every response must be
+       // byte-identical, and STATS must report persisted state serving the
+       // traffic (warm-started results + result-cache hits).
+    let state = ServiceState::open_store(ServiceConfig::default(), &tmp.path).expect("reopen");
+    assert!(state.has_store());
+    let replayed = run_all(&state, &reqs);
+    assert_eq!(reference, replayed, "restart changed a response");
+    let warmed: u64 = stats_field(&state, "store_warmed")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(warmed > 0, "warm start preloaded nothing");
+    let rc_hits = stats_field(&state, "result_cache_hits").unwrap();
+    assert!(
+        rc_hits.split(',').any(|v| v != "0"),
+        "no result-cache hits reported: {rc_hits}"
+    );
+    assert_eq!(
+        stats_field(&state, "store_recovered_bytes").as_deref(),
+        Some("0")
+    );
+    drop(state);
+    // Restart 2: warm start disabled, so every request exercises the
+    // store-probe path instead — still byte-identical, with store hits.
+    let cold_config = ServiceConfig {
+        warm_start: 0,
+        ..ServiceConfig::default()
+    };
+    let state = ServiceState::open_store(cold_config, &tmp.path).expect("reopen cold");
+    let replayed = run_all(&state, &reqs);
+    assert_eq!(reference, replayed, "cold-warm restart changed a response");
+    let hits: u64 = stats_field(&state, "store_hits").unwrap().parse().unwrap();
+    assert_eq!(
+        hits,
+        reqs.len() as u64,
+        "every request should have been served from the store"
+    );
+}
+
+#[test]
+fn corrupted_store_degrades_to_cold_recompute_with_identical_answers() {
+    let tmp = TempStore::new("corrupt");
+    let reqs = workload();
+    // Reference responses from a storeless state (pure solver answers).
+    let reference = run_all(&ServiceState::new(ServiceConfig::default()), &reqs);
+    // Populate the store.
+    {
+        let state =
+            ServiceState::open_store(ServiceConfig::default(), &tmp.path).expect("open store");
+        let served = run_all(&state, &reqs);
+        assert_eq!(reference, served, "store-backed first run must match");
+        assert!(state.sync_store());
+    }
+    let clean = std::fs::read(&tmp.path).expect("read store file");
+    // Deterministic pseudo-random flips across the whole file (magic
+    // included): the service must never panic, never serve a wrong
+    // byte, and report the degradation in STATS.
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    for trial in 0..12 {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let byte = (seed >> 16) as usize % clean.len();
+        let bit = (seed >> 56) % 8;
+        let mut corrupt = clean.clone();
+        corrupt[byte] ^= 1 << bit;
+        std::fs::write(&tmp.path, &corrupt).expect("write corrupt store");
+        let state =
+            ServiceState::open_store(ServiceConfig::default(), &tmp.path).expect("open corrupt");
+        let served = run_all(&state, &reqs);
+        assert_eq!(
+            reference, served,
+            "trial {trial}: corruption at byte {byte} changed an answer"
+        );
+    }
+}
+
+#[test]
+fn stale_records_are_rejected_and_recomputed() {
+    let tmp = TempStore::new("stale");
+    let h_text = render_hypergraph(&named::cycle(6));
+    let h = softhw_hypergraph::parse_hypergraph(&h_text).unwrap();
+    // Craft a checksum-valid but semantically wrong record: a "witness"
+    // that is just one undersized bag, under the exact-shw key, claiming
+    // width 1.
+    {
+        let mut store = Store::open(&tmp.path).expect("open");
+        let fake = TreeDecomposition::new(BitSet::from_iter(h.num_vertices(), [0, 1]));
+        let frame = TdFrame::from_td(&fake, h.num_vertices());
+        store
+            .put(
+                &h,
+                ClassKey::Shw,
+                &[],
+                PutAnswer::Width {
+                    width: 1,
+                    frame: FrameRef {
+                        universe: frame.universe,
+                        snapshot: &frame.snapshot,
+                        nodes: &frame.nodes,
+                    },
+                },
+            )
+            .expect("put fake");
+        store.sync().expect("sync");
+    }
+    let reference = ServiceState::new(ServiceConfig::default())
+        .handle(&Request::new(RequestClass::Shw, h_text.clone()))
+        .encode();
+    let state = ServiceState::open_store(ServiceConfig::default(), &tmp.path).expect("open");
+    let served = state
+        .handle(&Request::new(RequestClass::Shw, h_text.clone()))
+        .encode();
+    assert_eq!(reference, served, "stale witness must not be served");
+    let invalid: u64 = stats_field(&state, "store_invalid")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(invalid >= 1, "rejection must be reported");
+    // The cold recompute was persisted, superseding the stale record:
+    // after a sync + restart the store now serves the *correct* answer.
+    assert!(state.sync_store());
+    drop(state);
+    let state = ServiceState::open_store(
+        ServiceConfig {
+            warm_start: 0,
+            ..ServiceConfig::default()
+        },
+        &tmp.path,
+    )
+    .expect("reopen");
+    let served = state
+        .handle(&Request::new(RequestClass::Shw, h_text))
+        .encode();
+    assert_eq!(reference, served);
+    let hits: u64 = stats_field(&state, "store_hits").unwrap().parse().unwrap();
+    assert_eq!(hits, 1, "the superseding record should now hit");
+}
+
+#[test]
+fn warm_start_pins_hot_schemas() {
+    let tmp = TempStore::new("pin");
+    let reqs = workload();
+    {
+        let state =
+            ServiceState::open_store(ServiceConfig::default(), &tmp.path).expect("open store");
+        run_all(&state, &reqs);
+        assert!(state.sync_store());
+    }
+    // Warm-started stripes report pinned schemas; with pinning disabled
+    // they do not (and answers are unchanged either way).
+    let pinned_state =
+        ServiceState::open_store(ServiceConfig::default(), &tmp.path).expect("reopen");
+    let pinned: u64 = stats_field(&pinned_state, "pinned")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(pinned >= 1, "the H2 stripe should hold a pinned schema");
+    let replayed = run_all(&pinned_state, &reqs);
+    drop(pinned_state);
+    let unpinned_state = ServiceState::open_store(
+        ServiceConfig {
+            pin_warm: false,
+            ..ServiceConfig::default()
+        },
+        &tmp.path,
+    )
+    .expect("reopen unpinned");
+    assert_eq!(stats_field(&unpinned_state, "pinned").as_deref(), Some("0"));
+    assert_eq!(replayed, run_all(&unpinned_state, &reqs));
+}

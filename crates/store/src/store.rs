@@ -1,0 +1,823 @@
+//! The disk-backed store: an append-only record log with an in-memory
+//! index, torn-tail recovery, and log compaction.
+//!
+//! [`Store::open`] replays the log into per-schema state (canonical
+//! structure, shared bag dictionary, live results). Replay stops at the
+//! first frame that fails its length, checksum, or semantic validation
+//! and **truncates the file back to the last valid record** — a torn
+//! tail from a crash mid-append costs the unflushed suffix, never the
+//! prefix, and a corrupted record is rejected (recomputed by the
+//! service), never trusted.
+//!
+//! [`Store::put`] appends: on a schema's first sight a `Schema` record,
+//! then a `Bags` delta for witness bags the schema's dictionary has not
+//! seen (bag dedup across records of one schema), then the `Result`.
+//! Writes go straight to the file descriptor; durability is the
+//! caller's [`Store::sync`] (the service batches fsyncs on its
+//! write-behind channel). [`Store::compact`] rewrites the log dropping
+//! superseded results and orphaned dictionary bags, atomically via a
+//! temp file + rename.
+
+use crate::record::{
+    crc64, scan_record, words_per_set, ClassKey, ResultRecord, ScanOutcome, StoreRecord,
+    StoredAnswer, StoredTd, MAGIC,
+};
+use softhw_core::td::TreeDecomposition;
+use softhw_hypergraph::cache::canonical_form;
+use softhw_hypergraph::fxhash::hash_u64_iter;
+use softhw_hypergraph::{ArenaSnapshot, BagArena, BagId, FxHashMap, Hypergraph, HypergraphBuilder};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Structural hash + independent digest of a hypergraph's canonical
+/// form. The pair keys the store: the hash routes, the digest (different
+/// mixing over the same canonical words) rejects hash collisions without
+/// storing the full canonical form in every record.
+pub fn schema_key(h: &Hypergraph) -> (u64, u64) {
+    let canon = canonical_form(h);
+    (
+        softhw_hypergraph::fxhash::hash_u64s(&canon),
+        schema_digest(&canon),
+    )
+}
+
+/// The digest half of [`schema_key`], over a precomputed canonical form.
+pub fn schema_digest(canon: &[u64]) -> u64 {
+    hash_u64_iter(std::iter::once(0x9e37_79b9_7f4a_7c15).chain(canon.iter().copied()))
+}
+
+/// Counters and sizes of a [`Store`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Structurally distinct schemas tracked.
+    pub schemas: usize,
+    /// Live results across all schemas.
+    pub results: usize,
+    /// Dictionary bags across all schemas.
+    pub dict_bags: usize,
+    /// Valid log bytes on disk.
+    pub bytes: u64,
+    /// `get` probes served.
+    pub gets: u64,
+    /// `get` probes that found a result.
+    pub hits: u64,
+    /// `get` probes that found nothing.
+    pub misses: u64,
+    /// Results persisted this session.
+    pub puts: u64,
+    /// Bytes dropped by open-time recovery (torn tail / corruption).
+    pub recovered_bytes: u64,
+}
+
+/// Per-schema summary row (`inspect` / `top` / warm-start ordering).
+#[derive(Clone, Debug)]
+pub struct SchemaSummary {
+    /// Structural hash.
+    pub hash: u64,
+    /// Canonical digest.
+    pub digest: u64,
+    /// `|V(H)|`.
+    pub num_vertices: usize,
+    /// `|E(H)|`.
+    pub num_edges: usize,
+    /// Bags in the shared dictionary.
+    pub dict_bags: usize,
+    /// Live results.
+    pub results: usize,
+    /// Heat: live results plus this session's hits — the warm-start
+    /// ordering key.
+    pub heat: u64,
+}
+
+/// A witness rebuilt from the store, in the exact flat framing the wire
+/// protocol uses: a deduplicated [`ArenaSnapshot`] (bag ids dense in
+/// first-occurrence order over the node table) plus `(parent, bag-id)`
+/// nodes in preorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameOwned {
+    /// The vertex universe.
+    pub universe: usize,
+    /// Every distinct bag once, id order.
+    pub snapshot: ArenaSnapshot,
+    /// `(parent index, bag id)` per node, preorder.
+    pub nodes: Vec<(Option<u32>, u32)>,
+}
+
+impl FrameOwned {
+    /// Reconstructs the decomposition (shared
+    /// [`TreeDecomposition::from_bag_frame`] decode path, total on
+    /// corrupt frames).
+    pub fn to_td(&self) -> Result<TreeDecomposition, softhw_core::FrameError> {
+        TreeDecomposition::from_bag_frame(self.universe, &self.snapshot, &self.nodes)
+    }
+}
+
+/// A borrowed witness frame handed to [`Store::put`] (the service's
+/// `TdFrame`, decomposed into its parts so the store does not depend on
+/// the wire crate).
+#[derive(Clone, Copy)]
+pub struct FrameRef<'a> {
+    /// The vertex universe.
+    pub universe: usize,
+    /// Deduplicated bag words.
+    pub snapshot: &'a ArenaSnapshot,
+    /// `(parent index, bag id)` per node, preorder.
+    pub nodes: &'a [(Option<u32>, u32)],
+}
+
+/// The answer being persisted by [`Store::put`].
+#[derive(Clone, Copy)]
+pub enum PutAnswer<'a> {
+    /// A "no" decision.
+    No,
+    /// A "yes" decision with its witness.
+    Yes(FrameRef<'a>),
+    /// An exact width with its witness.
+    Width {
+        /// The computed width.
+        width: usize,
+        /// The witness decomposition.
+        frame: FrameRef<'a>,
+    },
+}
+
+/// A result retrieved from the store.
+#[derive(Clone, Debug)]
+pub struct StoreHit {
+    /// Echo fields of the stored response.
+    pub fields: Vec<(String, String)>,
+    /// The stored answer with materialised witness frames.
+    pub answer: HitAnswer,
+}
+
+/// The answer half of a [`StoreHit`].
+#[derive(Clone, Debug)]
+pub enum HitAnswer {
+    /// A "no" decision.
+    No,
+    /// A "yes" decision with its witness.
+    Yes(FrameOwned),
+    /// An exact width with its witness.
+    Width {
+        /// The stored width.
+        width: usize,
+        /// The witness decomposition.
+        frame: FrameOwned,
+    },
+}
+
+struct SchemaEntry {
+    digest: u64,
+    num_vertices: usize,
+    /// Canonical (sorted) edge words.
+    edges: Vec<Vec<u64>>,
+    /// The shared bag dictionary; ids are record-referenced.
+    dict: BagArena,
+    results: FxHashMap<ClassKey, ResultRecord>,
+    /// Session get-hits (heat = this + live results).
+    session_hits: u64,
+}
+
+impl SchemaEntry {
+    fn heat(&self) -> u64 {
+        self.results.len() as u64 + self.session_hits
+    }
+}
+
+/// The disk-backed decomposition store. See the module docs.
+pub struct Store {
+    path: PathBuf,
+    file: File,
+    /// hash → entries (hash-colliding schemas share a bucket, split by
+    /// digest).
+    index: FxHashMap<u64, Vec<SchemaEntry>>,
+    bytes: u64,
+    gets: u64,
+    hits: u64,
+    misses: u64,
+    puts: u64,
+    recovered_bytes: u64,
+}
+
+impl Store {
+    /// Opens (or creates) the store at `path`, replaying the log with
+    /// torn-tail recovery: the file is truncated back to the last valid
+    /// record, and `recovered_bytes` in [`Store::stats`] reports what
+    /// was dropped. A file that does not even carry the magic header is
+    /// treated as wholly corrupt and reset to an empty store.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        // Exclusive advisory lock for the lifetime of this handle: a
+        // second opener (another server, or `softhw-store compact`
+        // against a live server) would race appends or rename the log
+        // out from under us — refuse loudly instead. On filesystems
+        // without lock support the lock is best-effort: proceed
+        // unlocked rather than refuse to run at all.
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!("store {} is locked by another process", path.display()),
+                ));
+            }
+            Err(std::fs::TryLockError::Error(_)) => {}
+        }
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut store = Store {
+            path,
+            file,
+            index: FxHashMap::default(),
+            bytes: MAGIC.len() as u64,
+            gets: 0,
+            hits: 0,
+            misses: 0,
+            puts: 0,
+            recovered_bytes: 0,
+        };
+        if bytes.is_empty() {
+            store.file.write_all(MAGIC)?;
+            store.file.sync_data()?;
+            return Ok(store);
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            // Unrecognisable header: nothing in the file can be trusted.
+            store.recovered_bytes = bytes.len() as u64;
+            store.file.set_len(0)?;
+            store.file.seek(SeekFrom::Start(0))?;
+            store.file.write_all(MAGIC)?;
+            store.file.sync_data()?;
+            return Ok(store);
+        }
+        let mut pos = MAGIC.len();
+        let mut last_good = pos;
+        loop {
+            match scan_record(&bytes, pos) {
+                ScanOutcome::End => break,
+                ScanOutcome::Record(record, next) => {
+                    if store.apply(record).is_err() {
+                        // Checksum-valid but semantically inconsistent
+                        // (e.g. a result referencing dictionary bags
+                        // that were never appended): reject it and
+                        // everything after it.
+                        break;
+                    }
+                    pos = next;
+                    last_good = next;
+                }
+                ScanOutcome::Corrupt => break,
+            }
+        }
+        if last_good < bytes.len() {
+            store.recovered_bytes = (bytes.len() - last_good) as u64;
+            store.file.set_len(last_good as u64)?;
+            store.file.sync_data()?;
+        }
+        store.file.seek(SeekFrom::Start(last_good as u64))?;
+        store.bytes = last_good as u64;
+        Ok(store)
+    }
+
+    /// The path this store is backed by.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current counters and sizes.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            schemas: self.index.values().map(Vec::len).sum(),
+            results: self.index.values().flatten().map(|e| e.results.len()).sum(),
+            dict_bags: self.index.values().flatten().map(|e| e.dict.len()).sum(),
+            bytes: self.bytes,
+            gets: self.gets,
+            hits: self.hits,
+            misses: self.misses,
+            puts: self.puts,
+            recovered_bytes: self.recovered_bytes,
+        }
+    }
+
+    /// Applies a replayed record to the index. `Err` marks the record
+    /// semantically inconsistent with the state built so far.
+    fn apply(&mut self, record: StoreRecord) -> Result<(), &'static str> {
+        let (hash, digest) = record.schema_key();
+        match record {
+            StoreRecord::Schema {
+                num_vertices,
+                edges,
+                ..
+            } => {
+                let bucket = self.index.entry(hash).or_default();
+                if let Some(existing) = bucket.iter().find(|e| e.digest == digest) {
+                    // Idempotent re-registration (e.g. a crash between a
+                    // Schema append and its first Result) must describe
+                    // the same structure.
+                    if existing.num_vertices != num_vertices as usize || existing.edges != edges {
+                        return Err("schema re-registered with different structure");
+                    }
+                    return Ok(());
+                }
+                bucket.push(SchemaEntry {
+                    digest,
+                    num_vertices: num_vertices as usize,
+                    edges,
+                    dict: BagArena::new(num_vertices as usize),
+                    results: FxHashMap::default(),
+                    session_hits: 0,
+                });
+                Ok(())
+            }
+            StoreRecord::Bags { universe, bags, .. } => {
+                let entry = Self::entry_mut(&mut self.index, hash, digest)
+                    .ok_or("bags for unregistered schema")?;
+                if universe as usize != entry.num_vertices {
+                    return Err("bags universe disagrees with schema");
+                }
+                let wpb = words_per_set(entry.num_vertices);
+                // The writer only appends bags the dictionary has not
+                // seen; a duplicate here (within the record or against
+                // the dictionary) would shift every later id, so it is
+                // corruption. Check before mutating.
+                for (i, b) in bags.iter().enumerate() {
+                    if b.len() != wpb {
+                        return Err("bag with wrong word count");
+                    }
+                    if entry.dict.lookup_words(b).is_some()
+                        || bags[..i].iter().any(|prev| prev == b)
+                    {
+                        return Err("duplicate dictionary bag");
+                    }
+                }
+                for b in &bags {
+                    entry.dict.intern_words(b);
+                }
+                Ok(())
+            }
+            StoreRecord::Result { result, .. } => {
+                let entry = Self::entry_mut(&mut self.index, hash, digest)
+                    .ok_or("result for unregistered schema")?;
+                let dict_len = entry.dict.len() as u64;
+                let check_td = |td: &StoredTd| -> Result<(), &'static str> {
+                    if td.nodes.iter().any(|&(_, bag)| bag as u64 >= dict_len) {
+                        return Err("witness references unknown dictionary bag");
+                    }
+                    Ok(())
+                };
+                match &result.answer {
+                    StoredAnswer::No => {}
+                    StoredAnswer::Yes(td) | StoredAnswer::Width { td, .. } => check_td(td)?,
+                }
+                entry.results.insert(result.key, result);
+                Ok(())
+            }
+        }
+    }
+
+    fn entry_mut(
+        index: &mut FxHashMap<u64, Vec<SchemaEntry>>,
+        hash: u64,
+        digest: u64,
+    ) -> Option<&mut SchemaEntry> {
+        index
+            .get_mut(&hash)?
+            .iter_mut()
+            .find(|e| e.digest == digest)
+    }
+
+    fn entry(&self, hash: u64, digest: u64) -> Option<&SchemaEntry> {
+        self.index.get(&hash)?.iter().find(|e| e.digest == digest)
+    }
+
+    fn append(&mut self, record: &StoreRecord) -> io::Result<()> {
+        let framed = record.frame();
+        self.file.write_all(&framed)?;
+        self.bytes += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Persists one result of schema `h`. Appends, in order: a `Schema`
+    /// record on first sight, a `Bags` delta for witness bags new to
+    /// the schema's dictionary, and the `Result` (which supersedes any
+    /// earlier result under the same class key). Durability requires a
+    /// later [`Store::sync`].
+    pub fn put(
+        &mut self,
+        h: &Hypergraph,
+        key: ClassKey,
+        fields: &[(String, String)],
+        answer: PutAnswer<'_>,
+    ) -> io::Result<()> {
+        let (hash, digest) = schema_key(h);
+        if self.entry(hash, digest).is_none() {
+            let mut edges: Vec<Vec<u64>> = h.edges().iter().map(|e| e.blocks().to_vec()).collect();
+            edges.sort_unstable();
+            let record = StoreRecord::Schema {
+                hash,
+                digest,
+                num_vertices: h.num_vertices() as u64,
+                edges,
+            };
+            self.apply(record.clone())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            self.append(&record)?;
+        }
+        // Intern the witness's bags into the shared dictionary, logging
+        // only the delta, and translate the node table to dictionary
+        // ids.
+        let translate = |this: &mut Store, frame: FrameRef<'_>| -> io::Result<StoredTd> {
+            if frame.universe != h.num_vertices() || frame.snapshot.universe != frame.universe {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "witness universe disagrees with schema",
+                ));
+            }
+            let entry = Self::entry_mut(&mut this.index, hash, digest).expect("registered above");
+            let mut new_bags: Vec<Vec<u64>> = Vec::new();
+            let mut dict_of_local: Vec<u32> = Vec::with_capacity(frame.snapshot.len());
+            for i in 0..frame.snapshot.len() {
+                let words = frame.snapshot.words(i);
+                let id = match entry.dict.lookup_words(words) {
+                    Some(id) => id,
+                    None => {
+                        new_bags.push(words.to_vec());
+                        entry.dict.intern_words(words)
+                    }
+                };
+                dict_of_local.push(id.0);
+            }
+            let mut nodes = Vec::with_capacity(frame.nodes.len());
+            for &(parent, bag) in frame.nodes {
+                let dict_id = *dict_of_local.get(bag as usize).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "witness bag id out of range")
+                })?;
+                nodes.push((parent, dict_id));
+            }
+            if !new_bags.is_empty() {
+                this.append(&StoreRecord::Bags {
+                    hash,
+                    digest,
+                    universe: h.num_vertices() as u64,
+                    bags: new_bags,
+                })?;
+            }
+            Ok(StoredTd { nodes })
+        };
+        let answer = match answer {
+            PutAnswer::No => StoredAnswer::No,
+            PutAnswer::Yes(frame) => StoredAnswer::Yes(translate(self, frame)?),
+            PutAnswer::Width { width, frame } => StoredAnswer::Width {
+                width: width as u64,
+                td: translate(self, frame)?,
+            },
+        };
+        let result = ResultRecord {
+            key,
+            fields: fields.to_vec(),
+            answer,
+        };
+        let record = StoreRecord::Result {
+            hash,
+            digest,
+            result: result.clone(),
+        };
+        self.append(&record)?;
+        Self::entry_mut(&mut self.index, hash, digest)
+            .expect("registered above")
+            .results
+            .insert(key, result);
+        self.puts += 1;
+        Ok(())
+    }
+
+    /// Looks up the stored result for `(hash, digest, key)`,
+    /// materialising witness frames against the schema's dictionary.
+    /// Pure index probe — no disk I/O.
+    pub fn get(&mut self, hash: u64, digest: u64, key: &ClassKey) -> Option<StoreHit> {
+        self.gets += 1;
+        let entry = match Self::entry_mut(&mut self.index, hash, digest) {
+            Some(e) => e,
+            None => {
+                self.misses += 1;
+                return None;
+            }
+        };
+        let Some(result) = entry.results.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        let universe = entry.num_vertices;
+        let frame = |td: &StoredTd| Self::materialise(&entry.dict, universe, td);
+        let answer = match &result.answer {
+            StoredAnswer::No => HitAnswer::No,
+            StoredAnswer::Yes(td) => HitAnswer::Yes(frame(td)),
+            StoredAnswer::Width { width, td } => HitAnswer::Width {
+                width: *width as usize,
+                frame: frame(td),
+            },
+        };
+        let hit = StoreHit {
+            fields: result.fields.clone(),
+            answer,
+        };
+        entry.session_hits += 1;
+        self.hits += 1;
+        Some(hit)
+    }
+
+    /// Rebuilds a dense-id witness frame from dictionary-id nodes: local
+    /// ids are assigned in first-occurrence order over the node table,
+    /// which is exactly the order the wire's `TdFrame::from_td` interns
+    /// preorder bags — so a frame that went through the store compares
+    /// byte-identical to one framed fresh.
+    fn materialise(dict: &BagArena, universe: usize, td: &StoredTd) -> FrameOwned {
+        let mut local_of_dict: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut storage: Vec<u64> = Vec::new();
+        let mut nodes = Vec::with_capacity(td.nodes.len());
+        for &(parent, dict_id) in &td.nodes {
+            let next = local_of_dict.len() as u32;
+            let local = *local_of_dict.entry(dict_id).or_insert_with(|| {
+                storage.extend_from_slice(dict.words(BagId(dict_id)));
+                next
+            });
+            nodes.push((parent, local));
+        }
+        FrameOwned {
+            universe,
+            snapshot: ArenaSnapshot { universe, storage },
+            nodes,
+        }
+    }
+
+    /// Flushes and fsyncs the log. The write-behind persister calls
+    /// this between batches; nothing is durable before it returns.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// A second handle onto the log for durability syncs: appends
+    /// happen under the store lock (fast syscalls), but a caller can
+    /// `sync_data()` this clone *without* holding the lock, keeping the
+    /// slow disk flush off the request path entirely.
+    pub fn sync_handle(&self) -> io::Result<File> {
+        self.file.try_clone()
+    }
+
+    /// Summaries of every schema, hottest first (ties broken by hash for
+    /// a stable order). The warm-start preload order.
+    pub fn schemas(&self) -> Vec<SchemaSummary> {
+        let mut out: Vec<SchemaSummary> = self
+            .index
+            .iter()
+            .flat_map(|(&hash, bucket)| {
+                bucket.iter().map(move |e| SchemaSummary {
+                    hash,
+                    digest: e.digest,
+                    num_vertices: e.num_vertices,
+                    num_edges: e.edges.len(),
+                    dict_bags: e.dict.len(),
+                    results: e.results.len(),
+                    heat: e.heat(),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| b.heat.cmp(&a.heat).then(a.hash.cmp(&b.hash)));
+        out
+    }
+
+    /// The hottest `n` schemas as `(hash, digest)` pairs.
+    pub fn hottest(&self, n: usize) -> Vec<(u64, u64)> {
+        self.schemas()
+            .into_iter()
+            .take(n)
+            .map(|s| (s.hash, s.digest))
+            .collect()
+    }
+
+    /// Rebuilds a structurally identical hypergraph for a stored schema
+    /// (synthetic `v<i>`/`e<j>` names; the structural hash and digest of
+    /// the rebuilt hypergraph equal the stored ones, which
+    /// [`Store::verify`] checks).
+    pub fn schema_hypergraph(&self, hash: u64, digest: u64) -> Option<Hypergraph> {
+        let entry = self.entry(hash, digest)?;
+        let mut b = HypergraphBuilder::new();
+        for v in 0..entry.num_vertices {
+            b.vertex(&format!("v{v}"));
+        }
+        for (j, words) in entry.edges.iter().enumerate() {
+            let ids: Vec<usize> = softhw_hypergraph::arena::words_iter(words).collect();
+            if ids.iter().any(|&v| v >= entry.num_vertices) {
+                return None; // corrupt edge survived somehow: refuse
+            }
+            b.edge_ids(&format!("e{j}"), &ids);
+        }
+        Some(b.build_allow_isolated())
+    }
+
+    /// Every stored result of a schema, key-sorted, witnesses
+    /// materialised — the warm-start feed.
+    pub fn results_for(&self, hash: u64, digest: u64) -> Vec<(ClassKey, StoreHit)> {
+        let Some(entry) = self.entry(hash, digest) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(ClassKey, StoreHit)> = entry
+            .results
+            .values()
+            .map(|r| {
+                let frame = |td: &StoredTd| Self::materialise(&entry.dict, entry.num_vertices, td);
+                let answer = match &r.answer {
+                    StoredAnswer::No => HitAnswer::No,
+                    StoredAnswer::Yes(td) => HitAnswer::Yes(frame(td)),
+                    StoredAnswer::Width { width, td } => HitAnswer::Width {
+                        width: *width as usize,
+                        frame: frame(td),
+                    },
+                };
+                (
+                    r.key,
+                    StoreHit {
+                        fields: r.fields.clone(),
+                        answer,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Full offline verification: every schema rebuilds to its stored
+    /// hash/digest, and every stored witness decodes into a valid tree
+    /// decomposition of its schema. Returns human-readable problem
+    /// descriptions (empty = clean).
+    pub fn verify(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for s in self.schemas() {
+            let Some(h) = self.schema_hypergraph(s.hash, s.digest) else {
+                problems.push(format!("schema {:016x}: cannot rebuild hypergraph", s.hash));
+                continue;
+            };
+            let (rh, rd) = schema_key(&h);
+            if (rh, rd) != (s.hash, s.digest) {
+                problems.push(format!(
+                    "schema {:016x}: rebuilt hash/digest disagree ({rh:016x}/{rd:016x})",
+                    s.hash
+                ));
+                continue;
+            }
+            for (key, hit) in self.results_for(s.hash, s.digest) {
+                let frame = match &hit.answer {
+                    HitAnswer::No => continue,
+                    HitAnswer::Yes(f) => f,
+                    HitAnswer::Width { frame, .. } => frame,
+                };
+                match frame.to_td() {
+                    Ok(td) => {
+                        if let Err(e) = td.validate(&h) {
+                            problems.push(format!(
+                                "schema {:016x} {key:?}: witness invalid: {e}",
+                                s.hash
+                            ));
+                        }
+                    }
+                    Err(e) => problems.push(format!(
+                        "schema {:016x} {key:?}: witness frame corrupt: {e}",
+                        s.hash
+                    )),
+                }
+            }
+        }
+        problems
+    }
+
+    /// Rewrites the log keeping only live state: one `Schema` record per
+    /// schema, one `Bags` record holding exactly the dictionary bags
+    /// still referenced by a live result (orphans from superseded
+    /// results are dropped, ids remapped), and the live `Result`
+    /// records. Atomic: written to a temp file, fsynced, renamed over
+    /// the log. Returns `(bytes_before, bytes_after)`.
+    pub fn compact(&mut self) -> io::Result<(u64, u64)> {
+        let before = self.bytes;
+        let tmp_path = {
+            let mut p = self.path.clone().into_os_string();
+            p.push(".compact");
+            PathBuf::from(p)
+        };
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(MAGIC)?;
+        let mut written = MAGIC.len() as u64;
+        let mut hashes: Vec<u64> = self.index.keys().copied().collect();
+        hashes.sort_unstable();
+        for hash in hashes {
+            let bucket = &self.index[&hash];
+            let mut order: Vec<usize> = (0..bucket.len()).collect();
+            order.sort_by_key(|&i| bucket[i].digest);
+            for i in order {
+                let entry = &bucket[i];
+                let mut records: Vec<StoreRecord> = Vec::new();
+                records.push(StoreRecord::Schema {
+                    hash,
+                    digest: entry.digest,
+                    num_vertices: entry.num_vertices as u64,
+                    edges: entry.edges.clone(),
+                });
+                // Gather referenced dictionary bags in a deterministic
+                // order (key-sorted results, node order within each) and
+                // remap them to fresh dense ids.
+                let mut keys: Vec<ClassKey> = entry.results.keys().copied().collect();
+                keys.sort_unstable();
+                let mut new_of_old: FxHashMap<u32, u32> = FxHashMap::default();
+                let mut kept_bags: Vec<Vec<u64>> = Vec::new();
+                let mut remapped: Vec<ResultRecord> = Vec::new();
+                for key in keys {
+                    let r = &entry.results[&key];
+                    let mut remap_td = |td: &StoredTd| StoredTd {
+                        nodes: td
+                            .nodes
+                            .iter()
+                            .map(|&(parent, old)| {
+                                let next = new_of_old.len() as u32;
+                                let new = *new_of_old.entry(old).or_insert_with(|| {
+                                    kept_bags.push(entry.dict.words(BagId(old)).to_vec());
+                                    next
+                                });
+                                (parent, new)
+                            })
+                            .collect(),
+                    };
+                    let answer = match &r.answer {
+                        StoredAnswer::No => StoredAnswer::No,
+                        StoredAnswer::Yes(td) => StoredAnswer::Yes(remap_td(td)),
+                        StoredAnswer::Width { width, td } => StoredAnswer::Width {
+                            width: *width,
+                            td: remap_td(td),
+                        },
+                    };
+                    remapped.push(ResultRecord {
+                        key,
+                        fields: r.fields.clone(),
+                        answer,
+                    });
+                }
+                if !kept_bags.is_empty() {
+                    records.push(StoreRecord::Bags {
+                        hash,
+                        digest: entry.digest,
+                        universe: entry.num_vertices as u64,
+                        bags: kept_bags,
+                    });
+                }
+                for result in remapped {
+                    records.push(StoreRecord::Result {
+                        hash,
+                        digest: entry.digest,
+                        result,
+                    });
+                }
+                for record in &records {
+                    let framed = record.frame();
+                    tmp.write_all(&framed)?;
+                    written += framed.len() as u64;
+                }
+            }
+        }
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen on the compacted file and rebuild the index (ids were
+        // remapped), carrying the session counters over.
+        let reopened = Store::open(&self.path)?;
+        let (gets, hits, misses, puts, recovered) = (
+            self.gets,
+            self.hits,
+            self.misses,
+            self.puts,
+            self.recovered_bytes,
+        );
+        *self = reopened;
+        self.gets = gets;
+        self.hits = hits;
+        self.misses = misses;
+        self.puts = puts;
+        self.recovered_bytes = recovered;
+        debug_assert_eq!(self.bytes, written);
+        Ok((before, written))
+    }
+}
+
+/// Consistency helper for tests and `softhw-store verify`: the crc of
+/// the whole live file (read back from disk), to detect writer bugs
+/// that in-memory state would mask.
+pub fn file_crc(path: impl AsRef<Path>) -> io::Result<u64> {
+    let bytes = std::fs::read(path)?;
+    Ok(crc64(&bytes))
+}

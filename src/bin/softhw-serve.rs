@@ -1,5 +1,6 @@
 //! `softhw-serve` — the decomposition service: a multi-threaded TCP
-//! front-end over the workspace's cross-query caches.
+//! front-end over the workspace's cross-query caches, optionally backed
+//! by the persistent decomposition store.
 //!
 //! ```text
 //! softhw-serve [options]
@@ -7,13 +8,22 @@
 //!   --workers <n>        connection worker threads (default: cores)
 //!   --stripes <n>        cache stripes (default 8)
 //!   --cache <n>          per-stripe schema capacity before LRU eviction (default 128)
+//!   --result-cache <n>   per-stripe result-cache capacity (default 1024, 0 = off)
 //!   --max-edges <n>      largest schema accepted (default 100000)
 //!   --max-conns <n>      exit after serving n connections (for smoke tests)
+//!   --store <path>       persistent store: results survive restarts (created
+//!                        if missing; torn tails recovered on open)
+//!   --warm <n>           warm-start the n hottest stored schemas (default 64)
+//!   --no-pin             do not pin warm-started schemas against LRU eviction
 //! ```
 //!
-//! Prints `listening on <addr>` once the socket is bound. See the README
-//! for the wire format and an example session; `softhw-cli --connect`
-//! speaks the protocol.
+//! With `--store`, the boot sequence opens the log (truncating a torn
+//! tail back to the last valid record), preloads the hottest schemas
+//! into the stripe caches, and prints a `store:` line before the
+//! `listening on <addr>` readiness line. On clean exit (`--max-conns`)
+//! the write-behind persister drains and fsyncs before the process
+//! ends. See the README for the wire format; `softhw-cli --connect`
+//! speaks the protocol and `softhw-store` inspects the store offline.
 
 use softhw_service::{ServeOptions, Server, ServiceConfig, ServiceState};
 use std::process::ExitCode;
@@ -21,11 +31,13 @@ use std::process::ExitCode;
 struct Args {
     serve: ServeOptions,
     config: ServiceConfig,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut serve = ServeOptions::default();
     let mut config = ServiceConfig::default();
+    let mut store = None;
     let mut args = std::env::args().skip(1);
     let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<usize, String> {
         let v = args.next().ok_or(format!("{flag} needs a value"))?;
@@ -37,17 +49,26 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => serve.workers = num(&mut args, "--workers")?.max(1),
             "--stripes" => config.stripes = num(&mut args, "--stripes")?.max(1),
             "--cache" => config.cache_capacity = num(&mut args, "--cache")?,
+            "--result-cache" => config.result_cache_capacity = num(&mut args, "--result-cache")?,
             "--max-edges" => config.max_edges = num(&mut args, "--max-edges")?,
             "--max-conns" => serve.max_conns = Some(num(&mut args, "--max-conns")? as u64),
+            "--store" => store = Some(args.next().ok_or("--store needs a path")?),
+            "--warm" => config.warm_start = num(&mut args, "--warm")?,
+            "--no-pin" => config.pin_warm = false,
             "--help" | "-h" => {
                 return Err("usage: softhw-serve [--addr host:port] [--workers n] \
-                            [--stripes n] [--cache n] [--max-edges n] [--max-conns n]"
+                            [--stripes n] [--cache n] [--result-cache n] [--max-edges n] \
+                            [--max-conns n] [--store path] [--warm n] [--no-pin]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Args { serve, config })
+    Ok(Args {
+        serve,
+        config,
+        store,
+    })
 }
 
 fn main() -> ExitCode {
@@ -58,7 +79,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let state = ServiceState::new(args.config);
+    let state = match &args.store {
+        Some(path) => {
+            let store = match softhw_store::Store::open(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("softhw-serve: cannot open store {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let stats = store.stats();
+            if stats.recovered_bytes > 0 {
+                eprintln!(
+                    "softhw-serve: store recovery dropped {} corrupt/torn byte(s)",
+                    stats.recovered_bytes
+                );
+            }
+            println!(
+                "store: {path} ({} schemas, {} results, {} bytes)",
+                stats.schemas, stats.results, stats.bytes
+            );
+            ServiceState::with_store(args.config, store)
+        }
+        None => ServiceState::new(args.config),
+    };
     let server = match Server::bind(args.serve, state) {
         Ok(s) => s,
         Err(e) => {
@@ -80,6 +124,8 @@ fn main() -> ExitCode {
     }
     match server.run() {
         Ok(served) => {
+            // Dropping the server (and with it the state) joins the
+            // write-behind persister: the store is durable past here.
             eprintln!("softhw-serve: served {served} connections, exiting");
             ExitCode::SUCCESS
         }

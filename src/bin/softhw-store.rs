@@ -1,0 +1,122 @@
+//! `softhw-store` — offline tooling for the persistent decomposition
+//! store (`softhw-serve --store`).
+//!
+//! ```text
+//! softhw-store inspect <path>      per-schema summary: structure, dictionary,
+//!                                  result counts, heat
+//! softhw-store verify  <path>      full offline check: schemas rebuild to their
+//!                                  hashes, every witness validates (exit 1 on
+//!                                  any problem)
+//! softhw-store compact <path>      rewrite the log dropping superseded results
+//!                                  and orphaned dictionary bags (atomic)
+//! softhw-store top     <path> [n]  the n hottest schemas (default 10) — the
+//!                                  warm-start preload order
+//! ```
+//!
+//! Opening a store always runs torn-tail recovery first; `inspect` and
+//! `verify` report when bytes were dropped. Exit codes: 0 ok, 1 verify
+//! found problems, 2 usage/IO errors.
+
+use softhw_store::Store;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: softhw-store <inspect|verify|compact|top> <path> [n]".to_string()
+}
+
+fn open(path: &str) -> Result<Store, String> {
+    let store = Store::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let stats = store.stats();
+    if stats.recovered_bytes > 0 {
+        eprintln!(
+            "softhw-store: recovery dropped {} corrupt/torn byte(s) from {path}",
+            stats.recovered_bytes
+        );
+    }
+    Ok(store)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => return Err(usage()),
+    };
+    match cmd {
+        "inspect" => {
+            let store = open(path)?;
+            let stats = store.stats();
+            println!(
+                "{path}: {} bytes, {} schemas, {} results, {} dictionary bags",
+                stats.bytes, stats.schemas, stats.results, stats.dict_bags
+            );
+            println!(
+                "{:<18} {:<18} {:>9} {:>7} {:>9} {:>8} {:>6}",
+                "hash", "digest", "vertices", "edges", "dict", "results", "heat"
+            );
+            for s in store.schemas() {
+                println!(
+                    "{:016x}   {:016x}   {:>9} {:>7} {:>9} {:>8} {:>6}",
+                    s.hash, s.digest, s.num_vertices, s.num_edges, s.dict_bags, s.results, s.heat
+                );
+            }
+            Ok(true)
+        }
+        "verify" => {
+            let store = open(path)?;
+            let problems = store.verify();
+            let stats = store.stats();
+            if problems.is_empty() {
+                println!(
+                    "{path}: ok — {} schemas, {} results, every witness validates",
+                    stats.schemas, stats.results
+                );
+                Ok(true)
+            } else {
+                for p in &problems {
+                    eprintln!("softhw-store: {p}");
+                }
+                println!("{path}: {} problem(s) found", problems.len());
+                Ok(false)
+            }
+        }
+        "compact" => {
+            let mut store = open(path)?;
+            let (before, after) = store
+                .compact()
+                .map_err(|e| format!("compaction failed: {e}"))?;
+            println!(
+                "{path}: {before} -> {after} bytes ({} reclaimed)",
+                before.saturating_sub(after)
+            );
+            Ok(true)
+        }
+        "top" => {
+            let n: usize = match args.get(2) {
+                Some(v) => v.parse().map_err(|_| format!("bad count {v:?}"))?,
+                None => 10,
+            };
+            let store = open(path)?;
+            println!("{:<18} {:>6} {:>8}  structure", "hash", "heat", "results");
+            for s in store.schemas().into_iter().take(n) {
+                println!(
+                    "{:016x}   {:>6} {:>8}  {} vertices, {} edges",
+                    s.hash, s.heat, s.results, s.num_vertices, s.num_edges
+                );
+            }
+            Ok(true)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("softhw-store: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
