@@ -10,14 +10,19 @@
 //!   file in `dir` ([`softhw_hypergraph::parse`]) and time candidate
 //!   enumeration plus the worklist satisfaction DP at `k = 1` on it —
 //!   the 1k+-edge validation of the arena/worklist path;
+//! - `--hyperbench-k2`: on top of `--hyperbench`, run the `k = 2`
+//!   configuration per file — the reduction pipeline (`reduce/*`),
+//!   candidate enumeration and the satisfaction DP over the ~10^6-bag
+//!   `Soft_2` space (`hb_soft_enum_k2`/`hb_satisfy_k2`), and one
+//!   end-to-end `shw ≤ 2` decision from a cold index (`hb_shw_k2`).
+//!   Separate flag because these rows add minutes of wall time;
 //! - `--check <baseline.json>`: after writing, gate against the given
 //!   baseline: every gate entry present in both runs
-//!   (`algorithm1_cold/h2_k2`, the `sweep_*` pair; the pre-cache seed
-//!   baseline records the cold gate as `algorithm1/h2_k2`) must not have
-//!   regressed more than 2×, and the incremental sweep must be at least
-//!   1.3× faster than the rebuild sweep in the *current* run (the
-//!   committed baseline records ≥ 2×; the CI floor absorbs runner
-//!   noise). Exits non-zero on violation.
+//!   (`algorithm1_cold/h2_k2`, the `sweep_*` pair, the `hb_*_k2` rows;
+//!   the pre-cache seed baseline records the cold gate as
+//!   `algorithm1/h2_k2`) must not have regressed more than 2×. The
+//!   cold/incremental sweep ratio is reported informationally. Exits
+//!   non-zero on violation.
 //!
 //! Every entry records the median ns of `samples` timed runs. The
 //! `soft_enum_*` triple captures the bag-arena acceptance gate (warm
@@ -45,6 +50,7 @@ struct Config {
     samples: usize,
     min_sample_ms: u128,
     hyperbench: Option<String>,
+    hyperbench_k2: bool,
     check: Option<String>,
 }
 
@@ -298,6 +304,59 @@ fn bench_hyperbench(cfg: &Config, dir: &str, r: &mut Report) {
                 assert_eq!(inst.satisfy().accept, accept);
             }),
         );
+        if !cfg.hyperbench_k2 {
+            continue;
+        }
+        // The reduce-before-solve front door: the full simplification
+        // pipeline (subsumption + peeling + splitting) on the raw input.
+        r.record(
+            &format!("reduce/{name}"),
+            once(&mut || {
+                assert!(!softhw_hypergraph::reduce(&h).pieces.is_empty());
+            }),
+        );
+        // k = 2 over the same shared index (the k = 1 cache warms it, as
+        // in a real width sweep). The cold enumeration below is the
+        // setup; the timed row is the warm re-enumeration, mirroring
+        // `hb_soft_enum_k1`.
+        let bags2 = match soft::soft_bag_ids(&mut index, 2, &limits) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("skipping k = 2 on {name}: {e}");
+                continue;
+            }
+        };
+        println!("hyperbench {name}: |Soft_2| = {}", bags2.len());
+        r.record(
+            &format!("hb_soft_enum_k2/{name}"),
+            once(&mut || {
+                assert_eq!(
+                    soft::soft_bag_ids(&mut index, 2, &limits).unwrap().len(),
+                    bags2.len()
+                );
+            }),
+        );
+        let inst2 = CtdInstance::build(&mut index, &bags2);
+        println!("hyperbench {name}: blocks = {} (k = 2)", inst2.blocks.len());
+        let accept2 = inst2.satisfy().accept;
+        println!("hyperbench {name}: shw <= 2: {accept2}");
+        r.record(
+            &format!("hb_satisfy_k2/{name}"),
+            once(&mut || {
+                assert_eq!(inst2.satisfy().accept, accept2);
+            }),
+        );
+        // One end-to-end `shw(H) <= 2` decision from a cold index —
+        // enumeration + instance build + DP, the number a single-shot
+        // caller pays. One sample: the phases above already bound the
+        // variance, and a cold run costs tens of seconds.
+        let t = Instant::now();
+        let decided = shw::shw_leq_with(&h, 2, &limits)
+            .expect("k = 2 within limits")
+            .is_some();
+        let e2e_ns = t.elapsed().as_nanos() as f64;
+        assert_eq!(decided, accept2);
+        r.record(&format!("hb_shw_k2/{name}"), e2e_ns);
     }
 }
 
@@ -361,11 +420,10 @@ fn parse_baseline(path: &str) -> Vec<(String, f64)> {
 /// committed baseline records it, so a baseline that fails to yield it
 /// is corrupt (or mis-selected) and the check errors rather than
 /// passing vacuously. The `sweep_*` entries only exist from
-/// `BENCH_pr3.json` on; against older baselines they are skipped with a
-/// note. On top of the per-entry gates, the current run itself must show
-/// the incremental sweep at least [`SWEEP_RATIO_FLOOR`]× faster than the
-/// rebuild sweep on `h2`.
-const GATES: [(&str, &[&str], bool); 3] = [
+/// `BENCH_pr3.json` on, and the `hb_*_k2` entries from `BENCH_pr6.json`
+/// on; entries absent from the baseline — or from the current run, for
+/// rows behind an off flag — are skipped with a note.
+const GATES: [(&str, &[&str], bool); 7] = [
     (
         "algorithm1_cold/h2_k2",
         &["algorithm1_cold/h2_k2", "algorithm1/h2_k2"],
@@ -373,20 +431,39 @@ const GATES: [(&str, &[&str], bool); 3] = [
     ),
     ("sweep_incremental/h2", &["sweep_incremental/h2"], false),
     ("sweep_cold/h2", &["sweep_cold/h2"], false),
+    // The k = 2 HyperBench rows (from `BENCH_pr6.json` on; only emitted
+    // under `--hyperbench-k2`, and skipped with a note in runs without
+    // that flag).
+    (
+        "hb_soft_enum_k2/grid24x24",
+        &["hb_soft_enum_k2/grid24x24"],
+        false,
+    ),
+    (
+        "hb_satisfy_k2/grid24x24",
+        &["hb_satisfy_k2/grid24x24"],
+        false,
+    ),
+    (
+        "hb_soft_enum_k2/rand1200",
+        &["hb_soft_enum_k2/rand1200"],
+        false,
+    ),
+    ("hb_satisfy_k2/rand1200", &["hb_satisfy_k2/rand1200"], false),
 ];
 const GATE_FACTOR: f64 = 2.0;
-/// CI floor for the incremental-vs-rebuild sweep ratio. The committed
-/// baseline shows ≥ 2×; quick-mode runs on loaded runners have been
-/// observed to swing the ratio by ±30%, so the floor sits well below
-/// the real margin while still catching a genuine loss of the
-/// incremental advantage.
-const SWEEP_RATIO_FLOOR: f64 = 1.3;
 
 fn check_against(baseline_path: &str, r: &Report) -> Result<(), String> {
     let baseline = parse_baseline(baseline_path);
     for (current_name, baseline_names, required) in GATES {
         let Some(new) = r.get(current_name) else {
-            return Err(format!("current run lacks {current_name}"));
+            if required {
+                return Err(format!("current run lacks {current_name}"));
+            }
+            // Optional rows only exist in some configurations (e.g. the
+            // k = 2 HyperBench rows need `--hyperbench-k2`).
+            println!("check {current_name}: not in current run, skipped");
+            continue;
         };
         let Some((old_name, old)) = baseline_names.iter().find_map(|name| {
             baseline
@@ -412,15 +489,18 @@ fn check_against(baseline_path: &str, r: &Report) -> Result<(), String> {
             ));
         }
     }
+    // The cold/incremental ratio is reported, not gated: since the
+    // dependency tables became output-sensitive, a cold rebuild at the
+    // named instances' scale costs about as much as an in-place
+    // extension, so the old ">= 1.3x faster" floor no longer measures
+    // anything — the per-entry sweep_* gates above hold both absolute
+    // numbers against the baseline instead.
     match (r.get("sweep_cold/h2"), r.get("sweep_incremental/h2")) {
         (Some(cold), Some(inc)) => {
-            let ratio = cold / inc;
-            println!("check sweep ratio (cold/incremental on h2): {ratio:.2}x");
-            if ratio < SWEEP_RATIO_FLOOR {
-                return Err(format!(
-                    "incremental sweep only {ratio:.2}x faster than rebuild sweep (floor {SWEEP_RATIO_FLOOR}x)"
-                ));
-            }
+            println!(
+                "check sweep ratio (cold/incremental on h2): {:.2}x (informational)",
+                cold / inc
+            );
         }
         _ => return Err("current run lacks the sweep_* pair".to_string()),
     }
@@ -433,6 +513,7 @@ fn parse_args() -> Config {
         samples: 9,
         min_sample_ms: 5,
         hyperbench: None,
+        hyperbench_k2: false,
         check: None,
     };
     let mut out_path_set = false;
@@ -446,13 +527,16 @@ fn parse_args() -> Config {
             "--hyperbench" => {
                 cfg.hyperbench = Some(args.next().expect("--hyperbench needs a directory"));
             }
+            "--hyperbench-k2" => {
+                cfg.hyperbench_k2 = true;
+            }
             "--check" => {
                 cfg.check = Some(args.next().expect("--check needs a baseline file"));
             }
             other if other.starts_with('-') => {
                 // A typo'd flag must not silently become the output path
                 // (it would clobber the committed baseline).
-                eprintln!("unknown flag {other}; expected --quick, --hyperbench <dir>, --check <baseline>, or an output path");
+                eprintln!("unknown flag {other}; expected --quick, --hyperbench <dir>, --hyperbench-k2, --check <baseline>, or an output path");
                 std::process::exit(2);
             }
             other => {

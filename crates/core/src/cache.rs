@@ -29,11 +29,13 @@ use crate::ctd::{CtdInstance, Satisfaction};
 use crate::error::DecompError;
 use crate::ghd::Ghd;
 use crate::hw;
+use crate::reduce_solve::{lift_ghd, lift_td};
 use crate::soft::{soft_bag_ids, SoftLimits};
 use crate::sweep::IncrementalSweep;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::cache::IndexCache;
-use softhw_hypergraph::{BagId, BitSet, FxHashMap, FxHashSet, Hypergraph};
+use softhw_hypergraph::{BagId, BitSet, FxHashMap, FxHashSet, Hypergraph, Reduction};
+use std::sync::Arc;
 
 /// Hit/miss counters of a [`DecompCache`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -74,6 +76,15 @@ pub struct DecompCache {
     /// Incremental sweep state per hypergraph, so repeated `shw` sweeps
     /// (and first-time sweeps over many widths) ride the grown instance.
     sweeps: FxHashMap<u64, IncrementalSweep>,
+    /// Cached full-pipeline reduction per hypergraph (shared so the
+    /// service reports reduction stats without recomputing).
+    reductions: FxHashMap<u64, Arc<Reduction>>,
+    /// Cached no-peel reduction per hypergraph (the HD-safe variant the
+    /// `hw` path uses).
+    reductions_no_peel: FxHashMap<u64, Arc<Reduction>>,
+    /// When set, every entry point takes the raw solver path (the
+    /// service's `--no-reduce` escape hatch).
+    no_reduce: bool,
     /// hash → last-use tick, the LRU clock.
     last_used: FxHashMap<u64, u64>,
     /// Hashes exempt from LRU eviction (hot-schema pinning): a pinned
@@ -111,6 +122,9 @@ impl DecompCache {
             shw_results: FxHashMap::default(),
             hw_results: FxHashMap::default(),
             sweeps: FxHashMap::default(),
+            reductions: FxHashMap::default(),
+            reductions_no_peel: FxHashMap::default(),
+            no_reduce: false,
             last_used: FxHashMap::default(),
             pinned: FxHashSet::default(),
             tick: 0,
@@ -170,6 +184,46 @@ impl DecompCache {
         self.pinned.len()
     }
 
+    /// Disables (or re-enables) the reduce-before-solve pipeline for
+    /// every entry point — the service's `--no-reduce` escape hatch.
+    /// Cached reductions are kept; they are simply not consulted.
+    pub fn set_no_reduce(&mut self, no_reduce: bool) {
+        self.no_reduce = no_reduce;
+    }
+
+    /// True iff the reduce-before-solve pipeline is disabled.
+    pub fn no_reduce(&self) -> bool {
+        self.no_reduce
+    }
+
+    /// The full-pipeline reduction of `h`, cached per structural hash
+    /// (computed even under `--no-reduce`, so the service can always
+    /// report what the pipeline *would* do — callers decide whether to
+    /// act on it).
+    pub fn reduction(&mut self, h: &Hypergraph) -> Arc<Reduction> {
+        let (hash, _) = self.indexes.entry(h);
+        self.touch(hash);
+        if let Some(r) = self.reductions.get(&hash) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(softhw_hypergraph::reduce(h));
+        self.reductions.insert(hash, Arc::clone(&r));
+        r
+    }
+
+    /// The no-peel (HD-safe) reduction of `h`, cached per structural
+    /// hash; used by the `hw` path.
+    fn reduction_no_peel(&mut self, h: &Hypergraph) -> Arc<Reduction> {
+        let (hash, _) = self.indexes.entry(h);
+        self.touch(hash);
+        if let Some(r) = self.reductions_no_peel.get(&hash) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(softhw_hypergraph::reduce_no_peel(h));
+        self.reductions_no_peel.insert(hash, Arc::clone(&r));
+        r
+    }
+
     /// Marks `hash` as just used and evicts the least-recently-used
     /// *other* hypergraph if the bound is now exceeded. Called on every
     /// entry point, right after the index probe. Never evicts `hash`
@@ -202,6 +256,8 @@ impl DecompCache {
         self.shw_results.retain(|&(h2, _), _| h2 != victim);
         self.hw_results.retain(|&(h2, _), _| h2 != victim);
         self.sweeps.remove(&victim);
+        self.reductions.remove(&victim);
+        self.reductions_no_peel.remove(&victim);
         self.last_used.remove(&victim);
         self.stats.evictions += 1;
     }
@@ -330,7 +386,42 @@ impl DecompCache {
     /// and an internal inconsistency in the cached sweep state degrades
     /// to a cold recompute after evicting the inconsistent entry —
     /// matching the cold result exactly — instead of killing the caller.
+    ///
+    /// Reduce-aware: the input is simplified first and each reduced
+    /// piece solved through the cache under the *piece's* structural
+    /// hash — a schema submitted raw and the same schema submitted
+    /// already reduced land on the same piece entries, so neither is
+    /// computed twice. Irreducible connected inputs (and caches with
+    /// [`DecompCache::set_no_reduce`] set) take the raw path unchanged.
     pub fn try_shw_with(
+        &mut self,
+        h: &Hypergraph,
+        limits: &SoftLimits,
+    ) -> Result<(usize, TreeDecomposition), DecompError> {
+        if self.no_reduce {
+            return self.try_shw_raw_with(h, limits);
+        }
+        let red = self.reduction(h);
+        if red.is_trivial() {
+            return self.try_shw_raw_with(h, limits);
+        }
+        let mut width = 1usize;
+        let mut tds = Vec::with_capacity(red.pieces.len());
+        for piece in &red.pieces {
+            // Pieces are at the reduction fixpoint and connected, so the
+            // raw cached path is exactly the reduce-aware path for them.
+            let (w, td) = self.try_shw_raw_with(&piece.h, limits)?;
+            width = width.max(w);
+            tds.push(td);
+        }
+        let td = lift_td(h, &red, &tds);
+        debug_assert_eq!(td.validate(h), Ok(()));
+        Ok((width, td))
+    }
+
+    /// The raw (no-reduction) cached exact sweep; see
+    /// [`DecompCache::try_shw_with`].
+    fn try_shw_raw_with(
         &mut self,
         h: &Hypergraph,
         limits: &SoftLimits,
@@ -389,9 +480,40 @@ impl DecompCache {
         result
     }
 
-    /// `hw(h)` exactly, memoised per width across queries.
+    /// `hw(h)` exactly, memoised per width across queries. Reduce-aware
+    /// with the no-peel (HD-safe) pipeline: pieces are swept through the
+    /// cache under their own structural hashes and the piece HDs lifted
+    /// back; irreducible connected inputs sweep raw.
     pub fn hw(&mut self, h: &Hypergraph) -> (usize, Ghd) {
-        crate::width_sweep(h.num_edges(), |k| self.hw_leq(h, k))
+        self.try_hw(h).expect("no width up to |E(H)| admits an HD")
+    }
+
+    /// [`DecompCache::hw`] without the panicking path: `None` when no
+    /// width up to `|E(H)|` admits an HD (degenerate inputs), which
+    /// long-lived callers map to an error response.
+    pub fn try_hw(&mut self, h: &Hypergraph) -> Option<(usize, Ghd)> {
+        if self.no_reduce {
+            return self.try_hw_raw(h);
+        }
+        let red = self.reduction_no_peel(h);
+        if red.is_trivial() {
+            return self.try_hw_raw(h);
+        }
+        let mut width = 1usize;
+        let mut ghds = Vec::with_capacity(red.pieces.len());
+        for piece in &red.pieces {
+            let (w, g) = self.try_hw_raw(&piece.h)?;
+            width = width.max(w);
+            ghds.push(g);
+        }
+        let g = lift_ghd(h, &red, &ghds);
+        debug_assert!(g.is_hd(h), "lifted HD must satisfy the special condition");
+        Some((width, g))
+    }
+
+    /// The raw (no-reduction) cached exact `hw` sweep.
+    fn try_hw_raw(&mut self, h: &Hypergraph) -> Option<(usize, Ghd)> {
+        (1..=h.num_edges().max(1)).find_map(|k| self.hw_leq(h, k).map(|g| (k, g)))
     }
 
     /// Imports a persisted `shw(h) ≤ k` decision (the warm-start path of
@@ -805,6 +927,91 @@ mod tests {
         }
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.tracked_graphs(), 2);
+    }
+
+    #[test]
+    fn raw_and_prereduced_schemas_share_piece_entries() {
+        // A schema with reducible clutter (duplicate edge + pendant
+        // path) and the same schema submitted already reduced must land
+        // on the same piece-level cache entries: solving the second
+        // after the first does no fresh width decisions.
+        let raw = {
+            let mut b = softhw_hypergraph::HypergraphBuilder::new();
+            b.edge("c0", &["v0", "v1"]);
+            b.edge("c1", &["v1", "v2"]);
+            b.edge("c2", &["v2", "v3"]);
+            b.edge("c3", &["v3", "v0"]);
+            b.edge("dup", &["v0", "v1"]);
+            b.edge("p1", &["v2", "p"]);
+            b.edge("p2", &["p", "q"]);
+            b.build()
+        };
+        // What a client would submit post-reduction: the surviving piece
+        // (the 4-cycle), edges in ascending original id, vertices
+        // numbered by first occurrence — exactly how `reduce` rebuilds
+        // pieces, so the structural hashes agree.
+        let prereduced = {
+            let mut b = softhw_hypergraph::HypergraphBuilder::new();
+            b.edge("c0", &["v0", "v1"]);
+            b.edge("c1", &["v1", "v2"]);
+            b.edge("c2", &["v2", "v3"]);
+            b.edge("c3", &["v3", "v0"]);
+            b.build()
+        };
+        let red = softhw_hypergraph::reduce(&raw);
+        assert_eq!(red.pieces.len(), 1);
+        assert_eq!(
+            softhw_hypergraph::cache::structural_hash(&red.pieces[0].h),
+            softhw_hypergraph::cache::structural_hash(&prereduced),
+            "deterministic piece rebuild must match a pre-reduced submission"
+        );
+
+        let mut cache = DecompCache::new();
+        let (w_raw, td_raw) = cache.shw(&raw);
+        assert_eq!(w_raw, 2);
+        assert_eq!(td_raw.validate(&raw), Ok(()));
+        let misses_before = cache.stats().result_misses;
+        let instance_misses_before = cache.stats().instance_misses;
+        let (w_pre, td_pre) = cache.shw(&prereduced);
+        assert_eq!(w_pre, 2);
+        assert_eq!(td_pre.validate(&prereduced), Ok(()));
+        let s = cache.stats();
+        assert_eq!(
+            (s.result_misses, s.instance_misses),
+            (misses_before, instance_misses_before),
+            "pre-reduced submission must be answered from the raw schema's piece entries"
+        );
+        // And the other direction: a fresh cache primed with the
+        // pre-reduced schema answers the raw schema's piece solves from
+        // cache (only the lift is new work).
+        let mut cache = DecompCache::new();
+        cache.shw(&prereduced);
+        let misses_before = cache.stats().result_misses;
+        let (w, td) = cache.shw(&raw);
+        assert_eq!(w, 2);
+        assert_eq!(td.validate(&raw), Ok(()));
+        assert_eq!(cache.stats().result_misses, misses_before);
+    }
+
+    #[test]
+    fn no_reduce_toggle_takes_the_raw_path() {
+        let mut b = softhw_hypergraph::HypergraphBuilder::new();
+        b.edge("e1", &["a", "b"]);
+        b.edge("e2", &["b", "c"]);
+        b.edge("e3", &["c", "a"]);
+        b.edge("pendant", &["a", "x"]);
+        let h = b.build();
+        let mut cache = DecompCache::new();
+        cache.set_no_reduce(true);
+        assert!(cache.no_reduce());
+        let (w, td) = cache.shw(&h);
+        assert_eq!(td.validate(&h), Ok(()));
+        let (w_hw, g) = cache.hw(&h);
+        assert!(g.is_hd(&h));
+        // Same widths as the reduce-aware path on a fresh cache.
+        let mut reduced = DecompCache::new();
+        assert_eq!(reduced.shw(&h).0, w);
+        assert_eq!(reduced.hw(&h).0, w_hw);
     }
 
     #[test]

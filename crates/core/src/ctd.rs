@@ -63,48 +63,49 @@ pub struct Block {
     pub comp: BagId,
     /// `S ∪ C`, interned in the instance arena.
     pub closure: BagId,
-    /// `(start, len)` into the instance's flat touching-edge table — the
-    /// edges `e` with `e ∩ C ≠ ∅` (the coverage obligations of the
-    /// block). Resolve with [`CtdInstance::touching`]; flat storage keeps
-    /// block construction allocation-free per block.
-    touch: (u32, u32),
+    /// `C ∪ ⋃{e : e ∩ C ≠ ∅}`, interned in the instance arena — the
+    /// block's coverage obligation folded into one set. Condition (2)
+    /// ("every edge intersecting `C` lies inside the witness union `u`")
+    /// is equivalent to `cover ⊆ u` whenever `C ⊆ u`, which every
+    /// coverage test here guarantees by construction (the witness union
+    /// includes all child components, which partition `C ∖ X`). Storing
+    /// the union instead of the touching-edge list is what keeps `k = 2`
+    /// HyperBench instances in memory: the per-block edge lists total
+    /// hundreds of millions of entries, the interned unions a few
+    /// thousand distinct rows.
+    pub cover: BagId,
 }
 
 /// The precomputed dependency structure of the satisfaction DP.
 ///
-/// The basis conditions factor through two equivalence classes, which is
-/// what keeps the precompute near-linear instead of a full
-/// `blocks × bags` scan:
+/// The child-block list of a candidate `x` for block `b` — and with it
+/// the edge-coverage condition (2) — depends only on `b`'s *component*
+/// (`children = blocks headed by x with comp ⊆ C`, and the witness
+/// union is `x ∪ ⋃children`), so both are computed once per distinct
+/// component ("comp group") and shared by every block with that
+/// component. That keeps the precompute output-sensitive — near the
+/// coverage-viable pair count — instead of a full `blocks × bags` scan:
+/// candidates are found through the inverted vertex→bags index (one AND
+/// per required coverage vertex), never by enumerating bags.
 ///
-/// - the child-block list of a candidate `x` for block `b` — and with it
-///   the edge-coverage condition (2) — depends only on `b`'s *component*
-///   (`children = blocks headed by x with comp ⊆ C`, and the witness
-///   union is `x ∪ ⋃children`), so both are computed once per distinct
-///   component ("comp group") and shared by every block with that
-///   component;
-/// - the `X ⊆ S ∪ C` condition depends only on `b`'s *closure set*, so
-///   it is computed once per distinct closure as a bag bitmask.
-///
-/// A block's viable candidates are then its comp group's coverage-viable
-/// candidates filtered by its closure mask and the `X ≠ S` check — pure
-/// bit tests at DP time. The reverse index is two-level: child block →
-/// comp groups listing it → blocks of those groups (a superset of the
-/// exact parent set, which is sound: a spurious recheck is a no-op).
+/// The remaining, block-specific basis conditions — `X ⊆ S ∪ C` and
+/// `X ≠ S` — are *not* tabulated: they are a single interned-subset test
+/// and an index compare at DP time, so per-closure bag masks (which cost
+/// `closures × bags` bits — tens of gigabytes on `k = 2` HyperBench)
+/// buy nothing. A block's viable candidates are its comp group's
+/// entries filtered by those two checks on the fly. The reverse index is
+/// two-level: child block → comp groups listing it → blocks of those
+/// groups (a superset of the exact parent set, which is sound: a
+/// spurious recheck is a no-op).
 struct Deps {
     /// Block → comp-group index.
     group_of: Vec<u32>,
-    /// Block → closure-group index.
-    closure_of: Vec<u32>,
     /// Representative block per comp group (its first block; supplies the
     /// component and coverage obligations shared by the whole group).
     group_rep: Vec<u32>,
-    /// Representative closure per closure group.
-    closure_rep: Vec<BagId>,
     /// Component id → comp group (persistent so incremental extensions
     /// keep group numbering identical to a cold build).
     comp_group: FxHashMap<BagId, u32>,
-    /// Closure id → closure group.
-    closure_group: FxHashMap<BagId, u32>,
     /// Per comp group `g`, the range `g_cand_start[g]..g_cand_start[g+1]`
     /// of coverage-viable candidate entries in `g_cand_x`/`g_child_start`.
     g_cand_start: Vec<u32>,
@@ -116,15 +117,13 @@ struct Deps {
     g_child_start: Vec<u32>,
     /// Child block ids of all coverage-viable pairs, concatenated.
     g_child_data: Vec<u32>,
-    /// Closure-group × bag bitmask (`xwords` words per row): bit `x` of
-    /// row `cl` is set iff bag `x` ⊆ closure.
-    closure_ok: Vec<u64>,
     /// Vertex × bag bitmask (`xwords` words per row): bit `x` of row `v`
-    /// is set iff vertex `v` ∈ bag `x`. This is the inverted index the
-    /// incremental extension scans candidates through: "bags ⊇ req" is an
-    /// AND over `req`'s rows instead of a subset test per bag.
+    /// is set iff vertex `v` ∈ bag `x`. This is the inverted index both
+    /// the cold build and the incremental extension scan candidates
+    /// through: "bags ⊇ req" is an AND over `req`'s rows instead of a
+    /// subset test per bag.
     vertex_bags: Vec<u64>,
-    /// Words per `closure_ok`/`vertex_bags` row.
+    /// Words per `vertex_bags` row.
     xwords: usize,
     /// Child block → comp groups with a coverage-viable candidate
     /// delegating to it.
@@ -134,13 +133,6 @@ struct Deps {
 }
 
 impl Deps {
-    /// Is bag `x` inside the closure of closure-group `cl`?
-    #[inline]
-    fn closure_allows(&self, cl: u32, x: u32) -> bool {
-        let w = self.closure_ok[cl as usize * self.xwords + (x / 64) as usize];
-        w >> (x % 64) & 1 != 0
-    }
-
     /// Range of coverage-viable candidate entries of comp group `g`.
     #[inline]
     fn group_range(&self, g: u32) -> std::ops::Range<usize> {
@@ -190,9 +182,6 @@ pub struct CtdInstance {
     pub blocks_by_head: Vec<(u32, u32)>,
     /// Blocks headed by `∅` — one per connected component of `H`.
     pub root_blocks: Vec<usize>,
-    /// Flat storage of every block's touching-edge list (see
-    /// [`Block::touch`]).
-    touch_data: Vec<u32>,
     /// Worklist dependency structure (viable candidates + reverse index).
     deps: Deps,
 }
@@ -248,10 +237,9 @@ fn restride_rows(data: &mut Vec<u64>, rows: usize, old_w: usize, new_w: usize) {
 }
 
 /// Reusable word buffers for [`scan_masked_group`], one set per scan
-/// worker, so the per-group scans of an extension allocate nothing at
-/// all — results append into per-chunk flat vectors.
+/// worker, so the per-group scans of a build or extension allocate
+/// nothing at all — results append into per-chunk flat vectors.
 struct ScanScratch {
-    cover: Vec<u64>,
     cand: Vec<u64>,
     buf: Vec<u64>,
 }
@@ -259,7 +247,6 @@ struct ScanScratch {
 impl ScanScratch {
     fn new(words: usize, xwords: usize) -> Self {
         ScanScratch {
-            cover: vec![0u64; words],
             cand: vec![0u64; xwords],
             buf: vec![0u64; words],
         }
@@ -281,21 +268,21 @@ struct ScanChunk {
 }
 
 /// Scans one comp group for coverage-viable candidate entries among the
-/// bags of `mask`, with exactly the acceptance predicate, ascending bag
-/// order, and child lists of the dense per-group scan in
-/// `CtdInstance::build_deps` — but with the `cover ∖ C ⊆ X` condition
-/// evaluated through the inverted vertex→bags index (one AND per `req`
-/// vertex over the whole mask) instead of a subset test per bag. This is
-/// the incremental extension's scan; the dense scan is retained as the
-/// oracle it is property-tested against.
+/// bags of `mask`: candidates must contain every coverage vertex outside
+/// the component (`req = cover ∖ C`), and their child components must
+/// complete the coverage union. The `req` condition is evaluated through
+/// the inverted vertex→bags index — one AND per `req` vertex over the
+/// whole mask — instead of a subset test per bag, which makes the scan
+/// output-sensitive: cost tracks the number of surviving candidates, not
+/// `groups × bags`. Both the cold build (`mask` = all bags) and the
+/// incremental extension (`mask` = the newly added bags) run through
+/// this one scan, which is what keeps their tables bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn scan_masked_group(
-    h: &Hypergraph,
     arena: &BagArena,
     bag_ids: &[BagId],
     blocks: &[Block],
     blocks_by_head: &[(u32, u32)],
-    touch_data: &[u32],
     vertex_bags: &[u64],
     xwords: usize,
     rep: usize,
@@ -304,18 +291,14 @@ fn scan_masked_group(
     out: &mut ScanChunk,
 ) {
     let blk = &blocks[rep];
-    s.cover.iter_mut().for_each(|w| *w = 0);
-    let (tstart, tlen) = blk.touch;
-    for &e in &touch_data[tstart as usize..(tstart + tlen) as usize] {
-        words_union_into(h.edge(e as usize).blocks(), &mut s.cover);
-    }
+    let cover = arena.words(blk.cover);
     let comp_words = arena.words(blk.comp);
     // Candidate mask: bags of `mask` that contain every coverage vertex
     // outside the component (`req`); a bag missing one can never witness
     // condition (2), because child components only contribute vertices
     // of `C`.
     s.cand.copy_from_slice(mask);
-    'req: for (wi, (&c, &m)) in s.cover.iter().zip(comp_words).enumerate() {
+    'req: for (wi, (&c, &m)) in cover.iter().zip(comp_words).enumerate() {
         let mut req = c & !m;
         while req != 0 {
             let v = wi * 64 + req.trailing_zeros() as usize;
@@ -341,7 +324,7 @@ fn scan_masked_group(
             let (hb_start, hb_len) = blocks_by_head[x];
             let head_range = hb_start as usize..(hb_start + hb_len) as usize;
             // Fast path: the bag alone covers the obligations.
-            if words_subset(&s.cover, arena.words(bag)) {
+            if arena.is_subset(blk.cover, bag) {
                 for b2 in head_range {
                     if arena.is_subset(blocks[b2].comp, blk.comp) {
                         out.children.push(b2 as u32);
@@ -355,7 +338,7 @@ fn scan_masked_group(
                         arena.union_into(blocks[b2].comp, &mut s.buf);
                     }
                 }
-                if !words_subset(&s.cover, &s.buf) {
+                if !words_subset(cover, &s.buf) {
                     out.children.truncate(begin);
                     continue;
                 }
@@ -406,49 +389,42 @@ impl CtdInstance {
         // Root blocks first: extensions append new bags' blocks at the
         // end, so the root ids must not shift as the bag list grows.
         let mut blocks = Vec::new();
-        let mut touch_data: Vec<u32> = Vec::new();
         let mut root_blocks = Vec::new();
         let empty = index.empty();
-        let mut comp_scratch: Vec<BagId> = Vec::new();
-        let r = index.components(empty);
-        comp_scratch.extend_from_slice(index.comps(r));
-        for &comp in comp_scratch.iter() {
-            let touching_range = index.edges_touching(comp);
-            let start = touch_data.len() as u32;
-            touch_data.extend_from_slice(index.touching(touching_range));
+        let rows_r = index.block_rows(empty);
+        for i in 0..rows_r.len() {
+            let (comp, cover) = index.rows(rows_r)[i];
             let local_comp = arena.copy_from(&index.arena, comp);
+            let local_cover = arena.copy_from(&index.arena, cover);
             root_blocks.push(blocks.len());
             blocks.push(Block {
                 head: None,
                 comp: local_comp,
                 closure: local_comp,
-                touch: (start, touch_data.len() as u32 - start),
+                cover: local_cover,
             });
         }
         let mut blocks_by_head: Vec<(u32, u32)> = Vec::with_capacity(bag_ids.len());
         for (sid, (&local_bag, &index_bag)) in bag_ids.iter().zip(&index_ids).enumerate() {
-            let r = index.components(index_bag);
-            comp_scratch.clear();
-            comp_scratch.extend_from_slice(index.comps(r));
-            blocks_by_head.push((blocks.len() as u32, comp_scratch.len() as u32));
-            for &comp in comp_scratch.iter() {
-                let touching_range = index.edges_touching(comp);
-                let start = touch_data.len() as u32;
-                touch_data.extend_from_slice(index.touching(touching_range));
+            let rows_r = index.block_rows(index_bag);
+            blocks_by_head.push((blocks.len() as u32, rows_r.len() as u32));
+            for i in 0..rows_r.len() {
+                let (comp, cover) = index.rows(rows_r)[i];
                 let local_comp = arena.copy_from(&index.arena, comp);
+                let local_cover = arena.copy_from(&index.arena, cover);
                 let closure = arena.union(local_bag, local_comp);
                 blocks.push(Block {
                     head: Some(sid),
                     comp: local_comp,
                     closure,
-                    touch: (start, touch_data.len() as u32 - start),
+                    cover: local_cover,
                 });
             }
         }
         let bag_sets = (0..bag_ids.len())
             .map(|_| std::sync::OnceLock::new())
             .collect();
-        let deps = Self::build_deps(&h, &arena, &bag_ids, &blocks, &blocks_by_head, &touch_data);
+        let deps = Self::build_deps(&h, &arena, &bag_ids, &blocks, &blocks_by_head);
         CtdInstance {
             h,
             arena,
@@ -459,16 +435,8 @@ impl CtdInstance {
             blocks,
             blocks_by_head,
             root_blocks,
-            touch_data,
             deps,
         }
-    }
-
-    /// The touching-edge list (coverage obligations) of block `b`.
-    #[inline]
-    pub fn touching(&self, b: usize) -> &[u32] {
-        let (start, len) = self.blocks[b].touch;
-        &self.touch_data[start as usize..(start + len) as usize]
     }
 
     /// An instance with no candidate bags: only the root blocks exist,
@@ -482,187 +450,121 @@ impl CtdInstance {
     }
 
     /// Precomputes the dependency tables (see [`Deps`]): group blocks by
-    /// component and by closure, compute children + coverage once per
-    /// `(comp group, bag)` pair and the closure masks once per
-    /// `(closure group, bag)` pair, then wire the two-level reverse
-    /// index. The per-group scans are independent, so they fan out via
-    /// [`par_map`] with a deterministic group-ordered stitch.
+    /// component, build the inverted vertex→bags index, then find each
+    /// group's coverage-viable candidates and child lists through
+    /// [`scan_masked_group`] over the full bag range. The per-group scans
+    /// are independent, so they fan out in worker chunks with a
+    /// deterministic group-ordered stitch — the same scan and the same
+    /// stitch the incremental extension uses, restricted there to the
+    /// newly added bags.
     fn build_deps(
         h: &Hypergraph,
         arena: &BagArena,
         bag_ids: &[BagId],
         blocks: &[Block],
         blocks_by_head: &[(u32, u32)],
-        touch_data: &[u32],
     ) -> Deps {
         let nb = blocks.len();
         let nx = bag_ids.len();
         let words = arena.words_per_bag();
-        // Group blocks by component and by closure (ids are interned, so
-        // equality is id equality). Groups are numbered in first-block
-        // order; group_comps holds one representative block per group.
+        // Group blocks by component (ids are interned, so equality is id
+        // equality). Groups are numbered in first-block order; group_rep
+        // holds one representative block per group.
         let mut comp_group: FxHashMap<BagId, u32> = FxHashMap::default();
-        let mut closure_group: FxHashMap<BagId, u32> = FxHashMap::default();
         let mut group_of: Vec<u32> = Vec::with_capacity(nb);
-        let mut closure_of: Vec<u32> = Vec::with_capacity(nb);
-        let mut group_rep: Vec<u32> = Vec::new(); // representative block per comp group
-        let mut closure_rep: Vec<BagId> = Vec::new();
+        let mut group_rep: Vec<u32> = Vec::new();
         for (b, blk) in blocks.iter().enumerate() {
             let g = *comp_group.entry(blk.comp).or_insert_with(|| {
                 group_rep.push(b as u32);
                 (group_rep.len() - 1) as u32
             });
             group_of.push(g);
-            let cl = *closure_group.entry(blk.closure).or_insert_with(|| {
-                closure_rep.push(blk.closure);
-                (closure_rep.len() - 1) as u32
-            });
-            closure_of.push(cl);
         }
         let ng = group_rep.len();
-        let ncl = closure_rep.len();
-        // Per closure group: the bag mask `x ⊆ closure`. Computed first
-        // so the (much larger) comp-group scan can restrict itself to
-        // bags inside *some* closure of the group's blocks.
         let xwords = nx.div_ceil(64).max(1);
-        // The inverted vertex → bags index (kept for extensions).
+        // The inverted vertex → bags index the scans run through.
         let mut vertex_bags = vec![0u64; h.num_vertices() * xwords];
         for (x, &bag) in bag_ids.iter().enumerate() {
             for v in arena.iter(bag) {
                 vertex_bags[v * xwords + x / 64] |= 1u64 << (x % 64);
             }
         }
-        let mask_rows: Vec<Vec<u64>> = par_map(ncl, |cl| {
-            let closure = closure_rep[cl];
-            let mut row = vec![0u64; xwords];
-            for (x, &bag) in bag_ids.iter().enumerate() {
-                if arena.is_subset(bag, closure) {
-                    row[x / 64] |= 1u64 << (x % 64);
-                }
+        let live: Vec<u64> = (0..xwords).map(|w| word_tail_mask(nx, w)).collect();
+        let vb = &vertex_bags;
+        let group_rep_ref = &group_rep;
+        let workers = softhw_hypergraph::par::num_workers().min(ng.max(1));
+        let chunks = softhw_hypergraph::par::par_chunks(ng, workers, |range| {
+            let mut s = ScanScratch::new(words, xwords);
+            let mut out = ScanChunk::default();
+            for g in range {
+                let before = out.xs.len();
+                scan_masked_group(
+                    arena,
+                    bag_ids,
+                    blocks,
+                    blocks_by_head,
+                    vb,
+                    xwords,
+                    group_rep_ref[g] as usize,
+                    &live,
+                    &mut s,
+                    &mut out,
+                );
+                out.entries.push((out.xs.len() - before) as u32);
             }
-            row
+            out
         });
-        let mut closure_ok = Vec::with_capacity(ncl * xwords);
-        for row in mask_rows {
-            closure_ok.extend_from_slice(&row);
-        }
-        // Per comp group, the union of its blocks' closure masks: a bag
-        // outside every closure can never be a basis for any block of the
-        // group, so the candidate scan skips it entirely. This prunes the
-        // `groups × bags` precompute to nearly the viable-pair count.
-        let mut allowed = vec![0u64; ng * xwords];
-        for (b, &g) in group_of.iter().enumerate() {
-            let cl = closure_of[b] as usize;
-            for w in 0..xwords {
-                allowed[g as usize * xwords + w] |= closure_ok[cl * xwords + w];
-            }
-        }
-        // Per comp group: coverage-viable candidates with child lists.
-        // Coverage (condition (2)) is state-independent — the witness
-        // union of a successful basis always contains all child
-        // components — and `e ⊆ u` for every touching edge is equivalent
-        // to `⋃touching ⊆ u`, so it is one subset test per candidate.
-        let per_group: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = par_map(ng, |g| {
-            let blk = &blocks[group_rep[g] as usize];
-            let mut cover = vec![0u64; words];
-            let (tstart, tlen) = blk.touch;
-            for &e in &touch_data[tstart as usize..(tstart + tlen) as usize] {
-                softhw_hypergraph::arena::words_union_into(h.edge(e as usize).blocks(), &mut cover);
-            }
-            // Necessary condition on any basis: the witness union is
-            // `X ∪ ⋃Y_i` with every `Y_i ⊆ C`, so coverage vertices
-            // outside `C` can only come from the bag — `cover ∖ C ⊆ X`.
-            // One subset test that eliminates most bags before the child
-            // scan.
-            let comp_words = arena.words(blk.comp);
-            let req: Vec<u64> = cover
-                .iter()
-                .zip(comp_words)
-                .map(|(&c, &m)| c & !m)
-                .collect();
-            let mut cand_x: Vec<u32> = Vec::new();
-            let mut counts: Vec<u32> = Vec::new();
-            let mut children: Vec<u32> = Vec::new();
-            let mut buf: Vec<u64> = vec![0u64; words];
-            for (w, &aw) in allowed[g * xwords..(g + 1) * xwords].iter().enumerate() {
-                let mut bits = aw;
-                while bits != 0 {
-                    let x = w * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    let bag = bag_ids[x];
-                    if !words_subset(&req, arena.words(bag)) {
-                        continue;
-                    }
-                    let begin = children.len();
-                    let (hb_start, hb_len) = blocks_by_head[x];
-                    let head_range = hb_start as usize..(hb_start + hb_len) as usize;
-                    // Fast path: the bag alone covers the obligations.
-                    if words_subset(&cover, arena.words(bag)) {
-                        for b2 in head_range {
-                            if arena.is_subset(blocks[b2].comp, blk.comp) {
-                                children.push(b2 as u32);
-                            }
-                        }
-                    } else {
-                        buf.copy_from_slice(arena.words(bag));
-                        for b2 in head_range {
-                            if arena.is_subset(blocks[b2].comp, blk.comp) {
-                                children.push(b2 as u32);
-                                arena.union_into(blocks[b2].comp, &mut buf);
-                            }
-                        }
-                        if !words_subset(&cover, &buf) {
-                            children.truncate(begin);
-                            continue;
-                        }
-                    }
-                    cand_x.push(x as u32);
-                    counts.push((children.len() - begin) as u32);
-                }
-            }
-            (cand_x, counts, children)
-        });
-        // Stitch the group tables and wire the reverse index.
+        // Stitch the chunk outputs in group order and wire the reverse
+        // index (`datum_group` mirrors `g_child_data` so the child→groups
+        // CSR builds with a flat counting scatter).
+        let total_xs = chunks.iter().map(|c| c.xs.len()).sum::<usize>();
+        let total_children = chunks.iter().map(|c| c.children.len()).sum::<usize>();
         let mut g_cand_start: Vec<u32> = Vec::with_capacity(ng + 1);
-        let mut g_cand_x: Vec<u32> = Vec::new();
-        let mut g_child_start: Vec<u32> = vec![0];
-        let mut g_child_data: Vec<u32> = Vec::new();
-        let mut child_group_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut g_cand_x: Vec<u32> = Vec::with_capacity(total_xs);
+        let mut g_child_start: Vec<u32> = Vec::with_capacity(total_xs + 1);
+        let mut g_child_data: Vec<u32> = Vec::with_capacity(total_children);
+        let mut datum_group: Vec<u32> = Vec::with_capacity(total_children);
         g_cand_start.push(0);
-        for (g, (xs, counts, children)) in per_group.into_iter().enumerate() {
-            g_cand_x.extend_from_slice(&xs);
-            g_cand_start.push(g_cand_x.len() as u32);
-            let mut off = 0usize;
-            for &n in &counts {
-                g_child_start.push((g_child_data.len() + off + n as usize) as u32);
-                off += n as usize;
+        g_child_start.push(0);
+        let mut g = 0usize;
+        for chunk in &chunks {
+            let mut ni = 0usize;
+            let mut nchild_pos = 0usize;
+            for &n_entries in &chunk.entries {
+                let ni_end = ni + n_entries as usize;
+                g_cand_x.extend_from_slice(&chunk.xs[ni..ni_end]);
+                let kids_lo = nchild_pos;
+                let mut acc = g_child_data.len() as u32;
+                for &cnt in &chunk.counts[ni..ni_end] {
+                    acc += cnt;
+                    g_child_start.push(acc);
+                    nchild_pos += cnt as usize;
+                }
+                g_child_data.extend_from_slice(&chunk.children[kids_lo..nchild_pos]);
+                datum_group.resize(g_child_data.len(), g as u32);
+                ni = ni_end;
+                g_cand_start.push(g_cand_x.len() as u32);
+                g += 1;
             }
-            for &c in &children {
-                child_group_pairs.push((c, g as u32));
-            }
-            g_child_data.extend_from_slice(&children);
         }
-        let child_groups = Csr::from_pairs(nb, child_group_pairs);
-        let group_blocks = Csr::from_pairs(
-            ng,
-            group_of
+        debug_assert_eq!(g, ng);
+        let child_groups = Csr::from_counts(
+            nb,
+            g_child_data
                 .iter()
-                .enumerate()
-                .map(|(b, &g)| (g, b as u32))
-                .collect(),
+                .zip(&datum_group)
+                .map(|(&c, &dg)| (c, dg)),
         );
+        let group_blocks =
+            Csr::from_counts(ng, group_of.iter().enumerate().map(|(b, &g)| (g, b as u32)));
         Deps {
             group_of,
-            closure_of,
             group_rep,
-            closure_rep,
             comp_group,
-            closure_group,
             g_cand_start,
             g_cand_x,
             g_child_start,
             g_child_data,
-            closure_ok,
             vertex_bags,
             xwords,
             child_groups,
@@ -674,10 +576,10 @@ impl CtdInstance {
     /// of the **same** [`BlockIndex`] the instance was built from):
     /// already-known and empty bags are skipped, new bags and their
     /// blocks are appended — existing bag and block ids never move — and
-    /// the dependency tables are updated incrementally: only comp groups
-    /// that gained candidates are rescanned, and pre-existing groups are
-    /// rescanned only over the bags that newly entered their allowed
-    /// masks. The result is observably identical to a cold
+    /// the dependency tables are updated incrementally: pre-existing comp
+    /// groups are rescanned only over the newly appended bags (their
+    /// entries over the old bags are already exact), and only brand-new
+    /// groups scan the full range. The result is observably identical to a cold
     /// [`CtdInstance::build`] over the concatenated bag sequence (the
     /// property tests in `tests/worklist_props.rs` assert bit-identical
     /// satisfaction tables, bases and timestamps included).
@@ -707,20 +609,19 @@ impl CtdInstance {
             // first (serial — the row cache needs `&mut`), then fan the
             // per-block closure words and intern hashes out via
             // `par_map` (pure reads); the serial remainder is one hashed
-            // table probe per comp/closure plus a memcpy of the
-            // touching list.
-            let mut descs: Vec<(usize, BagId, softhw_hypergraph::blocks::SliceRange)> = Vec::new();
+            // table probe per comp/closure/cover.
+            let mut descs: Vec<(usize, BagId, BagId)> = Vec::new();
             for x in prev_bags..self.bag_ids.len() {
                 let rows_r = index.block_rows(self.index_ids[x]);
-                for &(comp, touch) in index.rows(rows_r) {
-                    descs.push((x, comp, touch));
+                for &(comp, cover) in index.rows(rows_r) {
+                    descs.push((x, comp, cover));
                 }
             }
-            type Prepared = (u64, Vec<u64>, u64);
+            type Prepared = (u64, Vec<u64>, u64, u64);
             let arena = &self.arena;
             let bag_ids = &self.bag_ids;
             let prepared: Vec<Prepared> = par_map(descs.len(), |i| {
-                let (head, comp, _) = descs[i];
+                let (head, comp, cover) = descs[i];
                 let comp_words = index.arena.words(comp);
                 let mut closure_words = arena.words(bag_ids[head]).to_vec();
                 words_union_into(comp_words, &mut closure_words);
@@ -729,17 +630,19 @@ impl CtdInstance {
                     BagArena::words_hash(comp_words),
                     closure_words,
                     closure_hash,
+                    BagArena::words_hash(index.arena.words(cover)),
                 )
             });
-            for (&(head, comp, touch), (comp_hash, closure_words, closure_hash)) in
+            for (&(head, comp, cover), (comp_hash, closure_words, closure_hash, cover_hash)) in
                 descs.iter().zip(prepared)
             {
                 let local_comp = self
                     .arena
                     .intern_words_hashed(index.arena.words(comp), comp_hash);
                 let closure = self.arena.intern_words_hashed(&closure_words, closure_hash);
-                let start = self.touch_data.len() as u32;
-                self.touch_data.extend_from_slice(index.touching(touch));
+                let local_cover = self
+                    .arena
+                    .intern_words_hashed(index.arena.words(cover), cover_hash);
                 let hb = &mut self.blocks_by_head[head];
                 if hb.1 == 0 {
                     hb.0 = self.blocks.len() as u32;
@@ -749,7 +652,7 @@ impl CtdInstance {
                     head: Some(head),
                     comp: local_comp,
                     closure,
-                    touch: (start, self.touch_data.len() as u32 - start),
+                    cover: local_cover,
                 });
             }
         } else {
@@ -763,18 +666,17 @@ impl CtdInstance {
                     self.blocks_by_head[head] = (self.blocks.len() as u32, n_rows as u32);
                 }
                 for i in 0..n_rows {
-                    let (comp, touch) = index.rows(rows_r)[i];
+                    let (comp, cover) = index.rows(rows_r)[i];
                     let local_comp = self.arena.copy_from(&index.arena, comp);
                     closure_buf.copy_from_slice(self.arena.words(self.bag_ids[head]));
                     self.arena.union_into(local_comp, &mut closure_buf);
                     let closure = self.arena.intern_words(&closure_buf);
-                    let start = self.touch_data.len() as u32;
-                    self.touch_data.extend_from_slice(index.touching(touch));
+                    let local_cover = self.arena.copy_from(&index.arena, cover);
                     self.blocks.push(Block {
                         head: Some(head),
                         comp: local_comp,
                         closure,
-                        touch: (start, self.touch_data.len() as u32 - start),
+                        cover: local_cover,
                     });
                 }
             }
@@ -805,17 +707,14 @@ impl CtdInstance {
         let nv = self.h.num_vertices();
         let old_xwords = self.deps.xwords;
         let xwords = nx.div_ceil(64).max(1);
-        // Group assignment for the new blocks (persistent maps keep the
-        // numbering identical to a cold build over the same sequence).
+        // Group assignment for the new blocks (the persistent map keeps
+        // the numbering identical to a cold build over the same sequence).
         let ng_old;
         {
             let Deps {
                 group_of,
-                closure_of,
                 group_rep,
-                closure_rep,
                 comp_group,
-                closure_group,
                 ..
             } = &mut self.deps;
             ng_old = group_rep.len();
@@ -825,15 +724,9 @@ impl CtdInstance {
                     (group_rep.len() - 1) as u32
                 });
                 group_of.push(g);
-                let cl = *closure_group.entry(blk.closure).or_insert_with(|| {
-                    closure_rep.push(blk.closure);
-                    (closure_rep.len() - 1) as u32
-                });
-                closure_of.push(cl);
             }
         }
         let ng = self.deps.group_rep.len();
-        let ncl = self.deps.closure_rep.len();
         // Inverted index: widen to the new stride, set the new bags' bits.
         restride_rows(&mut self.deps.vertex_bags, nv, old_xwords, xwords);
         for x in prev_nx..nx {
@@ -841,108 +734,51 @@ impl CtdInstance {
                 self.deps.vertex_bags[v * xwords + x / 64] |= 1u64 << (x % 64);
             }
         }
-        // Closure-group bag masks, recomputed through the inverted index:
-        // `x ⊆ closure` iff no vertex outside the closure lies in `x`, so
-        // a row is the live mask minus the union of the complement
-        // vertices' bag rows. Old rows only gain new-bag bits (the
-        // subset relation between existing bags and closures is static),
-        // so the uniform recompute reproduces them exactly.
+        // The tables carry no per-block state beyond coverage, so a
+        // pre-existing group's entries over the old bags are already
+        // exact: old groups rescan only the bags this extension
+        // appended, new groups scan the full range.
         let arena = &self.arena;
         let vertex_bags = &self.deps.vertex_bags;
-        let closure_rep = &self.deps.closure_rep;
+        let group_of = &self.deps.group_of;
         let mut live = vec![0u64; xwords];
         for (w, lw) in live.iter_mut().enumerate() {
             *lw = word_tail_mask(nx, w);
         }
-        let mask_rows: Vec<Vec<u64>> = par_map(ncl, |cl| {
-            let closure_words = arena.words(closure_rep[cl]);
-            let mut row = live.clone();
-            let mut any = 1u64;
-            for (wi, &cw) in closure_words.iter().enumerate() {
-                let mut missing = !cw & word_tail_mask(nv, wi);
-                while missing != 0 && any != 0 {
-                    let v = wi * 64 + missing.trailing_zeros() as usize;
-                    missing &= missing - 1;
-                    any = 0;
-                    for (rw, &vb) in row.iter_mut().zip(&vertex_bags[v * xwords..]) {
-                        *rw &= !vb;
-                        any |= *rw;
-                    }
-                }
-            }
-            row
-        });
-        let mut closure_ok = Vec::with_capacity(ncl * xwords);
-        for row in mask_rows {
-            closure_ok.extend_from_slice(&row);
+        let mut new_region = live.clone();
+        for (w, nw) in new_region.iter_mut().enumerate() {
+            *nw &= !word_tail_mask(prev_nx, w);
         }
-        // Allowed masks now vs. before: a pre-existing group only needs
-        // rescanning over bags that newly entered its allowed mask —
-        // bags appended by this extension, plus old bags admitted by a
-        // new closure that a new block brought into the group.
-        let group_of = &self.deps.group_of;
-        let closure_of = &self.deps.closure_of;
-        let mut allowed = vec![0u64; ng * xwords];
-        let mut allowed_before = vec![0u64; ng_old * xwords];
-        let old_region: Vec<u64> = (0..xwords).map(|w| word_tail_mask(prev_nx, w)).collect();
-        for b in 0..nb {
-            let g = group_of[b] as usize;
-            let cl = closure_of[b] as usize;
-            for w in 0..xwords {
-                allowed[g * xwords + w] |= closure_ok[cl * xwords + w];
-            }
-            if b < prev_nb {
-                for w in 0..xwords {
-                    allowed_before[g * xwords + w] |= closure_ok[cl * xwords + w] & old_region[w];
-                }
-            }
-        }
-        let h = &self.h;
         let bag_ids = &self.bag_ids;
         let blocks = &self.blocks;
         let blocks_by_head = &self.blocks_by_head;
         let group_rep = &self.deps.group_rep;
         let words = arena.words_per_bag();
         let workers = softhw_hypergraph::par::num_workers().min(ng.max(1));
-        // Scan the changed groups (one scratch buffer set and one flat
-        // output block per worker chunk), overlapped with the
-        // group→blocks reverse-index rebuild, which is independent of
-        // the scan results.
-        let touch_data = &self.touch_data;
+        // Scan the groups (one scratch buffer set and one flat output
+        // block per worker chunk), overlapped with the group→blocks
+        // reverse-index rebuild, which is independent of the scan
+        // results.
         let (chunks, group_blocks) = par_join(
             || {
                 softhw_hypergraph::par::par_chunks(ng, workers, |range| {
                     let mut s = ScanScratch::new(words, xwords);
-                    let mut mask = vec![0u64; xwords];
                     let mut out = ScanChunk::default();
                     for g in range {
-                        let mut any = 0u64;
-                        for (w, mw) in mask.iter_mut().enumerate() {
-                            let m = if g < ng_old {
-                                allowed[g * xwords + w] & !allowed_before[g * xwords + w]
-                            } else {
-                                allowed[g * xwords + w]
-                            };
-                            *mw = m;
-                            any |= m;
-                        }
+                        let mask = if g < ng_old { &new_region } else { &live };
                         let before = out.xs.len();
-                        if any != 0 {
-                            scan_masked_group(
-                                h,
-                                arena,
-                                bag_ids,
-                                blocks,
-                                blocks_by_head,
-                                touch_data,
-                                vertex_bags,
-                                xwords,
-                                group_rep[g] as usize,
-                                &mask,
-                                &mut s,
-                                &mut out,
-                            );
-                        }
+                        scan_masked_group(
+                            arena,
+                            bag_ids,
+                            blocks,
+                            blocks_by_head,
+                            vertex_bags,
+                            xwords,
+                            group_rep[g] as usize,
+                            mask,
+                            &mut s,
+                            &mut out,
+                        );
                         out.entries.push((out.xs.len() - before) as u32);
                     }
                     out
@@ -1095,7 +931,6 @@ impl CtdInstance {
         d.g_cand_x = g_cand_x;
         d.g_child_start = g_child_start;
         d.g_child_data = g_child_data;
-        d.closure_ok = closure_ok;
         d.xwords = xwords;
         d.child_groups = child_groups;
         d.group_blocks = group_blocks;
@@ -1161,9 +996,9 @@ impl CtdInstance {
                 self.arena.union_into(self.blocks[b2].comp, buf);
             }
         }
-        self.touching(b)
-            .iter()
-            .all(|&e| words_subset(self.h.edge(e as usize).blocks(), buf))
+        // Condition (2): with all child components in `buf`, `C ⊆ buf`,
+        // so "every touching edge inside `buf`" is exactly `cover ⊆ buf`.
+        words_subset(self.arena.words(blk.cover), buf)
     }
 
     /// The viable candidates of block `b` — bags passing the
@@ -1172,12 +1007,12 @@ impl CtdInstance {
     /// its children are satisfied.
     pub fn viable_candidates(&self, b: usize) -> impl Iterator<Item = (usize, &[u32])> + '_ {
         let head = self.blocks[b].head.map(|x| x as u32);
-        let cl = self.deps.closure_of[b];
+        let closure = self.blocks[b].closure;
         self.deps
             .group_range(self.deps.group_of[b])
             .filter_map(move |ci| {
                 let x = self.deps.g_cand_x[ci];
-                if Some(x) == head || !self.deps.closure_allows(cl, x) {
+                if Some(x) == head || !self.arena.is_subset(self.bag_ids[x as usize], closure) {
                     return None;
                 }
                 Some((x as usize, self.deps.children_of_entry(ci)))
@@ -1216,10 +1051,10 @@ impl CtdInstance {
     #[inline]
     fn first_ready_candidate(&self, b: usize, satisfied: &[bool]) -> Option<u32> {
         let head = self.blocks[b].head.map(|x| x as u32);
-        let cl = self.deps.closure_of[b];
+        let closure = self.blocks[b].closure;
         for ci in self.deps.group_range(self.deps.group_of[b]) {
             let x = self.deps.g_cand_x[ci];
-            if Some(x) == head || !self.deps.closure_allows(cl, x) {
+            if Some(x) == head || !self.arena.is_subset(self.bag_ids[x as usize], closure) {
                 continue;
             }
             if self

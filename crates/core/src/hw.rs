@@ -235,8 +235,16 @@ pub fn hw_leq(h: &Hypergraph, k: usize) -> Option<Ghd> {
     Some(ghd)
 }
 
-/// Computes `hw(H)` exactly, returning the width and a witness HD.
+/// Computes `hw(H)` exactly, returning the width and a witness HD. The
+/// input is first simplified by the width-preserving reduction pipeline
+/// ([`softhw_hypergraph::reduce`]); each piece is swept with [`hw_raw`]
+/// and the piece witnesses lifted back ([`crate::reduce_solve`]).
 pub fn hw(h: &Hypergraph) -> (usize, Ghd) {
+    crate::reduce_solve::hw(h)
+}
+
+/// The raw exact sweep, with no reduction preprocessing.
+pub fn hw_raw(h: &Hypergraph) -> (usize, Ghd) {
     crate::width_sweep(h.num_edges(), |k| hw_leq(h, k))
 }
 

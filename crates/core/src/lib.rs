@@ -34,6 +34,7 @@ pub mod error;
 pub mod games;
 pub mod ghd;
 pub mod hw;
+pub mod reduce_solve;
 pub mod shw;
 pub mod soft;
 pub mod soft_iter;

@@ -43,15 +43,27 @@ pub fn shw_leq_indexed(
 }
 
 /// Computes `shw(H)` exactly: the least `k` admitting a soft HD, together
-/// with a witness decomposition. The sweep runs on the incremental
-/// engine ([`crate::sweep::IncrementalSweep`]): one [`crate::CtdInstance`]
-/// is grown across the widths — `Soft_{H,k}` is monotone in `k`, so each
-/// width appends its new candidate bags and re-enqueues only the blocks
-/// whose candidate sets changed, instead of rebuilding the instance and
-/// re-running the satisfaction DP from scratch. Decisions per width are
-/// identical to cold runs; see [`shw_rebuild`] for the retained
-/// rebuild-per-width reference the engine is benchmarked against.
+/// with a witness decomposition. The input is first simplified by the
+/// width-preserving reduction pipeline ([`softhw_hypergraph::reduce`]);
+/// each reduced piece is swept with [`shw_raw`] and the piece witnesses
+/// are lifted back to one decomposition of the original hypergraph
+/// ([`crate::reduce_solve`]). Irreducible connected inputs take the raw
+/// sweep unchanged.
 pub fn shw(h: &Hypergraph) -> (usize, TreeDecomposition) {
+    crate::reduce_solve::shw(h)
+}
+
+/// The raw exact sweep, with no reduction preprocessing. The sweep runs
+/// on the incremental engine ([`crate::sweep::IncrementalSweep`]): one
+/// [`crate::CtdInstance`] is grown across the widths — `Soft_{H,k}` is
+/// monotone in `k`, so each width appends its new candidate bags and
+/// re-enqueues only the blocks whose candidate sets changed, instead of
+/// rebuilding the instance and re-running the satisfaction DP from
+/// scratch. Decisions per width are identical to cold runs; see
+/// [`shw_rebuild`] for the retained rebuild-per-width reference the
+/// engine is benchmarked against. Panics on disconnected inputs (no
+/// single sweep witness exists); [`shw`] handles those by splitting.
+pub fn shw_raw(h: &Hypergraph) -> (usize, TreeDecomposition) {
     let mut index = BlockIndex::new(h);
     let mut sweep = crate::sweep::IncrementalSweep::new();
     crate::width_sweep(h.num_edges(), |k| {

@@ -301,6 +301,22 @@ pub fn lambda_union_ids(
     }
 }
 
+/// Number of edge subsets of size `0..=k` out of `n` edges — the exact
+/// count of λ2 candidates the sweep below visits — saturating at
+/// `usize::MAX` so callers can feed it straight into capacity hints.
+fn lambda_count_bound(n: usize, k: usize) -> usize {
+    let mut total: usize = 1;
+    let mut term: usize = 1;
+    for i in 1..=k {
+        if i > n {
+            break;
+        }
+        term = term.saturating_mul(n - i + 1) / i;
+        total = total.saturating_add(term);
+    }
+    total
+}
+
 /// Enumerates all distinct `⋃C` for `C` a `[λ2]`-component of the
 /// hypergraph, with `λ2` ranging over edge subsets of size 0..=`k` (the
 /// `⋃C` side of Definition 3). Every separator's components and unions
@@ -314,8 +330,19 @@ pub fn component_union_ids(
     let h = index.hypergraph();
     let num_edges = h.num_edges();
     let words = index.arena.words_per_bag();
+    // `|E|^k`-scale pre-sizing: the sweep interns about one separator per
+    // λ2 subset (components and unions share the same id table), so grow
+    // the arena's intern table and the dedup sets to their final size up
+    // front instead of rehashing repeatedly through the loop.
+    let est = lambda_count_bound(num_edges, k).min(limits.max_lambda_sets.saturating_add(1));
+    index.arena.reserve(est);
     let mut out: Vec<BagId> = Vec::new();
-    let mut seen = IdSet::new();
+    let mut seen = IdSet::with_capacity(est);
+    // Distinct λ2 subsets frequently produce the same separator union
+    // (overlapping edges); a repeated separator has nothing new to
+    // offer, so it is deduplicated *before* the component BFS / cache
+    // probes rather than per component behind them.
+    let mut sep_seen = IdSet::with_capacity(est);
     let mut comp_scratch: Vec<BagId> = Vec::new();
 
     let mut collect = |index: &mut BlockIndex,
@@ -336,6 +363,7 @@ pub fn component_union_ids(
 
     // λ2 = ∅ first.
     let empty = index.empty();
+    sep_seen.insert(empty);
     collect(index, empty, &mut out, &mut seen, &mut comp_scratch);
 
     // DFS over non-empty λ2, maintaining the separator union per depth.
@@ -352,6 +380,7 @@ pub fn component_union_ids(
         budget: &mut usize,
         out: &mut Vec<BagId>,
         seen: &mut IdSet,
+        sep_seen: &mut IdSet,
         comp_scratch: &mut Vec<BagId>,
         collect: &mut impl FnMut(&mut BlockIndex, BagId, &mut Vec<BagId>, &mut IdSet, &mut Vec<BagId>),
     ) -> Result<(), LimitExceeded> {
@@ -370,7 +399,12 @@ pub fn component_union_ids(
             buf.extend_from_slice(&prev[depth - 1]);
             softhw_hypergraph::arena::words_union_into(edge_words, buf);
             let sep = index.arena.intern_words(buf);
-            collect(index, sep, out, seen, comp_scratch);
+            // A repeated separator union contributes nothing new, but a
+            // *deeper* subset extending it still can — skip only the
+            // component queries, not the recursion.
+            if sep_seen.insert(sep) {
+                collect(index, sep, out, seen, comp_scratch);
+            }
             if depth < max_depth {
                 rec(
                     index,
@@ -382,6 +416,7 @@ pub fn component_union_ids(
                     budget,
                     out,
                     seen,
+                    sep_seen,
                     comp_scratch,
                     collect,
                 )?;
@@ -400,6 +435,7 @@ pub fn component_union_ids(
             &mut budget,
             &mut out,
             &mut seen,
+            &mut sep_seen,
             &mut comp_scratch,
             &mut collect,
         )?;

@@ -107,6 +107,16 @@ impl TreeDecomposition {
         }
     }
 
+    /// Inserts vertex `v` into the bag of node `u`.
+    ///
+    /// The caller is responsible for keeping the decomposition valid;
+    /// the witness-lifting replay of `reduce_solve` uses this to restore
+    /// peeled vertices into the node that owns their host edge (safe
+    /// there because a peeled vertex occurs in no other bag).
+    pub fn grow_bag(&mut self, u: usize, v: usize) {
+        self.bags[u].insert(v);
+    }
+
     /// Appends a new node with the given bag under `parent`; returns its id.
     pub fn add_child(&mut self, parent: usize, bag: BitSet) -> usize {
         let id = self.bags.len();

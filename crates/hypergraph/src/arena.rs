@@ -155,7 +155,11 @@ impl BagArena {
     }
 
     fn grow(&mut self) {
-        let cap = self.table.len() * 2;
+        self.grow_to(self.table.len() * 2);
+    }
+
+    fn grow_to(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two());
         self.mask = cap - 1;
         let mut table = vec![EMPTY_SLOT; cap];
         for id in 0..self.len() as u32 {
@@ -166,6 +170,19 @@ impl BagArena {
             table[slot] = id;
         }
         self.table = table;
+    }
+
+    /// Pre-sizes the arena for about `additional` more bags: reserves the
+    /// packed storage and grows the intern table to its final
+    /// power-of-two size up front, so a bulk enumeration (e.g. the
+    /// `|E|^k`-scale separator sweep of the Soft builder) never rehashes
+    /// mid-loop.
+    pub fn reserve(&mut self, additional: usize) {
+        self.storage.reserve(additional.saturating_mul(self.words));
+        let needed = (self.len() + additional).saturating_mul(2);
+        if needed > self.table.len() {
+            self.grow_to(needed.next_power_of_two());
+        }
     }
 
     /// Materialises bag `id` as a [`BitSet`] view.
@@ -523,6 +540,14 @@ impl IdSet {
     /// An empty set.
     pub fn new() -> Self {
         IdSet::default()
+    }
+
+    /// An empty set with room for ids up to about `n` before the flag
+    /// vector reallocates.
+    pub fn with_capacity(n: usize) -> Self {
+        IdSet {
+            flags: Vec::with_capacity(n),
+        }
     }
 
     /// Inserts `id`; returns `true` iff it was not present.

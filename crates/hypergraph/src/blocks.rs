@@ -92,9 +92,9 @@ pub struct BlockIndex {
     touch_cache: FxHashMap<BagId, SliceRange>,
     /// component id → interned `⋃C` (union of vertices of touching edges).
     union_cache: FxHashMap<BagId, BagId>,
-    /// Flat storage of cached block rows: `(component, touching range)`
+    /// Flat storage of cached block rows: `(component, coverage union)`
     /// per component of a separator, in component order.
-    row_data: Vec<(BagId, SliceRange)>,
+    row_data: Vec<(BagId, BagId)>,
     /// separator id → its block rows.
     row_cache: FxHashMap<BagId, SliceRange>,
     /// Reusable per-edge mark buffer for `edges_touching`.
@@ -266,54 +266,72 @@ impl BlockIndex {
     }
 
     /// `⋃C` for component `comp`: the union of the vertex sets of all
-    /// edges intersecting it, interned. This is the `U`-side quantity of
-    /// Definition 3 and is shared across every `k` and every solver.
+    /// edges intersecting it (plus `C` itself, which that union already
+    /// contains unless `C` is a single edgeless vertex), interned. This
+    /// is the `U`-side quantity of Definition 3 *and* the coverage
+    /// obligation of the block headed by the component's separator,
+    /// shared across every `k` and solver. Every coverage test pairs `⋃C`
+    /// with a witness union that contains `C` by construction, so folding
+    /// `C` in is semantically free.
+    ///
+    /// Computed as `⋃_{v ∈ C} N[v]` over the cached closed
+    /// neighbourhoods — union is idempotent, so no touching-edge list is
+    /// materialised (at `k = 2` HyperBench scale those lists run to
+    /// hundreds of millions of entries; the union is one interned row).
     pub fn component_union(&mut self, comp: BagId) -> BagId {
         if let Some(&u) = self.union_cache.get(&comp) {
             self.stats.union_hits += 1;
             return u;
         }
         self.stats.union_misses += 1;
-        let touch = self.edges_touching(comp);
-        let mut buf = vec![0u64; self.arena.words_per_bag()];
-        for i in 0..touch.len() {
-            let e = self.touching(touch)[i] as usize;
-            crate::arena::words_union_into(self.h.edge(e).blocks(), &mut buf);
+        let mut buf = std::mem::take(&mut self.touch_words_scratch);
+        buf.clear();
+        buf.resize(self.arena.words_per_bag(), 0);
+        let comp_words = self.arena.words(comp).to_vec();
+        for (i, mut w) in comp_words.into_iter().enumerate() {
+            while w != 0 {
+                let v = i * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                crate::arena::words_union_into(self.h.closed_neighbourhood(v).blocks(), &mut buf);
+            }
         }
         let u = self.arena.intern_words(&buf);
+        self.touch_words_scratch = buf;
         self.union_cache.insert(comp, u);
         u
     }
 
-    /// The block rows of separator `sep`: one `(component, touching-edge
-    /// range)` pair per `[sep]`-component, in component order — exactly
-    /// the data a solver needs to materialise the blocks headed by `sep`.
-    /// Cached per separator, so the instance-build loops (cold build and
-    /// incremental extension alike) resolve a bag's blocks with one map
-    /// probe instead of a components query plus a per-component
-    /// touching-edge query with scratch copies in between.
+    /// The block rows of separator `sep`: one `(component, coverage
+    /// union)` pair per `[sep]`-component, in component order — exactly
+    /// the data a solver needs to materialise the blocks headed by `sep`
+    /// (the coverage union `⋃C` stands in for the touching-edge list:
+    /// "every touching edge inside the witness union" is equivalent to
+    /// "`⋃C` inside the witness union"). Cached per separator, so the
+    /// instance-build loops (cold build and incremental extension alike)
+    /// resolve a bag's blocks with one map probe.
     pub fn block_rows(&mut self, sep: BagId) -> SliceRange {
         if let Some(&r) = self.row_cache.get(&sep) {
             return r;
         }
         let comps_r = self.components(sep);
         // The component list is append-only, so re-resolve by offset
-        // rather than cloning it while `edges_touching` mutates `self`.
+        // rather than cloning it while `component_union` mutates `self`.
         let (lo, n) = (comps_r.start as usize, comps_r.len());
         let start = self.row_data.len();
         for i in 0..n {
             let comp = self.comp_data[lo + i];
-            let touch = self.edges_touching(comp);
-            self.row_data.push((comp, touch));
+            let cover = self.component_union(comp);
+            self.row_data.push((comp, cover));
         }
         let r = SliceRange::of(start, n);
         self.row_cache.insert(sep, r);
         r
     }
 
-    /// Resolves a block-row range returned by [`BlockIndex::block_rows`].
+    /// Resolves a block-row range returned by [`BlockIndex::block_rows`]
+    /// into `(component, coverage union)` pairs.
     #[inline]
-    pub fn rows(&self, r: SliceRange) -> &[(BagId, SliceRange)] {
+    pub fn rows(&self, r: SliceRange) -> &[(BagId, BagId)] {
         &self.row_data[r.start as usize..(r.start + r.len) as usize]
     }
 
@@ -396,24 +414,28 @@ mod tests {
         let mut idx = BlockIndex::new(&h);
         for e in 0..h.num_edges() {
             let sep = idx.intern(&h.edge(e).clone());
-            let direct: Vec<(BagId, Vec<u32>)> = {
+            let direct: Vec<(BagId, BagId)> = {
                 let r = idx.components(sep);
                 let comps: Vec<BagId> = idx.comps(r).to_vec();
                 comps
                     .into_iter()
-                    .map(|c| {
-                        let t = idx.edges_touching(c);
-                        (c, idx.touching(t).to_vec())
-                    })
+                    .map(|c| (c, idx.component_union(c)))
                     .collect()
             };
             let rows_r = idx.block_rows(sep);
-            let rows: Vec<(BagId, Vec<u32>)> = idx
-                .rows(rows_r)
-                .iter()
-                .map(|&(c, t)| (c, idx.touching(t).to_vec()))
-                .collect();
+            let rows: Vec<(BagId, BagId)> = idx.rows(rows_r).to_vec();
             assert_eq!(rows, direct);
+            // The stored cover equals the union of the touching edges'
+            // vertex sets together with the component itself.
+            for &(c, cover) in &rows {
+                let t = idx.edges_touching(c);
+                let edges = idx.touching(t).to_vec();
+                let mut want = idx.arena.to_bitset(c);
+                for &e in &edges {
+                    want.union_with(idx.hypergraph().edge(e as usize));
+                }
+                assert_eq!(idx.arena.to_bitset(cover), want);
+            }
             // Second probe hits the row cache and returns the same range.
             let again = idx.block_rows(sep);
             assert_eq!(idx.rows(again), idx.rows(rows_r));

@@ -358,6 +358,18 @@ impl HypergraphBuilder {
         Self::default()
     }
 
+    /// Fresh builder with pre-sized tables: room for `vertices` distinct
+    /// vertices and `edges` edges before any rehash or reallocation.
+    /// Both are capacity hints, not limits.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        HypergraphBuilder {
+            vertex_names: Vec::with_capacity(vertices),
+            vertex_ids: FxHashMap::with_capacity_and_hasher(vertices, Default::default()),
+            edge_names: Vec::with_capacity(edges),
+            edge_vertices: Vec::with_capacity(edges),
+        }
+    }
+
     /// Interns a vertex by name, returning its id.
     pub fn vertex(&mut self, name: &str) -> usize {
         if let Some(&id) = self.vertex_ids.get(name) {

@@ -25,6 +25,7 @@ pub mod pack;
 pub mod par;
 pub mod parse;
 pub mod random;
+pub mod reduce;
 pub mod stats;
 
 pub use arena::{ArenaSnapshot, BagArena, BagId, ShardError, ShardedArena};
@@ -35,3 +36,4 @@ pub use csr::Csr;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
 pub use parse::{parse_hypergraph, render_hypergraph, ParseError};
+pub use reduce::{reduce, reduce_no_peel, ReduceEvent, ReducePiece, ReduceStats, Reduction};

@@ -32,9 +32,35 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Byte-class bits for the scanner's 256-entry lookup table.
+const CLASS_IDENT: u8 = 1;
+const CLASS_WS: u8 = 2;
+
+/// The scanner's byte-class table, built once with exactly the character
+/// predicates the original `char`-based scanner used (`is_whitespace`,
+/// `is_alphanumeric` plus `_ ' -` on the byte interpreted as a Latin-1
+/// char), so classification is one indexed load per byte.
+fn class_table() -> &'static [u8; 256] {
+    static TABLE: std::sync::OnceLock<[u8; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u8; 256];
+        for (b, slot) in t.iter_mut().enumerate() {
+            let c = b as u8 as char;
+            if c.is_alphanumeric() || c == '_' || c == '\'' || c == '-' {
+                *slot |= CLASS_IDENT;
+            }
+            if c.is_whitespace() {
+                *slot |= CLASS_WS;
+            }
+        }
+        t
+    })
+}
+
 struct Cursor<'a> {
     src: &'a [u8],
     pos: usize,
+    class: &'static [u8; 256],
 }
 
 impl<'a> Cursor<'a> {
@@ -42,12 +68,15 @@ impl<'a> Cursor<'a> {
         Cursor {
             src: src.as_bytes(),
             pos: 0,
+            class: class_table(),
         }
     }
 
     fn skip_ws(&mut self) {
         loop {
-            while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+            while self.pos < self.src.len()
+                && self.class[self.src[self.pos] as usize] & CLASS_WS != 0
+            {
                 self.pos += 1;
             }
             if self.pos < self.src.len() && self.src[self.pos] == b'%' {
@@ -83,13 +112,10 @@ impl<'a> Cursor<'a> {
 
     fn ident(&mut self) -> Result<&'a str, ParseError> {
         let start = self.pos;
-        while let Some(c) = self.peek() {
-            let c = c as char;
-            if c.is_alphanumeric() || c == '_' || c == '\'' || c == '-' {
-                self.pos += 1;
-            } else {
-                break;
-            }
+        while self.pos < self.src.len()
+            && self.class[self.src[self.pos] as usize] & CLASS_IDENT != 0
+        {
+            self.pos += 1;
         }
         if start == self.pos {
             return Err(ParseError {
@@ -119,9 +145,21 @@ impl<'a> Cursor<'a> {
 /// downstream), and a vertex repeated within one edge is almost always a
 /// typo for a different vertex — both previously merged silently.
 pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
+    // One cheap counting pass sizes every table up front: `(` bounds the
+    // edge count, `(` + `,` bounds the vertex occurrences (and therefore
+    // the distinct-vertex count), so the builder's maps and the per-edge
+    // loop below never rehash or reallocate mid-parse.
+    let mut n_opens = 0usize;
+    let mut n_commas = 0usize;
+    for &byte in input.as_bytes() {
+        n_opens += (byte == b'(') as usize;
+        n_commas += (byte == b',') as usize;
+    }
     let mut cur = Cursor::new(input);
-    let mut b = HypergraphBuilder::new();
-    let mut edge_names: FxHashSet<String> = FxHashSet::default();
+    let mut b = HypergraphBuilder::with_capacity(n_opens + n_commas, n_opens);
+    let mut edge_names: FxHashSet<&str> =
+        FxHashSet::with_capacity_and_hasher(n_opens, Default::default());
+    let mut verts: Vec<&str> = Vec::new();
     loop {
         cur.skip_ws();
         if cur.peek().is_none() {
@@ -135,8 +173,8 @@ pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
             break;
         }
         let name_offset = cur.pos;
-        let name = cur.ident()?.to_string();
-        if !edge_names.insert(name.clone()) {
+        let name = cur.ident()?;
+        if !edge_names.insert(name) {
             return Err(ParseError {
                 offset: name_offset,
                 message: format!("duplicate edge name {name:?}"),
@@ -146,11 +184,11 @@ pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
         if !cur.eat(b'(') {
             return Err(cur.err("expected '(' after edge name"));
         }
-        let mut verts: Vec<String> = Vec::new();
+        verts.clear();
         loop {
             cur.skip_ws();
             let vert_offset = cur.pos;
-            let vert = cur.ident()?.to_string();
+            let vert = cur.ident()?;
             if verts.contains(&vert) {
                 return Err(ParseError {
                     offset: vert_offset,
@@ -170,8 +208,7 @@ pub fn parse_hypergraph(input: &str) -> Result<Hypergraph, ParseError> {
                 }
             }
         }
-        let refs: Vec<&str> = verts.iter().map(String::as_str).collect();
-        b.edge(&name, &refs);
+        b.edge(name, &verts);
         cur.skip_ws();
         // optional comma between edges
         cur.eat(b',');

@@ -78,6 +78,10 @@ pub struct ServiceConfig {
     /// Pin warm-started schemas in their stripe caches so LRU eviction
     /// cannot push them out.
     pub pin_warm: bool,
+    /// Disable the reduce-before-solve pipeline (the `--no-reduce`
+    /// escape hatch). Routing and `STATS` reduction rows are unaffected
+    /// — only the solvers stop acting on the reduction.
+    pub no_reduce: bool,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +94,7 @@ impl Default for ServiceConfig {
             max_edges: 100_000,
             warm_start: 64,
             pin_warm: true,
+            no_reduce: false,
         }
     }
 }
@@ -328,8 +333,10 @@ impl ServiceState {
         let n = config.stripes.max(1);
         let stripes = (0..n)
             .map(|_| {
+                let mut cache = DecompCache::with_capacity(config.cache_capacity);
+                cache.set_no_reduce(config.no_reduce);
                 Mutex::new(Stripe {
-                    cache: DecompCache::with_capacity(config.cache_capacity),
+                    cache,
                     results: ResultCache::new(config.result_cache_capacity),
                     log: Vec::new(),
                 })
@@ -414,7 +421,7 @@ impl ServiceState {
             if softhw_store::schema_key(&h) != (hash, digest) {
                 continue; // stored structure does not hash back: distrust it
             }
-            let idx = (hash % self.stripes.len() as u64) as usize;
+            let idx = (route_hash(&h) % self.stripes.len() as u64) as usize;
             let mut stripe = self.stripes[idx]
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
@@ -470,7 +477,7 @@ impl ServiceState {
         let canon = canonical_form(&h);
         let hash = hash_u64s(&canon);
         let digest = schema_digest(&canon);
-        let idx = (hash % self.stripes.len() as u64) as usize;
+        let idx = (route_hash(&h) % self.stripes.len() as u64) as usize;
         self.stripe_load[idx].fetch_add(1, Ordering::Relaxed);
         let mut stripe = self.stripes[idx]
             .lock()
@@ -615,16 +622,10 @@ impl ServiceState {
                 }
             }
             RequestClass::Hw => {
-                // Manual sweep over the memoised decision so an input no
-                // width accepts degrades to an error, not a panic.
-                let mut found = None;
-                for k in 1..=h.num_edges().max(1) {
-                    if let Some(ghd) = cache.hw_leq(h, k) {
-                        found = Some((k, ghd));
-                        break;
-                    }
-                }
-                match found {
+                // Reduce-aware sweep over the memoised decisions; an
+                // input no width accepts degrades to an error, not a
+                // panic.
+                match cache.try_hw(h) {
                     Some((width, ghd)) => Response::Width {
                         class: "HW".into(),
                         width,
@@ -695,6 +696,12 @@ impl ServiceState {
     fn stats_response(&self, h: &Hypergraph, idx: usize, stripe: &mut Stripe) -> Response {
         let s = stats::stats(h);
         let c = stripe.cache.stats();
+        // What the reduce-before-solve pipeline does to this schema.
+        // Reported identically with and without `--no-reduce` (the
+        // reduction is computed either way; the flag only stops the
+        // solvers from acting on it), so answers stay byte-comparable
+        // across the two modes.
+        let red = stripe.cache.reduction(h);
         let list = |counters: &[AtomicU64]| {
             counters
                 .iter()
@@ -707,6 +714,18 @@ impl ServiceState {
             ("edges".to_string(), s.num_edges.to_string()),
             ("max_arity".to_string(), s.max_arity.to_string()),
             ("components".to_string(), s.components.to_string()),
+            (
+                "reduce_edges_dropped".to_string(),
+                red.stats.edges_dropped.to_string(),
+            ),
+            (
+                "reduce_vertices_peeled".to_string(),
+                red.stats.vertices_peeled.to_string(),
+            ),
+            (
+                "reduce_components".to_string(),
+                red.stats.components.to_string(),
+            ),
             (
                 "tracked".to_string(),
                 stripe.cache.tracked_graphs().to_string(),
@@ -757,6 +776,27 @@ impl ServiceState {
         }
         Response::Stats { fields }
     }
+}
+
+/// Stripe-routing hash: computed over the canonical forms of the
+/// schema's *reduced* pieces, so a schema submitted raw and the same
+/// schema submitted already reduced route to the same stripe — whose
+/// [`DecompCache`] then shares the piece-level solve entries between
+/// them. The result-cache and store keys stay on the *raw* canonical
+/// form (witness frames are raw-vertex-indexed; two different raw
+/// schemas must never serve each other's frames). Routing is
+/// independent of `--no-reduce`, so answers can be compared across
+/// modes stripe for stripe.
+fn route_hash(h: &Hypergraph) -> u64 {
+    let red = softhw_hypergraph::reduce(h);
+    let mut words: Vec<u64> = Vec::new();
+    for piece in &red.pieces {
+        // Each canonical form is length-prefixed by construction
+        // (vertex count, edge count first), so plain concatenation is
+        // unambiguous.
+        words.extend(canonical_form(&piece.h));
+    }
+    hash_u64s(&words)
 }
 
 /// The store/result-cache key of a request class (`None` = not
@@ -1107,6 +1147,141 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn no_reduce_answers_are_byte_identical_on_irreducible_schemas() {
+        // The example corpus is irreducible, so `--no-reduce` must be
+        // invisible: every response byte-identical, including STATS
+        // (whose reduce_* rows are computed in both modes).
+        let reduced = state();
+        let no_reduce = ServiceState::new(ServiceConfig {
+            no_reduce: true,
+            ..ServiceConfig::default()
+        });
+        for h in [named::h2(), named::cycle(6), named::grid(3, 3)] {
+            let body = render_hypergraph(&h);
+            for class in [
+                RequestClass::Shw,
+                RequestClass::ShwLeq(2),
+                RequestClass::Hw,
+                RequestClass::HwLeq(2),
+                RequestClass::Stats,
+            ] {
+                let a = reduced.handle(&Request::new(class, body.clone()));
+                let b = no_reduce.handle(&Request::new(class, body.clone()));
+                assert_eq!(a, b, "{class:?} diverged under --no-reduce");
+            }
+        }
+    }
+
+    #[test]
+    fn reducible_schemas_report_reduction_and_agree_across_modes() {
+        let body = "c0(v0,v1), c1(v1,v2), c2(v2,v3), c3(v3,v0), dup(v0,v1), p1(v2,p), p2(p,q).";
+        let reduced = state();
+        let no_reduce = ServiceState::new(ServiceConfig {
+            no_reduce: true,
+            ..ServiceConfig::default()
+        });
+        // Same widths and decisions in both modes (witnesses may differ
+        // in shape; both must be valid).
+        let h = softhw_hypergraph::parse_hypergraph(body).unwrap();
+        for st in [&reduced, &no_reduce] {
+            match st.handle(&Request::new(RequestClass::Shw, body)) {
+                Response::Width { width, td, .. } => {
+                    assert_eq!(width, 2);
+                    assert_eq!(td.to_td().unwrap().validate(&h), Ok(()));
+                }
+                other => panic!("{other:?}"),
+            }
+            match st.handle(&Request::new(RequestClass::Hw, body)) {
+                Response::Width { width, td, .. } => {
+                    assert_eq!(width, 2);
+                    assert_eq!(td.to_td().unwrap().validate(&h), Ok(()));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Both modes report what the pipeline actually does, matching
+        // the library's own reduction stats.
+        let red = softhw_hypergraph::reduce(&h);
+        assert!(red.stats.edges_dropped > 0 && red.stats.vertices_peeled > 0);
+        for st in [&reduced, &no_reduce] {
+            match st.handle(&Request::new(RequestClass::Stats, body)) {
+                Response::Stats { fields } => {
+                    let get = |k: &str| {
+                        fields
+                            .iter()
+                            .find(|(key, _)| key == k)
+                            .map(|(_, v)| v.clone())
+                    };
+                    assert_eq!(
+                        get("reduce_edges_dropped"),
+                        Some(red.stats.edges_dropped.to_string())
+                    );
+                    assert_eq!(
+                        get("reduce_vertices_peeled"),
+                        Some(red.stats.vertices_peeled.to_string())
+                    );
+                    assert_eq!(
+                        get("reduce_components"),
+                        Some(red.stats.components.to_string())
+                    );
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn raw_and_prereduced_schemas_route_to_one_stripe_and_share_solves() {
+        // The raw schema and its reduced core must route to the same
+        // stripe (reduced-form routing) and, once the raw schema is
+        // solved, the pre-reduced submission's pieces are already warm.
+        let raw = "c0(v0,v1), c1(v1,v2), c2(v2,v3), c3(v3,v0), dup(v0,v1), p1(v2,p), p2(p,q).";
+        let pre = "c0(v0,v1), c1(v1,v2), c2(v2,v3), c3(v3,v0).";
+        let h_raw = softhw_hypergraph::parse_hypergraph(raw).unwrap();
+        let h_pre = softhw_hypergraph::parse_hypergraph(pre).unwrap();
+        assert_eq!(
+            route_hash(&h_raw) % state().num_stripes() as u64,
+            route_hash(&h_pre) % state().num_stripes() as u64
+        );
+        let st = state();
+        assert!(matches!(
+            st.handle(&Request::new(RequestClass::Shw, raw)),
+            Response::Width { width: 2, .. }
+        ));
+        // The pre-reduced request must not redo any width decision.
+        let misses_before: u64 = st
+            .stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .cache
+                    .stats()
+                    .result_misses
+            })
+            .sum();
+        assert!(matches!(
+            st.handle(&Request::new(RequestClass::Shw, pre)),
+            Response::Width { width: 2, .. }
+        ));
+        let misses_after: u64 = st
+            .stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .cache
+                    .stats()
+                    .result_misses
+            })
+            .sum();
+        assert_eq!(
+            misses_after, misses_before,
+            "pre-reduced schema recomputed a width decision"
+        );
     }
 
     #[test]

@@ -696,18 +696,29 @@ mod tests {
         // generically rather than reject them.
         let lines = vec![
             "OK STATS vertices=10 edges=8 stripe_load=1,0,2 store_hits=7 \
-             some_future_row=anything result_cache_misses=0,0,0"
+             some_future_row=anything result_cache_misses=0,0,0 \
+             reduce_edges_dropped=3 reduce_vertices_peeled=1 reduce_components=2"
                 .to_string(),
         ];
         match Response::decode(&lines).expect("extended STATS parses") {
             Response::Stats { fields } => {
-                assert_eq!(fields.len(), 6);
+                assert_eq!(fields.len(), 9);
                 assert!(fields
                     .iter()
                     .any(|(k, v)| k == "stripe_load" && v == "1,0,2"));
                 assert!(fields
                     .iter()
                     .any(|(k, v)| k == "some_future_row" && v == "anything"));
+                // The reduction-pipeline rows ride the same generic
+                // key=value format: old clients see three more opaque
+                // fields, nothing else changes.
+                for (key, want) in [
+                    ("reduce_edges_dropped", "3"),
+                    ("reduce_vertices_peeled", "1"),
+                    ("reduce_components", "2"),
+                ] {
+                    assert!(fields.iter().any(|(k, v)| k == key && v == want));
+                }
             }
             other => panic!("{other:?}"),
         }

@@ -7,6 +7,10 @@
 //!   --width <k>      decide shw(H) <= k instead of computing shw exactly
 //!   --measure <m>    shw (default) | hw | ghw | shw1 | all
 //!   --concov         restrict to ConCov candidate bags
+//!   --no-reduce      skip the reduction pipeline (subsumption, peeling,
+//!                    component splitting) before exact shw/hw solving;
+//!                    local mode only — the server's pipeline is set by
+//!                    `softhw-serve --no-reduce`
 //!   --print          print the witness decomposition
 //!   --stats          print structural statistics only
 //!   --connect <addr> client mode: send the request to a softhw-serve
@@ -35,6 +39,7 @@ struct Options {
     width: Option<usize>,
     measure: String,
     concov: bool,
+    no_reduce: bool,
     print: bool,
     stats: bool,
     connect: Option<String>,
@@ -47,6 +52,7 @@ fn parse_args() -> Result<Options, String> {
         width: None,
         measure: "shw".to_string(),
         concov: false,
+        no_reduce: false,
         print: false,
         stats: false,
         connect: None,
@@ -64,13 +70,14 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--concov" => opts.concov = true,
+            "--no-reduce" => opts.no_reduce = true,
             "--print" => opts.print = true,
             "--stats" => opts.stats = true,
             "--connect" => opts.connect = Some(args.next().ok_or("--connect needs an address")?),
             "--help" | "-h" => {
                 return Err("usage: softhw-cli <file.hg> [--width k] \
-                            [--measure shw|hw|ghw|shw1|all] [--concov] [--print] [--stats] \
-                            [--connect host:port]"
+                            [--measure shw|hw|ghw|shw1|all] [--concov] [--no-reduce] \
+                            [--print] [--stats] [--connect host:port]"
                     .to_string())
             }
             f if opts.file.is_empty() && !f.starts_with('-') => opts.file = f.to_string(),
@@ -243,6 +250,13 @@ fn run() -> Result<bool, String> {
         h.num_edges()
     );
     if opts.connect.is_some() {
+        if opts.no_reduce {
+            return Err(
+                "--no-reduce is a local-solve flag; the server's pipeline is set by \
+                 `softhw-serve --no-reduce`"
+                    .to_string(),
+            );
+        }
         return run_remote(&opts, &text, &h);
     }
     if opts.stats {
@@ -272,6 +286,18 @@ fn run() -> Result<bool, String> {
             }
         }
         ("shw", None) => {
+            // Exact shw goes through the reduce-before-solve front door:
+            // simplify, sweep each reduced piece, lift the witnesses.
+            // `--no-reduce` (and the ConCov constraint, which has no
+            // piece-wise formulation) keep the raw per-width sweep.
+            if !opts.concov && !opts.no_reduce {
+                let (k, td) = shw::shw(&h);
+                println!("shw = {k}");
+                if opts.print {
+                    print!("{}", td.render(&h));
+                }
+                return Ok(true);
+            }
             for k in 1..=h.num_edges().max(1) {
                 if let Some(td) = decide(k)? {
                     println!("{constraint_label}shw = {k}");
@@ -302,7 +328,11 @@ fn run() -> Result<bool, String> {
                     }
                 },
                 None => {
-                    let (k, g) = hw::hw(&h);
+                    let (k, g) = if opts.no_reduce {
+                        hw::hw_raw(&h)
+                    } else {
+                        hw::hw(&h)
+                    };
                     println!("hw = {k}");
                     if opts.print {
                         print!("{}", g.render(&h));
@@ -343,8 +373,11 @@ fn run() -> Result<bool, String> {
             }
         }
         ("all", _) => {
-            let (s, _) = shw::shw(&h);
-            let (c, _) = hw::hw(&h);
+            let (s, c) = if opts.no_reduce {
+                (shw::shw_raw(&h).0, hw::hw_raw(&h).0)
+            } else {
+                (shw::shw(&h).0, hw::hw(&h).0)
+            };
             let limits = SoftLimits::default();
             let s1 = soft_iter::shw_i(&h, 1, &limits).map_err(|e| e.to_string())?;
             let g = soft_iter::ghw(&h, &limits).map_err(|e| e.to_string())?;

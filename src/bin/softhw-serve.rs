@@ -15,6 +15,9 @@
 //!                        if missing; torn tails recovered on open)
 //!   --warm <n>           warm-start the n hottest stored schemas (default 64)
 //!   --no-pin             do not pin warm-started schemas against LRU eviction
+//!   --no-reduce          disable the reduce-before-solve pipeline: solve every
+//!                        schema raw (escape hatch; answers are identical, the
+//!                        pipeline only changes how they are computed)
 //! ```
 //!
 //! With `--store`, the boot sequence opens the log (truncating a torn
@@ -55,10 +58,12 @@ fn parse_args() -> Result<Args, String> {
             "--store" => store = Some(args.next().ok_or("--store needs a path")?),
             "--warm" => config.warm_start = num(&mut args, "--warm")?,
             "--no-pin" => config.pin_warm = false,
+            "--no-reduce" => config.no_reduce = true,
             "--help" | "-h" => {
                 return Err("usage: softhw-serve [--addr host:port] [--workers n] \
                             [--stripes n] [--cache n] [--result-cache n] [--max-edges n] \
-                            [--max-conns n] [--store path] [--warm n] [--no-pin]"
+                            [--max-conns n] [--store path] [--warm n] [--no-pin] \
+                            [--no-reduce]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),

@@ -1,0 +1,153 @@
+//! Property-based tests of the reduction pipeline (proptest): solving
+//! through `reduce` (subsumed-edge removal, degree-1 peeling, component
+//! splitting) must agree with raw solving on the original hypergraph,
+//! and every lifted witness must validate against the *raw* input. The
+//! same file runs under `--features parallel`, certifying the pipeline
+//! on both execution paths.
+
+use proptest::prelude::*;
+use softhw::core::{hw, shw};
+use softhw::hypergraph::random::{random_hypergraph, RandomConfig};
+use softhw::hypergraph::reduce::reduce;
+use softhw::hypergraph::{Hypergraph, HypergraphBuilder};
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..8, 3usize..8, 0u64..5000).prop_map(|(nv, ne, seed)| {
+        random_hypergraph(
+            &RandomConfig {
+                num_vertices: nv,
+                num_edges: ne,
+                min_arity: 2,
+                max_arity: 3,
+                connect: true,
+            },
+            seed,
+        )
+    })
+}
+
+/// Disjoint union of `a` and `b` with fresh vertex/edge names — the
+/// component-splitting stimulus (random generation keeps its inputs
+/// connected).
+fn disjoint_union(a: &Hypergraph, b: &Hypergraph) -> Hypergraph {
+    let mut bld = HypergraphBuilder::new();
+    for (tag, h) in [("a", a), ("b", b)] {
+        let ids: Vec<usize> = (0..h.num_vertices())
+            .map(|v| bld.vertex(&format!("{tag}{v}")))
+            .collect();
+        for e in 0..h.num_edges() {
+            let vs: Vec<usize> = h.edge(e).iter().map(|v| ids[v]).collect();
+            bld.edge_ids(&format!("{tag}e{e}"), &vs);
+        }
+    }
+    bld.build()
+}
+
+/// `h` plus a copy of each of its first two edges and a strict subset of
+/// edge 0 — all subsumed, so every width is unchanged.
+fn with_subsumed_edges(h: &Hypergraph) -> Hypergraph {
+    let mut bld = HypergraphBuilder::new();
+    for v in 0..h.num_vertices() {
+        bld.vertex(h.vertex_name(v));
+    }
+    for e in 0..h.num_edges() {
+        let vs: Vec<usize> = h.edge(e).iter().collect();
+        bld.edge_ids(h.edge_name(e), &vs);
+    }
+    for e in 0..h.num_edges().min(2) {
+        let vs: Vec<usize> = h.edge(e).iter().collect();
+        bld.edge_ids(&format!("dup{e}"), &vs);
+        if vs.len() > 1 {
+            bld.edge_ids(&format!("sub{e}"), &vs[1..]);
+        }
+    }
+    bld.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduced_shw_matches_raw_sweep_oracle(h in small_hypergraph()) {
+        // `shw::shw` solves through the reduction pipeline; the retained
+        // rebuild-per-width sweep on the raw input is the oracle.
+        let (raw_w, _) = shw::shw_rebuild(&h);
+        let (red_w, td) = shw::shw(&h);
+        prop_assert_eq!(red_w, raw_w, "reduce changed shw");
+        // The lifted witness is a decomposition of the *raw* hypergraph.
+        prop_assert_eq!(td.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn reduced_hw_matches_raw_oracle(h in small_hypergraph()) {
+        let (raw_w, _) = hw::hw_raw(&h);
+        let (red_w, ghd) = hw::hw(&h);
+        prop_assert_eq!(red_w, raw_w, "reduce changed hw");
+        prop_assert!(ghd.is_hd(&h), "lifted hw witness is not an HD of the raw input");
+    }
+
+    #[test]
+    fn subsumed_edges_never_change_widths(h in small_hypergraph()) {
+        // Adding duplicate and subset edges leaves shw/hw unchanged; the
+        // pipeline drops them, and the witness must still cover the
+        // padded input (the oracle here is the solver on the unpadded
+        // hypergraph).
+        let padded = with_subsumed_edges(&h);
+        let red = reduce(&padded);
+        prop_assert!(red.stats.edges_dropped >= padded.num_edges() - h.num_edges(),
+            "subsumption missed a duplicated/subset edge");
+        let (w, td) = shw::shw(&padded);
+        prop_assert_eq!(w, shw::shw(&h).0);
+        prop_assert_eq!(td.validate(&padded), Ok(()));
+        let (hw_w, ghd) = hw::hw(&padded);
+        prop_assert_eq!(hw_w, hw::hw(&h).0);
+        prop_assert!(ghd.is_hd(&padded));
+    }
+
+    #[test]
+    fn disconnected_inputs_split_solve_and_lift(
+        a in small_hypergraph(),
+        b in small_hypergraph(),
+    ) {
+        // Component splitting: the union's width is the max over the
+        // pieces (solved independently as their own oracles), and the
+        // lifted witness spans the whole disconnected input.
+        let u = disjoint_union(&a, &b);
+        let red = reduce(&u);
+        // Peeling can dissolve an acyclic half entirely, so the piece
+        // *count* is not fixed — but no surviving piece may ever span
+        // both halves (a-vertices precede b-vertices in the union's id
+        // space).
+        for piece in &red.pieces {
+            let in_a = piece.vertex_map.iter().filter(|&&v| v < a.num_vertices()).count();
+            prop_assert!(in_a == 0 || in_a == piece.vertex_map.len(),
+                "a reduced piece spans both components");
+        }
+        let expect = shw::shw_rebuild(&a).0.max(shw::shw_rebuild(&b).0);
+        let (w, td) = shw::shw(&u);
+        prop_assert_eq!(w, expect);
+        prop_assert_eq!(td.validate(&u), Ok(()));
+        let expect_hw = hw::hw_raw(&a).0.max(hw::hw_raw(&b).0);
+        let (hw_w, ghd) = hw::hw(&u);
+        prop_assert_eq!(hw_w, expect_hw);
+        prop_assert!(ghd.is_hd(&u));
+    }
+
+    #[test]
+    fn reduction_bookkeeping_is_consistent(h in small_hypergraph()) {
+        // Structural sanity of the trace itself: pieces account for
+        // every surviving edge, and the maps point back into the raw
+        // input's id spaces.
+        let red = reduce(&h);
+        let surviving: usize = red.pieces.iter().map(|p| p.h.num_edges()).sum();
+        prop_assert!(surviving <= h.num_edges());
+        for piece in &red.pieces {
+            for &v in &piece.vertex_map {
+                prop_assert!(v < h.num_vertices());
+            }
+            for &e in &piece.edge_map {
+                prop_assert!(e < h.num_edges());
+            }
+        }
+    }
+}
