@@ -141,6 +141,7 @@ fn main() {
             addr: "127.0.0.1:0".to_string(),
             workers: args.clients,
             max_conns: Some(args.clients as u64 + 1),
+            ..ServeOptions::default()
         },
         state,
     )
@@ -234,6 +235,7 @@ fn main() {
                 addr: "127.0.0.1:0".to_string(),
                 workers: args.clients,
                 max_conns: Some(args.clients as u64),
+                ..ServeOptions::default()
             },
             state,
         )

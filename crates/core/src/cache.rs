@@ -25,12 +25,13 @@
 //! exceed the bound. Eviction only costs recomputation — an evicted
 //! structure rebuilds cold on its next query, with identical results.
 
+use crate::budget::Budget;
 use crate::ctd::{CtdInstance, Satisfaction};
 use crate::error::DecompError;
 use crate::ghd::Ghd;
 use crate::hw;
 use crate::reduce_solve::{lift_ghd, lift_td};
-use crate::soft::{soft_bag_ids, SoftLimits};
+use crate::soft::{soft_bag_ids, soft_bag_ids_budgeted, SoftLimits};
 use crate::sweep::IncrementalSweep;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::cache::IndexCache;
@@ -358,6 +359,32 @@ impl DecompCache {
         Ok(result)
     }
 
+    /// [`DecompCache::shw_leq`] with a cooperative [`Budget`]. A budget
+    /// abort memoises nothing for `(h, k)` — no partial answer can ever
+    /// be served — and evicts nothing: every decision cached before the
+    /// trip stays warm, so a retry recomputes only this width.
+    pub fn shw_leq_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        limits: &SoftLimits,
+        budget: &Budget,
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
+        let (hash, index) = self.indexes.entry(h);
+        if let Some(cached) = self.shw_results.get(&(hash, k)).cloned() {
+            self.stats.result_hits += 1;
+            self.touch(hash);
+            return Ok(cached);
+        }
+        self.stats.result_misses += 1;
+        let bags = soft_bag_ids_budgeted(index, k, limits, budget)?;
+        let result =
+            CtdInstance::build_budgeted(index, &bags, budget)?.try_decide_budgeted(budget)?;
+        self.shw_results.insert((hash, k), result.clone());
+        self.touch(hash);
+        Ok(result)
+    }
+
     /// `shw(h)` exactly, memoised per width across queries and computed
     /// through the incremental sweep engine on a miss: the per-graph
     /// [`IncrementalSweep`] grows one instance across the widths (and
@@ -417,6 +444,89 @@ impl DecompCache {
         let td = lift_td(h, &red, &tds);
         debug_assert_eq!(td.validate(h), Ok(()));
         Ok((width, td))
+    }
+
+    /// [`DecompCache::try_shw_with`] with a cooperative [`Budget`].
+    ///
+    /// Budget aborts leave the cache **warm and consistent**: nothing is
+    /// memoised for the interrupted width (so a partial answer can never
+    /// be served later), nothing is evicted (the per-graph sweep resets
+    /// itself — the reset contract of
+    /// [`IncrementalSweep::decide_leq_budgeted`]), and every width
+    /// decided before the trip stays cached. A retry resumes from the
+    /// memoised widths and recomputes only the interrupted one, from a
+    /// cold re-seed that is bit-identical to a never-interrupted run.
+    pub fn try_shw_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        limits: &SoftLimits,
+        budget: &Budget,
+    ) -> Result<(usize, TreeDecomposition), DecompError> {
+        if self.no_reduce {
+            return self.try_shw_raw_budgeted(h, limits, budget);
+        }
+        let red = self.reduction(h);
+        if red.is_trivial() {
+            return self.try_shw_raw_budgeted(h, limits, budget);
+        }
+        let mut width = 1usize;
+        let mut tds = Vec::with_capacity(red.pieces.len());
+        for piece in &red.pieces {
+            budget.check()?;
+            let (w, td) = self.try_shw_raw_budgeted(&piece.h, limits, budget)?;
+            width = width.max(w);
+            tds.push(td);
+        }
+        let td = lift_td(h, &red, &tds);
+        debug_assert_eq!(td.validate(h), Ok(()));
+        Ok((width, td))
+    }
+
+    /// The raw (no-reduction) cached budgeted sweep; see
+    /// [`DecompCache::try_shw_budgeted`] for the abort guarantees.
+    fn try_shw_raw_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        limits: &SoftLimits,
+        budget: &Budget,
+    ) -> Result<(usize, TreeDecomposition), DecompError> {
+        let (hash, _) = self.indexes.entry(h);
+        self.touch(hash);
+        for k in 1..=h.num_edges().max(1) {
+            if let Some(cached) = self.shw_results.get(&(hash, k)) {
+                self.stats.result_hits += 1;
+                match cached {
+                    Some(td) => return Ok((k, td.clone())),
+                    None => continue,
+                }
+            }
+            self.stats.result_misses += 1;
+            let (_, index) = self.indexes.entry(h);
+            let sweep = self.sweeps.entry(hash).or_default();
+            let result = match sweep.decide_leq_budgeted(index, k, limits, budget) {
+                Ok(r) => r,
+                Err(e) if e.is_internal() => {
+                    // Cached state is inconsistent: drop every artefact
+                    // of this hypergraph and decide this width cold.
+                    self.evict(hash);
+                    let (_, index) = self.indexes.entry(h);
+                    let ids = soft_bag_ids_budgeted(index, k, limits, budget)?;
+                    let cold = CtdInstance::build_budgeted(index, &ids, budget)?
+                        .try_decide_budgeted(budget)?;
+                    self.touch(hash);
+                    cold
+                }
+                // Budget errors land here: the sweep already reset
+                // itself, nothing is memoised for this width, and the
+                // warm decisions of smaller widths stay untouched.
+                Err(e) => return Err(e),
+            };
+            self.shw_results.insert((hash, k), result.clone());
+            if let Some(td) = result {
+                return Ok((k, td));
+            }
+        }
+        Err(DecompError::internal("no width up to |E(H)| accepted"))
     }
 
     /// The raw (no-reduction) cached exact sweep; see
@@ -480,6 +590,27 @@ impl DecompCache {
         result
     }
 
+    /// [`DecompCache::hw_leq`] with a cooperative [`Budget`]; a budget
+    /// abort memoises and evicts nothing.
+    pub fn hw_leq_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Option<Ghd>, DecompError> {
+        let (hash, _) = self.indexes.entry(h);
+        if let Some(cached) = self.hw_results.get(&(hash, k)).cloned() {
+            self.stats.result_hits += 1;
+            self.touch(hash);
+            return Ok(cached);
+        }
+        self.stats.result_misses += 1;
+        let result = hw::hw_leq_budgeted(h, k, budget)?;
+        self.hw_results.insert((hash, k), result.clone());
+        self.touch(hash);
+        Ok(result)
+    }
+
     /// `hw(h)` exactly, memoised per width across queries. Reduce-aware
     /// with the no-peel (HD-safe) pipeline: pieces are swept through the
     /// cache under their own structural hashes and the piece HDs lifted
@@ -514,6 +645,51 @@ impl DecompCache {
     /// The raw (no-reduction) cached exact `hw` sweep.
     fn try_hw_raw(&mut self, h: &Hypergraph) -> Option<(usize, Ghd)> {
         (1..=h.num_edges().max(1)).find_map(|k| self.hw_leq(h, k).map(|g| (k, g)))
+    }
+
+    /// [`DecompCache::try_hw`] with a cooperative [`Budget`]; same warm
+    /// abort guarantees as [`DecompCache::try_shw_budgeted`].
+    pub fn try_hw_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        budget: &Budget,
+    ) -> Result<Option<(usize, Ghd)>, DecompError> {
+        if self.no_reduce {
+            return self.try_hw_raw_budgeted(h, budget);
+        }
+        let red = self.reduction_no_peel(h);
+        if red.is_trivial() {
+            return self.try_hw_raw_budgeted(h, budget);
+        }
+        let mut width = 1usize;
+        let mut ghds = Vec::with_capacity(red.pieces.len());
+        for piece in &red.pieces {
+            budget.check()?;
+            match self.try_hw_raw_budgeted(&piece.h, budget)? {
+                Some((w, g)) => {
+                    width = width.max(w);
+                    ghds.push(g);
+                }
+                None => return Ok(None),
+            }
+        }
+        let g = lift_ghd(h, &red, &ghds);
+        debug_assert!(g.is_hd(h), "lifted HD must satisfy the special condition");
+        Ok(Some((width, g)))
+    }
+
+    /// The raw (no-reduction) cached budgeted `hw` sweep.
+    fn try_hw_raw_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        budget: &Budget,
+    ) -> Result<Option<(usize, Ghd)>, DecompError> {
+        for k in 1..=h.num_edges().max(1) {
+            if let Some(g) = self.hw_leq_budgeted(h, k, budget)? {
+                return Ok(Some((k, g)));
+            }
+        }
+        Ok(None)
     }
 
     /// Imports a persisted `shw(h) ≤ k` decision (the warm-start path of

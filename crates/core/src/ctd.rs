@@ -46,6 +46,7 @@
 //! Satisfaction timestamps make the extraction provably terminating: a
 //! block's basis only references blocks satisfied strictly earlier.
 
+use crate::budget::Budget;
 use crate::error::DecompError;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::arena::{words_subset, words_union_into, IdSet};
@@ -367,6 +368,20 @@ impl CtdInstance {
     /// width sweep, or repeated constrained queries) only pay for bags
     /// never seen before.
     pub fn build(index: &mut BlockIndex, bags: &[BagId]) -> Self {
+        Self::build_budgeted(index, bags, &Budget::unlimited())
+            .expect("the unlimited budget cannot trip")
+    }
+
+    /// [`CtdInstance::build`] with a cooperative [`Budget`], checked per
+    /// candidate bag and per comp-group scan. On a budget error the
+    /// partially built instance is dropped; the shared index keeps only
+    /// fully-computed cache entries, so a retry is safe and produces an
+    /// instance bit-identical to a never-interrupted build.
+    pub fn build_budgeted(
+        index: &mut BlockIndex,
+        bags: &[BagId],
+        budget: &Budget,
+    ) -> Result<Self, DecompError> {
         let h = index.hypergraph_arc().clone();
         let mut arena = BagArena::new(h.num_vertices());
         // Dedup and drop empties, preserving first-occurrence order (the
@@ -406,6 +421,7 @@ impl CtdInstance {
         }
         let mut blocks_by_head: Vec<(u32, u32)> = Vec::with_capacity(bag_ids.len());
         for (sid, (&local_bag, &index_bag)) in bag_ids.iter().zip(&index_ids).enumerate() {
+            budget.tick()?;
             let rows_r = index.block_rows(index_bag);
             blocks_by_head.push((blocks.len() as u32, rows_r.len() as u32));
             for i in 0..rows_r.len() {
@@ -424,8 +440,8 @@ impl CtdInstance {
         let bag_sets = (0..bag_ids.len())
             .map(|_| std::sync::OnceLock::new())
             .collect();
-        let deps = Self::build_deps(&h, &arena, &bag_ids, &blocks, &blocks_by_head);
-        CtdInstance {
+        let deps = Self::build_deps(&h, &arena, &bag_ids, &blocks, &blocks_by_head, budget)?;
+        Ok(CtdInstance {
             h,
             arena,
             bag_ids,
@@ -436,7 +452,7 @@ impl CtdInstance {
             blocks_by_head,
             root_blocks,
             deps,
-        }
+        })
     }
 
     /// An instance with no candidate bags: only the root blocks exist,
@@ -463,7 +479,8 @@ impl CtdInstance {
         bag_ids: &[BagId],
         blocks: &[Block],
         blocks_by_head: &[(u32, u32)],
-    ) -> Deps {
+        budget: &Budget,
+    ) -> Result<Deps, DecompError> {
         let nb = blocks.len();
         let nx = bag_ids.len();
         let words = arena.words_per_bag();
@@ -493,10 +510,11 @@ impl CtdInstance {
         let vb = &vertex_bags;
         let group_rep_ref = &group_rep;
         let workers = softhw_hypergraph::par::num_workers().min(ng.max(1));
-        let chunks = softhw_hypergraph::par::par_chunks(ng, workers, |range| {
+        let raw = softhw_hypergraph::par::par_chunks(ng, workers, |range| {
             let mut s = ScanScratch::new(words, xwords);
             let mut out = ScanChunk::default();
             for g in range {
+                budget.tick()?;
                 let before = out.xs.len();
                 scan_masked_group(
                     arena,
@@ -512,8 +530,15 @@ impl CtdInstance {
                 );
                 out.entries.push((out.xs.len() - before) as u32);
             }
-            out
+            Ok::<ScanChunk, DecompError>(out)
         });
+        // A tripped budget is sticky, so this check fires whenever any
+        // worker bailed early — partial chunks never reach the stitch.
+        budget.check()?;
+        let mut chunks: Vec<ScanChunk> = Vec::with_capacity(raw.len());
+        for r in raw {
+            chunks.push(r?);
+        }
         // Stitch the chunk outputs in group order and wire the reverse
         // index (`datum_group` mirrors `g_child_data` so the child→groups
         // CSR builds with a flat counting scatter).
@@ -557,7 +582,7 @@ impl CtdInstance {
         );
         let group_blocks =
             Csr::from_counts(ng, group_of.iter().enumerate().map(|(b, &g)| (g, b as u32)));
-        Deps {
+        Ok(Deps {
             group_of,
             group_rep,
             comp_group,
@@ -569,7 +594,7 @@ impl CtdInstance {
             xwords,
             child_groups,
             group_blocks,
-        }
+        })
     }
 
     /// Extends the instance in place with additional candidate bags (ids
@@ -587,6 +612,22 @@ impl CtdInstance {
     /// Returns the [`ExtendDelta`] describing what changed, for
     /// [`CtdInstance::satisfy_extend`].
     pub fn extend(&mut self, index: &mut BlockIndex, bags: &[BagId]) -> ExtendDelta {
+        self.extend_budgeted(index, bags, &Budget::unlimited())
+            .expect("the unlimited budget cannot trip")
+    }
+
+    /// [`CtdInstance::extend`] with a cooperative [`Budget`], checked per
+    /// appended bag and per comp-group rescan. **On a budget error the
+    /// instance is torn** (bags appended but dependency tables stale or
+    /// mid-rebuild): the caller must discard it — or, in the sweep,
+    /// `reset()` the sweep state — before retrying; the shared index
+    /// stays valid either way.
+    pub fn extend_budgeted(
+        &mut self,
+        index: &mut BlockIndex,
+        bags: &[BagId],
+        budget: &Budget,
+    ) -> Result<ExtendDelta, DecompError> {
         assert!(
             Arc::ptr_eq(&self.h, index.hypergraph_arc()),
             "extend must be given the BlockIndex the instance was built from"
@@ -612,6 +653,7 @@ impl CtdInstance {
             // table probe per comp/closure/cover.
             let mut descs: Vec<(usize, BagId, BagId)> = Vec::new();
             for x in prev_bags..self.bag_ids.len() {
+                budget.tick()?;
                 let rows_r = index.block_rows(self.index_ids[x]);
                 for &(comp, cover) in index.rows(rows_r) {
                     descs.push((x, comp, cover));
@@ -660,6 +702,7 @@ impl CtdInstance {
             // straight from the index's row table.
             let mut closure_buf: Vec<u64> = vec![0u64; self.arena.words_per_bag()];
             for head in prev_bags..self.bag_ids.len() {
+                budget.tick()?;
                 let rows_r = index.block_rows(self.index_ids[head]);
                 let n_rows = rows_r.len();
                 if n_rows > 0 {
@@ -685,23 +728,28 @@ impl CtdInstance {
             // Nothing new (repeat width, or a stratum entirely contained
             // in the instance): the tables are already exact — skip the
             // dependency rebuild and dirty no blocks.
-            return ExtendDelta {
+            return Ok(ExtendDelta {
                 prev_bags,
                 prev_blocks,
                 dirty: Vec::new(),
-            };
+            });
         }
-        let dirty = self.extend_deps(prev_bags, prev_blocks);
-        ExtendDelta {
+        let dirty = self.extend_deps(prev_bags, prev_blocks, budget)?;
+        Ok(ExtendDelta {
             prev_bags,
             prev_blocks,
             dirty,
-        }
+        })
     }
 
     /// Brings the dependency tables up to date after an extension; see
     /// [`CtdInstance::extend`]. Returns the dirty-block seed list.
-    fn extend_deps(&mut self, prev_nx: usize, prev_nb: usize) -> Vec<u32> {
+    fn extend_deps(
+        &mut self,
+        prev_nx: usize,
+        prev_nb: usize,
+        budget: &Budget,
+    ) -> Result<Vec<u32>, DecompError> {
         let nx = self.bag_ids.len();
         let nb = self.blocks.len();
         let nv = self.h.num_vertices();
@@ -759,12 +807,13 @@ impl CtdInstance {
         // block per worker chunk), overlapped with the group→blocks
         // reverse-index rebuild, which is independent of the scan
         // results.
-        let (chunks, group_blocks) = par_join(
+        let (raw, group_blocks) = par_join(
             || {
                 softhw_hypergraph::par::par_chunks(ng, workers, |range| {
                     let mut s = ScanScratch::new(words, xwords);
                     let mut out = ScanChunk::default();
                     for g in range {
+                        budget.tick()?;
                         let mask = if g < ng_old { &new_region } else { &live };
                         let before = out.xs.len();
                         scan_masked_group(
@@ -781,7 +830,7 @@ impl CtdInstance {
                         );
                         out.entries.push((out.xs.len() - before) as u32);
                     }
-                    out
+                    Ok::<ScanChunk, DecompError>(out)
                 })
             },
             || {
@@ -791,6 +840,11 @@ impl CtdInstance {
                 Csr::from_counts(ng, group_of.iter().enumerate().map(|(b, &g)| (g, b as u32)))
             },
         );
+        budget.check()?;
+        let mut chunks: Vec<ScanChunk> = Vec::with_capacity(raw.len());
+        for r in raw {
+            chunks.push(r?);
+        }
         // Restitch the candidate tables: per group, merge the existing
         // entries with the newly found ones by ascending bag index (the
         // two sets are disjoint — an existing entry's bag was already in
@@ -934,7 +988,7 @@ impl CtdInstance {
         d.xwords = xwords;
         d.child_groups = child_groups;
         d.group_blocks = group_blocks;
-        dirty
+        Ok(dirty)
     }
 
     /// Number of (deduplicated, non-empty) candidate bags.
@@ -1079,6 +1133,15 @@ impl CtdInstance {
     /// are identical to the serial run and to the Jacobi reference
     /// ([`CtdInstance::satisfy_jacobi`]).
     pub fn satisfy(&self) -> Satisfaction {
+        self.satisfy_budgeted(&Budget::unlimited())
+            .expect("the unlimited budget cannot trip")
+    }
+
+    /// [`CtdInstance::satisfy`] with a cooperative [`Budget`], checked at
+    /// every frontier wave. The DP state lives in locals, so an abort
+    /// leaves the instance untouched — a retry recomputes from scratch
+    /// and is bit-identical to a never-interrupted run.
+    pub fn satisfy_budgeted(&self, budget: &Budget) -> Result<Satisfaction, DecompError> {
         let nb = self.blocks.len();
         let mut satisfied = vec![false; nb];
         let mut basis: Vec<Option<(usize, u32)>> = vec![None; nb];
@@ -1088,9 +1151,10 @@ impl CtdInstance {
             &mut basis,
             &mut clock,
             (0..nb as u32).collect(),
-        );
+            budget,
+        )?;
         let accept = self.root_blocks.iter().all(|&b| satisfied[b]);
-        Satisfaction { basis, accept }
+        Ok(Satisfaction { basis, accept })
     }
 
     /// Brings a pre-extension [`Satisfaction`] up to date after
@@ -1111,6 +1175,19 @@ impl CtdInstance {
     /// earlier width may differ, since a fresh run would also consider
     /// the bags added later.
     pub fn satisfy_extend(&self, prev: &Satisfaction, delta: &ExtendDelta) -> Satisfaction {
+        self.satisfy_extend_budgeted(prev, delta, &Budget::unlimited())
+            .expect("the unlimited budget cannot trip")
+    }
+
+    /// [`CtdInstance::satisfy_extend`] with a cooperative [`Budget`],
+    /// checked at every frontier wave. `prev` and the instance are left
+    /// untouched on abort; the partially advanced DP state is dropped.
+    pub fn satisfy_extend_budgeted(
+        &self,
+        prev: &Satisfaction,
+        delta: &ExtendDelta,
+        budget: &Budget,
+    ) -> Result<Satisfaction, DecompError> {
         assert_eq!(
             prev.basis.len(),
             delta.prev_blocks,
@@ -1125,9 +1202,15 @@ impl CtdInstance {
             .filter_map(|e| e.map(|(_, t)| t + 1))
             .max()
             .unwrap_or(0);
-        self.satisfy_run(&mut satisfied, &mut basis, &mut clock, delta.dirty.clone());
+        self.satisfy_run(
+            &mut satisfied,
+            &mut basis,
+            &mut clock,
+            delta.dirty.clone(),
+            budget,
+        )?;
         let accept = self.root_blocks.iter().all(|&b| satisfied[b]);
-        Satisfaction { basis, accept }
+        Ok(Satisfaction { basis, accept })
     }
 
     /// The worklist engine shared by [`CtdInstance::satisfy`] (seeded
@@ -1142,11 +1225,16 @@ impl CtdInstance {
         basis: &mut [Option<(usize, u32)>],
         clock: &mut u32,
         mut frontier: Vec<u32>,
-    ) {
+        budget: &Budget,
+    ) -> Result<(), DecompError> {
         let nb = self.blocks.len();
         let mut next: Vec<u32> = Vec::new();
         let mut queued = vec![false; nb];
         while !frontier.is_empty() {
+            // Wave-granularity budget check: a wave is the unit of work
+            // between deadline observations, which bounds cancellation
+            // latency to one wave of rechecks.
+            budget.check()?;
             let snapshot = &*satisfied;
             let found: Vec<Option<u32>> = par_map(frontier.len(), |i| {
                 let b = frontier[i] as usize;
@@ -1178,6 +1266,7 @@ impl CtdInstance {
             }
             std::mem::swap(&mut frontier, &mut next);
         }
+        Ok(())
     }
 
     /// The seed's Jacobi-round satisfaction DP, retained as the reference
@@ -1307,6 +1396,17 @@ impl CtdInstance {
     /// bug — but a service must not die on either.)
     pub fn try_decide(&self) -> Result<Option<TreeDecomposition>, DecompError> {
         let sat = self.satisfy();
+        self.try_extract(&sat)
+    }
+
+    /// [`CtdInstance::try_decide`] with a cooperative [`Budget`]: the DP
+    /// checks the budget at every wave; the extraction itself is
+    /// output-linear and runs to completion once the DP accepted.
+    pub fn try_decide_budgeted(
+        &self,
+        budget: &Budget,
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
+        let sat = self.satisfy_budgeted(budget)?;
         self.try_extract(&sat)
     }
 }

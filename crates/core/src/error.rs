@@ -18,7 +18,13 @@
 //!   block without a basis, a cache bucket that vanished) failed to
 //!   hold. In debug builds these still `debug_assert!`; in release the
 //!   caller degrades — [`DecompCache`](crate::cache::DecompCache) evicts
-//!   the inconsistent entry and recomputes cold.
+//!   the inconsistent entry and recomputes cold;
+//! - [`DecompError::DeadlineExceeded`] / [`DecompError::Canceled`] — a
+//!   [`Budget`](crate::budget::Budget) tripped. These are *not*
+//!   internal: nothing is inconsistent, the caller ran out of time (or
+//!   asked to stop), so caches must not evict or memoise — they leave
+//!   state untouched or `reset()` it to a cold-rebuildable seed and
+//!   propagate.
 
 use crate::soft::LimitExceeded;
 use softhw_hypergraph::ShardError;
@@ -40,6 +46,12 @@ pub enum DecompError {
         /// Which invariant failed.
         what: &'static str,
     },
+    /// A [`Budget`](crate::budget::Budget) deadline or work cap expired
+    /// before the computation finished.
+    DeadlineExceeded,
+    /// The computation was cooperatively cancelled through its
+    /// [`Budget`](crate::budget::Budget)'s cancel flag.
+    Canceled,
 }
 
 impl DecompError {
@@ -53,6 +65,16 @@ impl DecompError {
     pub fn is_internal(&self) -> bool {
         matches!(self, DecompError::Internal { .. })
     }
+
+    /// True iff this error came from a tripped
+    /// [`Budget`](crate::budget::Budget) (deadline, work cap, or
+    /// cancellation). Budget errors are transient: nothing is wrong with
+    /// the input or the cached state, so callers reset to a
+    /// cold-rebuildable state and propagate rather than evict or
+    /// memoise.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, DecompError::DeadlineExceeded | DecompError::Canceled)
+    }
 }
 
 impl fmt::Display for DecompError {
@@ -63,6 +85,10 @@ impl fmt::Display for DecompError {
             DecompError::Internal { what } => {
                 write!(f, "internal decomposition invariant failed: {what}")
             }
+            DecompError::DeadlineExceeded => {
+                write!(f, "deadline or work budget exceeded before completion")
+            }
+            DecompError::Canceled => write!(f, "computation canceled"),
         }
     }
 }
@@ -72,7 +98,9 @@ impl std::error::Error for DecompError {
         match self {
             DecompError::Limit(e) => Some(e),
             DecompError::Shards(e) => Some(e),
-            DecompError::Internal { .. } => None,
+            DecompError::Internal { .. }
+            | DecompError::DeadlineExceeded
+            | DecompError::Canceled => None,
         }
     }
 }
@@ -103,5 +131,11 @@ mod tests {
         let i = DecompError::internal("basis missing");
         assert!(i.is_internal());
         assert!(i.to_string().contains("basis missing"));
+        for budget_err in [DecompError::DeadlineExceeded, DecompError::Canceled] {
+            assert!(budget_err.is_budget());
+            assert!(!budget_err.is_internal(), "budget errors must not evict");
+        }
+        assert!(!i.is_budget());
+        assert!(!l.is_budget());
     }
 }

@@ -17,6 +17,8 @@
 //! cover-guided (branch on the lowest uncovered connector vertex) with a
 //! free extension phase, which prunes the `|E|^k` space drastically.
 
+use crate::budget::Budget;
+use crate::error::DecompError;
 use crate::ghd::Ghd;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::{BagArena, BagId, BitSet, FxHashMap, Hypergraph};
@@ -32,16 +34,26 @@ struct Solver<'h> {
     /// memo on interned ids makes probes a u64 hash + two u32 compares
     /// instead of re-hashing and re-comparing two boxed bitsets.
     memo: FxHashMap<(BagId, BagId), Option<Vec<usize>>>,
+    /// Cooperative budget, ticked once per sub-problem. The boolean
+    /// recursion cannot carry a `Result`, so a trip is latched in
+    /// `tripped` and `decompose` answers `false` from then on — the
+    /// top-level entry point checks the latch and converts it to the
+    /// budget error before any (now meaningless) reject can escape.
+    budget: Budget,
+    /// First budget error observed, if any.
+    tripped: Option<DecompError>,
 }
 
 impl<'h> Solver<'h> {
-    fn new(h: &'h Hypergraph, k: usize) -> Self {
+    fn new(h: &'h Hypergraph, k: usize, budget: Budget) -> Self {
         Solver {
             h,
             k,
             comp_arena: BagArena::new(h.num_edges()),
             conn_arena: BagArena::new(h.num_vertices()),
             memo: FxHashMap::default(),
+            budget,
+            tripped: None,
         }
     }
 
@@ -51,6 +63,13 @@ impl<'h> Solver<'h> {
 
     /// Does the sub-problem `(comp, conn)` admit an HD subtree of width ≤ k?
     fn decompose(&mut self, comp: &BitSet, conn: &BitSet) -> bool {
+        if self.tripped.is_some() {
+            return false; // unwind: the top level reports the trip
+        }
+        if let Err(e) = self.budget.tick() {
+            self.tripped = Some(e);
+            return false;
+        }
         if comp.is_empty() && conn.is_empty() {
             return true;
         }
@@ -68,6 +87,12 @@ impl<'h> Solver<'h> {
             .collect();
         let mut chosen: Vec<usize> = Vec::with_capacity(self.k);
         let found = self.search(&pool, comp, conn, &scope, conn.clone(), &mut chosen, 0);
+        if self.tripped.is_some() {
+            // A trip mid-search makes `found` meaningless: do not poison
+            // the memo with it (the solver is discarded on the error
+            // path anyway, but the invariant is cheap to keep).
+            return false;
+        }
         let entry = if found { Some(chosen) } else { None };
         self.memo.insert(key, entry);
         found
@@ -215,15 +240,31 @@ impl<'h> Solver<'h> {
 /// Decides `hw(H) ≤ k`; on success returns a witness HD (validated
 /// special condition included in debug builds).
 pub fn hw_leq(h: &Hypergraph, k: usize) -> Option<Ghd> {
+    hw_leq_budgeted(h, k, &Budget::unlimited()).expect("the unlimited budget cannot trip")
+}
+
+/// [`hw_leq`] with a cooperative [`Budget`], ticked once per sub-problem
+/// of the top-down search. On a trip the solver (memo included) is
+/// dropped and the budget error propagates; a retry restarts the search
+/// cold.
+pub fn hw_leq_budgeted(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+) -> Result<Option<Ghd>, DecompError> {
     if h.num_edges() == 0 {
-        return None;
+        return Ok(None);
     }
-    let mut solver = Solver::new(h, k);
+    let mut solver = Solver::new(h, k, budget.clone());
     let comps = h.edge_components(&h.empty_vertex_set());
     let empty = h.empty_vertex_set();
     for comp in &comps {
-        if !solver.decompose(comp, &empty) {
-            return None;
+        let ok = solver.decompose(comp, &empty);
+        if let Some(e) = solver.tripped.take() {
+            return Err(e);
+        }
+        if !ok {
+            return Ok(None);
         }
     }
     let mut ghd: Option<Ghd> = None;
@@ -232,7 +273,7 @@ pub fn hw_leq(h: &Hypergraph, k: usize) -> Option<Ghd> {
     }
     let ghd = ghd.expect("at least one component");
     debug_assert!(ghd.is_hd(h), "constructed decomposition must be an HD");
-    Some(ghd)
+    Ok(Some(ghd))
 }
 
 /// Computes `hw(H)` exactly, returning the width and a witness HD. The
@@ -246,6 +287,19 @@ pub fn hw(h: &Hypergraph) -> (usize, Ghd) {
 /// The raw exact sweep, with no reduction preprocessing.
 pub fn hw_raw(h: &Hypergraph) -> (usize, Ghd) {
     crate::width_sweep(h.num_edges(), |k| hw_leq(h, k))
+}
+
+/// [`hw_raw`] with a cooperative [`Budget`] shared across all widths of
+/// the sweep.
+pub fn hw_raw_budgeted(h: &Hypergraph, budget: &Budget) -> Result<(usize, Ghd), DecompError> {
+    for k in 1..=h.num_edges().max(1) {
+        if let Some(g) = hw_leq_budgeted(h, k, budget)? {
+            return Ok((k, g));
+        }
+    }
+    Err(DecompError::internal(
+        "width sweep exhausted |E(H)| without accepting",
+    ))
 }
 
 /// [`hw`] against a cross-query [`crate::cache::DecompCache`]: per-width

@@ -22,9 +22,12 @@
 //!   top-n enumeration, random sampling (§6)
 //! - [`constraints`]: ConCov / ShallowCyc / PartClust / cost evaluators (§6)
 //! - [`games`]: (institutional) robber & marshals games (App. A.1)
+//! - [`budget`]: cooperative deadline/cancellation budgets threaded
+//!   through every long-running solver path
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod constraints;
 pub mod cover;
@@ -41,6 +44,7 @@ pub mod soft_iter;
 pub mod sweep;
 pub mod td;
 
+pub use budget::Budget;
 pub use cache::DecompCache;
 pub use ctd::{candidate_td, CtdInstance};
 pub use error::DecompError;

@@ -23,7 +23,10 @@
 //! fully-peelable (α-acyclic) hypergraph a genuine join tree: one node
 //! per surviving edge, each coverable by a single edge.
 
+use crate::budget::Budget;
+use crate::error::DecompError;
 use crate::ghd::Ghd;
+use crate::soft::SoftLimits;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::reduce::{reduce, reduce_no_peel, ReduceEvent, ReducePiece, Reduction};
 use softhw_hypergraph::{BitSet, Hypergraph};
@@ -239,6 +242,32 @@ pub fn shw(h: &Hypergraph) -> (usize, TreeDecomposition) {
     (width, td)
 }
 
+/// [`shw`] with a cooperative [`Budget`], checked before every reduced
+/// piece (the per-piece sweeps check it far more finely on their own).
+/// On abort the partially solved pieces are dropped; a retry re-reduces
+/// and re-solves from scratch.
+pub fn shw_budgeted(
+    h: &Hypergraph,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<(usize, TreeDecomposition), DecompError> {
+    let red = reduce(h);
+    if red.is_trivial() {
+        return crate::shw::shw_raw_budgeted(h, limits, budget);
+    }
+    let mut width = 1usize;
+    let mut tds = Vec::with_capacity(red.pieces.len());
+    for piece in &red.pieces {
+        budget.check()?;
+        let (w, td) = crate::shw::shw_raw_budgeted(&piece.h, limits, budget)?;
+        width = width.max(w);
+        tds.push(td);
+    }
+    let td = lift_td(h, &red, &tds);
+    debug_assert_eq!(td.validate(h), Ok(()));
+    Ok((width, td))
+}
+
 /// Decides `shw(H) <= k` via reduce-before-solve (every piece must
 /// accept). `k = 0` falls back to the raw decision.
 pub fn shw_leq(h: &Hypergraph, k: usize) -> Option<TreeDecomposition> {
@@ -256,6 +285,37 @@ pub fn shw_leq(h: &Hypergraph, k: usize) -> Option<TreeDecomposition> {
     let td = lift_td(h, &red, &tds);
     debug_assert_eq!(td.validate(h), Ok(()));
     Some(td)
+}
+
+/// [`shw_leq`] with a cooperative [`Budget`] and explicit limits.
+pub fn shw_leq_budgeted(
+    h: &Hypergraph,
+    k: usize,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<Option<TreeDecomposition>, DecompError> {
+    let raw = |h: &Hypergraph| {
+        let mut index = softhw_hypergraph::BlockIndex::new(h);
+        crate::shw::shw_leq_indexed_budgeted(&mut index, k, limits, budget)
+    };
+    if k == 0 {
+        return raw(h);
+    }
+    let red = reduce(h);
+    if red.is_trivial() {
+        return raw(h);
+    }
+    let mut tds = Vec::with_capacity(red.pieces.len());
+    for piece in &red.pieces {
+        budget.check()?;
+        match raw(&piece.h)? {
+            Some(td) => tds.push(td),
+            None => return Ok(None),
+        }
+    }
+    let td = lift_td(h, &red, &tds);
+    debug_assert_eq!(td.validate(h), Ok(()));
+    Ok(Some(td))
 }
 
 /// Exact hypertree width via reduce-before-solve; the lifted witness is
@@ -282,6 +342,26 @@ pub fn hw(h: &Hypergraph) -> (usize, Ghd) {
     (width, g)
 }
 
+/// [`hw`] with a cooperative [`Budget`], checked before every reduced
+/// piece and per sub-problem inside each piece's search.
+pub fn hw_budgeted(h: &Hypergraph, budget: &Budget) -> Result<(usize, Ghd), DecompError> {
+    let red = reduce_no_peel(h);
+    if red.is_trivial() {
+        return crate::hw::hw_raw_budgeted(h, budget);
+    }
+    let mut width = 1usize;
+    let mut ghds = Vec::with_capacity(red.pieces.len());
+    for piece in &red.pieces {
+        budget.check()?;
+        let (w, g) = crate::hw::hw_raw_budgeted(&piece.h, budget)?;
+        width = width.max(w);
+        ghds.push(g);
+    }
+    let g = lift_ghd(h, &red, &ghds);
+    debug_assert!(g.is_hd(h), "lifted HD must satisfy the special condition");
+    Ok((width, g))
+}
+
 /// Decides `hw(H) <= k` via reduce-before-solve (every piece must
 /// accept). `k = 0` falls back to the raw decision.
 pub fn hw_leq(h: &Hypergraph, k: usize) -> Option<Ghd> {
@@ -299,6 +379,32 @@ pub fn hw_leq(h: &Hypergraph, k: usize) -> Option<Ghd> {
     let g = lift_ghd(h, &red, &ghds);
     debug_assert!(g.is_hd(h), "lifted HD must satisfy the special condition");
     Some(g)
+}
+
+/// [`hw_leq`] with a cooperative [`Budget`].
+pub fn hw_leq_budgeted(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+) -> Result<Option<Ghd>, DecompError> {
+    if k == 0 {
+        return crate::hw::hw_leq_budgeted(h, k, budget);
+    }
+    let red = reduce_no_peel(h);
+    if red.is_trivial() {
+        return crate::hw::hw_leq_budgeted(h, k, budget);
+    }
+    let mut ghds = Vec::with_capacity(red.pieces.len());
+    for piece in &red.pieces {
+        budget.check()?;
+        match crate::hw::hw_leq_budgeted(&piece.h, k, budget)? {
+            Some(g) => ghds.push(g),
+            None => return Ok(None),
+        }
+    }
+    let g = lift_ghd(h, &red, &ghds);
+    debug_assert!(g.is_hd(h), "lifted HD must satisfy the special condition");
+    Ok(Some(g))
 }
 
 #[cfg(test)]

@@ -8,8 +8,10 @@
 //! coverable by at most `k` edges (Theorem 2), so the result can always be
 //! upgraded to a GHD of width ≤ k via [`crate::ghd::Ghd::from_td`].
 
+use crate::budget::Budget;
 use crate::ctd::CtdInstance;
-use crate::soft::{soft_bag_ids, LimitExceeded, SoftLimits};
+use crate::error::DecompError;
+use crate::soft::{soft_bag_ids, soft_bag_ids_budgeted, LimitExceeded, SoftLimits};
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::{BlockIndex, Hypergraph};
 
@@ -42,6 +44,20 @@ pub fn shw_leq_indexed(
     Ok(CtdInstance::build(index, &bags).decide())
 }
 
+/// [`shw_leq_indexed`] with a cooperative [`Budget`] threaded through
+/// candidate generation, instance build, and the satisfaction DP. The
+/// shared index stays valid on abort (it only ever holds fully-computed
+/// cache entries), so a retry reuses everything already cached.
+pub fn shw_leq_indexed_budgeted(
+    index: &mut BlockIndex,
+    k: usize,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<Option<TreeDecomposition>, DecompError> {
+    let bags = soft_bag_ids_budgeted(index, k, limits, budget)?;
+    CtdInstance::build_budgeted(index, &bags, budget)?.try_decide_budgeted(budget)
+}
+
 /// Computes `shw(H)` exactly: the least `k` admitting a soft HD, together
 /// with a witness decomposition. The input is first simplified by the
 /// width-preserving reduction pipeline ([`softhw_hypergraph::reduce`]);
@@ -71,6 +87,28 @@ pub fn shw_raw(h: &Hypergraph) -> (usize, TreeDecomposition) {
             .decide_leq(&mut index, k, &SoftLimits::default())
             .expect("default limits exceeded")
     })
+}
+
+/// [`shw_raw`] with a cooperative [`Budget`]: the incremental sweep
+/// checks the budget per width stage (and, inside each stage, per
+/// enumeration node / comp-group scan / DP wave). On abort the sweep
+/// state is local and dropped, so nothing is poisoned.
+pub fn shw_raw_budgeted(
+    h: &Hypergraph,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<(usize, TreeDecomposition), DecompError> {
+    let mut index = BlockIndex::new(h);
+    let mut sweep = crate::sweep::IncrementalSweep::new();
+    for k in 1..=h.num_edges().max(1) {
+        if let Some(td) = sweep.decide_leq_budgeted(&mut index, k, limits, budget)? {
+            return Ok((k, td));
+        }
+    }
+    // Unreachable for valid inputs: shw(H) ≤ |E(H)| always accepts.
+    Err(DecompError::internal(
+        "width sweep exhausted |E(H)| without accepting",
+    ))
 }
 
 /// The pre-incremental sweep, retained as the reference and benchmark

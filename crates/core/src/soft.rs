@@ -29,6 +29,8 @@
 //! The seed's direct `FxHashSet<BitSet>` generator is preserved verbatim
 //! in [`reference`] as the cross-check and benchmark baseline.
 
+use crate::budget::Budget;
+use crate::error::DecompError;
 use softhw_hypergraph::arena::{words_empty, words_intersect_into, IdSet};
 use softhw_hypergraph::par::par_chunks;
 use softhw_hypergraph::{BagArena, BagId, BitSet, BlockIndex, Hypergraph, ShardedArena};
@@ -68,6 +70,21 @@ impl std::fmt::Display for LimitExceeded {
 
 impl std::error::Error for LimitExceeded {}
 
+/// Maps a [`DecompError`] raised under the *unlimited* budget back to
+/// the pre-budget `LimitExceeded` signature of the public generators.
+/// The unlimited budget cannot trip, so every error reaching here is a
+/// limit (shard overflows are folded into `LimitExceeded` at their
+/// raise sites); a non-limit error degrades to a generic limit rather
+/// than panicking.
+fn demote(e: DecompError) -> LimitExceeded {
+    match e {
+        DecompError::Limit(l) => l,
+        _ => LimitExceeded {
+            what: "non-limit error under unlimited budget",
+        },
+    }
+}
+
 /// Interns into a worker-local shard, erroring out *before* the shard
 /// outgrows its slice of the sharded id space. An over-full shard would
 /// wrap local ids into the next shard's range ([`ShardedArena`] high-bit
@@ -101,14 +118,17 @@ fn lambda_rec(
     max_depth: usize,
     pool: &mut [Vec<u64>],
     local: &mut BagArena,
-    budget: &AtomicUsize,
-    max_budget: usize,
-) -> Result<(), LimitExceeded> {
+    sets: &AtomicUsize,
+    max_sets: usize,
+    budget: &Budget,
+) -> Result<(), DecompError> {
     for i in start..elements.len() {
-        if budget.fetch_add(1, Ordering::Relaxed) >= max_budget {
+        budget.tick()?;
+        if sets.fetch_add(1, Ordering::Relaxed) >= max_sets {
             return Err(LimitExceeded {
                 what: "max_lambda_sets",
-            });
+            }
+            .into());
         }
         let (prev, next) = pool.split_at_mut(depth);
         let buf = &mut next[0];
@@ -125,8 +145,9 @@ fn lambda_rec(
                 max_depth,
                 pool,
                 local,
+                sets,
+                max_sets,
                 budget,
-                max_budget,
             )?;
         }
     }
@@ -143,7 +164,8 @@ fn lambda_unions_direct(
     elements: &[BagId],
     k: usize,
     limits: &SoftLimits,
-) -> Result<Vec<BagId>, LimitExceeded> {
+    budget: &Budget,
+) -> Result<Vec<BagId>, DecompError> {
     let words = arena.words_per_bag();
     let mut out: Vec<BagId> = Vec::new();
     let mut seen = IdSet::new();
@@ -158,15 +180,18 @@ fn lambda_unions_direct(
         pool: &mut [Vec<u64>],
         seen: &mut IdSet,
         out: &mut Vec<BagId>,
-        budget: &mut usize,
-    ) -> Result<(), LimitExceeded> {
+        sets: &mut usize,
+        budget: &Budget,
+    ) -> Result<(), DecompError> {
         for i in start..elements.len() {
-            if *budget == 0 {
+            budget.tick()?;
+            if *sets == 0 {
                 return Err(LimitExceeded {
                     what: "max_lambda_sets",
-                });
+                }
+                .into());
             }
-            *budget -= 1;
+            *sets -= 1;
             let (prev, next) = pool.split_at_mut(depth);
             let buf = &mut next[0];
             buf.clear();
@@ -186,23 +211,16 @@ fn lambda_unions_direct(
                     pool,
                     seen,
                     out,
+                    sets,
                     budget,
                 )?;
             }
         }
         Ok(())
     }
-    let mut budget = limits.max_lambda_sets;
+    let mut sets = limits.max_lambda_sets;
     rec(
-        arena,
-        elements,
-        0,
-        1,
-        k,
-        &mut pool,
-        &mut seen,
-        &mut out,
-        &mut budget,
+        arena, elements, 0, 1, k, &mut pool, &mut seen, &mut out, &mut sets, budget,
     )?;
     Ok(out)
 }
@@ -218,24 +236,27 @@ fn lambda_unions_sharded(
     elements: &[BagId],
     k: usize,
     limits: &SoftLimits,
-) -> Result<(ShardedArena, Vec<BagId>), LimitExceeded> {
+    budget: &Budget,
+) -> Result<(ShardedArena, Vec<BagId>), DecompError> {
     let shard_cap = elements
         .len()
         .clamp(1, softhw_hypergraph::arena::MAX_SHARDS);
     let workers = softhw_hypergraph::par::num_workers().clamp(1, shard_cap);
     let universe = arena.universe();
     let words = arena.words_per_bag();
-    let budget = AtomicUsize::new(0);
-    let max_budget = limits.max_lambda_sets;
-    let per_chunk: Vec<Result<BagArena, LimitExceeded>> =
+    let sets = AtomicUsize::new(0);
+    let max_sets = limits.max_lambda_sets;
+    let per_chunk: Vec<Result<BagArena, DecompError>> =
         par_chunks(elements.len(), workers, |range| {
             let mut local = BagArena::new(universe);
             let mut pool: Vec<Vec<u64>> = (0..=k).map(|_| vec![0u64; words]).collect();
             for first in range {
-                if budget.fetch_add(1, Ordering::Relaxed) >= max_budget {
+                budget.tick()?;
+                if sets.fetch_add(1, Ordering::Relaxed) >= max_sets {
                     return Err(LimitExceeded {
                         what: "max_lambda_sets",
-                    });
+                    }
+                    .into());
                 }
                 let first_words = arena.words(elements[first]);
                 pool[1].copy_from_slice(first_words);
@@ -249,13 +270,19 @@ fn lambda_unions_sharded(
                         k,
                         &mut pool,
                         &mut local,
-                        &budget,
-                        max_budget,
+                        &sets,
+                        max_sets,
+                        budget,
                     )?;
                 }
             }
             Ok(local)
         });
+    // A budget error wins over any limit error from another worker: the
+    // trip is sticky (cancel flag / spent cap / past deadline), so the
+    // caller's retry semantics stay deterministic no matter which worker
+    // surfaced its error first.
+    budget.check()?;
     let mut shards = Vec::with_capacity(per_chunk.len());
     for r in per_chunk {
         shards.push(r?);
@@ -282,16 +309,32 @@ pub fn lambda_union_ids(
     k: usize,
     limits: &SoftLimits,
 ) -> Result<Vec<BagId>, LimitExceeded> {
+    lambda_union_ids_budgeted(arena, elements, k, limits, &Budget::unlimited()).map_err(demote)
+}
+
+/// [`lambda_union_ids`] with a cooperative [`Budget`]: the enumeration
+/// ticks the budget once per node (serial and parallel workers alike)
+/// and aborts with [`DecompError::DeadlineExceeded`] /
+/// [`DecompError::Canceled`] when it trips. The shared arena only ever
+/// receives fully-enumerated, deduplicated results, so an abort leaves
+/// it with at most already-valid interned bags — safe to retry against.
+pub fn lambda_union_ids_budgeted(
+    arena: &mut BagArena,
+    elements: &[BagId],
+    k: usize,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<Vec<BagId>, DecompError> {
     if k == 0 || elements.is_empty() {
         return Ok(Vec::new());
     }
     let workers = softhw_hypergraph::par::num_workers().min(elements.len());
     if workers <= 1 {
-        let mut out = lambda_unions_direct(arena, elements, k, limits)?;
+        let mut out = lambda_unions_direct(arena, elements, k, limits, budget)?;
         out.sort_unstable_by(|&a, &b| arena.cmp_bags(a, b));
         Ok(out)
     } else {
-        let (sharded, ids) = lambda_unions_sharded(arena, elements, k, limits)?;
+        let (sharded, ids) = lambda_unions_sharded(arena, elements, k, limits, budget)?;
         // Already content-sorted and unique: a single interning pass maps
         // the sharded ids into the shared arena's id space.
         Ok(ids
@@ -327,6 +370,19 @@ pub fn component_union_ids(
     k: usize,
     limits: &SoftLimits,
 ) -> Result<Vec<BagId>, LimitExceeded> {
+    component_union_ids_budgeted(index, k, limits, &Budget::unlimited()).map_err(demote)
+}
+
+/// [`component_union_ids`] with a cooperative [`Budget`] (one tick per
+/// λ2 enumeration node). An abort leaves the index's separator and
+/// component caches holding only fully-computed entries, which a retry
+/// reuses.
+pub fn component_union_ids_budgeted(
+    index: &mut BlockIndex,
+    k: usize,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<Vec<BagId>, DecompError> {
     let h = index.hypergraph();
     let num_edges = h.num_edges();
     let words = index.arena.words_per_bag();
@@ -368,7 +424,7 @@ pub fn component_union_ids(
 
     // DFS over non-empty λ2, maintaining the separator union per depth.
     let mut pool: Vec<Vec<u64>> = (0..=k).map(|_| vec![0u64; words]).collect();
-    let mut budget = limits.max_lambda_sets;
+    let mut sets = limits.max_lambda_sets;
     #[allow(clippy::too_many_arguments)]
     fn rec(
         index: &mut BlockIndex,
@@ -377,20 +433,23 @@ pub fn component_union_ids(
         depth: usize,
         max_depth: usize,
         pool: &mut [Vec<u64>],
-        budget: &mut usize,
+        sets: &mut usize,
+        budget: &Budget,
         out: &mut Vec<BagId>,
         seen: &mut IdSet,
         sep_seen: &mut IdSet,
         comp_scratch: &mut Vec<BagId>,
         collect: &mut impl FnMut(&mut BlockIndex, BagId, &mut Vec<BagId>, &mut IdSet, &mut Vec<BagId>),
-    ) -> Result<(), LimitExceeded> {
+    ) -> Result<(), DecompError> {
         for e in start..num_edges {
-            if *budget == 0 {
+            budget.tick()?;
+            if *sets == 0 {
                 return Err(LimitExceeded {
                     what: "max_lambda_sets",
-                });
+                }
+                .into());
             }
-            *budget -= 1;
+            *sets -= 1;
             let h = index.hypergraph();
             let edge_words = h.edge(e).blocks();
             let (prev, next) = pool.split_at_mut(depth);
@@ -413,6 +472,7 @@ pub fn component_union_ids(
                     depth + 1,
                     max_depth,
                     pool,
+                    sets,
                     budget,
                     out,
                     seen,
@@ -432,7 +492,8 @@ pub fn component_union_ids(
             1,
             k,
             &mut pool,
-            &mut budget,
+            &mut sets,
+            budget,
             &mut out,
             &mut seen,
             &mut sep_seen,
@@ -454,18 +515,35 @@ pub fn soft_bag_ids_from_elements(
     k: usize,
     limits: &SoftLimits,
 ) -> Result<Vec<BagId>, LimitExceeded> {
-    let u_side = component_union_ids(index, k, limits)?;
+    soft_bag_ids_from_elements_budgeted(index, elements, k, limits, &Budget::unlimited())
+        .map_err(demote)
+}
+
+/// [`soft_bag_ids_from_elements`] with a cooperative [`Budget`]: both
+/// enumeration sides tick per node and the `W × U` intersection ticks
+/// per `W`-side element. On abort the shared arena holds only valid
+/// interned bags (possibly fewer than a full run would produce), so the
+/// caller can retry or discard without poisoning the index.
+pub fn soft_bag_ids_from_elements_budgeted(
+    index: &mut BlockIndex,
+    elements: &[BagId],
+    k: usize,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<Vec<BagId>, DecompError> {
+    let u_side = component_union_ids_budgeted(index, k, limits, budget)?;
     let words = index.arena.words_per_bag();
     let workers = softhw_hypergraph::par::num_workers();
     if workers <= 1 {
         // Serial: enumerate and intersect straight into the shared arena.
-        let w_side = lambda_union_ids(&mut index.arena, elements, k, limits)?;
+        let w_side = lambda_union_ids_budgeted(&mut index.arena, elements, k, limits, budget)?;
         let arena = &mut index.arena;
         let mut out: Vec<BagId> = Vec::new();
         let mut seen = IdSet::new();
         let mut w_buf = vec![0u64; words];
         let mut buf = vec![0u64; words];
         for &w in &w_side {
+            budget.tick()?;
             w_buf.copy_from_slice(arena.words(w));
             if words_empty(&w_buf) {
                 continue; // an empty element yields only empty intersections
@@ -485,7 +563,7 @@ pub fn soft_bag_ids_from_elements(
                 if seen.insert(id) {
                     out.push(id);
                     if out.len() > limits.max_bags {
-                        return Err(LimitExceeded { what: "max_bags" });
+                        return Err(LimitExceeded { what: "max_bags" }.into());
                     }
                 }
             }
@@ -497,17 +575,18 @@ pub fn soft_bag_ids_from_elements(
         // the shared arena), the W×U intersections land in a second set
         // of shards, and only the final deduplicated candidate set is
         // interned — in content order, so ids are deterministic.
-        let (w_sharded, w_ids) = lambda_unions_sharded(&index.arena, elements, k, limits)?;
+        let (w_sharded, w_ids) = lambda_unions_sharded(&index.arena, elements, k, limits, budget)?;
         let universe = index.arena.universe();
         let shared: &BagArena = &index.arena;
         let inter_workers = workers
             .min(w_ids.len().max(1))
             .min(softhw_hypergraph::arena::MAX_SHARDS);
-        let per_chunk: Vec<Result<BagArena, LimitExceeded>> =
+        let per_chunk: Vec<Result<BagArena, DecompError>> =
             par_chunks(w_ids.len(), inter_workers, |range| {
                 let mut local = BagArena::new(universe);
                 let mut buf = vec![0u64; words];
                 for wi in range {
+                    budget.tick()?;
                     let w_words = w_sharded.words(w_ids[wi]);
                     if words_empty(w_words) {
                         continue; // an empty element yields only empty intersections
@@ -521,13 +600,14 @@ pub fn soft_bag_ids_from_elements(
                             // fan-out, not only at the merge: worker memory
                             // stays bounded by max_bags.
                             if local.len() > limits.max_bags {
-                                return Err(LimitExceeded { what: "max_bags" });
+                                return Err(LimitExceeded { what: "max_bags" }.into());
                             }
                         }
                     }
                 }
                 Ok(local)
             });
+        budget.check()?;
         let mut shards = Vec::with_capacity(per_chunk.len());
         for r in per_chunk {
             shards.push(r?);
@@ -536,7 +616,7 @@ pub fn soft_bag_ids_from_elements(
             ShardedArena::try_from_shards(shards).map_err(|e| LimitExceeded { what: e.what() })?;
         let final_ids = inter.sorted_unique_ids();
         if final_ids.len() > limits.max_bags {
-            return Err(LimitExceeded { what: "max_bags" });
+            return Err(LimitExceeded { what: "max_bags" }.into());
         }
         Ok(final_ids
             .into_iter()
@@ -551,11 +631,22 @@ pub fn soft_bag_ids(
     k: usize,
     limits: &SoftLimits,
 ) -> Result<Vec<BagId>, LimitExceeded> {
+    soft_bag_ids_budgeted(index, k, limits, &Budget::unlimited()).map_err(demote)
+}
+
+/// [`soft_bag_ids`] with a cooperative [`Budget`] — the budgeted entry
+/// point the deadline-aware solvers call.
+pub fn soft_bag_ids_budgeted(
+    index: &mut BlockIndex,
+    k: usize,
+    limits: &SoftLimits,
+    budget: &Budget,
+) -> Result<Vec<BagId>, DecompError> {
     let h = index.hypergraph_arc().clone();
     let elements: Vec<BagId> = (0..h.num_edges())
         .map(|e| index.arena.intern_words(h.edge(e).blocks()))
         .collect();
-    soft_bag_ids_from_elements(index, &elements, k, limits)
+    soft_bag_ids_from_elements_budgeted(index, &elements, k, limits, budget)
 }
 
 /// Enumerates all unions of between 1 and `k` sets drawn from `elements`,
@@ -955,6 +1046,39 @@ mod tests {
             let slow_w = reference::lambda_unions(h.num_vertices(), h.edges(), k, &limits).unwrap();
             assert_eq!(fast_w, slow_w, "lambda unions, k = {k}");
         }
+    }
+
+    #[test]
+    fn canceled_budget_aborts_and_retry_succeeds() {
+        let h = named::h2();
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        let budget = Budget::cancellable();
+        budget.cancel();
+        let err = soft_bag_ids_budgeted(&mut index, 2, &limits, &budget).unwrap_err();
+        assert!(err.is_budget());
+        // Retrying on the *same* index with a fresh budget yields the
+        // same candidate set (as vertex sets) as a cold run: the abort
+        // left only valid interned bags behind.
+        let retry = soft_bag_ids_budgeted(&mut index, 2, &limits, &Budget::unlimited()).unwrap();
+        let mut retry: Vec<BitSet> = retry
+            .into_iter()
+            .map(|id| index.arena.to_bitset(id))
+            .collect();
+        retry.sort_unstable();
+        let mut cold = soft_bags_with(&h, 2, &limits).unwrap();
+        cold.sort_unstable();
+        assert_eq!(retry, cold);
+    }
+
+    #[test]
+    fn work_cap_trips_generation_deterministically() {
+        let h = named::h2();
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        let err =
+            soft_bag_ids_budgeted(&mut index, 2, &limits, &Budget::with_work_cap(3)).unwrap_err();
+        assert_eq!(err, DecompError::DeadlineExceeded);
     }
 
     #[test]

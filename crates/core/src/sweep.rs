@@ -19,9 +19,10 @@
 //! both the decision equality and the bit-identity of the extended
 //! instance against a cold build.
 
+use crate::budget::Budget;
 use crate::ctd::{CtdInstance, Satisfaction};
 use crate::error::DecompError;
-use crate::soft::{soft_bag_ids, SoftLimits};
+use crate::soft::{soft_bag_ids_budgeted, SoftLimits};
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::BlockIndex;
 
@@ -54,6 +55,14 @@ impl IncrementalSweep {
         self.inst.as_ref()
     }
 
+    /// The incrementally maintained satisfaction table, once any width
+    /// has been decided. Exposed so the cancel-then-retry property tests
+    /// can assert bit-identity (bases and timestamps) between an
+    /// interrupted-then-reset sweep and a never-interrupted one.
+    pub fn satisfaction(&self) -> Option<&Satisfaction> {
+        self.sat.as_ref()
+    }
+
     /// Drops all grown state; the next width decided re-seeds from an
     /// empty instance. Used by caches when an entry must be rebuilt, and
     /// internally to degrade from an inconsistent extension.
@@ -84,14 +93,55 @@ impl IncrementalSweep {
         k: usize,
         limits: &SoftLimits,
     ) -> Result<Option<TreeDecomposition>, DecompError> {
+        self.decide_leq_budgeted(index, k, limits, &Budget::unlimited())
+    }
+
+    /// [`IncrementalSweep::decide_leq`] with a cooperative [`Budget`].
+    ///
+    /// **Reset contract:** when the budget trips mid-decision (during
+    /// candidate generation, an extension, or the DP), the sweep
+    /// [`reset`](IncrementalSweep::reset)s itself before propagating the
+    /// budget error — an interrupted extension tears the instance's
+    /// dependency tables, so the grown state must not be reused. A retry
+    /// therefore re-seeds from an empty instance and, because cold
+    /// builds and never-interrupted incremental runs are bit-identical,
+    /// produces exactly the state a never-cancelled sweep would have
+    /// (property-tested in `tests/budget_props.rs`).
+    pub fn decide_leq_budgeted(
+        &mut self,
+        index: &mut BlockIndex,
+        k: usize,
+        limits: &SoftLimits,
+        budget: &Budget,
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
+        match self.decide_leq_inner(index, k, limits, budget) {
+            Err(e) if e.is_budget() => {
+                // The budget tripped with the grown state possibly torn
+                // mid-extension: drop it so the next call re-seeds cold.
+                // Nothing is memoised for this width, so the retry is
+                // bit-identical to a never-interrupted run.
+                self.reset();
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
+    fn decide_leq_inner(
+        &mut self,
+        index: &mut BlockIndex,
+        k: usize,
+        limits: &SoftLimits,
+        budget: &Budget,
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
         if k < self.max_k {
             // The grown instance already contains wider-width bags; a
             // smaller width must be decided against its own candidate
             // set, so run it cold.
-            let ids = soft_bag_ids(index, k, limits)?;
-            return CtdInstance::build(index, &ids).try_decide();
+            let ids = soft_bag_ids_budgeted(index, k, limits, budget)?;
+            return CtdInstance::build_budgeted(index, &ids, budget)?.try_decide_budgeted(budget);
         }
-        let ids = soft_bag_ids(index, k, limits)?;
+        let ids = soft_bag_ids_budgeted(index, k, limits, budget)?;
         if self.inst.is_none() {
             let inst = CtdInstance::empty(index);
             self.sat = Some(inst.satisfy());
@@ -101,10 +151,10 @@ impl IncrementalSweep {
             // Unreachable by construction (just seeded); degrade to a
             // cold decision rather than unwrap.
             self.reset();
-            return CtdInstance::build(index, &ids).try_decide();
+            return CtdInstance::build_budgeted(index, &ids, budget)?.try_decide_budgeted(budget);
         };
-        let delta = inst.extend(index, &ids);
-        let sat = inst.satisfy_extend(prev, &delta);
+        let delta = inst.extend_budgeted(index, &ids, budget)?;
+        let sat = inst.satisfy_extend_budgeted(prev, &delta, budget)?;
         self.max_k = k;
         match inst.try_extract(&sat) {
             Ok(out) => {
@@ -116,7 +166,7 @@ impl IncrementalSweep {
                 // table: drop it and decide this width cold. The next
                 // call re-seeds the sweep from scratch.
                 self.reset();
-                CtdInstance::build(index, &ids).try_decide()
+                CtdInstance::build_budgeted(index, &ids, budget)?.try_decide_budgeted(budget)
             }
             Err(e) => Err(e),
         }

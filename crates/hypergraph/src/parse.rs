@@ -24,6 +24,21 @@ pub struct ParseError {
     pub message: String,
 }
 
+impl ParseError {
+    /// The 1-indexed `(line, column)` of the error's byte offset in
+    /// `src` (the text that was parsed). The column counts bytes from
+    /// the start of the line — identifiers in this format are ASCII, so
+    /// byte columns and character columns coincide. An offset past the
+    /// end of `src` (e.g. an unexpected-EOF error) lands just past the
+    /// last line's content.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src.as_bytes()[..self.offset.min(src.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + upto.len() - upto.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        (line, col)
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "parse error at byte {}: {}", self.offset, self.message)
@@ -263,6 +278,20 @@ mod tests {
         assert!(err.offset >= 5);
         assert!(parse_hypergraph("e1 a,b)").is_err());
         assert!(parse_hypergraph("e1(a,b). junk").is_err());
+    }
+
+    #[test]
+    fn line_col_is_one_indexed_per_line() {
+        let src = "e1(a,b),\ne2(b,c),\ne2(c,d).";
+        let err = parse_hypergraph(src).unwrap_err();
+        assert_eq!(err.line_col(src), (3, 1), "duplicate name on line 3");
+        let src = "e1(a,b,a)";
+        let err = parse_hypergraph(src).unwrap_err();
+        assert_eq!(err.line_col(src), (1, 8), "repeated vertex mid-line");
+        // An offset at (or past) EOF maps just past the last content.
+        let src = "e1(a,b";
+        let err = parse_hypergraph(src).unwrap_err();
+        assert_eq!(err.line_col(src), (1, 7));
     }
 
     #[test]

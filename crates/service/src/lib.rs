@@ -39,6 +39,6 @@ pub mod server;
 pub mod state;
 pub mod wire;
 
-pub use server::{handle_connection, roundtrip, ServeOptions, Server};
+pub use server::{handle_connection, roundtrip, ServeOptions, Server, ShutdownHandle};
 pub use state::{ServiceConfig, ServiceState};
 pub use wire::{BodyFormat, EvalKind, Request, RequestClass, Response, TdFrame, WireError};

@@ -44,7 +44,7 @@ use softhw_core::ctd_opt::best_on;
 use softhw_core::error::DecompError;
 use softhw_core::ghd::Ghd;
 use softhw_core::soft::{soft_bags_with, SoftLimits};
-use softhw_core::DecompCache;
+use softhw_core::{Budget, DecompCache};
 use softhw_hypergraph::cache::canonical_form;
 use softhw_hypergraph::fxhash::hash_u64s;
 use softhw_hypergraph::{parse_hypergraph, stats, FxHashMap, Hypergraph};
@@ -82,6 +82,10 @@ pub struct ServiceConfig {
     /// escape hatch). Routing and `STATS` reduction rows are unaffected
     /// — only the solvers stop acting on the reduction.
     pub no_reduce: bool,
+    /// Compute deadline applied to requests that carry no `DEADLINE`
+    /// token of their own (`--default-deadline`); `None` means
+    /// unbounded.
+    pub default_deadline_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -95,9 +99,14 @@ impl Default for ServiceConfig {
             warm_start: 64,
             pin_warm: true,
             no_reduce: false,
+            default_deadline_ms: None,
         }
     }
 }
+
+/// The backoff hint (milliseconds) sent with `BUSY` responses — both
+/// queue sheds and requests cancelled mid-flight by a draining server.
+pub const BUSY_RETRY_MS: u64 = 100;
 
 /// A bounded LRU of fully-formed responses, keyed by
 /// `(structural hash, canonical digest, request class)`. Lives inside a
@@ -323,6 +332,12 @@ pub struct ServiceState {
     /// Mirrors of each stripe's result-cache hit/miss counters.
     stripe_result_hits: Vec<AtomicU64>,
     stripe_result_misses: Vec<AtomicU64>,
+    /// Requests whose compute deadline expired (answered `TIMEOUT`).
+    deadline_timeouts: AtomicU64,
+    /// Requests shed before any work — queue-full `BUSY` responses
+    /// (reported by the server via [`ServiceState::note_busy_shed`])
+    /// plus requests cancelled mid-flight by a draining server.
+    busy_sheds: AtomicU64,
     store: Option<StoreHandle>,
 }
 
@@ -349,6 +364,8 @@ impl ServiceState {
             stripe_evictions: (0..n).map(|_| AtomicU64::new(0)).collect(),
             stripe_result_hits: (0..n).map(|_| AtomicU64::new(0)).collect(),
             stripe_result_misses: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            deadline_timeouts: AtomicU64::new(0),
+            busy_sheds: AtomicU64::new(0),
             store: None,
         }
     }
@@ -470,6 +487,38 @@ impl ServiceState {
     /// routed stripe's processing log (under the same lock acquisition
     /// that serves the request).
     pub fn handle_tagged(&self, req: &Request, tag: Option<u64>) -> Response {
+        self.handle_tagged_budgeted(req, tag, &self.request_budget(req))
+    }
+
+    /// The [`Budget`] a request runs under: its own `DEADLINE` token if
+    /// present, else the server's `--default-deadline`, else an
+    /// unbounded-but-cancellable budget. The deadline clock starts here
+    /// — *before* the stripe lock is taken — so time spent queueing
+    /// behind a slow neighbour counts against the request, exactly like
+    /// queueing in the accept backlog would.
+    pub fn request_budget(&self, req: &Request) -> Budget {
+        match req.deadline_ms.or(self.config.default_deadline_ms) {
+            Some(ms) => Budget::with_deadline(std::time::Duration::from_millis(ms)),
+            None => Budget::cancellable(),
+        }
+    }
+
+    /// Records a request shed by the server's bounded work queue (the
+    /// `BUSY` fast path never reaches a handler, so the server reports
+    /// it here for `STATS`).
+    pub fn note_busy_shed(&self) {
+        self.busy_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`ServiceState::handle_tagged`] under a caller-supplied
+    /// [`Budget`] — the server threads one per in-flight connection so
+    /// a draining shutdown can cancel it.
+    pub fn handle_tagged_budgeted(
+        &self,
+        req: &Request,
+        tag: Option<u64>,
+        budget: &Budget,
+    ) -> Response {
         let h = match self.schema(req) {
             Ok(h) => h,
             Err(resp) => return resp,
@@ -485,7 +534,7 @@ impl ServiceState {
         if let Some(tag) = tag {
             stripe.log.push(tag);
         }
-        let resp = self.serve(req, &h, hash, digest, idx, &mut stripe);
+        let resp = self.serve(req, &h, hash, digest, idx, &mut stripe, budget);
         // Mirror the stripe's counters into atomics so STATS handlers on
         // other stripes can report them without taking this lock.
         self.stripe_evictions[idx].store(stripe.cache.stats().evictions, Ordering::Relaxed);
@@ -495,7 +544,12 @@ impl ServiceState {
     }
 
     /// Serves a request under its stripe lock: result cache, then
-    /// store, then the solvers (persisting what they produce).
+    /// store, then the solvers (persisting what they produce). Budget
+    /// trips map to `TIMEOUT`/`BUSY` frames and are never cached or
+    /// persisted; cache and store probes themselves run un-budgeted
+    /// (they are hash lookups, and a warm answer an instant after the
+    /// deadline is still the byte-identical right answer).
+    #[allow(clippy::too_many_arguments)]
     fn serve(
         &self,
         req: &Request,
@@ -504,6 +558,7 @@ impl ServiceState {
         digest: u64,
         idx: usize,
         stripe: &mut Stripe,
+        budget: &Budget,
     ) -> Response {
         let key = class_key(req.class);
         if let Some(key) = key {
@@ -537,7 +592,7 @@ impl ServiceState {
                 }
             }
         }
-        let (resp, persist) = self.dispatch(req, h, idx, stripe);
+        let (resp, persist) = self.dispatch(req, h, idx, stripe, budget);
         if let (Some(key), Persist::Yes) = (key, &persist) {
             if matches!(resp, Response::Width { .. } | Response::Decision { .. }) {
                 stripe.results.insert((hash, digest, key), resp.clone());
@@ -551,12 +606,16 @@ impl ServiceState {
         resp
     }
 
-    /// Parses and validates the request's schema.
+    /// Parses and validates the request's schema. HyperBench parse
+    /// errors are positioned — `ERR parse <line>:<col>: <msg>` — so a
+    /// client can point at the offending schema line instead of a raw
+    /// byte offset.
     fn schema(&self, req: &Request) -> Result<Hypergraph, Response> {
         let h = match req.format {
-            BodyFormat::HyperBench => {
-                parse_hypergraph(&req.body).map_err(|e| Response::error("parse", e))?
-            }
+            BodyFormat::HyperBench => parse_hypergraph(&req.body).map_err(|e| {
+                let (line, col) = e.line_col(&req.body);
+                Response::error("parse", format!("{line}:{col}: {}", e.message))
+            })?,
             BodyFormat::Sql => {
                 let q =
                     softhw_query::parse_sql(&req.body).map_err(|e| Response::error("parse", e))?;
@@ -585,6 +644,7 @@ impl ServiceState {
         h: &Hypergraph,
         idx: usize,
         stripe: &mut Stripe,
+        budget: &Budget,
     ) -> (Response, Persist) {
         let cache = &mut stripe.cache;
         // Soft_{H,k} is invariant in k beyond |E(H)| (λ-subsets never
@@ -596,13 +656,13 @@ impl ServiceState {
             None => Persist::No,
         };
         let resp = match req.class {
-            RequestClass::Shw => match cache.try_shw_with(h, &self.config.limits) {
+            RequestClass::Shw => match cache.try_shw_budgeted(h, &self.config.limits, budget) {
                 Ok((width, td)) => Response::Width {
                     class: "SHW".into(),
                     width,
                     td: TdFrame::from_td(&td, h.num_vertices()),
                 },
-                Err(e) => decomp_error(e),
+                Err(e) => self.decomp_error(e),
             },
             RequestClass::ShwLeq(k) => {
                 if k == 0 {
@@ -611,27 +671,28 @@ impl ServiceState {
                         Persist::No,
                     );
                 }
-                match cache.shw_leq(h, clamp(k), &self.config.limits) {
+                match cache.shw_leq_budgeted(h, clamp(k), &self.config.limits, budget) {
                     Ok(td) => Response::Decision {
                         class: "SHW_LEQ".into(),
                         fields: Vec::new(),
                         k,
                         td: td.map(|td| TdFrame::from_td(&td, h.num_vertices())),
                     },
-                    Err(e) => decomp_error(e),
+                    Err(e) => self.decomp_error(e),
                 }
             }
             RequestClass::Hw => {
                 // Reduce-aware sweep over the memoised decisions; an
                 // input no width accepts degrades to an error, not a
                 // panic.
-                match cache.try_hw(h) {
-                    Some((width, ghd)) => Response::Width {
+                match cache.try_hw_budgeted(h, budget) {
+                    Ok(Some((width, ghd))) => Response::Width {
                         class: "HW".into(),
                         width,
                         td: TdFrame::from_td(&ghd.td, h.num_vertices()),
                     },
-                    None => Response::error("internal", "no width up to |E(H)| admits an HD"),
+                    Ok(None) => Response::error("internal", "no width up to |E(H)| admits an HD"),
+                    Err(e) => self.decomp_error(e),
                 }
             }
             RequestClass::HwLeq(k) => {
@@ -641,12 +702,14 @@ impl ServiceState {
                         Persist::No,
                     );
                 }
-                let ghd = cache.hw_leq(h, clamp(k));
-                Response::Decision {
-                    class: "HW_LEQ".into(),
-                    fields: Vec::new(),
-                    k,
-                    td: ghd.map(|g| TdFrame::from_td(&g.td, h.num_vertices())),
+                match cache.hw_leq_budgeted(h, clamp(k), budget) {
+                    Ok(ghd) => Response::Decision {
+                        class: "HW_LEQ".into(),
+                        fields: Vec::new(),
+                        k,
+                        td: ghd.map(|g| TdFrame::from_td(&g.td, h.num_vertices())),
+                    },
+                    Err(e) => self.decomp_error(e),
                 }
             }
             RequestClass::Best(eval, k) => {
@@ -656,10 +719,19 @@ impl ServiceState {
                         Persist::No,
                     );
                 }
+                // Candidate generation dominates BEST; bound it at stage
+                // granularity (the in-stage ticks ride the budgeted
+                // generation inside the solvers' other entry points).
+                if let Err(e) = budget.check() {
+                    return (self.decomp_error(e), Persist::No);
+                }
                 let bags = match soft_bags_with(h, clamp(k), &self.config.limits) {
                     Ok(bags) => bags,
-                    Err(e) => return (decomp_error(e.into()), Persist::No),
+                    Err(e) => return (self.decomp_error(e.into()), Persist::No),
                 };
+                if let Err(e) = budget.check() {
+                    return (self.decomp_error(e), Persist::No);
+                }
                 let inst = cache.instance_for(h, &bags);
                 let mut fields = vec![("eval".to_string(), eval.token())];
                 let best = match eval {
@@ -747,6 +819,14 @@ impl ServiceState {
             (
                 "result_cache_misses".to_string(),
                 list(&self.stripe_result_misses),
+            ),
+            (
+                "deadline_timeout".to_string(),
+                self.deadline_timeouts.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "busy_shed".to_string(),
+                self.busy_sheds.load(Ordering::Relaxed).to_string(),
             ),
         ];
         if let Some(handle) = &self.store {
@@ -956,11 +1036,27 @@ fn persist_msg(h: &Hypergraph, key: ClassKey, resp: &Response) -> Option<Persist
     })))
 }
 
-/// Maps a [`DecompError`] onto the wire's error categories.
-fn decomp_error(e: DecompError) -> Response {
-    match &e {
-        DecompError::Limit(_) | DecompError::Shards(_) => Response::error("limit", e),
-        DecompError::Internal { .. } => Response::error("internal", e),
+impl ServiceState {
+    /// Maps a [`DecompError`] onto the wire: budget trips become
+    /// `TIMEOUT`/`BUSY` frames (counted for `STATS`), everything else
+    /// an `ERR` of the matching category.
+    fn decomp_error(&self, e: DecompError) -> Response {
+        match &e {
+            DecompError::DeadlineExceeded => {
+                self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                Response::Timeout
+            }
+            DecompError::Canceled => {
+                // Cancelled mid-flight (a draining server): the request
+                // did not complete and should be retried elsewhere.
+                self.busy_sheds.fetch_add(1, Ordering::Relaxed);
+                Response::Busy {
+                    retry_after_ms: BUSY_RETRY_MS,
+                }
+            }
+            DecompError::Limit(_) | DecompError::Shards(_) => Response::error("limit", e),
+            DecompError::Internal { .. } => Response::error("internal", e),
+        }
     }
 }
 
@@ -1282,6 +1378,71 @@ mod tests {
             misses_after, misses_before,
             "pre-reduced schema recomputed a width decision"
         );
+    }
+
+    #[test]
+    fn expired_deadline_times_out_and_retry_serves_identically() {
+        let st = state();
+        let body = render_hypergraph(&named::grid(3, 3));
+        // A 0 ms deadline has expired before the solver starts: the
+        // request must come back TIMEOUT (not an error, not a panic).
+        let mut dead = Request::new(RequestClass::Shw, body.clone());
+        dead.deadline_ms = Some(0);
+        assert_eq!(st.handle(&dead), Response::Timeout);
+        // Nothing was cached for the interrupted request and the stripe
+        // is immediately reusable: the same schema without a deadline
+        // answers exactly like a fresh state would.
+        let ok = st.handle(&Request::new(RequestClass::Shw, body.clone()));
+        assert_eq!(ok, state().handle(&Request::new(RequestClass::Shw, body)));
+        assert!(matches!(ok, Response::Width { .. }), "{ok:?}");
+        // The timeout is counted in STATS, and a request that now hits
+        // the warm result cache answers even under an expired deadline
+        // (cache probes are not budgeted).
+        match st.handle(&Request::new(RequestClass::Stats, "e(a,b).")) {
+            Response::Stats { fields } => {
+                assert!(
+                    fields
+                        .iter()
+                        .any(|(k, v)| k == "deadline_timeout" && v == "1"),
+                    "{fields:?}"
+                );
+                assert!(fields.iter().any(|(k, _)| k == "busy_shed"), "{fields:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(st.handle(&dead), ok, "warm repeats ignore the deadline");
+    }
+
+    #[test]
+    fn default_deadline_applies_when_requests_carry_none() {
+        let st = ServiceState::new(ServiceConfig {
+            default_deadline_ms: Some(0),
+            ..ServiceConfig::default()
+        });
+        let body = render_hypergraph(&named::grid(3, 3));
+        let req = Request::new(RequestClass::Shw, body);
+        assert_eq!(st.handle(&req), Response::Timeout);
+        // A per-request deadline overrides the default.
+        let mut generous = req.clone();
+        generous.deadline_ms = Some(60_000);
+        assert!(matches!(st.handle(&generous), Response::Width { .. }));
+    }
+
+    #[test]
+    fn parse_errors_are_positioned_line_and_column() {
+        let st = state();
+        let r = st.handle(&Request::new(RequestClass::Shw, "e1(a,b),\ne1(b,c)."));
+        match r {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, "parse");
+                assert!(
+                    message.starts_with("2:1: "),
+                    "expected line:col prefix, got {message:?}"
+                );
+                assert!(message.contains("duplicate edge name"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

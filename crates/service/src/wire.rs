@@ -17,18 +17,29 @@
 //!
 //! ```text
 //! request  := header-line body-line* "%%"
-//! header   := "SHW" ["sql"]
-//!           | "SHW_LEQ" k ["sql"]
-//!           | "HW" ["sql"] | "HW_LEQ" k ["sql"]
-//!           | "BEST" eval k ["sql"]          eval ∈ trivial|concov|shallow:<d>
-//!           | "STATS" ["sql"]
+//! header   := class-tokens ["DEADLINE" ms] ["sql"]
+//! class    := "SHW"
+//!           | "SHW_LEQ" k
+//!           | "HW" | "HW_LEQ" k
+//!           | "BEST" eval k                  eval ∈ trivial|concov|shallow:<d>
+//!           | "STATS"
 //! body     := HyperBench schema text, or (with "sql") a SQL query
 //!
-//! response := ("OK" class key=value* | "ERR" kind message) td-frame? "%%"
+//! response := ("OK" class key=value* | "ERR" kind message
+//!              | "TIMEOUT" | "BUSY" retry-after-ms) td-frame? "%%"
 //! td-frame := "TD" nodes=<n> bags=<b> universe=<u> words=<w>
 //!             ("A" hex-word{w})*b        — bag words, id = line order
 //!             ("N" (parent|"-") bag-id)*n — preorder node table
 //! ```
+//!
+//! `DEADLINE <ms>` caps the server-side compute time of the request: a
+//! request whose solve outlives its deadline is answered with a bare
+//! `TIMEOUT` frame (the worker aborts cooperatively and its caches stay
+//! warm and consistent — a retry is safe and by-construction
+//! bit-identical). `BUSY <retry-after-ms>` is overload shedding: the
+//! server's bounded work queue is full, nothing was computed, and the
+//! client should back off for roughly the hinted milliseconds before
+//! retrying (`softhw-cli --connect` does this automatically).
 //!
 //! `STATS` responses are an open `key=value` set: servers may add rows
 //! (per-stripe load/evictions, result-cache and store counters — see
@@ -158,6 +169,9 @@ pub struct Request {
     pub class: RequestClass,
     /// How to read the body.
     pub format: BodyFormat,
+    /// Per-request compute deadline in milliseconds (`DEADLINE <ms>` on
+    /// the wire); `None` defers to the server's `--default-deadline`.
+    pub deadline_ms: Option<u64>,
     /// The schema text (HyperBench or SQL).
     pub body: String,
 }
@@ -168,6 +182,7 @@ impl Request {
         Request {
             class,
             format: BodyFormat::HyperBench,
+            deadline_ms: None,
             body: body.into(),
         }
     }
@@ -188,6 +203,9 @@ impl Request {
                 let _ = write!(out, "BEST {} {k}", eval.token());
             }
             RequestClass::Stats => out.push_str("STATS"),
+        }
+        if let Some(ms) = self.deadline_ms {
+            let _ = write!(out, " DEADLINE {ms}");
         }
         if self.format == BodyFormat::Sql {
             out.push_str(" sql");
@@ -219,6 +237,19 @@ impl Request {
         } else {
             BodyFormat::HyperBench
         };
+        let deadline_ms = match toks.iter().position(|&t| t == "DEADLINE") {
+            Some(pos) => {
+                if pos + 1 >= toks.len() {
+                    return Err(WireError::new("DEADLINE without milliseconds"));
+                }
+                let ms: u64 = toks[pos + 1]
+                    .parse()
+                    .map_err(|_| WireError::new(format!("bad deadline {:?}", toks[pos + 1])))?;
+                toks.drain(pos..pos + 2);
+                Some(ms)
+            }
+            None => None,
+        };
         let parse_k = |tok: Option<&&str>| -> Result<usize, WireError> {
             let tok = tok.ok_or_else(|| WireError::new("missing width argument"))?;
             tok.parse()
@@ -242,6 +273,7 @@ impl Request {
         Ok(Request {
             class,
             format,
+            deadline_ms,
             body: lines[1..].join("\n"),
         })
     }
@@ -430,6 +462,15 @@ pub enum Response {
         /// The fields, in emission order.
         fields: Vec<(String, String)>,
     },
+    /// The request's compute deadline expired before an answer was
+    /// reached; the server's caches stay warm and a retry is safe.
+    Timeout,
+    /// The server shed the request before doing any work (bounded work
+    /// queue full); the client should back off and retry.
+    Busy {
+        /// Suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request failed; `kind` is one of `parse`, `request`, `limit`,
     /// `internal`.
     Error {
@@ -479,6 +520,12 @@ impl Response {
                 }
                 out.push('\n');
             }
+            Response::Timeout => {
+                out.push_str("TIMEOUT\n");
+            }
+            Response::Busy { retry_after_ms } => {
+                let _ = writeln!(out, "BUSY {retry_after_ms}");
+            }
             Response::Error { kind, message } => {
                 let _ = writeln!(out, "ERR {kind} {message}");
             }
@@ -490,6 +537,16 @@ impl Response {
     /// Decodes a response from frame lines (no terminator).
     pub fn decode(lines: &[String]) -> Result<Response, WireError> {
         let header = lines.first().ok_or_else(|| WireError::new("empty frame"))?;
+        if header.trim_end() == "TIMEOUT" {
+            return Ok(Response::Timeout);
+        }
+        if let Some(rest) = header.strip_prefix("BUSY ") {
+            let retry_after_ms: u64 = rest
+                .trim()
+                .parse()
+                .map_err(|_| WireError::new(format!("bad BUSY backoff {rest:?}")))?;
+            return Ok(Response::Busy { retry_after_ms });
+        }
         if let Some(rest) = header.strip_prefix("ERR ") {
             let (kind, message) = rest.split_once(' ').unwrap_or((rest, ""));
             return Ok(Response::Error {
@@ -634,6 +691,61 @@ mod tests {
             .map(String::from)
             .collect();
         assert_eq!(Request::decode(&lines).unwrap(), sql);
+    }
+
+    #[test]
+    fn deadline_token_roundtrips_in_every_position() {
+        // DEADLINE composes with every class, with and without sql.
+        for class in [
+            RequestClass::Shw,
+            RequestClass::ShwLeq(2),
+            RequestClass::Best(EvalKind::Shallow(1), 2),
+            RequestClass::Stats,
+        ] {
+            for format in [BodyFormat::HyperBench, BodyFormat::Sql] {
+                let mut req = Request::new(class, "e1(a,b).");
+                req.format = format;
+                req.deadline_ms = Some(50);
+                let lines: Vec<String> = req
+                    .encode()
+                    .lines()
+                    .take_while(|l| *l != "%%")
+                    .map(String::from)
+                    .collect();
+                assert_eq!(Request::decode(&lines).unwrap(), req, "{class:?}");
+            }
+        }
+        // Hand-typed variant (nc usability) and malformed deadlines.
+        let lines = vec!["SHW_LEQ 2 DEADLINE 750".to_string(), "e1(a,b).".to_string()];
+        let req = Request::decode(&lines).unwrap();
+        assert_eq!(req.class, RequestClass::ShwLeq(2));
+        assert_eq!(req.deadline_ms, Some(750));
+        assert!(Request::decode(&["SHW DEADLINE".to_string()]).is_err());
+        assert!(Request::decode(&["SHW DEADLINE soon".to_string()]).is_err());
+    }
+
+    #[test]
+    fn timeout_and_busy_frames_roundtrip() {
+        for resp in [
+            Response::Timeout,
+            Response::Busy {
+                retry_after_ms: 125,
+            },
+        ] {
+            let encoded = resp.encode();
+            let lines: Vec<String> = encoded
+                .lines()
+                .take_while(|l| *l != "%%")
+                .map(String::from)
+                .collect();
+            assert_eq!(Response::decode(&lines).unwrap(), resp);
+        }
+        assert_eq!(Response::Timeout.encode(), "TIMEOUT\n%%\n");
+        assert_eq!(
+            Response::Busy { retry_after_ms: 40 }.encode(),
+            "BUSY 40\n%%\n"
+        );
+        assert!(Response::decode(&["BUSY never".to_string()]).is_err());
     }
 
     #[test]

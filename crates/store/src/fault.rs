@@ -1,0 +1,148 @@
+//! Fault injection for the store's append/sync path.
+//!
+//! The log is an append-only file, so every interesting storage failure
+//! is expressible as "something went wrong at byte offset N": a write
+//! that persisted only a prefix (torn tail), a write the kernel
+//! rejected outright, a disk that filled mid-record, or an fsync that
+//! failed after the write "succeeded". A [`FaultInjector`] is armed
+//! with one such [`FaultPlan`] and handed to
+//! [`Store::open_with_faults`](crate::Store::open_with_faults); the
+//! store consults it on every log append and every
+//! [`sync`](crate::Store::sync).
+//!
+//! Faults are **one-shot**: a plan triggers once, then disarms, so a
+//! test can arm a fault, drive the workload into it, and then reopen a
+//! clean handle to check what recovery does with the damage. Injection
+//! is deliberately scoped to appends and syncs — open-time replay runs
+//! un-faulted, because recovery is exactly the code under test.
+
+use std::io;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// What goes wrong when the armed offset is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write persists only the bytes *before* the armed offset,
+    /// then fails — the classic torn tail a crash mid-append leaves.
+    ShortWrite,
+    /// The write fails wholesale; nothing of it reaches the file.
+    Eio,
+    /// Writes succeed, but the next [`Store::sync`](crate::Store::sync)
+    /// fails — the data may or may not survive a crash, and the caller
+    /// must not acknowledge it.
+    FsyncFail,
+    /// Like [`FaultKind::ShortWrite`] but reported as `ENOSPC`: the
+    /// disk filled mid-record.
+    DiskFull,
+}
+
+/// A one-shot fault armed at an absolute log byte offset.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Absolute log offset (bytes from the start of the file, magic
+    /// included) at which the fault fires. A write fully below the
+    /// offset passes; the write that would cross or reach it triggers.
+    /// Ignored by [`FaultKind::FsyncFail`], which fires on the next
+    /// sync regardless.
+    pub at_byte: u64,
+    /// The failure mode.
+    pub kind: FaultKind,
+}
+
+#[derive(Default)]
+struct FaultState {
+    armed: Option<FaultPlan>,
+    triggered: u64,
+}
+
+/// A cheaply clonable handle that injects storage faults into every
+/// [`Store`](crate::Store) opened with it. See the module docs.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<Mutex<FaultState>>,
+}
+
+/// The store's side of the protocol: what to do with one append.
+pub(crate) enum WriteDecision {
+    /// No fault: perform the full write.
+    Full,
+    /// Persist exactly this prefix of the buffer, then report the
+    /// error.
+    Partial(usize, io::Error),
+    /// Persist nothing; report the error.
+    Fail(io::Error),
+}
+
+impl FaultInjector {
+    /// A fresh injector with nothing armed.
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Arms `plan`, replacing any previously armed fault.
+    pub fn arm(&self, plan: FaultPlan) {
+        self.lock().armed = Some(plan);
+    }
+
+    /// Clears the armed fault, if any.
+    pub fn disarm(&self) {
+        self.lock().armed = None;
+    }
+
+    /// How many faults have fired over the injector's lifetime.
+    pub fn triggered(&self) -> u64 {
+        self.lock().triggered
+    }
+
+    /// Consulted before a log append of `len` bytes at absolute file
+    /// offset `offset`.
+    pub(crate) fn on_write(&self, offset: u64, len: usize) -> WriteDecision {
+        let mut st = self.lock();
+        let Some(plan) = st.armed else {
+            return WriteDecision::Full;
+        };
+        let end = offset + len as u64;
+        let crosses = plan.at_byte < end;
+        match plan.kind {
+            FaultKind::ShortWrite if crosses => {
+                st.armed = None;
+                st.triggered += 1;
+                let keep = plan.at_byte.saturating_sub(offset) as usize;
+                WriteDecision::Partial(keep.min(len), io::Error::other("injected short write"))
+            }
+            FaultKind::Eio if crosses => {
+                st.armed = None;
+                st.triggered += 1;
+                WriteDecision::Fail(io::Error::other("injected EIO"))
+            }
+            FaultKind::DiskFull if crosses => {
+                st.armed = None;
+                st.triggered += 1;
+                let keep = plan.at_byte.saturating_sub(offset) as usize;
+                WriteDecision::Partial(
+                    keep.min(len),
+                    io::Error::new(io::ErrorKind::StorageFull, "injected disk full"),
+                )
+            }
+            _ => WriteDecision::Full,
+        }
+    }
+
+    /// Consulted by [`Store::sync`](crate::Store::sync) before the real
+    /// fsync.
+    pub(crate) fn on_sync(&self) -> io::Result<()> {
+        let mut st = self.lock();
+        if let Some(plan) = st.armed {
+            if plan.kind == FaultKind::FsyncFail {
+                st.armed = None;
+                st.triggered += 1;
+                return Err(io::Error::other("injected fsync failure"));
+            }
+        }
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

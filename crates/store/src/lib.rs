@@ -30,9 +30,11 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod record;
 pub mod store;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use record::{crc64, ClassKey, ResultRecord, StoreRecord, StoredAnswer, StoredTd};
 pub use store::{
     schema_digest, schema_key, FrameOwned, FrameRef, HitAnswer, PutAnswer, SchemaSummary, Store,

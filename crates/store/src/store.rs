@@ -18,6 +18,7 @@
 //! superseded results and orphaned dictionary bags, atomically via a
 //! temp file + rename.
 
+use crate::fault::{FaultInjector, WriteDecision};
 use crate::record::{
     crc64, scan_record, words_per_set, ClassKey, ResultRecord, ScanOutcome, StoreRecord,
     StoredAnswer, StoredTd, MAGIC,
@@ -198,6 +199,8 @@ pub struct Store {
     misses: u64,
     puts: u64,
     recovered_bytes: u64,
+    /// Test-only storage fault injection; `None` in production.
+    faults: Option<FaultInjector>,
 }
 
 impl Store {
@@ -242,6 +245,7 @@ impl Store {
             misses: 0,
             puts: 0,
             recovered_bytes: 0,
+            faults: None,
         };
         if bytes.is_empty() {
             store.file.write_all(MAGIC)?;
@@ -283,6 +287,16 @@ impl Store {
         }
         store.file.seek(SeekFrom::Start(last_good as u64))?;
         store.bytes = last_good as u64;
+        Ok(store)
+    }
+
+    /// Like [`Store::open`], but with storage fault injection on the
+    /// append/sync path (see [`crate::fault`]). Open-time replay and
+    /// recovery run un-faulted — recovery is the code a fault-injection
+    /// test wants to exercise *afterwards*, on a clean reopen.
+    pub fn open_with_faults(path: impl AsRef<Path>, faults: FaultInjector) -> io::Result<Store> {
+        let mut store = Store::open(path)?;
+        store.faults = Some(faults);
         Ok(store)
     }
 
@@ -399,9 +413,28 @@ impl Store {
 
     fn append(&mut self, record: &StoreRecord) -> io::Result<()> {
         let framed = record.frame();
-        self.file.write_all(&framed)?;
+        self.write_log(&framed)?;
         self.bytes += framed.len() as u64;
         Ok(())
+    }
+
+    /// One log write, routed through the fault injector when present.
+    /// On an injected partial write the persisted prefix stays on disk
+    /// (that is the point — it is the torn tail recovery must clean up)
+    /// but `self.bytes` is *not* advanced, so the in-memory view keeps
+    /// describing only the valid prefix.
+    fn write_log(&mut self, framed: &[u8]) -> io::Result<()> {
+        if let Some(faults) = &self.faults {
+            match faults.on_write(self.bytes, framed.len()) {
+                WriteDecision::Full => {}
+                WriteDecision::Partial(keep, err) => {
+                    self.file.write_all(&framed[..keep])?;
+                    return Err(err);
+                }
+                WriteDecision::Fail(err) => return Err(err),
+            }
+        }
+        self.file.write_all(framed)
     }
 
     /// Persists one result of schema `h`. Appends, in order: a `Schema`
@@ -561,6 +594,9 @@ impl Store {
     /// this between batches; nothing is durable before it returns.
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.flush()?;
+        if let Some(faults) = &self.faults {
+            faults.on_sync()?;
+        }
         self.file.sync_data()
     }
 

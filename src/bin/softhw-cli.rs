@@ -19,6 +19,12 @@
 //!                    server's fields incl. cache counters; returned
 //!                    decompositions are validated locally before
 //!                    printing)
+//!   --deadline <ms>  (with --connect) attach a DEADLINE to each request;
+//!                    a server-side TIMEOUT is reported as an error
+//!   --retries <n>    (with --connect) retry connect failures, transport
+//!                    errors, and BUSY shedding up to n times with
+//!                    jittered exponential backoff, honouring the
+//!                    server's BUSY retry-after hint (default 3)
 //! ```
 //!
 //! Exit code 0 when a decomposition at the requested width exists (or the
@@ -43,6 +49,8 @@ struct Options {
     print: bool,
     stats: bool,
     connect: Option<String>,
+    deadline_ms: Option<u64>,
+    retries: u32,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -56,6 +64,8 @@ fn parse_args() -> Result<Options, String> {
         print: false,
         stats: false,
         connect: None,
+        deadline_ms: None,
+        retries: 3,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -74,10 +84,19 @@ fn parse_args() -> Result<Options, String> {
             "--print" => opts.print = true,
             "--stats" => opts.stats = true,
             "--connect" => opts.connect = Some(args.next().ok_or("--connect needs an address")?),
+            "--deadline" => {
+                let v = args.next().ok_or("--deadline needs a value")?;
+                opts.deadline_ms = Some(v.parse().map_err(|_| format!("bad deadline {v:?}"))?);
+            }
+            "--retries" => {
+                let v = args.next().ok_or("--retries needs a value")?;
+                opts.retries = v.parse().map_err(|_| format!("bad retries {v:?}"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: softhw-cli <file.hg> [--width k] \
                             [--measure shw|hw|ghw|shw1|all] [--concov] [--no-reduce] \
-                            [--print] [--stats] [--connect host:port]"
+                            [--print] [--stats] [--connect host:port] [--deadline ms] \
+                            [--retries n]"
                     .to_string())
             }
             f if opts.file.is_empty() && !f.starts_with('-') => opts.file = f.to_string(),
@@ -103,6 +122,92 @@ fn candidate_bags(
     })
 }
 
+/// A connection to `softhw-serve` with retry semantics: connect
+/// failures, transport errors, and `BUSY` shedding are retried up to
+/// `retries` times with jittered exponential backoff (the server's
+/// `BUSY <retry-after-ms>` hint is honoured as the wait floor). A
+/// server-side `TIMEOUT` is *not* retried — the deadline the user set
+/// has been spent; retrying would just spend it again.
+struct Remote {
+    addr: String,
+    deadline_ms: Option<u64>,
+    retries: u32,
+    stream: Option<TcpStream>,
+    rng: rand::rngs::SmallRng,
+}
+
+impl Remote {
+    fn new(opts: &Options) -> Remote {
+        use rand::SeedableRng as _;
+        Remote {
+            addr: opts.connect.clone().unwrap_or_default(),
+            deadline_ms: opts.deadline_ms,
+            retries: opts.retries,
+            stream: None,
+            // Seed from the pid so concurrent clients retrying against
+            // an overloaded server do not thunder in lockstep.
+            rng: rand::rngs::SmallRng::seed_from_u64(std::process::id() as u64),
+        }
+    }
+
+    /// Sleeps `hint + uniform(0..=50ms * 2^attempt)` (capped at 2s of
+    /// exponential part), where `hint` is the server's retry-after.
+    fn backoff(&mut self, attempt: u32, hint_ms: u64) {
+        use rand::Rng as _;
+        let base = 50u64.saturating_mul(1 << attempt.min(5)).min(2_000);
+        let wait = hint_ms + self.rng.gen_range(0..=base);
+        std::thread::sleep(std::time::Duration::from_millis(wait));
+    }
+
+    fn ask(&mut self, class: RequestClass, text: &str) -> Result<Response, String> {
+        let mut attempt = 0u32;
+        loop {
+            let mut retry = |this: &mut Remote, why: String, hint_ms: u64| -> Result<(), String> {
+                this.stream = None;
+                if attempt >= this.retries {
+                    return Err(why);
+                }
+                eprintln!("softhw-cli: {why}; retry {}/{}", attempt + 1, this.retries);
+                this.backoff(attempt, hint_ms);
+                attempt += 1;
+                Ok(())
+            };
+            if self.stream.is_none() {
+                match TcpStream::connect(&self.addr) {
+                    Ok(s) => self.stream = Some(s),
+                    Err(e) => {
+                        retry(self, format!("connect {}: {e}", self.addr), 0)?;
+                        continue;
+                    }
+                }
+            }
+            let mut req = Request::new(class, text);
+            req.deadline_ms = self.deadline_ms;
+            let stream = self.stream.as_mut().expect("stream set above");
+            match roundtrip(stream, &req) {
+                Ok(Response::Busy { retry_after_ms }) => {
+                    retry(self, "server busy".to_string(), retry_after_ms)?;
+                }
+                Ok(Response::Timeout) => {
+                    return Err(format!(
+                        "server gave up: deadline{} exceeded",
+                        self.deadline_ms
+                            .map(|ms| format!(" of {ms}ms"))
+                            .unwrap_or_default()
+                    ))
+                }
+                Ok(Response::Error { kind, message }) => {
+                    return Err(format!("server error [{kind}] {message}"))
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    retry(self, format!("{}: {e}", self.addr), 0)?;
+                }
+            }
+        }
+    }
+}
+
 /// Client mode: the same questions, answered by a `softhw-serve`
 /// instance. Width/decision output lines and exit codes match local
 /// mode exactly; witness decompositions are decoded from the wire frame
@@ -112,17 +217,8 @@ fn candidate_bags(
 /// cache counters, which local mode cannot know), not the local Debug
 /// render.
 fn run_remote(opts: &Options, text: &str, h: &Hypergraph) -> Result<bool, String> {
-    let addr = opts.connect.as_deref().unwrap_or_default();
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut ask = |class: RequestClass| -> Result<Response, String> {
-        match roundtrip(&mut stream, &Request::new(class, text)) {
-            Ok(Response::Error { kind, message }) => {
-                Err(format!("server error [{kind}] {message}"))
-            }
-            Ok(resp) => Ok(resp),
-            Err(e) => Err(format!("{addr}: {e}")),
-        }
-    };
+    let mut remote = Remote::new(opts);
+    let mut ask = |class: RequestClass| -> Result<Response, String> { remote.ask(class, text) };
     let decode =
         |frame: softhw_service::TdFrame| -> Result<softhw::core::TreeDecomposition, String> {
             let td = frame.to_td().map_err(|e| e.to_string())?;
@@ -258,6 +354,11 @@ fn run() -> Result<bool, String> {
             );
         }
         return run_remote(&opts, &text, &h);
+    }
+    if opts.deadline_ms.is_some() {
+        return Err(
+            "--deadline applies to --connect requests; local solves run to completion".to_string(),
+        );
     }
     if opts.stats {
         println!("{:#?}", softhw::hypergraph::stats::stats(&h));

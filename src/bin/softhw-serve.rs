@@ -11,6 +11,10 @@
 //!   --result-cache <n>   per-stripe result-cache capacity (default 1024, 0 = off)
 //!   --max-edges <n>      largest schema accepted (default 100000)
 //!   --max-conns <n>      exit after serving n connections (for smoke tests)
+//!   --queue <n>          pending-connection queue depth; connections past it
+//!                        are shed with BUSY instead of waiting (default 128)
+//!   --default-deadline <ms>  deadline applied to requests that carry no
+//!                        DEADLINE directive of their own (default: none)
 //!   --store <path>       persistent store: results survive restarts (created
 //!                        if missing; torn tails recovered on open)
 //!   --warm <n>           warm-start the n hottest stored schemas (default 64)
@@ -27,9 +31,42 @@
 //! the write-behind persister drains and fsyncs before the process
 //! ends. See the README for the wire format; `softhw-cli --connect`
 //! speaks the protocol and `softhw-store` inspects the store offline.
+//!
+//! SIGINT/SIGTERM trigger a graceful drain: the server stops accepting,
+//! cancels in-flight solves against their budgets (clients see `BUSY`),
+//! and drains + fsyncs the write-behind store before exiting.
 
-use softhw_service::{ServeOptions, Server, ServiceConfig, ServiceState};
+use softhw_service::{ServeOptions, Server, ServiceConfig, ServiceState, ShutdownHandle};
 use std::process::ExitCode;
+
+/// Routes SIGINT/SIGTERM to a graceful drain. The handler body is one
+/// atomic store ([`ShutdownHandle::shutdown`] is async-signal-safe);
+/// the server's own threads do the actual draining.
+#[cfg(unix)]
+fn install_signal_handlers(handle: ShutdownHandle) {
+    use std::sync::OnceLock;
+    static HANDLE: OnceLock<ShutdownHandle> = OnceLock::new();
+    extern "C" fn on_signal(_sig: i32) {
+        if let Some(h) = HANDLE.get() {
+            h.shutdown();
+        }
+    }
+    // Set before registering, so the handler can never observe an
+    // uninitialised slot.
+    let _ = HANDLE.set(handle);
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers(_handle: ShutdownHandle) {}
 
 struct Args {
     serve: ServeOptions,
@@ -55,6 +92,10 @@ fn parse_args() -> Result<Args, String> {
             "--result-cache" => config.result_cache_capacity = num(&mut args, "--result-cache")?,
             "--max-edges" => config.max_edges = num(&mut args, "--max-edges")?,
             "--max-conns" => serve.max_conns = Some(num(&mut args, "--max-conns")? as u64),
+            "--queue" => serve.queue_depth = num(&mut args, "--queue")?.max(1),
+            "--default-deadline" => {
+                config.default_deadline_ms = Some(num(&mut args, "--default-deadline")? as u64)
+            }
             "--store" => store = Some(args.next().ok_or("--store needs a path")?),
             "--warm" => config.warm_start = num(&mut args, "--warm")?,
             "--no-pin" => config.pin_warm = false,
@@ -62,8 +103,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: softhw-serve [--addr host:port] [--workers n] \
                             [--stripes n] [--cache n] [--result-cache n] [--max-edges n] \
-                            [--max-conns n] [--store path] [--warm n] [--no-pin] \
-                            [--no-reduce]"
+                            [--max-conns n] [--queue n] [--default-deadline ms] \
+                            [--store path] [--warm n] [--no-pin] [--no-reduce]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -115,6 +156,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    install_signal_handlers(server.shutdown_handle());
     match server.local_addr() {
         Ok(addr) => {
             // Announce readiness on stdout so scripts can wait for it.

@@ -1,0 +1,180 @@
+//! Property tests for cooperative budget cancellation: aborting a
+//! solve mid-flight and retrying must be **bit-identical** to a run
+//! that was never interrupted — same bases, same timestamps, same
+//! decompositions. The abort points are driven deterministically by
+//! work caps (a tripped work cap reports [`DeadlineExceeded`] at an
+//! input-determined tick, unlike a wall-clock deadline), and by the
+//! shared cancel flag. The same file runs under the `parallel` feature
+//! in CI, so the sharded enumeration and fan-out paths honour the same
+//! contract.
+
+use proptest::prelude::*;
+use softhw::core::cache::DecompCache;
+use softhw::core::error::DecompError;
+use softhw::core::soft::SoftLimits;
+use softhw::core::sweep::IncrementalSweep;
+use softhw::core::Budget;
+use softhw::hypergraph::random::{random_hypergraph, RandomConfig};
+use softhw::hypergraph::{BlockIndex, Hypergraph};
+
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..9, 3usize..9, 0u64..5000).prop_map(|(nv, ne, seed)| {
+        random_hypergraph(
+            &RandomConfig {
+                num_vertices: nv,
+                num_edges: ne,
+                min_arity: 2,
+                max_arity: 3,
+                connect: true,
+            },
+            seed,
+        )
+    })
+}
+
+/// The control run: a never-budgeted sweep through widths `1..=3`,
+/// returning per-width decisions plus the final satisfaction table
+/// (bases and timestamps) of the grown instance.
+#[allow(clippy::type_complexity)]
+fn control_sweep(h: &Hypergraph) -> (Vec<bool>, Option<Vec<Option<(usize, u32)>>>) {
+    let limits = SoftLimits::default();
+    let mut index = BlockIndex::new(h);
+    let mut sweep = IncrementalSweep::new();
+    let mut decisions = Vec::new();
+    for k in 1..=3usize {
+        let td = sweep.decide_leq(&mut index, k, &limits).unwrap();
+        decisions.push(td.is_some());
+    }
+    (decisions, sweep.satisfaction().map(|s| s.basis.clone()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn work_cap_abort_then_retry_is_bit_identical(
+        h in small_hypergraph(),
+        cap_seq in proptest::collection::vec(1u64..2000, 1..6),
+    ) {
+        // Drive the sweep into work-cap trips at a range of depths
+        // (the caps spread the abort points across candidate
+        // generation, extension, and the DP), retrying after each trip.
+        // Two guarantees are asserted:
+        //  - the *answers* equal the never-interrupted control's;
+        //  - the final grown state — bases AND timestamps — is
+        //    bit-identical to a sweep that never tripped and simply
+        //    started at the width where the last reset re-seeded
+        //    (the reset contract: a trip leaves nothing behind, so the
+        //    retry evolves exactly like that cold-started sweep).
+        let (control_decisions, _) = control_sweep(&h);
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        let mut sweep = IncrementalSweep::new();
+        let mut trips = 0usize;
+        let mut last_reset_k = None;
+        let mut decisions = Vec::new();
+        for k in 1..=3usize {
+            let mut caps = cap_seq.iter();
+            let td = loop {
+                let budget = match caps.next() {
+                    Some(&cap) => Budget::with_work_cap(cap),
+                    None => Budget::unlimited(),
+                };
+                match sweep.decide_leq_budgeted(&mut index, k, &limits, &budget) {
+                    Ok(td) => break td,
+                    Err(e) if e.is_budget() => {
+                        trips += 1;
+                        last_reset_k = Some(k);
+                        // The reset contract: the tripped sweep must be
+                        // immediately reusable, starting cold.
+                        prop_assert_eq!(sweep.max_width(), 0, "k = {}", k);
+                        continue;
+                    }
+                    Err(e) => prop_assert!(false, "unexpected {}", e),
+                }
+            };
+            if let Some(td) = &td {
+                prop_assert_eq!(td.validate(&h), Ok(()));
+            }
+            decisions.push(td.is_some());
+        }
+        prop_assert_eq!(&decisions, &control_decisions, "answers diverged after {} trips", trips);
+        let mut replay_index = BlockIndex::new(&h);
+        let mut replay = IncrementalSweep::new();
+        for k in last_reset_k.unwrap_or(1)..=3usize {
+            replay.decide_leq(&mut replay_index, k, &limits).unwrap();
+        }
+        prop_assert_eq!(
+            sweep.satisfaction().map(|s| s.basis.clone()),
+            replay.satisfaction().map(|s| s.basis.clone()),
+            "bases/timestamps diverged after {} trips",
+            trips
+        );
+    }
+
+    #[test]
+    fn generous_cap_never_trips_and_matches_unlimited(h in small_hypergraph()) {
+        // A cap the workload cannot exhaust must behave exactly like
+        // Budget::unlimited(): same decisions, same tables, no error.
+        let (control_decisions, control_basis) = control_sweep(&h);
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        let mut sweep = IncrementalSweep::new();
+        let budget = Budget::with_work_cap(u64::MAX / 2);
+        let mut decisions = Vec::new();
+        for k in 1..=3usize {
+            let td = sweep.decide_leq_budgeted(&mut index, k, &limits, &budget).unwrap();
+            decisions.push(td.is_some());
+        }
+        prop_assert_eq!(&decisions, &control_decisions);
+        prop_assert_eq!(sweep.satisfaction().map(|s| s.basis.clone()), control_basis);
+    }
+
+    #[test]
+    fn pre_canceled_budget_aborts_and_leaves_sweep_reusable(h in small_hypergraph()) {
+        let limits = SoftLimits::default();
+        let mut index = BlockIndex::new(&h);
+        let mut sweep = IncrementalSweep::new();
+        let budget = Budget::cancellable();
+        budget.cancel();
+        match sweep.decide_leq_budgeted(&mut index, 1, &limits, &budget) {
+            Err(DecompError::Canceled) => {}
+            other => prop_assert!(false, "expected Canceled, got {:?}", other),
+        }
+        // Cancellation is sticky on the budget, not on the sweep: a
+        // fresh budget on the same sweep decides normally and matches
+        // the control bit for bit.
+        let (control_decisions, control_basis) = control_sweep(&h);
+        let mut decisions = Vec::new();
+        for k in 1..=3usize {
+            let td = sweep.decide_leq(&mut index, k, &limits).unwrap();
+            decisions.push(td.is_some());
+        }
+        prop_assert_eq!(&decisions, &control_decisions);
+        prop_assert_eq!(sweep.satisfaction().map(|s| s.basis.clone()), control_basis);
+    }
+
+    #[test]
+    fn cache_warm_state_survives_budget_trips(
+        h in small_hypergraph(),
+        cap in 1u64..500,
+    ) {
+        // A budget trip against the cache must not evict warm state or
+        // memoise a partial answer: after the trip, an unlimited retry
+        // returns exactly what a never-tripped cache returns.
+        let limits = SoftLimits::default();
+        let mut cold = DecompCache::new();
+        let cold_answer = cold.try_shw(&h).unwrap();
+        let mut cache = DecompCache::new();
+        let tripped = matches!(
+            cache.try_shw_budgeted(&h, &limits, &Budget::with_work_cap(cap)),
+            Err(ref e) if e.is_budget()
+        );
+        let retried = cache.try_shw_budgeted(&h, &limits, &Budget::unlimited()).unwrap();
+        prop_assert_eq!(retried.0, cold_answer.0, "width after trip={}", tripped);
+        prop_assert_eq!(retried.1.bags(), cold_answer.1.bags());
+        // And the budgeted decision path agrees with the plain one.
+        let plain = cache.shw_leq(&h, retried.0, &limits).unwrap().is_some();
+        prop_assert!(plain, "cache must decide its own width positively");
+    }
+}
