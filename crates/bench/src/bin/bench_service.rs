@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! bench_service [out.json] [--clients n] [--requests n] [--store path]
+//!               [--check baseline.json]
 //! ```
 //!
 //! Request classes:
@@ -18,6 +19,23 @@
 //! - `shw_cold`: exact `shw` over schemas never seen before (every
 //!   request pays generation + instance build + DP).
 //!
+//! Three throughput phases run against one server:
+//! - sequential (`service/throughput_rps`): one request in flight per
+//!   connection, the pre-pipelining lockstep workload;
+//! - pipelined (`service/throughput_pipelined_rps`): the same traffic
+//!   mix with a window of [`WINDOW`] requests in flight per connection
+//!   (`pipelined` latency rows measure enqueue-to-response, so queueing
+//!   behind the window is in the number);
+//! - batched (`service/throughput_batch_rps`, in sub-requests/s): BATCH
+//!   frames of [`BATCH_SIZE`] warm bodies each, one roundtrip per frame
+//!   (`batch_frame` latency rows are per frame, not per sub-request).
+//!
+//! `--check <baseline.json>` gates after the run: every
+//! `service/throughput*` row present in both runs must be at least half
+//! the baseline's; pipelined/batched rows missing from an older baseline
+//! must instead beat its *sequential* throughput outright — the whole
+//! point of the pipelined server.
+//!
 //! With `--store <path>` the server persists through the decomposition
 //! store, and a second phase **restarts** it — a fresh `ServiceState`
 //! over the same store file, in-memory caches cold — and measures
@@ -28,20 +46,29 @@
 use softhw_hypergraph::random::{random_hypergraph, RandomConfig};
 use softhw_hypergraph::{named, render_hypergraph};
 use softhw_service::{
-    roundtrip, EvalKind, Request, RequestClass, Response, ServeOptions, Server, ServiceConfig,
-    ServiceState,
+    read_frame, roundtrip, BatchRequest, EvalKind, Request, RequestClass, Response, ServeOptions,
+    Server, ServiceConfig, ServiceState,
 };
+use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::io::{BufReader, Write as _};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Requests kept in flight per connection during the pipelined phase.
+const WINDOW: usize = 64;
+
+/// Sub-requests per BATCH frame during the batched phase.
+const BATCH_SIZE: usize = 32;
 
 struct Args {
     out: Option<String>,
     clients: usize,
     requests: usize,
     store: Option<String>,
+    check: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +76,7 @@ fn parse_args() -> Args {
     let mut clients = 8;
     let mut requests = 200;
     let mut store = None;
+    let mut check = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -67,6 +95,9 @@ fn parse_args() -> Args {
             "--store" => {
                 store = Some(args.next().expect("--store path"));
             }
+            "--check" => {
+                check = Some(args.next().expect("--check baseline.json"));
+            }
             other => out = Some(other.to_string()),
         }
     }
@@ -75,6 +106,7 @@ fn parse_args() -> Args {
         clients,
         requests,
         store,
+        check,
     }
 }
 
@@ -136,12 +168,16 @@ fn main() {
         Some(path) => ServiceState::open_store(ServiceConfig::default(), path).expect("open store"),
         None => ServiceState::new(ServiceConfig::default()),
     };
+    // Three measured phases share this server: warmup + sequential
+    // clients, then pipelined clients, then batch clients. The queue
+    // must hold every request the pipelined windows can have in flight
+    // at once, or the server sheds them with BUSY mid-measurement.
     let server = Server::bind(
         ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             workers: args.clients,
-            max_conns: Some(args.clients as u64 + 1),
-            ..ServeOptions::default()
+            max_conns: Some(3 * args.clients as u64 + 1),
+            queue_depth: (2 * args.clients * WINDOW).max(128),
         },
         state,
     )
@@ -206,21 +242,160 @@ fn main() {
         }
     });
     let wall_s = wall.elapsed().as_secs_f64();
+
+    // Pipelined phase: same traffic mix, but each client keeps WINDOW
+    // requests in flight on its one connection instead of running in
+    // lockstep. Responses arrive in request order, so the client reads
+    // them back against a FIFO of send timestamps.
+    let pipe_total = args.requests.max(args.clients * WINDOW);
+    let next = AtomicUsize::new(0);
+    let pipe_samples: Mutex<Vec<(&'static str, f64)>> = Mutex::new(Vec::with_capacity(pipe_total));
+    let pipe_wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients {
+            scope.spawn(|| {
+                let mut stream = TcpStream::connect(addr).expect("pipelined connect");
+                stream.set_nodelay(true).ok();
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut sent: VecDeque<Instant> = VecDeque::with_capacity(WINDOW);
+                let mut local: Vec<(&'static str, f64)> = Vec::new();
+                loop {
+                    // Keep the window full, then retire the oldest
+                    // in-flight request.
+                    let mut burst = String::new();
+                    while sent.len() < WINDOW {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pipe_total {
+                            break;
+                        }
+                        let frame = if i % 10 == 9 {
+                            cold_request(100_000 + i as u64).encode()
+                        } else {
+                            traffic[i % traffic.len()].1.encode()
+                        };
+                        burst.push_str(&frame);
+                        sent.push_back(Instant::now());
+                    }
+                    if !burst.is_empty() {
+                        stream.write_all(burst.as_bytes()).expect("pipelined write");
+                    }
+                    let Some(start) = sent.pop_front() else { break };
+                    let lines = read_frame(&mut reader)
+                        .expect("pipelined read")
+                        .expect("pipelined frame");
+                    // Status-line check only: fully decoding every
+                    // witness TD frame would bill client-side parsing
+                    // to the server's throughput number.
+                    let status = lines.first().map(String::as_str).unwrap_or("");
+                    assert!(
+                        !status.starts_with("ERR") && !status.starts_with("BUSY"),
+                        "pipelined request failed: {status}"
+                    );
+                    local.push(("pipelined", start.elapsed().as_secs_f64() * 1e6));
+                }
+                pipe_samples
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local);
+            });
+        }
+    });
+    let pipe_wall_s = pipe_wall.elapsed().as_secs_f64();
+    let pipe_requests = pipe_samples
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len();
+    let throughput_pipelined = pipe_requests as f64 / pipe_wall_s;
+
+    // Batched phase: BATCH frames of BATCH_SIZE warm solver bodies, one
+    // frame in flight per connection. Latency is per frame; throughput
+    // counts the sub-requests each frame carries.
+    let batch_items: Vec<Request> = traffic
+        .iter()
+        .filter(|(label, _)| *label != "stats")
+        .map(|(_, req)| req.clone())
+        .collect();
+    let batch_frames = pipe_total.div_ceil(BATCH_SIZE).max(args.clients);
+    let next = AtomicUsize::new(0);
+    let batch_samples: Mutex<Vec<(&'static str, f64)>> =
+        Mutex::new(Vec::with_capacity(batch_frames));
+    let batch_wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients {
+            scope.spawn(|| {
+                let mut stream = TcpStream::connect(addr).expect("batch connect");
+                stream.set_nodelay(true).ok();
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut local: Vec<(&'static str, f64)> = Vec::new();
+                loop {
+                    let f = next.fetch_add(1, Ordering::Relaxed);
+                    if f >= batch_frames {
+                        break;
+                    }
+                    let items: Vec<Request> = (0..BATCH_SIZE)
+                        .map(|j| batch_items[(f * BATCH_SIZE + j) % batch_items.len()].clone())
+                        .collect();
+                    let frame = BatchRequest::new(items).encode();
+                    let start = Instant::now();
+                    stream.write_all(frame.as_bytes()).expect("batch write");
+                    let lines = read_frame(&mut reader)
+                        .expect("batch read")
+                        .expect("batch frame");
+                    let us = start.elapsed().as_secs_f64() * 1e6;
+                    match Response::decode(&lines).expect("batch decode") {
+                        Response::Batch { responses } => {
+                            assert_eq!(responses.len(), BATCH_SIZE);
+                            for resp in &responses {
+                                assert!(
+                                    !matches!(resp, Response::Error { .. } | Response::Busy { .. }),
+                                    "batched sub-request failed: {resp:?}"
+                                );
+                            }
+                        }
+                        other => panic!("expected a batch response, got {other:?}"),
+                    }
+                    local.push(("batch_frame", us));
+                }
+                batch_samples
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local);
+            });
+        }
+    });
+    let batch_wall_s = batch_wall.elapsed().as_secs_f64();
+    let throughput_batch = (batch_frames * BATCH_SIZE) as f64 / batch_wall_s;
+
     // All client connections are closed; the server has accepted its
-    // max_conns (warmup + clients) and drains cleanly.
+    // max_conns (warmup + three phases of clients) and drains cleanly.
     let served = server_thread
         .join()
         .expect("server thread")
         .expect("server run");
-    assert_eq!(served, args.clients as u64 + 1);
+    assert_eq!(served, 3 * args.clients as u64 + 1);
 
     let mut samples = samples
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clone();
-    // Throughput describes phase 1 only (the restart-warm phase below
-    // extends `samples` but was measured on its own wall clock).
-    let phase1_requests = samples.len();
+    samples.extend(
+        pipe_samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .copied(),
+    );
+    samples.extend(
+        batch_samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .copied(),
+    );
+    // Throughput describes phase 1 only (the pipelined/batched phases
+    // and the restart-warm phase below extend `samples` but were
+    // measured on their own wall clocks).
+    let phase1_requests = samples.len() - pipe_requests - batch_frames;
     let throughput = phase1_requests as f64 / wall_s;
 
     // Restart-warm phase: a fresh state over the same store file — the
@@ -310,10 +485,23 @@ fn main() {
         rows.push((format!("service/{label}_p99_us"), p99));
     }
     println!(
-        "service/throughput    {throughput:.0} req/s over {} requests, {} clients",
+        "service/throughput           {throughput:.0} req/s over {} requests, {} clients (sequential)",
         phase1_requests, args.clients
     );
+    println!(
+        "service/throughput_pipelined {throughput_pipelined:.0} req/s over {} requests, window {WINDOW}",
+        pipe_requests
+    );
+    println!(
+        "service/throughput_batch     {throughput_batch:.0} sub-req/s over {} frames of {BATCH_SIZE}",
+        batch_frames
+    );
     rows.push(("service/throughput_rps".to_string(), throughput));
+    rows.push((
+        "service/throughput_pipelined_rps".to_string(),
+        throughput_pipelined,
+    ));
+    rows.push(("service/throughput_batch_rps".to_string(), throughput_batch));
     if let Some(out) = args.out {
         let json = match std::fs::read_to_string(&out) {
             // An existing bench_baseline emission: merge the service
@@ -326,6 +514,75 @@ fn main() {
         std::fs::write(&out, &json).expect("write json");
         println!("wrote {out}");
     }
+    if let Some(baseline) = &args.check {
+        if let Err(msg) = check_against(baseline, &rows) {
+            eprintln!("BENCH CHECK FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("bench_service check passed against {baseline}");
+    }
+}
+
+/// Throughput rows gated by `--check`. Latency rows are reported but
+/// not gated: on shared CI runners they are too noisy to block on,
+/// while throughput over hundreds of requests amortizes the noise.
+const THROUGHPUT_GATES: &[&str] = &[
+    "service/throughput_rps",
+    "service/throughput_pipelined_rps",
+    "service/throughput_batch_rps",
+];
+
+/// A throughput row may not fall below `baseline / GATE_FACTOR`.
+const GATE_FACTOR: f64 = 2.0;
+
+/// Gates the current run's throughput rows against a baseline emission.
+/// Rows present in both runs use the regression factor; pipelined and
+/// batched rows missing from an older baseline must instead beat that
+/// baseline's sequential throughput outright.
+fn check_against(baseline_path: &str, rows: &[(String, f64)]) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("--check {baseline_path}: {e}"))?;
+    let baseline = softhw_bench::parse_baseline_json(&text);
+    let old = |name: &str| baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    for name in THROUGHPUT_GATES {
+        let new = rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("current run lacks {name}"))?;
+        match old(name) {
+            Some(prev) => {
+                println!(
+                    "check {name}: {new:.1} req/s vs baseline {prev:.1} req/s ({:.2}x)",
+                    new / prev
+                );
+                if new < prev / GATE_FACTOR {
+                    return Err(format!(
+                        "{name} regressed: {new:.1} req/s < baseline {prev:.1} req/s / {GATE_FACTOR}"
+                    ));
+                }
+            }
+            None => {
+                // A pre-pipelining baseline: the new concurrency paths
+                // must at least beat its sequential throughput.
+                let seq = old("service/throughput_rps").ok_or_else(|| {
+                    format!(
+                        "baseline {baseline_path} lacks service/throughput_rps — corrupt or wrong file?"
+                    )
+                })?;
+                println!(
+                    "check {name}: {new:.1} req/s vs baseline sequential {seq:.1} req/s ({:.2}x, new row)",
+                    new / seq
+                );
+                if new < seq {
+                    return Err(format!(
+                        "{name}: {new:.1} req/s does not beat the baseline's sequential {seq:.1} req/s"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A self-contained `{"benchmarks": {...}}` document from the rows.

@@ -18,6 +18,19 @@
 //! return (the solvers are deterministic); the unit tests assert this
 //! decomposition-for-decomposition.
 //!
+//! **Entry point:** [`DecompCache::solve`] consumes a
+//! [`crate::spec::SolveSpec`] and is the one front door over every
+//! (class × exactness × budget × reduction) corner. The historical
+//! per-corner methods are kept as thin compatibility wrappers:
+//!
+//! | deprecated wrapper            | `SolveSpec` replacement                          |
+//! |-------------------------------|--------------------------------------------------|
+//! | `shw` / `try_shw(_with)`      | `solve(h, &SolveSpec::shw())`                    |
+//! | `try_shw_budgeted`            | `solve(h, &SolveSpec::shw().with_budget(b))`     |
+//! | `shw_leq(_budgeted)`          | `solve(h, &SolveSpec::shw_leq(k)…)`              |
+//! | `hw` / `try_hw(_budgeted)`    | `solve(h, &SolveSpec::hw()…)`                    |
+//! | `hw_leq(_budgeted)`           | `solve(h, &SolveSpec::hw_leq(k)…)`               |
+//!
 //! The cache is **bounded**: it tracks at most
 //! [`DecompCache::max_graphs`] structurally distinct hypergraphs and
 //! evicts the least-recently-used one (warm index, prepared instances,
@@ -32,6 +45,7 @@ use crate::ghd::Ghd;
 use crate::hw;
 use crate::reduce_solve::{lift_ghd, lift_td};
 use crate::soft::{soft_bag_ids, soft_bag_ids_budgeted, SoftLimits};
+use crate::spec::{SolveClass, SolveSpec, Solved};
 use crate::sweep::IncrementalSweep;
 use crate::td::TreeDecomposition;
 use softhw_hypergraph::cache::IndexCache;
@@ -337,33 +351,43 @@ impl DecompCache {
         &self.instance(h, bags).inst
     }
 
-    /// `shw(h) ≤ k` with cross-query memoisation of the decision and
-    /// witness. Generation limits only apply on a cache miss.
-    pub fn shw_leq(
-        &mut self,
-        h: &Hypergraph,
-        k: usize,
-        limits: &SoftLimits,
-    ) -> Result<Option<TreeDecomposition>, DecompError> {
-        let (hash, index) = self.indexes.entry(h);
-        if let Some(cached) = self.shw_results.get(&(hash, k)).cloned() {
-            self.stats.result_hits += 1;
-            self.touch(hash);
-            return Ok(cached);
+    /// The one entry point over every cached width query: routes a
+    /// [`SolveSpec`] to the matching (class, exactness) solver under the
+    /// spec's budget, reduction policy, and generation limits. All the
+    /// per-corner methods below are thin wrappers over this.
+    ///
+    /// Budget aborts keep the cache warm and consistent (nothing partial
+    /// is memoised, nothing is evicted); an exact-`hw` query on a
+    /// degenerate input admitting no HD at any width surfaces as an
+    /// internal [`DecompError`].
+    pub fn solve(&mut self, h: &Hypergraph, spec: &SolveSpec) -> Result<Solved, DecompError> {
+        match (spec.class, spec.bound) {
+            (SolveClass::Shw, Some(k)) => Ok(Solved::ShwDecision(self.shw_decision(
+                h,
+                k,
+                &spec.limits,
+                &spec.budget,
+            )?)),
+            (SolveClass::Shw, None) => {
+                let (w, td) = self.shw_exact(h, &spec.limits, &spec.budget, spec.reduce)?;
+                Ok(Solved::ShwWidth(w, td))
+            }
+            (SolveClass::Hw, Some(k)) => {
+                Ok(Solved::HwDecision(self.hw_decision(h, k, &spec.budget)?))
+            }
+            (SolveClass::Hw, None) => match self.hw_exact(h, &spec.budget, spec.reduce)? {
+                Some((w, g)) => Ok(Solved::HwWidth(w, g)),
+                None => Err(DecompError::internal("no width up to |E(H)| admits an HD")),
+            },
         }
-        self.stats.result_misses += 1;
-        let bags = soft_bag_ids(index, k, limits)?;
-        let result = CtdInstance::build(index, &bags).try_decide()?;
-        self.shw_results.insert((hash, k), result.clone());
-        self.touch(hash);
-        Ok(result)
     }
 
-    /// [`DecompCache::shw_leq`] with a cooperative [`Budget`]. A budget
+    /// The `shw ≤ k` decision with cross-query memoisation. A budget
     /// abort memoises nothing for `(h, k)` — no partial answer can ever
     /// be served — and evicts nothing: every decision cached before the
-    /// trip stays warm, so a retry recomputes only this width.
-    pub fn shw_leq_budgeted(
+    /// trip stays warm, so a retry recomputes only this width. The
+    /// unlimited budget takes the never-checking fast path.
+    fn shw_decision(
         &mut self,
         h: &Hypergraph,
         k: usize,
@@ -377,12 +401,55 @@ impl DecompCache {
             return Ok(cached);
         }
         self.stats.result_misses += 1;
-        let bags = soft_bag_ids_budgeted(index, k, limits, budget)?;
-        let result =
-            CtdInstance::build_budgeted(index, &bags, budget)?.try_decide_budgeted(budget)?;
+        let result = if budget.is_unlimited() {
+            let bags = soft_bag_ids(index, k, limits)?;
+            CtdInstance::build(index, &bags).try_decide()?
+        } else {
+            let bags = soft_bag_ids_budgeted(index, k, limits, budget)?;
+            CtdInstance::build_budgeted(index, &bags, budget)?.try_decide_budgeted(budget)?
+        };
         self.shw_results.insert((hash, k), result.clone());
         self.touch(hash);
         Ok(result)
+    }
+
+    /// `shw(h) ≤ k` with cross-query memoisation of the decision and
+    /// witness. Generation limits only apply on a cache miss.
+    ///
+    /// Deprecated wrapper — prefer
+    /// [`DecompCache::solve`] with [`SolveSpec::shw_leq`].
+    pub fn shw_leq(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        limits: &SoftLimits,
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
+        match self.solve(h, &SolveSpec::shw_leq(k).with_limits(limits.clone()))? {
+            Solved::ShwDecision(r) => Ok(r),
+            _ => unreachable!("shw_leq specs answer with a shw decision"),
+        }
+    }
+
+    /// [`DecompCache::shw_leq`] with a cooperative [`Budget`].
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::shw_leq`] + [`SolveSpec::with_budget`].
+    pub fn shw_leq_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        limits: &SoftLimits,
+        budget: &Budget,
+    ) -> Result<Option<TreeDecomposition>, DecompError> {
+        match self.solve(
+            h,
+            &SolveSpec::shw_leq(k)
+                .with_limits(limits.clone())
+                .with_budget(budget.clone()),
+        )? {
+            Solved::ShwDecision(r) => Ok(r),
+            _ => unreachable!("shw_leq specs answer with a shw decision"),
+        }
     }
 
     /// `shw(h)` exactly, memoised per width across queries and computed
@@ -395,6 +462,9 @@ impl DecompCache {
     /// Panics if `limits`-style default generation guards are exceeded;
     /// long-lived callers (the decomposition service) use
     /// [`DecompCache::try_shw`], where every failure mode is an `Err`.
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::shw`].
     pub fn shw(&mut self, h: &Hypergraph) -> (usize, TreeDecomposition) {
         match self.try_shw_with(h, &SoftLimits::default()) {
             Ok(out) => out,
@@ -404,8 +474,72 @@ impl DecompCache {
 
     /// [`DecompCache::shw`] with the default generation limits and no
     /// panicking path.
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::shw`].
     pub fn try_shw(&mut self, h: &Hypergraph) -> Result<(usize, TreeDecomposition), DecompError> {
         self.try_shw_with(h, &SoftLimits::default())
+    }
+
+    /// The exact-`shw` solver behind [`DecompCache::solve`]: reduce-aware
+    /// unless `reduce` is off (or the cache-wide `no_reduce` toggle is
+    /// set), budgeted unless the budget is unlimited. Budget aborts leave
+    /// the cache **warm and consistent**: nothing is memoised for the
+    /// interrupted width (so a partial answer can never be served later),
+    /// nothing is evicted (the per-graph sweep resets itself — the reset
+    /// contract of [`IncrementalSweep::decide_leq_budgeted`]), and every
+    /// width decided before the trip stays cached. A retry resumes from
+    /// the memoised widths and recomputes only the interrupted one, from
+    /// a cold re-seed that is bit-identical to a never-interrupted run.
+    fn shw_exact(
+        &mut self,
+        h: &Hypergraph,
+        limits: &SoftLimits,
+        budget: &Budget,
+        reduce: bool,
+    ) -> Result<(usize, TreeDecomposition), DecompError> {
+        let raw = self.no_reduce || !reduce;
+        if budget.is_unlimited() {
+            if raw {
+                return self.try_shw_raw_with(h, limits);
+            }
+            let red = self.reduction(h);
+            if red.is_trivial() {
+                return self.try_shw_raw_with(h, limits);
+            }
+            let mut width = 1usize;
+            let mut tds = Vec::with_capacity(red.pieces.len());
+            for piece in &red.pieces {
+                // Pieces are at the reduction fixpoint and connected, so
+                // the raw cached path is exactly the reduce-aware path
+                // for them.
+                let (w, td) = self.try_shw_raw_with(&piece.h, limits)?;
+                width = width.max(w);
+                tds.push(td);
+            }
+            let td = lift_td(h, &red, &tds);
+            debug_assert_eq!(td.validate(h), Ok(()));
+            Ok((width, td))
+        } else {
+            if raw {
+                return self.try_shw_raw_budgeted(h, limits, budget);
+            }
+            let red = self.reduction(h);
+            if red.is_trivial() {
+                return self.try_shw_raw_budgeted(h, limits, budget);
+            }
+            let mut width = 1usize;
+            let mut tds = Vec::with_capacity(red.pieces.len());
+            for piece in &red.pieces {
+                budget.check()?;
+                let (w, td) = self.try_shw_raw_budgeted(&piece.h, limits, budget)?;
+                width = width.max(w);
+                tds.push(td);
+            }
+            let td = lift_td(h, &red, &tds);
+            debug_assert_eq!(td.validate(h), Ok(()));
+            Ok((width, td))
+        }
     }
 
     /// `shw(h)` exactly through the cache, non-panicking: generation
@@ -420,66 +554,29 @@ impl DecompCache {
     /// already reduced land on the same piece entries, so neither is
     /// computed twice. Irreducible connected inputs (and caches with
     /// [`DecompCache::set_no_reduce`] set) take the raw path unchanged.
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::shw`] (+ [`SolveSpec::with_limits`]).
     pub fn try_shw_with(
         &mut self,
         h: &Hypergraph,
         limits: &SoftLimits,
     ) -> Result<(usize, TreeDecomposition), DecompError> {
-        if self.no_reduce {
-            return self.try_shw_raw_with(h, limits);
-        }
-        let red = self.reduction(h);
-        if red.is_trivial() {
-            return self.try_shw_raw_with(h, limits);
-        }
-        let mut width = 1usize;
-        let mut tds = Vec::with_capacity(red.pieces.len());
-        for piece in &red.pieces {
-            // Pieces are at the reduction fixpoint and connected, so the
-            // raw cached path is exactly the reduce-aware path for them.
-            let (w, td) = self.try_shw_raw_with(&piece.h, limits)?;
-            width = width.max(w);
-            tds.push(td);
-        }
-        let td = lift_td(h, &red, &tds);
-        debug_assert_eq!(td.validate(h), Ok(()));
-        Ok((width, td))
+        self.shw_exact(h, limits, &Budget::unlimited(), true)
     }
 
-    /// [`DecompCache::try_shw_with`] with a cooperative [`Budget`].
+    /// [`DecompCache::try_shw_with`] with a cooperative [`Budget`]; see
+    /// [`DecompCache::solve`] for the warm-abort guarantees.
     ///
-    /// Budget aborts leave the cache **warm and consistent**: nothing is
-    /// memoised for the interrupted width (so a partial answer can never
-    /// be served later), nothing is evicted (the per-graph sweep resets
-    /// itself — the reset contract of
-    /// [`IncrementalSweep::decide_leq_budgeted`]), and every width
-    /// decided before the trip stays cached. A retry resumes from the
-    /// memoised widths and recomputes only the interrupted one, from a
-    /// cold re-seed that is bit-identical to a never-interrupted run.
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::shw`] + [`SolveSpec::with_budget`].
     pub fn try_shw_budgeted(
         &mut self,
         h: &Hypergraph,
         limits: &SoftLimits,
         budget: &Budget,
     ) -> Result<(usize, TreeDecomposition), DecompError> {
-        if self.no_reduce {
-            return self.try_shw_raw_budgeted(h, limits, budget);
-        }
-        let red = self.reduction(h);
-        if red.is_trivial() {
-            return self.try_shw_raw_budgeted(h, limits, budget);
-        }
-        let mut width = 1usize;
-        let mut tds = Vec::with_capacity(red.pieces.len());
-        for piece in &red.pieces {
-            budget.check()?;
-            let (w, td) = self.try_shw_raw_budgeted(&piece.h, limits, budget)?;
-            width = width.max(w);
-            tds.push(td);
-        }
-        let td = lift_td(h, &red, &tds);
-        debug_assert_eq!(td.validate(h), Ok(()));
-        Ok((width, td))
+        self.shw_exact(h, limits, budget, true)
     }
 
     /// The raw (no-reduction) cached budgeted sweep; see
@@ -575,24 +672,10 @@ impl DecompCache {
         Err(DecompError::internal("no width up to |E(H)| accepted"))
     }
 
-    /// `hw(h) ≤ k` with cross-query memoisation (decision + witness).
-    pub fn hw_leq(&mut self, h: &Hypergraph, k: usize) -> Option<Ghd> {
-        let (hash, _) = self.indexes.entry(h);
-        if let Some(cached) = self.hw_results.get(&(hash, k)).cloned() {
-            self.stats.result_hits += 1;
-            self.touch(hash);
-            return cached;
-        }
-        self.stats.result_misses += 1;
-        let result = hw::hw_leq(h, k);
-        self.hw_results.insert((hash, k), result.clone());
-        self.touch(hash);
-        result
-    }
-
-    /// [`DecompCache::hw_leq`] with a cooperative [`Budget`]; a budget
-    /// abort memoises and evicts nothing.
-    pub fn hw_leq_budgeted(
+    /// The `hw ≤ k` decision with cross-query memoisation (decision +
+    /// witness); a budget abort memoises and evicts nothing, and the
+    /// unlimited budget takes the never-checking fast path.
+    fn hw_decision(
         &mut self,
         h: &Hypergraph,
         k: usize,
@@ -605,16 +688,52 @@ impl DecompCache {
             return Ok(cached);
         }
         self.stats.result_misses += 1;
-        let result = hw::hw_leq_budgeted(h, k, budget)?;
+        let result = if budget.is_unlimited() {
+            hw::hw_leq(h, k)
+        } else {
+            hw::hw_leq_budgeted(h, k, budget)?
+        };
         self.hw_results.insert((hash, k), result.clone());
         self.touch(hash);
         Ok(result)
+    }
+
+    /// `hw(h) ≤ k` with cross-query memoisation (decision + witness).
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::hw_leq`].
+    pub fn hw_leq(&mut self, h: &Hypergraph, k: usize) -> Option<Ghd> {
+        match self.solve(h, &SolveSpec::hw_leq(k)) {
+            Ok(Solved::HwDecision(r)) => r,
+            Ok(_) => unreachable!("hw_leq specs answer with an hw decision"),
+            Err(_) => unreachable!("unlimited budgets never abort the hw decision"),
+        }
+    }
+
+    /// [`DecompCache::hw_leq`] with a cooperative [`Budget`]; a budget
+    /// abort memoises and evicts nothing.
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::hw_leq`] + [`SolveSpec::with_budget`].
+    pub fn hw_leq_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Option<Ghd>, DecompError> {
+        match self.solve(h, &SolveSpec::hw_leq(k).with_budget(budget.clone()))? {
+            Solved::HwDecision(r) => Ok(r),
+            _ => unreachable!("hw_leq specs answer with an hw decision"),
+        }
     }
 
     /// `hw(h)` exactly, memoised per width across queries. Reduce-aware
     /// with the no-peel (HD-safe) pipeline: pieces are swept through the
     /// cache under their own structural hashes and the piece HDs lifted
     /// back; irreducible connected inputs sweep raw.
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::hw`].
     pub fn hw(&mut self, h: &Hypergraph) -> (usize, Ghd) {
         self.try_hw(h).expect("no width up to |E(H)| admits an HD")
     }
@@ -622,39 +741,29 @@ impl DecompCache {
     /// [`DecompCache::hw`] without the panicking path: `None` when no
     /// width up to `|E(H)|` admits an HD (degenerate inputs), which
     /// long-lived callers map to an error response.
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::hw`] (there the degenerate `None` surfaces as an
+    /// internal [`DecompError`]).
     pub fn try_hw(&mut self, h: &Hypergraph) -> Option<(usize, Ghd)> {
-        if self.no_reduce {
-            return self.try_hw_raw(h);
+        match self.hw_exact(h, &Budget::unlimited(), true) {
+            Ok(r) => r,
+            Err(_) => unreachable!("unlimited budgets never abort the hw sweep"),
         }
-        let red = self.reduction_no_peel(h);
-        if red.is_trivial() {
-            return self.try_hw_raw(h);
-        }
-        let mut width = 1usize;
-        let mut ghds = Vec::with_capacity(red.pieces.len());
-        for piece in &red.pieces {
-            let (w, g) = self.try_hw_raw(&piece.h)?;
-            width = width.max(w);
-            ghds.push(g);
-        }
-        let g = lift_ghd(h, &red, &ghds);
-        debug_assert!(g.is_hd(h), "lifted HD must satisfy the special condition");
-        Some((width, g))
     }
 
-    /// The raw (no-reduction) cached exact `hw` sweep.
-    fn try_hw_raw(&mut self, h: &Hypergraph) -> Option<(usize, Ghd)> {
-        (1..=h.num_edges().max(1)).find_map(|k| self.hw_leq(h, k).map(|g| (k, g)))
-    }
-
-    /// [`DecompCache::try_hw`] with a cooperative [`Budget`]; same warm
-    /// abort guarantees as [`DecompCache::try_shw_budgeted`].
-    pub fn try_hw_budgeted(
+    /// The exact-`hw` solver behind [`DecompCache::solve`]: reduce-aware
+    /// with the no-peel (HD-safe) pipeline unless `reduce` is off (or
+    /// the cache-wide `no_reduce` toggle is set), budgeted unless the
+    /// budget is unlimited; same warm abort guarantees as the `shw`
+    /// sweep. `Ok(None)` when no width up to `|E(H)|` admits an HD.
+    fn hw_exact(
         &mut self,
         h: &Hypergraph,
         budget: &Budget,
+        reduce: bool,
     ) -> Result<Option<(usize, Ghd)>, DecompError> {
-        if self.no_reduce {
+        if self.no_reduce || !reduce {
             return self.try_hw_raw_budgeted(h, budget);
         }
         let red = self.reduction_no_peel(h);
@@ -678,14 +787,29 @@ impl DecompCache {
         Ok(Some((width, g)))
     }
 
-    /// The raw (no-reduction) cached budgeted `hw` sweep.
+    /// [`DecompCache::try_hw`] with a cooperative [`Budget`]; same warm
+    /// abort guarantees as [`DecompCache::try_shw_budgeted`].
+    ///
+    /// Deprecated wrapper — prefer [`DecompCache::solve`] with
+    /// [`SolveSpec::hw`] + [`SolveSpec::with_budget`].
+    pub fn try_hw_budgeted(
+        &mut self,
+        h: &Hypergraph,
+        budget: &Budget,
+    ) -> Result<Option<(usize, Ghd)>, DecompError> {
+        self.hw_exact(h, budget, true)
+    }
+
+    /// The raw (no-reduction) cached budgeted `hw` sweep. The per-width
+    /// decisions route through [`DecompCache::hw_decision`], so the
+    /// unlimited budget solves on the never-checking fast path.
     fn try_hw_raw_budgeted(
         &mut self,
         h: &Hypergraph,
         budget: &Budget,
     ) -> Result<Option<(usize, Ghd)>, DecompError> {
         for k in 1..=h.num_edges().max(1) {
-            if let Some(g) = self.hw_leq_budgeted(h, k, budget)? {
+            if let Some(g) = self.hw_decision(h, k, budget)? {
                 return Ok(Some((k, g)));
             }
         }
@@ -1188,6 +1312,58 @@ mod tests {
         let mut reduced = DecompCache::new();
         assert_eq!(reduced.shw(&h).0, w);
         assert_eq!(reduced.hw(&h).0, w_hw);
+    }
+
+    #[test]
+    fn solve_matches_the_legacy_entry_points() {
+        // One spec-driven pass and one legacy-wrapper pass over the same
+        // workload must agree decomposition-for-decomposition — the
+        // wrappers are thin shims over `solve`, and both must equal the
+        // cold solvers.
+        for h in [named::h2(), named::cycle(6), named::triangle_star(3)] {
+            let mut via_spec = DecompCache::new();
+            let mut via_legacy = DecompCache::new();
+            let (sw, std_) = match via_spec.solve(&h, &SolveSpec::shw()).unwrap() {
+                Solved::ShwWidth(w, td) => (w, td),
+                other => panic!("expected ShwWidth, got {other:?}"),
+            };
+            let (lw, ltd) = via_legacy.try_shw(&h).unwrap();
+            assert_eq!((sw, std_.bags()), (lw, ltd.bags()));
+            for k in 1..=sw {
+                let spec_dec = via_spec.solve(&h, &SolveSpec::shw_leq(k)).unwrap();
+                let legacy_dec = via_legacy.shw_leq(&h, k, &SoftLimits::default()).unwrap();
+                assert_eq!(spec_dec.accepted(), Some(legacy_dec.is_some()), "k = {k}");
+            }
+            let (hw_w, hw_g) = match via_spec.solve(&h, &SolveSpec::hw()).unwrap() {
+                Solved::HwWidth(w, g) => (w, g),
+                other => panic!("expected HwWidth, got {other:?}"),
+            };
+            let (lhw, _) = via_legacy.try_hw(&h).unwrap();
+            assert_eq!(hw_w, lhw);
+            assert!(hw_g.is_hd(&h));
+            assert_eq!(
+                via_spec
+                    .solve(&h, &SolveSpec::hw_leq(hw_w))
+                    .unwrap()
+                    .accepted(),
+                Some(true)
+            );
+            // A budgeted spec with room to finish answers identically.
+            let budgeted = SolveSpec::shw().with_budget(Budget::with_work_cap(u64::MAX));
+            let mut fresh = DecompCache::new();
+            match fresh.solve(&h, &budgeted).unwrap() {
+                Solved::ShwWidth(w, td) => assert_eq!((w, td.bags()), (sw, std_.bags())),
+                other => panic!("expected ShwWidth, got {other:?}"),
+            }
+            // The raw (reduce-off) spec answers the same width.
+            let mut raw = DecompCache::new();
+            assert_eq!(
+                raw.solve(&h, &SolveSpec::shw().with_reduce(false))
+                    .unwrap()
+                    .width(),
+                Some(sw)
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! Sub-problems are memoised on `(comp, conn)`; separator enumeration is
 //! cover-guided (branch on the lowest uncovered connector vertex) with a
 //! free extension phase, which prunes the `|E|^k` space drastically.
+//!
+//! The free functions here are the **cold** solvers. Long-lived callers
+//! should prefer [`crate::cache::DecompCache::solve`] with a
+//! [`crate::spec::SolveSpec`] (`SolveSpec::hw()` / `SolveSpec::hw_leq(k)`)
+//! for cross-query memoisation and budget plumbing behind one entry
+//! point.
 
 use crate::budget::Budget;
 use crate::error::DecompError;

@@ -10,6 +10,9 @@
 //! - [`ctd`]: blocks, bases, Algorithm 1 on the worklist DP engine (§3)
 //! - [`cache`]: cross-query decomposition cache (structural-hash keyed
 //!   instance + width-decision memoisation)
+//! - [`spec`]: the unified [`SolveSpec`] request surface consumed by
+//!   [`cache::DecompCache::solve`] — the front door over every
+//!   (class × exactness × budget × reduction) corner
 //! - [`soft`]: the candidate bag set `Soft_{H,k}` (§4, Def. 3)
 //! - [`soft_iter`]: the iterated hierarchy `Soft^i`, `shw_i`, ghw as the
 //!   fixpoint (§5)
@@ -41,6 +44,7 @@ pub mod reduce_solve;
 pub mod shw;
 pub mod soft;
 pub mod soft_iter;
+pub mod spec;
 pub mod sweep;
 pub mod td;
 
@@ -72,4 +76,5 @@ pub(crate) fn width_sweep<T>(
 }
 pub use ghd::Ghd;
 pub use soft::{soft_bags, SoftLimits};
+pub use spec::{SolveClass, SolveSpec, Solved};
 pub use td::{FrameError, TdError, TreeDecomposition};

@@ -22,6 +22,12 @@
 //! than chaining one leaf per peel is what makes the lifted witness of a
 //! fully-peelable (α-acyclic) hypergraph a genuine join tree: one node
 //! per surviving edge, each coverable by a single edge.
+//!
+//! The `shw`/`hw` entry points here are **cold** reduce-aware solvers;
+//! long-lived callers should prefer
+//! [`crate::cache::DecompCache::solve`] with a
+//! [`crate::spec::SolveSpec`], which routes through the same pipeline
+//! with cross-query memoisation of the piece solves.
 
 use crate::budget::Budget;
 use crate::error::DecompError;

@@ -7,6 +7,13 @@
 //! decomposition all of whose bags are `Soft_{H,k}` elements; each bag is
 //! coverable by at most `k` edges (Theorem 2), so the result can always be
 //! upgraded to a GHD of width ≤ k via [`crate::ghd::Ghd::from_td`].
+//!
+//! The free functions here are the **cold** solvers. Long-lived callers
+//! should prefer [`crate::cache::DecompCache::solve`] with a
+//! [`crate::spec::SolveSpec`] (`SolveSpec::shw()` /
+//! `SolveSpec::shw_leq(k)`), which adds cross-query memoisation, budget
+//! plumbing, and the reduce-before-solve pipeline behind one entry
+//! point.
 
 use crate::budget::Budget;
 use crate::ctd::CtdInstance;

@@ -1,0 +1,152 @@
+//! The unified solve specification: one request surface over the
+//! width solvers.
+//!
+//! Historically every (class × exactness × budget × reduction) corner
+//! grew its own entry point — `shw`, `try_shw`, `try_shw_budgeted`,
+//! `shw_leq`, `shw_leq_budgeted`, and the `hw` twins of each. Callers
+//! (the service dispatch, the CLI, benches) had to pick the right one
+//! of ten methods and thread limits/budgets positionally. A
+//! [`SolveSpec`] names those axes once:
+//!
+//! - **class** — which width measure ([`SolveClass::Shw`] or
+//!   [`SolveClass::Hw`]);
+//! - **bound** — `None` for the exact width (a sweep), `Some(k)` for
+//!   the `width ≤ k` decision;
+//! - **budget** — a cooperative [`Budget`]; [`Budget::unlimited`] costs
+//!   nothing and never trips;
+//! - **reduce** — whether exact solves may run the reduce-before-solve
+//!   pipeline (bounded decisions have a fixed per-class strategy; see
+//!   [`SolveSpec::reduce`]);
+//! - **limits** — the [`SoftLimits`] generation guards for `shw` paths.
+//!
+//! [`crate::cache::DecompCache::solve`] is the single entry point that
+//! consumes a spec; the legacy methods survive as thin wrappers over it
+//! (see the deprecation table in the cache module docs).
+
+use crate::budget::Budget;
+use crate::ghd::Ghd;
+use crate::soft::SoftLimits;
+use crate::td::TreeDecomposition;
+
+/// Which width measure a [`SolveSpec`] asks about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolveClass {
+    /// Soft hypertree width (the paper's `shw`, Thm. 1 solver).
+    Shw,
+    /// Classical hypertree width (the det-k-decomp-style baseline).
+    Hw,
+}
+
+/// A complete description of one width query: class, exact-vs-bounded,
+/// budget, reduction policy, and generation limits. Construct with
+/// [`SolveSpec::shw`] / [`SolveSpec::shw_leq`] / [`SolveSpec::hw`] /
+/// [`SolveSpec::hw_leq`] and refine with the builder methods.
+#[derive(Clone, Debug)]
+pub struct SolveSpec {
+    /// The width measure to compute or decide.
+    pub class: SolveClass,
+    /// `None`: compute the exact width (and a witness). `Some(k)`:
+    /// decide `width ≤ k` (with a witness on yes).
+    pub bound: Option<usize>,
+    /// Cooperative deadline/cancellation budget. The unlimited budget
+    /// allocates nothing and solves on the never-checking fast path.
+    pub budget: Budget,
+    /// Whether **exact** solves run the reduce-before-solve pipeline
+    /// (simplify, solve pieces, lift). Bounded decisions keep their
+    /// class's fixed strategy regardless of this flag — `shw ≤ k`
+    /// decides on the raw input, `hw ≤ k` reduces internally — so a
+    /// decision answered warm and one answered cold are bit-identical.
+    pub reduce: bool,
+    /// Generation guards for the `Soft_{H,k}` candidate bag sets; only
+    /// `shw` paths consult them.
+    pub limits: SoftLimits,
+}
+
+impl SolveSpec {
+    /// Exact `shw` under default limits, unlimited budget, reduction on.
+    pub fn shw() -> Self {
+        SolveSpec {
+            class: SolveClass::Shw,
+            bound: None,
+            budget: Budget::unlimited(),
+            reduce: true,
+            limits: SoftLimits::default(),
+        }
+    }
+
+    /// The `shw ≤ k` decision under default limits, unlimited budget.
+    pub fn shw_leq(k: usize) -> Self {
+        SolveSpec {
+            bound: Some(k),
+            ..SolveSpec::shw()
+        }
+    }
+
+    /// Exact `hw`, unlimited budget, reduction on.
+    pub fn hw() -> Self {
+        SolveSpec {
+            class: SolveClass::Hw,
+            ..SolveSpec::shw()
+        }
+    }
+
+    /// The `hw ≤ k` decision, unlimited budget.
+    pub fn hw_leq(k: usize) -> Self {
+        SolveSpec {
+            bound: Some(k),
+            ..SolveSpec::hw()
+        }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the reduction policy for exact solves (see
+    /// [`SolveSpec::reduce`]).
+    pub fn with_reduce(mut self, reduce: bool) -> Self {
+        self.reduce = reduce;
+        self
+    }
+
+    /// Replaces the generation limits.
+    pub fn with_limits(mut self, limits: SoftLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// The answer to a [`SolveSpec`], one variant per (class, exactness)
+/// corner. Decisions carry `Some(witness)` on yes, `None` on no.
+#[derive(Clone, Debug)]
+pub enum Solved {
+    /// Exact `shw`: the width and a witness decomposition.
+    ShwWidth(usize, TreeDecomposition),
+    /// `shw ≤ k`: a witness iff the answer is yes.
+    ShwDecision(Option<TreeDecomposition>),
+    /// Exact `hw`: the width and a witness HD.
+    HwWidth(usize, Ghd),
+    /// `hw ≤ k`: a witness iff the answer is yes.
+    HwDecision(Option<Ghd>),
+}
+
+impl Solved {
+    /// The exact width, when this is an exact answer.
+    pub fn width(&self) -> Option<usize> {
+        match self {
+            Solved::ShwWidth(w, _) | Solved::HwWidth(w, _) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// The decision bit, when this is a decision answer.
+    pub fn accepted(&self) -> Option<bool> {
+        match self {
+            Solved::ShwDecision(w) => Some(w.is_some()),
+            Solved::HwDecision(w) => Some(w.is_some()),
+            _ => None,
+        }
+    }
+}

@@ -41,4 +41,8 @@ pub mod wire;
 
 pub use server::{handle_connection, roundtrip, ServeOptions, Server, ShutdownHandle};
 pub use state::{ServiceConfig, ServiceState};
-pub use wire::{BodyFormat, EvalKind, Request, RequestClass, Response, TdFrame, WireError};
+pub use wire::{
+    read_frame, write_frame, BatchRequest, BodyFormat, EvalKind, FrameDecoder, HeaderVerb, Request,
+    RequestClass, RequestHeader, Response, TdFrame, WireError, WireRequest, PROTOCOL_VERBS,
+    PROTOCOL_VERSION,
+};

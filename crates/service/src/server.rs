@@ -1,65 +1,205 @@
-//! The TCP front-end: a listener, a bounded worker pool, persistent
-//! connections, overload shedding, and graceful drain shutdown.
+//! The TCP front-end: a readiness-driven event loop, pipelined
+//! persistent connections, a bounded worker pool, per-request overload
+//! shedding, and graceful drain shutdown.
 //!
-//! Connections are fanned out to a fixed pool of `std::thread::scope`
-//! workers through a **bounded** channel (the pending-connection queue).
-//! Each connection carries any number of request frames; a worker reads
-//! a frame, dispatches it against the shared [`ServiceState`] (whose
+//! One thread runs a `poll(2)` event loop over the (nonblocking)
+//! listener, a self-wake pipe, and every accepted connection. Each
+//! connection carries an incremental frame decoder
+//! ([`crate::wire::FrameDecoder`]) feeding a per-connection request
+//! sequence: clients may **pipeline** any number of request frames
+//! (single or `BATCH`) without waiting for responses. Decoded requests
+//! are handed to a fixed worker pool through a **bounded** ready-request
+//! queue; workers dispatch against the shared [`ServiceState`] (whose
 //! stripe locks provide all cross-connection synchronisation) under a
-//! per-request [`Budget`], writes the response frame, and loops until
-//! the client closes. A malformed frame gets an `ERR` response on the
-//! same connection; only transport errors drop it.
+//! per-request [`Budget`] and post the encoded response back to the
+//! event loop, which flushes responses **strictly in request order** per
+//! connection — out-of-order completions park in a per-connection reorder
+//! buffer until their turn. A malformed frame gets an `ERR` response in
+//! its slot; only transport-level violations stop a connection's input.
 //!
-//! **Shedding:** when the queue is full the accept loop does not stall
-//! and does not buffer unboundedly — the connection is answered with a
-//! `BUSY <retry-after-ms>` frame and closed, before any solver work.
-//! The same applies to connections accepted in the instant the pool is
-//! shutting down, which previously were dropped with no response at
-//! all.
+//! **Shedding:** when the ready-request queue is full, the overflowing
+//! *request* (not the whole connection) is answered `BUSY
+//! <retry-after-ms>` in its pipeline slot, before any solver work, and
+//! the connection stays usable. Backpressure is bidirectional: a
+//! connection whose response bytes back up past a high-water mark stops
+//! being read until the client drains it.
 //!
 //! **Graceful drain:** [`Server::shutdown_handle`] hands out a
 //! [`ShutdownHandle`] whose [`shutdown`](ShutdownHandle::shutdown) is a
 //! single atomic store (async-signal-safe — `softhw-serve` calls it
-//! from its SIGINT/SIGTERM handlers). The accept loop notices within
-//! one poll interval and stops accepting; every in-flight request's
-//! [`Budget`] is cancelled, so long solves abort cooperatively (their
-//! caches reset to a cold-rebuildable state) and are answered `BUSY`;
-//! idle persistent connections are closed; queued-but-unstarted
-//! connections get a `BUSY` frame instead of silence; and the
-//! write-behind store channel is drained and fsynced before
-//! [`Server::run`] returns.
+//! from its SIGINT/SIGTERM handlers). The event loop notices within one
+//! poll interval: it stops accepting, cancels every in-flight request's
+//! [`Budget`] (long solves abort cooperatively and answer `BUSY`),
+//! answers never-served connections with `BUSY` instead of silence,
+//! flushes queued responses under a bounded grace period, and drains +
+//! fsyncs the write-behind store channel before [`Server::run`] returns.
 
 use crate::state::{ServiceState, BUSY_RETRY_MS};
-use crate::wire::{write_frame, Request, Response, MAX_FRAME_LINES, MAX_LINE_BYTES};
+use crate::wire::{
+    write_frame, FrameDecoder, Request, Response, WireRequest, MAX_FRAME_LINES, MAX_LINE_BYTES,
+};
 use softhw_core::Budget;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often the accept loop re-checks the shutdown flag while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// Per-read socket timeout on accepted connections: the interval at
-/// which a worker blocked on an idle connection re-checks the shutdown
-/// flag. Frame reads preserve partial progress across these timeouts,
-/// so a slow client is not penalised.
+/// The event loop's poll timeout: how fast a drain request (an atomic
+/// store, no wakeup of its own) is noticed while the loop is idle.
+const POLL_INTERVAL_MS: i32 = 10;
+/// Per-read socket timeout used by the blocking single-connection path
+/// ([`handle_connection`]): the interval at which it re-checks the
+/// shutdown flag while idle. Frame reads preserve partial progress
+/// across these timeouts, so a slow client is not penalised.
 const READ_POLL: Duration = Duration::from_millis(100);
+/// Response bytes a connection may buffer before the loop stops reading
+/// more requests from it (resumed as soon as the client drains).
+const OUT_HIGH_WATER: usize = 1 << 20;
+/// How long a draining server keeps flushing queued responses before
+/// force-closing what remains.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+/// Read chunk size for the event loop's nonblocking reads.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Minimal `poll(2)`/`pipe(2)` bindings. Raw `extern "C"` declarations
+/// — the workspace deliberately takes no libc dependency (the precedent
+/// is `softhw-serve`'s `signal` binding).
+#[cfg(unix)]
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x0004;
+
+    #[cfg(target_os = "linux")]
+    type NFds = c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = u32;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// `poll(2)` over `fds`; `EINTR` reports as zero ready fds rather
+    /// than an error (the loop re-polls immediately).
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+
+    /// A nonblocking self-wake pipe: workers write one byte to make an
+    /// idle `poll` return immediately.
+    pub struct WakePipe {
+        rfd: c_int,
+        wfd: c_int,
+    }
+
+    impl WakePipe {
+        pub fn new() -> io::Result<WakePipe> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                let flags = unsafe { fcntl(fd, F_GETFL) };
+                if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                    let e = io::Error::last_os_error();
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(e);
+                }
+            }
+            Ok(WakePipe {
+                rfd: fds[0],
+                wfd: fds[1],
+            })
+        }
+
+        pub fn read_fd(&self) -> c_int {
+            self.rfd
+        }
+
+        pub fn write_fd(&self) -> c_int {
+            self.wfd
+        }
+
+        /// Discards every pending wake byte.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 256];
+            loop {
+                let n = unsafe { read(self.rfd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.rfd);
+                close(self.wfd);
+            }
+        }
+    }
+
+    /// Wakes the event loop. A full pipe (`EAGAIN`) is fine — the wake
+    /// is already pending.
+    pub fn wake(wfd: c_int) {
+        let b = [1u8];
+        let _ = unsafe { write(wfd, b.as_ptr(), 1) };
+    }
+}
 
 /// Server options; see field docs.
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Bind address, e.g. `127.0.0.1:7401` (`:0` for an OS-picked port).
     pub addr: String,
-    /// Connection-handling worker threads.
+    /// Request-handling worker threads.
     pub workers: usize,
     /// Stop after accepting this many connections (`None` = run
     /// forever). Used by smoke tests and benchmarks for clean shutdown.
     pub max_conns: Option<u64>,
-    /// Bound on connections queued for a free worker. A connection
-    /// arriving with the queue full is shed with `BUSY` instead of
-    /// waiting (and instead of the accept loop stalling).
+    /// Bound on decoded requests queued for a free worker. A request
+    /// arriving with the queue full is shed with `BUSY` in its pipeline
+    /// slot instead of waiting (and instead of the event loop stalling);
+    /// its connection stays open.
     pub queue_depth: usize,
 }
 
@@ -76,7 +216,7 @@ impl Default for ServeOptions {
     }
 }
 
-/// Drain-shutdown state shared between the accept loop, the workers,
+/// Drain-shutdown state shared between the event loop, the workers,
 /// and [`ShutdownHandle`]s: the stop flag plus the registry of
 /// in-flight request budgets to cancel.
 #[derive(Default)]
@@ -111,7 +251,7 @@ impl Drain {
 
     /// Cancels every registered in-flight budget. Requests that
     /// register *after* this runs observe the stop flag themselves and
-    /// self-cancel (see `serve_connection`), closing the race.
+    /// self-cancel (see [`execute`]), closing the race.
     fn cancel_inflight(&self) {
         let inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
         for budget in inflight.values() {
@@ -177,83 +317,19 @@ impl Server {
         }
     }
 
-    /// Accept loop: runs until `max_conns` connections were accepted, a
-    /// [`ShutdownHandle`] fires, or forever; returns the number of
-    /// connections accepted. Worker panics are *contained*:
-    /// `serve_connection` runs under `catch_unwind`, so a panicking
-    /// handler (a solver invariant the hardened paths did not cover)
-    /// kills only its own connection — the worker keeps pulling from
-    /// the queue, the pool never shrinks, and the scope join at
-    /// shutdown does not re-raise. State locks recover from poisoning
-    /// (and a cache poisoned mid-mutation at worst degrades to the cold
-    /// recompute paths). Before returning, the write-behind store
-    /// channel (if any) is drained and fsynced.
+    /// Runs the event loop until `max_conns` connections were accepted
+    /// *and drained*, a [`ShutdownHandle`] fires, or forever; returns
+    /// the number of connections accepted. Worker panics are
+    /// *contained*: request execution runs under `catch_unwind`, so a
+    /// panicking handler (a solver invariant the hardened paths did not
+    /// cover) degrades to an `ERR internal` response in that request's
+    /// pipeline slot — the connection lives on and the pool never
+    /// shrinks. State locks recover from poisoning (a cache poisoned
+    /// mid-mutation at worst degrades to the cold recompute paths).
+    /// Before returning, the write-behind store channel (if any) is
+    /// drained and fsynced.
     pub fn run(self) -> io::Result<u64> {
-        let workers = self.opts.workers.max(1);
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.opts.queue_depth.max(1));
-        let rx = Mutex::new(rx);
-        let state = &self.state;
-        let drain = &*self.drain;
-        let mut accepted: u64 = 0;
-        self.listener.set_nonblocking(true)?;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Holding the lock only for the recv keeps the pool
-                    // work-stealing: whichever worker is free next takes
-                    // the next connection.
-                    let next = match rx.lock() {
-                        Ok(guard) => guard.recv(),
-                        Err(poisoned) => poisoned.into_inner().recv(),
-                    };
-                    match next {
-                        Ok(stream) => {
-                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                serve_connection(stream, state, drain)
-                            }));
-                        }
-                        Err(_) => break, // channel closed: shutting down
-                    }
-                });
-            }
-            loop {
-                if drain.stopping() {
-                    break;
-                }
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        accepted += 1;
-                        // Workers poll their sockets, so they outlive a
-                        // vanished client by at most one READ_POLL.
-                        let _ = stream.set_read_timeout(Some(READ_POLL));
-                        match tx.try_send(stream) {
-                            Ok(()) => {}
-                            // Queue full (overload) or workers gone
-                            // (shutdown): shed with BUSY, never silence.
-                            Err(mpsc::TrySendError::Full(stream))
-                            | Err(mpsc::TrySendError::Disconnected(stream)) => {
-                                shed(stream, state);
-                            }
-                        }
-                        if self.opts.max_conns.is_some_and(|m| accepted >= m) {
-                            break;
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(_) => continue,
-                }
-            }
-            // Stop feeding workers, then let the scope join them. Only
-            // an actual drain (shutdown requested) cancels in-flight
-            // budgets — a `max_conns` completion lets workers finish
-            // every accepted connection normally.
-            drop(tx);
-            if drain.stopping() {
-                drain.cancel_inflight();
-            }
-        });
+        let accepted = run_event_loop(&self.listener, &self.state, &self.drain, &self.opts)?;
         // Workers are joined: flush the write-behind store channel so
         // every acknowledged result is on disk before run() returns.
         self.state.sync_store();
@@ -261,11 +337,579 @@ impl Server {
     }
 }
 
-/// Sheds a connection that never reached a worker: one `BUSY` frame,
-/// counted in `STATS`, then close.
-fn shed(mut stream: TcpStream, state: &ServiceState) {
-    let _ = stream.set_nodelay(true);
-    busy_then_close(&mut stream, state);
+/// A decoded request frame on its way to the worker pool.
+struct Job {
+    conn_id: u64,
+    seq: u64,
+    lines: Vec<String>,
+}
+
+/// A finished response on its way back to the event loop.
+struct Completion {
+    conn_id: u64,
+    seq: u64,
+    bytes: String,
+}
+
+/// Per-connection event-loop state: the socket, the incremental frame
+/// decoder, the in-order response assembly line.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded response bytes queued for the socket.
+    out: Vec<u8>,
+    /// How much of `out` is already written.
+    out_pos: usize,
+    /// Sequence number assigned to the next decoded request frame.
+    next_seq: u64,
+    /// The response sequence the socket gets next — responses always
+    /// flush in request order.
+    next_write: u64,
+    /// Completed responses that arrived out of order.
+    pending: BTreeMap<u64, String>,
+    /// Requests handed to workers (or the shed path) not yet completed.
+    inflight: usize,
+    /// Input has ended: client EOF or a transport violation.
+    read_closed: bool,
+    /// Stop decoding frames; just drain and discard input bytes (a
+    /// draining server, or a connection that committed a protocol
+    /// violation but still has responses to deliver).
+    discard_input: bool,
+    /// During a drain: this connection had undelivered responses, so
+    /// half-close and wait briefly for the client's EOF instead of
+    /// closing outright (an immediate close could RST the responses
+    /// away).
+    linger_on_close: bool,
+    /// The write side was shut down while lingering.
+    lingering: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            next_write: 0,
+            pending: BTreeMap::new(),
+            inflight: 0,
+            read_closed: false,
+            discard_input: false,
+            linger_on_close: false,
+            lingering: false,
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    fn wants_read(&self) -> bool {
+        !self.read_closed && (self.discard_input || self.out.len() - self.out_pos < OUT_HIGH_WATER)
+    }
+
+    /// Nothing left to produce or deliver on this connection.
+    fn idle(&self) -> bool {
+        self.inflight == 0 && self.pending.is_empty() && !self.wants_write()
+    }
+
+    /// Parks a completed response at its sequence slot and moves every
+    /// now-contiguous response into the write buffer.
+    fn queue_response(&mut self, seq: u64, bytes: String) {
+        self.pending.insert(seq, bytes);
+        while let Some(b) = self.pending.remove(&self.next_write) {
+            self.out.extend_from_slice(b.as_bytes());
+            self.next_write += 1;
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts right now.
+    fn flush(&mut self) -> io::Result<()> {
+        use std::io::Write as _;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > (1 << 16) {
+            // Compact so a long-lived pipelining connection cannot grow
+            // the buffer by its already-written prefix.
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Decodes and executes one request frame (single or batch) under its
+/// budget, with drain registration. This is the whole per-request
+/// policy, shared by the worker pool and the blocking
+/// [`handle_connection`] path.
+fn execute(lines: &[String], state: &ServiceState, drain: &Drain) -> Response {
+    match WireRequest::decode(lines) {
+        Ok(WireRequest::Single(req)) => {
+            let budget = state.request_budget(&req);
+            let id = drain.register(budget.clone());
+            // A drain that fired between queueing and execution has
+            // already swept the registry: observe it ourselves so the
+            // request still aborts promptly.
+            if drain.stopping() {
+                budget.cancel();
+            }
+            let resp = state.handle_tagged_budgeted(&req, None, &budget);
+            drain.deregister(id);
+            resp
+        }
+        Ok(WireRequest::Batch(batch)) => {
+            let budget = state.batch_budget(&batch);
+            let id = drain.register(budget.clone());
+            if drain.stopping() {
+                budget.cancel();
+            }
+            let resp = state.handle_batch(&batch, None, &budget);
+            drain.deregister(id);
+            resp
+        }
+        Err(e) => Response::error("parse", e),
+    }
+}
+
+/// The worker→loop "a completion is ready" signal: a self-wake pipe
+/// plus a coalescing flag, so a burst of completions between two loop
+/// rounds costs one pipe write, not one per response.
+#[cfg(unix)]
+struct CompletionSignal {
+    pipe: sys::WakePipe,
+    pending: AtomicBool,
+}
+
+#[cfg(unix)]
+impl CompletionSignal {
+    /// Called by workers after sending on the completion channel.
+    fn notify(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            sys::wake(self.pipe.write_fd());
+        }
+    }
+
+    /// Called by the event loop each round, *before* draining the
+    /// completion channel: a completion sent after this always buys a
+    /// fresh pipe write, so the loop cannot sleep past it.
+    fn rearm(&self) {
+        self.pending.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(unix)]
+fn worker_loop(
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    done: mpsc::Sender<Completion>,
+    signal: &CompletionSignal,
+    state: &ServiceState,
+    drain: &Drain,
+) {
+    loop {
+        // Holding the lock only for the recv keeps the pool
+        // work-stealing: whichever worker is free next takes the next
+        // request.
+        let next = match jobs.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        let Ok(job) = next else { break };
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&job.lines, state, drain)
+        }))
+        .unwrap_or_else(|_| Response::error("internal", "request handler panicked"));
+        let sent = done.send(Completion {
+            conn_id: job.conn_id,
+            seq: job.seq,
+            bytes: resp.encode(),
+        });
+        if sent.is_err() {
+            break; // event loop gone
+        }
+        signal.notify();
+    }
+}
+
+/// The readiness-driven serving core. See the module docs for the
+/// shape; this function owns every connection and the job queue sender,
+/// and returns once the accept target is reached and drained (or a
+/// shutdown completes).
+#[cfg(unix)]
+fn run_event_loop(
+    listener: &TcpListener,
+    state: &ServiceState,
+    drain: &Drain,
+    opts: &ServeOptions,
+) -> io::Result<u64> {
+    listener.set_nonblocking(true)?;
+    let signal = CompletionSignal {
+        pipe: sys::WakePipe::new()?,
+        pending: AtomicBool::new(false),
+    };
+    let workers = opts.workers.max(1);
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(opts.queue_depth.max(1));
+    let job_rx = Mutex::new(job_rx);
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let mut result = Ok(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let done_tx = done_tx.clone();
+            let job_rx = &job_rx;
+            let signal = &signal;
+            scope.spawn(move || worker_loop(job_rx, done_tx, signal, state, drain));
+        }
+        drop(done_tx);
+        result = event_loop(listener, state, drain, opts, &signal, job_tx, &done_rx);
+        // job_tx was dropped inside event_loop: the workers drain the
+        // queue and exit; the scope joins them here.
+    });
+    result
+}
+
+/// One iteration's bookkeeping lives in locals; connections are keyed
+/// by a monotonically assigned id (completions for already-closed
+/// connections simply miss the map and are dropped).
+#[cfg(unix)]
+fn event_loop(
+    listener: &TcpListener,
+    state: &ServiceState,
+    drain: &Drain,
+    opts: &ServeOptions,
+    signal: &CompletionSignal,
+    job_tx: mpsc::SyncSender<Job>,
+    done_rx: &mpsc::Receiver<Completion>,
+) -> io::Result<u64> {
+    use std::os::unix::io::AsRawFd;
+    use sys::{POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn_id: u64 = 0;
+    let mut accepted: u64 = 0;
+    let mut accepting = true;
+    let mut draining = false;
+    let mut drain_deadline = None;
+
+    loop {
+        // Notice a drain request exactly once: stop accepting, cancel
+        // in-flight budgets, stop decoding new frames, answer
+        // never-served connections with BUSY instead of silence.
+        if drain.stopping() && !draining {
+            draining = true;
+            accepting = false;
+            drain.cancel_inflight();
+            drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+            for conn in conns.values_mut() {
+                conn.discard_input = true;
+                if conn.next_seq == 0 {
+                    state.note_busy_shed();
+                    let busy = Response::Busy {
+                        retry_after_ms: BUSY_RETRY_MS,
+                    };
+                    conn.out.extend_from_slice(busy.encode().as_bytes());
+                }
+                // Only connections with responses still to deliver need
+                // the half-close linger; idle ones close outright.
+                conn.linger_on_close =
+                    conn.wants_write() || !conn.pending.is_empty() || conn.inflight > 0;
+            }
+        }
+        if opts.max_conns.is_some_and(|m| accepted >= m) {
+            accepting = false;
+        }
+        if !accepting && conns.is_empty() && (draining || opts.max_conns.is_some()) {
+            break;
+        }
+        if draining && drain_deadline.is_some_and(|d: Instant| Instant::now() >= d) {
+            // Grace expired: force-close what remains.
+            for _ in conns.drain() {
+                state.note_conn_closed();
+            }
+            break;
+        }
+
+        // Build this round's poll set: wake pipe, listener (while
+        // accepting), then every connection with its readiness needs.
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(sys::PollFd {
+            fd: signal.pipe.read_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        let listener_slot = if accepting {
+            fds.push(sys::PollFd {
+                fd: listener.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            Some(fds.len() - 1)
+        } else {
+            None
+        };
+        let mut order: Vec<(usize, u64)> = Vec::with_capacity(conns.len());
+        for (&id, conn) in conns.iter() {
+            let mut ev: i16 = 0;
+            if conn.wants_read() {
+                ev |= POLLIN;
+            }
+            if conn.wants_write() {
+                ev |= POLLOUT;
+            }
+            order.push((fds.len(), id));
+            fds.push(sys::PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events: ev,
+                revents: 0,
+            });
+        }
+        sys::poll_fds(&mut fds, POLL_INTERVAL_MS)?;
+
+        // 1. Route finished responses to their reorder buffers. The
+        // completion channel is drained every round whether or not the
+        // wake pipe fired, so a missed wake can only add latency, never
+        // lose a response.
+        if fds[0].revents & POLLIN != 0 {
+            signal.pipe.drain();
+        }
+        signal.rearm();
+        while let Ok(c) = done_rx.try_recv() {
+            if let Some(conn) = conns.get_mut(&c.conn_id) {
+                conn.inflight -= 1;
+                conn.queue_response(c.seq, c.bytes);
+            }
+        }
+
+        // 2. Accept whatever is pending (the listener is nonblocking).
+        if let Some(slot) = listener_slot {
+            if fds[slot].revents & POLLIN != 0 {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            accepted += 1;
+                            let _ = stream.set_nodelay(true);
+                            if stream.set_nonblocking(true).is_err() {
+                                continue; // count it, but it cannot be served
+                            }
+                            state.note_conn_opened();
+                            conns.insert(next_conn_id, Conn::new(stream));
+                            next_conn_id += 1;
+                            if opts.max_conns.is_some_and(|m| accepted >= m) {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break, // transient; retry next round
+                    }
+                }
+            }
+        }
+
+        // 3. Readable connections: pull bytes through the incremental
+        // decoder and submit every completed frame to the worker queue
+        // (or shed it with an in-slot BUSY).
+        for &(slot, id) in &order {
+            let re = fds[slot].revents;
+            if re & (POLLERR | POLLNVAL) != 0 {
+                if let Some(_conn) = conns.remove(&id) {
+                    state.note_conn_closed();
+                }
+                continue;
+            }
+            if re & (POLLIN | POLLHUP) != 0 {
+                if let Some(conn) = conns.get_mut(&id) {
+                    if !conn.read_closed {
+                        on_readable(conn, id, state, &job_tx);
+                    }
+                }
+            }
+        }
+
+        // 4. Flush and reap. Flushing runs opportunistically for every
+        // connection with queued bytes (not only POLLOUT-ready ones):
+        // a response queued this round usually fits the socket buffer
+        // and goes out with no extra poll round-trip.
+        conns.retain(|_, conn| {
+            if conn.wants_write() && conn.flush().is_err() {
+                state.note_conn_closed();
+                return false;
+            }
+            let done = if draining {
+                conn.idle() && (!conn.linger_on_close || conn.read_closed)
+            } else {
+                conn.read_closed && conn.idle()
+            };
+            if done {
+                state.note_conn_closed();
+                return false;
+            }
+            if draining && conn.idle() && conn.linger_on_close && !conn.lingering {
+                // Everything delivered: half-close, then wait (bounded
+                // by the drain grace) for the client's EOF so the final
+                // frames cannot be RST away by unread input.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                conn.lingering = true;
+            }
+            true
+        });
+    }
+    drop(job_tx);
+    Ok(accepted)
+}
+
+/// Drains the socket's currently readable bytes into the frame decoder
+/// and submits every completed frame. Called with `POLLIN`/`POLLHUP`
+/// set; reads until `WouldBlock`, EOF, error, or the connection's
+/// output backpressure threshold.
+#[cfg(unix)]
+fn on_readable(conn: &mut Conn, id: u64, state: &ServiceState, job_tx: &mpsc::SyncSender<Job>) {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match io::Read::read(&mut conn.stream, &mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                return;
+            }
+            Ok(n) => {
+                if conn.discard_input {
+                    continue;
+                }
+                let mut frames = Vec::new();
+                if conn.decoder.push(&chunk[..n], &mut frames).is_err() {
+                    // Protocol violation: take no more input, but still
+                    // deliver the responses already owed.
+                    conn.read_closed = true;
+                    conn.discard_input = true;
+                }
+                for lines in frames {
+                    submit(conn, id, lines, state, job_tx);
+                }
+                if conn.read_closed || !conn.wants_read() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.read_closed = true;
+                conn.discard_input = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Assigns the next pipeline slot to a decoded frame and hands it to
+/// the worker pool; a full queue sheds the *request* with an in-slot
+/// `BUSY`, leaving the connection open.
+#[cfg(unix)]
+fn submit(
+    conn: &mut Conn,
+    id: u64,
+    lines: Vec<String>,
+    state: &ServiceState,
+    job_tx: &mpsc::SyncSender<Job>,
+) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    conn.inflight += 1;
+    state.note_pipeline_depth(conn.inflight as u64);
+    match job_tx.try_send(Job {
+        conn_id: id,
+        seq,
+        lines,
+    }) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(_)) | Err(mpsc::TrySendError::Disconnected(_)) => {
+            // Queue full (overload) or workers gone (shutdown): shed
+            // with BUSY in this request's response slot, never silence.
+            state.note_busy_shed();
+            conn.inflight -= 1;
+            let busy = Response::Busy {
+                retry_after_ms: BUSY_RETRY_MS,
+            };
+            conn.queue_response(seq, busy.encode());
+        }
+    }
+}
+
+/// Portable fallback for targets without `poll(2)`: the pre-pipelining
+/// thread-per-connection loop (one worker thread serves one connection
+/// at a time, frames strictly sequential per connection).
+#[cfg(not(unix))]
+fn run_event_loop(
+    listener: &TcpListener,
+    state: &ServiceState,
+    drain: &Drain,
+    opts: &ServeOptions,
+) -> io::Result<u64> {
+    let workers = opts.workers.max(1);
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(opts.queue_depth.max(1));
+    let rx = Mutex::new(rx);
+    let mut accepted: u64 = 0;
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(poisoned) => poisoned.into_inner().recv(),
+                };
+                match next {
+                    Ok(stream) => {
+                        state.note_conn_opened();
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            serve_connection(stream, state, drain)
+                        }));
+                        state.note_conn_closed();
+                    }
+                    Err(_) => break,
+                }
+            });
+        }
+        loop {
+            if drain.stopping() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted += 1;
+                    let _ = stream.set_read_timeout(Some(READ_POLL));
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(mut stream))
+                        | Err(mpsc::TrySendError::Disconnected(mut stream)) => {
+                            let _ = stream.set_nodelay(true);
+                            busy_then_close(&mut stream, state);
+                        }
+                    }
+                    if opts.max_conns.is_some_and(|m| accepted >= m) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(POLL_INTERVAL_MS as u64));
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        if drain.stopping() {
+            drain.cancel_inflight();
+        }
+    });
+    Ok(accepted)
 }
 
 /// Writes a `BUSY` frame, counts it, and closes the connection without
@@ -309,8 +953,8 @@ enum NextFrame {
 /// Reads one frame like [`crate::wire::read_frame`], but on a socket
 /// with a read timeout: timeouts check the drain flag and *resume the
 /// partial frame* — accumulated lines and the partial current line are
-/// kept — so slow clients lose nothing while idle workers still notice
-/// a shutdown within one [`READ_POLL`].
+/// kept — so slow clients lose nothing while an idle [`handle_connection`]
+/// still notices a shutdown within one [`READ_POLL`].
 fn read_frame_draining(reader: &mut BufReader<TcpStream>, drain: &Drain) -> NextFrame {
     let mut lines: Vec<String> = Vec::new();
     let mut line = String::new();
@@ -363,13 +1007,17 @@ fn read_frame_draining(reader: &mut BufReader<TcpStream>, drain: &Drain) -> Next
     }
 }
 
-/// Serves one connection: frames in, frames out, until EOF, a transport
-/// error, or a drain. During a drain, a connection that was never
-/// served gets a `BUSY` frame (it would otherwise see pure silence); an
-/// idle persistent connection is simply closed.
+/// Serves one connection *sequentially*: frames in, frames out, until
+/// EOF, a transport error, or a drain. During a drain, a connection
+/// that was never served gets a `BUSY` frame (it would otherwise see
+/// pure silence); an idle persistent connection is simply closed. The
+/// pipelined event loop is the production path; this blocking variant
+/// backs [`handle_connection`].
 fn serve_connection(stream: TcpStream, state: &ServiceState, drain: &Drain) {
-    // Nagle hurts small request/response frames.
+    // Nagle hurts small request/response frames; the read timeout is
+    // what lets an idle read notice a drain.
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -391,22 +1039,7 @@ fn serve_connection(stream: TcpStream, state: &ServiceState, drain: &Drain) {
             NextFrame::Draining => return drain_close(&mut writer, served_any),
             NextFrame::Transport => return,
         };
-        let response = match Request::decode(&lines) {
-            Ok(req) => {
-                let budget = state.request_budget(&req);
-                let id = drain.register(budget.clone());
-                // A drain that fired between the loop-top check and the
-                // registration has already swept the registry: observe
-                // it ourselves so the request still aborts promptly.
-                if drain.stopping() {
-                    budget.cancel();
-                }
-                let resp = state.handle_tagged_budgeted(&req, None, &budget);
-                drain.deregister(id);
-                resp
-            }
-            Err(e) => Response::error("parse", e),
-        };
+        let response = execute(&lines, state, drain);
         served_any = true;
         if write_frame(&mut writer, &response.encode()).is_err() {
             return;
@@ -416,7 +1049,9 @@ fn serve_connection(stream: TcpStream, state: &ServiceState, drain: &Drain) {
 
 /// Serves one connection against `state` with no drain coordination —
 /// the embedding-friendly entry point (tests, single-connection tools).
-/// [`Server::run`] wires connections through the draining variant.
+/// Accepts the full V1 grammar including `BATCH` frames; requests are
+/// handled strictly sequentially. [`Server::run`] serves connections
+/// through the pipelined event loop instead.
 pub fn handle_connection(stream: TcpStream, state: &ServiceState) {
     serve_connection(stream, state, &Drain::default());
 }
@@ -438,7 +1073,7 @@ pub fn roundtrip(stream: &mut TcpStream, req: &Request) -> io::Result<Response> 
 mod tests {
     use super::*;
     use crate::state::ServiceConfig;
-    use crate::wire::RequestClass;
+    use crate::wire::{read_frame, RequestClass};
     use softhw_hypergraph::{named, render_hypergraph};
 
     #[test]
@@ -471,6 +1106,10 @@ mod tests {
             let r3 = roundtrip(&mut stream, &Request::new(RequestClass::Shw, "e1(a,"))
                 .expect("error roundtrip");
             assert!(matches!(r3, Response::Error { .. }), "{r3:?}");
+            // The V1 handshake answers on the same connection.
+            let r4 = roundtrip(&mut stream, &Request::new(RequestClass::Hello, ""))
+                .expect("hello roundtrip");
+            assert!(matches!(r4, Response::Hello { .. }), "{r4:?}");
         });
         let served = server.run().expect("serve");
         assert_eq!(served, 1);
@@ -478,13 +1117,18 @@ mod tests {
     }
 
     #[test]
-    fn full_queue_sheds_with_busy_not_silence() {
+    fn full_queue_sheds_requests_with_busy_in_order() {
+        // One worker, a one-deep ready queue: while the worker is held
+        // by a slow solve, a second connection pipelines four STATS —
+        // the first occupies the queue slot, the other three must shed
+        // with BUSY *in their pipeline slots*, and the responses must
+        // still arrive in request order.
         let state = ServiceState::new(ServiceConfig::default());
         let server = Server::bind(
             ServeOptions {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 1,
-                max_conns: Some(3),
+                max_conns: Some(2),
                 queue_depth: 1,
             },
             state,
@@ -492,43 +1136,126 @@ mod tests {
         .expect("bind loopback");
         let addr = server.local_addr().unwrap();
         let client = std::thread::spawn(move || {
+            use std::io::Write as _;
+            // X holds the single worker: an exact SHW solve on a 24x24
+            // grid cannot finish inside its 400ms deadline, so the
+            // worker is busy for that long deterministically.
+            let grid = render_hypergraph(&named::grid(24, 24));
+            let mut x = TcpStream::connect(addr).expect("connect x");
+            let mut slow = Request::new(RequestClass::Shw, grid);
+            slow.deadline_ms = Some(400);
+            x.write_all(slow.encode().as_bytes()).expect("send slow");
+            x.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+            // Y pipelines four STATS in one write. #1 takes the queue
+            // slot; #2-#4 find it full and shed.
             let body = render_hypergraph(&named::h2());
-            // A occupies the single worker (a served request proves the
-            // worker is parked on this connection).
-            let mut a = TcpStream::connect(addr).expect("connect a");
-            let ra = roundtrip(&mut a, &Request::new(RequestClass::Shw, body.clone()))
-                .expect("a served");
-            assert!(matches!(ra, Response::Width { .. }), "{ra:?}");
-            // B fills the one queue slot.
-            let b = TcpStream::connect(addr).expect("connect b");
-            std::thread::sleep(Duration::from_millis(200));
-            // C finds the queue full: it must get a BUSY frame, not a
-            // silent drop and not an indefinite stall.
-            let mut c = TcpStream::connect(addr).expect("connect c");
-            let rc = roundtrip(&mut c, &Request::new(RequestClass::Stats, body.clone()))
-                .expect("c answered");
-            assert!(
-                matches!(rc, Response::Busy { retry_after_ms } if retry_after_ms > 0),
-                "{rc:?}"
-            );
-            // Freeing A lets the worker pick up B, which is served
-            // normally — and its STATS reflect the shed.
-            drop(a);
-            let mut b = b;
-            let rb = roundtrip(&mut b, &Request::new(RequestClass::Stats, body))
-                .expect("b served after a closed");
-            match rb {
+            let stats = Request::new(RequestClass::Stats, body).encode();
+            let mut y = TcpStream::connect(addr).expect("connect y");
+            let burst = stats.repeat(4);
+            y.write_all(burst.as_bytes()).expect("send burst");
+            y.flush().unwrap();
+            let mut reader = BufReader::new(y.try_clone().unwrap());
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                let lines = read_frame(&mut reader).expect("read").expect("frame");
+                got.push(Response::decode(&lines).expect("decode"));
+            }
+            // In request order: the queued STATS answers first (after
+            // the slow solve frees the worker), then the three sheds.
+            match &got[0] {
                 Response::Stats { fields } => {
+                    // The sheds happened while the slow solve held the
+                    // worker, so the queued STATS already sees them.
                     assert!(
-                        fields.iter().any(|(k, v)| k == "busy_shed" && v == "1"),
+                        fields.iter().any(|(k, v)| k == "busy_shed" && v == "3"),
                         "{fields:?}"
                     );
                 }
-                other => panic!("{other:?}"),
+                other => panic!("expected STATS first, got {other:?}"),
             }
+            for r in &got[1..] {
+                assert!(
+                    matches!(r, Response::Busy { retry_after_ms } if *retry_after_ms > 0),
+                    "{r:?}"
+                );
+            }
+            // X's slow solve hit its deadline.
+            let mut xr = BufReader::new(x.try_clone().unwrap());
+            let lines = read_frame(&mut xr).expect("read x").expect("frame x");
+            let rx = Response::decode(&lines).expect("decode x");
+            assert!(matches!(rx, Response::Timeout), "{rx:?}");
         });
         let served = server.run().expect("serve");
-        assert_eq!(served, 3);
+        assert_eq!(served, 2);
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn pipelined_mixed_frames_answer_in_request_order() {
+        // A pipelined burst of singles and a BATCH on one connection:
+        // every response arrives in request order and matches what the
+        // classes individually produce.
+        let state = ServiceState::new(ServiceConfig::default());
+        let server = Server::bind(
+            ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 4,
+                max_conns: Some(1),
+                ..ServeOptions::default()
+            },
+            state,
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            use std::io::Write as _;
+            let body = render_hypergraph(&named::h2());
+            let frames = [
+                Request::new(RequestClass::Shw, body.clone()).encode(),
+                Request::new(RequestClass::HwLeq(3), body.clone()).encode(),
+                crate::wire::BatchRequest::new(vec![
+                    Request::new(RequestClass::ShwLeq(2), body.clone()),
+                    Request::new(RequestClass::Hw, body.clone()),
+                ])
+                .encode(),
+                Request::new(RequestClass::Shw, body.clone()).encode(),
+            ];
+            let burst: String = frames.iter().map(String::as_str).collect();
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(burst.as_bytes()).expect("send burst");
+            stream.flush().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut got = Vec::new();
+            for _ in 0..frames.len() {
+                let lines = read_frame(&mut reader).expect("read").expect("frame");
+                got.push(Response::decode(&lines).expect("decode"));
+            }
+            assert!(
+                matches!(got[0], Response::Width { width: 2, .. }),
+                "{:?}",
+                got[0]
+            );
+            assert!(
+                matches!(&got[1], Response::Decision { td: Some(_), .. }),
+                "{:?}",
+                got[1]
+            );
+            match &got[2] {
+                Response::Batch { responses } => {
+                    assert_eq!(responses.len(), 2);
+                    assert!(matches!(
+                        &responses[0],
+                        Response::Decision { td: Some(_), .. }
+                    ));
+                    assert!(matches!(&responses[1], Response::Width { width: 3, .. }));
+                }
+                other => panic!("expected a batch response, got {other:?}"),
+            }
+            assert_eq!(got[3], got[0], "pipelined repeat must be byte-identical");
+        });
+        let served = server.run().expect("serve");
+        assert_eq!(served, 1);
         client.join().expect("client thread");
     }
 
@@ -557,7 +1284,7 @@ mod tests {
         assert!(!handle.is_shutting_down());
         handle.shutdown();
         assert!(handle.is_shutting_down());
-        // The accept loop stops and the idle connection is closed; the
+        // The event loop stops and the idle connection is closed; the
         // server thread returns instead of serving forever.
         let accepted = server_thread.join().expect("server thread").expect("run");
         assert_eq!(accepted, 1);
@@ -569,7 +1296,7 @@ mod tests {
         match stream.read(&mut buf) {
             Ok(0) | Err(_) => {}
             Ok(n) => {
-                // Tolerated: a drain-time BUSY frame if the worker saw
+                // Tolerated: a drain-time BUSY frame if the server saw
                 // the connection as never-served.
                 let text = String::from_utf8_lossy(&buf[..n]).to_string();
                 assert!(text.starts_with("BUSY"), "{text:?}");

@@ -38,13 +38,13 @@
 //! generation limits, and internal inconsistencies (degraded to cold
 //! recomputes inside [`DecompCache`]) all map to `ERR` responses.
 
-use crate::wire::{BodyFormat, EvalKind, Request, RequestClass, Response, TdFrame};
+use crate::wire::{BatchRequest, BodyFormat, EvalKind, Request, RequestClass, Response, TdFrame};
 use softhw_core::constraints::{ConCov, ShallowCyc, Trivial};
 use softhw_core::ctd_opt::best_on;
 use softhw_core::error::DecompError;
 use softhw_core::ghd::Ghd;
 use softhw_core::soft::{soft_bags_with, SoftLimits};
-use softhw_core::{Budget, DecompCache};
+use softhw_core::{Budget, DecompCache, SolveSpec, Solved};
 use softhw_hypergraph::cache::canonical_form;
 use softhw_hypergraph::fxhash::hash_u64s;
 use softhw_hypergraph::{parse_hypergraph, stats, FxHashMap, Hypergraph};
@@ -338,6 +338,16 @@ pub struct ServiceState {
     /// (reported by the server via [`ServiceState::note_busy_shed`])
     /// plus requests cancelled mid-flight by a draining server.
     busy_sheds: AtomicU64,
+    /// Connections currently open on the serving event loop (reported
+    /// by the server via [`ServiceState::note_conn_opened`] /
+    /// [`ServiceState::note_conn_closed`]).
+    conns_active: AtomicU64,
+    /// High-water mark of requests in flight on a single connection —
+    /// how deep clients actually pipeline.
+    pipelined_depth: AtomicU64,
+    /// `BATCH` frames served (each counts once, however many items it
+    /// carried).
+    batch_requests: AtomicU64,
     store: Option<StoreHandle>,
 }
 
@@ -366,6 +376,9 @@ impl ServiceState {
             stripe_result_misses: (0..n).map(|_| AtomicU64::new(0)).collect(),
             deadline_timeouts: AtomicU64::new(0),
             busy_sheds: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            pipelined_depth: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
             store: None,
         }
     }
@@ -510,6 +523,28 @@ impl ServiceState {
         self.busy_sheds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a connection accepted by the server (`conns_active` in
+    /// `STATS`).
+    pub fn note_conn_opened(&self) {
+        self.conns_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed by the server.
+    pub fn note_conn_closed(&self) {
+        // Saturating: a miscounting caller must not wrap to 2^64.
+        let _ = self
+            .conns_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
+    }
+
+    /// Records the number of requests in flight on one connection;
+    /// `STATS` reports the high-water mark across all connections.
+    pub fn note_pipeline_depth(&self, depth: u64) {
+        self.pipelined_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// [`ServiceState::handle_tagged`] under a caller-supplied
     /// [`Budget`] — the server threads one per in-flight connection so
     /// a draining shutdown can cancel it.
@@ -519,6 +554,10 @@ impl ServiceState {
         tag: Option<u64>,
         budget: &Budget,
     ) -> Response {
+        if req.class == RequestClass::Hello {
+            // Protocol handshake: no schema, no stripe, no budget.
+            return Response::hello();
+        }
         let h = match self.schema(req) {
             Ok(h) => h,
             Err(resp) => return resp,
@@ -541,6 +580,38 @@ impl ServiceState {
         self.stripe_result_hits[idx].store(stripe.results.hits, Ordering::Relaxed);
         self.stripe_result_misses[idx].store(stripe.results.misses, Ordering::Relaxed);
         resp
+    }
+
+    /// The shared [`Budget`] a `BATCH` frame runs under: its `DEADLINE`
+    /// token covers the *whole batch* (items drain it in order — once
+    /// it trips, every remaining item that needs solver work answers
+    /// `TIMEOUT`, while result-cache and store hits still serve, same
+    /// as single requests).
+    pub fn batch_budget(&self, batch: &BatchRequest) -> Budget {
+        match batch.deadline_ms.or(self.config.default_deadline_ms) {
+            Some(ms) => Budget::with_deadline(std::time::Duration::from_millis(ms)),
+            None => Budget::cancellable(),
+        }
+    }
+
+    /// Handles a `BATCH` frame: every item takes the full
+    /// single-request path (routing, result cache, store, solvers) in
+    /// item order, under one caller-supplied shared budget — so the
+    /// sub-responses are byte-identical to sending the items as
+    /// individual requests under budgets that trip at the same points.
+    pub fn handle_batch(
+        &self,
+        batch: &BatchRequest,
+        tag: Option<u64>,
+        budget: &Budget,
+    ) -> Response {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        let responses = batch
+            .items
+            .iter()
+            .map(|item| self.handle_tagged_budgeted(item, tag, budget))
+            .collect();
+        Response::Batch { responses }
     }
 
     /// Serves a request under its stripe lock: result cache, then
@@ -655,13 +726,21 @@ impl ServiceState {
             Some(_) => Persist::Yes,
             None => Persist::No,
         };
+        // The four solver classes all funnel through the unified
+        // [`DecompCache::solve`] entry point; only the response framing
+        // differs per class.
+        let spec = |spec: SolveSpec| {
+            spec.with_limits(self.config.limits.clone())
+                .with_budget(budget.clone())
+        };
         let resp = match req.class {
-            RequestClass::Shw => match cache.try_shw_budgeted(h, &self.config.limits, budget) {
-                Ok((width, td)) => Response::Width {
+            RequestClass::Shw => match cache.solve(h, &spec(SolveSpec::shw())) {
+                Ok(Solved::ShwWidth(width, td)) => Response::Width {
                     class: "SHW".into(),
                     width,
                     td: TdFrame::from_td(&td, h.num_vertices()),
                 },
+                Ok(_) => unreachable!("SHW spec yields a ShwWidth"),
                 Err(e) => self.decomp_error(e),
             },
             RequestClass::ShwLeq(k) => {
@@ -671,27 +750,28 @@ impl ServiceState {
                         Persist::No,
                     );
                 }
-                match cache.shw_leq_budgeted(h, clamp(k), &self.config.limits, budget) {
-                    Ok(td) => Response::Decision {
+                match cache.solve(h, &spec(SolveSpec::shw_leq(clamp(k)))) {
+                    Ok(Solved::ShwDecision(td)) => Response::Decision {
                         class: "SHW_LEQ".into(),
                         fields: Vec::new(),
                         k,
                         td: td.map(|td| TdFrame::from_td(&td, h.num_vertices())),
                     },
+                    Ok(_) => unreachable!("SHW_LEQ spec yields a ShwDecision"),
                     Err(e) => self.decomp_error(e),
                 }
             }
             RequestClass::Hw => {
                 // Reduce-aware sweep over the memoised decisions; an
                 // input no width accepts degrades to an error, not a
-                // panic.
-                match cache.try_hw_budgeted(h, budget) {
-                    Ok(Some((width, ghd))) => Response::Width {
+                // panic (DecompCache::solve maps it to an internal ERR).
+                match cache.solve(h, &spec(SolveSpec::hw())) {
+                    Ok(Solved::HwWidth(width, ghd)) => Response::Width {
                         class: "HW".into(),
                         width,
                         td: TdFrame::from_td(&ghd.td, h.num_vertices()),
                     },
-                    Ok(None) => Response::error("internal", "no width up to |E(H)| admits an HD"),
+                    Ok(_) => unreachable!("HW spec yields a HwWidth"),
                     Err(e) => self.decomp_error(e),
                 }
             }
@@ -702,13 +782,14 @@ impl ServiceState {
                         Persist::No,
                     );
                 }
-                match cache.hw_leq_budgeted(h, clamp(k), budget) {
-                    Ok(ghd) => Response::Decision {
+                match cache.solve(h, &spec(SolveSpec::hw_leq(clamp(k)))) {
+                    Ok(Solved::HwDecision(ghd)) => Response::Decision {
                         class: "HW_LEQ".into(),
                         fields: Vec::new(),
                         k,
                         td: ghd.map(|g| TdFrame::from_td(&g.td, h.num_vertices())),
                     },
+                    Ok(_) => unreachable!("HW_LEQ spec yields a HwDecision"),
                     Err(e) => self.decomp_error(e),
                 }
             }
@@ -754,6 +835,9 @@ impl ServiceState {
                 }
             }
             RequestClass::Stats => self.stats_response(h, idx, stripe),
+            // Served before schema parsing in `handle_tagged_budgeted`;
+            // kept for match exhaustiveness.
+            RequestClass::Hello => Response::hello(),
         };
         (resp, persist)
     }
@@ -828,6 +912,18 @@ impl ServiceState {
                 "busy_shed".to_string(),
                 self.busy_sheds.load(Ordering::Relaxed).to_string(),
             ),
+            (
+                "conns_active".to_string(),
+                self.conns_active.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "pipelined_depth".to_string(),
+                self.pipelined_depth.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "batch_requests".to_string(),
+                self.batch_requests.load(Ordering::Relaxed).to_string(),
+            ),
         ];
         if let Some(handle) = &self.store {
             let st = handle
@@ -890,7 +986,7 @@ fn class_key(class: RequestClass) -> Option<ClassKey> {
         RequestClass::Best(EvalKind::Trivial, k) => ClassKey::BestTrivial(k as u64),
         RequestClass::Best(EvalKind::ConCov, k) => ClassKey::BestConCov(k as u64),
         RequestClass::Best(EvalKind::Shallow(d), k) => ClassKey::BestShallow { d, k: k as u64 },
-        RequestClass::Stats => return None,
+        RequestClass::Stats | RequestClass::Hello => return None,
     })
 }
 

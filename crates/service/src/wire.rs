@@ -15,6 +15,13 @@
 //! all the work: nodes reference bags by index, equal bags are framed
 //! once, and decoding is two linear passes with no name resolution.
 //!
+//! This is protocol revision [`PROTOCOL_VERSION`] (`V1`). The version
+//! is advertised through the opt-in `HELLO` verb — a zero-body request
+//! answered with `OK HELLO proto=V1 verbs=…` — rather than an
+//! unsolicited banner, so pre-`V1` clients that write a request and
+//! read exactly one response never desynchronise. Future verbs gate on
+//! the advertised set.
+//!
 //! ```text
 //! request  := header-line body-line* "%%"
 //! header   := class-tokens ["DEADLINE" ms] ["sql"]
@@ -23,14 +30,30 @@
 //!           | "HW" | "HW_LEQ" k
 //!           | "BEST" eval k                  eval ∈ trivial|concov|shallow:<d>
 //!           | "STATS"
+//!           | "HELLO"                        — protocol/verb discovery
 //! body     := HyperBench schema text, or (with "sql") a SQL query
+//!
+//! batch    := "BATCH" n ["DEADLINE" ms] item*n "%%"
+//! item     := "@" class-tokens ["sql"] "lines=" m body-line*m
 //!
 //! response := ("OK" class key=value* | "ERR" kind message
 //!              | "TIMEOUT" | "BUSY" retry-after-ms) td-frame? "%%"
+//! batchresp:= "OK BATCH" "n=" k ("@ lines=" m response-lines*m)*k "%%"
 //! td-frame := "TD" nodes=<n> bags=<b> universe=<u> words=<w>
 //!             ("A" hex-word{w})*b        — bag words, id = line order
 //!             ("N" (parent|"-") bag-id)*n — preorder node table
 //! ```
+//!
+//! A `BATCH n` frame carries `n` requests (each an `@` item whose body
+//! spans exactly the declared `lines=<m>` following lines — counted
+//! scoping, so no separator can collide with schema text) and is
+//! answered by **one** `OK BATCH` frame containing the `n` sub-responses
+//! in request order. Stripping the `OK BATCH n=…` header and the
+//! `@ lines=…` separators from a batch response yields byte-for-byte
+//! the concatenation of the `n` single-request responses minus their
+//! `%%` terminators. The whole batch shares a single `DEADLINE` budget
+//! (per-item deadlines are not permitted); a budget that trips mid-batch
+//! answers the remaining items `TIMEOUT`.
 //!
 //! `DEADLINE <ms>` caps the server-side compute time of the request: a
 //! request whose solve outlives its deadline is answered with a bare
@@ -57,6 +80,12 @@ use std::io::{self, BufRead, Write};
 pub const MAX_FRAME_LINES: usize = 100_000;
 /// Hard ceiling on a single frame line's byte length.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
+/// The protocol revision this codec speaks, advertised by `OK HELLO`.
+pub const PROTOCOL_VERSION: &str = "V1";
+/// The verbs this protocol revision serves, advertised by `OK HELLO`
+/// (comma-separated, stable order). Clients gate new verbs on this set
+/// instead of probing with requests that older servers reject.
+pub const PROTOCOL_VERBS: &str = "SHW,SHW_LEQ,HW,HW_LEQ,BEST,STATS,BATCH,HELLO";
 
 /// A malformed frame (decode-side).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +165,8 @@ pub enum RequestClass {
     Best(EvalKind, usize),
     /// Structural + cache statistics, no decomposition.
     Stats,
+    /// Protocol discovery: no body, answered `OK HELLO proto=… verbs=…`.
+    Hello,
 }
 
 impl RequestClass {
@@ -148,6 +179,17 @@ impl RequestClass {
             RequestClass::HwLeq(_) => "HW_LEQ",
             RequestClass::Best(..) => "BEST",
             RequestClass::Stats => "STATS",
+            RequestClass::Hello => "HELLO",
+        }
+    }
+
+    /// The class tokens as they appear on a header line (name plus any
+    /// width/evaluator arguments).
+    fn tokens(&self) -> String {
+        match self {
+            RequestClass::ShwLeq(k) | RequestClass::HwLeq(k) => format!("{} {k}", self.name()),
+            RequestClass::Best(eval, k) => format!("BEST {} {k}", eval.token()),
+            _ => self.name().to_string(),
         }
     }
 }
@@ -160,6 +202,107 @@ pub enum BodyFormat {
     HyperBench,
     /// A SQL query; the schema is its query hypergraph (ast-format).
     Sql,
+}
+
+/// The verb of a request header line: either an ordinary request class
+/// or the `BATCH n` envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderVerb {
+    /// A single-request class (`SHW`, `HW_LEQ k`, `STATS`, …).
+    Class(RequestClass),
+    /// A batch envelope carrying `n` sub-requests.
+    Batch(usize),
+}
+
+/// A parsed request header line — the one grammar shared by the
+/// single-request and `BATCH` decode paths on the server and by the
+/// client-side encoders: `verb`, then an optional `DEADLINE <ms>`
+/// (accepted at any token position), then an optional trailing `sql`
+/// body-format marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// What the frame asks for.
+    pub verb: HeaderVerb,
+    /// Per-request (or per-batch) compute deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// How the body is encoded.
+    pub format: BodyFormat,
+}
+
+impl RequestHeader {
+    /// Parses a header line (or the class tokens of a `BATCH` item).
+    pub fn parse(line: &str) -> Result<RequestHeader, WireError> {
+        let mut toks: Vec<&str> = line.split_whitespace().collect();
+        let format = if toks.last() == Some(&"sql") {
+            toks.pop();
+            BodyFormat::Sql
+        } else {
+            BodyFormat::HyperBench
+        };
+        let deadline_ms = match toks.iter().position(|&t| t == "DEADLINE") {
+            Some(pos) => {
+                if pos + 1 >= toks.len() {
+                    return Err(WireError::new("DEADLINE without milliseconds"));
+                }
+                let ms: u64 = toks[pos + 1]
+                    .parse()
+                    .map_err(|_| WireError::new(format!("bad deadline {:?}", toks[pos + 1])))?;
+                toks.drain(pos..pos + 2);
+                Some(ms)
+            }
+            None => None,
+        };
+        let parse_k = |tok: Option<&&str>| -> Result<usize, WireError> {
+            let tok = tok.ok_or_else(|| WireError::new("missing width argument"))?;
+            tok.parse()
+                .map_err(|_| WireError::new(format!("bad width {tok:?}")))
+        };
+        let verb = match toks.first().copied() {
+            Some("SHW") => HeaderVerb::Class(RequestClass::Shw),
+            Some("SHW_LEQ") => HeaderVerb::Class(RequestClass::ShwLeq(parse_k(toks.get(1))?)),
+            Some("HW") => HeaderVerb::Class(RequestClass::Hw),
+            Some("HW_LEQ") => HeaderVerb::Class(RequestClass::HwLeq(parse_k(toks.get(1))?)),
+            Some("BEST") => {
+                let eval = EvalKind::parse(
+                    toks.get(1)
+                        .ok_or_else(|| WireError::new("missing evaluator"))?,
+                )?;
+                HeaderVerb::Class(RequestClass::Best(eval, parse_k(toks.get(2))?))
+            }
+            Some("STATS") => HeaderVerb::Class(RequestClass::Stats),
+            Some("HELLO") => HeaderVerb::Class(RequestClass::Hello),
+            Some("BATCH") => {
+                let n = toks
+                    .get(1)
+                    .ok_or_else(|| WireError::new("BATCH without a count"))?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| WireError::new(format!("bad batch count {n:?}")))?;
+                HeaderVerb::Batch(n)
+            }
+            other => return Err(WireError::new(format!("unknown request class {other:?}"))),
+        };
+        Ok(RequestHeader {
+            verb,
+            deadline_ms,
+            format,
+        })
+    }
+
+    /// Serialises the header line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = match self.verb {
+            HeaderVerb::Class(class) => class.tokens(),
+            HeaderVerb::Batch(n) => format!("BATCH {n}"),
+        };
+        if let Some(ms) = self.deadline_ms {
+            let _ = write!(out, " DEADLINE {ms}");
+        }
+        if self.format == BodyFormat::Sql {
+            out.push_str(" sql");
+        }
+        out
+    }
 }
 
 /// One service request: a class plus the schema body.
@@ -189,40 +332,14 @@ impl Request {
 
     /// Serialises the request frame (including the terminator).
     pub fn encode(&self) -> String {
-        let mut out = String::new();
-        match self.class {
-            RequestClass::Shw => out.push_str("SHW"),
-            RequestClass::ShwLeq(k) => {
-                let _ = write!(out, "SHW_LEQ {k}");
-            }
-            RequestClass::Hw => out.push_str("HW"),
-            RequestClass::HwLeq(k) => {
-                let _ = write!(out, "HW_LEQ {k}");
-            }
-            RequestClass::Best(eval, k) => {
-                let _ = write!(out, "BEST {} {k}", eval.token());
-            }
-            RequestClass::Stats => out.push_str("STATS"),
-        }
-        if let Some(ms) = self.deadline_ms {
-            let _ = write!(out, " DEADLINE {ms}");
-        }
-        if self.format == BodyFormat::Sql {
-            out.push_str(" sql");
-        }
+        let header = RequestHeader {
+            verb: HeaderVerb::Class(self.class),
+            deadline_ms: self.deadline_ms,
+            format: self.format,
+        };
+        let mut out = header.encode();
         out.push('\n');
-        for line in self.body.lines() {
-            // Stuff body lines starting with '%' (HyperBench comments —
-            // including a comment line that is literally "%%") so they
-            // can never collide with the bare "%%" frame terminator:
-            // on the wire every content line beginning with '%' starts
-            // "% ", and `read_frame` strips the prefix back off.
-            if line.starts_with('%') {
-                out.push_str("% ");
-            }
-            out.push_str(line);
-            out.push('\n');
-        }
+        push_stuffed_body(&mut out, &self.body);
         out.push_str("%%\n");
         out
     }
@@ -230,52 +347,173 @@ impl Request {
     /// Decodes a request from frame lines (header first, no terminator).
     pub fn decode(lines: &[String]) -> Result<Request, WireError> {
         let header = lines.first().ok_or_else(|| WireError::new("empty frame"))?;
-        let mut toks: Vec<&str> = header.split_whitespace().collect();
-        let format = if toks.last() == Some(&"sql") {
-            toks.pop();
-            BodyFormat::Sql
-        } else {
-            BodyFormat::HyperBench
-        };
-        let deadline_ms = match toks.iter().position(|&t| t == "DEADLINE") {
-            Some(pos) => {
-                if pos + 1 >= toks.len() {
-                    return Err(WireError::new("DEADLINE without milliseconds"));
-                }
-                let ms: u64 = toks[pos + 1]
-                    .parse()
-                    .map_err(|_| WireError::new(format!("bad deadline {:?}", toks[pos + 1])))?;
-                toks.drain(pos..pos + 2);
-                Some(ms)
-            }
-            None => None,
-        };
-        let parse_k = |tok: Option<&&str>| -> Result<usize, WireError> {
-            let tok = tok.ok_or_else(|| WireError::new("missing width argument"))?;
-            tok.parse()
-                .map_err(|_| WireError::new(format!("bad width {tok:?}")))
-        };
-        let class = match toks.first().copied() {
-            Some("SHW") => RequestClass::Shw,
-            Some("SHW_LEQ") => RequestClass::ShwLeq(parse_k(toks.get(1))?),
-            Some("HW") => RequestClass::Hw,
-            Some("HW_LEQ") => RequestClass::HwLeq(parse_k(toks.get(1))?),
-            Some("BEST") => {
-                let eval = EvalKind::parse(
-                    toks.get(1)
-                        .ok_or_else(|| WireError::new("missing evaluator"))?,
-                )?;
-                RequestClass::Best(eval, parse_k(toks.get(2))?)
-            }
-            Some("STATS") => RequestClass::Stats,
-            other => return Err(WireError::new(format!("unknown request class {other:?}"))),
+        let header = RequestHeader::parse(header)?;
+        let HeaderVerb::Class(class) = header.verb else {
+            return Err(WireError::new(
+                "BATCH envelope where a single request was expected",
+            ));
         };
         Ok(Request {
             class,
-            format,
-            deadline_ms,
+            format: header.format,
+            deadline_ms: header.deadline_ms,
             body: lines[1..].join("\n"),
         })
+    }
+}
+
+/// Appends `body` line by line, stuffing lines that start with '%'
+/// (HyperBench comments — including a comment line that is literally
+/// `"%%"`) so they can never collide with the bare `%%` frame
+/// terminator: on the wire every content line beginning with '%' starts
+/// `"% "`, and `read_frame` strips the prefix back off.
+fn push_stuffed_body(out: &mut String, body: &str) {
+    for line in body.lines() {
+        if line.starts_with('%') {
+            out.push_str("% ");
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+}
+
+/// A `BATCH n` request: `n` sub-requests framed in one frame, answered
+/// by one ordered [`Response::Batch`] frame, all solved under a single
+/// shared `DEADLINE` budget. Per-item deadlines are rejected — the
+/// batch *is* the deadline domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// The shared compute deadline for the whole batch.
+    pub deadline_ms: Option<u64>,
+    /// The sub-requests, answered in this order.
+    pub items: Vec<Request>,
+}
+
+impl BatchRequest {
+    /// A batch over the given requests (any per-item deadline is
+    /// dropped; set [`BatchRequest::deadline_ms`] for the shared one).
+    pub fn new(items: Vec<Request>) -> BatchRequest {
+        BatchRequest {
+            deadline_ms: None,
+            items,
+        }
+    }
+
+    /// Serialises the batch frame (including the terminator). Each item
+    /// is an `@` line carrying the class tokens and the exact body line
+    /// count, followed by that many (stuffed) body lines — counted
+    /// scoping, so schema content can never be mistaken for a
+    /// separator.
+    pub fn encode(&self) -> String {
+        let header = RequestHeader {
+            verb: HeaderVerb::Batch(self.items.len()),
+            deadline_ms: self.deadline_ms,
+            format: BodyFormat::HyperBench,
+        };
+        let mut out = header.encode();
+        out.push('\n');
+        for item in &self.items {
+            let item_header = RequestHeader {
+                verb: HeaderVerb::Class(item.class),
+                deadline_ms: None,
+                format: item.format,
+            };
+            let _ = writeln!(
+                out,
+                "@ {} lines={}",
+                item_header.encode(),
+                item.body.lines().count()
+            );
+            push_stuffed_body(&mut out, &item.body);
+        }
+        out.push_str("%%\n");
+        out
+    }
+
+    /// Decodes a batch from frame lines (the `BATCH n` header first, no
+    /// terminator).
+    pub fn decode(lines: &[String]) -> Result<BatchRequest, WireError> {
+        let header = lines.first().ok_or_else(|| WireError::new("empty frame"))?;
+        let header = RequestHeader::parse(header)?;
+        let HeaderVerb::Batch(n) = header.verb else {
+            return Err(WireError::new("expected a BATCH envelope"));
+        };
+        // Cap the reservation by the frame size: a hostile `BATCH
+        // 999999999` header must not pre-allocate for items that cannot
+        // possibly be present.
+        let mut items = Vec::with_capacity(n.min(lines.len()));
+        let mut idx = 1;
+        for i in 0..n {
+            let item_line = lines
+                .get(idx)
+                .ok_or_else(|| WireError::new(format!("batch item {i} missing")))?;
+            let rest = item_line
+                .strip_prefix('@')
+                .ok_or_else(|| WireError::new(format!("batch item {i}: expected an @ line")))?;
+            let mut toks: Vec<&str> = rest.split_whitespace().collect();
+            let m: usize = match toks.last().and_then(|t| t.strip_prefix("lines=")) {
+                Some(m) => m
+                    .parse()
+                    .map_err(|_| WireError::new(format!("batch item {i}: bad line count")))?,
+                None => {
+                    return Err(WireError::new(format!(
+                        "batch item {i}: missing lines= count"
+                    )))
+                }
+            };
+            toks.pop();
+            let item_header = RequestHeader::parse(&toks.join(" "))?;
+            let HeaderVerb::Class(class) = item_header.verb else {
+                return Err(WireError::new(format!("batch item {i}: nested BATCH")));
+            };
+            if item_header.deadline_ms.is_some() {
+                return Err(WireError::new(format!(
+                    "batch item {i}: DEADLINE inside a batch item (use the batch header)"
+                )));
+            }
+            let body_end = idx + 1 + m;
+            if body_end > lines.len() {
+                return Err(WireError::new(format!(
+                    "batch item {i}: declared {m} body lines, frame has fewer"
+                )));
+            }
+            items.push(Request {
+                class,
+                format: item_header.format,
+                deadline_ms: None,
+                body: lines[idx + 1..body_end].join("\n"),
+            });
+            idx = body_end;
+        }
+        if idx != lines.len() {
+            return Err(WireError::new("trailing lines after the last batch item"));
+        }
+        Ok(BatchRequest {
+            deadline_ms: header.deadline_ms,
+            items,
+        })
+    }
+}
+
+/// Any decodable request frame: a single request or a batch envelope.
+/// This is what the server's dispatch decodes; clients encode the
+/// variants directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// An ordinary single request.
+    Single(Request),
+    /// A `BATCH n` envelope.
+    Batch(BatchRequest),
+}
+
+impl WireRequest {
+    /// Decodes either frame kind by dispatching on the header verb.
+    pub fn decode(lines: &[String]) -> Result<WireRequest, WireError> {
+        let header = lines.first().ok_or_else(|| WireError::new("empty frame"))?;
+        match RequestHeader::parse(header)?.verb {
+            HeaderVerb::Batch(_) => Ok(WireRequest::Batch(BatchRequest::decode(lines)?)),
+            HeaderVerb::Class(_) => Ok(WireRequest::Single(Request::decode(lines)?)),
+        }
     }
 }
 
@@ -479,6 +717,17 @@ pub enum Response {
         /// Human-readable detail (single line).
         message: String,
     },
+    /// Protocol discovery (`HELLO`): flat `key=value` fields, at least
+    /// `proto` and `verbs`.
+    Hello {
+        /// The fields, in emission order.
+        fields: Vec<(String, String)>,
+    },
+    /// The ordered sub-responses of a `BATCH` request.
+    Batch {
+        /// One response per batch item, in request order.
+        responses: Vec<Response>,
+    },
 }
 
 impl Response {
@@ -487,6 +736,16 @@ impl Response {
         Response::Error {
             kind: kind.to_string(),
             message: message.to_string().replace('\n', " "),
+        }
+    }
+
+    /// The `OK HELLO` frame this server revision answers with.
+    pub fn hello() -> Response {
+        Response::Hello {
+            fields: vec![
+                ("proto".to_string(), PROTOCOL_VERSION.to_string()),
+                ("verbs".to_string(), PROTOCOL_VERBS.to_string()),
+            ],
         }
     }
 
@@ -528,6 +787,30 @@ impl Response {
             }
             Response::Error { kind, message } => {
                 let _ = writeln!(out, "ERR {kind} {message}");
+            }
+            Response::Hello { fields } => {
+                out.push_str("OK HELLO");
+                for (key, value) in fields {
+                    let _ = write!(out, " {key}={value}");
+                }
+                out.push('\n');
+            }
+            Response::Batch { responses } => {
+                let _ = writeln!(out, "OK BATCH n={}", responses.len());
+                for resp in responses {
+                    // A sub-response is its ordinary encoding minus the
+                    // terminator, under an `@ lines=<m>` separator:
+                    // stripping the envelope lines therefore yields the
+                    // exact concatenation of the single-request frames
+                    // (minus terminators), which is what the CI replay
+                    // diffs against.
+                    let encoded = resp.encode();
+                    let body = encoded
+                        .strip_suffix("%%\n")
+                        .expect("encoded frames end with the terminator");
+                    let _ = writeln!(out, "@ lines={}", body.lines().count());
+                    out.push_str(body);
+                }
             }
         }
         out.push_str("%%\n");
@@ -575,6 +858,43 @@ impl Response {
         };
         if class == "STATS" {
             return Ok(Response::Stats { fields });
+        }
+        if class == "HELLO" {
+            return Ok(Response::Hello { fields });
+        }
+        if class == "BATCH" {
+            let n: usize = take(&mut fields, "n")
+                .ok_or_else(|| WireError::new("missing batch count"))?
+                .parse()
+                .map_err(|_| WireError::new("bad batch count"))?;
+            let mut responses = Vec::with_capacity(n.min(lines.len()));
+            let mut idx = 1;
+            for i in 0..n {
+                let sep = lines
+                    .get(idx)
+                    .ok_or_else(|| WireError::new(format!("batch response {i} missing")))?;
+                let m: usize = sep
+                    .strip_prefix("@ lines=")
+                    .ok_or_else(|| {
+                        WireError::new(format!("batch response {i}: expected @ lines="))
+                    })?
+                    .parse()
+                    .map_err(|_| WireError::new(format!("batch response {i}: bad line count")))?;
+                let body_end = idx + 1 + m;
+                if body_end > lines.len() {
+                    return Err(WireError::new(format!(
+                        "batch response {i}: declared {m} lines, frame has fewer"
+                    )));
+                }
+                responses.push(Response::decode(&lines[idx + 1..body_end])?);
+                idx = body_end;
+            }
+            if idx != lines.len() {
+                return Err(WireError::new(
+                    "trailing lines after the last batch response",
+                ));
+            }
+            return Ok(Response::Batch { responses });
         }
         if class == "SHW" || class == "HW" {
             let width: usize = take(&mut fields, "width")
@@ -653,6 +973,75 @@ pub fn read_frame(reader: &mut impl BufRead) -> io::Result<Option<Vec<String>>> 
 pub fn write_frame(writer: &mut impl Write, frame: &str) -> io::Result<()> {
     writer.write_all(frame.as_bytes())?;
     writer.flush()
+}
+
+/// Incremental frame decoder over raw bytes, for nonblocking sockets:
+/// feed it whatever chunk `read(2)` produced and collect every frame
+/// the chunk completed. Mirrors [`read_frame`] exactly — the same `% `
+/// un-stuffing, the same `\r\n` tolerance, and the same
+/// [`MAX_LINE_BYTES`] / [`MAX_FRAME_LINES`] caps enforced on the
+/// *partial* state, so a peer streaming newline-free garbage cannot
+/// grow server memory past the caps no matter how the bytes are
+/// chunked.
+#[derive(Default)]
+pub struct FrameDecoder {
+    /// Un-stuffed lines of the frame currently being accumulated.
+    lines: Vec<String>,
+    /// Bytes of the current line, up to (not including) its `\n`.
+    partial: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with no partial state.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// True while a frame is partially accumulated — an EOF here is the
+    /// `EOF mid-frame` protocol violation, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        !self.lines.is_empty() || !self.partial.is_empty()
+    }
+
+    /// Consumes `data`, appending every frame it completes to `out`
+    /// (as the un-stuffed line lists [`read_frame`] would return). An
+    /// `Err` is a protocol violation — oversized line, oversized frame,
+    /// non-UTF-8 line — after which the connection should be dropped.
+    pub fn push(&mut self, data: &[u8], out: &mut Vec<Vec<String>>) -> io::Result<()> {
+        let too_long = || io::Error::new(io::ErrorKind::InvalidData, "frame line too long");
+        let mut rest = data;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            self.partial.extend_from_slice(&rest[..nl]);
+            rest = &rest[nl + 1..];
+            if self.partial.len() > MAX_LINE_BYTES {
+                return Err(too_long());
+            }
+            let mut bytes = std::mem::take(&mut self.partial);
+            while bytes.last() == Some(&b'\r') {
+                bytes.pop();
+            }
+            let line = String::from_utf8(bytes).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "frame line is not UTF-8")
+            })?;
+            if line == "%%" {
+                out.push(std::mem::take(&mut self.lines));
+                continue;
+            }
+            let unstuffed = line.strip_prefix("% ").unwrap_or(&line);
+            self.lines.push(unstuffed.to_string());
+            if self.lines.len() > MAX_FRAME_LINES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "frame has too many lines",
+                ));
+            }
+        }
+        self.partial.extend_from_slice(rest);
+        if self.partial.len() > MAX_LINE_BYTES {
+            return Err(too_long());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -878,6 +1267,164 @@ mod tests {
         let mut bad = TdFrame::from_td(&td, h.num_vertices());
         bad.snapshot.storage[0] |= 1 << 63;
         assert!(bad.to_td().is_err(), "slack bit must be rejected");
+    }
+
+    fn frame_lines(encoded: &str) -> Vec<String> {
+        let mut lines: Vec<String> = encoded.lines().map(String::from).collect();
+        assert_eq!(lines.pop().as_deref(), Some("%%"), "terminator present");
+        lines
+    }
+
+    #[test]
+    fn hello_frames_roundtrip_and_advertise_v1() {
+        let req = Request::new(RequestClass::Hello, "");
+        assert_eq!(req.encode(), "HELLO\n%%\n");
+        let decoded = Request::decode(&frame_lines(&req.encode())).unwrap();
+        assert_eq!(decoded.class, RequestClass::Hello);
+        let resp = Response::hello();
+        let lines = frame_lines(&resp.encode());
+        assert_eq!(
+            lines[0],
+            format!("OK HELLO proto={PROTOCOL_VERSION} verbs={PROTOCOL_VERBS}")
+        );
+        match Response::decode(&lines).unwrap() {
+            Response::Hello { fields } => {
+                assert!(fields.iter().any(|(k, v)| k == "proto" && v == "V1"));
+                let verbs = &fields.iter().find(|(k, _)| k == "verbs").unwrap().1;
+                for verb in ["BATCH", "HELLO", "SHW", "STATS"] {
+                    assert!(verbs.split(',').any(|v| v == verb), "{verb} advertised");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        // A future server may add fields; they must ride generically.
+        let lines = vec!["OK HELLO proto=V2 verbs=SHW max_batch=64".to_string()];
+        match Response::decode(&lines).unwrap() {
+            Response::Hello { fields } => assert_eq!(fields.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_requests_roundtrip_with_counted_bodies() {
+        // Mixed classes, sql bodies, comment lines (including a literal
+        // "%%" comment) and an empty body all survive the counted
+        // framing through a real read_frame pass.
+        let items = vec![
+            Request::new(RequestClass::Shw, "% note\n%%\ne1(a,b),\ne2(b,c)."),
+            Request::new(RequestClass::ShwLeq(2), "e1(a,b)."),
+            {
+                let mut r = Request::new(RequestClass::Hw, "SELECT MIN(r.a) FROM r");
+                r.format = BodyFormat::Sql;
+                r
+            },
+            Request::new(RequestClass::Stats, "e1(a,b)."),
+            Request::new(RequestClass::Hello, ""),
+        ];
+        let mut batch = BatchRequest::new(items);
+        batch.deadline_ms = Some(500);
+        let mut cursor = io::Cursor::new(batch.encode().into_bytes());
+        let lines = read_frame(&mut cursor).unwrap().unwrap();
+        match WireRequest::decode(&lines).unwrap() {
+            WireRequest::Batch(back) => assert_eq!(back, batch),
+            other => panic!("{other:?}"),
+        }
+        // Single requests still decode as singles through WireRequest.
+        let single = Request::new(RequestClass::Shw, "e1(a,b).");
+        match WireRequest::decode(&frame_lines(&single.encode())).unwrap() {
+            WireRequest::Single(back) => assert_eq!(back, single),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_batch_requests_are_rejected() {
+        // Per-item deadlines are the batch header's job.
+        let lines = vec![
+            "BATCH 1".to_string(),
+            "@ SHW DEADLINE 50 lines=1".to_string(),
+            "e1(a,b).".to_string(),
+        ];
+        assert!(BatchRequest::decode(&lines).is_err());
+        // Nested batch, short body, trailing garbage, missing count.
+        let lines = vec!["BATCH 1".to_string(), "@ BATCH 2 lines=0".to_string()];
+        assert!(BatchRequest::decode(&lines).is_err());
+        let lines = vec!["BATCH 1".to_string(), "@ SHW lines=3".to_string()];
+        assert!(BatchRequest::decode(&lines).is_err());
+        let lines = vec![
+            "BATCH 1".to_string(),
+            "@ SHW lines=0".to_string(),
+            "stray".to_string(),
+        ];
+        assert!(BatchRequest::decode(&lines).is_err());
+        assert!(BatchRequest::decode(&["BATCH".to_string()]).is_err());
+        assert!(BatchRequest::decode(&["BATCH many".to_string()]).is_err());
+        // And a batch where a single was expected (and vice versa).
+        assert!(Request::decode(&["BATCH 1".to_string()]).is_err());
+        assert!(BatchRequest::decode(&["SHW".to_string()]).is_err());
+    }
+
+    #[test]
+    fn batch_responses_roundtrip_and_strip_to_singles() {
+        let h = named::h2();
+        let (w, td) = shw::shw(&h);
+        let singles = vec![
+            Response::Width {
+                class: "SHW".into(),
+                width: w,
+                td: TdFrame::from_td(&td, h.num_vertices()),
+            },
+            Response::Decision {
+                class: "SHW_LEQ".into(),
+                fields: vec![],
+                k: 1,
+                td: None,
+            },
+            Response::Timeout,
+            Response::Busy {
+                retry_after_ms: 100,
+            },
+            Response::error("request", "width must be >= 1"),
+            Response::hello(),
+        ];
+        let batch = Response::Batch {
+            responses: singles.clone(),
+        };
+        let encoded = batch.encode();
+        let decoded = Response::decode(&frame_lines(&encoded)).unwrap();
+        assert_eq!(decoded, batch);
+        // Envelope-stripping invariant: dropping the OK BATCH header and
+        // the @ separators yields the concatenated single frames minus
+        // their terminators.
+        let stripped: String = encoded
+            .lines()
+            .filter(|l| !l.starts_with("OK BATCH") && !l.starts_with("@ lines=") && *l != "%%")
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let concat: String = singles
+            .iter()
+            .map(|r| r.encode())
+            .collect::<String>()
+            .lines()
+            .filter(|l| *l != "%%")
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, concat);
+    }
+
+    #[test]
+    fn request_header_is_shared_by_both_paths() {
+        // The same header grammar parses single and batch headers.
+        let h = RequestHeader::parse("SHW_LEQ 3 DEADLINE 250 sql").unwrap();
+        assert_eq!(h.verb, HeaderVerb::Class(RequestClass::ShwLeq(3)));
+        assert_eq!(h.deadline_ms, Some(250));
+        assert_eq!(h.format, BodyFormat::Sql);
+        assert_eq!(h.encode(), "SHW_LEQ 3 DEADLINE 250 sql");
+        let b = RequestHeader::parse("BATCH 7 DEADLINE 100").unwrap();
+        assert_eq!(b.verb, HeaderVerb::Batch(7));
+        assert_eq!(b.deadline_ms, Some(100));
+        assert_eq!(b.encode(), "BATCH 7 DEADLINE 100");
+        assert!(RequestHeader::parse("NOPE 1").is_err());
     }
 
     #[test]

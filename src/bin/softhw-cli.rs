@@ -34,7 +34,7 @@ use softhw::core::constraints::{concov_filter, Trivial};
 use softhw::core::ctd_opt::best;
 use softhw::core::soft::{soft_bags_with, SoftLimits};
 use softhw::core::soft_iter;
-use softhw::core::{hw, shw};
+use softhw::core::{hw, shw, DecompCache, SolveSpec, Solved};
 use softhw::hypergraph::{parse_hypergraph, Hypergraph};
 use softhw_service::{roundtrip, EvalKind, Request, RequestClass, Response};
 use std::net::TcpStream;
@@ -125,9 +125,15 @@ fn candidate_bags(
 /// A connection to `softhw-serve` with retry semantics: connect
 /// failures, transport errors, and `BUSY` shedding are retried up to
 /// `retries` times with jittered exponential backoff (the server's
-/// `BUSY <retry-after-ms>` hint is honoured as the wait floor). A
-/// server-side `TIMEOUT` is *not* retried — the deadline the user set
-/// has been spent; retrying would just spend it again.
+/// `BUSY <retry-after-ms>` hint is honoured as the wait floor). The
+/// TCP connection is **reused across requests and retries** — the V1
+/// server sheds overload per request and keeps the connection open, so
+/// only connect failures and transport errors reconnect; a `BUSY`
+/// backs off on the same socket. Each fresh connection starts with a
+/// `HELLO` handshake (a legacy server answers `ERR`, which is equally
+/// conclusive — the request grammar is a superset). A server-side
+/// `TIMEOUT` is *not* retried — the deadline the user set has been
+/// spent; retrying would just spend it again.
 struct Remote {
     addr: String,
     deadline_ms: Option<u64>,
@@ -162,8 +168,18 @@ impl Remote {
     fn ask(&mut self, class: RequestClass, text: &str) -> Result<Response, String> {
         let mut attempt = 0u32;
         loop {
-            let mut retry = |this: &mut Remote, why: String, hint_ms: u64| -> Result<(), String> {
-                this.stream = None;
+            // `reconnect` controls whether the retry tears the stream
+            // down: transport-level failures do, a BUSY shed does not —
+            // the server kept the connection open and the next attempt
+            // reuses it.
+            let mut retry = |this: &mut Remote,
+                             why: String,
+                             hint_ms: u64,
+                             reconnect: bool|
+             -> Result<(), String> {
+                if reconnect {
+                    this.stream = None;
+                }
                 if attempt >= this.retries {
                     return Err(why);
                 }
@@ -174,9 +190,21 @@ impl Remote {
             };
             if self.stream.is_none() {
                 match TcpStream::connect(&self.addr) {
-                    Ok(s) => self.stream = Some(s),
+                    Ok(mut s) => {
+                        // V1 handshake, once per fresh connection. Any
+                        // frame back — HELLO from a V1 server, ERR from
+                        // a legacy one — proves the transport; only an
+                        // I/O failure counts against the retries.
+                        match roundtrip(&mut s, &Request::new(RequestClass::Hello, "")) {
+                            Ok(_) => self.stream = Some(s),
+                            Err(e) => {
+                                retry(self, format!("handshake {}: {e}", self.addr), 0, true)?;
+                                continue;
+                            }
+                        }
+                    }
                     Err(e) => {
-                        retry(self, format!("connect {}: {e}", self.addr), 0)?;
+                        retry(self, format!("connect {}: {e}", self.addr), 0, true)?;
                         continue;
                     }
                 }
@@ -186,7 +214,7 @@ impl Remote {
             let stream = self.stream.as_mut().expect("stream set above");
             match roundtrip(stream, &req) {
                 Ok(Response::Busy { retry_after_ms }) => {
-                    retry(self, "server busy".to_string(), retry_after_ms)?;
+                    retry(self, "server busy".to_string(), retry_after_ms, false)?;
                 }
                 Ok(Response::Timeout) => {
                     return Err(format!(
@@ -201,7 +229,7 @@ impl Remote {
                 }
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
-                    retry(self, format!("{}: {e}", self.addr), 0)?;
+                    retry(self, format!("{}: {e}", self.addr), 0, true)?;
                 }
             }
         }
@@ -369,8 +397,13 @@ fn run() -> Result<bool, String> {
         let bags = candidate_bags(&h, k, opts.concov)?;
         Ok(best(&h, &bags, &Trivial).map(|(td, ())| td))
     };
+    // The unconstrained solves all go through the unified SolveSpec
+    // entry point (the same one the service dispatches on); only the
+    // ConCov-constrained paths keep the candidate-filter + `best`
+    // machinery, which has no spec formulation.
+    let mut cache = DecompCache::new();
     match (opts.measure.as_str(), opts.width) {
-        ("shw", Some(k)) => {
+        ("shw", Some(k)) if opts.concov => {
             let td = decide(k)?;
             match td {
                 Some(td) => {
@@ -386,60 +419,92 @@ fn run() -> Result<bool, String> {
                 }
             }
         }
-        ("shw", None) => {
-            // Exact shw goes through the reduce-before-solve front door:
-            // simplify, sweep each reduced piece, lift the witnesses.
-            // `--no-reduce` (and the ConCov constraint, which has no
-            // piece-wise formulation) keep the raw per-width sweep.
-            if !opts.concov && !opts.no_reduce {
-                let (k, td) = shw::shw(&h);
-                println!("shw = {k}");
-                if opts.print {
-                    print!("{}", td.render(&h));
-                }
-                return Ok(true);
-            }
-            for k in 1..=h.num_edges().max(1) {
-                if let Some(td) = decide(k)? {
-                    println!("{constraint_label}shw = {k}");
+        ("shw", Some(k)) => {
+            match cache
+                .solve(&h, &SolveSpec::shw_leq(k))
+                .map_err(|e| e.to_string())?
+            {
+                Solved::ShwDecision(Some(td)) => {
+                    println!("shw <= {k}: yes");
                     if opts.print {
                         print!("{}", td.render(&h));
                     }
-                    return Ok(true);
+                    Ok(true)
                 }
+                Solved::ShwDecision(None) => {
+                    println!("shw <= {k}: no");
+                    Ok(false)
+                }
+                _ => unreachable!("shw_leq spec yields a ShwDecision"),
             }
-            Err("no decomposition up to |E| — disconnected input?".to_string())
+        }
+        ("shw", None) => {
+            if opts.concov {
+                // No spec formulation for the ConCov constraint: sweep
+                // the constrained decision per width.
+                for k in 1..=h.num_edges().max(1) {
+                    if let Some(td) = decide(k)? {
+                        println!("{constraint_label}shw = {k}");
+                        if opts.print {
+                            print!("{}", td.render(&h));
+                        }
+                        return Ok(true);
+                    }
+                }
+                return Err("no decomposition up to |E| — disconnected input?".to_string());
+            }
+            // Exact shw goes through the reduce-before-solve front door
+            // (simplify, sweep each reduced piece, lift the witnesses);
+            // `--no-reduce` keeps the raw per-width sweep.
+            match cache
+                .solve(&h, &SolveSpec::shw().with_reduce(!opts.no_reduce))
+                .map_err(|e| e.to_string())?
+            {
+                Solved::ShwWidth(k, td) => {
+                    println!("shw = {k}");
+                    if opts.print {
+                        print!("{}", td.render(&h));
+                    }
+                    Ok(true)
+                }
+                _ => unreachable!("shw spec yields a ShwWidth"),
+            }
         }
         ("hw", w) => {
             if opts.concov {
                 return Err("--concov is a CTD constraint; use --measure shw".into());
             }
             match w {
-                Some(k) => match hw::hw_leq(&h, k) {
-                    Some(g) => {
+                Some(k) => match cache
+                    .solve(&h, &SolveSpec::hw_leq(k))
+                    .map_err(|e| e.to_string())?
+                {
+                    Solved::HwDecision(Some(g)) => {
                         println!("hw <= {k}: yes");
                         if opts.print {
                             print!("{}", g.render(&h));
                         }
                         Ok(true)
                     }
-                    None => {
+                    Solved::HwDecision(None) => {
                         println!("hw <= {k}: no");
                         Ok(false)
                     }
+                    _ => unreachable!("hw_leq spec yields a HwDecision"),
                 },
-                None => {
-                    let (k, g) = if opts.no_reduce {
-                        hw::hw_raw(&h)
-                    } else {
-                        hw::hw(&h)
-                    };
-                    println!("hw = {k}");
-                    if opts.print {
-                        print!("{}", g.render(&h));
+                None => match cache
+                    .solve(&h, &SolveSpec::hw().with_reduce(!opts.no_reduce))
+                    .map_err(|e| e.to_string())?
+                {
+                    Solved::HwWidth(k, g) => {
+                        println!("hw = {k}");
+                        if opts.print {
+                            print!("{}", g.render(&h));
+                        }
+                        Ok(true)
                     }
-                    Ok(true)
-                }
+                    _ => unreachable!("hw spec yields a HwWidth"),
+                },
             }
         }
         ("ghw", w) => {

@@ -159,7 +159,13 @@ fn main() -> ExitCode {
     install_signal_handlers(server.shutdown_handle());
     match server.local_addr() {
         Ok(addr) => {
-            // Announce readiness on stdout so scripts can wait for it.
+            // Announce the protocol revision, then readiness on stdout
+            // so scripts can wait for it.
+            println!(
+                "protocol {} verbs {}",
+                softhw_service::PROTOCOL_VERSION,
+                softhw_service::PROTOCOL_VERBS
+            );
             println!("listening on {addr}");
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
