@@ -898,6 +898,7 @@ impl CtdInstance {
                     }
                     for ci in old_cand_start[g] as usize..old_cand_start[g + 1] as usize {
                         let ox = old_cand_x[ci];
+                        // lint:allow(budget-tick): bounded merge scan over one candidate chunk, not a solver loop
                         while ni < ni_end && chunk.xs[ni] < ox {
                             let cnt = chunk.counts[ni] as usize;
                             push_entry(
@@ -926,6 +927,7 @@ impl CtdInstance {
                             &mut datum_group,
                         );
                     }
+                    // lint:allow(budget-tick): bounded tail drain of the same candidate chunk
                     while ni < ni_end {
                         let cnt = chunk.counts[ni] as usize;
                         push_entry(

@@ -312,7 +312,12 @@ pub fn hw_raw_budgeted(h: &Hypergraph, budget: &Budget) -> Result<(usize, Ghd), 
 /// decisions and witnesses are memoised by structural hash, so repeated
 /// baseline sweeps over the same schema skip the search entirely.
 pub fn hw_cached(cache: &mut crate::cache::DecompCache, h: &Hypergraph) -> (usize, Ghd) {
-    cache.hw(h)
+    use crate::spec::{Solved, SolveSpec};
+    match cache.solve(h, &SolveSpec::hw()) {
+        Ok(Solved::HwWidth(w, g)) => (w, g),
+        Ok(_) => panic!("SolveSpec::hw yielded a mismatched variant"),
+        Err(e) => panic!("hw: {e}"),
+    }
 }
 
 #[cfg(test)]

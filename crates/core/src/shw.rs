@@ -141,7 +141,12 @@ pub fn shw_cached(
     cache: &mut crate::cache::DecompCache,
     h: &Hypergraph,
 ) -> (usize, TreeDecomposition) {
-    cache.shw(h)
+    use crate::spec::{Solved, SolveSpec};
+    match cache.solve(h, &SolveSpec::shw()) {
+        Ok(Solved::ShwWidth(w, td)) => (w, td),
+        Ok(_) => panic!("SolveSpec::shw yielded a mismatched variant"),
+        Err(e) => panic!("shw under default limits: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,336 @@
+//! Workspace model for the analyzer: loaded source files with their
+//! token streams, test-region maps (rules that guard *production*
+//! invariants skip test code), and per-site waivers.
+//!
+//! Waiver syntax, recognized in any comment:
+//!
+//! ```text
+//! // lint:allow(rule-name): one-line justification
+//! ```
+//!
+//! A waiver covers findings of that rule on the comment's own line and
+//! on the next line — so it works both as a trailing comment on the
+//! offending line and as a comment immediately above it. A waiver with
+//! an empty justification is itself a finding: the acceptance contract
+//! is that every waiver says *why*.
+
+use crate::lex::{lex, Lexed, Tok, TokKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `lint:allow` site.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// Line the waiver's comment ends on; it covers this line and the
+    /// next one.
+    pub line: u32,
+    /// Text after `):` — why the site is exempt.
+    pub justification: String,
+}
+
+/// A lexed source file plus the derived region maps the rules need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Root-relative path with forward slashes (`crates/core/src/ctd.rs`).
+    pub rel: String,
+    pub text: String,
+    pub lexed: Lexed,
+    /// Whole file is test code (lives under a `tests/` directory).
+    pub test_file: bool,
+    /// 1-based line → inside a `#[cfg(test)]` item.
+    test_lines: Vec<bool>,
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    pub fn from_source(rel: String, text: String) -> SourceFile {
+        let lexed = lex(&text);
+        let test_file =
+            rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/examples/");
+        let n_lines = text.lines().count() + 2;
+        let mut test_lines = vec![false; n_lines + 1];
+        mark_cfg_test_regions(&lexed.toks, &mut test_lines);
+        let waivers = parse_waivers(&lexed);
+        SourceFile {
+            rel,
+            text,
+            lexed,
+            test_file,
+            test_lines,
+            waivers,
+        }
+    }
+
+    /// True when `line` is test-only code: the whole file is a test, or
+    /// the line sits inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_file || self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    pub fn toks(&self) -> &[Tok] {
+        &self.lexed.toks
+    }
+}
+
+/// Marks every line of every `#[cfg(test)]`-gated item. The scan is
+/// syntactic: after a `#[cfg(test)]` (or `#[cfg(all(test, …))]`)
+/// attribute, the next item — to its matching closing brace, or to a
+/// top-level `;` for brace-less items — is test territory.
+fn mark_cfg_test_regions(toks: &[Tok], test_lines: &mut [bool]) {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        let is_attr = toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks[i + 1].kind == TokKind::Punct
+            && toks[i + 1].text == "[";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute to its closing `]`, noting whether it is a
+        // cfg(...) containing the bare ident `test`.
+        let mut j = i + 2;
+        let mut depth = 1usize; // the `[`
+        let mut is_cfg = false;
+        let mut has_test = false;
+        if j < toks.len() && toks[j].kind == TokKind::Ident && toks[j].text == "cfg" {
+            is_cfg = true;
+        }
+        while j < toks.len() && depth > 0 {
+            match (toks[j].kind, toks[j].text.as_str()) {
+                (TokKind::Punct, "[") | (TokKind::Punct, "(") => depth += 1,
+                (TokKind::Punct, "]") | (TokKind::Punct, ")") => depth -= 1,
+                (TokKind::Ident, "test") => has_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(is_cfg && has_test) {
+            i = j;
+            continue;
+        }
+        // j is the first token of the gated item (possibly further
+        // attributes — skip those too).
+        while j + 1 < toks.len()
+            && toks[j].kind == TokKind::Punct
+            && toks[j].text == "#"
+            && toks[j + 1].text == "["
+        {
+            let mut d = 0usize;
+            j += 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let start_line = toks.get(j).map(|t| t.line).unwrap_or(toks[i].line);
+        // Find the item's end: matching `}` of its first brace, or a
+        // `;` before any brace opens.
+        let mut d = 0usize;
+        let mut end_line = start_line;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => d += 1,
+                "}" => {
+                    d = d.saturating_sub(1);
+                    if d == 0 {
+                        end_line = toks[j].line;
+                        j += 1;
+                        break;
+                    }
+                }
+                ";" if d == 0 => {
+                    end_line = toks[j].line;
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for l in toks[i].line..=end_line {
+            if let Some(slot) = test_lines.get_mut(l as usize) {
+                *slot = true;
+            }
+        }
+        i = j;
+    }
+}
+
+/// Extracts `lint:allow(rule)[: justification]` waivers from comments.
+fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // Doc comments never carry waivers — they *describe* the
+        // syntax (this crate's own docs would otherwise waive
+        // themselves).
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else {
+                break;
+            };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            let justification = tail
+                .strip_prefix(':')
+                .map(|t| t.trim_end_matches("*/").trim().to_string())
+                .unwrap_or_default();
+            out.push(Waiver {
+                rule,
+                line: c.end_line,
+                justification,
+            });
+            rest = tail;
+        }
+    }
+    out
+}
+
+/// The analyzer's view of the repository: all lexed Rust sources plus
+/// the non-Rust artifacts the cross-artifact rule reads.
+#[derive(Debug)]
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    /// `README.md` at the root, when present.
+    pub readme: Option<String>,
+    /// Concatenated CI workflow files, when present.
+    pub ci: Option<String>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under `crates/`, `src/`, `tests/`, and
+    /// `examples/` (skipping `target/` and the analyzer's own fixture
+    /// corpus), plus `README.md` and the CI workflows.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        for top in ["crates", "src", "tests", "examples"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                walk(root, &dir, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let readme = fs::read_to_string(root.join("README.md")).ok();
+        let mut ci = String::new();
+        let wf = root.join(".github/workflows");
+        if wf.is_dir() {
+            let mut paths: Vec<PathBuf> = fs::read_dir(&wf)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.extension()
+                        .map(|e| e == "yml" || e == "yaml")
+                        .unwrap_or(false)
+                })
+                .collect();
+            paths.sort();
+            for p in paths {
+                ci.push_str(&fs::read_to_string(&p)?);
+                ci.push('\n');
+            }
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            readme,
+            ci: if ci.is_empty() { None } else { Some(ci) },
+        })
+    }
+
+    /// The file with exactly this root-relative path, if loaded.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures` holds the analyzer's own known-bad corpus —
+            // deliberate violations that must not count against the
+            // real tree.
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let text = fs::read_to_string(&path)?;
+            out.push(SourceFile::from_source(rel, text));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_marked_and_production_code_is_not() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let f = SourceFile::from_source("crates/x/src/a.rs".into(), src.into());
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn waivers_parse_rule_and_justification() {
+        let src = "// lint:allow(panic-free-service): index is bounded by len above\n\
+                   let x = v[0];\n\
+                   // lint:allow(budget-tick)\n";
+        let f = SourceFile::from_source("crates/x/src/a.rs".into(), src.into());
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].rule, "panic-free-service");
+        assert_eq!(f.waivers[0].line, 1);
+        assert!(f.waivers[0].justification.contains("bounded"));
+        assert_eq!(f.waivers[1].rule, "budget-tick");
+        assert!(f.waivers[1].justification.is_empty());
+    }
+
+    #[test]
+    fn files_under_tests_dirs_are_test_files() {
+        let f = SourceFile::from_source("crates/x/tests/props.rs".into(), "fn a() {}".into());
+        assert!(f.test_file);
+        assert!(f.is_test_line(1));
+    }
+}

@@ -1,0 +1,114 @@
+//! The fixture corpus: a known-bad tree where every rule must fire,
+//! and a known-good tree (including one waivered site) that must come
+//! back clean. Both trees mirror the real workspace layout
+//! (`crates/…/src`, `crates/…/tests`, `README.md`,
+//! `.github/workflows/`) so [`softhw_lint::analyze`] runs on them
+//! unchanged; the real analyzer skips any directory named `fixtures`,
+//! so the deliberate violations never count against the actual tree.
+
+use softhw_lint::rules;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_tree_trips_every_rule() {
+    let report = softhw_lint::analyze(&fixture("bad")).expect("fixture tree loads");
+    let fired: BTreeSet<&str> = report.findings.iter().map(|f| f.rule).collect();
+    for rule in [
+        rules::PANIC_FREE_SERVICE,
+        rules::BUDGET_TICK,
+        rules::SAFETY_COMMENT,
+        rules::NO_BLOCKING_IN_EVENT_LOOP,
+        rules::NO_DEPRECATED_INTERNAL,
+        rules::CROSS_ARTIFACT_SYNC,
+        rules::WAIVER_JUSTIFICATION,
+    ] {
+        assert!(
+            fired.contains(rule),
+            "rule {rule} did not fire on the known-bad tree; fired: {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_tree_panic_sites_are_attributed() {
+    let report = softhw_lint::analyze(&fixture("bad")).expect("fixture tree loads");
+    let in_state: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::PANIC_FREE_SERVICE)
+        .collect();
+    // v[0], .unwrap(), .expect(…), panic! — and nothing from the
+    // #[cfg(test)] module, which indexes and unwraps legally.
+    assert_eq!(in_state.len(), 4, "findings: {in_state:#?}");
+    assert!(in_state.iter().all(|f| f.rel == "crates/service/src/state.rs"));
+}
+
+#[test]
+fn bad_tree_cross_artifact_names_every_drift() {
+    let report = softhw_lint::analyze(&fixture("bad")).expect("fixture tree loads");
+    let msgs: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::CROSS_ARTIFACT_SYNC)
+        .map(|f| f.msg.as_str())
+        .collect();
+    for needle in [
+        "verb BOGUS advertised by PROTOCOL_VERBS but not parsed",
+        "verb EXTRA parsed by RequestHeader::parse but missing",
+        "RequestClass::Orphan is parsed by the wire but never dispatched",
+        "verb STATS missing from the README banner line",
+        "verb BOGUS missing from the README banner line",
+        "verb STATS never appears quoted in the README wire grammar",
+        "test masks STATS row \"ghost_row\"",
+        "CI parses STATS row \"ghost_row\"",
+    ] {
+        assert!(
+            msgs.iter().any(|m| m.contains(needle)),
+            "missing drift {needle:?}; got: {msgs:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_tree_flags_bad_waivers() {
+    let report = softhw_lint::analyze(&fixture("bad")).expect("fixture tree loads");
+    let waiver_findings: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rules::WAIVER_JUSTIFICATION)
+        .map(|f| f.msg.as_str())
+        .collect();
+    assert!(
+        waiver_findings.iter().any(|m| m.contains("no justification")),
+        "unjustified waiver not flagged: {waiver_findings:#?}"
+    );
+    assert!(
+        waiver_findings.iter().any(|m| m.contains("unknown rule `made-up-rule`")),
+        "unknown-rule waiver not flagged: {waiver_findings:#?}"
+    );
+}
+
+#[test]
+fn good_tree_is_clean_and_respects_the_waiver() {
+    let report = softhw_lint::analyze(&fixture("good")).expect("fixture tree loads");
+    assert!(
+        report.clean(),
+        "known-good tree has findings: {:#?}",
+        report.findings
+    );
+    // The waivered index in server.rs was found, then silenced.
+    assert_eq!(report.waived.len(), 1, "waived: {:#?}", report.waived);
+    assert_eq!(report.waived[0].rule, rules::PANIC_FREE_SERVICE);
+    assert_eq!(report.waivers.len(), 1);
+    assert!(
+        !report.waivers[0].3.is_empty(),
+        "the good tree's one waiver must carry a justification"
+    );
+}

@@ -1,0 +1,10 @@
+//! Fixture: a budgeted fn that never consumes its budget, whose
+//! unbounded loop never ticks.
+
+pub fn drain(n_max: usize, budget: &Budget) -> usize {
+    let mut n = 0;
+    while n < n_max {
+        n += 1;
+    }
+    n
+}

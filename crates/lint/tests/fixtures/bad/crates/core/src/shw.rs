@@ -1,0 +1,12 @@
+//! Fixture: a deprecated wrapper call, an unjustified waiver, and a
+//! waiver naming a rule that does not exist.
+
+pub fn shw_cached(cache: &mut DecompCache, h: &Hypergraph) -> (usize, Td) {
+    cache.shw(h)
+}
+
+// lint:allow(budget-tick)
+pub const UNRELATED_A: u32 = 1;
+
+// lint:allow(made-up-rule): the rule name is wrong on purpose
+pub const UNRELATED_B: u32 = 2;

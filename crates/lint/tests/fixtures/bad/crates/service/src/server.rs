@@ -1,0 +1,11 @@
+//! Fixture: an undocumented `unsafe` and a blocking event loop.
+
+pub struct Server;
+
+impl Server {
+    pub fn event_loop(&mut self) {
+        let _guard = self.state.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _n = unsafe { poll_raw() };
+    }
+}

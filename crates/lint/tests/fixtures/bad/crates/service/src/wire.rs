@@ -1,0 +1,20 @@
+//! Fixture: the verb const advertises BOGUS (never parsed) and the
+//! parser accepts EXTRA (never advertised); RequestClass has an Orphan
+//! variant state.rs never dispatches.
+
+pub const PROTOCOL_VERBS: &str = "PING,STATS,BOGUS";
+
+pub fn parse(verb: &str) -> Option<&'static str> {
+    match verb {
+        "PING" => Some("PING"),
+        "STATS" => Some("STATS"),
+        "EXTRA" => Some("EXTRA"),
+        _ => None,
+    }
+}
+
+pub enum RequestClass {
+    Ping,
+    Stats,
+    Orphan,
+}

@@ -1,0 +1,10 @@
+//! Fixture: the test masks a STATS row stats_response never emits.
+
+fn mask_rows(s: &str) -> String {
+    s.replace("requests_total", "N").replace("ghost_row", "N")
+}
+
+#[test]
+fn masked() {
+    assert_eq!(mask_rows("ghost_row"), "N");
+}

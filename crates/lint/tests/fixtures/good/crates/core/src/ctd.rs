@@ -1,0 +1,10 @@
+//! Fixture: the budgeted loop ticks its budget every iteration.
+
+pub fn drain(n_max: usize, budget: &Budget) -> Result<usize, DecompError> {
+    let mut n = 0;
+    while n < n_max {
+        budget.tick(1)?;
+        n += 1;
+    }
+    Ok(n)
+}

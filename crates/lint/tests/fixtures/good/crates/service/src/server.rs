@@ -1,0 +1,14 @@
+//! Fixture: documented `unsafe`, a non-blocking event loop, and one
+//! waivered index proving waivers silence findings.
+
+pub struct Server;
+
+impl Server {
+    pub fn event_loop(&mut self) {
+        let _ready = self.poll_once();
+        // SAFETY: the fd table outlives the call and every entry was
+        // initialized at registration; poll_raw only reads it.
+        let _n = unsafe { poll_raw(self.fds.as_mut_ptr(), self.fds.len()) };
+        let _first = self.out[0]; // lint:allow(panic-free-service): fixture site proving waivers silence findings
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: every class dispatched, no panic paths, rows emitted for
+//! everything the tests and CI read.
+
+use super::wire::RequestClass;
+
+pub fn dispatch(c: RequestClass) -> u32 {
+    match c {
+        RequestClass::Ping => 1,
+        RequestClass::Stats => 2,
+    }
+}
+
+pub fn stats_response() -> String {
+    let mut s = String::new();
+    s.push_str("requests_total");
+    s.push_str("uptime_ms");
+    s
+}
+
+pub fn safe(v: &[u32]) -> u32 {
+    let first = v.first().copied().unwrap_or(0);
+    let second = v.get(1).copied().unwrap_or(0);
+    first + second
+}

@@ -1,0 +1,16 @@
+//! Fixture: verbs, parser, and class enum in lockstep.
+
+pub const PROTOCOL_VERBS: &str = "PING,STATS";
+
+pub fn parse(verb: &str) -> Option<&'static str> {
+    match verb {
+        "PING" => Some("PING"),
+        "STATS" => Some("STATS"),
+        _ => None,
+    }
+}
+
+pub enum RequestClass {
+    Ping,
+    Stats,
+}

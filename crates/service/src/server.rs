@@ -108,6 +108,9 @@ mod sys {
     /// `poll(2)` over `fds`; `EINTR` reports as zero ready fds rather
     /// than an error (the loop re-polls immediately).
     pub fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        // SAFETY: `fds` is a live `&mut [PollFd]` of initialized
+        // entries for the whole call; the kernel reads/writes only
+        // within the `fds.len()` entries the pointer+length describe.
         let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
         if n < 0 {
             let e = io::Error::last_os_error();
@@ -129,24 +132,32 @@ mod sys {
     impl WakePipe {
         pub fn new() -> io::Result<WakePipe> {
             let mut fds = [0 as c_int; 2];
+            // SAFETY: `fds` is a stack array of exactly the 2 c_ints
+            // pipe(2) writes through the pointer; it outlives the call.
             if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
                 return Err(io::Error::last_os_error());
             }
+            let [rfd, wfd] = fds;
             for fd in fds {
+                // SAFETY: `fd` is one of the two descriptors pipe(2)
+                // just opened and neither has been closed; F_GETFL
+                // takes no third argument.
                 let flags = unsafe { fcntl(fd, F_GETFL) };
+                // SAFETY: same open fd; F_SETFL's third argument is the
+                // flag word, passed by value.
                 if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
                     let e = io::Error::last_os_error();
+                    // SAFETY: both fds are open (opened above, not yet
+                    // closed on this error path) and owned by us; each
+                    // is closed exactly once.
                     unsafe {
-                        close(fds[0]);
-                        close(fds[1]);
+                        close(rfd);
+                        close(wfd);
                     }
                     return Err(e);
                 }
             }
-            Ok(WakePipe {
-                rfd: fds[0],
-                wfd: fds[1],
-            })
+            Ok(WakePipe { rfd, wfd })
         }
 
         pub fn read_fd(&self) -> c_int {
@@ -161,6 +172,9 @@ mod sys {
         pub fn drain(&self) {
             let mut buf = [0u8; 256];
             loop {
+                // SAFETY: `self.rfd` is the pipe's read end, owned by
+                // this struct and open until Drop; `buf` is a live
+                // stack buffer of exactly `buf.len()` writable bytes.
                 let n = unsafe { read(self.rfd, buf.as_mut_ptr(), buf.len()) };
                 if n <= 0 {
                     break;
@@ -171,6 +185,9 @@ mod sys {
 
     impl Drop for WakePipe {
         fn drop(&mut self) {
+            // SAFETY: the struct owns both descriptors; Drop runs at
+            // most once, so each fd is closed exactly once and never
+            // used afterwards.
             unsafe {
                 close(self.rfd);
                 close(self.wfd);
@@ -182,6 +199,10 @@ mod sys {
     /// is already pending.
     pub fn wake(wfd: c_int) {
         let b = [1u8];
+        // SAFETY: `wfd` is the pipe's write end, kept open for the
+        // server's lifetime; `b` provides the 1 readable byte the call
+        // names. write(2) is async-signal-safe, so waking from any
+        // thread or handler context is sound.
         let _ = unsafe { write(wfd, b.as_ptr(), 1) };
     }
 }
@@ -429,7 +450,10 @@ impl Conn {
     fn flush(&mut self) -> io::Result<()> {
         use std::io::Write as _;
         while self.out_pos < self.out.len() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+            let Some(chunk) = self.out.get(self.out_pos..) else {
+                break;
+            };
+            match self.stream.write(chunk) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => self.out_pos += n,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -680,7 +704,7 @@ fn event_loop(
         // completion channel is drained every round whether or not the
         // wake pipe fired, so a missed wake can only add latency, never
         // lose a response.
-        if fds[0].revents & POLLIN != 0 {
+        if fds.first().is_some_and(|f| f.revents & POLLIN != 0) {
             signal.pipe.drain();
         }
         signal.rearm();
@@ -693,7 +717,7 @@ fn event_loop(
 
         // 2. Accept whatever is pending (the listener is nonblocking).
         if let Some(slot) = listener_slot {
-            if fds[slot].revents & POLLIN != 0 {
+            if fds.get(slot).is_some_and(|f| f.revents & POLLIN != 0) {
                 loop {
                     match listener.accept() {
                         Ok((stream, _)) => {
@@ -720,7 +744,9 @@ fn event_loop(
         // decoder and submit every completed frame to the worker queue
         // (or shed it with an in-slot BUSY).
         for &(slot, id) in &order {
-            let re = fds[slot].revents;
+            let Some(re) = fds.get(slot).map(|f| f.revents) else {
+                continue;
+            };
             if re & (POLLERR | POLLNVAL) != 0 {
                 if let Some(_conn) = conns.remove(&id) {
                     state.note_conn_closed();
@@ -786,7 +812,7 @@ fn on_readable(conn: &mut Conn, id: u64, state: &ServiceState, job_tx: &mpsc::Sy
                     continue;
                 }
                 let mut frames = Vec::new();
-                if conn.decoder.push(&chunk[..n], &mut frames).is_err() {
+                if conn.decoder.push(chunk.get(..n).unwrap_or(&[]), &mut frames).is_err() {
                     // Protocol violation: take no more input, but still
                     // deliver the responses already owed.
                     conn.read_closed = true;

@@ -159,7 +159,9 @@ impl ResultCache {
             let keep = self.capacity - self.capacity / 8;
             let mut ticks: Vec<u64> = self.map.values().map(|(t, _)| *t).collect();
             ticks.sort_unstable();
-            let cutoff = ticks[ticks.len() - keep];
+            let Some(&cutoff) = ticks.get(ticks.len().saturating_sub(keep)) else {
+                return;
+            };
             self.map.retain(|_, (t, _)| *t >= cutoff);
         }
     }
@@ -442,6 +444,15 @@ impl ServiceState {
     /// stripe's result cache, width decisions are imported into its
     /// [`DecompCache`], and the schema is pinned. Returns how many
     /// results were preloaded.
+    /// Locks the stripe `idx` routes to. `idx` is always
+    /// `route_hash % stripes.len()` so it is in range by construction,
+    /// but the request path must stay panic-free, so out-of-range
+    /// degrades to `None` instead of indexing.
+    fn lock_stripe(&self, idx: usize) -> Option<std::sync::MutexGuard<'_, Stripe>> {
+        let stripe = self.stripes.get(idx)?;
+        Some(stripe.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
     fn warm_start(&mut self, store: &mut Store) -> u64 {
         let mut warmed = 0u64;
         for (hash, digest) in store.hottest(self.config.warm_start) {
@@ -452,9 +463,9 @@ impl ServiceState {
                 continue; // stored structure does not hash back: distrust it
             }
             let idx = (route_hash(&h) % self.stripes.len() as u64) as usize;
-            let mut stripe = self.stripes[idx]
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let Some(mut stripe) = self.lock_stripe(idx) else {
+                continue;
+            };
             let mut any = false;
             for (key, hit) in store.results_for(hash, digest) {
                 let Some(resp) = response_from_hit(&key, &hit, &h) else {
@@ -566,19 +577,27 @@ impl ServiceState {
         let hash = hash_u64s(&canon);
         let digest = schema_digest(&canon);
         let idx = (route_hash(&h) % self.stripes.len() as u64) as usize;
-        self.stripe_load[idx].fetch_add(1, Ordering::Relaxed);
-        let mut stripe = self.stripes[idx]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(load) = self.stripe_load.get(idx) {
+            load.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(mut stripe) = self.lock_stripe(idx) else {
+            return Response::error("internal", "stripe routing out of range");
+        };
         if let Some(tag) = tag {
             stripe.log.push(tag);
         }
         let resp = self.serve(req, &h, hash, digest, idx, &mut stripe, budget);
         // Mirror the stripe's counters into atomics so STATS handlers on
         // other stripes can report them without taking this lock.
-        self.stripe_evictions[idx].store(stripe.cache.stats().evictions, Ordering::Relaxed);
-        self.stripe_result_hits[idx].store(stripe.results.hits, Ordering::Relaxed);
-        self.stripe_result_misses[idx].store(stripe.results.misses, Ordering::Relaxed);
+        if let Some(c) = self.stripe_evictions.get(idx) {
+            c.store(stripe.cache.stats().evictions, Ordering::Relaxed);
+        }
+        if let Some(c) = self.stripe_result_hits.get(idx) {
+            c.store(stripe.results.hits, Ordering::Relaxed);
+        }
+        if let Some(c) = self.stripe_result_misses.get(idx) {
+            c.store(stripe.results.misses, Ordering::Relaxed);
+        }
         resp
     }
 
@@ -740,7 +759,7 @@ impl ServiceState {
                     width,
                     td: TdFrame::from_td(&td, h.num_vertices()),
                 },
-                Ok(_) => unreachable!("SHW spec yields a ShwWidth"),
+                Ok(_) => Response::error("internal", "SHW spec yielded a mismatched variant"),
                 Err(e) => self.decomp_error(e),
             },
             RequestClass::ShwLeq(k) => {
@@ -757,7 +776,9 @@ impl ServiceState {
                         k,
                         td: td.map(|td| TdFrame::from_td(&td, h.num_vertices())),
                     },
-                    Ok(_) => unreachable!("SHW_LEQ spec yields a ShwDecision"),
+                    Ok(_) => {
+                        Response::error("internal", "SHW_LEQ spec yielded a mismatched variant")
+                    }
                     Err(e) => self.decomp_error(e),
                 }
             }
@@ -771,7 +792,7 @@ impl ServiceState {
                         width,
                         td: TdFrame::from_td(&ghd.td, h.num_vertices()),
                     },
-                    Ok(_) => unreachable!("HW spec yields a HwWidth"),
+                    Ok(_) => Response::error("internal", "HW spec yielded a mismatched variant"),
                     Err(e) => self.decomp_error(e),
                 }
             }
@@ -789,7 +810,9 @@ impl ServiceState {
                         k,
                         td: ghd.map(|g| TdFrame::from_td(&g.td, h.num_vertices())),
                     },
-                    Ok(_) => unreachable!("HW_LEQ spec yields a HwDecision"),
+                    Ok(_) => {
+                        Response::error("internal", "HW_LEQ spec yielded a mismatched variant")
+                    }
                     Err(e) => self.decomp_error(e),
                 }
             }

@@ -59,6 +59,11 @@ fn install_signal_handlers(handle: ShutdownHandle) {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` is an `extern "C"` fn whose body is one
+    // OnceLock read plus an atomic store ([`ShutdownHandle::shutdown`])
+    // — both async-signal-safe, no allocation, no locks. The handler
+    // slot is initialized before registration, so the handler can never
+    // observe an empty OnceLock racing its own installation.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);
