@@ -30,6 +30,11 @@
 //!   frames of [`BATCH_SIZE`] warm bodies each, one roundtrip per frame
 //!   (`batch_frame` latency rows are per frame, not per sub-request).
 //!
+//! After the three phases one `METRICS` scrape turns the server's
+//! per-stage duration histograms into `service/stage_<name>_*` rows —
+//! where the wall clock went, stage by stage, across everything the
+//! phases served (reported, not gated).
+//!
 //! `--check <baseline.json>` gates after the run: every
 //! `service/throughput*` row present in both runs must be at least half
 //! the baseline's; pipelined/batched rows missing from an older baseline
@@ -176,7 +181,8 @@ fn main() {
         ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             workers: args.clients,
-            max_conns: Some(3 * args.clients as u64 + 1),
+            // Warmup + three phases of clients + the METRICS scrape.
+            max_conns: Some(3 * args.clients as u64 + 2),
             queue_depth: (2 * args.clients * WINDOW).max(128),
         },
         state,
@@ -366,13 +372,43 @@ fn main() {
     let batch_wall_s = batch_wall.elapsed().as_secs_f64();
     let throughput_batch = (batch_frames * BATCH_SIZE) as f64 / batch_wall_s;
 
+    // Per-stage timing: scrape the METRICS exposition once after the
+    // three phases and turn the `softhw_stage_duration_us` histograms
+    // into rows — where the wall clock went (solver stages, cache and
+    // store probes, queue wait, reorder dwell) across everything the
+    // phases just served.
+    let stage_rows = {
+        let mut stream = TcpStream::connect(addr).expect("metrics connect");
+        match roundtrip(&mut stream, &Request::new(RequestClass::Metrics, ""))
+            .expect("metrics roundtrip")
+        {
+            Response::Metrics { lines } => {
+                let mut rows = stage_series(&lines);
+                // The memory stat rides along: resident bytes per
+                // cached schema, picked up by bench_trend's memory
+                // table so cache-footprint growth is tracked across
+                // baselines like the timing rows.
+                if let Some(v) = lines.iter().find_map(|l| {
+                    l.strip_prefix("softhw_bytes_per_cached_schema ")
+                        .and_then(|v| v.trim().parse::<f64>().ok())
+                }) {
+                    println!("service/bytes_per_cached_schema {v:.0} bytes");
+                    rows.push(("service/bytes_per_cached_schema_bytes".to_string(), v));
+                }
+                rows
+            }
+            other => panic!("expected a METRICS response, got {other:?}"),
+        }
+    };
+
     // All client connections are closed; the server has accepted its
-    // max_conns (warmup + three phases of clients) and drains cleanly.
+    // max_conns (warmup + three phases of clients + the scrape) and
+    // drains cleanly.
     let served = server_thread
         .join()
         .expect("server thread")
         .expect("server run");
-    assert_eq!(served, 3 * args.clients as u64 + 1);
+    assert_eq!(served, 3 * args.clients as u64 + 2);
 
     let mut samples = samples
         .lock()
@@ -502,6 +538,7 @@ fn main() {
         throughput_pipelined,
     ));
     rows.push(("service/throughput_batch_rps".to_string(), throughput_batch));
+    rows.extend(stage_rows);
     if let Some(out) = args.out {
         let json = match std::fs::read_to_string(&out) {
             // An existing bench_baseline emission: merge the service
@@ -521,6 +558,44 @@ fn main() {
         }
         println!("bench_service check passed against {baseline}");
     }
+}
+
+/// `service/stage_<name>_{total_us,calls}` rows from the
+/// `softhw_stage_duration_us` histogram series of a METRICS
+/// exposition. Stages never hit in this run are dropped; like the
+/// latency rows, stage rows are reported but not gated.
+fn stage_series(lines: &[String]) -> Vec<(String, f64)> {
+    let field = |line: &str, prefix: &str| -> Option<(String, f64)> {
+        let rest = line.strip_prefix(prefix)?;
+        let (stage, rest) = rest.split_once("\"}")?;
+        let value: f64 = rest.trim().parse().ok()?;
+        Some((stage.to_string(), value))
+    };
+    let mut sums: Vec<(String, f64)> = Vec::new();
+    let mut counts: Vec<(String, f64)> = Vec::new();
+    for line in lines {
+        if let Some(kv) = field(line, "softhw_stage_duration_us_sum{stage=\"") {
+            sums.push(kv);
+        } else if let Some(kv) = field(line, "softhw_stage_duration_us_count{stage=\"") {
+            counts.push(kv);
+        }
+    }
+    let mut rows = Vec::new();
+    for (stage, sum) in sums {
+        let calls = counts
+            .iter()
+            .find(|(s, _)| s == &stage)
+            .map_or(0.0, |(_, c)| *c);
+        if calls > 0.0 {
+            println!(
+                "service/stage/{stage:<16} calls={calls:<8} total={sum:>12.0}us avg={:>9.1}us",
+                sum / calls
+            );
+            rows.push((format!("service/stage_{stage}_total_us"), sum));
+            rows.push((format!("service/stage_{stage}_calls"), calls));
+        }
+    }
+    rows
 }
 
 /// Throughput rows gated by `--check`. Latency rows are reported but

@@ -1,7 +1,11 @@
 //! Bench-trend report: compares every `BENCH_*.json` baseline in
 //! chronological (argument) order and emits a markdown table per
 //! benchmark entry, with the speedup of the newest baseline over the
-//! oldest one that records the entry. CI runs this over all committed
+//! oldest one that records the entry. Memory entries (names carrying
+//! `bytes`, e.g. `service/bytes_per_cached_schema_bytes` from
+//! `bench_service`'s METRICS scrape) get their own table with a growth
+//! column instead of a speedup — bigger is not better there, so they
+//! must not dilute the timing table. CI runs this over all committed
 //! baselines plus the fresh smoke run and uploads the result as an
 //! artifact, so a PR's perf trajectory is one click away.
 //!
@@ -40,57 +44,78 @@ fn main() {
         std::process::exit(1);
     }
     // Row order: first appearance across the baselines, oldest first.
+    // Memory entries (bytes, not time) go to their own table: their
+    // trend column is growth, where bigger is worse, so folding them
+    // into the speedup table would misread either way.
+    let is_memory = |name: &str| name.contains("bytes");
     let mut rows: Vec<String> = Vec::new();
+    let mut mem_rows: Vec<String> = Vec::new();
     for (_, entries) in &columns {
         for (name, _) in entries {
-            if !rows.iter().any(|r| r == name) {
-                rows.push(name.clone());
+            let bucket = if is_memory(name) {
+                &mut mem_rows
+            } else {
+                &mut rows
+            };
+            if !bucket.iter().any(|r| r == name) {
+                bucket.push(name.clone());
             }
         }
     }
     let get = |col: &[(String, f64)], name: &str| -> Option<f64> {
         col.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     };
+    // One table body: per-baseline values plus the oldest-vs-newest
+    // trend ratio, formatted by the caller's header.
+    let table = |md: &mut String, names: &[String], invert: bool| {
+        let _ = write!(md, "| entry |");
+        for (label, _) in &columns {
+            let _ = write!(md, " {label} |");
+        }
+        let _ = writeln!(md, " {} |", if invert { "growth" } else { "speedup" });
+        let _ = write!(md, "|---|");
+        for _ in &columns {
+            let _ = write!(md, "---:|");
+        }
+        let _ = writeln!(md, "---:|");
+        for name in names {
+            let _ = write!(md, "| {name} |");
+            let mut first: Option<f64> = None;
+            let mut last: Option<f64> = None;
+            for (_, entries) in &columns {
+                match get(entries, name) {
+                    Some(v) => {
+                        first = first.or(Some(v));
+                        last = Some(v);
+                        let _ = write!(md, " {v:.0} |");
+                    }
+                    None => {
+                        let _ = write!(md, " – |");
+                    }
+                }
+            }
+            match (first, last) {
+                (Some(f), Some(l)) if f > 0.0 && l > 0.0 => {
+                    let ratio = if invert { l / f } else { f / l };
+                    let _ = writeln!(md, " {ratio:.2}x |");
+                }
+                _ => {
+                    let _ = writeln!(md, " – |");
+                }
+            }
+        }
+    };
     let mut md = String::from("# Bench trend (median ns; speedup = oldest recorded / newest)\n\n");
-    let _ = write!(md, "| entry |");
-    for (label, _) in &columns {
-        let _ = write!(md, " {label} |");
-    }
-    let _ = writeln!(md, " speedup |");
-    let _ = write!(md, "|---|");
-    for _ in &columns {
-        let _ = write!(md, "---:|");
-    }
-    let _ = writeln!(md, "---:|");
-    for name in &rows {
-        let _ = write!(md, "| {name} |");
-        let mut first: Option<f64> = None;
-        let mut last: Option<f64> = None;
-        for (_, entries) in &columns {
-            match get(entries, name) {
-                Some(v) => {
-                    first = first.or(Some(v));
-                    last = Some(v);
-                    let _ = write!(md, " {v:.0} |");
-                }
-                None => {
-                    let _ = write!(md, " – |");
-                }
-            }
-        }
-        match (first, last) {
-            (Some(f), Some(l)) if l > 0.0 => {
-                let _ = writeln!(md, " {:.2}x |", f / l);
-            }
-            _ => {
-                let _ = writeln!(md, " – |");
-            }
-        }
+    table(&mut md, &rows, false);
+    if !mem_rows.is_empty() {
+        md.push_str("\n## Memory (bytes; growth = newest / oldest recorded)\n\n");
+        table(&mut md, &mem_rows, true);
     }
     std::fs::write(&out_path, &md).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!(
-        "wrote {out_path} ({} entries, {} baselines)",
+        "wrote {out_path} ({} entries, {} memory entries, {} baselines)",
         rows.len(),
+        mem_rows.len(),
         columns.len()
     );
 }

@@ -168,6 +168,44 @@ impl DecompCache {
         self.last_used.len()
     }
 
+    /// Approximate heap footprint in bytes of everything this cache
+    /// retains: warm indexes, prepared instances with satisfaction
+    /// tables, width-decision witnesses, sweep state, and reductions.
+    /// Divide by [`DecompCache::tracked_graphs`] for the
+    /// `bytes_per_cached_schema` memory stat the service reports.
+    pub fn approx_bytes(&self) -> u64 {
+        let instances: u64 = self
+            .instances
+            .values()
+            .flat_map(|bucket| bucket.iter())
+            .map(|c| {
+                (c.ids.capacity() * std::mem::size_of::<BagId>()) as u64
+                    + c.inst.approx_bytes()
+                    + c.sat.approx_bytes()
+            })
+            .sum();
+        let shw: u64 = self
+            .shw_results
+            .values()
+            .map(|v| v.as_ref().map_or(0, |td| td.approx_bytes()) + 32)
+            .sum();
+        let hw: u64 = self
+            .hw_results
+            .values()
+            .map(|v| v.as_ref().map_or(0, |g| g.approx_bytes()) + 32)
+            .sum();
+        let sweeps: u64 = self.sweeps.values().map(|s| s.approx_bytes()).sum();
+        let reds: u64 = self
+            .reductions
+            .values()
+            .chain(self.reductions_no_peel.values())
+            .map(|r| r.approx_bytes())
+            .sum();
+        // LRU clock + pin set, at one (key, value) pair each.
+        let book = ((self.last_used.len() + self.pinned.len()) * 24) as u64;
+        self.indexes.approx_bytes() + instances + shw + hw + sweeps + reds + book
+    }
+
     /// Pins hypergraph `hash` (the [`structural_hash`] the entry points
     /// key on): as long as it stays pinned it is exempt from LRU
     /// eviction, so an eviction storm of one-off schemas cannot thrash

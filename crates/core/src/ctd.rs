@@ -145,6 +145,21 @@ impl Deps {
     fn children_of_entry(&self, ci: usize) -> &[u32] {
         &self.g_child_data[self.g_child_start[ci] as usize..self.g_child_start[ci + 1] as usize]
     }
+
+    /// Approximate heap footprint in bytes of the dependency tables.
+    fn approx_bytes(&self) -> u64 {
+        let u32s = self.group_of.capacity()
+            + self.group_rep.capacity()
+            + self.g_cand_start.capacity()
+            + self.g_cand_x.capacity()
+            + self.g_child_start.capacity()
+            + self.g_child_data.capacity();
+        (u32s * 4
+            + self.vertex_bags.capacity() * 8
+            + self.comp_group.len() * (std::mem::size_of::<(BagId, u32)>() + 8)) as u64
+            + self.child_groups.approx_bytes()
+            + self.group_blocks.approx_bytes()
+    }
 }
 
 /// A prepared `CandidateTD` instance: interned, deduplicated bags plus
@@ -193,6 +208,13 @@ pub struct Satisfaction {
     pub basis: Vec<Option<(usize, u32)>>,
     /// Whether all root blocks are satisfied (the "Accept" of Algorithm 1).
     pub accept: bool,
+}
+
+impl Satisfaction {
+    /// Approximate heap footprint in bytes (the basis table).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.basis.capacity() * std::mem::size_of::<Option<(usize, u32)>>()) as u64
+    }
 }
 
 /// What one [`CtdInstance::extend`] call changed: the instance sizes
@@ -382,6 +404,7 @@ impl CtdInstance {
         bags: &[BagId],
         budget: &Budget,
     ) -> Result<Self, DecompError> {
+        let _span = softhw_obs::span(softhw_obs::stage::INSTANCE_BUILD);
         let h = index.hypergraph_arc().clone();
         let mut arena = BagArena::new(h.num_vertices());
         // Dedup and drop empties, preserving first-occurrence order (the
@@ -628,6 +651,7 @@ impl CtdInstance {
         bags: &[BagId],
         budget: &Budget,
     ) -> Result<ExtendDelta, DecompError> {
+        let _span = softhw_obs::span(softhw_obs::stage::INSTANCE_EXTEND);
         assert!(
             Arc::ptr_eq(&self.h, index.hypergraph_arc()),
             "extend must be given the BlockIndex the instance was built from"
@@ -1139,11 +1163,35 @@ impl CtdInstance {
             .expect("the unlimited budget cannot trip")
     }
 
+    /// Approximate heap footprint in bytes: arena, bag tables, block
+    /// table, and the DP dependency structure (the shared hypergraph
+    /// `Arc` is *not* counted — the owning cache counts it once). Feeds
+    /// the service's `bytes_per_cached_schema` memory stat.
+    pub fn approx_bytes(&self) -> u64 {
+        let bags = self.bag_ids.capacity() * std::mem::size_of::<BagId>()
+            + self.index_ids.capacity() * std::mem::size_of::<BagId>()
+            + self.bag_sets.capacity() * std::mem::size_of::<std::sync::OnceLock<BitSet>>();
+        let materialised: usize = self
+            .bag_sets
+            .iter()
+            .filter_map(|s| s.get())
+            .map(|b| b.num_blocks() * 8)
+            .sum();
+        let blocks = self.blocks.capacity() * std::mem::size_of::<Block>()
+            + self.blocks_by_head.capacity() * 8
+            + self.root_blocks.capacity() * 8;
+        self.arena.approx_bytes()
+            + self.seen_index.approx_bytes()
+            + self.deps.approx_bytes()
+            + (bags + materialised + blocks) as u64
+    }
+
     /// [`CtdInstance::satisfy`] with a cooperative [`Budget`], checked at
     /// every frontier wave. The DP state lives in locals, so an abort
     /// leaves the instance untouched — a retry recomputes from scratch
     /// and is bit-identical to a never-interrupted run.
     pub fn satisfy_budgeted(&self, budget: &Budget) -> Result<Satisfaction, DecompError> {
+        let _span = softhw_obs::span(softhw_obs::stage::SATISFY);
         let nb = self.blocks.len();
         let mut satisfied = vec![false; nb];
         let mut basis: Vec<Option<(usize, u32)>> = vec![None; nb];
@@ -1190,6 +1238,7 @@ impl CtdInstance {
         delta: &ExtendDelta,
         budget: &Budget,
     ) -> Result<Satisfaction, DecompError> {
+        let _span = softhw_obs::span(softhw_obs::stage::SATISFY);
         assert_eq!(
             prev.basis.len(),
             delta.prev_blocks,

@@ -642,6 +642,7 @@ pub fn soft_bag_ids_budgeted(
     limits: &SoftLimits,
     budget: &Budget,
 ) -> Result<Vec<BagId>, DecompError> {
+    let _span = softhw_obs::span(softhw_obs::stage::ENUMERATE);
     let h = index.hypergraph_arc().clone();
     let elements: Vec<BagId> = (0..h.num_edges())
         .map(|e| index.arena.intern_words(h.edge(e).blocks()))

@@ -50,6 +50,13 @@ impl IncrementalSweep {
         self.max_k
     }
 
+    /// Approximate heap footprint in bytes of the grown instance and its
+    /// satisfaction state.
+    pub fn approx_bytes(&self) -> u64 {
+        self.inst.as_ref().map_or(0, |i| i.approx_bytes())
+            + self.sat.as_ref().map_or(0, |s| s.approx_bytes())
+    }
+
     /// The grown instance, once any width has been decided.
     pub fn instance(&self) -> Option<&CtdInstance> {
         self.inst.as_ref()

@@ -82,6 +82,14 @@ impl BagArena {
         self.storage.is_empty()
     }
 
+    /// Approximate heap footprint in bytes (packed bag storage plus the
+    /// open-addressing id table). Feeds the service's
+    /// `bytes_per_cached_schema` memory stat.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.storage.capacity() * 8 + self.table.capacity() * 4) as u64
+            + std::mem::size_of::<Self>() as u64
+    }
+
     /// The packed words of bag `id`.
     #[inline]
     pub fn words(&self, id: BagId) -> &[u64] {
@@ -540,6 +548,11 @@ impl IdSet {
     /// An empty set.
     pub fn new() -> Self {
         IdSet::default()
+    }
+
+    /// Approximate heap footprint in bytes (the flag array).
+    pub fn approx_bytes(&self) -> u64 {
+        self.flags.capacity() as u64
     }
 
     /// An empty set with room for ids up to about `n` before the flag

@@ -138,6 +138,26 @@ impl BlockIndex {
         }
     }
 
+    /// Approximate heap footprint in bytes: the owned hypergraph, the
+    /// arena, and every component/touch/union/block table. Hash maps are
+    /// estimated at their entry payload plus one word of table overhead
+    /// per entry. Feeds the service's `bytes_per_cached_schema` stat.
+    pub fn approx_bytes(&self) -> u64 {
+        let maps = (self.comp_cache.len() + self.touch_cache.len() + self.row_cache.len())
+            * (std::mem::size_of::<(BagId, SliceRange)>() + 8)
+            + self.union_cache.len() * (std::mem::size_of::<(BagId, BagId)>() + 8);
+        let flats = self.comp_data.capacity() * std::mem::size_of::<BagId>()
+            + self.touch_data.capacity() * 4
+            + self.row_data.capacity() * std::mem::size_of::<(BagId, BagId)>()
+            + self.edge_seen_scratch.capacity()
+            + (self.bfs_seen_scratch.capacity()
+                + self.bfs_comp_scratch.capacity()
+                + self.touch_words_scratch.capacity())
+                * 8
+            + self.bfs_stack_scratch.capacity() * 8;
+        self.h.approx_bytes() + self.arena.approx_bytes() + (maps + flats) as u64
+    }
+
     /// The hypergraph this index serves.
     #[inline]
     pub fn hypergraph(&self) -> &Hypergraph {

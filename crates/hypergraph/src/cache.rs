@@ -107,12 +107,23 @@ impl IndexCache {
             return (key, &mut bucket[pos].index);
         }
         self.stats.misses += 1;
+        let _span = softhw_obs::span(softhw_obs::stage::INDEX_BUILD);
         bucket.push(Entry {
             canon,
             index: BlockIndex::from_arc(Arc::new(h.clone())),
         });
         let last = bucket.len() - 1;
         (key, &mut bucket[last].index)
+    }
+
+    /// Approximate heap footprint in bytes of every cached entry
+    /// (canonical forms plus warm indexes).
+    pub fn approx_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .flat_map(|bucket| bucket.iter())
+            .map(|e| e.canon.capacity() as u64 * 8 + e.index.approx_bytes())
+            .sum()
     }
 
     /// Drops every index stored under structural hash `hash`, returning

@@ -8,7 +8,7 @@
 //! | `safety-comment` | every `unsafe` needs an adjacent `// SAFETY:` stating the precondition |
 //! | `no-blocking-in-event-loop` | PR 8: the `poll(2)` event loop never blocks — no sleeps, locks, or blocking channel reads in the readiness path |
 //! | `no-deprecated-internal` | PR 8: workspace code calls `DecompCache::solve`, not the deprecated per-shape wrappers |
-//! | `cross-artifact-sync` | the verb list, dispatch arms, README grammar, and STATS row names stay in lockstep across code, tests, docs, and CI |
+//! | `cross-artifact-sync` | the verb list, dispatch arms, README grammar, STATS row names, and METRICS metric names stay in lockstep across code, tests, docs, and CI |
 //!
 //! Rules are syntactic, not type-aware: a hand-rolled lexer cannot
 //! prove an index in-bounds or resolve a method receiver. Sites that
@@ -495,7 +495,13 @@ pub fn no_deprecated_internal(f: &SourceFile, out: &mut Vec<Finding>) {
 /// 3. The README banner line (`protocol … verbs …`) ≡ `PROTOCOL_VERBS`,
 ///    and every verb appears quoted in the README wire grammar.
 /// 4. Every STATS row the service tests mask (`fn mask_*`) and every
-///    row CI parses (`sed -n 's/^row = //p'`) is a row state.rs emits.
+///    row CI parses (`sed -n 's/^row = //p'`) is a row state.rs emits —
+///    rows live in `stats_response` or, since the metric registry
+///    became the single source for the shared counters, in
+///    `metric_registry` (whose `softhw_*` literals are metric names,
+///    not rows).
+/// 5. Every `softhw_*` metric name the registry or the METRICS
+///    exposition emits appears backticked in the README metrics table.
 pub fn cross_artifact_sync(ws: &Workspace, out: &mut Vec<Finding>) {
     let wire = ws.file("crates/service/src/wire.rs");
     let state = ws.file("crates/service/src/state.rs");
@@ -654,11 +660,40 @@ pub fn cross_artifact_sync(ws: &Workspace, out: &mut Vec<Finding>) {
     if let Some(state) = state {
         let toks = state.toks();
         let fns = parse_fns(toks);
+
+        // 5. METRICS names: everything the registry or the exposition
+        //    emits must be documented (backticked) in the README
+        //    metrics table. Skipped when the tree has no metrics
+        //    surface at all.
+        let metric_names: BTreeSet<String> = fns
+            .iter()
+            .filter(|f| f.name == "metric_registry" || f.name == "metrics_response")
+            .flat_map(|f| toks[f.body.0..f.body.1].iter())
+            .filter(|t| t.kind == TokKind::Str)
+            .flat_map(|t| metric_names_in(&t.text))
+            .collect();
+        if let Some(readme) = ws.readme.as_deref() {
+            for name in &metric_names {
+                if !readme.contains(&format!("`{name}`")) {
+                    out.push(Finding {
+                        rule: CROSS_ARTIFACT_SYNC,
+                        rel: "README.md".into(),
+                        line: 0,
+                        msg: format!(
+                            "metric {name} emitted by METRICS but missing from the README metrics table"
+                        ),
+                    });
+                }
+            }
+        }
+
         let emitted: BTreeSet<String> = fns
             .iter()
-            .filter(|f| f.name == "stats_response")
+            .filter(|f| f.name == "stats_response" || f.name == "metric_registry")
             .flat_map(|f| toks[f.body.0..f.body.1].iter())
-            .filter(|t| t.kind == TokKind::Str && is_row_key(&t.text))
+            .filter(|t| {
+                t.kind == TokKind::Str && is_row_key(&t.text) && !t.text.starts_with("softhw_")
+            })
             .map(|t| t.text.clone())
             .collect();
         if emitted.is_empty() {
@@ -711,6 +746,34 @@ pub fn cross_artifact_sync(ws: &Workspace, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// Every maximal `softhw_*` identifier run inside a string literal:
+/// the metric names in `# TYPE …` comments, bare registry names, and
+/// labelled `format!` templates (`softhw_x{{…}} {v}`) all start at a
+/// `softhw_` word boundary and run over `[a-z0-9_]`.
+fn metric_names_in(s: &str) -> Vec<String> {
+    let bytes = s.as_bytes();
+    let ident = |c: u8| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_';
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = s.get(i..).and_then(|rest| rest.find("softhw_")) {
+        let start = i + pos;
+        // Mid-identifier hit (`not_softhw_x`): not a name boundary.
+        if start > 0 && bytes.get(start - 1).copied().is_some_and(ident) {
+            i = start + 1;
+            continue;
+        }
+        let mut end = start;
+        while bytes.get(end).copied().is_some_and(ident) {
+            end += 1;
+        }
+        if let Some(name) = s.get(start..end) {
+            out.push(name.to_string());
+        }
+        i = end;
+    }
+    out
 }
 
 /// A STATS row key: lowercase snake_case with at least one underscore

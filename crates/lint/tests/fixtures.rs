@@ -68,6 +68,7 @@ fn bad_tree_cross_artifact_names_every_drift() {
         "verb STATS never appears quoted in the README wire grammar",
         "test masks STATS row \"ghost_row\"",
         "CI parses STATS row \"ghost_row\"",
+        "metric softhw_phantom_metric_total emitted by METRICS but missing from the README metrics table",
     ] {
         assert!(
             msgs.iter().any(|m| m.contains(needle)),

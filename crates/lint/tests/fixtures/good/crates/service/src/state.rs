@@ -17,6 +17,17 @@ pub fn stats_response() -> String {
     s
 }
 
+pub fn metric_registry() -> Vec<(&'static str, &'static str)> {
+    vec![("softhw_requests_total", "requests_total")]
+}
+
+pub fn metrics_response() -> String {
+    let mut s = String::new();
+    s.push_str("# TYPE softhw_requests_total counter\n");
+    s.push_str("softhw_uptime_ms 0\n");
+    s
+}
+
 pub fn safe(v: &[u32]) -> u32 {
     let first = v.first().copied().unwrap_or(0);
     let second = v.get(1).copied().unwrap_or(0);

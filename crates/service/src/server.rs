@@ -350,11 +350,18 @@ impl Server {
     /// Before returning, the write-behind store channel (if any) is
     /// drained and fsynced.
     pub fn run(self) -> io::Result<u64> {
+        self.run_state().map(|(accepted, _)| accepted)
+    }
+
+    /// [`Server::run`], additionally handing the (now quiescent)
+    /// [`ServiceState`] back to the caller — `softhw-serve` uses this
+    /// to dump the slow-query log on shutdown.
+    pub fn run_state(self) -> io::Result<(u64, ServiceState)> {
         let accepted = run_event_loop(&self.listener, &self.state, &self.drain, &self.opts)?;
         // Workers are joined: flush the write-behind store channel so
         // every acknowledged result is on disk before run() returns.
         self.state.sync_store();
-        Ok(accepted)
+        Ok((accepted, self.state))
     }
 }
 
@@ -362,6 +369,10 @@ impl Server {
 struct Job {
     conn_id: u64,
     seq: u64,
+    /// Trace id minted by the event loop: `(conn_id << 32) | seq`.
+    trace: u64,
+    /// When the event loop queued this job (queue-wait metric).
+    submitted: Instant,
     lines: Vec<String>,
 }
 
@@ -369,6 +380,8 @@ struct Job {
 struct Completion {
     conn_id: u64,
     seq: u64,
+    /// When the worker finished (reorder-dwell metric).
+    finished: Instant,
     bytes: String,
 }
 
@@ -386,8 +399,9 @@ struct Conn {
     /// The response sequence the socket gets next — responses always
     /// flush in request order.
     next_write: u64,
-    /// Completed responses that arrived out of order.
-    pending: BTreeMap<u64, String>,
+    /// Completed responses that arrived out of order, with when each
+    /// finished (reorder-dwell metric).
+    pending: BTreeMap<u64, (String, Instant)>,
     /// Requests handed to workers (or the shed path) not yet completed.
     inflight: usize,
     /// Input has ended: client EOF or a transport violation.
@@ -437,10 +451,13 @@ impl Conn {
     }
 
     /// Parks a completed response at its sequence slot and moves every
-    /// now-contiguous response into the write buffer.
-    fn queue_response(&mut self, seq: u64, bytes: String) {
-        self.pending.insert(seq, bytes);
-        while let Some(b) = self.pending.remove(&self.next_write) {
+    /// now-contiguous response into the write buffer, recording how
+    /// long each dwelt in the reorder buffer (atomics only — this runs
+    /// on the event loop).
+    fn queue_response(&mut self, seq: u64, bytes: String, finished: Instant, state: &ServiceState) {
+        self.pending.insert(seq, (bytes, finished));
+        while let Some((b, arrived)) = self.pending.remove(&self.next_write) {
+            state.note_reorder_dwell(arrived.elapsed().as_micros().min(u64::MAX as u128) as u64);
             self.out.extend_from_slice(b.as_bytes());
             self.next_write += 1;
         }
@@ -478,7 +495,7 @@ impl Conn {
 /// budget, with drain registration. This is the whole per-request
 /// policy, shared by the worker pool and the blocking
 /// [`handle_connection`] path.
-fn execute(lines: &[String], state: &ServiceState, drain: &Drain) -> Response {
+fn execute(lines: &[String], state: &ServiceState, drain: &Drain, trace: Option<u64>) -> Response {
     match WireRequest::decode(lines) {
         Ok(WireRequest::Single(req)) => {
             let budget = state.request_budget(&req);
@@ -489,7 +506,7 @@ fn execute(lines: &[String], state: &ServiceState, drain: &Drain) -> Response {
             if drain.stopping() {
                 budget.cancel();
             }
-            let resp = state.handle_tagged_budgeted(&req, None, &budget);
+            let resp = state.handle_traced(&req, None, &budget, trace);
             drain.deregister(id);
             resp
         }
@@ -499,7 +516,7 @@ fn execute(lines: &[String], state: &ServiceState, drain: &Drain) -> Response {
             if drain.stopping() {
                 budget.cancel();
             }
-            let resp = state.handle_batch(&batch, None, &budget);
+            let resp = state.handle_batch_traced(&batch, None, &budget, trace);
             drain.deregister(id);
             resp
         }
@@ -550,13 +567,15 @@ fn worker_loop(
             Err(poisoned) => poisoned.into_inner().recv(),
         };
         let Ok(job) = next else { break };
+        state.note_queue_wait(job.submitted.elapsed().as_micros().min(u64::MAX as u128) as u64);
         let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(&job.lines, state, drain)
+            execute(&job.lines, state, drain, Some(job.trace))
         }))
         .unwrap_or_else(|_| Response::error("internal", "request handler panicked"));
         let sent = done.send(Completion {
             conn_id: job.conn_id,
             seq: job.seq,
+            finished: Instant::now(),
             bytes: resp.encode(),
         });
         if sent.is_err() {
@@ -711,7 +730,7 @@ fn event_loop(
         while let Ok(c) = done_rx.try_recv() {
             if let Some(conn) = conns.get_mut(&c.conn_id) {
                 conn.inflight -= 1;
-                conn.queue_response(c.seq, c.bytes);
+                conn.queue_response(c.seq, c.bytes, c.finished, state);
             }
         }
 
@@ -854,6 +873,10 @@ fn submit(
     match job_tx.try_send(Job {
         conn_id: id,
         seq,
+        // The per-request trace id: connection id in the high half,
+        // pipeline slot in the low half.
+        trace: (id << 32) | (seq & 0xffff_ffff),
+        submitted: Instant::now(),
         lines,
     }) {
         Ok(()) => {}
@@ -865,7 +888,7 @@ fn submit(
             let busy = Response::Busy {
                 retry_after_ms: BUSY_RETRY_MS,
             };
-            conn.queue_response(seq, busy.encode());
+            conn.queue_response(seq, busy.encode(), Instant::now(), state);
         }
     }
 }
@@ -1065,7 +1088,7 @@ fn serve_connection(stream: TcpStream, state: &ServiceState, drain: &Drain) {
             NextFrame::Draining => return drain_close(&mut writer, served_any),
             NextFrame::Transport => return,
         };
-        let response = execute(&lines, state, drain);
+        let response = execute(&lines, state, drain, None);
         served_any = true;
         if write_frame(&mut writer, &response.encode()).is_err() {
             return;

@@ -48,6 +48,7 @@ use softhw_core::{Budget, DecompCache, SolveSpec, Solved};
 use softhw_hypergraph::cache::canonical_form;
 use softhw_hypergraph::fxhash::hash_u64s;
 use softhw_hypergraph::{parse_hypergraph, stats, FxHashMap, Hypergraph};
+use softhw_obs::{stage, Histogram, SlowEntry, SlowRing};
 use softhw_store::{
     schema_digest, ClassKey, FrameOwned, FrameRef, HitAnswer, PutAnswer, Store, StoreHit,
 };
@@ -56,6 +57,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tuning knobs of a [`ServiceState`].
 #[derive(Clone, Debug)]
@@ -86,6 +88,15 @@ pub struct ServiceConfig {
     /// token of their own (`--default-deadline`); `None` means
     /// unbounded.
     pub default_deadline_ms: Option<u64>,
+    /// Record per-request traces, per-class latency histograms, and
+    /// per-stage duration histograms (the `METRICS` exposition). Off,
+    /// requests skip every observability write; responses are
+    /// byte-identical either way.
+    pub obs_enabled: bool,
+    /// Requests slower than this many milliseconds record their full
+    /// span tree into the slow-query ring (`--slow-ms`; `0` records
+    /// everything, `None` disables the ring).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -100,6 +111,82 @@ impl Default for ServiceConfig {
             pin_warm: true,
             no_reduce: false,
             default_deadline_ms: None,
+            obs_enabled: true,
+            slow_ms: None,
+        }
+    }
+}
+
+/// How many slow-query span trees the ring retains (oldest evicted
+/// first; the total recorded count keeps growing past this).
+const SLOW_RING_CAP: usize = 64;
+
+/// Request classes the per-class latency histograms and
+/// `softhw_requests_total` counters are keyed by, in exposition order.
+const OBS_CLASSES: [&str; 10] = [
+    "SHW", "SHW_LEQ", "HW", "HW_LEQ", "BEST", "STATS", "BATCH", "HELLO", "METRICS", "SLOW",
+];
+
+fn obs_class_index(name: &str) -> Option<usize> {
+    OBS_CLASSES.iter().position(|c| *c == name)
+}
+
+/// Per-state observability registry: one latency histogram per request
+/// class, one duration histogram per pipeline stage, batch-size and
+/// pipeline-depth histograms, and the slow-query ring. Lives inside
+/// [`ServiceState`] (not a global) so twin servers in one process —
+/// the determinism property tests — cannot observe each other; the
+/// only global is `softhw_obs`'s span fast-path gate.
+struct ServiceObs {
+    enabled: bool,
+    slow_ms: Option<u64>,
+    latency: [Histogram; OBS_CLASSES.len()],
+    stages: Vec<Histogram>,
+    batch_sizes: Histogram,
+    pipeline_depths: Histogram,
+    slow: Mutex<SlowRing>,
+    /// Mints trace ids for entry points the event loop did not tag
+    /// (embedded/test callers); the high bit separates them from
+    /// loop-minted `(conn_id << 32) | seq` ids.
+    trace_seq: AtomicU64,
+}
+
+impl ServiceObs {
+    fn new(config: &ServiceConfig) -> ServiceObs {
+        ServiceObs {
+            enabled: config.obs_enabled,
+            slow_ms: config.slow_ms,
+            latency: std::array::from_fn(|_| Histogram::new()),
+            stages: stage::ALL.iter().map(|_| Histogram::new()).collect(),
+            batch_sizes: Histogram::new(),
+            pipeline_depths: Histogram::new(),
+            slow: Mutex::new(SlowRing::new(SLOW_RING_CAP)),
+            trace_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Begins a trace for one request on this worker thread. Returns
+    /// whether this call owns the trace (a `BATCH` item running inside
+    /// its batch's trace does not — its spans nest into the batch
+    /// tree).
+    fn begin(&self, trace: Option<u64>) -> bool {
+        if !self.enabled || !softhw_obs::enabled() || softhw_obs::trace_active() {
+            return false;
+        }
+        let id = trace
+            .unwrap_or_else(|| self.trace_seq.fetch_add(1, Ordering::Relaxed) | (1u64 << 63));
+        softhw_obs::begin_trace(id);
+        true
+    }
+
+    fn observe_stage(&self, name: &str, micros: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(i) = stage::index_of(name) {
+            if let Some(h) = self.stages.get(i) {
+                h.observe(micros);
+            }
         }
     }
 }
@@ -350,6 +437,13 @@ pub struct ServiceState {
     /// `BATCH` frames served (each counts once, however many items it
     /// carried).
     batch_requests: AtomicU64,
+    /// Mirror of each stripe's approximate cache heap bytes, updated
+    /// after every request (same pattern as `stripe_evictions`) so
+    /// `STATS`/`METRICS` report memory without taking stripe locks.
+    stripe_bytes: Vec<AtomicU64>,
+    /// Mirror of each stripe's tracked-schema count.
+    stripe_tracked: Vec<AtomicU64>,
+    obs: ServiceObs,
     store: Option<StoreHandle>,
 }
 
@@ -369,6 +463,7 @@ impl ServiceState {
                 })
             })
             .collect();
+        let obs = ServiceObs::new(&config);
         ServiceState {
             config,
             stripes,
@@ -381,6 +476,9 @@ impl ServiceState {
             conns_active: AtomicU64::new(0),
             pipelined_depth: AtomicU64::new(0),
             batch_requests: AtomicU64::new(0),
+            stripe_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            stripe_tracked: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            obs,
             store: None,
         }
     }
@@ -551,9 +649,28 @@ impl ServiceState {
     }
 
     /// Records the number of requests in flight on one connection;
-    /// `STATS` reports the high-water mark across all connections.
+    /// `STATS` reports the high-water mark across all connections,
+    /// `METRICS` the full depth histogram.
     pub fn note_pipeline_depth(&self, depth: u64) {
         self.pipelined_depth.fetch_max(depth, Ordering::Relaxed);
+        if self.obs.enabled {
+            self.obs.pipeline_depths.observe(depth);
+        }
+    }
+
+    /// Records how long a decoded request waited in the ready-request
+    /// queue before a worker picked it up (reported by the worker pool;
+    /// atomic increments only).
+    pub fn note_queue_wait(&self, micros: u64) {
+        self.obs.observe_stage(stage::QUEUE_WAIT, micros);
+    }
+
+    /// Records how long a completed response dwelt in its connection's
+    /// reorder buffer before it could be flushed in request order
+    /// (reported by the event loop; atomic increments only — safe to
+    /// call from the non-blocking loop).
+    pub fn note_reorder_dwell(&self, micros: u64) {
+        self.obs.observe_stage(stage::REORDER_DWELL, micros);
     }
 
     /// [`ServiceState::handle_tagged`] under a caller-supplied
@@ -565,9 +682,81 @@ impl ServiceState {
         tag: Option<u64>,
         budget: &Budget,
     ) -> Response {
+        self.handle_traced(req, tag, budget, None)
+    }
+
+    /// [`ServiceState::handle_tagged_budgeted`] with an event-loop
+    /// minted trace id. Every request funnels through here: the trace
+    /// is begun and ended on this (worker) thread, the request's
+    /// latency lands in its class histogram, each recorded span in its
+    /// stage histogram, and a request slower than `--slow-ms` records
+    /// its span tree into the slow-query ring.
+    pub fn handle_traced(
+        &self,
+        req: &Request,
+        tag: Option<u64>,
+        budget: &Budget,
+        trace: Option<u64>,
+    ) -> Response {
+        let started = Instant::now();
+        let owns_trace = self.obs.begin(trace);
+        let resp = self.handle_inner(req, tag, budget);
+        self.finish_request(req.class.name(), started, owns_trace);
+        resp
+    }
+
+    /// Folds one finished request into the observability registry; the
+    /// mirror of [`ServiceState::handle_traced`]'s `begin`.
+    fn finish_request(&self, class: &'static str, started: Instant, owns_trace: bool) {
+        if !self.obs.enabled {
+            return;
+        }
+        let total_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        if let Some(i) = obs_class_index(class) {
+            if let Some(h) = self.obs.latency.get(i) {
+                h.observe(total_us);
+            }
+        }
+        if !owns_trace {
+            return;
+        }
+        let Some(trace) = softhw_obs::end_trace() else {
+            return;
+        };
+        for r in &trace.records {
+            self.obs.observe_stage(r.stage, r.dur_us);
+        }
+        if self
+            .obs
+            .slow_ms
+            .is_some_and(|ms| total_us >= ms.saturating_mul(1000))
+        {
+            let entry = SlowEntry {
+                trace_id: trace.trace_id,
+                class: class.to_string(),
+                total_us,
+                records: trace.records,
+            };
+            self.obs
+                .slow
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(entry);
+        }
+    }
+
+    fn handle_inner(&self, req: &Request, tag: Option<u64>, budget: &Budget) -> Response {
         if req.class == RequestClass::Hello {
             // Protocol handshake: no schema, no stripe, no budget.
             return Response::hello();
+        }
+        if req.class == RequestClass::Metrics {
+            // Exposition of this state's registry: no schema, no stripe.
+            return self.metrics_response();
+        }
+        if req.class == RequestClass::Slow {
+            // Slow-query log dump: no schema, no stripe.
+            return self.slow_response();
         }
         let h = match self.schema(req) {
             Ok(h) => h,
@@ -598,6 +787,12 @@ impl ServiceState {
         if let Some(c) = self.stripe_result_misses.get(idx) {
             c.store(stripe.results.misses, Ordering::Relaxed);
         }
+        if let Some(c) = self.stripe_bytes.get(idx) {
+            c.store(stripe.cache.approx_bytes(), Ordering::Relaxed);
+        }
+        if let Some(c) = self.stripe_tracked.get(idx) {
+            c.store(stripe.cache.tracked_graphs() as u64, Ordering::Relaxed);
+        }
         resp
     }
 
@@ -624,12 +819,31 @@ impl ServiceState {
         tag: Option<u64>,
         budget: &Budget,
     ) -> Response {
+        self.handle_batch_traced(batch, tag, budget, None)
+    }
+
+    /// [`ServiceState::handle_batch`] with an event-loop minted trace
+    /// id. The batch owns the trace; item spans nest into it, and each
+    /// item still lands in its own class's latency histogram.
+    pub fn handle_batch_traced(
+        &self,
+        batch: &BatchRequest,
+        tag: Option<u64>,
+        budget: &Budget,
+        trace: Option<u64>,
+    ) -> Response {
+        let started = Instant::now();
+        let owns_trace = self.obs.begin(trace);
         self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        if self.obs.enabled {
+            self.obs.batch_sizes.observe(batch.items.len() as u64);
+        }
         let responses = batch
             .items
             .iter()
             .map(|item| self.handle_tagged_budgeted(item, tag, budget))
             .collect();
+        self.finish_request("BATCH", started, owns_trace);
         Response::Batch { responses }
     }
 
@@ -652,10 +866,15 @@ impl ServiceState {
     ) -> Response {
         let key = class_key(req.class);
         if let Some(key) = key {
-            if let Some(resp) = stripe.results.get(&(hash, digest, key)) {
+            let cached = {
+                let _span = softhw_obs::span(stage::RESULT_CACHE);
+                stripe.results.get(&(hash, digest, key))
+            };
+            if let Some(resp) = cached {
                 return resp;
             }
             if let Some(handle) = &self.store {
+                let _span = softhw_obs::span(stage::STORE_PROBE);
                 let hit = handle
                     .store
                     .lock()
@@ -682,7 +901,10 @@ impl ServiceState {
                 }
             }
         }
-        let (resp, persist) = self.dispatch(req, h, idx, stripe, budget);
+        let (resp, persist) = {
+            let _span = softhw_obs::span(stage::SOLVE);
+            self.dispatch(req, h, idx, stripe, budget)
+        };
         if let (Some(key), Persist::Yes) = (key, &persist) {
             if matches!(resp, Response::Width { .. } | Response::Decision { .. }) {
                 stripe.results.insert((hash, digest, key), resp.clone());
@@ -858,9 +1080,11 @@ impl ServiceState {
                 }
             }
             RequestClass::Stats => self.stats_response(h, idx, stripe),
-            // Served before schema parsing in `handle_tagged_budgeted`;
-            // kept for match exhaustiveness.
+            // The three schema-free classes are served before schema
+            // parsing in `handle_inner`; kept for match exhaustiveness.
             RequestClass::Hello => Response::hello(),
+            RequestClass::Metrics => self.metrics_response(),
+            RequestClass::Slow => self.slow_response(),
         };
         (resp, persist)
     }
@@ -927,27 +1151,13 @@ impl ServiceState {
                 "result_cache_misses".to_string(),
                 list(&self.stripe_result_misses),
             ),
-            (
-                "deadline_timeout".to_string(),
-                self.deadline_timeouts.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "busy_shed".to_string(),
-                self.busy_sheds.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "conns_active".to_string(),
-                self.conns_active.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "pipelined_depth".to_string(),
-                self.pipelined_depth.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "batch_requests".to_string(),
-                self.batch_requests.load(Ordering::Relaxed).to_string(),
-            ),
         ];
+        // The registry-backed service counters: one source of truth
+        // shared with the `METRICS` exposition, so the two can never
+        // drift.
+        for m in self.metric_registry() {
+            fields.push((m.stats_row.to_string(), m.value.to_string()));
+        }
         if let Some(handle) = &self.store {
             let st = handle
                 .store
@@ -975,6 +1185,171 @@ impl ServiceState {
         }
         Response::Stats { fields }
     }
+
+    /// The central metric registry: every cross-stripe service counter
+    /// with both its `METRICS` exposition name and its `STATS` row
+    /// name, read from one place. [`ServiceState::stats_response`] and
+    /// [`ServiceState::metrics_response`] both iterate this list, so a
+    /// counter cannot appear in one surface with a different value (or
+    /// not at all) in the other.
+    fn metric_registry(&self) -> Vec<Metric> {
+        let m = |name, stats_row, kind, value| Metric {
+            name,
+            stats_row,
+            kind,
+            value,
+        };
+        vec![
+            m(
+                "softhw_deadline_timeouts_total",
+                "deadline_timeout",
+                MetricKind::Counter,
+                self.deadline_timeouts.load(Ordering::Relaxed),
+            ),
+            m(
+                "softhw_busy_sheds_total",
+                "busy_shed",
+                MetricKind::Counter,
+                self.busy_sheds.load(Ordering::Relaxed),
+            ),
+            m(
+                "softhw_conns_active",
+                "conns_active",
+                MetricKind::Gauge,
+                self.conns_active.load(Ordering::Relaxed),
+            ),
+            m(
+                "softhw_pipelined_depth_max",
+                "pipelined_depth",
+                MetricKind::Gauge,
+                self.pipelined_depth.load(Ordering::Relaxed),
+            ),
+            m(
+                "softhw_batch_requests_total",
+                "batch_requests",
+                MetricKind::Counter,
+                self.batch_requests.load(Ordering::Relaxed),
+            ),
+            m(
+                "softhw_bytes_per_cached_schema",
+                "bytes_per_cached_schema",
+                MetricKind::Gauge,
+                self.bytes_per_cached_schema(),
+            ),
+        ]
+    }
+
+    /// Approximate cache heap bytes per tracked schema, summed across
+    /// the stripe mirrors (`0` with nothing cached). The succinctness
+    /// headline stat: how much memory one warm schema costs.
+    fn bytes_per_cached_schema(&self) -> u64 {
+        let bytes: u64 = self
+            .stripe_bytes
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        let tracked: u64 = self
+            .stripe_tracked
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        if tracked == 0 {
+            0
+        } else {
+            bytes / tracked
+        }
+    }
+
+    /// Assembles the `METRICS` exposition: the registry counters and
+    /// gauges, per-class request counts and latency histograms,
+    /// per-stage duration histograms, batch-size and pipeline-depth
+    /// histograms, and the slow-query totals. Stable Prometheus-style
+    /// text; every metric family carries one `# TYPE` header.
+    fn metrics_response(&self) -> Response {
+        let obs = &self.obs;
+        let mut lines: Vec<String> = Vec::new();
+        for m in self.metric_registry() {
+            match m.kind {
+                MetricKind::Counter => softhw_obs::expose_counter(&mut lines, m.name, m.value),
+                MetricKind::Gauge => softhw_obs::expose_gauge(&mut lines, m.name, m.value),
+            }
+        }
+        lines.push("# TYPE softhw_requests_total counter".to_string());
+        for (i, class) in OBS_CLASSES.iter().enumerate() {
+            let count = obs.latency.get(i).map_or(0, Histogram::count);
+            lines.push(format!("softhw_requests_total{{class=\"{class}\"}} {count}"));
+        }
+        for (i, class) in OBS_CLASSES.iter().enumerate() {
+            let snap = obs.latency.get(i).map(Histogram::snapshot).unwrap_or_default();
+            softhw_obs::expose_histogram(
+                &mut lines,
+                "softhw_request_duration_us",
+                &format!("class=\"{class}\""),
+                &snap,
+                i == 0,
+            );
+        }
+        for (i, name) in stage::ALL.iter().enumerate() {
+            let snap = obs.stages.get(i).map(Histogram::snapshot).unwrap_or_default();
+            softhw_obs::expose_histogram(
+                &mut lines,
+                "softhw_stage_duration_us",
+                &format!("stage=\"{name}\""),
+                &snap,
+                i == 0,
+            );
+        }
+        softhw_obs::expose_histogram(
+            &mut lines,
+            "softhw_batch_size",
+            "",
+            &obs.batch_sizes.snapshot(),
+            true,
+        );
+        softhw_obs::expose_histogram(
+            &mut lines,
+            "softhw_pipeline_depth",
+            "",
+            &obs.pipeline_depths.snapshot(),
+            true,
+        );
+        let slow = obs.slow.lock().unwrap_or_else(PoisonError::into_inner);
+        softhw_obs::expose_counter(&mut lines, "softhw_slow_queries_total", slow.recorded());
+        drop(slow);
+        softhw_obs::expose_gauge(&mut lines, "softhw_obs_enabled", obs.enabled as u64);
+        Response::Metrics { lines }
+    }
+
+    /// Renders the retained slow-query span trees (`STATS SLOW`),
+    /// oldest first. Also used by `softhw-serve`'s shutdown dump.
+    pub fn slow_log(&self) -> Vec<String> {
+        self.obs
+            .slow
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .render()
+    }
+
+    fn slow_response(&self) -> Response {
+        Response::Slow {
+            lines: self.slow_log(),
+        }
+    }
+}
+
+/// One registry entry: a service counter under both of its names.
+struct Metric {
+    /// `METRICS` exposition name (`softhw_…`).
+    name: &'static str,
+    /// `STATS` row name.
+    stats_row: &'static str,
+    kind: MetricKind,
+    value: u64,
+}
+
+enum MetricKind {
+    Counter,
+    Gauge,
 }
 
 /// Stripe-routing hash: computed over the canonical forms of the
@@ -1009,7 +1384,10 @@ fn class_key(class: RequestClass) -> Option<ClassKey> {
         RequestClass::Best(EvalKind::Trivial, k) => ClassKey::BestTrivial(k as u64),
         RequestClass::Best(EvalKind::ConCov, k) => ClassKey::BestConCov(k as u64),
         RequestClass::Best(EvalKind::Shallow(d), k) => ClassKey::BestShallow { d, k: k as u64 },
-        RequestClass::Stats | RequestClass::Hello => return None,
+        RequestClass::Stats
+        | RequestClass::Hello
+        | RequestClass::Metrics
+        | RequestClass::Slow => return None,
     })
 }
 
@@ -1364,11 +1742,28 @@ mod tests {
         }
     }
 
+    /// Drops the STATS rows that may legitimately differ between the
+    /// reduced and `--no-reduce` pipelines: the memory stat reflects
+    /// the piece bookkeeping the reduced pipeline retains even when
+    /// reduction is a no-op, so it is truthful, not drifting.
+    fn mask_mode_dependent_rows(resp: Response) -> Response {
+        match resp {
+            Response::Stats { fields } => Response::Stats {
+                fields: fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "bytes_per_cached_schema")
+                    .collect(),
+            },
+            other => other,
+        }
+    }
+
     #[test]
     fn no_reduce_answers_are_byte_identical_on_irreducible_schemas() {
         // The example corpus is irreducible, so `--no-reduce` must be
         // invisible: every response byte-identical, including STATS
-        // (whose reduce_* rows are computed in both modes).
+        // (whose reduce_* rows are computed in both modes; only the
+        // memory row is masked — see mask_mode_dependent_rows).
         let reduced = state();
         let no_reduce = ServiceState::new(ServiceConfig {
             no_reduce: true,
@@ -1383,8 +1778,9 @@ mod tests {
                 RequestClass::HwLeq(2),
                 RequestClass::Stats,
             ] {
-                let a = reduced.handle(&Request::new(class, body.clone()));
-                let b = no_reduce.handle(&Request::new(class, body.clone()));
+                let a = mask_mode_dependent_rows(reduced.handle(&Request::new(class, body.clone())));
+                let b =
+                    mask_mode_dependent_rows(no_reduce.handle(&Request::new(class, body.clone())));
                 assert_eq!(a, b, "{class:?} diverged under --no-reduce");
             }
         }

@@ -29,8 +29,9 @@
 //!           | "SHW_LEQ" k
 //!           | "HW" | "HW_LEQ" k
 //!           | "BEST" eval k                  eval ∈ trivial|concov|shallow:<d>
-//!           | "STATS"
+//!           | "STATS" ["SLOW"]               — SLOW dumps the slow-query log
 //!           | "HELLO"                        — protocol/verb discovery
+//!           | "METRICS"                      — Prometheus-style exposition
 //! body     := HyperBench schema text, or (with "sql") a SQL query
 //!
 //! batch    := "BATCH" n ["DEADLINE" ms] item*n "%%"
@@ -38,6 +39,8 @@
 //!
 //! response := ("OK" class key=value* | "ERR" kind message
 //!              | "TIMEOUT" | "BUSY" retry-after-ms) td-frame? "%%"
+//! metrics  := "OK METRICS" exposition-line* "%%"   — text/plain samples
+//! slowresp := "OK SLOW" "lines=" n slow-line*n "%%"
 //! batchresp:= "OK BATCH" "n=" k ("@ lines=" m response-lines*m)*k "%%"
 //! td-frame := "TD" nodes=<n> bags=<b> universe=<u> words=<w>
 //!             ("A" hex-word{w})*b        — bag words, id = line order
@@ -85,7 +88,7 @@ pub const PROTOCOL_VERSION: &str = "V1";
 /// The verbs this protocol revision serves, advertised by `OK HELLO`
 /// (comma-separated, stable order). Clients gate new verbs on this set
 /// instead of probing with requests that older servers reject.
-pub const PROTOCOL_VERBS: &str = "SHW,SHW_LEQ,HW,HW_LEQ,BEST,STATS,BATCH,HELLO";
+pub const PROTOCOL_VERBS: &str = "SHW,SHW_LEQ,HW,HW_LEQ,BEST,STATS,BATCH,HELLO,METRICS";
 
 /// A malformed frame (decode-side).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,8 +168,14 @@ pub enum RequestClass {
     Best(EvalKind, usize),
     /// Structural + cache statistics, no decomposition.
     Stats,
+    /// Slow-query log dump (`STATS SLOW`): no body, answered with the
+    /// span trees of recent requests that exceeded `--slow-ms`.
+    Slow,
     /// Protocol discovery: no body, answered `OK HELLO proto=… verbs=…`.
     Hello,
+    /// Metrics exposition: no body, answered with a Prometheus-style
+    /// text exposition assembled from the service metric registry.
+    Metrics,
 }
 
 impl RequestClass {
@@ -179,7 +188,9 @@ impl RequestClass {
             RequestClass::HwLeq(_) => "HW_LEQ",
             RequestClass::Best(..) => "BEST",
             RequestClass::Stats => "STATS",
+            RequestClass::Slow => "SLOW",
             RequestClass::Hello => "HELLO",
+            RequestClass::Metrics => "METRICS",
         }
     }
 
@@ -189,6 +200,8 @@ impl RequestClass {
         match self {
             RequestClass::ShwLeq(k) | RequestClass::HwLeq(k) => format!("{} {k}", self.name()),
             RequestClass::Best(eval, k) => format!("BEST {} {k}", eval.token()),
+            // SLOW is an argument of the STATS verb, not a verb itself.
+            RequestClass::Slow => "STATS SLOW".to_string(),
             _ => self.name().to_string(),
         }
     }
@@ -269,8 +282,18 @@ impl RequestHeader {
                 )?;
                 HeaderVerb::Class(RequestClass::Best(eval, parse_k(toks.get(2))?))
             }
-            Some("STATS") => HeaderVerb::Class(RequestClass::Stats),
+            Some("STATS") => {
+                // `STATS SLOW` selects the slow-query log dump; the SLOW
+                // token is an argument of STATS (like a width `k`), not
+                // a protocol verb of its own.
+                if toks.get(1).copied().is_some_and(|t| t == "SLOW") {
+                    HeaderVerb::Class(RequestClass::Slow)
+                } else {
+                    HeaderVerb::Class(RequestClass::Stats)
+                }
+            }
             Some("HELLO") => HeaderVerb::Class(RequestClass::Hello),
+            Some("METRICS") => HeaderVerb::Class(RequestClass::Metrics),
             Some("BATCH") => {
                 let n = toks
                     .get(1)
@@ -725,6 +748,19 @@ pub enum Response {
         /// The fields, in emission order.
         fields: Vec<(String, String)>,
     },
+    /// Metrics exposition (`METRICS`): Prometheus-style text samples,
+    /// one per line, passed through verbatim (no line starts with `%`,
+    /// so the framing never needs stuffing).
+    Metrics {
+        /// The exposition lines, in emission order.
+        lines: Vec<String>,
+    },
+    /// Slow-query log dump (`STATS SLOW`): rendered span trees of recent
+    /// requests that exceeded the server's `--slow-ms` threshold.
+    Slow {
+        /// The rendered entries (header + indented span lines each).
+        lines: Vec<String>,
+    },
     /// The ordered sub-responses of a `BATCH` request.
     Batch {
         /// One response per batch item, in request order.
@@ -797,6 +833,18 @@ impl Response {
                 }
                 out.push('\n');
             }
+            Response::Metrics { lines } => {
+                out.push_str("OK METRICS\n");
+                for line in lines {
+                    let _ = writeln!(out, "{line}");
+                }
+            }
+            Response::Slow { lines } => {
+                let _ = writeln!(out, "OK SLOW lines={}", lines.len());
+                for line in lines {
+                    let _ = writeln!(out, "{line}");
+                }
+            }
             Response::Batch { responses } => {
                 let _ = writeln!(out, "OK BATCH n={}", responses.len());
                 for resp in responses {
@@ -865,6 +913,16 @@ impl Response {
         }
         if class == "HELLO" {
             return Ok(Response::Hello { fields });
+        }
+        if class == "METRICS" {
+            return Ok(Response::Metrics {
+                lines: lines.get(1..).unwrap_or(&[]).to_vec(),
+            });
+        }
+        if class == "SLOW" {
+            return Ok(Response::Slow {
+                lines: lines.get(1..).unwrap_or(&[]).to_vec(),
+            });
         }
         if class == "BATCH" {
             let n: usize = take(&mut fields, "n")

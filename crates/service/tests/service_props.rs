@@ -69,6 +69,9 @@ fn mask_volatile(encoded: &str) -> String {
     let volatile = |key: &str| {
         key == "stripe_load"
             || key == "stripe_evictions"
+            // Cache bytes sum mirrors of *all* stripes, so the value
+            // reflects global concurrent progress like the rows above.
+            || key == "bytes_per_cached_schema"
             || key.starts_with("result_cache_")
             || key.starts_with("store_")
     };

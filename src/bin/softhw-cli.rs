@@ -25,6 +25,10 @@
 //!                    errors, and BUSY shedding up to n times with
 //!                    jittered exponential backoff, honouring the
 //!                    server's BUSY retry-after hint (default 3)
+//!   --metrics        (with --connect; no input file) fetch the server's
+//!                    Prometheus-style METRICS exposition and print it;
+//!                    every line is validated before printing and a
+//!                    malformed exposition exits 2
 //! ```
 //!
 //! Exit code 0 when a decomposition at the requested width exists (or the
@@ -51,6 +55,7 @@ struct Options {
     connect: Option<String>,
     deadline_ms: Option<u64>,
     retries: u32,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -66,6 +71,7 @@ fn parse_args() -> Result<Options, String> {
         connect: None,
         deadline_ms: None,
         retries: 3,
+        metrics: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -92,18 +98,26 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--retries needs a value")?;
                 opts.retries = v.parse().map_err(|_| format!("bad retries {v:?}"))?;
             }
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => {
                 return Err("usage: softhw-cli <file.hg> [--width k] \
                             [--measure shw|hw|ghw|shw1|all] [--concov] [--no-reduce] \
                             [--print] [--stats] [--connect host:port] [--deadline ms] \
-                            [--retries n]"
+                            [--retries n] | softhw-cli --connect host:port --metrics"
                     .to_string())
             }
             f if opts.file.is_empty() && !f.starts_with('-') => opts.file = f.to_string(),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if opts.file.is_empty() {
+    if opts.metrics {
+        if opts.connect.is_none() {
+            return Err("--metrics asks a server for its exposition; add --connect".to_string());
+        }
+        if !opts.file.is_empty() {
+            return Err("--metrics takes no input file".to_string());
+        }
+    } else if opts.file.is_empty() {
         return Err("no input file (use --help)".to_string());
     }
     Ok(opts)
@@ -236,6 +250,73 @@ impl Remote {
     }
 }
 
+/// `--metrics`: fetch the server's Prometheus-style text exposition and
+/// print it. Every line is validated *before* anything is printed, so a
+/// scrape wired through this subcommand fails loudly (exit 2) instead
+/// of feeding a collector garbage.
+fn run_metrics(opts: &Options) -> Result<bool, String> {
+    let mut remote = Remote::new(opts);
+    match remote.ask(RequestClass::Metrics, "")? {
+        Response::Metrics { lines } => {
+            validate_exposition(&lines)?;
+            for line in &lines {
+                println!("{line}");
+            }
+            Ok(true)
+        }
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+/// Checks text-exposition shape: `# TYPE <name> counter|gauge|histogram`
+/// / `# HELP` comments, and `name[{labels}] value` samples with a valid
+/// metric identifier and a finite numeric value.
+fn validate_exposition(lines: &[String]) -> Result<(), String> {
+    let ident_ok = |s: &str| {
+        let mut chars = s.chars();
+        chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    for (i, line) in lines.iter().enumerate() {
+        let bad =
+            |why: &str| Err(format!("unparseable exposition line {}: {why}: {line:?}", i + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut toks = rest.split_whitespace();
+            match toks.next() {
+                Some("TYPE") => {
+                    let name = toks.next().unwrap_or("");
+                    let kind = toks.next().unwrap_or("");
+                    if !ident_ok(name) || !["counter", "gauge", "histogram"].contains(&kind) {
+                        return bad("malformed TYPE comment");
+                    }
+                }
+                Some("HELP") => {}
+                _ => return bad("unknown comment kind"),
+            }
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return bad("no value field");
+        };
+        let name = series.split('{').next().unwrap_or("");
+        if !ident_ok(name) {
+            return bad("invalid metric name");
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return bad("unterminated label set");
+        }
+        if !value.parse::<f64>().is_ok_and(f64::is_finite) {
+            return bad("non-numeric sample value");
+        }
+    }
+    Ok(())
+}
+
 /// Client mode: the same questions, answered by a `softhw-serve`
 /// instance. Width/decision output lines and exit codes match local
 /// mode exactly; witness decompositions are decoded from the wire frame
@@ -364,6 +445,9 @@ fn run_remote(opts: &Options, text: &str, h: &Hypergraph) -> Result<bool, String
 
 fn run() -> Result<bool, String> {
     let opts = parse_args()?;
+    if opts.metrics {
+        return run_metrics(&opts);
+    }
     let text = std::fs::read_to_string(&opts.file)
         .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
     let h = parse_hypergraph(&text).map_err(|e| e.to_string())?;

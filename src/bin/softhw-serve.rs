@@ -22,6 +22,11 @@
 //!   --no-reduce          disable the reduce-before-solve pipeline: solve every
 //!                        schema raw (escape hatch; answers are identical, the
 //!                        pipeline only changes how they are computed)
+//!   --slow-ms <ms>       record the span tree of every request slower than
+//!                        ms milliseconds in the slow-query ring (0 records
+//!                        everything; dumped via `STATS SLOW` and on shutdown)
+//!   --no-obs             disable observability: no traces, no histograms, no
+//!                        slow-query ring; METRICS still answers, with zeros
 //! ```
 //!
 //! With `--store`, the boot sequence opens the log (truncating a torn
@@ -105,11 +110,14 @@ fn parse_args() -> Result<Args, String> {
             "--warm" => config.warm_start = num(&mut args, "--warm")?,
             "--no-pin" => config.pin_warm = false,
             "--no-reduce" => config.no_reduce = true,
+            "--slow-ms" => config.slow_ms = Some(num(&mut args, "--slow-ms")? as u64),
+            "--no-obs" => config.obs_enabled = false,
             "--help" | "-h" => {
                 return Err("usage: softhw-serve [--addr host:port] [--workers n] \
                             [--stripes n] [--cache n] [--result-cache n] [--max-edges n] \
                             [--max-conns n] [--queue n] [--default-deadline ms] \
-                            [--store path] [--warm n] [--no-pin] [--no-reduce]"
+                            [--store path] [--warm n] [--no-pin] [--no-reduce] \
+                            [--slow-ms ms] [--no-obs]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -130,6 +138,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if !args.config.obs_enabled {
+        // Turn the process-wide span gate off too, so instrumented
+        // library paths skip even the thread-local probe.
+        softhw_obs::set_enabled(false);
+    }
     let state = match &args.store {
         Some(path) => {
             let store = match softhw_store::Store::open(path) {
@@ -180,10 +193,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    match server.run() {
-        Ok(served) => {
-            // Dropping the server (and with it the state) joins the
-            // write-behind persister: the store is durable past here.
+    match server.run_state() {
+        Ok((served, state)) => {
+            // Dump the slow-query log before the state drops, so an
+            // operator gets the span trees of the slowest requests even
+            // without having asked for `STATS SLOW` while live.
+            let slow = state.slow_log();
+            if !slow.is_empty() {
+                eprintln!("softhw-serve: slow-query log ({} entries):", {
+                    // Each entry renders as a header plus one line per
+                    // span; count headers, not lines.
+                    slow.iter().filter(|l| !l.starts_with(' ')).count()
+                });
+                for line in &slow {
+                    eprintln!("  {line}");
+                }
+            }
+            // Dropping the state joins the write-behind persister: the
+            // store is durable past here.
             eprintln!("softhw-serve: served {served} connections, exiting");
             ExitCode::SUCCESS
         }
